@@ -1,0 +1,85 @@
+//! A minimal counter application: the quickstart example.
+
+use webdom::{App, AppCtx, El, EventKind, Payload};
+
+/// A counter with increment and reset buttons.
+///
+/// The quickstart specification asserts that the count never goes
+/// negative, that increment adds exactly one, and that reset returns to
+/// zero — see `examples/quickstart.rs`.
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    count: i64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// The current count (for unit tests).
+    #[must_use]
+    pub fn count(&self) -> i64 {
+        self.count
+    }
+}
+
+impl App for Counter {
+    fn start(&mut self, _ctx: &mut AppCtx<'_>) {}
+
+    fn view(&self) -> El {
+        El::new("div").id("app").children([
+            El::new("span").id("count").text(self.count.to_string()),
+            El::new("button")
+                .id("increment")
+                .text("+1")
+                .on(EventKind::Click, "increment"),
+            El::new("button")
+                .id("reset")
+                .text("reset")
+                .on(EventKind::Click, "reset"),
+        ])
+    }
+
+    fn on_event(&mut self, msg: &str, _payload: &Payload, _ctx: &mut AppCtx<'_>) {
+        match msg {
+            "increment" => self.count += 1,
+            "reset" => self.count = 0,
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _tag: &str, _ctx: &mut AppCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdom::{Document, LocalStorage, VirtualClock};
+
+    #[test]
+    fn increments_and_resets() {
+        let mut clock = VirtualClock::new();
+        let mut storage = LocalStorage::new();
+        let mut ctx = AppCtx {
+            clock: &mut clock,
+            storage: &mut storage,
+        };
+        let mut app = Counter::new();
+        app.on_event("increment", &Payload::None, &mut ctx);
+        app.on_event("increment", &Payload::None, &mut ctx);
+        assert_eq!(app.count(), 2);
+        app.on_event("reset", &Payload::None, &mut ctx);
+        assert_eq!(app.count(), 0);
+    }
+
+    #[test]
+    fn view_exposes_count() {
+        let app = Counter { count: 7 };
+        let doc = Document::render(app.view());
+        let count = doc.query_all("#count").unwrap()[0];
+        assert_eq!(doc.text_content(count), "7");
+    }
+}

@@ -1,0 +1,250 @@
+//! The three-minute egg timer of §3.2 (Figure 8).
+//!
+//! A start/stop toggle button (`#toggle`, text `start`/`stop`) and a label
+//! (`#remaining`) with the remaining time in seconds. Started timers tick
+//! once per second on the virtual clock; the Specstrom specification in
+//! `specs/egg_timer.strom` describes exactly the observable protocol of
+//! Figure 8.
+//!
+//! The paper notes that its specification "intentionally applies both to
+//! timers that reset when stopped and to timers that pause when stopped";
+//! this implementation pauses, and [`EggTimer::resetting`] builds the
+//! other variant so tests can confirm both satisfy the spec.
+
+use webdom::{App, AppCtx, El, EventKind, Payload};
+
+/// What stopping the timer does to the remaining time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StopBehaviour {
+    /// Keep the remaining time (resume later).
+    Pause,
+    /// Reset back to the full duration.
+    Reset,
+}
+
+/// The egg timer application.
+#[derive(Debug, Clone)]
+pub struct EggTimer {
+    duration_s: i64,
+    remaining_s: i64,
+    running: bool,
+    stop_behaviour: StopBehaviour,
+}
+
+impl Default for EggTimer {
+    fn default() -> Self {
+        EggTimer::new()
+    }
+}
+
+impl EggTimer {
+    /// The standard three-minute egg timer that pauses when stopped.
+    #[must_use]
+    pub fn new() -> Self {
+        EggTimer {
+            duration_s: 180,
+            remaining_s: 180,
+            running: false,
+            stop_behaviour: StopBehaviour::Pause,
+        }
+    }
+
+    /// A variant that resets to the full duration when stopped — also
+    /// conforming to the Figure 8 specification (§5.4).
+    #[must_use]
+    pub fn resetting() -> Self {
+        EggTimer {
+            stop_behaviour: StopBehaviour::Reset,
+            ..EggTimer::new()
+        }
+    }
+
+    /// A shorter timer, convenient for tests and examples (fewer states to
+    /// run the clock down).
+    #[must_use]
+    pub fn with_duration(seconds: i64) -> Self {
+        EggTimer {
+            duration_s: seconds,
+            remaining_s: seconds,
+            ..EggTimer::new()
+        }
+    }
+
+    /// A shorter timer that resets on stop (both behaviours conform to the
+    /// Figure 8 specification, §5.4).
+    #[must_use]
+    pub fn resetting_with_duration(seconds: i64) -> Self {
+        EggTimer {
+            duration_s: seconds,
+            remaining_s: seconds,
+            ..EggTimer::resetting()
+        }
+    }
+
+    /// Is the timer currently running?
+    #[must_use]
+    pub fn running(&self) -> bool {
+        self.running
+    }
+
+    /// Seconds remaining.
+    #[must_use]
+    pub fn remaining(&self) -> i64 {
+        self.remaining_s
+    }
+}
+
+impl App for EggTimer {
+    fn start(&mut self, _ctx: &mut AppCtx<'_>) {}
+
+    fn view(&self) -> El {
+        El::new("div").id("timer").children([
+            El::new("button")
+                .id("toggle")
+                .text(if self.running { "stop" } else { "start" })
+                .on(EventKind::Click, "toggle"),
+            El::new("span")
+                .id("remaining")
+                .text(self.remaining_s.to_string()),
+        ])
+    }
+
+    fn on_event(&mut self, msg: &str, _payload: &Payload, ctx: &mut AppCtx<'_>) {
+        if msg != "toggle" {
+            return;
+        }
+        if self.running {
+            self.running = false;
+            ctx.clock.cancel_tag("tick");
+            if self.stop_behaviour == StopBehaviour::Reset {
+                self.remaining_s = self.duration_s;
+            }
+        } else if self.remaining_s > 0 {
+            self.running = true;
+            ctx.clock.set_interval("tick", 1000);
+        }
+        // Starting at zero does nothing: Figure 8's `starting` transition
+        // requires `if time == 0 {stopped} else {started}`.
+    }
+
+    fn on_timer(&mut self, tag: &str, ctx: &mut AppCtx<'_>) {
+        if tag == "tick" && self.running {
+            self.remaining_s -= 1;
+            if self.remaining_s <= 0 {
+                self.remaining_s = 0;
+                self.running = false;
+                ctx.clock.cancel_tag("tick");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdom::{Document, LocalStorage, VirtualClock};
+
+    fn drive(app: &mut EggTimer, clock: &mut VirtualClock, storage: &mut LocalStorage, ms: u64) {
+        for (_, tag) in clock.advance(ms) {
+            let mut ctx = AppCtx {
+                clock,
+                storage,
+            };
+            app.on_timer(&tag, &mut ctx);
+        }
+    }
+
+    #[test]
+    fn initial_state_matches_fig8() {
+        let app = EggTimer::new();
+        let doc = Document::render(app.view());
+        let toggle = doc.query_all("#toggle").unwrap()[0];
+        let remaining = doc.query_all("#remaining").unwrap()[0];
+        assert_eq!(doc.text_content(toggle), "start");
+        assert_eq!(doc.text_content(remaining), "180");
+    }
+
+    #[test]
+    fn ticking_counts_down_and_stops_at_zero() {
+        let mut clock = VirtualClock::new();
+        let mut storage = LocalStorage::new();
+        let mut app = EggTimer::with_duration(3);
+        {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.on_event("toggle", &Payload::None, &mut ctx);
+        }
+        assert!(app.running());
+        drive(&mut app, &mut clock, &mut storage, 2000);
+        assert_eq!(app.remaining(), 1);
+        drive(&mut app, &mut clock, &mut storage, 1000);
+        assert_eq!(app.remaining(), 0);
+        assert!(!app.running(), "stops at zero");
+        // The interval was cancelled: no further ticks.
+        drive(&mut app, &mut clock, &mut storage, 5000);
+        assert_eq!(app.remaining(), 0);
+    }
+
+    #[test]
+    fn pausing_keeps_remaining_time() {
+        let mut clock = VirtualClock::new();
+        let mut storage = LocalStorage::new();
+        let mut app = EggTimer::with_duration(10);
+        {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.on_event("toggle", &Payload::None, &mut ctx);
+        }
+        drive(&mut app, &mut clock, &mut storage, 3000);
+        {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.on_event("toggle", &Payload::None, &mut ctx);
+        }
+        assert!(!app.running());
+        assert_eq!(app.remaining(), 7);
+    }
+
+    #[test]
+    fn resetting_variant_restores_duration() {
+        let mut clock = VirtualClock::new();
+        let mut storage = LocalStorage::new();
+        let mut app = EggTimer::resetting();
+        {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.on_event("toggle", &Payload::None, &mut ctx);
+        }
+        drive(&mut app, &mut clock, &mut storage, 5000);
+        assert_eq!(app.remaining(), 175);
+        {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.on_event("toggle", &Payload::None, &mut ctx);
+        }
+        assert_eq!(app.remaining(), 180);
+    }
+
+    #[test]
+    fn starting_at_zero_stays_stopped() {
+        let mut clock = VirtualClock::new();
+        let mut storage = LocalStorage::new();
+        let mut app = EggTimer::with_duration(0);
+        let mut ctx = AppCtx {
+            clock: &mut clock,
+            storage: &mut storage,
+        };
+        app.on_event("toggle", &Payload::None, &mut ctx);
+        assert!(!app.running());
+    }
+}

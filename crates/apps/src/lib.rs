@@ -1,0 +1,31 @@
+//! # quickstrom-apps
+//!
+//! The applications under test used throughout this reproduction:
+//!
+//! * [`counter`] — a minimal quickstart app.
+//! * [`egg_timer`] — the three-minute egg timer worked example of §3.2
+//!   (Figure 8): a start/stop toggle and a remaining-seconds label driven
+//!   by a one-second timer.
+//! * [`menu`] — the §2.1 motivating example: a menu that disables itself
+//!   briefly after use and re-enables asynchronously (the app whose
+//!   correct behaviour RV-LTL flags spuriously and QuickLTL does not).
+//! * [`todomvc`] — a complete TodoMVC implementation with the fault
+//!   taxonomy of Table 2 as injectable faults.
+//! * [`registry`] — the 43 named "implementations" reproducing Table 1's
+//!   pass/fail split (see DESIGN.md, *Substitutions*).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod counter;
+pub mod egg_timer;
+pub mod menu;
+pub mod registry;
+pub mod todomvc;
+
+pub use counter::Counter;
+pub use egg_timer::EggTimer;
+pub use menu::MenuApp;
+pub use registry::{Entry, Maturity, REGISTRY};
+pub use todomvc::{Fault, TodoMvc, Variation};

@@ -1,0 +1,129 @@
+//! The §2.1 motivating example: "the menu should never be disabled
+//! forever".
+//!
+//! Opening the menu disables it briefly (the application is busy) and
+//! re-enables it asynchronously. This is correct behaviour — but a naive
+//! RV-LTL check of `□ ◇ menuEnabled` will report a spurious counterexample
+//! whenever a trace happens to end during the busy window. QuickLTL's
+//! demand annotations (`always[n] eventually[k] …`) fix exactly this; the
+//! `ablation-rvltl` harness quantifies it.
+
+use webdom::{App, AppCtx, El, EventKind, Payload};
+
+/// A menu that goes busy for a fixed window after each use.
+#[derive(Debug, Clone)]
+pub struct MenuApp {
+    enabled: bool,
+    busy_ms: u64,
+    opens: u64,
+}
+
+impl Default for MenuApp {
+    fn default() -> Self {
+        MenuApp::new(500)
+    }
+}
+
+impl MenuApp {
+    /// A menu that re-enables `busy_ms` after each open.
+    #[must_use]
+    pub fn new(busy_ms: u64) -> Self {
+        MenuApp {
+            enabled: true,
+            busy_ms,
+            opens: 0,
+        }
+    }
+
+    /// Is the menu currently enabled?
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl App for MenuApp {
+    fn start(&mut self, _ctx: &mut AppCtx<'_>) {}
+
+    fn view(&self) -> El {
+        El::new("div").id("app").children([
+            El::new("button")
+                .id("menu")
+                .text("menu")
+                .disabled(!self.enabled)
+                .on(EventKind::Click, "open"),
+            El::new("span").id("opens").text(self.opens.to_string()),
+        ])
+    }
+
+    fn on_event(&mut self, msg: &str, _payload: &Payload, ctx: &mut AppCtx<'_>) {
+        if msg == "open" && self.enabled {
+            self.enabled = false;
+            self.opens += 1;
+            ctx.clock.set_timeout("reenable", self.busy_ms);
+        }
+    }
+
+    fn on_timer(&mut self, tag: &str, _ctx: &mut AppCtx<'_>) {
+        if tag == "reenable" {
+            self.enabled = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdom::{Document, LocalStorage, VirtualClock};
+
+    #[test]
+    fn opening_disables_then_reenables() {
+        let mut clock = VirtualClock::new();
+        let mut storage = LocalStorage::new();
+        let mut app = MenuApp::new(300);
+        {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.on_event("open", &Payload::None, &mut ctx);
+        }
+        assert!(!app.enabled());
+        let fired = clock.advance(300);
+        for (_, tag) in fired {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.on_timer(&tag, &mut ctx);
+        }
+        assert!(app.enabled());
+    }
+
+    #[test]
+    fn disabled_menu_ignores_clicks() {
+        let mut clock = VirtualClock::new();
+        let mut storage = LocalStorage::new();
+        let mut app = MenuApp::new(300);
+        let mut ctx = AppCtx {
+            clock: &mut clock,
+            storage: &mut storage,
+        };
+        app.on_event("open", &Payload::None, &mut ctx);
+        app.on_event("open", &Payload::None, &mut ctx);
+        assert_eq!(app.opens, 1);
+    }
+
+    #[test]
+    fn view_reflects_enabledness() {
+        let app = MenuApp::new(100);
+        let doc = Document::render(app.view());
+        let menu = doc.query_all("#menu").unwrap()[0];
+        assert!(doc.enabled(menu));
+        let mut busy = app.clone();
+        busy.enabled = false;
+        let doc2 = Document::render(busy.view());
+        let menu2 = doc2.query_all("#menu").unwrap()[0];
+        assert!(!doc2.enabled(menu2));
+    }
+}

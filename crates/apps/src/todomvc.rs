@@ -1,0 +1,1005 @@
+//! TodoMVC (§4): a complete implementation with injectable faults.
+//!
+//! The DOM follows the standard TodoMVC markup (Figure 11): a `.new-todo`
+//! input, a `.todo-list` of `li` items each with a `.toggle` checkbox, a
+//! label, a `.destroy` button and (while editing) an `.edit` input; a
+//! `.toggle-all` checkbox; a footer with `.todo-count` (containing a
+//! `<strong>`), `.filters`, and `.clear-completed`. The to-do list persists
+//! in local storage, so page reloads keep the data.
+//!
+//! [`Fault`] enumerates the fourteen problem classes of Table 2. Each
+//! variant is a small, targeted perturbation of the correct `update`/`view`
+//! logic, mirroring the bugs Quickstrom found in real framework
+//! implementations. [`Variation`] carries the benign differences between
+//! the *passing* implementations (markup wrappers, storage keys) so the
+//! suite stays honest.
+
+use std::collections::BTreeSet;
+use webdom::{App, AppCtx, El, EventKind, Payload};
+
+/// The fourteen problem classes of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fault {
+    /// 1 — Items have no checkboxes.
+    NoCheckboxes,
+    /// 2 — There are no filter controls.
+    NoFilters,
+    /// 3 — A `<strong>` element is missing (from the to-do count).
+    MissingStrongElement,
+    /// 4 — Blank items can be added.
+    BlankItemsAllowed,
+    /// 5 — Edit input is not focused after double-click.
+    EditNotFocused,
+    /// 6 — Incorrectly pluralizes the to-do count text.
+    BadPluralization,
+    /// 7 — Any pending input is cleared on filter change or removal of the
+    /// last item.
+    PendingCleared,
+    /// 8 — A new item is created from pending input after non-create
+    /// actions.
+    PendingCommitted,
+    /// 9 — "Toggle all" does not untoggle all items when certain filters
+    /// are enabled.
+    ToggleAllIgnoresHidden,
+    /// 10 — The "Toggle all" button disappears when the current filter
+    /// contains no items.
+    ToggleAllHiddenByFilter,
+    /// 11 — Committing an empty to-do item in edit mode does not fully
+    /// delete it — it can later be restored with "Toggle all".
+    EmptyEditZombie,
+    /// 12 — Editing an item hides other items.
+    EditingHidesOthers,
+    /// 13 — Adding an item changes the filter to "All".
+    AddResetsFilter,
+    /// 14 — Adding an item first shows an empty state (the list is briefly
+    /// emptied and re-populated).
+    AddShowsEmptyFirst,
+}
+
+impl Fault {
+    /// All fourteen faults, in Table 2 order.
+    #[must_use]
+    pub fn all() -> &'static [Fault] {
+        &[
+            Fault::NoCheckboxes,
+            Fault::NoFilters,
+            Fault::MissingStrongElement,
+            Fault::BlankItemsAllowed,
+            Fault::EditNotFocused,
+            Fault::BadPluralization,
+            Fault::PendingCleared,
+            Fault::PendingCommitted,
+            Fault::ToggleAllIgnoresHidden,
+            Fault::ToggleAllHiddenByFilter,
+            Fault::EmptyEditZombie,
+            Fault::EditingHidesOthers,
+            Fault::AddResetsFilter,
+            Fault::AddShowsEmptyFirst,
+        ]
+    }
+
+    /// The Table 2 row number (1–14).
+    #[must_use]
+    pub fn number(self) -> u8 {
+        match self {
+            Fault::NoCheckboxes => 1,
+            Fault::NoFilters => 2,
+            Fault::MissingStrongElement => 3,
+            Fault::BlankItemsAllowed => 4,
+            Fault::EditNotFocused => 5,
+            Fault::BadPluralization => 6,
+            Fault::PendingCleared => 7,
+            Fault::PendingCommitted => 8,
+            Fault::ToggleAllIgnoresHidden => 9,
+            Fault::ToggleAllHiddenByFilter => 10,
+            Fault::EmptyEditZombie => 11,
+            Fault::EditingHidesOthers => 12,
+            Fault::AddResetsFilter => 13,
+            Fault::AddShowsEmptyFirst => 14,
+        }
+    }
+
+    /// The Table 2 description.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Fault::NoCheckboxes => "Items have no checkboxes",
+            Fault::NoFilters => "There are no filter controls",
+            Fault::MissingStrongElement => "A <strong> element is missing",
+            Fault::BlankItemsAllowed => "Blank items can be added",
+            Fault::EditNotFocused => "Edit input is not focused after double-click",
+            Fault::BadPluralization => "Incorrectly pluralizes the to-do count text",
+            Fault::PendingCleared => {
+                "Any pending input is cleared on filter change or removal of last item"
+            }
+            Fault::PendingCommitted => {
+                "A new item is created from pending input after non-create actions"
+            }
+            Fault::ToggleAllIgnoresHidden => {
+                "\"Toggle all\" does not untoggle all items when certain filters are enabled"
+            }
+            Fault::ToggleAllHiddenByFilter => {
+                "The \"Toggle all\" button disappears when the current filter contains no items"
+            }
+            Fault::EmptyEditZombie => {
+                "Committing an empty to-do item in edit mode does not fully delete it"
+            }
+            Fault::EditingHidesOthers => "Editing an item hides other items",
+            Fault::AddResetsFilter => "Adding an item changes the filter to \"All\"",
+            Fault::AddShowsEmptyFirst => "Adding an item first shows an empty state",
+        }
+    }
+}
+
+/// Benign differences between passing implementations: markup wrappers,
+/// storage keys, attribution footers. None of these are observable through
+/// the specification's selectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variation {
+    /// Extra wrapper `div`s around the app (descendant selectors still
+    /// match).
+    pub wrapper_depth: usize,
+    /// The local-storage key used for persistence.
+    pub storage_key: String,
+    /// Whether an attribution footer is rendered outside the app.
+    pub info_footer: bool,
+}
+
+impl Default for Variation {
+    fn default() -> Self {
+        Variation {
+            wrapper_depth: 0,
+            storage_key: "todos".to_owned(),
+            info_footer: false,
+        }
+    }
+}
+
+/// The active item filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Filter {
+    /// Show everything.
+    All,
+    /// Show uncompleted items.
+    Active,
+    /// Show completed items.
+    Completed,
+}
+
+/// One to-do item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Todo {
+    /// The item text.
+    pub text: String,
+    /// Completion status.
+    pub completed: bool,
+}
+
+/// The TodoMVC application, parameterised by faults and benign variation.
+#[derive(Debug, Clone)]
+pub struct TodoMvc {
+    faults: BTreeSet<Fault>,
+    variation: Variation,
+    todos: Vec<Todo>,
+    filter: Filter,
+    pending: String,
+    editing: Option<usize>,
+    edit_text: String,
+    /// Fault 14: the list renders empty until a zero-delay timer clears
+    /// this flag.
+    flash_empty: bool,
+    /// Fault 11: items "deleted" by committing an empty edit are kept here
+    /// and resurrected by toggle-all.
+    zombies: Vec<Todo>,
+    /// Extension (not in Table 2): completion toggles are not persisted, so
+    /// a page reload loses them. Exercised by the persistence tests that
+    /// implement §4.1's future-work suggestion.
+    broken_toggle_persistence: bool,
+}
+
+impl Default for TodoMvc {
+    fn default() -> Self {
+        TodoMvc::correct()
+    }
+}
+
+impl TodoMvc {
+    /// The correct implementation.
+    #[must_use]
+    pub fn correct() -> Self {
+        TodoMvc {
+            faults: BTreeSet::new(),
+            variation: Variation::default(),
+            todos: Vec::new(),
+            filter: Filter::All,
+            pending: String::new(),
+            editing: None,
+            edit_text: String::new(),
+            flash_empty: false,
+            zombies: Vec::new(),
+            broken_toggle_persistence: false,
+        }
+    }
+
+    /// An implementation with the given faults injected.
+    #[must_use]
+    pub fn with_faults(faults: impl IntoIterator<Item = Fault>) -> Self {
+        TodoMvc {
+            faults: faults.into_iter().collect(),
+            ..TodoMvc::correct()
+        }
+    }
+
+    /// Applies a benign variation (for passing registry entries).
+    #[must_use]
+    pub fn with_variation(mut self, variation: Variation) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// An implementation that forgets to persist completion toggles — the
+    /// kind of local-storage bug §4.1 expects reload testing to expose.
+    /// An extension beyond Table 2's taxonomy; not in the registry.
+    #[must_use]
+    pub fn with_broken_toggle_persistence(mut self) -> Self {
+        self.broken_toggle_persistence = true;
+        self
+    }
+
+    fn has(&self, fault: Fault) -> bool {
+        self.faults.contains(&fault)
+    }
+
+    /// The current items (for unit tests).
+    #[must_use]
+    pub fn todos(&self) -> &[Todo] {
+        &self.todos
+    }
+
+    fn visible_indices(&self) -> Vec<usize> {
+        self.todos
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match self.filter {
+                Filter::All => true,
+                Filter::Active => !t.completed,
+                Filter::Completed => t.completed,
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn active_count(&self) -> usize {
+        self.todos.iter().filter(|t| !t.completed).count()
+    }
+
+    fn persist(&self, ctx: &mut AppCtx<'_>) {
+        let encoded: String = self
+            .todos
+            .iter()
+            .map(|t| {
+                let esc = t.text.replace('\\', "\\\\").replace('\n', "\\n");
+                format!("{}{}\n", if t.completed { "1" } else { "0" }, esc)
+            })
+            .collect();
+        ctx.storage.set(self.variation.storage_key.clone(), encoded);
+    }
+
+    fn restore(&mut self, ctx: &mut AppCtx<'_>) {
+        let Some(raw) = ctx.storage.get(&self.variation.storage_key) else {
+            return;
+        };
+        self.todos = raw
+            .lines()
+            .filter_map(|line| {
+                let (flag, rest) = line.split_at(line.char_indices().nth(1).map_or(line.len(), |(i, _)| i));
+                let completed = flag == "1";
+                let text = rest.replace("\\n", "\n").replace("\\\\", "\\");
+                if flag.is_empty() {
+                    None
+                } else {
+                    Some(Todo { text, completed })
+                }
+            })
+            .collect();
+    }
+
+    fn add_pending(&mut self, ctx: &mut AppCtx<'_>) {
+        let text = if self.has(Fault::BlankItemsAllowed) {
+            // Fault 4: no trimming, no blank rejection (a non-empty but
+            // whitespace-only input becomes a blank item).
+            if self.pending.is_empty() {
+                return;
+            }
+            self.pending.clone()
+        } else {
+            let trimmed = self.pending.trim();
+            if trimmed.is_empty() {
+                return;
+            }
+            trimmed.to_owned()
+        };
+        self.todos.push(Todo {
+            text,
+            completed: false,
+        });
+        self.pending.clear();
+        if self.has(Fault::AddResetsFilter) {
+            self.filter = Filter::All;
+        }
+        if self.has(Fault::AddShowsEmptyFirst) {
+            // Fault 14: render an empty list first, repopulate async.
+            self.flash_empty = true;
+            ctx.clock.set_timeout("unflash", 0);
+        }
+        self.persist(ctx);
+    }
+
+    /// Fault 8 helper: non-create actions commit pending input.
+    fn maybe_commit_pending(&mut self, ctx: &mut AppCtx<'_>) {
+        if self.has(Fault::PendingCommitted) && !self.pending.trim().is_empty() {
+            let text = self.pending.trim().to_owned();
+            self.todos.push(Todo {
+                text,
+                completed: false,
+            });
+            self.pending.clear();
+            self.persist(ctx);
+        }
+    }
+}
+
+impl App for TodoMvc {
+    fn start(&mut self, ctx: &mut AppCtx<'_>) {
+        self.restore(ctx);
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn view(&self) -> El {
+        let visible: Vec<usize> = if self.flash_empty {
+            Vec::new()
+        } else if self.has(Fault::EditingHidesOthers) && self.editing.is_some() {
+            // Fault 12: only the edited item is shown.
+            self.editing.into_iter().collect()
+        } else {
+            self.visible_indices()
+        };
+        let all_completed = !self.todos.is_empty() && self.todos.iter().all(|t| t.completed);
+        let items: Vec<El> = visible
+            .iter()
+            .map(|&i| {
+                let todo = &self.todos[i];
+                let editing = self.editing == Some(i);
+                let mut li = El::new("li")
+                    .class_if(todo.completed, "completed")
+                    .class_if(editing, "editing");
+                let mut view = El::new("div").class("view");
+                if !self.has(Fault::NoCheckboxes) {
+                    view = view.child(
+                        El::new("input")
+                            .class("toggle")
+                            .attr("type", "checkbox")
+                            .checked(todo.completed)
+                            .on(EventKind::Click, format!("toggle:{i}")),
+                    );
+                }
+                view = view
+                    .child(
+                        El::new("label")
+                            .text(todo.text.clone())
+                            .on(EventKind::DblClick, format!("edit:{i}")),
+                    )
+                    .child(
+                        El::new("button")
+                            .class("destroy")
+                            .on(EventKind::Click, format!("destroy:{i}")),
+                    );
+                li = li.child(view);
+                if editing {
+                    li = li.child(
+                        El::new("input")
+                            .class("edit")
+                            .value(self.edit_text.clone())
+                            .focused(!self.has(Fault::EditNotFocused))
+                            .on(EventKind::Input, "edit-input")
+                            .on(EventKind::KeyDown, "edit-key"),
+                    );
+                }
+                li
+            })
+            .collect();
+
+        let count = self.active_count();
+        let count_noun = if self.has(Fault::BadPluralization) {
+            // Fault 6: always plural.
+            "items"
+        } else if count == 1 {
+            "item"
+        } else {
+            "items"
+        };
+        let mut count_span = El::new("span").class("todo-count");
+        if self.has(Fault::MissingStrongElement) {
+            // Fault 3: plain text, no <strong>.
+            count_span = count_span.text(format!("{count} {count_noun} left"));
+        } else {
+            count_span = count_span
+                .child(El::new("strong").text(count.to_string()))
+                .child(El::new("span").text(format!("{count_noun} left")));
+        }
+
+        let filter_link = |name: &str, href: &str, selected: bool, msg: &str| {
+            El::new("li").child(
+                El::new("a")
+                    .class_if(selected, "selected")
+                    .attr("href", href)
+                    .text(name)
+                    .on(EventKind::Click, msg),
+            )
+        };
+
+        let mut footer = El::new("footer")
+            .class("footer")
+            .hidden_if(self.todos.is_empty() && self.zombies.is_empty())
+            .child(count_span);
+        if !self.has(Fault::NoFilters) {
+            footer = footer.child(
+                El::new("ul").class("filters").children([
+                    filter_link("All", "#/", self.filter == Filter::All, "filter:all"),
+                    filter_link(
+                        "Active",
+                        "#/active",
+                        self.filter == Filter::Active,
+                        "filter:active",
+                    ),
+                    filter_link(
+                        "Completed",
+                        "#/completed",
+                        self.filter == Filter::Completed,
+                        "filter:completed",
+                    ),
+                ]),
+            );
+        }
+        if self.todos.iter().any(|t| t.completed) {
+            footer = footer.child(
+                El::new("button")
+                    .class("clear-completed")
+                    .text("Clear completed")
+                    .on(EventKind::Click, "clear-completed"),
+            );
+        }
+
+        let toggle_all_hidden = if self.has(Fault::ToggleAllHiddenByFilter) {
+            // Fault 10: hidden when the *filtered view* is empty.
+            visible.is_empty()
+        } else {
+            self.todos.is_empty() && self.zombies.is_empty()
+        };
+
+        let main = El::new("section")
+            .class("main")
+            .hidden_if(self.todos.is_empty() && self.zombies.is_empty() && !self.flash_empty)
+            .child(
+                El::new("input")
+                    .id("toggle-all")
+                    .class("toggle-all")
+                    .attr("type", "checkbox")
+                    .checked(all_completed)
+                    .hidden_if(toggle_all_hidden)
+                    .on(EventKind::Click, "toggle-all"),
+            )
+            .child(El::new("ul").class("todo-list").children(items));
+
+        let app = El::new("section").class("todoapp").children([
+            El::new("header").class("header").children([
+                El::new("h1").text("todos"),
+                El::new("input")
+                    .class("new-todo")
+                    .attr("placeholder", "What needs to be done?")
+                    .value(self.pending.clone())
+                    .focused(self.editing.is_none())
+                    .on(EventKind::Input, "pending")
+                    .on(EventKind::KeyDown, "new-key"),
+            ]),
+            main,
+            footer,
+        ]);
+
+        let mut root = app;
+        for _ in 0..self.variation.wrapper_depth {
+            root = El::new("div").child(root);
+        }
+        if self.variation.info_footer {
+            root = El::new("div")
+                .child(root)
+                .child(El::new("footer").class("info").text("Double-click to edit a todo"));
+        }
+        root
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn on_event(&mut self, msg: &str, payload: &Payload, ctx: &mut AppCtx<'_>) {
+        match msg {
+            "pending" => {
+                self.pending = payload.text().to_owned();
+            }
+            "new-key" if payload.key() == "Enter" => {
+                self.add_pending(ctx);
+            }
+            "edit-input" => {
+                self.edit_text = payload.text().to_owned();
+            }
+            "edit-key" => match payload.key() {
+                "Enter" => {
+                    if let Some(i) = self.editing.take() {
+                        let text = self.edit_text.trim().to_owned();
+                        if text.is_empty() {
+                            let removed = self.todos.remove(i);
+                            if self.has(Fault::EmptyEditZombie) {
+                                // Fault 11: kept around; toggle-all revives.
+                                self.zombies.push(removed);
+                            }
+                        } else {
+                            self.todos[i].text = text;
+                        }
+                        self.persist(ctx);
+                    }
+                }
+                "Escape" => {
+                    // Abort: the item keeps its pre-edit text.
+                    self.editing = None;
+                }
+                _ => {}
+            },
+            "toggle-all" => {
+                self.maybe_commit_pending(ctx);
+                if self.has(Fault::EmptyEditZombie) && !self.zombies.is_empty() {
+                    // Fault 11's visible half: zombies come back.
+                    self.todos.append(&mut self.zombies);
+                }
+                let target =
+                    self.todos.is_empty() || !self.todos.iter().all(|t| t.completed);
+                if self.has(Fault::ToggleAllIgnoresHidden) && !target {
+                    // Fault 9: untoggling only touches visible items.
+                    let visible = self.visible_indices();
+                    for i in visible {
+                        self.todos[i].completed = false;
+                    }
+                } else {
+                    for t in &mut self.todos {
+                        t.completed = target;
+                    }
+                }
+                self.persist(ctx);
+            }
+            "clear-completed" => {
+                self.maybe_commit_pending(ctx);
+                self.todos.retain(|t| !t.completed);
+                self.persist(ctx);
+            }
+            _ if msg.starts_with("toggle:") => {
+                if let Ok(i) = msg["toggle:".len()..].parse::<usize>() {
+                    if let Some(t) = self.todos.get_mut(i) {
+                        t.completed = !t.completed;
+                        if !self.broken_toggle_persistence {
+                            self.persist(ctx);
+                        }
+                    }
+                }
+            }
+            _ if msg.starts_with("destroy:") => {
+                if let Ok(i) = msg["destroy:".len()..].parse::<usize>() {
+                    if i < self.todos.len() {
+                        self.todos.remove(i);
+                        if let Some(e) = self.editing {
+                            if e == i {
+                                self.editing = None;
+                            } else if e > i {
+                                self.editing = Some(e - 1);
+                            }
+                        }
+                        if self.has(Fault::PendingCleared) && self.todos.is_empty() {
+                            // Fault 7 (second half): removal of the last
+                            // item clears pending input.
+                            self.pending.clear();
+                        }
+                        self.persist(ctx);
+                    }
+                }
+            }
+            _ if msg.starts_with("edit:") => {
+                if let Ok(i) = msg["edit:".len()..].parse::<usize>() {
+                    if i < self.todos.len() {
+                        self.editing = Some(i);
+                        self.edit_text = self.todos[i].text.clone();
+                    }
+                }
+            }
+            _ if msg.starts_with("filter:") => {
+                self.maybe_commit_pending(ctx);
+                self.filter = match &msg["filter:".len()..] {
+                    "active" => Filter::Active,
+                    "completed" => Filter::Completed,
+                    _ => Filter::All,
+                };
+                if self.has(Fault::PendingCleared) {
+                    // Fault 7 (first half): filter changes clear pending.
+                    self.pending.clear();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, tag: &str, _ctx: &mut AppCtx<'_>) {
+        if tag == "unflash" {
+            self.flash_empty = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdom::{Document, LocalStorage, VirtualClock};
+
+    struct Harness {
+        app: TodoMvc,
+        clock: VirtualClock,
+        storage: LocalStorage,
+    }
+
+    impl Harness {
+        fn new(app: TodoMvc) -> Self {
+            let mut h = Harness {
+                app,
+                clock: VirtualClock::new(),
+                storage: LocalStorage::new(),
+            };
+            let mut ctx = AppCtx {
+                clock: &mut h.clock,
+                storage: &mut h.storage,
+            };
+            h.app.start(&mut ctx);
+            h
+        }
+
+        fn send(&mut self, msg: &str, payload: Payload) {
+            let mut ctx = AppCtx {
+                clock: &mut self.clock,
+                storage: &mut self.storage,
+            };
+            self.app.on_event(msg, &payload, &mut ctx);
+        }
+
+        fn add(&mut self, text: &str) {
+            self.send("pending", Payload::Text(text.to_owned()));
+            self.send("new-key", Payload::Key("Enter".to_owned()));
+        }
+
+        fn doc(&self) -> Document {
+            Document::render(self.app.view())
+        }
+
+        fn texts(&self, sel: &str) -> Vec<String> {
+            let doc = self.doc();
+            doc.query_all(sel)
+                .unwrap()
+                .into_iter()
+                .filter(|&n| doc.visible(n))
+                .map(|n| doc.text_content(n))
+                .collect()
+        }
+
+        fn count(&self, sel: &str) -> usize {
+            let doc = self.doc();
+            doc.query_all(sel)
+                .unwrap()
+                .into_iter()
+                .filter(|&n| doc.visible(n))
+                .count()
+        }
+    }
+
+    #[test]
+    fn adding_items_trims_and_rejects_blank() {
+        let mut h = Harness::new(TodoMvc::correct());
+        h.add("  walk the dog  ");
+        h.add("   ");
+        h.add("");
+        assert_eq!(h.app.todos().len(), 1);
+        assert_eq!(h.app.todos()[0].text, "walk the dog");
+        assert_eq!(h.texts(".todo-list li label"), vec!["walk the dog"]);
+    }
+
+    #[test]
+    fn fault4_allows_blank_items() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::BlankItemsAllowed]));
+        h.add("   ");
+        assert_eq!(h.app.todos().len(), 1);
+        assert_eq!(h.app.todos()[0].text, "   ");
+    }
+
+    #[test]
+    fn toggling_and_count_text() {
+        let mut h = Harness::new(TodoMvc::correct());
+        h.add("a");
+        h.add("b");
+        assert_eq!(h.texts(".todo-count"), vec!["2 items left"]);
+        h.send("toggle:0", Payload::None);
+        assert_eq!(h.texts(".todo-count"), vec!["1 item left"]);
+        assert_eq!(h.count(".todo-list li.completed"), 1);
+        assert_eq!(h.count(".toggle:checked"), 1);
+    }
+
+    #[test]
+    fn fault6_always_pluralizes() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::BadPluralization]));
+        h.add("a");
+        assert_eq!(h.texts(".todo-count"), vec!["1 items left"]);
+    }
+
+    #[test]
+    fn fault3_has_no_strong() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::MissingStrongElement]));
+        h.add("a");
+        assert_eq!(h.count(".todo-count strong"), 0);
+        let mut ok = Harness::new(TodoMvc::correct());
+        ok.add("a");
+        assert_eq!(ok.count(".todo-count strong"), 1);
+    }
+
+    #[test]
+    fn filters_show_the_right_items() {
+        let mut h = Harness::new(TodoMvc::correct());
+        h.add("active one");
+        h.add("done one");
+        h.send("toggle:1", Payload::None);
+        h.send("filter:active", Payload::None);
+        assert_eq!(h.texts(".todo-list li label"), vec!["active one"]);
+        h.send("filter:completed", Payload::None);
+        assert_eq!(h.texts(".todo-list li label"), vec!["done one"]);
+        h.send("filter:all", Payload::None);
+        assert_eq!(h.count(".todo-list li"), 2);
+    }
+
+    #[test]
+    fn fault7_clears_pending_on_filter_change() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::PendingCleared]));
+        h.send("pending", Payload::Text("half-typed".into()));
+        h.send("filter:active", Payload::None);
+        assert_eq!(h.app.pending, "");
+        let mut ok = Harness::new(TodoMvc::correct());
+        ok.send("pending", Payload::Text("half-typed".into()));
+        ok.send("filter:active", Payload::None);
+        assert_eq!(ok.app.pending, "half-typed");
+    }
+
+    #[test]
+    fn fault8_commits_pending_on_toggle_all() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::PendingCommitted]));
+        h.add("existing");
+        h.send("pending", Payload::Text("sneaky".into()));
+        h.send("toggle-all", Payload::None);
+        assert_eq!(h.app.todos().len(), 2);
+        assert_eq!(h.app.todos()[1].text, "sneaky");
+    }
+
+    #[test]
+    fn toggle_all_checks_and_unchecks_everything() {
+        let mut h = Harness::new(TodoMvc::correct());
+        h.add("a");
+        h.add("b");
+        h.send("toggle-all", Payload::None);
+        assert!(h.app.todos().iter().all(|t| t.completed));
+        h.send("toggle-all", Payload::None);
+        assert!(h.app.todos().iter().all(|t| !t.completed));
+    }
+
+    #[test]
+    fn fault9_untoggle_misses_hidden_items() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::ToggleAllIgnoresHidden]));
+        h.add("a");
+        h.add("b");
+        h.send("toggle-all", Payload::None); // all completed
+        h.send("filter:active", Payload::None); // nothing visible
+        h.send("toggle-all", Payload::None); // should untoggle all …
+        assert!(
+            h.app.todos().iter().all(|t| t.completed),
+            "fault: hidden items stayed completed"
+        );
+    }
+
+    #[test]
+    fn fault10_toggle_all_hidden_when_filter_empty() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::ToggleAllHiddenByFilter]));
+        h.add("a");
+        h.send("toggle:0", Payload::None);
+        h.send("filter:active", Payload::None); // no active items visible
+        assert_eq!(h.count(".toggle-all"), 0, "toggle-all vanished");
+        let mut ok = Harness::new(TodoMvc::correct());
+        ok.add("a");
+        ok.send("toggle:0", Payload::None);
+        ok.send("filter:active", Payload::None);
+        assert_eq!(ok.count(".toggle-all"), 1);
+    }
+
+    #[test]
+    fn editing_commits_and_aborts() {
+        let mut h = Harness::new(TodoMvc::correct());
+        h.add("original");
+        h.send("edit:0", Payload::None);
+        assert_eq!(h.count(".todo-list li.editing"), 1);
+        assert_eq!(h.count(".edit:focus"), 1);
+        h.send("edit-input", Payload::Text("changed".into()));
+        h.send("edit-key", Payload::Key("Enter".into()));
+        assert_eq!(h.app.todos()[0].text, "changed");
+        // Abort path: text reverts.
+        h.send("edit:0", Payload::None);
+        h.send("edit-input", Payload::Text("nope".into()));
+        h.send("edit-key", Payload::Key("Escape".into()));
+        assert_eq!(h.app.todos()[0].text, "changed");
+    }
+
+    #[test]
+    fn fault5_edit_input_unfocused() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::EditNotFocused]));
+        h.add("x");
+        h.send("edit:0", Payload::None);
+        assert_eq!(h.count(".edit:focus"), 0);
+    }
+
+    #[test]
+    fn committing_empty_edit_deletes_item() {
+        let mut h = Harness::new(TodoMvc::correct());
+        h.add("to be deleted");
+        h.send("edit:0", Payload::None);
+        h.send("edit-input", Payload::Text("  ".into()));
+        h.send("edit-key", Payload::Key("Enter".into()));
+        assert!(h.app.todos().is_empty());
+        h.send("toggle-all", Payload::None);
+        assert!(h.app.todos().is_empty(), "no resurrection");
+    }
+
+    #[test]
+    fn fault11_zombie_resurrected_by_toggle_all() {
+        // The involved reproduction from §4.2: create, edit to empty,
+        // commit, then toggle-all brings it back.
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::EmptyEditZombie]));
+        h.add("lazarus");
+        h.send("edit:0", Payload::None);
+        h.send("edit-input", Payload::Text("".into()));
+        h.send("edit-key", Payload::Key("Enter".into()));
+        assert_eq!(h.count(".todo-list li"), 0, "looks deleted");
+        // Filters are still visible (the footer remains), per the paper.
+        assert_eq!(h.count(".filters"), 1);
+        h.send("toggle-all", Payload::None);
+        assert_eq!(h.app.todos().len(), 1);
+        assert_eq!(h.app.todos()[0].text, "lazarus");
+    }
+
+    #[test]
+    fn fault12_editing_hides_others() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::EditingHidesOthers]));
+        h.add("a");
+        h.add("b");
+        h.send("edit:0", Payload::None);
+        assert_eq!(h.count(".todo-list li"), 1);
+    }
+
+    #[test]
+    fn fault13_add_resets_filter() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::AddResetsFilter]));
+        h.add("a");
+        h.send("filter:active", Payload::None);
+        h.add("b");
+        assert_eq!(h.app.filter, Filter::All);
+    }
+
+    #[test]
+    fn fault14_add_flashes_empty() {
+        let mut h = Harness::new(TodoMvc::with_faults([Fault::AddShowsEmptyFirst]));
+        h.add("a");
+        assert_eq!(h.count(".todo-list li"), 0, "transient empty state");
+        // The zero-delay timer restores the list.
+        let fired = h.clock.advance(1);
+        for (_, tag) in fired {
+            let mut ctx = AppCtx {
+                clock: &mut h.clock,
+                storage: &mut h.storage,
+            };
+            h.app.on_timer(&tag, &mut ctx);
+        }
+        assert_eq!(h.count(".todo-list li"), 1);
+    }
+
+    #[test]
+    fn faults1_and_2_remove_ui() {
+        let mut h = Harness::new(TodoMvc::with_faults([
+            Fault::NoCheckboxes,
+            Fault::NoFilters,
+        ]));
+        h.add("a");
+        assert_eq!(h.count(".toggle"), 0);
+        assert_eq!(h.count(".filters"), 0);
+        let mut ok = Harness::new(TodoMvc::correct());
+        ok.add("a");
+        assert_eq!(ok.count(".toggle"), 1);
+        assert_eq!(ok.count(".filters"), 1);
+    }
+
+    #[test]
+    fn destroy_removes_and_clear_completed_works() {
+        let mut h = Harness::new(TodoMvc::correct());
+        h.add("a");
+        h.add("b");
+        h.add("c");
+        h.send("toggle:1", Payload::None);
+        h.send("clear-completed", Payload::None);
+        assert_eq!(
+            h.app.todos().iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["a", "c"]
+        );
+        h.send("destroy:0", Payload::None);
+        assert_eq!(h.app.todos()[0].text, "c");
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let mut clock = VirtualClock::new();
+        let mut storage = LocalStorage::new();
+        let mut app = TodoMvc::correct();
+        {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.start(&mut ctx);
+            app.on_event("pending", &Payload::Text("persist me".into()), &mut ctx);
+            app.on_event("new-key", &Payload::Key("Enter".into()), &mut ctx);
+            app.on_event("toggle:0", &Payload::None, &mut ctx);
+        }
+        // A "reload": fresh app, same storage.
+        let mut app2 = TodoMvc::correct();
+        let mut ctx = AppCtx {
+            clock: &mut clock,
+            storage: &mut storage,
+        };
+        app2.start(&mut ctx);
+        assert_eq!(app2.todos().len(), 1);
+        assert_eq!(app2.todos()[0].text, "persist me");
+        assert!(app2.todos()[0].completed);
+    }
+
+    #[test]
+    fn variations_do_not_change_observable_state() {
+        let variation = Variation {
+            wrapper_depth: 3,
+            storage_key: "todos-vue".into(),
+            info_footer: true,
+        };
+        let mut h = Harness::new(TodoMvc::correct().with_variation(variation));
+        h.add("same");
+        assert_eq!(h.texts(".todo-list li label"), vec!["same"]);
+        assert_eq!(h.count(".todoapp"), 1);
+        assert_eq!(h.texts(".todo-count"), vec!["1 item left"]);
+    }
+
+    #[test]
+    fn empty_list_hides_main_and_footer() {
+        let h = Harness::new(TodoMvc::correct());
+        assert_eq!(h.count(".main"), 0);
+        assert_eq!(h.count(".footer"), 0);
+        assert_eq!(h.count(".new-todo"), 1);
+    }
+
+    #[test]
+    fn fault_metadata_is_consistent() {
+        assert_eq!(Fault::all().len(), 14);
+        for (i, f) in Fault::all().iter().enumerate() {
+            assert_eq!(f.number() as usize, i + 1);
+            assert!(!f.description().is_empty());
+        }
+    }
+}

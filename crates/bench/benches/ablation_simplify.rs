@@ -1,0 +1,47 @@
+//! Ablation A1 (timing side): per-step progression cost with the full
+//! simplifier vs with idempotence dedup disabled. Complements the
+//! formula-size measurements printed by `evalharness ablation-simplify`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quickstrom::quickltl::{Evaluator, Formula, SimplifyMode};
+
+fn accumulating_formula() -> Formula<char> {
+    // □₀ (p → ◇₀ (q ∧ ◇₀ r)) — spawns one eventuality per state when p
+    // holds and q/r never do; dedup keeps the residual constant-size.
+    Formula::always(
+        0u32,
+        Formula::atom('p').implies(Formula::eventually(
+            0u32,
+            Formula::atom('q').and(Formula::eventually(0u32, Formula::atom('r'))),
+        )),
+    )
+}
+
+fn run(mode: SimplifyMode, states: usize) {
+    let mut ev = Evaluator::with_mode(accumulating_formula(), mode);
+    for _ in 0..states {
+        ev.observe::<std::convert::Infallible>(&mut |p| Ok(*p == 'p'))
+            .expect("infallible");
+    }
+    std::hint::black_box(ev.residual().map(Formula::size));
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_simplify");
+    for states in [50usize, 200] {
+        group.bench_with_input(
+            BenchmarkId::new("full", states),
+            &states,
+            |b, &s| b.iter(|| run(SimplifyMode::Full, s)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("no_dedup", states),
+            &states,
+            |b, &s| b.iter(|| run(SimplifyMode::NoDedup, s)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

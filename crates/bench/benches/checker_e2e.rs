@@ -1,0 +1,64 @@
+//! End-to-end checking cost: one full TodoMVC run (spec compile, session,
+//! formula progression over every state) and one egg-timer run — the unit
+//! of work behind every cell of Table 1 and Figure 13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quickstrom::prelude::*;
+use quickstrom::quickstrom_apps::{registry, EggTimer};
+
+fn bench_todomvc_run(c: &mut Criterion) {
+    let entry = registry::by_name("vue").expect("registry entry");
+    let spec = quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
+    let options = CheckOptions::default()
+        .with_tests(1)
+        .with_max_actions(50)
+        .with_default_demand(40)
+        .with_seed(1)
+        .with_shrink(false);
+    c.bench_function("todomvc_single_run", |b| {
+        b.iter(|| {
+            let report = check_spec(&spec, &options, &mut || {
+                Box::new(WebExecutor::new(|| entry.build()))
+            })
+            .expect("no protocol errors");
+            std::hint::black_box(report.passed())
+        });
+    });
+}
+
+fn bench_spec_compile(c: &mut Criterion) {
+    c.bench_function("todomvc_spec_compile", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("compiles"),
+            )
+        });
+    });
+}
+
+fn bench_egg_timer_run(c: &mut Criterion) {
+    let spec_src = quickstrom::specs::EGG_TIMER;
+    let spec = quickstrom::specstrom::load(spec_src).expect("spec compiles");
+    let options = CheckOptions::default()
+        .with_tests(1)
+        .with_max_actions(450)
+        .with_default_demand(100)
+        .with_seed(2)
+        .with_shrink(false);
+    c.bench_function("egg_timer_full_spec", |b| {
+        b.iter(|| {
+            let report = check_spec(&spec, &options, &mut || {
+                Box::new(WebExecutor::new(EggTimer::new))
+            })
+            .expect("no protocol errors");
+            std::hint::black_box(report.passed())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_todomvc_run, bench_spec_compile, bench_egg_timer_run
+}
+criterion_main!(benches);

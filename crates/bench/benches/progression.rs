@@ -1,0 +1,57 @@
+//! Ablation A3: formula progression throughput (states/second) as formula
+//! depth and demand size vary — the practicality claim of §2.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quickstrom::quickltl::{Evaluator, Formula};
+
+/// A nested safety/liveness formula of the shape the TodoMVC spec uses:
+/// `□ₙ (p → ◇ₖ (q ∧ Xw r))`, at increasing nesting depth.
+fn nested_formula(depth: usize, demand: u32) -> Formula<char> {
+    let mut body = Formula::atom('q').and(Formula::atom('r').weak_next());
+    for _ in 0..depth {
+        body = Formula::atom('p').implies(Formula::eventually(demand, body));
+    }
+    Formula::always(demand, body)
+}
+
+/// Drives the evaluator over a deterministic pseudo-random trace.
+fn progress_states(formula: &Formula<char>, states: usize) {
+    let mut ev = Evaluator::new(formula.clone());
+    let mut x: u32 = 0x2545_f491;
+    for _ in 0..states {
+        // xorshift for a cheap, deterministic state stream
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        let bits = x;
+        ev.observe::<std::convert::Infallible>(&mut |p| {
+            Ok(match p {
+                'p' => bits & 1 == 0,
+                'q' => bits & 2 == 0,
+                _ => bits & 4 == 0,
+            })
+        })
+        .expect("infallible");
+    }
+    std::hint::black_box(ev.outcome());
+}
+
+fn bench_progression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("progression");
+    const STATES: usize = 500;
+    group.throughput(Throughput::Elements(STATES as u64));
+    for depth in [1usize, 2, 3] {
+        for demand in [0u32, 10, 100] {
+            let formula = nested_formula(depth, demand);
+            group.bench_with_input(
+                BenchmarkId::new(format!("depth{depth}"), format!("demand{demand}")),
+                &formula,
+                |b, f| b.iter(|| progress_states(f, STATES)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_progression);
+criterion_main!(benches);

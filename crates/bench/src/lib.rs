@@ -1,0 +1,215 @@
+//! # quickstrom-bench
+//!
+//! Shared machinery for the evaluation harness (`evalharness` binary) and
+//! the Criterion benchmarks: running the TodoMVC registry sweep (Tables 1
+//! and 2), the subscript sweep (Figure 13), and the ablations of
+//! DESIGN.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use quickstrom::prelude::*;
+use quickstrom::quickstrom_apps::registry::{Entry, REGISTRY};
+use std::time::Instant;
+
+/// The result of checking one registry implementation.
+#[derive(Debug, Clone)]
+pub struct ImplResult {
+    /// Implementation name.
+    pub name: &'static str,
+    /// Did the whole check pass?
+    pub passed: bool,
+    /// Table 1's expectation.
+    pub expected_to_fail: bool,
+    /// Wall-clock seconds spent checking.
+    pub wall_s: f64,
+    /// Total states observed.
+    pub states: usize,
+    /// Fault numbers injected into this implementation.
+    pub fault_numbers: Vec<u8>,
+}
+
+impl ImplResult {
+    /// Does the observed verdict agree with Table 1?
+    #[must_use]
+    pub fn agrees_with_paper(&self) -> bool {
+        self.passed != self.expected_to_fail
+    }
+}
+
+/// Checks one registry entry against the bundled TodoMVC specification.
+///
+/// # Panics
+///
+/// Panics if the bundled specification fails to compile or the checker
+/// reports a protocol error — both indicate a build problem, not a test
+/// failure.
+#[must_use]
+pub fn check_entry(entry: &'static Entry, options: &CheckOptions) -> ImplResult {
+    let spec = quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("bundled spec compiles");
+    let started = Instant::now();
+    let report = check_spec(&spec, options, &mut || {
+        Box::new(WebExecutor::new(|| entry.build()))
+    })
+    .expect("no protocol errors");
+    let states = report.properties.iter().map(|p| p.states_total).sum();
+    ImplResult {
+        name: entry.name,
+        passed: report.passed(),
+        expected_to_fail: entry.expected_to_fail(),
+        wall_s: started.elapsed().as_secs_f64(),
+        states,
+        fault_numbers: entry.faults.iter().map(|f| f.number()).collect(),
+    }
+}
+
+/// Checks the entire registry, in order.
+#[must_use]
+pub fn sweep_registry(options: &CheckOptions) -> Vec<ImplResult> {
+    REGISTRY.iter().map(|e| check_entry(e, options)).collect()
+}
+
+/// One point of the Figure 13 sweep.
+#[derive(Debug, Clone)]
+pub struct SubscriptPoint {
+    /// The temporal-operator subscript (trace length), Figure 13's x axis.
+    pub subscript: u32,
+    /// Percentage of checking sessions on faulty implementations that
+    /// unexpectedly passed.
+    pub false_negative_pct: f64,
+    /// Mean wall-clock seconds per session on passing implementations.
+    pub passing_wall_s: f64,
+    /// Mean virtual milliseconds of "user interaction" per passing run —
+    /// the deterministic analogue of the paper's running time, dominated
+    /// (as in the paper) by waiting for the application rather than by
+    /// hardware speed.
+    pub passing_virtual_ms: f64,
+    /// Sessions run against faulty implementations.
+    pub faulty_sessions: usize,
+}
+
+/// Runs the Figure 13 sweep for one subscript value.
+///
+/// Each *session* checks one implementation with `runs_per_session` test
+/// runs at demand `subscript` (the run length the formula demands). The
+/// false-negative rate counts sessions on faulty implementations that
+/// found nothing; the running time is measured on passing implementations
+/// only — exactly the paper's methodology (§4.3: failing runs exit early,
+/// so passing cases dominate the time, and only false *negatives* are
+/// possible for a safety-only specification).
+#[must_use]
+pub fn figure13_point(subscript: u32, sessions: usize, runs_per_session: usize) -> SubscriptPoint {
+    let mut faulty_sessions = 0usize;
+    let mut false_negatives = 0usize;
+    for entry in REGISTRY.iter().filter(|e| e.expected_to_fail()) {
+        for session in 0..sessions {
+            let options = CheckOptions::default()
+                .with_tests(runs_per_session)
+                .with_max_actions(subscript as usize + 10)
+                .with_default_demand(subscript)
+                .with_seed(0xF16 ^ ((session as u64) << 8) ^ u64::from(subscript))
+                .with_shrink(false);
+            let result = check_entry(entry, &options);
+            faulty_sessions += 1;
+            if result.passed {
+                false_negatives += 1;
+            }
+        }
+    }
+
+    // Running time on (a sample of) passing implementations.
+    let mut wall = Vec::new();
+    let mut virtual_ms = Vec::new();
+    for entry in REGISTRY.iter().filter(|e| !e.expected_to_fail()).take(5) {
+        let spec = quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
+        let options = CheckOptions::default()
+            .with_tests(runs_per_session)
+            .with_max_actions(subscript as usize + 10)
+            .with_default_demand(subscript)
+            .with_seed(u64::from(subscript))
+            .with_shrink(false);
+        let started = Instant::now();
+        // Track virtual time by keeping the last executor alive per run.
+        let report = check_spec(&spec, &options, &mut || {
+            Box::new(WebExecutor::new(|| entry.build()))
+        })
+        .expect("no protocol errors");
+        assert!(report.passed(), "{}: {report}", entry.name);
+        wall.push(started.elapsed().as_secs_f64());
+        // Virtual interaction time: one deliberation millisecond per
+        // action plus waits; approximate from states (1ms per message).
+        let states: usize = report.properties.iter().map(|p| p.states_total).sum();
+        virtual_ms.push(states as f64);
+    }
+    #[allow(clippy::cast_precision_loss)]
+    SubscriptPoint {
+        subscript,
+        false_negative_pct: if faulty_sessions == 0 {
+            0.0
+        } else {
+            100.0 * false_negatives as f64 / faulty_sessions as f64
+        },
+        passing_wall_s: wall.iter().sum::<f64>() / wall.len().max(1) as f64,
+        passing_virtual_ms: virtual_ms.iter().sum::<f64>() / virtual_ms.len().max(1) as f64,
+        faulty_sessions,
+    }
+}
+
+/// The Table 2 fault descriptions, for printing.
+#[must_use]
+pub fn fault_description(number: u8) -> &'static str {
+    quickstrom::quickstrom_apps::Fault::all()
+        .iter()
+        .find(|f| f.number() == number)
+        .map_or("?", |f| f.description())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quickstrom::quickstrom_apps::registry;
+    
+
+    fn quick_options() -> CheckOptions {
+        CheckOptions::default()
+            .with_tests(25)
+            .with_max_actions(50)
+            .with_default_demand(40)
+            .with_seed(1)
+            .with_shrink(false)
+    }
+
+    #[test]
+    fn passing_entry_checks_clean() {
+        let result = check_entry(registry::by_name("vue").unwrap(), &quick_options());
+        assert!(result.passed);
+        assert!(result.agrees_with_paper());
+        assert!(result.states > 0);
+    }
+
+    #[test]
+    fn failing_entry_is_flagged() {
+        let result = check_entry(
+            registry::by_name("elm").unwrap(),
+            &quick_options(),
+        );
+        assert!(!result.passed);
+        assert!(result.agrees_with_paper());
+        assert_eq!(result.fault_numbers, vec![7]);
+    }
+
+    #[test]
+    fn figure13_point_runs() {
+        // A tiny configuration just to exercise the plumbing.
+        let point = figure13_point(8, 1, 1);
+        assert_eq!(point.subscript, 8);
+        assert_eq!(point.faulty_sessions, 20);
+        assert!(point.false_negative_pct >= 0.0);
+    }
+
+    #[test]
+    fn fault_descriptions_resolve() {
+        assert!(fault_description(7).contains("pending input"));
+        assert_eq!(fault_description(99), "?");
+    }
+}

@@ -1,0 +1,279 @@
+//! A Quickstrom executor that interprets CCS models (§3.4).
+//!
+//! "To simplify testing of our Specstrom interpreter we have also
+//! implemented another executor, which interprets models written in
+//! Milner's Calculus of Communicating Systems." Nothing about the checker
+//! is WebDriver-specific, and this executor proves it: the same checker,
+//! protocol and specifications drive a process-calculus model instead of a
+//! DOM.
+//!
+//! ## State projection conventions
+//!
+//! The "UI" of a CCS process is projected through pseudo-selectors:
+//!
+//! * `#state` — one element whose text is the canonical process term;
+//! * `.act-<label>` — one element per *enabled input action* `label`;
+//! * `.out-<label>` — one element per *enabled output action* `'label`.
+//!
+//! Clicking `.act-x`/`.out-x` performs the corresponding transition.
+//! Internal activity is modelled by τ-transitions, which the executor
+//! performs greedily (deterministically, first-transition-first, up to a
+//! bound) after every user action — the weak-transition view of the model.
+
+use crate::semantics::{transitions, SemanticsError};
+use crate::syntax::{Action, Definitions, Process};
+use quickstrom_protocol::{
+    ActionKind, CheckerMsg, ElementState, Executor, ExecutorMsg, Selector, StateSnapshot,
+};
+
+/// How many τ-steps are absorbed after each action before we conclude the
+/// model τ-diverges.
+const MAX_TAU_STEPS: usize = 32;
+
+/// An executor interpreting a CCS model.
+#[derive(Debug, Clone)]
+pub struct CcsExecutor {
+    defs: Definitions,
+    initial: Process,
+    current: Process,
+    dependencies: Vec<Selector>,
+    trace_len: u64,
+}
+
+impl CcsExecutor {
+    /// Creates an executor for the given definitions, starting at `entry`.
+    #[must_use]
+    pub fn new(defs: Definitions, entry: Process) -> Self {
+        CcsExecutor {
+            defs,
+            current: entry.clone(),
+            initial: entry,
+            dependencies: Vec::new(),
+            trace_len: 0,
+        }
+    }
+
+    /// The current process term (for tests).
+    #[must_use]
+    pub fn current(&self) -> &Process {
+        &self.current
+    }
+
+    fn enabled(&self) -> Result<Vec<(Action, Process)>, SemanticsError> {
+        transitions(&self.current, &self.defs)
+    }
+
+    /// Absorbs τ-transitions greedily.
+    fn stabilise(&mut self) {
+        for _ in 0..MAX_TAU_STEPS {
+            let Ok(trans) = self.enabled() else { return };
+            match trans.into_iter().find(|(a, _)| *a == Action::Tau) {
+                Some((_, next)) => self.current = next,
+                None => return,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        let mut snap = StateSnapshot::new();
+        let enabled = self.enabled().unwrap_or_default();
+        for selector in &self.dependencies {
+            let sel = selector.as_str();
+            let elements: Vec<ElementState> = if sel == "#state" {
+                vec![ElementState::with_text(self.current.to_string())]
+            } else if let Some(label) = sel.strip_prefix(".act-") {
+                enabled
+                    .iter()
+                    .filter(|(a, _)| matches!(a, Action::In(l) if l == label))
+                    .map(|_| ElementState::with_text(label))
+                    .collect()
+            } else if let Some(label) = sel.strip_prefix(".out-") {
+                enabled
+                    .iter()
+                    .filter(|(a, _)| matches!(a, Action::Out(l) if l == label))
+                    .map(|_| ElementState::with_text(format!("'{label}")))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            snap.queries.insert(selector.clone(), elements);
+        }
+        snap
+    }
+
+    /// Performs the transition selected by a click on `selector`.
+    fn perform(&mut self, selector: &Selector) {
+        let sel = selector.as_str();
+        let wanted: Option<Action> = sel
+            .strip_prefix(".act-")
+            .map(|l| Action::In(l.to_owned()))
+            .or_else(|| sel.strip_prefix(".out-").map(|l| Action::Out(l.to_owned())));
+        let Some(wanted) = wanted else { return };
+        let Ok(trans) = self.enabled() else { return };
+        if let Some((_, next)) = trans.into_iter().find(|(a, _)| *a == wanted) {
+            self.current = next;
+            self.stabilise();
+        }
+        // Clicking a non-enabled pseudo-element is a no-op, like clicking a
+        // vanished DOM node.
+    }
+}
+
+impl Executor for CcsExecutor {
+    fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg> {
+        match msg {
+            CheckerMsg::Start { dependencies } => {
+                self.dependencies = dependencies;
+                self.current = self.initial.clone();
+                self.stabilise();
+                self.trace_len = 1;
+                vec![ExecutorMsg::Event {
+                    event: "loaded?".to_owned(),
+                    detail: Vec::new(),
+                    state: self.snapshot(),
+                }]
+            }
+            CheckerMsg::Act { action, version } => {
+                if version < self.trace_len {
+                    return Vec::new();
+                }
+                match &action.kind {
+                    ActionKind::Click => {
+                        if let Some((selector, _)) = &action.target {
+                            self.perform(selector);
+                        }
+                    }
+                    ActionKind::Reload => {
+                        self.current = self.initial.clone();
+                        self.stabilise();
+                    }
+                    // Only clicks are meaningful against a process algebra.
+                    _ => {}
+                }
+                self.trace_len += 1;
+                vec![ExecutorMsg::Acted {
+                    state: self.snapshot(),
+                }]
+            }
+            CheckerMsg::Wait { version, .. } => {
+                if version < self.trace_len {
+                    return Vec::new();
+                }
+                // CCS models have no clock: a wait always times out.
+                self.trace_len += 1;
+                vec![ExecutorMsg::Timeout {
+                    state: self.snapshot(),
+                }]
+            }
+            CheckerMsg::End => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_definitions;
+    use quickstrom_protocol::ActionInstance;
+
+    fn vending() -> CcsExecutor {
+        let (defs, main) =
+            parse_definitions("Vend = coin.(tea.Vend + coffee.Vend);").unwrap();
+        CcsExecutor::new(defs, Process::Const(main))
+    }
+
+    fn deps() -> Vec<Selector> {
+        vec![
+            Selector::new("#state"),
+            Selector::new(".act-coin"),
+            Selector::new(".act-tea"),
+            Selector::new(".act-coffee"),
+        ]
+    }
+
+    fn click(sel: &str, version: u64) -> CheckerMsg {
+        CheckerMsg::Act {
+            action: ActionInstance::targeted("go!", ActionKind::Click, sel, 0),
+            version,
+        }
+    }
+
+    #[test]
+    fn start_projects_enabled_actions() {
+        let mut e = vending();
+        let r = e.send(CheckerMsg::Start {
+            dependencies: deps(),
+        });
+        let state = r[0].state();
+        assert_eq!(state.matches(&".act-coin".into()).len(), 1);
+        assert_eq!(state.matches(&".act-tea".into()).len(), 0);
+        assert_eq!(state.first(&"#state".into()).unwrap().text, "Vend");
+    }
+
+    #[test]
+    fn clicking_performs_transitions() {
+        let mut e = vending();
+        e.send(CheckerMsg::Start {
+            dependencies: deps(),
+        });
+        let r = e.send(click(".act-coin", 1));
+        let state = r[0].state();
+        assert_eq!(state.matches(&".act-coin".into()).len(), 0);
+        assert_eq!(state.matches(&".act-tea".into()).len(), 1);
+        assert_eq!(state.matches(&".act-coffee".into()).len(), 1);
+        let r2 = e.send(click(".act-tea", 2));
+        assert_eq!(r2[0].state().matches(&".act-coin".into()).len(), 1);
+    }
+
+    #[test]
+    fn disabled_clicks_are_noops() {
+        let mut e = vending();
+        e.send(CheckerMsg::Start {
+            dependencies: deps(),
+        });
+        let r = e.send(click(".act-tea", 1));
+        assert_eq!(r[0].state().first(&"#state".into()).unwrap().text, "Vend");
+    }
+
+    #[test]
+    fn tau_steps_are_absorbed() {
+        // (a.'b.0 | b.c.0) \ {b}: after `a`, the b-communication is a τ
+        // that fires automatically, enabling `c`.
+        let (defs, main) =
+            parse_definitions("Sys = (a.'b.0 | b.c.0) \\ {b};").unwrap();
+        let mut e = CcsExecutor::new(defs, Process::Const(main));
+        e.send(CheckerMsg::Start {
+            dependencies: vec![Selector::new(".act-a"), Selector::new(".act-c")],
+        });
+        let r = e.send(click(".act-a", 1));
+        assert_eq!(r[0].state().matches(&".act-c".into()).len(), 1);
+    }
+
+    #[test]
+    fn stale_acts_are_ignored_and_waits_time_out() {
+        let mut e = vending();
+        e.send(CheckerMsg::Start {
+            dependencies: deps(),
+        });
+        assert!(e.send(click(".act-coin", 0)).is_empty());
+        let r = e.send(CheckerMsg::Wait {
+            time_ms: 100,
+            version: 1,
+        });
+        assert!(matches!(r[0], ExecutorMsg::Timeout { .. }));
+    }
+
+    #[test]
+    fn reload_returns_to_the_initial_process() {
+        let mut e = vending();
+        e.send(CheckerMsg::Start {
+            dependencies: deps(),
+        });
+        e.send(click(".act-coin", 1));
+        let r = e.send(CheckerMsg::Act {
+            action: ActionInstance::untargeted("reload!", ActionKind::Reload),
+            version: 2,
+        });
+        assert_eq!(r[0].state().first(&"#state".into()).unwrap().text, "Vend");
+    }
+}

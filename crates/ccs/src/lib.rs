@@ -1,0 +1,34 @@
+//! # ccs
+//!
+//! Milner's Calculus of Communicating Systems: terms, a parser, the
+//! structural operational semantics, and a Quickstrom [`CcsExecutor`]
+//! (paper §3.4 — "another executor, which interprets models written in
+//! Milner's Calculus of Communicating Systems").
+//!
+//! ## Example
+//!
+//! ```
+//! use ccs::{parse_definitions, transitions, Process};
+//!
+//! let (defs, main) = parse_definitions(
+//!     "Vend = coin.(tea.Vend + coffee.Vend);",
+//! )
+//! .unwrap();
+//! let start = Process::Const(main);
+//! let steps = transitions(&start, &defs).unwrap();
+//! assert_eq!(steps.len(), 1); // only `coin` is enabled
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod executor;
+pub mod parser;
+pub mod semantics;
+pub mod syntax;
+
+pub use executor::CcsExecutor;
+pub use parser::{parse_definitions, parse_process, ParseCcsError};
+pub use semantics::{enabled_labels, transitions, SemanticsError};
+pub use syntax::{Action, Definitions, Process};

@@ -1,0 +1,329 @@
+//! A parser for CCS terms and definition files.
+//!
+//! Grammar:
+//!
+//! ```text
+//! file    := (def)*
+//! def     := NAME '=' sum ';'
+//! sum     := par ('+' par)*
+//! par     := post ('|' post)*
+//! post    := prim ('\' '{' labels '}' | '[' renames ']')*
+//! prim    := '0' | action '.' post | NAME | '(' sum ')'
+//! action  := 'tau' | label | '\'' label
+//! label   := lowercase ident        NAME := Uppercase ident
+//! renames := label '/' label (',' label '/' label)*
+//! ```
+//!
+//! Identifiers starting with an uppercase letter are process constants;
+//! lowercase identifiers are channel labels. `'a` is the output co-action.
+
+use crate::syntax::{Action, Definitions, Process};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A CCS parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCcsError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CCS parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseCcsError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseCcsError {
+        ParseCcsError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let bytes = self.src.as_bytes();
+        loop {
+            while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // Line comments.
+            if self.src[self.pos..].starts_with("//") {
+                while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseCcsError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {c:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseCcsError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len()
+            && ((bytes[self.pos] as char).is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            Err(self.error("expected an identifier"))
+        } else {
+            Ok(self.src[start..self.pos].to_owned())
+        }
+    }
+
+    fn sum(&mut self) -> Result<Process, ParseCcsError> {
+        let mut out = self.par()?;
+        while self.peek() == Some('+') {
+            self.pos += 1;
+            let rhs = self.par()?;
+            out = Process::sum(out, rhs);
+        }
+        Ok(out)
+    }
+
+    fn par(&mut self) -> Result<Process, ParseCcsError> {
+        let mut out = self.post()?;
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            let rhs = self.post()?;
+            out = Process::par(out, rhs);
+        }
+        Ok(out)
+    }
+
+    fn post(&mut self) -> Result<Process, ParseCcsError> {
+        let mut out = self.prim()?;
+        loop {
+            match self.peek() {
+                Some('\\') => {
+                    self.pos += 1;
+                    self.expect('{')?;
+                    let mut labels = BTreeSet::new();
+                    loop {
+                        labels.insert(self.ident()?);
+                        if !self.eat(',') {
+                            break;
+                        }
+                    }
+                    self.expect('}')?;
+                    out = Process::Restrict(Box::new(out), labels);
+                }
+                Some('[') => {
+                    self.pos += 1;
+                    let mut map = BTreeMap::new();
+                    loop {
+                        let to = self.ident()?;
+                        self.expect('/')?;
+                        let from = self.ident()?;
+                        map.insert(from, to);
+                        if !self.eat(',') {
+                            break;
+                        }
+                    }
+                    self.expect(']')?;
+                    out = Process::Rename(Box::new(out), map);
+                }
+                _ => break,
+            }
+        }
+        Ok(out)
+    }
+
+    fn prim(&mut self) -> Result<Process, ParseCcsError> {
+        match self.peek() {
+            Some('0') => {
+                self.pos += 1;
+                Ok(Process::Nil)
+            }
+            Some('(') => {
+                self.pos += 1;
+                let inner = self.sum()?;
+                self.expect(')')?;
+                Ok(inner)
+            }
+            Some('\'') => {
+                self.pos += 1;
+                let label = self.ident()?;
+                self.expect('.')?;
+                let rest = self.post()?;
+                Ok(Process::prefix(Action::Out(label), rest))
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                let word = self.ident()?;
+                if word == "tau" {
+                    self.expect('.')?;
+                    let rest = self.post()?;
+                    Ok(Process::prefix(Action::Tau, rest))
+                } else if word.chars().next().is_some_and(char::is_uppercase) {
+                    Ok(Process::Const(word))
+                } else {
+                    self.expect('.')?;
+                    let rest = self.post()?;
+                    Ok(Process::prefix(Action::In(word), rest))
+                }
+            }
+            _ => Err(self.error("expected a process")),
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+}
+
+/// Parses a single process term.
+///
+/// # Errors
+///
+/// Returns [`ParseCcsError`] on malformed input or trailing characters.
+///
+/// # Examples
+///
+/// ```
+/// use ccs::parse_process;
+/// let p = parse_process("coin.(tea.0 + coffee.0)").unwrap();
+/// assert_eq!(p.to_string(), "coin.(tea.0 + coffee.0)");
+/// ```
+pub fn parse_process(src: &str) -> Result<Process, ParseCcsError> {
+    let mut parser = Parser { src, pos: 0 };
+    let p = parser.sum()?;
+    if !parser.at_end() {
+        return Err(parser.error("trailing input after process"));
+    }
+    Ok(p)
+}
+
+/// Parses a definition file; returns the definitions and the name of the
+/// first-defined process (the conventional entry point).
+///
+/// # Errors
+///
+/// Returns [`ParseCcsError`] on malformed definitions or an empty file.
+///
+/// # Examples
+///
+/// ```
+/// use ccs::parse_definitions;
+/// let (defs, main) = parse_definitions(
+///     "Vend = coin.Serve;\n\
+///      Serve = tea.Vend + coffee.Vend;",
+/// )
+/// .unwrap();
+/// assert_eq!(main, "Vend");
+/// assert_eq!(defs.len(), 2);
+/// ```
+pub fn parse_definitions(src: &str) -> Result<(Definitions, String), ParseCcsError> {
+    let mut parser = Parser { src, pos: 0 };
+    let mut defs = Definitions::new();
+    let mut first = None;
+    while !parser.at_end() {
+        let name = parser.ident()?;
+        if !name.chars().next().is_some_and(char::is_uppercase) {
+            return Err(parser.error(format!(
+                "process constants start uppercase, got {name}"
+            )));
+        }
+        parser.expect('=')?;
+        let body = parser.sum()?;
+        parser.expect(';')?;
+        if first.is_none() {
+            first = Some(name.clone());
+        }
+        defs.define(name, body);
+    }
+    let main = first.ok_or_else(|| parser.error("no definitions in file"))?;
+    Ok((defs, main))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_display() {
+        for src in [
+            "0",
+            "a.0",
+            "'a.0",
+            "tau.0",
+            "a.0 + b.0",
+            "a.0 | b.0",
+            "a.(b.0 + c.0)",
+            "(a.0 | 'a.0) \\ {a}",
+            "a.0[b/a]",
+            "Vend",
+        ] {
+            let p = parse_process(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert_eq!(p.to_string(), src);
+        }
+    }
+
+    #[test]
+    fn precedence_sum_binds_loosest() {
+        let p = parse_process("a.0 + b.0 | c.0").unwrap();
+        // a.0 + (b.0 | c.0)
+        assert!(matches!(p, Process::Sum(_, _)));
+    }
+
+    #[test]
+    fn prefix_chains() {
+        let p = parse_process("coin.tea.0").unwrap();
+        assert_eq!(p.to_string(), "coin.tea.0");
+    }
+
+    #[test]
+    fn definitions_with_comments() {
+        let (defs, main) = parse_definitions(
+            "// the classic machine\nVend = coin.(tea.Vend + coffee.Vend);",
+        )
+        .unwrap();
+        assert_eq!(main, "Vend");
+        assert!(defs.get("Vend").is_some());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_process("a.").is_err());
+        assert!(parse_process("a.0 extra").is_err());
+        assert!(parse_process("(a.0").is_err());
+        assert!(parse_definitions("lower = a.0;").is_err());
+        assert!(parse_definitions("").is_err());
+        assert!(parse_process("a.0 \\ {}").is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! The structural operational semantics of CCS.
+//!
+//! [`transitions`] computes the labelled transition relation `P --a--> P'`:
+//!
+//! ```text
+//! Act:   a.P --a--> P
+//! Sum:   P --a--> P'  ⟹  P+Q --a--> P'       (and symmetrically)
+//! Par:   P --a--> P'  ⟹  P|Q --a--> P'|Q     (and symmetrically)
+//! Com:   P --a--> P', Q --'a--> Q'  ⟹  P|Q --τ--> P'|Q'
+//! Res:   P --a--> P', a ∉ L ∪ 'L  ⟹  P\L --a--> P'\L
+//! Rel:   P --a--> P'  ⟹  P[f] --f(a)--> P'[f]
+//! Con:   A ≝ P, P --a--> P'  ⟹  A --a--> P'
+//! ```
+
+use crate::syntax::{Action, Definitions, Process};
+
+/// How deep constant unfolding may recurse before we conclude the
+/// definition is unguarded (e.g. `X = X + a.0`).
+const MAX_UNFOLD_DEPTH: usize = 64;
+
+/// Errors from the transition relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemanticsError {
+    /// A process constant has no definition.
+    Undefined(String),
+    /// Constant unfolding did not reach an action prefix (unguarded
+    /// recursion like `X = X`).
+    Unguarded(String),
+}
+
+impl std::fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SemanticsError::Undefined(name) => write!(f, "undefined process constant {name}"),
+            SemanticsError::Unguarded(name) => {
+                write!(f, "unguarded recursion while unfolding {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {}
+
+/// All transitions of `p` under `defs`, in deterministic (structural)
+/// order.
+///
+/// # Errors
+///
+/// Returns [`SemanticsError`] for undefined constants and unguarded
+/// recursion.
+pub fn transitions(
+    p: &Process,
+    defs: &Definitions,
+) -> Result<Vec<(Action, Process)>, SemanticsError> {
+    transitions_at(p, defs, 0)
+}
+
+fn transitions_at(
+    p: &Process,
+    defs: &Definitions,
+    depth: usize,
+) -> Result<Vec<(Action, Process)>, SemanticsError> {
+    match p {
+        Process::Nil => Ok(Vec::new()),
+        Process::Prefix(a, rest) => Ok(vec![(a.clone(), (**rest).clone())]),
+        Process::Sum(l, r) => {
+            let mut out = transitions_at(l, defs, depth)?;
+            out.extend(transitions_at(r, defs, depth)?);
+            Ok(out)
+        }
+        Process::Par(l, r) => {
+            let lefts = transitions_at(l, defs, depth)?;
+            let rights = transitions_at(r, defs, depth)?;
+            let mut out = Vec::new();
+            for (a, l2) in &lefts {
+                out.push((a.clone(), Process::par(l2.clone(), (**r).clone())));
+            }
+            for (a, r2) in &rights {
+                out.push((a.clone(), Process::par((**l).clone(), r2.clone())));
+            }
+            // Communication: complementary actions synchronise into τ.
+            for (a, l2) in &lefts {
+                if let Some(comp) = a.complement() {
+                    for (b, r2) in &rights {
+                        if *b == comp {
+                            out.push((Action::Tau, Process::par(l2.clone(), r2.clone())));
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Process::Restrict(inner, labels) => {
+            let inner_trans = transitions_at(inner, defs, depth)?;
+            Ok(inner_trans
+                .into_iter()
+                .filter(|(a, _)| a.label().is_none_or(|l| !labels.contains(l)))
+                .map(|(a, p2)| (a, Process::Restrict(Box::new(p2), labels.clone())))
+                .collect())
+        }
+        Process::Rename(inner, map) => {
+            let inner_trans = transitions_at(inner, defs, depth)?;
+            Ok(inner_trans
+                .into_iter()
+                .map(|(a, p2)| {
+                    let renamed = match &a {
+                        Action::Tau => Action::Tau,
+                        Action::In(l) => {
+                            Action::In(map.get(l).cloned().unwrap_or_else(|| l.clone()))
+                        }
+                        Action::Out(l) => {
+                            Action::Out(map.get(l).cloned().unwrap_or_else(|| l.clone()))
+                        }
+                    };
+                    (renamed, Process::Rename(Box::new(p2), map.clone()))
+                })
+                .collect())
+        }
+        Process::Const(name) => {
+            if depth >= MAX_UNFOLD_DEPTH {
+                return Err(SemanticsError::Unguarded(name.clone()));
+            }
+            let body = defs
+                .get(name)
+                .ok_or_else(|| SemanticsError::Undefined(name.clone()))?;
+            transitions_at(body, defs, depth + 1)
+        }
+    }
+}
+
+/// The visible (non-τ) action labels enabled at `p`.
+///
+/// # Errors
+///
+/// Propagates [`SemanticsError`] from [`transitions`].
+pub fn enabled_labels(p: &Process, defs: &Definitions) -> Result<Vec<Action>, SemanticsError> {
+    let mut labels: Vec<Action> = transitions(p, defs)?
+        .into_iter()
+        .map(|(a, _)| a)
+        .filter(|a| *a != Action::Tau)
+        .collect();
+    labels.sort();
+    labels.dedup();
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_definitions, parse_process};
+
+    fn p(src: &str) -> Process {
+        parse_process(src).unwrap()
+    }
+
+    #[test]
+    fn prefix_and_sum() {
+        let defs = Definitions::new();
+        let t = transitions(&p("a.0 + b.0"), &defs).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].0, Action::In("a".into()));
+        assert_eq!(t[1].0, Action::In("b".into()));
+        assert_eq!(t[0].1, Process::Nil);
+    }
+
+    #[test]
+    fn parallel_interleaving_and_communication() {
+        let defs = Definitions::new();
+        let t = transitions(&p("'a.0 | a.0"), &defs).unwrap();
+        // 'a step, a step, and the τ communication.
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().any(|(a, _)| *a == Action::Tau));
+    }
+
+    #[test]
+    fn restriction_forces_synchronisation() {
+        let defs = Definitions::new();
+        let t = transitions(&p("('a.0 | a.0) \\ {a}"), &defs).unwrap();
+        // Only the τ remains.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].0, Action::Tau);
+    }
+
+    #[test]
+    fn renaming_relabels_transitions() {
+        let defs = Definitions::new();
+        let t = transitions(&p("(a.0)[b/a]"), &defs).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].0, Action::In("b".into()));
+    }
+
+    #[test]
+    fn constants_unfold() {
+        let (defs, _) = parse_definitions("Clock = tick.Clock;").unwrap();
+        let t = transitions(&Process::Const("Clock".into()), &defs).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].0, Action::In("tick".into()));
+        assert_eq!(t[0].1, Process::Const("Clock".into()));
+    }
+
+    #[test]
+    fn undefined_and_unguarded_constants_error() {
+        let defs = Definitions::new();
+        assert_eq!(
+            transitions(&Process::Const("X".into()), &defs),
+            Err(SemanticsError::Undefined("X".into()))
+        );
+        let (defs2, _) = parse_definitions("X = X;").unwrap();
+        assert!(matches!(
+            transitions(&Process::Const("X".into()), &defs2),
+            Err(SemanticsError::Unguarded(_))
+        ));
+    }
+
+    #[test]
+    fn enabled_labels_hide_tau() {
+        let defs = Definitions::new();
+        let labels = enabled_labels(&p("('a.0 | a.b.0)"), &defs).unwrap();
+        assert_eq!(
+            labels,
+            vec![Action::In("a".into()), Action::Out("a".into())]
+        );
+    }
+
+    #[test]
+    fn vending_machine_walk() {
+        // Milner's classic vending machine.
+        let (defs, _) = parse_definitions(
+            "Vend = coin.(tea.Vend + coffee.Vend);",
+        )
+        .unwrap();
+        let start = Process::Const("Vend".into());
+        let after_coin = &transitions(&start, &defs).unwrap()[0];
+        assert_eq!(after_coin.0, Action::In("coin".into()));
+        let drinks = enabled_labels(&after_coin.1, &defs).unwrap();
+        assert_eq!(
+            drinks,
+            vec![Action::In("coffee".into()), Action::In("tea".into())]
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Terms of Milner's Calculus of Communicating Systems.
+//!
+//! The grammar covers the classic constructs: the inert process `0`, action
+//! prefix `a.P` (with co-actions written `'a` and the silent action `tau`),
+//! choice `P + Q`, parallel composition `P | Q`, restriction `P \ {a, b}`,
+//! relabelling `P[b/a]`, and named process constants bound by recursive
+//! definitions.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A CCS action: an input label, an output (co-)label, or the silent τ.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Action {
+    /// The silent action τ (internal activity, e.g. a communication).
+    Tau,
+    /// An input action `a`.
+    In(String),
+    /// An output action `'a`.
+    Out(String),
+}
+
+impl Action {
+    /// The complementary action (`a` ↔ `'a`); τ has no complement.
+    #[must_use]
+    pub fn complement(&self) -> Option<Action> {
+        match self {
+            Action::Tau => None,
+            Action::In(l) => Some(Action::Out(l.clone())),
+            Action::Out(l) => Some(Action::In(l.clone())),
+        }
+    }
+
+    /// The underlying channel label, if any.
+    #[must_use]
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            Action::Tau => None,
+            Action::In(l) | Action::Out(l) => Some(l),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Tau => f.write_str("tau"),
+            Action::In(l) => f.write_str(l),
+            Action::Out(l) => write!(f, "'{l}"),
+        }
+    }
+}
+
+/// A CCS process term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Process {
+    /// The inert process `0`.
+    Nil,
+    /// Action prefix `a.P`.
+    Prefix(Action, Box<Process>),
+    /// Choice `P + Q`.
+    Sum(Box<Process>, Box<Process>),
+    /// Parallel composition `P | Q`.
+    Par(Box<Process>, Box<Process>),
+    /// Restriction `P \ {a, …}`: the listed channels are internalised.
+    Restrict(Box<Process>, BTreeSet<String>),
+    /// Relabelling `P[b/a, …]`: channel `a` is renamed to `b`.
+    Rename(Box<Process>, BTreeMap<String, String>),
+    /// A named process constant, resolved in a [`Definitions`] environment.
+    Const(String),
+}
+
+impl Process {
+    /// Action prefix helper.
+    #[must_use]
+    pub fn prefix(action: Action, then: Process) -> Process {
+        Process::Prefix(action, Box::new(then))
+    }
+
+    /// Choice helper.
+    #[must_use]
+    pub fn sum(l: Process, r: Process) -> Process {
+        Process::Sum(Box::new(l), Box::new(r))
+    }
+
+    /// Parallel composition helper.
+    #[must_use]
+    pub fn par(l: Process, r: Process) -> Process {
+        Process::Par(Box::new(l), Box::new(r))
+    }
+}
+
+fn prec(p: &Process) -> u8 {
+    match p {
+        Process::Nil | Process::Const(_) => 4,
+        Process::Prefix(_, _) => 3,
+        Process::Restrict(_, _) | Process::Rename(_, _) => 3,
+        Process::Par(_, _) => 2,
+        Process::Sum(_, _) => 1,
+    }
+}
+
+fn fmt_at(p: &Process, min: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let this = prec(p);
+    if this < min {
+        write!(f, "(")?;
+    }
+    match p {
+        Process::Nil => write!(f, "0")?,
+        Process::Const(name) => write!(f, "{name}")?,
+        Process::Prefix(a, rest) => {
+            write!(f, "{a}.")?;
+            // Prefix chains right-associate; restriction/relabelling bind
+            // tighter than prefix, so both print without parentheses.
+            fmt_at(rest, 3, f)?;
+        }
+        Process::Sum(l, r) => {
+            fmt_at(l, 1, f)?;
+            write!(f, " + ")?;
+            fmt_at(r, 2, f)?;
+        }
+        Process::Par(l, r) => {
+            fmt_at(l, 2, f)?;
+            write!(f, " | ")?;
+            fmt_at(r, 3, f)?;
+        }
+        Process::Restrict(inner, labels) => {
+            fmt_at(inner, 4, f)?;
+            write!(f, " \\ {{")?;
+            for (i, l) in labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Process::Rename(inner, map) => {
+            fmt_at(inner, 4, f)?;
+            write!(f, "[")?;
+            for (i, (from, to)) in map.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{to}/{from}")?;
+            }
+            write!(f, "]")?;
+        }
+    }
+    if this < min {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_at(self, 0, f)
+    }
+}
+
+/// Recursive process definitions: `X = a.X;`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Definitions {
+    defs: BTreeMap<String, Process>,
+}
+
+impl Definitions {
+    /// An empty environment.
+    #[must_use]
+    pub fn new() -> Self {
+        Definitions::default()
+    }
+
+    /// Adds (or replaces) a definition.
+    pub fn define(&mut self, name: impl Into<String>, body: Process) {
+        self.defs.insert(name.into(), body);
+    }
+
+    /// Looks a constant up.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Process> {
+        self.defs.get(name)
+    }
+
+    /// The number of definitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// `true` when no definitions exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_complements() {
+        assert_eq!(
+            Action::In("a".into()).complement(),
+            Some(Action::Out("a".into()))
+        );
+        assert_eq!(
+            Action::Out("a".into()).complement(),
+            Some(Action::In("a".into()))
+        );
+        assert_eq!(Action::Tau.complement(), None);
+        assert_eq!(Action::In("x".into()).label(), Some("x"));
+        assert_eq!(Action::Tau.label(), None);
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        // a.(b.0 + c.0)
+        let p = Process::prefix(
+            Action::In("a".into()),
+            Process::sum(
+                Process::prefix(Action::In("b".into()), Process::Nil),
+                Process::prefix(Action::In("c".into()), Process::Nil),
+            ),
+        );
+        assert_eq!(p.to_string(), "a.(b.0 + c.0)");
+        let q = Process::par(
+            Process::prefix(Action::Out("a".into()), Process::Nil),
+            Process::prefix(Action::In("a".into()), Process::Nil),
+        );
+        assert_eq!(q.to_string(), "'a.0 | a.0");
+    }
+
+    #[test]
+    fn display_restriction_and_renaming() {
+        let mut labels = BTreeSet::new();
+        labels.insert("a".to_owned());
+        let p = Process::Restrict(Box::new(Process::Const("X".into())), labels);
+        assert_eq!(p.to_string(), "X \\ {a}");
+        let mut map = BTreeMap::new();
+        map.insert("a".to_owned(), "b".to_owned());
+        let q = Process::Rename(Box::new(Process::Const("X".into())), map);
+        assert_eq!(q.to_string(), "X[b/a]");
+    }
+
+    #[test]
+    fn definitions_roundtrip() {
+        let mut defs = Definitions::new();
+        assert!(defs.is_empty());
+        defs.define("Clock", Process::prefix(Action::Out("tick".into()), Process::Const("Clock".into())));
+        assert_eq!(defs.len(), 1);
+        assert_eq!(
+            defs.get("Clock").unwrap().to_string(),
+            "'tick.Clock"
+        );
+        assert!(defs.get("Nope").is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! # quickstrom-checker
+//!
+//! The Quickstrom checker: it evaluates QuickLTL formulae by progression
+//! and selects actions to perform (§3.4). Nothing here is specific to any
+//! executor — "paired with a different executor, the same checker could be
+//! used to test any reactive system".
+//!
+//! The flow per property:
+//!
+//! 1. Send [`Start`](quickstrom_protocol::CheckerMsg::Start) with the
+//!    selector dependencies from static analysis.
+//! 2. Wait for the property's initial event (`loaded?`).
+//! 3. Loop: progress the formula through each new state; stop on a
+//!    definitive verdict; otherwise pick an enabled action uniformly at
+//!    random and request it with the current trace version. Stale requests
+//!    (an asynchronous event grew the trace first, Figure 10) are ignored
+//!    by the executor, and the checker re-decides.
+//! 4. A run may end once the action budget is spent and the formula no
+//!    longer demands more states; failing runs yield replayable, shrinkable
+//!    counterexamples.
+//!
+//! ## Example
+//!
+//! A complete check against a tiny hand-rolled executor (real executors
+//! live in the `quickstrom-executor` and `ccs` crates):
+//!
+//! ```
+//! use quickstrom_checker::{check_spec, CheckOptions};
+//! use quickstrom_protocol::{
+//!     CheckerMsg, ElementState, Executor, ExecutorMsg, StateSnapshot,
+//! };
+//!
+//! /// An executor whose single element `#light` toggles on every click.
+//! struct Blinker {
+//!     on: bool,
+//! }
+//!
+//! impl Blinker {
+//!     fn snapshot(&self) -> StateSnapshot {
+//!         let mut s = StateSnapshot::new();
+//!         s.queries.insert(
+//!             "#light".into(),
+//!             vec![ElementState::with_text(if self.on { "on" } else { "off" })],
+//!         );
+//!         s
+//!     }
+//! }
+//!
+//! impl Executor for Blinker {
+//!     fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg> {
+//!         match msg {
+//!             CheckerMsg::Start { .. } => vec![ExecutorMsg::Event {
+//!                 event: "loaded?".into(),
+//!                 detail: Vec::new(),
+//!                 state: self.snapshot(),
+//!             }],
+//!             CheckerMsg::Act { .. } => {
+//!                 self.on = !self.on;
+//!                 vec![ExecutorMsg::Acted { state: self.snapshot() }]
+//!             }
+//!             _ => vec![],
+//!         }
+//!     }
+//! }
+//!
+//! let spec = specstrom::load(
+//!     "action flip! = click!(`#light`);\n\
+//!      let ~p = always[6] eventually[2] (`#light`.text == \"on\");\n\
+//!      check p with flip!;",
+//! )
+//! .unwrap();
+//! let options = CheckOptions::default().with_tests(3).with_max_actions(10);
+//! let report = check_spec(&spec, &options, &mut || {
+//!     Box::new(Blinker { on: false })
+//! })
+//! .unwrap();
+//! assert!(report.passed());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod options;
+pub mod report;
+pub mod runner;
+
+pub use options::{CheckOptions, SelectionStrategy};
+pub use report::{Counterexample, PropertyReport, Report, RunResult, TraceEntry};
+pub use runner::{check_property, check_spec, CheckError};

@@ -1,0 +1,135 @@
+//! Checker configuration.
+
+/// How the checker picks among enabled action instances.
+///
+/// The paper's checker "makes a completely random selection from the set
+/// of allowable actions" and names more targeted selection as future work
+/// (§5.1). [`SelectionStrategy::LeastTried`] is a first step in that
+/// direction: prefer the action *kind* performed least often in this run,
+/// nudging exploration toward rarely exercised interactions (the
+/// `ablation-strategy` harness measures the effect on time-to-bug).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// Uniform over all enabled instances — the paper's behaviour.
+    #[default]
+    UniformRandom,
+    /// Uniform over the instances of the least-performed action names.
+    LeastTried,
+}
+
+/// Options controlling a checking session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Number of test runs per property (each run is one generated
+    /// interaction sequence).
+    pub tests: usize,
+    /// Action budget per run. Runs may exceed it only while required-next
+    /// demands are outstanding (the formula determines the minimum trace
+    /// length, §2.2).
+    pub max_actions: usize,
+    /// The demand subscript used for temporal operators without an
+    /// explicit annotation. The paper's default is 100 (§4.3).
+    pub default_demand: u32,
+    /// RNG seed for action selection and input generation; runs are
+    /// deterministic given a seed and a deterministic executor.
+    pub seed: u64,
+    /// Whether to minimise counterexamples by replaying sub-scripts.
+    pub shrink: bool,
+    /// How to pick among enabled actions (§5.1 extension).
+    pub strategy: SelectionStrategy,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            tests: 20,
+            max_actions: 100,
+            default_demand: 100,
+            seed: 0,
+            shrink: true,
+            strategy: SelectionStrategy::UniformRandom,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Returns the options with the given number of runs.
+    #[must_use]
+    pub fn with_tests(mut self, tests: usize) -> Self {
+        self.tests = tests;
+        self
+    }
+
+    /// Returns the options with the given action budget per run.
+    #[must_use]
+    pub fn with_max_actions(mut self, max_actions: usize) -> Self {
+        self.max_actions = max_actions;
+        self
+    }
+
+    /// Returns the options with the given default demand subscript.
+    #[must_use]
+    pub fn with_default_demand(mut self, demand: u32) -> Self {
+        self.default_demand = demand;
+        self
+    }
+
+    /// Returns the options with the given RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the options with shrinking switched on or off.
+    #[must_use]
+    pub fn with_shrink(mut self, shrink: bool) -> Self {
+        self.shrink = shrink;
+        self
+    }
+
+    /// Returns the options with the given action-selection strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SelectionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The hard cap on actions in one run: the budget plus headroom for
+    /// outstanding demands (a nested demand can require up to twice the
+    /// default subscript in additional states).
+    #[must_use]
+    pub fn hard_action_cap(&self) -> usize {
+        self.max_actions + 2 * self.default_demand as usize + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = CheckOptions::default();
+        assert_eq!(o.default_demand, 100);
+        assert!(o.shrink);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let o = CheckOptions::default()
+            .with_tests(5)
+            .with_max_actions(30)
+            .with_default_demand(10)
+            .with_seed(42)
+            .with_shrink(false)
+            .with_strategy(SelectionStrategy::LeastTried);
+        assert_eq!(o.tests, 5);
+        assert_eq!(o.max_actions, 30);
+        assert_eq!(o.default_demand, 10);
+        assert_eq!(o.seed, 42);
+        assert!(!o.shrink);
+        assert_eq!(o.strategy, SelectionStrategy::LeastTried);
+        assert_eq!(o.hard_action_cap(), 30 + 20 + 16);
+    }
+}

@@ -1,0 +1,266 @@
+//! Run results, counterexamples and property reports.
+
+use quickltl::{Outcome, Verdict};
+use quickstrom_protocol::ActionInstance;
+use std::fmt;
+
+/// How a single test run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunResult {
+    /// The property held (definitively or presumably).
+    Passed(Verdict),
+    /// The property failed; a counterexample trace was recorded.
+    Failed(Counterexample),
+    /// The run ended without enough states for even a presumptive verdict
+    /// (action budget exhausted while demands were outstanding, or the
+    /// application got stuck with no enabled actions).
+    Inconclusive {
+        /// Why the run could not conclude.
+        reason: String,
+    },
+}
+
+impl RunResult {
+    /// `true` for failed runs.
+    #[must_use]
+    pub fn is_failure(&self) -> bool {
+        matches!(self, RunResult::Failed(_))
+    }
+}
+
+/// A failing run: the verdict, the action script that produced it, and a
+/// per-state summary of the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The verdict (definitely or presumably false).
+    pub verdict: Verdict,
+    /// The accepted actions, in order, with targets and generated inputs —
+    /// sufficient to replay the run deterministically.
+    pub script: Vec<ActionInstance>,
+    /// One line per trace state: what happened and when.
+    pub trace: Vec<TraceEntry>,
+    /// Whether the shrinker minimised this counterexample.
+    pub shrunk: bool,
+    /// Whether the verdict came from the end-of-trace fallback at a forced
+    /// stop (demands never drained). Forced counterexamples are not
+    /// shrinkable: any sub-script would be judged by the same fallback.
+    pub forced: bool,
+}
+
+/// One state of a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The `happened` annotation of the state.
+    pub happened: Vec<String>,
+    /// Virtual time of the snapshot.
+    pub timestamp_ms: u64,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample ({}):", self.verdict)?;
+        for (i, action) in self.script.iter().enumerate() {
+            writeln!(f, "  {:>3}. {}", i + 1, action)?;
+        }
+        Ok(())
+    }
+}
+
+/// The aggregate result of checking one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyReport {
+    /// The property name.
+    pub property: String,
+    /// Results of every run executed (stops early at the first failure).
+    pub runs: Vec<RunResult>,
+    /// Total states observed across runs.
+    pub states_total: usize,
+    /// Total actions performed across runs.
+    pub actions_total: usize,
+}
+
+impl PropertyReport {
+    /// The first counterexample, if the property failed.
+    #[must_use]
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        self.runs.iter().find_map(|r| match r {
+            RunResult::Failed(cx) => Some(cx),
+            _ => None,
+        })
+    }
+
+    /// `true` when no run failed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.counterexample().is_none()
+    }
+
+    /// The number of inconclusive runs.
+    #[must_use]
+    pub fn inconclusive_runs(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| matches!(r, RunResult::Inconclusive { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for PropertyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.passed() {
+            write!(
+                f,
+                "{}: passed ({} runs, {} states, {} actions",
+                self.property,
+                self.runs.len(),
+                self.states_total,
+                self.actions_total
+            )?;
+            let inconclusive = self.inconclusive_runs();
+            if inconclusive > 0 {
+                write!(f, ", {inconclusive} inconclusive")?;
+            }
+            write!(f, ")")
+        } else {
+            write!(
+                f,
+                "{}: FAILED after {} run(s)",
+                self.property,
+                self.runs.len()
+            )
+        }
+    }
+}
+
+/// The result of checking a whole specification (all `check` commands).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Report {
+    /// Reports per property, in check order.
+    pub properties: Vec<PropertyReport>,
+}
+
+impl Report {
+    /// `true` when every property passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.properties.iter().all(PropertyReport::passed)
+    }
+
+    /// The names of failed properties.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&str> {
+        self.properties
+            .iter()
+            .filter(|p| !p.passed())
+            .map(|p| p.property.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.properties {
+            writeln!(f, "{p}")?;
+            if let Some(cx) = p.counterexample() {
+                write!(f, "{cx}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Classifies an outcome into pass/fail/inconclusive.
+#[must_use]
+pub fn classify_outcome(outcome: Outcome) -> Option<bool> {
+    match outcome {
+        Outcome::Verdict(v) => Some(v.to_bool()),
+        Outcome::MoreStatesNeeded => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quickstrom_protocol::ActionKind;
+
+    fn cx() -> Counterexample {
+        Counterexample {
+            verdict: Verdict::DefinitelyFalse,
+            script: vec![ActionInstance::targeted(
+                "add!",
+                ActionKind::Click,
+                ".new-todo",
+                0,
+            )],
+            trace: vec![TraceEntry {
+                happened: vec!["loaded?".into()],
+                timestamp_ms: 0,
+            }],
+            shrunk: true,
+            forced: false,
+        }
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let report = Report {
+            properties: vec![
+                PropertyReport {
+                    property: "safety".into(),
+                    runs: vec![RunResult::Passed(Verdict::PresumablyTrue)],
+                    states_total: 10,
+                    actions_total: 9,
+                },
+                PropertyReport {
+                    property: "liveness".into(),
+                    runs: vec![RunResult::Failed(cx())],
+                    states_total: 5,
+                    actions_total: 4,
+                },
+            ],
+        };
+        assert!(!report.passed());
+        assert_eq!(report.failures(), vec!["liveness"]);
+        let text = report.to_string();
+        assert!(text.contains("safety: passed"));
+        assert!(text.contains("liveness: FAILED"));
+        assert!(text.contains("add!"));
+    }
+
+    #[test]
+    fn property_report_projections() {
+        let p = PropertyReport {
+            property: "p".into(),
+            runs: vec![
+                RunResult::Passed(Verdict::PresumablyTrue),
+                RunResult::Inconclusive {
+                    reason: "stuck".into(),
+                },
+            ],
+            states_total: 3,
+            actions_total: 2,
+        };
+        assert!(p.passed());
+        assert_eq!(p.inconclusive_runs(), 1);
+        assert!(p.to_string().contains("1 inconclusive"));
+    }
+
+    #[test]
+    fn run_result_failure_flag() {
+        assert!(RunResult::Failed(cx()).is_failure());
+        assert!(!RunResult::Passed(Verdict::DefinitelyTrue).is_failure());
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert_eq!(
+            classify_outcome(Outcome::Verdict(Verdict::PresumablyTrue)),
+            Some(true)
+        );
+        assert_eq!(
+            classify_outcome(Outcome::Verdict(Verdict::DefinitelyFalse)),
+            Some(false)
+        );
+        assert_eq!(classify_outcome(Outcome::MoreStatesNeeded), None);
+    }
+}

@@ -1,0 +1,660 @@
+//! The checker's test loop (§2.3 + §3.4).
+//!
+//! For each `check`ed property, the runner executes a number of test runs.
+//! Each run starts a fresh executor session, waits for the initial
+//! `loaded?` event, then repeatedly: progresses the QuickLTL formula
+//! through every newly observed state, stops on a definitive verdict,
+//! otherwise selects an enabled action uniformly at random (guards are
+//! evaluated against the current state; one `action` declaration fans out
+//! into one candidate per matched element) and sends it with the current
+//! trace version. Stale action requests — rejected by the executor because
+//! an asynchronous event arrived first (Figure 10) — simply cause
+//! re-deciding against the fresher state.
+//!
+//! A run may stop once the action budget is spent *and* the formula no
+//! longer demands more states; the verdict is then the presumptive reading.
+
+use crate::options::{CheckOptions, SelectionStrategy};
+use crate::report::{Counterexample, PropertyReport, Report, RunResult, TraceEntry};
+use quickltl::{Evaluator, Formula, StepReport, Verdict};
+use quickstrom_protocol::{
+    ActionInstance, ActionKind, CheckerMsg, Executor, ExecutorMsg, Selector, StateSnapshot,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use specstrom::{eval_guard, expand_thunk, ActionValue, CheckDef, CompiledSpec, EvalCtx, Thunk};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An unrecoverable checking error (as opposed to a failing property):
+/// specification evaluation errors or protocol violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl CheckError {
+    fn new(message: impl Into<String>) -> Self {
+        CheckError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "check error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<specstrom::EvalError> for CheckError {
+    fn from(e: specstrom::EvalError) -> Self {
+        CheckError::new(e.to_string())
+    }
+}
+
+/// Where the next action comes from: fresh randomness or a recorded script
+/// (for counterexample replay and shrinking).
+#[allow(clippy::large_enum_variant)] // StdRng is big; sources are stack-local
+enum ActionSource<'a> {
+    Random(StdRng),
+    Script { actions: &'a [ActionInstance], pos: usize },
+}
+
+/// The text pool for generated inputs. Includes the empty string and
+/// whitespace-only entries deliberately: several TodoMVC faults (blank
+/// items, empty-edit deletion) only surface on degenerate input.
+const INPUT_POOL: &[&str] = &[
+    "",
+    " ",
+    "a",
+    "buy milk",
+    "walk the dog",
+    "  trim me  ",
+    "x",
+    "déjà vu",
+    "meditate",
+];
+
+fn generate_text(rng: &mut StdRng) -> String {
+    let i = rng.gen_range(0..INPUT_POOL.len());
+    INPUT_POOL[i].to_owned()
+}
+
+/// The per-run machinery shared by random runs and scripted replays.
+struct Run<'a> {
+    spec: &'a CompiledSpec,
+    check: &'a CheckDef,
+    options: &'a CheckOptions,
+    evaluator: Evaluator<Thunk>,
+    /// Event name lookup: selector → declared `…?` event names.
+    events_by_selector: BTreeMap<Selector, Vec<String>>,
+    /// Event-declared timeouts: event name → ms.
+    event_timeouts: BTreeMap<String, u64>,
+    trace: Vec<TraceEntry>,
+    script: Vec<ActionInstance>,
+    actions_done: usize,
+    /// Per-action-name execution counts (the LeastTried strategy, §5.1).
+    action_counts: BTreeMap<String, usize>,
+    last_state: Option<StateSnapshot>,
+    last_report: Option<StepReport>,
+    pending_wait: Option<u64>,
+}
+
+/// The outcome of one run, before aggregation.
+enum RunOutcome {
+    Result(RunResult),
+    /// A scripted replay found the script no longer applicable (an action's
+    /// guard was false or its target disappeared) — only used by shrinking.
+    ScriptInvalid,
+}
+
+impl<'a> Run<'a> {
+    fn new(
+        spec: &'a CompiledSpec,
+        check: &'a CheckDef,
+        property: &Thunk,
+        options: &'a CheckOptions,
+    ) -> Self {
+        let mut events_by_selector: BTreeMap<Selector, Vec<String>> = BTreeMap::new();
+        let mut event_timeouts = BTreeMap::new();
+        for name in &check.events {
+            if let Some(av) = spec.action(name) {
+                if let Some(sel) = &av.selector {
+                    events_by_selector
+                        .entry(sel.clone())
+                        .or_default()
+                        .push(name.clone());
+                }
+                if let Some(t) = av.timeout_ms {
+                    event_timeouts.insert(name.clone(), t);
+                }
+            }
+        }
+        Run {
+            spec,
+            check,
+            options,
+            evaluator: Evaluator::new(Formula::Atom(property.clone())),
+            events_by_selector,
+            event_timeouts,
+            trace: Vec::new(),
+            script: Vec::new(),
+            actions_done: 0,
+            action_counts: BTreeMap::new(),
+            last_state: None,
+            last_report: None,
+            pending_wait: None,
+        }
+    }
+
+    /// The `happened` names for an executor message (§3.2: "all events or
+    /// actions that occurred immediately prior to the current state").
+    fn happened_for(&self, msg: &ExecutorMsg, action: Option<&ActionInstance>) -> Vec<String> {
+        match msg {
+            ExecutorMsg::Acted { .. } => {
+                action.map(|a| vec![a.name.clone()]).unwrap_or_default()
+            }
+            ExecutorMsg::Timeout { .. } => vec!["timeout?".to_owned()],
+            ExecutorMsg::Event { event, detail, .. } => {
+                if event == "loaded?" {
+                    return vec!["loaded?".to_owned()];
+                }
+                let mut mapped: Vec<String> = detail
+                    .iter()
+                    .filter_map(|sel| self.events_by_selector.get(sel))
+                    .flatten()
+                    .cloned()
+                    .collect();
+                mapped.sort();
+                mapped.dedup();
+                if mapped.is_empty() {
+                    vec![event.clone()]
+                } else {
+                    mapped
+                }
+            }
+        }
+    }
+
+    /// Feeds one executor message into the trace and the formula.
+    fn ingest(
+        &mut self,
+        msg: &ExecutorMsg,
+        action: Option<&ActionInstance>,
+    ) -> Result<(), CheckError> {
+        let happened = self.happened_for(msg, action);
+        let mut state = msg.state().clone();
+        state.happened = happened.clone();
+        self.trace.push(TraceEntry {
+            happened: happened.clone(),
+            timestamp_ms: state.timestamp_ms,
+        });
+        // Event-declared timeouts (§3.4): when a timeout is associated with
+        // an event and that event occurs, the checker requests a Wait.
+        if matches!(msg, ExecutorMsg::Event { .. }) {
+            for name in &happened {
+                if let Some(&t) = self.event_timeouts.get(name) {
+                    self.pending_wait = Some(t);
+                }
+            }
+        }
+        let ctx = EvalCtx::with_state(&state, self.options.default_demand);
+        let report = self
+            .evaluator
+            .observe_expanding(&mut |thunk| expand_thunk(thunk, &ctx))
+            .map_err(CheckError::from)?;
+        self.last_report = Some(report);
+        self.last_state = Some(state);
+        Ok(())
+    }
+
+    fn definitive(&self) -> Option<bool> {
+        match self.last_report {
+            Some(StepReport::Definitive(b)) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn presumptive(&self) -> Option<bool> {
+        match self.last_report {
+            Some(StepReport::Continue { presumptive }) => presumptive,
+            Some(StepReport::Definitive(b)) => Some(b),
+            None => None,
+        }
+    }
+
+    /// Formula demands more states (required-next outstanding)?
+    fn demands_more(&self) -> bool {
+        matches!(
+            self.last_report,
+            Some(StepReport::Continue { presumptive: None })
+        )
+    }
+
+    /// Every enabled action instance at the current state.
+    fn enabled_instances(&self, rng: &mut Option<&mut StdRng>) -> Result<Vec<ActionInstance>, CheckError> {
+        let state = self.last_state.as_ref().expect("state after start");
+        let ctx = EvalCtx::with_state(state, self.options.default_demand);
+        let mut out = Vec::new();
+        for name in &self.check.actions {
+            let av: Rc<ActionValue> = match self.spec.action(name) {
+                Some(av) => Rc::clone(av),
+                // `noop!`/`reload!` may appear in with-lists undeclared.
+                None => match name.as_str() {
+                    "noop!" => Rc::new(ActionValue {
+                        name: Some("noop!".into()),
+                        kind: Some(ActionKind::Noop),
+                        selector: None,
+                        timeout_ms: None,
+                        guard: None,
+                        event: false,
+                    }),
+                    "reload!" => Rc::new(ActionValue {
+                        name: Some("reload!".into()),
+                        kind: Some(ActionKind::Reload),
+                        selector: None,
+                        timeout_ms: None,
+                        guard: None,
+                        event: false,
+                    }),
+                    other => {
+                        return Err(CheckError::new(format!(
+                            "check references undeclared action `{other}`"
+                        )))
+                    }
+                },
+            };
+            if let Some(guard) = &av.guard {
+                if !eval_guard(guard, &ctx).map_err(CheckError::from)? {
+                    continue;
+                }
+            }
+            let Some(kind) = av.kind.clone() else {
+                continue; // events are not performable
+            };
+            let base = ActionInstance {
+                name: name.clone(),
+                kind,
+                target: None,
+                timeout_ms: av.timeout_ms,
+            };
+            if base.kind.needs_target() {
+                let selector = av.selector.clone().ok_or_else(|| {
+                    CheckError::new(format!("action `{name}` lacks a target selector"))
+                })?;
+                let count = state.matches(&selector).len();
+                for index in 0..count {
+                    let mut instance = base.clone();
+                    instance.target = Some((selector.clone(), index));
+                    if let ActionKind::Input(None) = instance.kind {
+                        if let Some(rng) = rng.as_deref_mut() {
+                            instance.kind = ActionKind::Input(Some(generate_text(rng)));
+                        }
+                    }
+                    out.push(instance);
+                }
+            } else {
+                out.push(base);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Picks the next action, or `None` when the run should stop.
+    fn next_action(
+        &mut self,
+        source: &mut ActionSource<'_>,
+    ) -> Result<Option<ActionInstance>, CheckError> {
+        match source {
+            ActionSource::Random(rng) => {
+                let budget_spent = self.actions_done >= self.options.max_actions;
+                if budget_spent && !self.demands_more() {
+                    return Ok(None);
+                }
+                if self.actions_done >= self.options.hard_action_cap() {
+                    return Ok(None);
+                }
+                let mut candidates = {
+                    let mut rng_opt: Option<&mut StdRng> = Some(rng);
+                    self.enabled_instances(&mut rng_opt)?
+                };
+                if candidates.is_empty() {
+                    return Ok(None);
+                }
+                if self.options.strategy == SelectionStrategy::LeastTried {
+                    // Keep only the instances of the least-performed
+                    // action names (§5.1's "more targeted" selection).
+                    let min = candidates
+                        .iter()
+                        .map(|c| self.action_counts.get(&c.name).copied().unwrap_or(0))
+                        .min()
+                        .expect("nonempty");
+                    candidates.retain(|c| {
+                        self.action_counts.get(&c.name).copied().unwrap_or(0) == min
+                    });
+                }
+                let i = rng.gen_range(0..candidates.len());
+                Ok(Some(candidates[i].clone()))
+            }
+            ActionSource::Script { actions, pos } => {
+                let Some(action) = actions.get(*pos) else {
+                    return Ok(None);
+                };
+                *pos += 1;
+                Ok(Some(action.clone()))
+            }
+        }
+    }
+
+    /// Is a scripted action still applicable at the current state?
+    fn script_action_valid(&self, action: &ActionInstance) -> Result<bool, CheckError> {
+        let state = self.last_state.as_ref().expect("state after start");
+        let ctx = EvalCtx::with_state(state, self.options.default_demand);
+        if let Some(av) = self.spec.action(&action.name) {
+            if let Some(guard) = &av.guard {
+                if !eval_guard(guard, &ctx).map_err(CheckError::from)? {
+                    return Ok(false);
+                }
+            }
+        }
+        if let Some((selector, index)) = &action.target {
+            if *index >= state.matches(selector).len() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Concludes the run. `allow_forced` permits the end-of-trace fallback
+    /// verdict for formulas whose demands never drain (see
+    /// `quickltl::progress::end_of_trace_default`); it is only set for
+    /// *random* runs stopping naturally (budget spent, application stuck).
+    /// Scripted replays that merely ran out of script must NOT use it —
+    /// otherwise the shrinker would count any prefix ending mid-demand as
+    /// a fresh "failure" and shrink real counterexamples into noise.
+    fn finish(&self, allow_forced: bool) -> RunOutcome {
+        if let Some(b) = self.definitive() {
+            return RunOutcome::Result(self.to_result(Verdict::definitely(b)));
+        }
+        if let Some(b) = self.presumptive() {
+            return RunOutcome::Result(self.to_result(Verdict::presumably(b)));
+        }
+        if allow_forced {
+            if let quickltl::Outcome::Verdict(v) = self.evaluator.forced_outcome() {
+                return RunOutcome::Result(self.to_result_forced(v));
+            }
+        }
+        RunOutcome::Result(RunResult::Inconclusive {
+            reason: format!(
+                "run ended after {} action(s) with trace-length demands \
+                 still outstanding",
+                self.actions_done
+            ),
+        })
+    }
+
+    fn to_result(&self, verdict: Verdict) -> RunResult {
+        self.result_with(verdict, false)
+    }
+
+    fn to_result_forced(&self, verdict: Verdict) -> RunResult {
+        self.result_with(verdict, true)
+    }
+
+    fn result_with(&self, verdict: Verdict, forced: bool) -> RunResult {
+        if verdict.to_bool() {
+            RunResult::Passed(verdict)
+        } else {
+            RunResult::Failed(Counterexample {
+                verdict,
+                script: self.script.clone(),
+                trace: self.trace.clone(),
+                shrunk: false,
+                forced,
+            })
+        }
+    }
+
+    /// Executes the run to completion against `executor`.
+    fn drive(
+        &mut self,
+        executor: &mut dyn Executor,
+        source: &mut ActionSource<'_>,
+    ) -> Result<RunOutcome, CheckError> {
+        let start = CheckerMsg::Start {
+            dependencies: self.spec.dependencies.clone(),
+        };
+        let replies = executor.send(start);
+        if replies.is_empty() {
+            return Err(CheckError::new(
+                "executor sent nothing in response to Start (expected the \
+                 loaded? event)",
+            ));
+        }
+        let allow_forced = matches!(source, ActionSource::Random(_));
+        for msg in &replies {
+            self.ingest(msg, None)?;
+            if self.definitive().is_some() {
+                executor.send(CheckerMsg::End);
+                return Ok(self.finish(allow_forced));
+            }
+        }
+        loop {
+            // Event-associated timeouts first (§3.4, Wait).
+            if let Some(t) = self.pending_wait.take() {
+                let version = self.trace.len() as u64;
+                let replies = executor.send(CheckerMsg::Wait { time_ms: t, version });
+                for msg in &replies {
+                    self.ingest(msg, None)?;
+                }
+                if self.definitive().is_some() {
+                    break;
+                }
+                continue;
+            }
+            let Some(action) = self.next_action(source)? else {
+                break;
+            };
+            if matches!(source, ActionSource::Script { .. })
+                && !self.script_action_valid(&action)?
+            {
+                executor.send(CheckerMsg::End);
+                return Ok(RunOutcome::ScriptInvalid);
+            }
+            let version = self.trace.len() as u64;
+            let replies = executor.send(CheckerMsg::Act {
+                action: action.clone(),
+                version,
+            });
+            let accepted = replies.iter().any(ExecutorMsg::is_acted);
+            let mut acted_seen = false;
+            for msg in &replies {
+                let tag = if msg.is_acted() && !acted_seen {
+                    acted_seen = true;
+                    Some(&action)
+                } else {
+                    None
+                };
+                self.ingest(msg, tag)?;
+                if self.definitive().is_some() {
+                    break;
+                }
+            }
+            if accepted {
+                *self.action_counts.entry(action.name.clone()).or_default() += 1;
+                self.script.push(action);
+                self.actions_done += 1;
+            } else if replies.is_empty() {
+                // Neither acted nor any pending event: protocol violation.
+                return Err(CheckError::new(
+                    "executor ignored an up-to-date Act without sending events",
+                ));
+            }
+            if self.definitive().is_some() {
+                break;
+            }
+        }
+        executor.send(CheckerMsg::End);
+        Ok(self.finish(allow_forced))
+    }
+}
+
+/// Runs one scripted replay; used by the shrinker.
+fn replay(
+    spec: &CompiledSpec,
+    check: &CheckDef,
+    property: &Thunk,
+    options: &CheckOptions,
+    make_executor: &mut dyn FnMut() -> Box<dyn Executor>,
+    script: &[ActionInstance],
+) -> Result<RunOutcome, CheckError> {
+    let mut run = Run::new(spec, check, property, options);
+    let mut executor = make_executor();
+    let mut source = ActionSource::Script {
+        actions: script,
+        pos: 0,
+    };
+    run.drive(executor.as_mut(), &mut source)
+}
+
+/// Minimises a failing script by removing chunks and replaying (a light
+/// delta-debugging pass). Not described in the paper — the real tool
+/// shrinks too — and documented as an extension in DESIGN.md.
+fn shrink(
+    spec: &CompiledSpec,
+    check: &CheckDef,
+    property: &Thunk,
+    options: &CheckOptions,
+    make_executor: &mut dyn FnMut() -> Box<dyn Executor>,
+    mut failing: Counterexample,
+) -> Result<Counterexample, CheckError> {
+    let mut budget = 200usize;
+    let mut chunk = (failing.script.len() / 2).max(1);
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < failing.script.len() && budget > 0 {
+            budget -= 1;
+            let mut candidate: Vec<ActionInstance> = failing.script.clone();
+            let end = (i + chunk).min(candidate.len());
+            candidate.drain(i..end);
+            match replay(spec, check, property, options, make_executor, &candidate)? {
+                RunOutcome::Result(RunResult::Failed(cx)) => {
+                    failing = Counterexample {
+                        shrunk: true,
+                        ..cx
+                    };
+                    improved = true;
+                    // Retry at the same index: the next chunk shifted left.
+                }
+                _ => {
+                    // Slide by one, not by chunk: guard-coupled pairs can
+                    // sit at any offset (budget bounds the quadratic cost).
+                    i += 1;
+                }
+            }
+        }
+        if budget == 0 {
+            break;
+        }
+        if !improved {
+            if chunk == 1 {
+                break;
+            }
+            // Ceiling halving so every size down to 1 is attempted —
+            // guard-coupled action pairs (enter-edit/exit-edit) can only
+            // be removed together, at exactly chunk size 2.
+            chunk = chunk.div_ceil(2);
+        } else {
+            chunk = (failing.script.len() / 2).max(1);
+        }
+    }
+    Ok(failing)
+}
+
+/// Checks one property of one `check` command.
+///
+/// `make_executor` is called once per run (and per shrink replay) to build
+/// a fresh session against the system under test.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] on specification evaluation errors or executor
+/// protocol violations — *not* on failing properties, which are reported in
+/// the [`PropertyReport`].
+pub fn check_property(
+    spec: &CompiledSpec,
+    check: &CheckDef,
+    property_name: &str,
+    options: &CheckOptions,
+    make_executor: &mut dyn FnMut() -> Box<dyn Executor>,
+) -> Result<PropertyReport, CheckError> {
+    let property = spec.property_thunk(property_name).ok_or_else(|| {
+        CheckError::new(format!("unknown property `{property_name}`"))
+    })?;
+    let mut runs = Vec::new();
+    let mut states_total = 0;
+    let mut actions_total = 0;
+    for test in 0..options.tests {
+        let mut run = Run::new(spec, check, &property, options);
+        let mut executor = make_executor();
+        let mut source = ActionSource::Random(StdRng::seed_from_u64(
+            options.seed.wrapping_add(test as u64),
+        ));
+        let outcome = run.drive(executor.as_mut(), &mut source)?;
+        states_total += run.trace.len();
+        actions_total += run.actions_done;
+        match outcome {
+            RunOutcome::Result(RunResult::Failed(cx)) => {
+                let cx = if options.shrink && cx.script.len() > 1 && !cx.forced {
+                    shrink(spec, check, &property, options, make_executor, cx)?
+                } else {
+                    cx
+                };
+                runs.push(RunResult::Failed(cx));
+                // Stop at the first counterexample, like the original tool.
+                break;
+            }
+            RunOutcome::Result(result) => runs.push(result),
+            RunOutcome::ScriptInvalid => {
+                unreachable!("random runs never report script invalidity")
+            }
+        }
+    }
+    Ok(PropertyReport {
+        property: property_name.to_owned(),
+        runs,
+        states_total,
+        actions_total,
+    })
+}
+
+/// Checks every property of every `check` command in the specification.
+///
+/// # Errors
+///
+/// See [`check_property`].
+pub fn check_spec(
+    spec: &CompiledSpec,
+    options: &CheckOptions,
+    make_executor: &mut dyn FnMut() -> Box<dyn Executor>,
+) -> Result<Report, CheckError> {
+    let mut report = Report::default();
+    for check in &spec.checks {
+        for property in &check.properties {
+            report.properties.push(check_property(
+                spec,
+                check,
+                property,
+                options,
+                make_executor,
+            )?);
+        }
+    }
+    Ok(report)
+}

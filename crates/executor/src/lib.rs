@@ -1,0 +1,325 @@
+//! # quickstrom-executor
+//!
+//! The web executor: drives a [`webdom`] application behind the Quickstrom
+//! checker protocol (§3.4), playing the role the Selenium-WebDriver-based
+//! executor plays in the original system.
+//!
+//! On [`Start`](CheckerMsg::Start) it boots the app, instruments the
+//! dependency selectors, and reports the `loaded?` event. Actions are
+//! resolved against the rendered document (selector + match index), routed
+//! through event-handler bubbling, and answered with
+//! [`Acted`](ExecutorMsg::Acted). Asynchronous work — app timers on the
+//! virtual clock — fires during a small *deliberation* time charged while
+//! the checker is thinking, and surfaces as `changed?`
+//! [`Event`](ExecutorMsg::Event)s; a checker `Act` carrying a stale trace
+//! version is ignored, exactly reproducing the Figure 10 race,
+//! deterministically.
+//!
+//! The virtual clock makes every run replayable: given the same action
+//! script, the same trace results — which is what the checker's shrinker
+//! relies on.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use quickstrom_protocol::{
+    ActionInstance, ActionKind, CheckerMsg, ElementState, Executor, ExecutorMsg, Key, Selector,
+    StateSnapshot,
+};
+use webdom::{
+    App, AppCtx, Document, EventKind, LocalStorage, Payload, SelectorExpr, VirtualClock,
+};
+
+/// Configuration for a [`WebExecutor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WebExecutorConfig {
+    /// Virtual milliseconds charged per checker message, during which due
+    /// timers may fire (this is what makes the Figure 10 stale-action race
+    /// reachable, deterministically).
+    pub deliberation_ms: u64,
+}
+
+impl Default for WebExecutorConfig {
+    fn default() -> Self {
+        WebExecutorConfig { deliberation_ms: 1 }
+    }
+}
+
+/// An executor hosting one [`App`] on a virtual DOM and a virtual clock.
+pub struct WebExecutor<A> {
+    factory: Box<dyn Fn() -> A>,
+    app: A,
+    clock: VirtualClock,
+    storage: LocalStorage,
+    dependencies: Vec<(Selector, SelectorExpr)>,
+    last_snapshot: StateSnapshot,
+    trace_len: u64,
+    started: bool,
+    config: WebExecutorConfig,
+}
+
+impl<A> std::fmt::Debug for WebExecutor<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WebExecutor")
+            .field("trace_len", &self.trace_len)
+            .field("now_ms", &self.clock.now_ms())
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: App> WebExecutor<A> {
+    /// Creates an executor; `factory` builds the app (and rebuilds it on
+    /// `reload!`, with storage preserved).
+    pub fn new(factory: impl Fn() -> A + 'static) -> Self {
+        Self::with_config(factory, WebExecutorConfig::default())
+    }
+
+    /// Creates an executor with explicit configuration.
+    pub fn with_config(factory: impl Fn() -> A + 'static, config: WebExecutorConfig) -> Self {
+        let app = factory();
+        WebExecutor {
+            factory: Box::new(factory),
+            app,
+            clock: VirtualClock::new(),
+            storage: LocalStorage::new(),
+            dependencies: Vec::new(),
+            last_snapshot: StateSnapshot::new(),
+            trace_len: 0,
+            started: false,
+            config,
+        }
+    }
+
+    /// The current virtual time (useful in tests and benchmarks: running
+    /// time in the simulated world).
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    fn render(&self) -> Document {
+        Document::render(self.app.view())
+    }
+
+    /// Projects one DOM node into the protocol's element state.
+    fn project(doc: &Document, id: webdom::NodeId) -> ElementState {
+        ElementState {
+            text: doc.text_content(id),
+            value: doc.value(id).to_owned(),
+            checked: doc.checked(id),
+            enabled: doc.enabled(id),
+            visible: doc.visible(id),
+            focused: doc.focused(id),
+            classes: doc.classes(id).to_vec(),
+            attributes: doc.attributes(id).clone(),
+        }
+    }
+
+    fn snapshot(&self) -> StateSnapshot {
+        let doc = self.render();
+        let mut snap = StateSnapshot::new();
+        snap.timestamp_ms = self.clock.now_ms();
+        for (selector, expr) in &self.dependencies {
+            let elements: Vec<ElementState> = doc
+                .select(expr)
+                .into_iter()
+                .map(|id| Self::project(&doc, id))
+                .collect();
+            snap.queries.insert(selector.clone(), elements);
+        }
+        snap
+    }
+
+    /// Fires app timers due within the next `delta_ms` of virtual time; for
+    /// each visible state change, emits a `changed?` event and bumps the
+    /// trace.
+    fn pump(&mut self, delta_ms: u64, out: &mut Vec<ExecutorMsg>) {
+        let fired = self.clock.advance(delta_ms);
+        for (_, tag) in fired {
+            let mut ctx = AppCtx {
+                clock: &mut self.clock,
+                storage: &mut self.storage,
+            };
+            self.app.on_timer(&tag, &mut ctx);
+            self.emit_if_changed(out);
+        }
+    }
+
+    fn emit_if_changed(&mut self, out: &mut Vec<ExecutorMsg>) {
+        let snap = self.snapshot();
+        if snap.queries_differ(&self.last_snapshot) {
+            let detail = self.last_snapshot.changed_selectors(&snap);
+            self.last_snapshot = snap.clone();
+            self.trace_len += 1;
+            out.push(ExecutorMsg::Event {
+                event: "changed?".to_owned(),
+                detail,
+                state: snap,
+            });
+        }
+    }
+
+    /// Advances virtual time until an observable event fires or `time_ms`
+    /// elapses; emits either the `changed?` event or a `Timeout`.
+    fn wait_for_event_or_timeout(&mut self, time_ms: u64, out: &mut Vec<ExecutorMsg>) {
+        let deadline = self.clock.now_ms().saturating_add(time_ms);
+        loop {
+            match self.clock.next_due() {
+                Some(due) if due <= deadline => {
+                    let fired = self.clock.advance_to(due);
+                    for (_, tag) in fired {
+                        let mut ctx = AppCtx {
+                            clock: &mut self.clock,
+                            storage: &mut self.storage,
+                        };
+                        self.app.on_timer(&tag, &mut ctx);
+                    }
+                    let before = out.len();
+                    self.emit_if_changed(out);
+                    if out.len() != before {
+                        return; // an event interrupted the wait
+                    }
+                }
+                _ => {
+                    self.clock.advance_to(deadline);
+                    let snap = self.snapshot();
+                    self.last_snapshot = snap.clone();
+                    self.trace_len += 1;
+                    out.push(ExecutorMsg::Timeout { state: snap });
+                    return;
+                }
+            }
+        }
+    }
+
+    fn boot(&mut self, out: &mut Vec<ExecutorMsg>) {
+        let mut ctx = AppCtx {
+            clock: &mut self.clock,
+            storage: &mut self.storage,
+        };
+        self.app.start(&mut ctx);
+        let snap = self.snapshot();
+        self.last_snapshot = snap.clone();
+        self.trace_len += 1;
+        out.push(ExecutorMsg::Event {
+            event: "loaded?".to_owned(),
+            detail: Vec::new(),
+            state: snap,
+        });
+    }
+
+    /// Performs one action against the rendered document.
+    ///
+    /// Actions on vanished, invisible or disabled targets are no-ops that
+    /// still produce an `Acted` state — a real user's click lands on
+    /// whatever is (not) there.
+    fn perform(&mut self, action: &ActionInstance, out: &mut Vec<ExecutorMsg>) {
+        match &action.kind {
+            ActionKind::Noop => {}
+            ActionKind::Reload => {
+                // Rebuild the app; persistent storage survives, timers die.
+                self.clock.cancel_all();
+                self.app = (self.factory)();
+                let mut ctx = AppCtx {
+                    clock: &mut self.clock,
+                    storage: &mut self.storage,
+                };
+                self.app.start(&mut ctx);
+            }
+            kind => {
+                let doc = self.render();
+                let target = action.target.as_ref().and_then(|(selector, index)| {
+                    let expr = SelectorExpr::parse(selector.as_str()).ok()?;
+                    doc.select(&expr).get(*index).copied()
+                });
+                if let Some(node) = target {
+                    if doc.visible(node) && doc.enabled(node) {
+                        let (event_kind, payload) = match kind {
+                            ActionKind::Click => (EventKind::Click, Payload::None),
+                            ActionKind::DblClick => (EventKind::DblClick, Payload::None),
+                            ActionKind::Focus => (EventKind::Focus, Payload::None),
+                            ActionKind::Input(text) => (
+                                EventKind::Input,
+                                Payload::Text(text.clone().unwrap_or_default()),
+                            ),
+                            ActionKind::KeyPress(key) => (
+                                EventKind::KeyDown,
+                                Payload::Key(match key {
+                                    Key::Enter => "Enter".to_owned(),
+                                    Key::Escape => "Escape".to_owned(),
+                                    Key::Char(c) => c.to_string(),
+                                }),
+                            ),
+                            ActionKind::Noop | ActionKind::Reload => {
+                                unreachable!("handled above")
+                            }
+                        };
+                        if let Some(msg) = doc.handler(node, event_kind) {
+                            let msg = msg.to_owned();
+                            let mut ctx = AppCtx {
+                                clock: &mut self.clock,
+                                storage: &mut self.storage,
+                            };
+                            self.app.on_event(&msg, &payload, &mut ctx);
+                        }
+                    }
+                }
+            }
+        }
+        let snap = self.snapshot();
+        self.last_snapshot = snap.clone();
+        self.trace_len += 1;
+        out.push(ExecutorMsg::Acted { state: snap });
+    }
+}
+
+impl<A: App> Executor for WebExecutor<A> {
+    fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg> {
+        let mut out = Vec::new();
+        match msg {
+            CheckerMsg::Start { dependencies } => {
+                self.dependencies = dependencies
+                    .into_iter()
+                    .map(|sel| {
+                        let expr = SelectorExpr::parse(sel.as_str()).unwrap_or_else(|e| {
+                            panic!("invalid dependency selector {sel}: {e}")
+                        });
+                        (sel, expr)
+                    })
+                    .collect();
+                self.started = true;
+                self.boot(&mut out);
+                // Immediately-due timers (e.g. zero-delay init work).
+                self.pump(0, &mut out);
+            }
+            CheckerMsg::Act { action, version } => {
+                debug_assert!(self.started, "Act before Start");
+                // Deliberation: the app lived on while the checker decided.
+                self.pump(self.config.deliberation_ms, &mut out);
+                if version < self.trace_len {
+                    // Stale request (Figure 10): ignore; the pending events
+                    // in `out` explain why.
+                    return out;
+                }
+                self.perform(&action, &mut out);
+                if let Some(t) = action.timeout_ms {
+                    // §3.2: after a timed action, wait for an event or the
+                    // timeout before handing control back.
+                    self.wait_for_event_or_timeout(t, &mut out);
+                }
+            }
+            CheckerMsg::Wait { time_ms, version } => {
+                debug_assert!(self.started, "Wait before Start");
+                self.pump(self.config.deliberation_ms, &mut out);
+                if version < self.trace_len {
+                    return out;
+                }
+                self.wait_for_event_or_timeout(time_ms, &mut out);
+            }
+            CheckerMsg::End => {}
+        }
+        out
+    }
+}

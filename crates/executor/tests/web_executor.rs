@@ -1,0 +1,330 @@
+//! Behavioural tests for the web executor: Acted/Event/Timeout semantics,
+//! the Figure 10 staleness race, action-timeout waits, and `reload!`.
+
+use quickstrom_executor::WebExecutor;
+use quickstrom_protocol::{
+    ActionInstance, ActionKind, CheckerMsg, Executor, ExecutorMsg, Key, Selector,
+};
+use webdom::{App, AppCtx, El, EventKind, Payload};
+
+/// An app with a counter button and an async "echo" area updated by a 0ms
+/// timer after each click — enough to exercise Acted, changed? events,
+/// staleness and timeouts.
+#[derive(Default)]
+struct Echoing {
+    count: u32,
+    echo: u32,
+    blink: bool,
+}
+
+impl App for Echoing {
+    fn start(&mut self, ctx: &mut AppCtx<'_>) {
+        ctx.clock.set_interval("blink", 500);
+    }
+
+    fn view(&self) -> El {
+        El::new("div").children([
+            El::new("button")
+                .id("inc")
+                .text("+")
+                .on(EventKind::Click, "inc"),
+            El::new("span").id("count").text(self.count.to_string()),
+            El::new("span").id("echo").text(self.echo.to_string()),
+            El::new("span")
+                .id("blink")
+                .text(if self.blink { "on" } else { "off" }),
+        ])
+    }
+
+    fn on_event(&mut self, msg: &str, _payload: &Payload, ctx: &mut AppCtx<'_>) {
+        if msg == "inc" {
+            self.count += 1;
+            // Echo asynchronously, like a debounced render.
+            ctx.clock.set_timeout("echo", 0);
+        }
+    }
+
+    fn on_timer(&mut self, tag: &str, _ctx: &mut AppCtx<'_>) {
+        match tag {
+            "echo" => self.echo = self.count,
+            "blink" => self.blink = !self.blink,
+            _ => {}
+        }
+    }
+}
+
+fn exec() -> WebExecutor<Echoing> {
+    WebExecutor::new(Echoing::default)
+}
+
+fn start_deps(e: &mut WebExecutor<Echoing>, deps: &[&str]) -> Vec<ExecutorMsg> {
+    e.send(CheckerMsg::Start {
+        dependencies: deps.iter().map(|s| Selector::new(*s)).collect(),
+    })
+}
+
+fn click_inc(version: u64) -> CheckerMsg {
+    CheckerMsg::Act {
+        action: ActionInstance::targeted("inc!", ActionKind::Click, "#inc", 0),
+        version,
+    }
+}
+
+#[test]
+fn start_reports_loaded() {
+    let mut e = exec();
+    let replies = start_deps(&mut e, &["#count", "#echo"]);
+    assert_eq!(replies.len(), 1);
+    match &replies[0] {
+        ExecutorMsg::Event { event, state, .. } => {
+            assert_eq!(event, "loaded?");
+            assert_eq!(state.first(&"#count".into()).unwrap().text, "0");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn acting_updates_state() {
+    let mut e = exec();
+    start_deps(&mut e, &["#count"]);
+    let replies = e.send(click_inc(1));
+    assert_eq!(replies.len(), 1);
+    match &replies[0] {
+        ExecutorMsg::Acted { state } => {
+            assert_eq!(state.first(&"#count".into()).unwrap().text, "1");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn async_echo_surfaces_as_changed_event_and_stales_the_next_act() {
+    let mut e = exec();
+    start_deps(&mut e, &["#count", "#echo"]);
+    // Click: count=1, a 0ms echo timer is scheduled.
+    let r1 = e.send(click_inc(1));
+    assert_eq!(r1.len(), 1, "echo not yet fired: {r1:?}");
+    // The checker decides its next action based on trace length 2, but
+    // during deliberation the echo timer fires → Event, version stale.
+    let r2 = e.send(click_inc(2));
+    assert_eq!(r2.len(), 1);
+    match &r2[0] {
+        ExecutorMsg::Event {
+            event,
+            detail,
+            state,
+        } => {
+            assert_eq!(event, "changed?");
+            assert_eq!(detail, &vec![Selector::new("#echo")]);
+            assert_eq!(state.first(&"#echo".into()).unwrap().text, "1");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Retry with the updated version: accepted.
+    let r3 = e.send(click_inc(3));
+    assert!(r3.iter().any(ExecutorMsg::is_acted));
+}
+
+#[test]
+fn wait_returns_event_when_app_changes() {
+    let mut e = exec();
+    start_deps(&mut e, &["#blink"]);
+    // The blink interval fires at 500ms; a 1000ms wait is interrupted.
+    let replies = e.send(CheckerMsg::Wait {
+        time_ms: 1000,
+        version: 1,
+    });
+    assert_eq!(replies.len(), 1);
+    match &replies[0] {
+        ExecutorMsg::Event { event, state, .. } => {
+            assert_eq!(event, "changed?");
+            assert_eq!(state.first(&"#blink".into()).unwrap().text, "on");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(e.now_ms() <= 501);
+}
+
+#[test]
+fn wait_times_out_without_observable_change() {
+    let mut e = exec();
+    // Only #count instrumented: blinking is invisible to the checker.
+    start_deps(&mut e, &["#count"]);
+    let replies = e.send(CheckerMsg::Wait {
+        time_ms: 300,
+        version: 1,
+    });
+    assert_eq!(replies.len(), 1);
+    assert!(matches!(replies[0], ExecutorMsg::Timeout { .. }));
+    assert!(e.now_ms() >= 300);
+}
+
+#[test]
+fn act_with_timeout_waits_for_event() {
+    let mut e = exec();
+    start_deps(&mut e, &["#count", "#echo"]);
+    let action =
+        ActionInstance::targeted("inc!", ActionKind::Click, "#inc", 0).with_timeout(100);
+    let replies = e.send(CheckerMsg::Act { action, version: 1 });
+    // Acted (count=1) then the echo event (echo=1).
+    assert_eq!(replies.len(), 2);
+    assert!(replies[0].is_acted());
+    match &replies[1] {
+        ExecutorMsg::Event { state, .. } => {
+            assert_eq!(state.first(&"#echo".into()).unwrap().text, "1");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn actions_on_missing_targets_are_noops() {
+    let mut e = exec();
+    start_deps(&mut e, &["#count"]);
+    let action = ActionInstance::targeted("ghost!", ActionKind::Click, "#ghost", 0);
+    let replies = e.send(CheckerMsg::Act { action, version: 1 });
+    assert!(replies[0].is_acted());
+    assert_eq!(
+        replies[0].state().first(&"#count".into()).unwrap().text,
+        "0"
+    );
+}
+
+#[test]
+fn clicks_on_disabled_targets_are_noops() {
+    #[derive(Default)]
+    struct Disabled;
+    impl App for Disabled {
+        fn start(&mut self, _ctx: &mut AppCtx<'_>) {}
+        fn view(&self) -> El {
+            El::new("div").child(
+                El::new("button")
+                    .id("b")
+                    .disabled(true)
+                    .on(EventKind::Click, "boom"),
+            )
+        }
+        fn on_event(&mut self, _m: &str, _p: &Payload, _c: &mut AppCtx<'_>) {
+            panic!("a disabled button must not receive clicks");
+        }
+        fn on_timer(&mut self, _t: &str, _c: &mut AppCtx<'_>) {}
+    }
+    let mut e = WebExecutor::new(|| Disabled);
+    e.send(CheckerMsg::Start {
+        dependencies: vec![Selector::new("#b")],
+    });
+    let r = e.send(CheckerMsg::Act {
+        action: ActionInstance::targeted("click!", ActionKind::Click, "#b", 0),
+        version: 1,
+    });
+    assert!(r[0].is_acted());
+}
+
+#[test]
+fn input_and_keypress_route_payloads() {
+    /// Records the last payload seen.
+    #[derive(Default)]
+    struct Form {
+        value: String,
+        submitted: bool,
+    }
+    impl App for Form {
+        fn start(&mut self, _ctx: &mut AppCtx<'_>) {}
+        fn view(&self) -> El {
+            El::new("form").children([
+                El::new("input")
+                    .id("field")
+                    .value(self.value.clone())
+                    .on(EventKind::Input, "set")
+                    .on(EventKind::KeyDown, "key"),
+                El::new("p")
+                    .id("status")
+                    .text(if self.submitted { "sent" } else { "draft" }),
+            ])
+        }
+        fn on_event(&mut self, msg: &str, payload: &Payload, _ctx: &mut AppCtx<'_>) {
+            match msg {
+                "set" => self.value = payload.text().to_owned(),
+                "key" if payload.key() == "Enter" => self.submitted = true,
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, _tag: &str, _ctx: &mut AppCtx<'_>) {}
+    }
+
+    let mut e = WebExecutor::new(Form::default);
+    e.send(CheckerMsg::Start {
+        dependencies: vec![Selector::new("#field"), Selector::new("#status")],
+    });
+    let r = e.send(CheckerMsg::Act {
+        action: ActionInstance::targeted(
+            "type!",
+            ActionKind::Input(Some("hello".into())),
+            "#field",
+            0,
+        ),
+        version: 1,
+    });
+    assert_eq!(r[0].state().first(&"#field".into()).unwrap().value, "hello");
+    let r2 = e.send(CheckerMsg::Act {
+        action: ActionInstance::targeted(
+            "submit!",
+            ActionKind::KeyPress(Key::Enter),
+            "#field",
+            0,
+        ),
+        version: 2,
+    });
+    assert_eq!(r2[0].state().first(&"#status".into()).unwrap().text, "sent");
+}
+
+#[test]
+fn reload_preserves_storage_but_resets_the_app() {
+    /// Persists its counter.
+    #[derive(Default)]
+    struct Persisting {
+        count: u32,
+        loaded_from_storage: bool,
+    }
+    impl App for Persisting {
+        fn start(&mut self, ctx: &mut AppCtx<'_>) {
+            if let Some(saved) = ctx.storage.get("count") {
+                self.count = saved.parse().unwrap_or(0);
+                self.loaded_from_storage = true;
+            }
+        }
+        fn view(&self) -> El {
+            El::new("div").children([
+                El::new("button").id("inc").on(EventKind::Click, "inc"),
+                El::new("span").id("count").text(self.count.to_string()),
+                El::new("span")
+                    .id("from-storage")
+                    .text(if self.loaded_from_storage { "yes" } else { "no" }),
+            ])
+        }
+        fn on_event(&mut self, msg: &str, _p: &Payload, ctx: &mut AppCtx<'_>) {
+            if msg == "inc" {
+                self.count += 1;
+                ctx.storage.set("count", self.count.to_string());
+            }
+        }
+        fn on_timer(&mut self, _tag: &str, _ctx: &mut AppCtx<'_>) {}
+    }
+
+    let mut e = WebExecutor::new(Persisting::default);
+    e.send(CheckerMsg::Start {
+        dependencies: vec![Selector::new("#count"), Selector::new("#from-storage")],
+    });
+    e.send(CheckerMsg::Act {
+        action: ActionInstance::targeted("inc!", ActionKind::Click, "#inc", 0),
+        version: 1,
+    });
+    let r = e.send(CheckerMsg::Act {
+        action: ActionInstance::untargeted("reload!", ActionKind::Reload),
+        version: 2,
+    });
+    let state = r[0].state();
+    assert_eq!(state.first(&"#count".into()).unwrap().text, "1");
+    assert_eq!(state.first(&"#from-storage".into()).unwrap().text, "yes");
+}

@@ -1,0 +1,59 @@
+//! # quickstrom-protocol
+//!
+//! The message protocol between the Quickstrom *checker* and an *executor*
+//! (paper §3.4, Figure 9), together with the state-snapshot and action
+//! vocabulary both sides share.
+//!
+//! The checker evaluates the QuickLTL formula and selects actions; an
+//! executor actually drives the system under test — a web application
+//! behind a (virtual) DOM, a CCS process, or anything else that can answer
+//! state queries. Nothing in the checker is specific to any executor, which
+//! is why these types live in their own dependency-free crate.
+//!
+//! All types are `serde`-serializable so that a checker and an executor can
+//! live in separate processes, exactly as in the original system.
+//!
+//! ## The protocol (Figure 9)
+//!
+//! | Checker → Executor | Executor → Checker |
+//! |---|---|
+//! | [`CheckerMsg::Start`] — begin a session, declaring the relevant selectors | [`ExecutorMsg::Event`] — an asynchronous event occurred, with the updated state |
+//! | [`CheckerMsg::Act`] — perform an action (rejected if `version` is stale) | [`ExecutorMsg::Acted`] — the action was performed, with the updated state |
+//! | [`CheckerMsg::Wait`] — request a timeout signal | [`ExecutorMsg::Timeout`] — the timeout elapsed, with the (possibly) updated state |
+//!
+//! Versioning (Figure 10): the application under test runs concurrently and
+//! may change state while the checker deliberates. Every `Act`/`Wait`
+//! carries the length of the trace as the checker knows it; an executor
+//! whose trace has since grown ignores the stale request, and the checker,
+//! upon seeing the event notifications that grew the trace, re-decides.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod messages;
+pub mod snapshot;
+
+pub use messages::{ActionInstance, ActionKind, CheckerMsg, ExecutorMsg, Key};
+pub use snapshot::{ElementState, Selector, StateSnapshot};
+
+/// An executor for the Quickstrom protocol.
+///
+/// An executor owns a running system under test. [`Executor::send`]
+/// delivers one checker message and returns every executor message emitted
+/// before the executor next goes idle — performing the action, firing due
+/// timers, and reporting asynchronous events, in order. A stale
+/// [`CheckerMsg::Act`] produces no [`ExecutorMsg::Acted`]; the returned
+/// events are exactly the notifications the checker had not yet seen
+/// (Figure 10's race, made deterministic).
+pub trait Executor {
+    /// Delivers one checker message; returns the executor's replies in
+    /// order.
+    fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg>;
+}
+
+impl<T: Executor + ?Sized> Executor for Box<T> {
+    fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg> {
+        (**self).send(msg)
+    }
+}

@@ -1,0 +1,272 @@
+//! The checker/executor messages of Figure 9, and the action vocabulary.
+
+use crate::snapshot::{Selector, StateSnapshot};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A key for keyboard actions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Key {
+    /// The Enter/Return key (commits edits, adds to-do items, …).
+    Enter,
+    /// The Escape key (aborts edits).
+    Escape,
+    /// A printable character.
+    Char(char),
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Key::Enter => f.write_str("Enter"),
+            Key::Escape => f.write_str("Escape"),
+            Key::Char(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// The primitive interactions an executor knows how to perform.
+///
+/// These correspond to Specstrom's built-in action constructors
+/// (`click!(…)`, `noop!`, …). Selector-targeted kinds are instantiated per
+/// matched element by the checker (the `index` in [`ActionInstance`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Click the target element.
+    Click,
+    /// Double-click the target element (enters edit mode in TodoMVC).
+    DblClick,
+    /// Focus the target element.
+    Focus,
+    /// Type text into the target element, replacing its current value.
+    ///
+    /// `None` means the checker should generate text (the property-based
+    /// part of property-based testing); it is always `Some` by the time the
+    /// message reaches an executor.
+    Input(Option<String>),
+    /// Press a key with the target element focused.
+    KeyPress(Key),
+    /// Do nothing (used with timeouts to let the application act, §3.2).
+    Noop,
+    /// Reload the page, preserving persistent storage.
+    ///
+    /// An extension beyond the paper (§4.1 leaves persistence testing as
+    /// future work and suggests exactly this action).
+    Reload,
+}
+
+impl ActionKind {
+    /// Does this kind need a target element?
+    #[must_use]
+    pub fn needs_target(&self) -> bool {
+        !matches!(self, ActionKind::Noop | ActionKind::Reload)
+    }
+}
+
+/// A fully-instantiated action the checker asks an executor to perform.
+///
+/// `name` is the Specstrom-level action name (e.g. `"start!"`), used to
+/// fill the `happened` variable of the resulting state. `target` pairs the
+/// selector with the index of the matched element to hit — the checker
+/// picks the index from the current snapshot, which is also how one
+/// `action` definition fans out into one candidate per matching element.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionInstance {
+    /// The Specstrom action name (`…!` suffix by convention).
+    pub name: String,
+    /// What to do.
+    pub kind: ActionKind,
+    /// Which element to do it to, if the kind needs a target.
+    pub target: Option<(Selector, usize)>,
+    /// Timeout in milliseconds to wait for an event after acting (§3.2).
+    pub timeout_ms: Option<u64>,
+}
+
+impl ActionInstance {
+    /// A no-target action (noop or reload).
+    pub fn untargeted(name: impl Into<String>, kind: ActionKind) -> Self {
+        ActionInstance {
+            name: name.into(),
+            kind,
+            target: None,
+            timeout_ms: None,
+        }
+    }
+
+    /// A targeted action at match `index` of `selector`.
+    pub fn targeted(
+        name: impl Into<String>,
+        kind: ActionKind,
+        selector: impl Into<Selector>,
+        index: usize,
+    ) -> Self {
+        ActionInstance {
+            name: name.into(),
+            kind,
+            target: Some((selector.into(), index)),
+            timeout_ms: None,
+        }
+    }
+
+    /// Returns the same action with a timeout attached.
+    #[must_use]
+    pub fn with_timeout(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
+        self
+    }
+}
+
+impl fmt::Display for ActionInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some((sel, idx)) = &self.target {
+            write!(f, " @ {sel}[{idx}]")?;
+        }
+        if let ActionKind::Input(Some(text)) = &self.kind {
+            write!(f, " {text:?}")?;
+        }
+        if let ActionKind::KeyPress(k) = &self.kind {
+            write!(f, " <{k}>")?;
+        }
+        Ok(())
+    }
+}
+
+/// Messages from the checker to the executor (Figure 9, left column).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckerMsg {
+    /// Request a new session be started; `dependencies` are the selectors
+    /// relevant to the property under test (from static analysis, §3.3).
+    Start {
+        /// Selectors to instrument and include in every snapshot.
+        dependencies: Vec<Selector>,
+    },
+    /// Request the given action be performed. Ignored by the executor if
+    /// `version` is less than the current trace length (Figure 10).
+    Act {
+        /// The action to perform.
+        action: ActionInstance,
+        /// The trace length as known to the checker.
+        version: u64,
+    },
+    /// Request a [`ExecutorMsg::Timeout`] after `time_ms` if no event
+    /// occurs first. Also version-checked.
+    Wait {
+        /// How long to wait, in (virtual) milliseconds.
+        time_ms: u64,
+        /// The trace length as known to the checker.
+        version: u64,
+    },
+    /// End the session.
+    End,
+}
+
+/// Messages from the executor to the checker (Figure 9, right column).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutorMsg {
+    /// An event occurred (asynchronously, or the initial `loaded?`), along
+    /// with the updated state.
+    Event {
+        /// The event kind: `"loaded?"` or `"changed?"`.
+        event: String,
+        /// For `changed?`, the selectors whose projections changed (one
+        /// asynchronous update may touch several instrumented selectors).
+        detail: Vec<Selector>,
+        /// The updated state.
+        state: StateSnapshot,
+    },
+    /// An action was performed, along with the updated state.
+    Acted {
+        /// The updated state.
+        state: StateSnapshot,
+    },
+    /// A requested timeout elapsed without an event, along with the
+    /// (possibly updated) state.
+    Timeout {
+        /// The current state.
+        state: StateSnapshot,
+    },
+}
+
+impl ExecutorMsg {
+    /// The state carried by this message.
+    #[must_use]
+    pub fn state(&self) -> &StateSnapshot {
+        match self {
+            ExecutorMsg::Event { state, .. }
+            | ExecutorMsg::Acted { state }
+            | ExecutorMsg::Timeout { state } => state,
+        }
+    }
+
+    /// `true` for `Acted` replies.
+    #[must_use]
+    pub fn is_acted(&self) -> bool {
+        matches!(self, ExecutorMsg::Acted { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_kind_targets() {
+        assert!(ActionKind::Click.needs_target());
+        assert!(ActionKind::Input(None).needs_target());
+        assert!(!ActionKind::Noop.needs_target());
+        assert!(!ActionKind::Reload.needs_target());
+    }
+
+    #[test]
+    fn action_instance_builders() {
+        let a = ActionInstance::untargeted("wait!", ActionKind::Noop).with_timeout(1000);
+        assert_eq!(a.timeout_ms, Some(1000));
+        assert_eq!(a.target, None);
+        let b = ActionInstance::targeted("start!", ActionKind::Click, "#toggle", 0);
+        assert_eq!(b.target, Some((Selector::new("#toggle"), 0)));
+    }
+
+    #[test]
+    fn action_display() {
+        let a = ActionInstance::targeted("check!", ActionKind::Click, ".toggle", 2);
+        assert_eq!(a.to_string(), "check! @ `.toggle`[2]");
+        let b = ActionInstance::targeted(
+            "type!",
+            ActionKind::Input(Some("milk".into())),
+            ".new-todo",
+            0,
+        );
+        assert_eq!(b.to_string(), "type! @ `.new-todo`[0] \"milk\"");
+        let c = ActionInstance::targeted(
+            "commit!",
+            ActionKind::KeyPress(Key::Enter),
+            ".new-todo",
+            0,
+        );
+        assert_eq!(c.to_string(), "commit! @ `.new-todo`[0] <Enter>");
+    }
+
+    #[test]
+    fn executor_msg_state_access() {
+        let s = StateSnapshot::new();
+        let m = ExecutorMsg::Acted { state: s.clone() };
+        assert_eq!(m.state(), &s);
+        assert!(m.is_acted());
+        let e = ExecutorMsg::Event {
+            event: "loaded?".into(),
+            detail: Vec::new(),
+            state: s.clone(),
+        };
+        assert!(!e.is_acted());
+        let t = ExecutorMsg::Timeout { state: s };
+        assert!(!t.is_acted());
+    }
+
+    #[test]
+    fn key_display() {
+        assert_eq!(Key::Enter.to_string(), "Enter");
+        assert_eq!(Key::Escape.to_string(), "Escape");
+        assert_eq!(Key::Char('x').to_string(), "x");
+    }
+}

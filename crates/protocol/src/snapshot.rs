@@ -1,0 +1,246 @@
+//! State snapshots: the executor's view of the system under test.
+//!
+//! A Quickstrom specification never inspects the whole application — only
+//! the parts reachable through the CSS selectors it mentions (§3.3). The
+//! executor is told those selectors at [`Start`](crate::CheckerMsg::Start)
+//! time and thereafter includes, in every message, a [`StateSnapshot`]
+//! mapping each relevant selector to the projections of its matched
+//! elements.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A CSS selector, as written between backticks in a Specstrom
+/// specification.
+///
+/// The protocol treats selectors as opaque strings; the web executor parses
+/// them with the `webdom` selector engine.
+///
+/// # Examples
+///
+/// ```
+/// use quickstrom_protocol::Selector;
+/// let s = Selector::new("#toggle");
+/// assert_eq!(s.as_str(), "#toggle");
+/// assert_eq!(s.to_string(), "`#toggle`");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Selector(String);
+
+impl Selector {
+    /// Wraps a selector string.
+    pub fn new(s: impl Into<String>) -> Self {
+        Selector(s.into())
+    }
+
+    /// The selector text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.0)
+    }
+}
+
+impl From<&str> for Selector {
+    fn from(s: &str) -> Self {
+        Selector::new(s)
+    }
+}
+
+impl From<String> for Selector {
+    fn from(s: String) -> Self {
+        Selector(s)
+    }
+}
+
+/// The observable projection of a single DOM element.
+///
+/// This is what Selenium-style acceptance testing can see of an element:
+/// its visible text, form value, checkedness, enabledness, visibility,
+/// classes and attributes. Specstrom member access (`` `#e`.text ``) reads
+/// these fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementState {
+    /// Concatenated visible text content.
+    pub text: String,
+    /// The form value (inputs), empty for non-inputs.
+    pub value: String,
+    /// Whether a checkbox/radio is checked.
+    pub checked: bool,
+    /// Whether the element is enabled (not `disabled`).
+    pub enabled: bool,
+    /// Whether the element is rendered visible.
+    pub visible: bool,
+    /// Whether the element currently has focus.
+    pub focused: bool,
+    /// The element's CSS classes, sorted.
+    pub classes: Vec<String>,
+    /// Other attributes.
+    pub attributes: BTreeMap<String, String>,
+}
+
+impl ElementState {
+    /// A fresh element projection with the given text, enabled and visible.
+    pub fn with_text(text: impl Into<String>) -> Self {
+        ElementState {
+            text: text.into(),
+            enabled: true,
+            visible: true,
+            ..ElementState::default()
+        }
+    }
+
+    /// Returns `true` if the element carries the given class.
+    #[must_use]
+    pub fn has_class(&self, class: &str) -> bool {
+        self.classes.iter().any(|c| c == class)
+    }
+}
+
+/// A snapshot of all relevant state at one moment of the trace.
+///
+/// `queries` maps each relevant selector to its matched elements in
+/// document order (empty when nothing matches). `happened` is the paper's
+/// special state variable: the names of the actions or events that occurred
+/// *immediately prior* to this state (§3.2). The executor leaves
+/// `happened` empty for `Acted` states — the checker knows which action it
+/// requested and fills it in — but sets it for `Event` states.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateSnapshot {
+    /// Selector → matched element projections, in document order.
+    pub queries: BTreeMap<Selector, Vec<ElementState>>,
+    /// Names of actions/events that produced this state.
+    pub happened: Vec<String>,
+    /// Virtual time at which the snapshot was taken, in milliseconds.
+    pub timestamp_ms: u64,
+}
+
+impl StateSnapshot {
+    /// Creates an empty snapshot at virtual time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        StateSnapshot::default()
+    }
+
+    /// The elements matched by `selector`, or an empty slice.
+    #[must_use]
+    pub fn matches(&self, selector: &Selector) -> &[ElementState] {
+        self.queries.get(selector).map_or(&[], Vec::as_slice)
+    }
+
+    /// The first element matched by `selector`, if any.
+    #[must_use]
+    pub fn first(&self, selector: &Selector) -> Option<&ElementState> {
+        self.matches(selector).first()
+    }
+
+    /// Did the named action or event produce this state?
+    #[must_use]
+    pub fn happened(&self, name: &str) -> bool {
+        self.happened.iter().any(|h| h == name)
+    }
+
+    /// Returns `true` when the queried projections (not `happened` or the
+    /// timestamp) differ between the two snapshots — the executor's change
+    /// detection for `changed?` events.
+    #[must_use]
+    pub fn queries_differ(&self, other: &StateSnapshot) -> bool {
+        self.queries != other.queries
+    }
+
+    /// The selectors whose projections differ between the two snapshots.
+    #[must_use]
+    pub fn changed_selectors(&self, other: &StateSnapshot) -> Vec<Selector> {
+        let mut changed = Vec::new();
+        for (sel, elems) in &self.queries {
+            if other.queries.get(sel) != Some(elems) {
+                changed.push(sel.clone());
+            }
+        }
+        for sel in other.queries.keys() {
+            if !self.queries.contains_key(sel) {
+                changed.push(sel.clone());
+            }
+        }
+        changed.sort();
+        changed.dedup();
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, &[&str])]) -> StateSnapshot {
+        let mut s = StateSnapshot::new();
+        for (sel, texts) in pairs {
+            s.queries.insert(
+                Selector::new(*sel),
+                texts.iter().map(|t| ElementState::with_text(*t)).collect(),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn selector_construction_and_display() {
+        let s: Selector = "#toggle".into();
+        assert_eq!(s.as_str(), "#toggle");
+        assert_eq!(s.to_string(), "`#toggle`");
+        let t = Selector::from(String::from(".todo-list li"));
+        assert_eq!(t.as_str(), ".todo-list li");
+    }
+
+    #[test]
+    fn element_state_helpers() {
+        let mut e = ElementState::with_text("hi");
+        assert!(e.enabled && e.visible && !e.checked);
+        e.classes.push("completed".into());
+        assert!(e.has_class("completed"));
+        assert!(!e.has_class("editing"));
+    }
+
+    #[test]
+    fn snapshot_queries() {
+        let s = snap(&[("#a", &["x"]), (".items", &["1", "2"])]);
+        assert_eq!(s.matches(&"#a".into()).len(), 1);
+        assert_eq!(s.first(&".items".into()).unwrap().text, "1");
+        assert!(s.matches(&"#missing".into()).is_empty());
+        assert_eq!(s.first(&"#missing".into()), None);
+    }
+
+    #[test]
+    fn happened_lookup() {
+        let mut s = StateSnapshot::new();
+        s.happened.push("click!".into());
+        assert!(s.happened("click!"));
+        assert!(!s.happened("tick?"));
+    }
+
+    #[test]
+    fn change_detection_ignores_happened_and_time() {
+        let mut a = snap(&[("#a", &["x"])]);
+        let mut b = snap(&[("#a", &["x"])]);
+        a.happened.push("one".into());
+        b.timestamp_ms = 99;
+        assert!(!a.queries_differ(&b));
+        let c = snap(&[("#a", &["y"])]);
+        assert!(a.queries_differ(&c));
+        assert_eq!(a.changed_selectors(&c), vec![Selector::new("#a")]);
+    }
+
+    #[test]
+    fn changed_selectors_cover_added_and_removed() {
+        let a = snap(&[("#a", &["x"]), ("#b", &["y"])]);
+        let b = snap(&[("#a", &["x"]), ("#c", &["z"])]);
+        let changed = a.changed_selectors(&b);
+        assert_eq!(changed, vec![Selector::new("#b"), Selector::new("#c")]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Baseline finite-trace LTL dialects (§2.1): Pnueli's finite LTL and
+//! RV-LTL.
+//!
+//! These are the logics QuickLTL refines. [`fltl`] evaluates a formula over
+//! a *completed* finite trace in the style of Pnueli's finite LTL — the
+//! trace is assumed to end for good, so the weak next defaults to true and
+//! the strong next to false at the final state. [`rv_ltl`] gives the
+//! four-valued RV-LTL verdict, obtained (per §5.5) by erasing QuickLTL's
+//! demand subscripts and running formula progression.
+
+use crate::progress;
+use crate::syntax::Formula;
+use crate::verdict::Outcome;
+
+/// Evaluates `f` over the completed finite trace `trace` at position `pos`
+/// in Pnueli's finite-trace LTL.
+///
+/// Demand annotations are ignored (they are a testing artefact, not part of
+/// the completed-trace semantics). The *required next* `X!` is evaluated as
+/// the strong next: a completed trace, by definition, cannot be extended,
+/// so a demand for a further state fails.
+///
+/// Returns `false` for positions at or beyond the end of the trace, which
+/// can only be reached through next operators whose defaults have already
+/// been applied.
+///
+/// # Examples
+///
+/// ```
+/// use quickltl::{finite::fltl, Formula};
+/// let f = Formula::eventually(0u32, Formula::atom('p'));
+/// let holds = |p: &char, s: &&str| s.contains(*p);
+/// assert!(fltl(&f, &["", "p"], 0, &holds));
+/// assert!(!fltl(&f, &["", ""], 0, &holds));
+/// ```
+pub fn fltl<P, S>(
+    f: &Formula<P>,
+    trace: &[S],
+    pos: usize,
+    eval: &impl Fn(&P, &S) -> bool,
+) -> bool {
+    if pos >= trace.len() {
+        return false;
+    }
+    match f {
+        Formula::Top => true,
+        Formula::Bottom => false,
+        Formula::Atom(p) => eval(p, &trace[pos]),
+        Formula::Not(inner) => !fltl(inner, trace, pos, eval),
+        Formula::And(l, r) => fltl(l, trace, pos, eval) && fltl(r, trace, pos, eval),
+        Formula::Or(l, r) => fltl(l, trace, pos, eval) || fltl(r, trace, pos, eval),
+        Formula::WeakNext(inner) => {
+            pos + 1 >= trace.len() || fltl(inner, trace, pos + 1, eval)
+        }
+        Formula::StrongNext(inner) | Formula::Next(inner) => {
+            pos + 1 < trace.len() && fltl(inner, trace, pos + 1, eval)
+        }
+        Formula::Always(_, inner) => {
+            (pos..trace.len()).all(|i| fltl(inner, trace, i, eval))
+        }
+        Formula::Eventually(_, inner) => {
+            (pos..trace.len()).any(|i| fltl(inner, trace, i, eval))
+        }
+        Formula::Until(_, l, r) => (pos..trace.len()).any(|i| {
+            fltl(r, trace, i, eval) && (pos..i).all(|j| fltl(l, trace, j, eval))
+        }),
+        Formula::Release(_, l, r) => (pos..trace.len()).all(|i| {
+            fltl(r, trace, i, eval) || (pos..i).any(|j| fltl(l, trace, j, eval))
+        }),
+    }
+}
+
+/// The four-valued RV-LTL verdict of `f` over the partial trace `trace`.
+///
+/// RV-LTL is exactly QuickLTL with every demand subscript at zero (§5.5),
+/// so this erases the subscripts and runs formula progression. For formulae
+/// that explicitly use the required next `X!` (which RV-LTL does not have)
+/// the outcome may still be [`Outcome::MoreStatesNeeded`].
+///
+/// # Examples
+///
+/// The §2.1 criticism of RV-LTL: on an alternating trace ending "disabled",
+/// `□ ◇ menuEnabled` is presumably false even though the menu is never
+/// disabled for long.
+///
+/// ```
+/// use quickltl::{finite::rv_ltl, Formula, Outcome, Verdict};
+/// let f = Formula::always(100u32, Formula::eventually(5u32, Formula::atom('m')));
+/// let trace = ["m", "", "m", ""];
+/// let outcome = rv_ltl(f, &trace, &mut |p, s: &&str| s.contains(*p));
+/// assert_eq!(outcome, Outcome::Verdict(Verdict::PresumablyFalse));
+/// ```
+pub fn rv_ltl<P, S>(
+    f: Formula<P>,
+    trace: &[S],
+    eval: &mut impl FnMut(&P, &S) -> bool,
+) -> Outcome
+where
+    P: Clone + PartialEq,
+{
+    let erased = f.erase_demands();
+    let outcome: Result<Outcome, std::convert::Infallible> =
+        progress::check_trace(erased, trace, &mut |p, s| Ok(eval(p, s)));
+    outcome.unwrap_or(Outcome::MoreStatesNeeded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verdict::Verdict;
+
+    type F = Formula<char>;
+
+    fn holds(p: &char, s: &&str) -> bool {
+        s.contains(*p)
+    }
+
+    fn run(f: &F, trace: &[&str]) -> bool {
+        fltl(f, trace, 0, &holds)
+    }
+
+    #[test]
+    fn atoms_and_booleans() {
+        assert!(run(&F::atom('p'), &["p"]));
+        assert!(!run(&F::atom('p'), &[""]));
+        assert!(run(&F::atom('p').or(F::atom('q')), &["q"]));
+        assert!(!run(&F::atom('p').and(F::atom('q')), &["p"]));
+        assert!(run(&F::atom('p').not(), &[""]));
+    }
+
+    #[test]
+    fn next_defaults_at_trace_end() {
+        assert!(run(&F::atom('p').weak_next(), &[""]));
+        assert!(!run(&F::atom('p').strong_next(), &[""]));
+        // Required next degenerates to strong next on completed traces.
+        assert!(!run(&F::atom('p').next(), &[""]));
+        assert!(run(&F::atom('p').next(), &["", "p"]));
+    }
+
+    #[test]
+    fn temporal_operators_finite() {
+        assert!(run(&F::always(0u32, F::atom('p')), &["p", "p"]));
+        assert!(!run(&F::always(0u32, F::atom('p')), &["p", ""]));
+        assert!(run(&F::eventually(0u32, F::atom('p')), &["", "p"]));
+        assert!(!run(&F::eventually(0u32, F::atom('p')), &["", ""]));
+    }
+
+    #[test]
+    fn until_and_release_finite() {
+        let u = F::until(0u32, F::atom('a'), F::atom('b'));
+        assert!(run(&u, &["a", "a", "b"]));
+        assert!(!run(&u, &["a", "a", "a"]));
+        assert!(!run(&u, &["a", "", "b"]));
+        let r = F::release(0u32, F::atom('a'), F::atom('b'));
+        assert!(run(&r, &["b", "b", "b"]));
+        assert!(run(&r, &["b", "ab", ""]));
+        assert!(!run(&r, &["b", "", ""]));
+    }
+
+    #[test]
+    fn demands_are_ignored_by_fltl() {
+        let f = F::eventually(10u32, F::atom('p'));
+        assert!(run(&f, &["", "p"]));
+        let g = F::always(10u32, F::atom('p'));
+        assert!(run(&g, &["p", "p"]));
+    }
+
+    #[test]
+    fn positions_beyond_the_trace_are_false() {
+        assert!(!fltl(&F::Top, &["p"], 5, &holds));
+    }
+
+    #[test]
+    fn rv_ltl_gives_spurious_answer_on_alternation() {
+        // The §2.1 motivating example: RV-LTL flips with the final state.
+        let f = F::always(100u32, F::eventually(5u32, F::atom('m')));
+        let ends_disabled = ["m", "", "m", ""];
+        let ends_enabled = ["m", "", "m", "", "m"];
+        assert_eq!(
+            rv_ltl(f.clone(), &ends_disabled, &mut holds),
+            Outcome::Verdict(Verdict::PresumablyFalse)
+        );
+        assert_eq!(
+            rv_ltl(f, &ends_enabled, &mut holds),
+            Outcome::Verdict(Verdict::PresumablyTrue)
+        );
+    }
+
+    #[test]
+    fn rv_ltl_definitive_cases_match_progression() {
+        let f = F::always(3u32, F::atom('p'));
+        assert_eq!(
+            rv_ltl(f, &["p", ""], &mut holds),
+            Outcome::Verdict(Verdict::DefinitelyFalse)
+        );
+        let g = F::eventually(3u32, F::atom('p'));
+        assert_eq!(
+            rv_ltl(g, &["", "p"], &mut holds),
+            Outcome::Verdict(Verdict::DefinitelyTrue)
+        );
+    }
+}

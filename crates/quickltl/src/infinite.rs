@@ -1,0 +1,368 @@
+//! Reference semantics: standard LTL over infinite, ultimately-periodic
+//! traces (Figure 2).
+//!
+//! QuickLTL's partial-trace verdicts are justified against the classical
+//! semantics of LTL on *behaviours* — infinite traces. Infinite traces are
+//! not representable directly, but the ultimately-periodic ones (a finite
+//! *stem* followed by a forever-repeating *cycle*, also called lasso traces)
+//! are, and they suffice: a definitive QuickLTL verdict on a finite prefix
+//! must agree with the classical semantics on every lasso extending that
+//! prefix. The property-based test suite checks exactly this.
+//!
+//! Demand annotations are semantically transparent here: they constrain
+//! *testing*, not the logic's meaning on completed behaviours.
+
+use crate::syntax::Formula;
+
+/// An ultimately-periodic infinite trace: `stem` followed by `cycle`
+/// repeated forever.
+///
+/// # Examples
+///
+/// ```
+/// use quickltl::infinite::Lasso;
+/// // s0 s1 (c0 c1)^ω
+/// let lasso = Lasso::new(vec!["s0", "s1"], vec!["c0", "c1"]).unwrap();
+/// assert_eq!(*lasso.state(0), "s0");
+/// assert_eq!(*lasso.state(3), "c1");
+/// assert_eq!(*lasso.state(4), "c0");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lasso<S> {
+    stem: Vec<S>,
+    cycle: Vec<S>,
+}
+
+/// Error constructing a [`Lasso`] with an empty cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyCycleError;
+
+impl std::fmt::Display for EmptyCycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("lasso cycle must be non-empty")
+    }
+}
+
+impl std::error::Error for EmptyCycleError {}
+
+impl<S> Lasso<S> {
+    /// Creates a lasso from a stem and a non-empty cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyCycleError`] when `cycle` is empty — a lasso must
+    /// describe an infinite trace.
+    pub fn new(stem: Vec<S>, cycle: Vec<S>) -> Result<Self, EmptyCycleError> {
+        if cycle.is_empty() {
+            Err(EmptyCycleError)
+        } else {
+            Ok(Lasso { stem, cycle })
+        }
+    }
+
+    /// The number of *distinct positions* (stem length + cycle length).
+    #[must_use]
+    pub fn positions(&self) -> usize {
+        self.stem.len() + self.cycle.len()
+    }
+
+    /// The state at unrolled position `i` of the infinite trace.
+    #[must_use]
+    pub fn state(&self, i: usize) -> &S {
+        if i < self.stem.len() {
+            &self.stem[i]
+        } else {
+            &self.cycle[(i - self.stem.len()) % self.cycle.len()]
+        }
+    }
+
+    /// Normalises an unrolled position into a distinct position index.
+    fn normalize(&self, i: usize) -> usize {
+        if i < self.positions() {
+            i
+        } else {
+            self.stem.len() + (i - self.stem.len()) % self.cycle.len()
+        }
+    }
+
+    /// The successor of a *distinct position* index, folding the cycle back
+    /// on itself.
+    fn succ(&self, i: usize) -> usize {
+        self.normalize(i + 1)
+    }
+
+    /// The first `k` states of the unrolled infinite trace.
+    ///
+    /// Useful for comparing progression over a finite prefix against the
+    /// lasso's classical semantics.
+    #[must_use]
+    pub fn prefix(&self, k: usize) -> Vec<&S> {
+        (0..k).map(|i| self.state(i)).collect()
+    }
+
+    /// A view of the stem.
+    #[must_use]
+    pub fn stem(&self) -> &[S] {
+        &self.stem
+    }
+
+    /// A view of the cycle.
+    #[must_use]
+    pub fn cycle(&self) -> &[S] {
+        &self.cycle
+    }
+}
+
+/// Evaluates `f` at every distinct position of the lasso.
+///
+/// Temporal operators are computed as fixpoints over the finite quotient
+/// graph of the lasso (least fixpoints for `◇`/`U`, greatest for `□`/`R`),
+/// which coincides with the classical Figure 2 semantics on the unrolled
+/// infinite trace. All three next operators coincide on infinite traces —
+/// there is always a next state.
+fn eval_all<P, S>(
+    f: &Formula<P>,
+    lasso: &Lasso<S>,
+    eval: &impl Fn(&P, &S) -> bool,
+) -> Vec<bool> {
+    let n = lasso.positions();
+    match f {
+        Formula::Top => vec![true; n],
+        Formula::Bottom => vec![false; n],
+        Formula::Atom(p) => (0..n).map(|i| eval(p, lasso.state(i))).collect(),
+        Formula::Not(inner) => eval_all(inner, lasso, eval).into_iter().map(|b| !b).collect(),
+        Formula::And(l, r) => {
+            let lv = eval_all(l, lasso, eval);
+            let rv = eval_all(r, lasso, eval);
+            lv.into_iter().zip(rv).map(|(a, b)| a && b).collect()
+        }
+        Formula::Or(l, r) => {
+            let lv = eval_all(l, lasso, eval);
+            let rv = eval_all(r, lasso, eval);
+            lv.into_iter().zip(rv).map(|(a, b)| a || b).collect()
+        }
+        Formula::Next(inner) | Formula::WeakNext(inner) | Formula::StrongNext(inner) => {
+            let sub = eval_all(inner, lasso, eval);
+            (0..n).map(|i| sub[lasso.succ(i)]).collect()
+        }
+        Formula::Always(_, inner) => {
+            let sub = eval_all(inner, lasso, eval);
+            gfp(lasso, |v, i| sub[i] && v[lasso.succ(i)])
+        }
+        Formula::Eventually(_, inner) => {
+            let sub = eval_all(inner, lasso, eval);
+            lfp(lasso, |v, i| sub[i] || v[lasso.succ(i)])
+        }
+        Formula::Until(_, l, r) => {
+            let lv = eval_all(l, lasso, eval);
+            let rv = eval_all(r, lasso, eval);
+            lfp(lasso, |v, i| rv[i] || (lv[i] && v[lasso.succ(i)]))
+        }
+        Formula::Release(_, l, r) => {
+            let lv = eval_all(l, lasso, eval);
+            let rv = eval_all(r, lasso, eval);
+            gfp(lasso, |v, i| rv[i] && (lv[i] || v[lasso.succ(i)]))
+        }
+    }
+}
+
+/// Least fixpoint of a monotone per-position equation, starting from all
+/// false.
+fn lfp<S>(lasso: &Lasso<S>, f: impl Fn(&[bool], usize) -> bool) -> Vec<bool> {
+    fixpoint(lasso, false, f)
+}
+
+/// Greatest fixpoint, starting from all true.
+fn gfp<S>(lasso: &Lasso<S>, f: impl Fn(&[bool], usize) -> bool) -> Vec<bool> {
+    fixpoint(lasso, true, f)
+}
+
+fn fixpoint<S>(
+    lasso: &Lasso<S>,
+    init: bool,
+    f: impl Fn(&[bool], usize) -> bool,
+) -> Vec<bool> {
+    let n = lasso.positions();
+    let mut v = vec![init; n];
+    // Each sweep is monotone (towards the fixpoint) and flips at least one
+    // position until stable, so n+1 sweeps suffice. Sweeping backwards
+    // converges fast on the stem.
+    for _ in 0..=n {
+        let mut changed = false;
+        for i in (0..n).rev() {
+            let new = f(&v, i);
+            if new != v[i] {
+                v[i] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    v
+}
+
+/// Does the lasso trace satisfy `f` in classical (infinite-trace) LTL?
+///
+/// # Examples
+///
+/// ```
+/// use quickltl::infinite::{holds, Lasso};
+/// use quickltl::Formula;
+/// // The menu alternates enabled/disabled forever: □◇m holds, □m does not.
+/// let lasso = Lasso::new(vec![], vec!["m", ""]).unwrap();
+/// let ev = |p: &char, s: &&str| s.contains(*p);
+/// assert!(holds(
+///     &Formula::always(0u32, Formula::eventually(0u32, Formula::atom('m'))),
+///     &lasso,
+///     &ev,
+/// ));
+/// assert!(!holds(&Formula::always(0u32, Formula::atom('m')), &lasso, &ev));
+/// ```
+pub fn holds<P, S>(f: &Formula<P>, lasso: &Lasso<S>, eval: &impl Fn(&P, &S) -> bool) -> bool {
+    eval_all(f, lasso, eval)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type F = Formula<char>;
+
+    fn ev(p: &char, s: &&str) -> bool {
+        s.contains(*p)
+    }
+
+    fn sat(f: &F, stem: Vec<&'static str>, cycle: Vec<&'static str>) -> bool {
+        holds(f, &Lasso::new(stem, cycle).unwrap(), &ev)
+    }
+
+    #[test]
+    fn empty_cycle_is_rejected() {
+        assert_eq!(Lasso::<i32>::new(vec![], vec![]), Err(EmptyCycleError));
+    }
+
+    #[test]
+    fn state_indexing_wraps() {
+        let l = Lasso::new(vec!["a"], vec!["b", "c"]).unwrap();
+        assert_eq!(*l.state(0), "a");
+        assert_eq!(*l.state(1), "b");
+        assert_eq!(*l.state(2), "c");
+        assert_eq!(*l.state(3), "b");
+        assert_eq!(l.prefix(4), vec![&"a", &"b", &"c", &"b"]);
+        assert_eq!(l.stem(), &["a"]);
+        assert_eq!(l.cycle(), &["b", "c"]);
+    }
+
+    #[test]
+    fn always_on_cycles() {
+        assert!(sat(&F::always(0u32, F::atom('p')), vec![], vec!["p"]));
+        assert!(!sat(&F::always(0u32, F::atom('p')), vec![], vec!["p", ""]));
+        // Violation only in the stem.
+        assert!(!sat(&F::always(0u32, F::atom('p')), vec![""], vec!["p"]));
+    }
+
+    #[test]
+    fn eventually_on_cycles() {
+        assert!(sat(&F::eventually(0u32, F::atom('p')), vec![""], vec!["", "p"]));
+        assert!(!sat(&F::eventually(0u32, F::atom('p')), vec!["", ""], vec![""]));
+        // Only in the stem: still satisfied at position 0.
+        assert!(sat(&F::eventually(0u32, F::atom('p')), vec!["p"], vec![""]));
+    }
+
+    #[test]
+    fn infinitely_often_vs_eventually_always() {
+        let inf_often = F::always(0u32, F::eventually(0u32, F::atom('p')));
+        let ev_always = F::eventually(0u32, F::always(0u32, F::atom('p')));
+        // Alternating: infinitely often yes, eventually-always no.
+        assert!(sat(&inf_often, vec![], vec!["p", ""]));
+        assert!(!sat(&ev_always, vec![], vec!["p", ""]));
+        // Stabilising: both hold.
+        assert!(sat(&inf_often, vec![""], vec!["p"]));
+        assert!(sat(&ev_always, vec![""], vec!["p"]));
+    }
+
+    #[test]
+    fn until_needs_fulfilment() {
+        let u = F::until(0u32, F::atom('a'), F::atom('b'));
+        assert!(sat(&u, vec!["a", "a"], vec!["b"]));
+        // a forever but b never: false on infinite traces.
+        assert!(!sat(&u, vec![], vec!["a"]));
+        assert!(!sat(&u, vec!["a", ""], vec!["b"]));
+    }
+
+    #[test]
+    fn release_allows_forever() {
+        let r = F::release(0u32, F::atom('a'), F::atom('b'));
+        // b forever without a release: release holds (unlike until).
+        assert!(sat(&r, vec![], vec!["b"]));
+        assert!(sat(&r, vec!["b"], vec!["ab", ""]));
+        assert!(!sat(&r, vec!["b", ""], vec!["b"]));
+    }
+
+    #[test]
+    fn until_release_duality_on_lassos() {
+        let u = F::until(0u32, F::atom('a'), F::atom('b'));
+        let dual = F::release(0u32, F::atom('a').not(), F::atom('b').not()).not();
+        for (stem, cycle) in [
+            (vec!["a"], vec!["b"]),
+            (vec![], vec!["a", "b"]),
+            (vec!["ab", ""], vec!["a"]),
+            (vec![], vec![""]),
+        ] {
+            assert_eq!(
+                sat(&u, stem.clone(), cycle.clone()),
+                sat(&dual, stem, cycle)
+            );
+        }
+    }
+
+    #[test]
+    fn next_operators_coincide_on_infinite_traces() {
+        for (f, g) in [
+            (F::atom('p').next(), F::atom('p').weak_next()),
+            (F::atom('p').next(), F::atom('p').strong_next()),
+        ] {
+            for (stem, cycle) in [(vec!["", "p"], vec![""]), (vec![], vec!["", "p"])] {
+                assert_eq!(
+                    sat(&f, stem.clone(), cycle.clone()),
+                    sat(&g, stem, cycle)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_identity_always() {
+        // □φ = φ ∧ X □φ (Fig. 3, identity 8) on several lassos.
+        let f = F::always(0u32, F::atom('p'));
+        let expanded = F::atom('p').and(F::always(0u32, F::atom('p')).next());
+        for (stem, cycle) in [
+            (vec![], vec!["p"]),
+            (vec!["p"], vec!["p", ""]),
+            (vec![""], vec!["p"]),
+        ] {
+            assert_eq!(
+                sat(&f, stem.clone(), cycle.clone()),
+                sat(&expanded, stem, cycle)
+            );
+        }
+    }
+
+    #[test]
+    fn demands_are_semantically_transparent() {
+        let annotated = F::always(50u32, F::eventually(7u32, F::atom('p')));
+        let plain = F::always(0u32, F::eventually(0u32, F::atom('p')));
+        for (stem, cycle) in [
+            (vec![], vec!["p", ""]),
+            (vec!["", ""], vec![""]),
+            (vec!["p"], vec!["p"]),
+        ] {
+            assert_eq!(
+                sat(&annotated, stem.clone(), cycle.clone()),
+                sat(&plain, stem, cycle)
+            );
+        }
+    }
+}

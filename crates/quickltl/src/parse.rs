@@ -1,0 +1,476 @@
+//! A small concrete syntax for QuickLTL formulae over named propositions.
+//!
+//! Primarily a convenience for tests, benchmarks and documentation — the
+//! Specstrom language (in the `specstrom` crate) is the user-facing syntax.
+//!
+//! Grammar (ASCII rendition of Figure 4):
+//!
+//! ```text
+//! formula := imp
+//! imp     := or ('->' imp)?                      (right associative)
+//! or      := and ('||' and)*
+//! and     := bin ('&&' bin)*
+//! bin     := unary (('U' | 'R') demand? unary)?  (right associative)
+//! unary   := '!' unary
+//!          | ('X!' | 'Xw' | 'Xs') unary
+//!          | ('G' | 'F') demand? unary
+//!          | atom
+//! atom    := 'true' | 'false' | ident | '(' formula ')'
+//! demand  := '[' integer ']'                     (omitted = 0)
+//! ```
+
+use crate::syntax::Formula;
+use std::fmt;
+
+/// Error produced when parsing a formula fails.
+///
+/// Carries the byte offset of the offending token and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    True,
+    False,
+    Not,
+    And,
+    Or,
+    Implies,
+    NextReq,
+    NextWeak,
+    NextStrong,
+    Always,
+    Eventually,
+    Until,
+    Release,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Int(u32),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut out = Vec::new();
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() {
+            let start = self.pos;
+            let c = bytes[self.pos] as char;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                    continue;
+                }
+                '(' => {
+                    out.push((start, Tok::LParen));
+                    self.pos += 1;
+                }
+                ')' => {
+                    out.push((start, Tok::RParen));
+                    self.pos += 1;
+                }
+                '[' => {
+                    out.push((start, Tok::LBracket));
+                    self.pos += 1;
+                }
+                ']' => {
+                    out.push((start, Tok::RBracket));
+                    self.pos += 1;
+                }
+                '!' => {
+                    out.push((start, Tok::Not));
+                    self.pos += 1;
+                }
+                '&' => {
+                    if bytes.get(self.pos + 1) == Some(&b'&') {
+                        out.push((start, Tok::And));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.error("expected '&&'"));
+                    }
+                }
+                '|' => {
+                    if bytes.get(self.pos + 1) == Some(&b'|') {
+                        out.push((start, Tok::Or));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.error("expected '||'"));
+                    }
+                }
+                '-' => {
+                    if bytes.get(self.pos + 1) == Some(&b'>') {
+                        out.push((start, Tok::Implies));
+                        self.pos += 2;
+                    } else {
+                        return Err(self.error("expected '->'"));
+                    }
+                }
+                '0'..='9' => {
+                    let mut end = self.pos;
+                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                    let text = &self.src[self.pos..end];
+                    let n: u32 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("integer out of range: {text}")))?;
+                    out.push((start, Tok::Int(n)));
+                    self.pos = end;
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut end = self.pos;
+                    while end < bytes.len()
+                        && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    let word = &self.src[self.pos..end];
+                    // `X!` / `Xw` / `Xs` need one-character lookahead for
+                    // the bang form.
+                    let tok = match word {
+                        "true" => Tok::True,
+                        "false" => Tok::False,
+                        "G" => Tok::Always,
+                        "F" => Tok::Eventually,
+                        "U" => Tok::Until,
+                        "R" => Tok::Release,
+                        "X" => {
+                            if bytes.get(end) == Some(&b'!') {
+                                end += 1;
+                                Tok::NextReq
+                            } else {
+                                return Err(ParseError {
+                                    offset: start,
+                                    message: "bare 'X' — use 'X!', 'Xw' or 'Xs'".into(),
+                                });
+                            }
+                        }
+                        "Xw" => Tok::NextWeak,
+                        "Xs" => Tok::NextStrong,
+                        _ => Tok::Ident(word.to_owned()),
+                    };
+                    out.push((start, tok));
+                    self.pos = end;
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character {other:?}")));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map_or(self.input_len, |(off, _)| *off)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn demand(&mut self) -> Result<u32, ParseError> {
+        if self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            let n = match self.bump() {
+                Some(Tok::Int(n)) => n,
+                _ => return Err(self.error("expected integer demand")),
+            };
+            self.expect(&Tok::RBracket, "']'")?;
+            Ok(n)
+        } else {
+            Ok(0)
+        }
+    }
+
+    fn imp(&mut self) -> Result<Formula<String>, ParseError> {
+        let lhs = self.or()?;
+        if self.peek() == Some(&Tok::Implies) {
+            self.pos += 1;
+            let rhs = self.imp()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula<String>, ParseError> {
+        let mut lhs = self.and()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.pos += 1;
+            let rhs = self.and()?;
+            lhs = Formula::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Formula<String>, ParseError> {
+        let mut lhs = self.bin()?;
+        while self.peek() == Some(&Tok::And) {
+            self.pos += 1;
+            let rhs = self.bin()?;
+            lhs = Formula::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bin(&mut self) -> Result<Formula<String>, ParseError> {
+        let lhs = self.unary()?;
+        match self.peek() {
+            Some(Tok::Until) => {
+                self.pos += 1;
+                let n = self.demand()?;
+                let rhs = self.bin()?;
+                Ok(Formula::until(n, lhs, rhs))
+            }
+            Some(Tok::Release) => {
+                self.pos += 1;
+                let n = self.demand()?;
+                let rhs = self.bin()?;
+                Ok(Formula::release(n, lhs, rhs))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn unary(&mut self) -> Result<Formula<String>, ParseError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.pos += 1;
+                Ok(Formula::Not(Box::new(self.unary()?)))
+            }
+            Some(Tok::NextReq) => {
+                self.pos += 1;
+                Ok(self.unary()?.next())
+            }
+            Some(Tok::NextWeak) => {
+                self.pos += 1;
+                Ok(self.unary()?.weak_next())
+            }
+            Some(Tok::NextStrong) => {
+                self.pos += 1;
+                Ok(self.unary()?.strong_next())
+            }
+            Some(Tok::Always) => {
+                self.pos += 1;
+                let n = self.demand()?;
+                Ok(Formula::always(n, self.unary()?))
+            }
+            Some(Tok::Eventually) => {
+                self.pos += 1;
+                let n = self.demand()?;
+                Ok(Formula::eventually(n, self.unary()?))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula<String>, ParseError> {
+        match self.peek() {
+            Some(Tok::True) => {
+                self.pos += 1;
+                Ok(Formula::Top)
+            }
+            Some(Tok::False) => {
+                self.pos += 1;
+                Ok(Formula::Bottom)
+            }
+            Some(Tok::Ident(_)) => match self.bump() {
+                Some(Tok::Ident(name)) => Ok(Formula::Atom(name)),
+                _ => unreachable!("peeked an identifier"),
+            },
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let f = self.imp()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(f)
+            }
+            _ => Err(self.error("expected a formula")),
+        }
+    }
+}
+
+/// Parses a QuickLTL formula over string-named atomic propositions.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with byte offset on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use quickltl::parse;
+/// let f = parse("G[100] F[5] menuEnabled").unwrap();
+/// assert_eq!(f.to_string(), "G[100] F[5] menuEnabled");
+/// let g = parse("!(!LogIn U SecretPage)").unwrap();
+/// assert_eq!(g.to_string(), "!(!LogIn U[0] SecretPage)");
+/// ```
+pub fn parse(input: &str) -> Result<Formula<String>, ParseError> {
+    let toks = Lexer::new(input).tokens()?;
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let f = parser.imp()?;
+    if parser.pos != parser.toks.len() {
+        return Err(parser.error("trailing input after formula"));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        parse(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn atoms_and_constants() {
+        assert_eq!(roundtrip("p"), "p");
+        assert_eq!(roundtrip("true"), "true");
+        assert_eq!(roundtrip("false"), "false");
+        assert_eq!(roundtrip("menu_enabled2"), "menu_enabled2");
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(roundtrip("a || b && c"), "a || b && c");
+        assert_eq!(roundtrip("(a || b) && c"), "(a || b) && c");
+        assert_eq!(roundtrip("!a && b"), "!a && b");
+        assert_eq!(roundtrip("!(a && b)"), "!(a && b)");
+    }
+
+    #[test]
+    fn implication_desugars() {
+        assert_eq!(parse("a -> b").unwrap(), parse("!a || b").unwrap());
+        // Right associative.
+        assert_eq!(parse("a -> b -> c").unwrap(), parse("!a || (!b || c)").unwrap());
+    }
+
+    #[test]
+    fn temporal_with_demands() {
+        assert_eq!(roundtrip("G[100] F[5] m"), "G[100] F[5] m");
+        assert_eq!(roundtrip("a U[3] b"), "a U[3] b");
+        assert_eq!(roundtrip("a R b"), "a R[0] b");
+        assert_eq!(roundtrip("G p"), "G[0] p");
+    }
+
+    #[test]
+    fn next_operators() {
+        assert_eq!(roundtrip("X! p"), "X! p");
+        assert_eq!(roundtrip("Xw p"), "Xw p");
+        assert_eq!(roundtrip("Xs p"), "Xs p");
+        assert_eq!(roundtrip("X!X! p"), "X! X! p");
+    }
+
+    #[test]
+    fn until_is_right_associative() {
+        assert_eq!(parse("a U b U c").unwrap(), parse("a U (b U c)").unwrap());
+    }
+
+    #[test]
+    fn paper_examples_parse() {
+        // §2's login invariant and secret-page orderings.
+        assert!(parse("G (LoggedIn || !financesPage)").is_ok());
+        assert!(parse("LogIn R !SecretPage").is_ok());
+        assert!(parse("!(!LogIn U SecretPage)").is_ok());
+        // The flashing screen.
+        assert!(parse("G (dark && Xs light || light && Xs dark)").is_ok());
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("a &&").unwrap_err();
+        assert_eq!(err.offset, 4);
+        let err = parse("a & b").unwrap_err();
+        assert_eq!(err.offset, 2);
+        assert!(parse("(a").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("G[] p").is_err());
+        assert!(parse("X p").is_err());
+        assert!(parse("a @ b").is_err());
+        assert!(parse("G[99999999999999] p").is_err());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for src in [
+            "G[100] F[5] m",
+            "a U[3] (b R[2] c)",
+            "!p && (q || Xs r)",
+            "X! (a && b) || Xw c",
+        ] {
+            let f = parse(src).unwrap();
+            let printed = f.to_string();
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(f, reparsed, "{src} -> {printed}");
+        }
+    }
+}

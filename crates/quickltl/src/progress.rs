@@ -1,0 +1,1208 @@
+//! Evaluation of QuickLTL by formula progression (§2.3).
+//!
+//! Evaluation of a formula proceeds in three phases, repeated per state of
+//! the trace:
+//!
+//! 1. **Unroll** ([`unroll`], Figure 6): given a state `σ`, expand each
+//!    temporal operator one step and evaluate every atomic proposition that
+//!    is not guarded by a "next" operator against `σ`.
+//! 2. **Simplify** ([`simplify`], Figure 3 identities plus boolean laws):
+//!    the result is either a definitive constant, or a formula in *guarded
+//!    form* — conjunctions and disjunctions of next-guarded subformulae —
+//!    from which a presumptive answer can be read off when no *required
+//!    next* remains.
+//! 3. **Step** ([`Guarded::step`], Figure 7): strip one layer of next
+//!    operators and continue with the following state.
+//!
+//! [`Evaluator`] packages the loop; [`check_trace`] runs it over a complete
+//! finite trace.
+
+use crate::syntax::Formula;
+use crate::verdict::{Outcome, Verdict};
+use std::fmt;
+
+/// How aggressively [`simplify`] rewrites formulae.
+///
+/// `Full` is the paper's algorithm. `NoDedup` disables the idempotence law
+/// `φ ∧ φ = φ` / `φ ∨ φ = φ`, which is the rewrite responsible for taming
+/// the Roşu–Havelund formula-size blow-up that §2.3 warns about; it exists
+/// so the ablation benchmark can measure that growth. Constant folding and
+/// negation pushing can never be disabled — they are what establishes the
+/// guarded-form invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimplifyMode {
+    /// Constant folding, negation identities, and idempotence dedup.
+    #[default]
+    Full,
+    /// Constant folding and negation identities only.
+    NoDedup,
+}
+
+/// Pushes negations inward using the Figure 3 identities (1–5) extended to
+/// QuickLTL's three next operators, and folds constants.
+///
+/// The required next `X!` is self-dual; the weak and strong nexts are dual
+/// to each other; demand annotations transfer unchanged under duality (the
+/// Figure 5 expansions commute with negation).
+fn negate<P>(f: Formula<P>, mode: SimplifyMode) -> Formula<P>
+where
+    P: PartialEq,
+{
+    match f {
+        Formula::Top => Formula::Bottom,
+        Formula::Bottom => Formula::Top,
+        Formula::Atom(p) => Formula::Not(Box::new(Formula::Atom(p))),
+        Formula::Not(inner) => simplify_with(*inner, mode),
+        Formula::And(l, r) => simplify_or(negate(*l, mode), negate(*r, mode), mode),
+        Formula::Or(l, r) => simplify_and(negate(*l, mode), negate(*r, mode), mode),
+        // Identity 3 (Fig. 3) for the self-dual required next.
+        Formula::Next(inner) => mk_next(negate(*inner, mode)),
+        // ¬ Xw φ = Xs ¬φ and vice versa.
+        Formula::WeakNext(inner) => mk_strong_next(negate(*inner, mode)),
+        Formula::StrongNext(inner) => mk_weak_next(negate(*inner, mode)),
+        // Identities 1–2: ¬ □ₙ φ = ◇ₙ ¬φ, ¬ ◇ₙ φ = □ₙ ¬φ.
+        Formula::Always(n, inner) => mk_eventually(n, negate(*inner, mode)),
+        Formula::Eventually(n, inner) => mk_always(n, negate(*inner, mode)),
+        // Identities 4–5: ¬(φ Uₙ ψ) = ¬φ Rₙ ¬ψ and vice versa.
+        Formula::Until(n, l, r) => mk_release(n, negate(*l, mode), negate(*r, mode)),
+        Formula::Release(n, l, r) => mk_until(n, negate(*l, mode), negate(*r, mode)),
+    }
+}
+
+/// Smart constructors applying the conservative unit laws. Used uniformly
+/// by both [`simplify_with`] and [`negate`], so that dual formulae always
+/// simplify to dual results (negation duality of the verdicts depends on
+/// this).
+fn mk_next<P>(inner: Formula<P>) -> Formula<P> {
+    match inner {
+        // In the partial-trace setting the checker can always produce a
+        // next state, so a required next over a constant is that constant:
+        // `X! ⊤ = ⊤` and `X! ⊥ = ⊥`. Demands exist to gate *presumptive*
+        // answers; a definitive constant needs no further states. Both
+        // collapses are kept so the law set stays closed under duality.
+        Formula::Top => Formula::Top,
+        Formula::Bottom => Formula::Bottom,
+        g => Formula::Next(Box::new(g)),
+    }
+}
+
+fn mk_weak_next<P>(inner: Formula<P>) -> Formula<P> {
+    match inner {
+        // Xw ⊤ is true whether or not a next state exists.
+        Formula::Top => Formula::Top,
+        g => Formula::WeakNext(Box::new(g)),
+    }
+}
+
+fn mk_strong_next<P>(inner: Formula<P>) -> Formula<P> {
+    match inner {
+        // Xs ⊥ is false whether or not a next state exists.
+        Formula::Bottom => Formula::Bottom,
+        g => Formula::StrongNext(Box::new(g)),
+    }
+}
+
+fn mk_always<P>(n: crate::syntax::Demand, inner: Formula<P>) -> Formula<P> {
+    match inner {
+        Formula::Top => Formula::Top,
+        Formula::Bottom => Formula::Bottom,
+        g => Formula::Always(n, Box::new(g)),
+    }
+}
+
+fn mk_eventually<P>(n: crate::syntax::Demand, inner: Formula<P>) -> Formula<P> {
+    match inner {
+        Formula::Top => Formula::Top,
+        Formula::Bottom => Formula::Bottom,
+        g => Formula::Eventually(n, Box::new(g)),
+    }
+}
+
+fn mk_until<P>(n: crate::syntax::Demand, l: Formula<P>, r: Formula<P>) -> Formula<P> {
+    match r {
+        // φ Uₙ ⊤ is immediately satisfied; φ Uₙ ⊥ can never be.
+        Formula::Top => Formula::Top,
+        Formula::Bottom => Formula::Bottom,
+        g => Formula::Until(n, Box::new(l), Box::new(g)),
+    }
+}
+
+fn mk_release<P>(n: crate::syntax::Demand, l: Formula<P>, r: Formula<P>) -> Formula<P> {
+    match r {
+        // φ Rₙ ⊤ holds trivially; φ Rₙ ⊥ fails at the very first state.
+        Formula::Top => Formula::Top,
+        Formula::Bottom => Formula::Bottom,
+        g => Formula::Release(n, Box::new(l), Box::new(g)),
+    }
+}
+
+/// Flattens an `∧`/`∨` chain into its non-constant conjuncts/disjuncts,
+/// returning `true` if the annihilating constant was found.
+fn flatten<P>(
+    f: Formula<P>,
+    is_and: bool,
+    out: &mut Vec<Formula<P>>,
+) -> bool {
+    match (f, is_and) {
+        (Formula::Top, true) | (Formula::Bottom, false) => false, // unit: drop
+        (Formula::Top, false) | (Formula::Bottom, true) => true,  // annihilator
+        (Formula::And(l, r), true) => {
+            flatten(*l, true, out) || flatten(*r, true, out)
+        }
+        (Formula::Or(l, r), false) => {
+            flatten(*l, false, out) || flatten(*r, false, out)
+        }
+        (other, _) => {
+            out.push(other);
+            false
+        }
+    }
+}
+
+/// Rebuilds a (deduplicated) conjunct/disjunct list.
+///
+/// Duplicate detection works over the *flattened* chain, so `φ ∧ (φ ∧ ψ)`
+/// collapses too — pairwise-sibling dedup would miss it, and it is exactly
+/// the shape progression produces when `□` re-spawns an obligation that is
+/// already pending (the Roşu–Havelund accumulation, §2.3).
+fn rebuild<P: PartialEq>(
+    mut items: Vec<Formula<P>>,
+    is_and: bool,
+    mode: SimplifyMode,
+) -> Formula<P> {
+    if mode == SimplifyMode::Full {
+        let mut deduped: Vec<Formula<P>> = Vec::with_capacity(items.len());
+        for item in items {
+            if !deduped.contains(&item) {
+                deduped.push(item);
+            }
+        }
+        items = deduped;
+    }
+    let unit = if is_and { Formula::Top } else { Formula::Bottom };
+    let Some(first) = items.pop() else {
+        return unit;
+    };
+    items.into_iter().rfold(first, |acc, item| {
+        if is_and {
+            Formula::And(Box::new(item), Box::new(acc))
+        } else {
+            Formula::Or(Box::new(item), Box::new(acc))
+        }
+    })
+}
+
+fn simplify_and<P: PartialEq>(l: Formula<P>, r: Formula<P>, mode: SimplifyMode) -> Formula<P> {
+    let mut items = Vec::new();
+    if flatten(l, true, &mut items) || flatten(r, true, &mut items) {
+        return Formula::Bottom;
+    }
+    rebuild(items, true, mode)
+}
+
+fn simplify_or<P: PartialEq>(l: Formula<P>, r: Formula<P>, mode: SimplifyMode) -> Formula<P> {
+    let mut items = Vec::new();
+    if flatten(l, false, &mut items) || flatten(r, false, &mut items) {
+        return Formula::Top;
+    }
+    rebuild(items, false, mode)
+}
+
+/// Simplifies a formula with the given [`SimplifyMode`].
+///
+/// Performs negation pushing (Figure 3 identities 1–5 plus De Morgan),
+/// constant folding, conservative temporal unit laws (`□ₙ ⊤ = ⊤`,
+/// `□ₙ ⊥ = ⊥`, `◇ₙ ⊤ = ⊤`, `◇ₙ ⊥ = ⊥`, `φ Uₙ ⊤ = ⊤`, `φ Uₙ ⊥ = ⊥`,
+/// `φ Rₙ ⊤ = ⊤`, `φ Rₙ ⊥ = ⊥`, `Xw ⊤ = ⊤`, `Xs ⊥ = ⊥`), and — in
+/// [`SimplifyMode::Full`] — idempotence dedup. The unit-law set is closed
+/// under duality, so negating a formula always yields the dual
+/// simplification. The result of simplifying an [`unroll`]ed formula is
+/// either a constant or in guarded form.
+#[must_use]
+pub fn simplify_with<P>(f: Formula<P>, mode: SimplifyMode) -> Formula<P>
+where
+    P: PartialEq,
+{
+    match f {
+        Formula::Top => Formula::Top,
+        Formula::Bottom => Formula::Bottom,
+        Formula::Atom(p) => Formula::Atom(p),
+        Formula::Not(inner) => negate(*inner, mode),
+        Formula::And(l, r) => {
+            simplify_and(simplify_with(*l, mode), simplify_with(*r, mode), mode)
+        }
+        Formula::Or(l, r) => simplify_or(simplify_with(*l, mode), simplify_with(*r, mode), mode),
+        Formula::Next(inner) => mk_next(simplify_with(*inner, mode)),
+        Formula::WeakNext(inner) => mk_weak_next(simplify_with(*inner, mode)),
+        Formula::StrongNext(inner) => mk_strong_next(simplify_with(*inner, mode)),
+        Formula::Always(n, inner) => mk_always(n, simplify_with(*inner, mode)),
+        Formula::Eventually(n, inner) => mk_eventually(n, simplify_with(*inner, mode)),
+        Formula::Until(n, l, r) => {
+            let l = simplify_with(*l, mode);
+            mk_until(n, l, simplify_with(*r, mode))
+        }
+        Formula::Release(n, l, r) => {
+            let l = simplify_with(*l, mode);
+            mk_release(n, l, simplify_with(*r, mode))
+        }
+    }
+}
+
+/// Simplifies with [`SimplifyMode::Full`] (the paper's algorithm).
+#[must_use]
+pub fn simplify<P: PartialEq>(f: Formula<P>) -> Formula<P> {
+    simplify_with(f, SimplifyMode::Full)
+}
+
+/// Unrolls a formula one step against the state `σ` (Figure 6), with atom
+/// *expansion*.
+///
+/// Every atomic proposition not guarded by a next operator is expanded via
+/// `expand`, which may return an arbitrary formula — not merely a constant.
+/// This is what lets a host language (Specstrom) treat whole temporal
+/// subformulae as state-dependent expressions: an atom may evaluate, at this
+/// very state, to a fresh formula (e.g. a `release`-guarded nested state
+/// machine whose `let`-bound values were frozen at σ, §4.1), which is then
+/// itself unrolled against σ. Plain propositions simply expand to `⊤`/`⊥`.
+///
+/// Temporal operators are expanded per the Figure 5 identities, positive
+/// demands spending one unit and emitting a *required next*, zero demands
+/// emitting the weak/strong next of RV-LTL. Subformulae under next guards
+/// are left untouched — they concern the following state.
+///
+/// Expansion must be *productive*: the formulae returned by `expand` are
+/// unrolled recursively, so an expansion chain that reproduces its own atom
+/// would diverge. Terminating hosts (Specstrom has no recursion) satisfy
+/// this by construction; [`Evaluator::observe`] is the plain-proposition
+/// variant.
+///
+/// # Errors
+///
+/// Propagates the first error returned by `expand` (e.g. a failed DOM
+/// query).
+pub fn unroll<P, E>(
+    f: Formula<P>,
+    expand: &mut impl FnMut(&P) -> Result<Formula<P>, E>,
+) -> Result<Formula<P>, E>
+where
+    P: Clone,
+{
+    Ok(match f {
+        Formula::Top => Formula::Top,
+        Formula::Bottom => Formula::Bottom,
+        Formula::Atom(p) => {
+            let expanded = expand(&p)?;
+            match expanded {
+                // Constants and next-guarded results need no re-unrolling;
+                // anything else is a formula "at σ" and is unrolled here.
+                Formula::Top => Formula::Top,
+                Formula::Bottom => Formula::Bottom,
+                other => unroll(other, expand)?,
+            }
+        }
+        Formula::Not(inner) => Formula::Not(Box::new(unroll(*inner, expand)?)),
+        Formula::And(l, r) => {
+            Formula::And(Box::new(unroll(*l, expand)?), Box::new(unroll(*r, expand)?))
+        }
+        Formula::Or(l, r) => {
+            Formula::Or(Box::new(unroll(*l, expand)?), Box::new(unroll(*r, expand)?))
+        }
+        // The three next operators pass through unchanged (Fig. 6).
+        next @ (Formula::Next(_) | Formula::WeakNext(_) | Formula::StrongNext(_)) => next,
+        Formula::Always(n, inner) => {
+            let now = unroll((*inner).clone(), expand)?;
+            let rest = Formula::Always(n.decrement(), inner);
+            let guarded = if n.is_positive() {
+                Formula::Next(Box::new(rest))
+            } else {
+                Formula::WeakNext(Box::new(rest))
+            };
+            Formula::And(Box::new(now), Box::new(guarded))
+        }
+        Formula::Eventually(n, inner) => {
+            let now = unroll((*inner).clone(), expand)?;
+            let rest = Formula::Eventually(n.decrement(), inner);
+            let guarded = if n.is_positive() {
+                Formula::Next(Box::new(rest))
+            } else {
+                Formula::StrongNext(Box::new(rest))
+            };
+            Formula::Or(Box::new(now), Box::new(guarded))
+        }
+        Formula::Until(n, l, r) => {
+            let l_now = unroll((*l).clone(), expand)?;
+            let r_now = unroll((*r).clone(), expand)?;
+            let rest = Formula::Until(n.decrement(), l, r);
+            let guarded = if n.is_positive() {
+                Formula::Next(Box::new(rest))
+            } else {
+                Formula::StrongNext(Box::new(rest))
+            };
+            // ψ′ ∨ (φ′ ∧ ◦(φ Uₙ₋₁ ψ))
+            Formula::Or(
+                Box::new(r_now),
+                Box::new(Formula::And(Box::new(l_now), Box::new(guarded))),
+            )
+        }
+        Formula::Release(n, l, r) => {
+            let l_now = unroll((*l).clone(), expand)?;
+            let r_now = unroll((*r).clone(), expand)?;
+            let rest = Formula::Release(n.decrement(), l, r);
+            let guarded = if n.is_positive() {
+                Formula::Next(Box::new(rest))
+            } else {
+                Formula::WeakNext(Box::new(rest))
+            };
+            // ψ′ ∧ (φ′ ∨ ◦(φ Rₙ₋₁ ψ))
+            Formula::And(
+                Box::new(r_now),
+                Box::new(Formula::Or(Box::new(l_now), Box::new(guarded))),
+            )
+        }
+    })
+}
+
+/// A formula in *guarded form* (Figure 4): conjunctions and disjunctions of
+/// next-guarded subformulae.
+///
+/// Obtained from [`classify`]; the invariant is checked on construction.
+/// A guarded formula answers two questions:
+///
+/// * [`Guarded::demands_more`] — does a required next remain, obliging the
+///   checker to produce another state before any verdict may be given?
+/// * [`Guarded::presumptive`] — when no required next remains, the
+///   presumptive truth value obtained by reading weak-next-guarded terms as
+///   `⊤` and strong-next-guarded terms as `⊥`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Guarded<P>(Formula<P>);
+
+impl<P> Guarded<P> {
+    fn is_guarded(f: &Formula<P>) -> bool {
+        match f {
+            Formula::Next(_) | Formula::WeakNext(_) | Formula::StrongNext(_) => true,
+            Formula::And(l, r) | Formula::Or(l, r) => {
+                Self::is_guarded(l) && Self::is_guarded(r)
+            }
+            _ => false,
+        }
+    }
+
+    /// Wraps `f`, verifying the guarded-form invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotGuardedError`] if `f` contains anything other than
+    /// `∧`/`∨` over next-guarded subformulae.
+    pub fn new(f: Formula<P>) -> Result<Self, NotGuardedError> {
+        if Self::is_guarded(&f) {
+            Ok(Guarded(f))
+        } else {
+            Err(NotGuardedError)
+        }
+    }
+
+    /// A view of the underlying formula.
+    #[must_use]
+    pub fn formula(&self) -> &Formula<P> {
+        &self.0
+    }
+
+    /// Unwraps into the underlying formula.
+    #[must_use]
+    pub fn into_formula(self) -> Formula<P> {
+        self.0
+    }
+
+    /// `true` when a required-next guard remains anywhere in the formula.
+    #[must_use]
+    pub fn demands_more(&self) -> bool {
+        fn go<P>(f: &Formula<P>) -> bool {
+            match f {
+                Formula::Next(_) => true,
+                Formula::And(l, r) | Formula::Or(l, r) => go(l) || go(r),
+                _ => false,
+            }
+        }
+        go(&self.0)
+    }
+
+    /// The presumptive truth value (§2.3, phase 2): weak-next-guarded terms
+    /// read as `⊤`, strong-next-guarded terms as `⊥`.
+    ///
+    /// Returns `None` when a required next remains — per the paper, no
+    /// presumptive answer may be given in that case.
+    #[must_use]
+    pub fn presumptive(&self) -> Option<bool> {
+        fn go<P>(f: &Formula<P>) -> Option<bool> {
+            match f {
+                Formula::Next(_) => None,
+                Formula::WeakNext(_) => Some(true),
+                Formula::StrongNext(_) => Some(false),
+                Formula::And(l, r) => match (go(l), go(r)) {
+                    // ⊥ annihilates even a demanding sibling? No: a required
+                    // next forbids any presumptive answer for the whole
+                    // formula (§2.3), so propagate None strictly.
+                    (Some(a), Some(b)) => Some(a && b),
+                    _ => None,
+                },
+                Formula::Or(l, r) => match (go(l), go(r)) {
+                    (Some(a), Some(b)) => Some(a || b),
+                    _ => None,
+                },
+                // Unreachable under the construction invariant.
+                _ => None,
+            }
+        }
+        go(&self.0)
+    }
+
+    /// Steps the formula forward to the next state (Figure 7): every next
+    /// guard is stripped, `∧`/`∨` are preserved.
+    #[must_use]
+    pub fn step(self) -> Formula<P> {
+        fn go<P>(f: Formula<P>) -> Formula<P> {
+            match f {
+                Formula::Next(inner) | Formula::WeakNext(inner) | Formula::StrongNext(inner) => {
+                    *inner
+                }
+                Formula::And(l, r) => Formula::And(Box::new(go(*l)), Box::new(go(*r))),
+                Formula::Or(l, r) => Formula::Or(Box::new(go(*l)), Box::new(go(*r))),
+                other => other,
+            }
+        }
+        go(self.0)
+    }
+}
+
+/// Error returned by [`Guarded::new`] when the formula is not in guarded
+/// form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotGuardedError;
+
+impl fmt::Display for NotGuardedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("formula is not in guarded form")
+    }
+}
+
+impl std::error::Error for NotGuardedError {}
+
+/// The result of unrolling and simplifying against one state: either a
+/// definitive constant or a guarded-form residue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Progress<P> {
+    /// The trace so far decides the formula outright.
+    Definitive(bool),
+    /// Evaluation must consult further states.
+    Guarded(Guarded<P>),
+}
+
+/// Classifies a simplified, unrolled formula as definitive or guarded.
+///
+/// # Errors
+///
+/// Returns [`NotGuardedError`] if the formula is neither constant nor in
+/// guarded form — which indicates it was not produced by
+/// [`unroll`]-then-[`simplify`].
+pub fn classify<P>(f: Formula<P>) -> Result<Progress<P>, NotGuardedError> {
+    match f {
+        Formula::Top => Ok(Progress::Definitive(true)),
+        Formula::Bottom => Ok(Progress::Definitive(false)),
+        other => Guarded::new(other).map(Progress::Guarded),
+    }
+}
+
+/// The per-state report of an [`Evaluator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepReport {
+    /// The formula is decided; further states cannot change the verdict.
+    Definitive(bool),
+    /// Evaluation continues. `presumptive` is the tentative answer, absent
+    /// when required-next demands are outstanding.
+    Continue {
+        /// The presumptive reading, if permitted.
+        presumptive: Option<bool>,
+    },
+}
+
+impl StepReport {
+    /// The [`Outcome`] corresponding to stopping the trace right now.
+    #[must_use]
+    pub fn outcome(self) -> Outcome {
+        match self {
+            StepReport::Definitive(b) => Outcome::Verdict(Verdict::definitely(b)),
+            StepReport::Continue {
+                presumptive: Some(b),
+            } => Outcome::Verdict(Verdict::presumably(b)),
+            StepReport::Continue { presumptive: None } => Outcome::MoreStatesNeeded,
+        }
+    }
+}
+
+/// Incremental QuickLTL evaluation over a growing trace (§2.3's loop).
+///
+/// Feed states one at a time with [`Evaluator::observe`]; inspect the
+/// running [`Evaluator::outcome`] at any point. Once a definitive verdict is
+/// reached the evaluator latches: further observations are no-ops.
+///
+/// # Examples
+///
+/// ```
+/// use quickltl::{Evaluator, Formula, Outcome, Verdict};
+///
+/// // ◇₂ p over states where p first holds in the third state.
+/// let f = Formula::eventually(2u32, Formula::atom('p'));
+/// let mut ev = Evaluator::new(f);
+/// let trace = [false, false, true];
+/// for p in trace {
+///     let report = ev
+///         .observe::<std::convert::Infallible>(&mut |_| Ok(p))
+///         .unwrap();
+///     let _ = report;
+/// }
+/// assert_eq!(ev.outcome(), Outcome::Verdict(Verdict::DefinitelyTrue));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator<P> {
+    state: EvaluatorState<P>,
+    mode: SimplifyMode,
+    states_seen: usize,
+    last_report: Option<StepReport>,
+}
+
+#[derive(Debug, Clone)]
+enum EvaluatorState<P> {
+    Running(Formula<P>),
+    Done(bool),
+}
+
+impl<P> Evaluator<P>
+where
+    P: Clone + PartialEq,
+{
+    /// Creates an evaluator for `formula` with full simplification.
+    pub fn new(formula: Formula<P>) -> Self {
+        Evaluator {
+            state: EvaluatorState::Running(formula),
+            mode: SimplifyMode::Full,
+            states_seen: 0,
+            last_report: None,
+        }
+    }
+
+    /// Creates an evaluator with an explicit [`SimplifyMode`] (ablation
+    /// hook; see the `ablation_simplify` benchmark).
+    pub fn with_mode(formula: Formula<P>, mode: SimplifyMode) -> Self {
+        Evaluator {
+            state: EvaluatorState::Running(formula),
+            mode,
+            states_seen: 0,
+            last_report: None,
+        }
+    }
+
+    /// Observes one state of the trace, running unroll → simplify →
+    /// classify → step.
+    ///
+    /// `eval` evaluates an atomic proposition against the observed state,
+    /// returning a plain truth value. For hosts whose atoms expand into
+    /// formulae (Specstrom), use [`Evaluator::observe_expanding`]. After a
+    /// definitive verdict, further calls return it unchanged without
+    /// invoking `eval`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `eval` (the formula is left unchanged, so the
+    /// caller may retry with a repaired state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if unroll-then-simplify produces a formula that is neither
+    /// constant nor guarded — an internal invariant violation.
+    pub fn observe<E>(
+        &mut self,
+        eval: &mut impl FnMut(&P) -> Result<bool, E>,
+    ) -> Result<StepReport, E> {
+        self.observe_expanding(&mut |p| eval(p).map(Formula::constant))
+    }
+
+    /// Observes one state, expanding atoms into formulae (see [`unroll`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `expand`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unroll-then-simplify produces a formula that is neither
+    /// constant nor guarded — an internal invariant violation.
+    pub fn observe_expanding<E>(
+        &mut self,
+        expand: &mut impl FnMut(&P) -> Result<Formula<P>, E>,
+    ) -> Result<StepReport, E> {
+        let formula = match &self.state {
+            EvaluatorState::Done(b) => return Ok(StepReport::Definitive(*b)),
+            EvaluatorState::Running(f) => f.clone(),
+        };
+        let unrolled = unroll(formula, expand)?;
+        let simplified = simplify_with(unrolled, self.mode);
+        self.states_seen += 1;
+        let report = match classify(simplified)
+            .expect("unroll+simplify must yield constant or guarded form")
+        {
+            Progress::Definitive(b) => {
+                self.state = EvaluatorState::Done(b);
+                StepReport::Definitive(b)
+            }
+            Progress::Guarded(g) => {
+                let presumptive = g.presumptive();
+                self.state = EvaluatorState::Running(g.step());
+                StepReport::Continue { presumptive }
+            }
+        };
+        self.last_report = Some(report);
+        Ok(report)
+    }
+
+    /// The outcome of ending the trace after the states observed so far.
+    ///
+    /// Before any state has been observed, this is
+    /// [`Outcome::MoreStatesNeeded`]: QuickLTL formulae are evaluated
+    /// against non-empty traces.
+    #[must_use]
+    pub fn outcome(&self) -> Outcome {
+        match self.last_report {
+            Some(report) => report.outcome(),
+            None => Outcome::MoreStatesNeeded,
+        }
+    }
+
+    /// The residual formula awaiting the next state, or `None` once done.
+    #[must_use]
+    pub fn residual(&self) -> Option<&Formula<P>> {
+        match &self.state {
+            EvaluatorState::Running(f) => Some(f),
+            EvaluatorState::Done(_) => None,
+        }
+    }
+
+    /// The verdict a checker should report when *forced* to stop now: the
+    /// regular [`Evaluator::outcome`] when available, otherwise the
+    /// presumptive verdict from [`end_of_trace_default`] on the residual
+    /// (see that function for when this arises).
+    #[must_use]
+    pub fn forced_outcome(&self) -> Outcome {
+        match self.outcome() {
+            Outcome::Verdict(v) => Outcome::Verdict(v),
+            Outcome::MoreStatesNeeded => match (&self.state, self.states_seen) {
+                (_, 0) => Outcome::MoreStatesNeeded,
+                (EvaluatorState::Running(f), _) => {
+                    Outcome::Verdict(Verdict::presumably(end_of_trace_default(f)))
+                }
+                (EvaluatorState::Done(b), _) => Outcome::Verdict(Verdict::definitely(*b)),
+            },
+        }
+    }
+
+    /// The number of states observed so far.
+    #[must_use]
+    pub fn states_seen(&self) -> usize {
+        self.states_seen
+    }
+}
+
+/// The end-of-trace default of a residual formula: the RV-LTL reading a
+/// checker may fall back to when it is *forced* to stop while required-next
+/// demands are still outstanding.
+///
+/// A formula like `□₃₀ ◇₄ p` over a system where `p` never again holds
+/// spawns a fresh `◇₄` obligation — with an unexpired demand — at every
+/// state, so no finite trace ever satisfies [`Guarded::presumptive`]'s
+/// precondition. The paper specifies that demands oblige the checker to
+/// keep testing but leaves the forced-stop rule open; this function gives
+/// the principled fallback: evaluate the residue as if the trace ended for
+/// good, i.e. with every demand waived (`□`/`R`/weak-next default true,
+/// `◇`/`U`/strong-next default false, required-next recursing into its
+/// obligation, atoms about the non-existent next state reading false).
+///
+/// Checkers should prefer [`Guarded::presumptive`] and only use this at a
+/// hard stop (action budget, stuck application).
+#[must_use]
+pub fn end_of_trace_default<P>(f: &Formula<P>) -> bool {
+    match f {
+        Formula::Top => true,
+        Formula::Bottom => false,
+        // An atom here concerns a state that will never be produced; the
+        // strong (conservative for liveness) reading is false. NNF keeps
+        // negation only at atoms, so `!p` correctly reads true.
+        Formula::Atom(_) => false,
+        Formula::Not(inner) => !end_of_trace_default(inner),
+        Formula::And(l, r) => end_of_trace_default(l) && end_of_trace_default(r),
+        Formula::Or(l, r) => end_of_trace_default(l) || end_of_trace_default(r),
+        Formula::Next(inner) => end_of_trace_default(inner),
+        Formula::WeakNext(_) => true,
+        Formula::StrongNext(_) => false,
+        Formula::Always(_, _) | Formula::Release(_, _, _) => true,
+        Formula::Eventually(_, _) | Formula::Until(_, _, _) => false,
+    }
+}
+
+/// Checks a formula against a completed finite trace, returning the final
+/// [`Outcome`].
+///
+/// Equivalent to feeding every state of `trace` to an [`Evaluator`] and
+/// taking the outcome of the last [`StepReport`].
+///
+/// # Errors
+///
+/// Propagates the first error from `eval`.
+pub fn check_trace<P, S, E>(
+    formula: Formula<P>,
+    trace: &[S],
+    eval: &mut impl FnMut(&P, &S) -> Result<bool, E>,
+) -> Result<Outcome, E>
+where
+    P: Clone + PartialEq,
+{
+    let mut evaluator = Evaluator::new(formula);
+    let mut last = None;
+    for state in trace {
+        let report =
+            evaluator.observe_expanding(&mut |p| eval(p, state).map(Formula::constant))?;
+        if let StepReport::Definitive(_) = report {
+            return Ok(report.outcome());
+        }
+        last = Some(report);
+    }
+    Ok(match last {
+        Some(report) => report.outcome(),
+        None => Outcome::MoreStatesNeeded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Formula;
+    use std::convert::Infallible;
+
+    type F = Formula<char>;
+
+    fn ev_in(set: &str) -> impl FnMut(&char, &char) -> Result<bool, Infallible> + '_ {
+        move |p: &char, s: &char| Ok(*p == *s || set.contains(*p) && *p == *s)
+    }
+
+    /// Evaluate an atom against a state that is a set of true propositions.
+    fn holds(p: &char, state: &&str) -> Result<bool, Infallible> {
+        Ok(state.contains(*p))
+    }
+
+    fn check(f: F, trace: &[&str]) -> Outcome {
+        check_trace(f, trace, &mut holds).unwrap()
+    }
+
+    #[test]
+    fn atom_evaluates_against_first_state() {
+        assert_eq!(
+            check(F::atom('p'), &["p", ""]),
+            Outcome::Verdict(Verdict::DefinitelyTrue)
+        );
+        assert_eq!(
+            check(F::atom('p'), &["", "p"]),
+            Outcome::Verdict(Verdict::DefinitelyFalse)
+        );
+    }
+
+    #[test]
+    fn safety_violation_is_definitive_false() {
+        let f = F::always(0u32, F::atom('p'));
+        assert_eq!(
+            check(f, &["p", "p", "", "p"]),
+            Outcome::Verdict(Verdict::DefinitelyFalse)
+        );
+    }
+
+    #[test]
+    fn safety_unviolated_is_presumably_true() {
+        let f = F::always(0u32, F::atom('p'));
+        assert_eq!(
+            check(f, &["p", "p", "p"]),
+            Outcome::Verdict(Verdict::PresumablyTrue)
+        );
+    }
+
+    #[test]
+    fn liveness_fulfilled_is_definitive_true() {
+        let f = F::eventually(0u32, F::atom('p'));
+        assert_eq!(
+            check(f, &["", "", "p"]),
+            Outcome::Verdict(Verdict::DefinitelyTrue)
+        );
+    }
+
+    #[test]
+    fn liveness_unfulfilled_is_presumably_false() {
+        let f = F::eventually(0u32, F::atom('p'));
+        assert_eq!(
+            check(f, &["", "", ""]),
+            Outcome::Verdict(Verdict::PresumablyFalse)
+        );
+    }
+
+    #[test]
+    fn demands_keep_the_checker_going() {
+        // ◇₂ p: with only one state and no p, a presumptive answer is not
+        // yet allowed — two more states are demanded.
+        let f = F::eventually(2u32, F::atom('p'));
+        assert_eq!(check(f.clone(), &[""]), Outcome::MoreStatesNeeded);
+        assert_eq!(check(f.clone(), &["", ""]), Outcome::MoreStatesNeeded);
+        assert_eq!(
+            check(f, &["", "", ""]),
+            Outcome::Verdict(Verdict::PresumablyFalse)
+        );
+    }
+
+    #[test]
+    fn always_demand_requires_minimum_length() {
+        let f = F::always(2u32, F::atom('p'));
+        assert_eq!(check(f.clone(), &["p"]), Outcome::MoreStatesNeeded);
+        assert_eq!(check(f.clone(), &["p", "p"]), Outcome::MoreStatesNeeded);
+        assert_eq!(
+            check(f, &["p", "p", "p"]),
+            Outcome::Verdict(Verdict::PresumablyTrue)
+        );
+    }
+
+    #[test]
+    fn menu_enabled_example_from_section_2_2() {
+        // □₄ ◇₂ menuEnabled: when the trace ends in a disabled state, the
+        // inner demand obliges the checker to look further instead of
+        // reporting the spurious presumably-false answer of §2.1 …
+        let f = F::always(4u32, F::eventually(2u32, F::atom('m')));
+        let ends_disabled = ["m", "", "m", "", "m", ""];
+        assert_eq!(check(f.clone(), &ends_disabled), Outcome::MoreStatesNeeded);
+        // … and once the menu is re-enabled within the demanded window the
+        // alternating behaviour is judged presumably true.
+        let ends_enabled = ["m", "", "m", "", "m", "", "m"];
+        assert_eq!(
+            check(f, &ends_enabled),
+            Outcome::Verdict(Verdict::PresumablyTrue)
+        );
+        // RV-LTL (all demands zero) on the disabled-ending trace gives the
+        // spurious presumably-false answer the paper criticises.
+        let rv = F::always(0u32, F::eventually(0u32, F::atom('m')));
+        assert_eq!(
+            check(rv, &ends_disabled),
+            Outcome::Verdict(Verdict::PresumablyFalse)
+        );
+    }
+
+    #[test]
+    fn until_discharges_definitively() {
+        let f = F::until(0u32, F::atom('a'), F::atom('b'));
+        assert_eq!(
+            check(f.clone(), &["a", "a", "ab"]),
+            Outcome::Verdict(Verdict::DefinitelyTrue)
+        );
+        // a stops holding before b arrives: definitively false.
+        assert_eq!(
+            check(f.clone(), &["a", "", "b"]),
+            Outcome::Verdict(Verdict::DefinitelyFalse)
+        );
+        // Still waiting: presumptively false (strong-next default).
+        assert_eq!(
+            check(f, &["a", "a"]),
+            Outcome::Verdict(Verdict::PresumablyFalse)
+        );
+    }
+
+    #[test]
+    fn release_holds_weakly() {
+        // a R b: b must hold until (and including when) a releases it.
+        let f = F::release(0u32, F::atom('a'), F::atom('b'));
+        assert_eq!(
+            check(f.clone(), &["b", "b", "ab"]),
+            Outcome::Verdict(Verdict::DefinitelyTrue)
+        );
+        assert_eq!(
+            check(f.clone(), &["b", "", "ab"]),
+            Outcome::Verdict(Verdict::DefinitelyFalse)
+        );
+        assert_eq!(
+            check(f, &["b", "b"]),
+            Outcome::Verdict(Verdict::PresumablyTrue)
+        );
+    }
+
+    #[test]
+    fn next_operators_at_end_of_trace() {
+        // Xw p over a single-state trace: presumably true; Xs p presumably
+        // false; X! p demands another state.
+        assert_eq!(
+            check(F::atom('p').weak_next(), &[""]),
+            Outcome::Verdict(Verdict::PresumablyTrue)
+        );
+        assert_eq!(
+            check(F::atom('p').strong_next(), &[""]),
+            Outcome::Verdict(Verdict::PresumablyFalse)
+        );
+        assert_eq!(check(F::atom('p').next(), &[""]), Outcome::MoreStatesNeeded);
+        // With a second state, all three read the atom there.
+        assert_eq!(
+            check(F::atom('p').next(), &["", "p"]),
+            Outcome::Verdict(Verdict::DefinitelyTrue)
+        );
+        assert_eq!(
+            check(F::atom('p').weak_next(), &["", ""]),
+            Outcome::Verdict(Verdict::DefinitelyFalse)
+        );
+    }
+
+    #[test]
+    fn negation_duality_through_progression() {
+        // ¬◇₁ p behaves as □₁ ¬p.
+        let f = F::eventually(1u32, F::atom('p')).not();
+        let g = F::always(1u32, F::atom('p').not());
+        for trace in [
+            vec!["", ""],
+            vec!["p", ""],
+            vec!["", "p"],
+            vec!["", "", "p"],
+            vec!["", "", ""],
+        ] {
+            assert_eq!(check(f.clone(), &trace), check(g.clone(), &trace), "{trace:?}");
+        }
+    }
+
+    #[test]
+    fn flashing_screen_example() {
+        // □₀ (dark ∧ Xw light ∨ light ∧ Xw dark), §2's flashing screen,
+        // with the weak next so a trace may end mid-flash.
+        let body = F::atom('d')
+            .and(F::atom('l').weak_next())
+            .or(F::atom('l').and(F::atom('d').weak_next()));
+        let f = F::always(0u32, body);
+        assert_eq!(
+            check(f.clone(), &["d", "l", "d", "l"]),
+            Outcome::Verdict(Verdict::PresumablyTrue)
+        );
+        // Two lights in a row violate the alternation outright.
+        assert_eq!(
+            check(f.clone(), &["d", "l", "l"]),
+            Outcome::Verdict(Verdict::DefinitelyFalse)
+        );
+        // With the strong next, the pending obligation at the end of the
+        // trace reads presumably false instead.
+        let strong_body = F::atom('d')
+            .and(F::atom('l').strong_next())
+            .or(F::atom('l').and(F::atom('d').strong_next()));
+        let g = F::always(0u32, strong_body);
+        assert_eq!(
+            check(g, &["d", "l", "d", "l"]),
+            Outcome::Verdict(Verdict::PresumablyFalse)
+        );
+    }
+
+    #[test]
+    fn classify_rejects_unguarded() {
+        assert!(classify(F::atom('p')).is_err());
+        assert!(matches!(
+            classify(F::Top),
+            Ok(Progress::Definitive(true))
+        ));
+        let guarded = F::atom('p').next().and(F::atom('q').weak_next());
+        match classify(guarded) {
+            Ok(Progress::Guarded(g)) => {
+                assert!(g.demands_more());
+                assert_eq!(g.presumptive(), None);
+            }
+            other => panic!("expected guarded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_presumptive_reading() {
+        let g = Guarded::new(F::atom('p').weak_next().or(F::atom('q').strong_next())).unwrap();
+        assert!(!g.demands_more());
+        assert_eq!(g.presumptive(), Some(true));
+        let g2 = Guarded::new(F::atom('p').strong_next().and(F::atom('q').weak_next())).unwrap();
+        assert_eq!(g2.presumptive(), Some(false));
+    }
+
+    #[test]
+    fn guarded_step_strips_one_layer() {
+        let g = Guarded::new(F::atom('p').next().and(F::atom('q').weak_next())).unwrap();
+        assert_eq!(g.step(), F::atom('p').and(F::atom('q')));
+    }
+
+    #[test]
+    fn simplify_pushes_negations() {
+        let f = F::until(3u32, F::atom('a'), F::atom('b')).not();
+        let s = simplify(f);
+        assert_eq!(
+            s,
+            F::release(3u32, F::atom('a').not(), F::atom('b').not())
+        );
+        let g = F::always(2u32, F::atom('a')).not();
+        assert_eq!(simplify(g), F::eventually(2u32, F::atom('a').not()));
+        let h = F::atom('a').weak_next().not();
+        assert_eq!(simplify(h), F::atom('a').not().strong_next());
+    }
+
+    #[test]
+    fn simplify_unit_laws() {
+        assert_eq!(simplify(F::Top.and(F::atom('p'))), F::atom('p'));
+        assert_eq!(simplify(F::atom('p').or(F::Top)), F::Top);
+        assert_eq!(simplify(F::always(3u32, F::Top)), F::Top);
+        assert_eq!(simplify(F::eventually(3u32, F::Bottom)), F::Bottom);
+        assert_eq!(simplify(F::until(1u32, F::atom('p'), F::Top)), F::Top);
+        assert_eq!(simplify(F::until(1u32, F::atom('p'), F::Bottom)), F::Bottom);
+        assert_eq!(simplify(F::release(1u32, F::atom('p'), F::Top)), F::Top);
+    }
+
+    #[test]
+    fn simplify_dedup_modes() {
+        let dup = F::atom('p').next().and(F::atom('p').next());
+        assert_eq!(simplify(dup.clone()), F::atom('p').next());
+        assert_eq!(simplify_with(dup.clone(), SimplifyMode::NoDedup), dup);
+    }
+
+    #[test]
+    fn evaluator_latches_on_definitive() {
+        let mut ev = Evaluator::new(F::atom('p'));
+        let r = ev.observe::<Infallible>(&mut |_| Ok(true)).unwrap();
+        assert_eq!(r, StepReport::Definitive(true));
+        // Further observations do not change (or even evaluate) anything.
+        let r2 = ev
+            .observe::<Infallible>(&mut |_| panic!("must not be called"))
+            .unwrap();
+        assert_eq!(r2, StepReport::Definitive(true));
+        assert_eq!(ev.residual(), None);
+    }
+
+    #[test]
+    fn evaluator_error_propagation() {
+        #[derive(Debug, PartialEq)]
+        struct Boom;
+        let mut ev = Evaluator::new(F::atom('p'));
+        let r = ev.observe(&mut |_| Err(Boom));
+        assert_eq!(r.unwrap_err(), Boom);
+        // The evaluator did not advance.
+        assert_eq!(ev.states_seen(), 0);
+    }
+
+    #[test]
+    fn empty_trace_needs_states() {
+        assert_eq!(check(F::atom('p'), &[]), Outcome::MoreStatesNeeded);
+    }
+
+    #[test]
+    fn nested_state_machine_release_pattern() {
+        // exit R (edit ∨ exit): the TodoMVC editMachine skeleton (§4.1).
+        let f = F::release(0u32, F::atom('x'), F::atom('e').or(F::atom('x')));
+        assert_eq!(
+            check(f.clone(), &["e", "e", "x"]),
+            Outcome::Verdict(Verdict::DefinitelyTrue)
+        );
+        assert_eq!(
+            check(f.clone(), &["e", "", "x"]),
+            Outcome::Verdict(Verdict::DefinitelyFalse)
+        );
+        assert_eq!(
+            check(f, &["e", "e"]),
+            Outcome::Verdict(Verdict::PresumablyTrue)
+        );
+    }
+
+    #[test]
+    fn until_demand_counts_states() {
+        // a U₃ b: after three states of a-without-b the demand is spent and
+        // the answer is presumptively false; before that, more states are
+        // demanded.
+        let f = F::until(3u32, F::atom('a'), F::atom('b'));
+        assert_eq!(check(f.clone(), &["a", "a"]), Outcome::MoreStatesNeeded);
+        assert_eq!(
+            check(f.clone(), &["a", "a", "a", "a"]),
+            Outcome::Verdict(Verdict::PresumablyFalse)
+        );
+        assert_eq!(
+            check(f, &["a", "a", "b"]),
+            Outcome::Verdict(Verdict::DefinitelyTrue)
+        );
+    }
+
+    #[test]
+    fn release_demand_counts_states() {
+        let f = F::release(2u32, F::atom('a'), F::atom('b'));
+        assert_eq!(check(f.clone(), &["b", "b"]), Outcome::MoreStatesNeeded);
+        assert_eq!(
+            check(f, &["b", "b", "b"]),
+            Outcome::Verdict(Verdict::PresumablyTrue)
+        );
+    }
+
+    #[test]
+    fn check_trace_ignores_states_after_definitive() {
+        let f = F::eventually(0u32, F::atom('p'));
+        // Once p is seen the remaining states are irrelevant (and would
+        // otherwise flip nothing).
+        assert_eq!(
+            check(f, &["", "p", "", ""]),
+            Outcome::Verdict(Verdict::DefinitelyTrue)
+        );
+    }
+
+    #[test]
+    fn ev_in_helper_is_exercised() {
+        // Exercise the unused-closure helper to keep it honest.
+        let mut f = ev_in("ab");
+        assert!(f(&'a', &'a').unwrap());
+        assert!(!f(&'a', &'b').unwrap());
+    }
+
+    #[test]
+    fn observe_expanding_unrolls_fresh_formulas_at_the_same_state() {
+        // Atom 'n' expands, at each state, into a fresh formula that reads
+        // the *current* state: `p || Xs q`. This mimics Specstrom's
+        // per-state evaluation of temporal expressions (nested state
+        // machines whose let-bound values are frozen at unroll time).
+        let f = F::always(0u32, F::atom('n'));
+        let trace = ["p", "q", "pq"];
+        let mut ev = Evaluator::new(f);
+        for (i, s) in trace.iter().enumerate() {
+            let report = ev
+                .observe_expanding::<Infallible>(&mut |p| {
+                    Ok(match p {
+                        'n' => F::constant(s.contains('p'))
+                            .or(F::atom('q').strong_next()),
+                        q => F::constant(s.contains(*q)),
+                    })
+                })
+                .unwrap();
+            // Never definitive: □ keeps an obligation alive.
+            assert!(
+                matches!(report, StepReport::Continue { .. }),
+                "state {i}: {report:?}"
+            );
+        }
+        assert_eq!(ev.outcome(), Outcome::Verdict(Verdict::PresumablyTrue));
+        // A state satisfying neither p now nor q next refutes the property.
+        let g = F::always(0u32, F::atom('n'));
+        let bad = ["p", "", ""];
+        let mut ev2 = Evaluator::new(g);
+        let mut last = None;
+        for s in bad {
+            last = Some(
+                ev2.observe_expanding::<Infallible>(&mut |p| {
+                    Ok(match p {
+                        'n' => F::constant(s.contains('p'))
+                            .or(F::atom('q').strong_next()),
+                        q => F::constant(s.contains(*q)),
+                    })
+                })
+                .unwrap(),
+            );
+        }
+        assert_eq!(last, Some(StepReport::Definitive(false)));
+    }
+}

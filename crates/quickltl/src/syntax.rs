@@ -1,0 +1,604 @@
+//! Abstract syntax of QuickLTL formulae (paper, Figure 4).
+//!
+//! A [`Formula`] is parameterised by the type `P` of atomic propositions, so
+//! the logic is reusable across very different state spaces: the Specstrom
+//! interpreter instantiates `P` with state-query thunks, the test suites use
+//! `char` or small integers, and the CCS executor uses action labels.
+//!
+//! QuickLTL extends RV-LTL with three distinct "next" operators and numeric
+//! *demand* annotations on the temporal operators:
+//!
+//! * [`Formula::Next`] — the *required next* `X!`, self-dual: rather than
+//!   defaulting to a value at the end of a partial trace, it obliges the
+//!   checker to produce another state.
+//! * [`Formula::WeakNext`] — `Xw`, defaults to true when no next state exists.
+//! * [`Formula::StrongNext`] — `Xs`, defaults to false when no next state
+//!   exists.
+//! * [`Demand`] — the subscript `n` on `□ₙ`, `◇ₙ`, `Uₙ`, `Rₙ` giving the
+//!   minimum number of further states the checker must examine before a
+//!   presumptive answer for that operator is trustworthy.
+
+use std::fmt;
+
+/// The numeric subscript on a temporal operator (paper, §2.2).
+///
+/// `Demand(n)` means the checker must examine at least `n` further states
+/// before the presumptive answer given for this operator is accurate. It
+/// decrements as the formula is unrolled (Figure 5): while positive the
+/// expansion uses the required next `X!`; at zero it uses the weak/strong
+/// next of RV-LTL.
+///
+/// Demands are *semantically transparent* for completed (infinite) traces:
+/// they only control when testing of a partial trace may stop.
+///
+/// # Examples
+///
+/// ```
+/// use quickltl::Demand;
+/// let d = Demand(3);
+/// assert_eq!(d.decrement(), Demand(2));
+/// assert_eq!(Demand(0).decrement(), Demand(0));
+/// assert!(Demand(1).is_positive());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Demand(pub u32);
+
+impl Demand {
+    /// The zero demand: temporal operators behave exactly as in RV-LTL.
+    pub const ZERO: Demand = Demand(0);
+
+    /// Returns `true` when the demand still requires further states.
+    #[must_use]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// One step of the Figure 5 expansion: `n+1` becomes `n`, `0` stays `0`.
+    #[must_use]
+    pub fn decrement(self) -> Demand {
+        Demand(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for Demand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Demand {
+    fn from(n: u32) -> Self {
+        Demand(n)
+    }
+}
+
+/// A QuickLTL formula over atomic propositions of type `P` (Figure 4).
+///
+/// Construct formulae with the provided combinator methods rather than the
+/// enum variants directly; the combinators apply cheap peephole
+/// simplifications (`⊤ ∧ φ = φ`, …) so that formulae stay small during
+/// progression.
+///
+/// # Examples
+///
+/// Build `□₁₀₀ ◇₅ menuEnabled` — "checking at least 100 states, the menu is
+/// always re-enabled within 5 states" (the motivating example of §2.2):
+///
+/// ```
+/// use quickltl::Formula;
+/// let f = Formula::always(100, Formula::eventually(5, Formula::atom("menuEnabled")));
+/// assert_eq!(f.to_string(), "G[100] F[5] menuEnabled");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula<P> {
+    /// The constant true, `⊤`.
+    Top,
+    /// The constant false, `⊥`.
+    Bottom,
+    /// An atomic proposition, evaluated against a single state.
+    Atom(P),
+    /// Negation, `¬φ`.
+    Not(Box<Formula<P>>),
+    /// Conjunction, `φ ∧ ψ`.
+    And(Box<Formula<P>>, Box<Formula<P>>),
+    /// Disjunction, `φ ∨ ψ`.
+    Or(Box<Formula<P>>, Box<Formula<P>>),
+    /// The *required next* `X! φ`: the checker must produce a next state.
+    Next(Box<Formula<P>>),
+    /// The *weak next* `Xw φ`: true if there is no next state.
+    WeakNext(Box<Formula<P>>),
+    /// The *strong next* `Xs φ`: false if there is no next state.
+    StrongNext(Box<Formula<P>>),
+    /// Henceforth, `□ₙ φ`.
+    Always(Demand, Box<Formula<P>>),
+    /// Eventually, `◇ₙ φ`.
+    Eventually(Demand, Box<Formula<P>>),
+    /// Until, `φ Uₙ ψ`.
+    Until(Demand, Box<Formula<P>>, Box<Formula<P>>),
+    /// Release, `φ Rₙ ψ`.
+    Release(Demand, Box<Formula<P>>, Box<Formula<P>>),
+}
+
+impl<P> Formula<P> {
+    /// An atomic proposition.
+    pub fn atom(p: P) -> Self {
+        Formula::Atom(p)
+    }
+
+    /// The constant of the given truth value.
+    #[must_use]
+    pub fn constant(b: bool) -> Self {
+        if b {
+            Formula::Top
+        } else {
+            Formula::Bottom
+        }
+    }
+
+    /// Negation with peephole simplification (`¬⊤ = ⊥`, `¬¬φ = φ`).
+    ///
+    /// Deliberately named like the logical operator; `Formula` is not
+    /// `Copy`-cheap enough for `std::ops::Not` to read naturally in specs.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        match self {
+            Formula::Top => Formula::Bottom,
+            Formula::Bottom => Formula::Top,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction with unit/annihilator simplification.
+    #[must_use]
+    pub fn and(self, other: Self) -> Self {
+        match (self, other) {
+            (Formula::Top, g) | (g, Formula::Top) => g,
+            (Formula::Bottom, _) | (_, Formula::Bottom) => Formula::Bottom,
+            (f, g) => Formula::And(Box::new(f), Box::new(g)),
+        }
+    }
+
+    /// Disjunction with unit/annihilator simplification.
+    #[must_use]
+    pub fn or(self, other: Self) -> Self {
+        match (self, other) {
+            (Formula::Bottom, g) | (g, Formula::Bottom) => g,
+            (Formula::Top, _) | (_, Formula::Top) => Formula::Top,
+            (f, g) => Formula::Or(Box::new(f), Box::new(g)),
+        }
+    }
+
+    /// Material implication `φ ⇒ ψ`, desugared to `¬φ ∨ ψ`.
+    #[must_use]
+    pub fn implies(self, other: Self) -> Self {
+        self.not().or(other)
+    }
+
+    /// The required next, `X! φ`.
+    #[must_use]
+    pub fn next(self) -> Self {
+        Formula::Next(Box::new(self))
+    }
+
+    /// The weak next, `Xw φ` (true at the end of the trace).
+    #[must_use]
+    pub fn weak_next(self) -> Self {
+        Formula::WeakNext(Box::new(self))
+    }
+
+    /// The strong next, `Xs φ` (false at the end of the trace).
+    #[must_use]
+    pub fn strong_next(self) -> Self {
+        Formula::StrongNext(Box::new(self))
+    }
+
+    /// Henceforth with demand `n`, `□ₙ φ`.
+    #[must_use]
+    pub fn always(n: impl Into<Demand>, body: Self) -> Self {
+        Formula::Always(n.into(), Box::new(body))
+    }
+
+    /// Eventually with demand `n`, `◇ₙ φ`.
+    #[must_use]
+    pub fn eventually(n: impl Into<Demand>, body: Self) -> Self {
+        Formula::Eventually(n.into(), Box::new(body))
+    }
+
+    /// Until with demand `n`, `φ Uₙ ψ`.
+    #[must_use]
+    pub fn until(n: impl Into<Demand>, lhs: Self, rhs: Self) -> Self {
+        Formula::Until(n.into(), Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Release with demand `n`, `φ Rₙ ψ`.
+    #[must_use]
+    pub fn release(n: impl Into<Demand>, lhs: Self, rhs: Self) -> Self {
+        Formula::Release(n.into(), Box::new(lhs), Box::new(rhs))
+    }
+
+    /// The number of nodes in the formula tree.
+    ///
+    /// Used by the ablation benchmarks to measure the Roşu–Havelund blow-up
+    /// that the paper's simplification step avoids (§2.3).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Top | Formula::Bottom | Formula::Atom(_) => 1,
+            Formula::Not(f)
+            | Formula::Next(f)
+            | Formula::WeakNext(f)
+            | Formula::StrongNext(f)
+            | Formula::Always(_, f)
+            | Formula::Eventually(_, f) => 1 + f.size(),
+            Formula::And(f, g) | Formula::Or(f, g) => 1 + f.size() + g.size(),
+            Formula::Until(_, f, g) | Formula::Release(_, f, g) => 1 + f.size() + g.size(),
+        }
+    }
+
+    /// The maximum nesting depth of the formula tree.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            Formula::Top | Formula::Bottom | Formula::Atom(_) => 1,
+            Formula::Not(f)
+            | Formula::Next(f)
+            | Formula::WeakNext(f)
+            | Formula::StrongNext(f)
+            | Formula::Always(_, f)
+            | Formula::Eventually(_, f) => 1 + f.depth(),
+            Formula::And(f, g)
+            | Formula::Or(f, g)
+            | Formula::Until(_, f, g)
+            | Formula::Release(_, f, g) => 1 + f.depth().max(g.depth()),
+        }
+    }
+
+    /// Returns `true` if the formula is the constant `⊤` or `⊥`.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Formula::Top | Formula::Bottom)
+    }
+
+    /// If the formula is a constant, its truth value.
+    #[must_use]
+    pub fn as_constant(&self) -> Option<bool> {
+        match self {
+            Formula::Top => Some(true),
+            Formula::Bottom => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Applies `f` to every atomic proposition, preserving structure.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use quickltl::Formula;
+    /// let f = Formula::atom(1u32).and(Formula::atom(2));
+    /// let g = f.map_atoms(&mut |n| n * 10);
+    /// assert_eq!(g, Formula::atom(10u32).and(Formula::atom(20)));
+    /// ```
+    #[must_use]
+    pub fn map_atoms<Q>(self, f: &mut impl FnMut(P) -> Q) -> Formula<Q> {
+        match self {
+            Formula::Top => Formula::Top,
+            Formula::Bottom => Formula::Bottom,
+            Formula::Atom(p) => Formula::Atom(f(p)),
+            Formula::Not(inner) => Formula::Not(Box::new(inner.map_atoms(f))),
+            Formula::And(l, r) => {
+                Formula::And(Box::new(l.map_atoms(f)), Box::new(r.map_atoms(f)))
+            }
+            Formula::Or(l, r) => Formula::Or(Box::new(l.map_atoms(f)), Box::new(r.map_atoms(f))),
+            Formula::Next(inner) => Formula::Next(Box::new(inner.map_atoms(f))),
+            Formula::WeakNext(inner) => Formula::WeakNext(Box::new(inner.map_atoms(f))),
+            Formula::StrongNext(inner) => Formula::StrongNext(Box::new(inner.map_atoms(f))),
+            Formula::Always(n, inner) => Formula::Always(n, Box::new(inner.map_atoms(f))),
+            Formula::Eventually(n, inner) => Formula::Eventually(n, Box::new(inner.map_atoms(f))),
+            Formula::Until(n, l, r) => {
+                Formula::Until(n, Box::new(l.map_atoms(f)), Box::new(r.map_atoms(f)))
+            }
+            Formula::Release(n, l, r) => {
+                Formula::Release(n, Box::new(l.map_atoms(f)), Box::new(r.map_atoms(f)))
+            }
+        }
+    }
+
+    /// Visits every atomic proposition by reference.
+    pub fn for_each_atom(&self, f: &mut impl FnMut(&P)) {
+        match self {
+            Formula::Top | Formula::Bottom => {}
+            Formula::Atom(p) => f(p),
+            Formula::Not(inner)
+            | Formula::Next(inner)
+            | Formula::WeakNext(inner)
+            | Formula::StrongNext(inner)
+            | Formula::Always(_, inner)
+            | Formula::Eventually(_, inner) => inner.for_each_atom(f),
+            Formula::And(l, r)
+            | Formula::Or(l, r)
+            | Formula::Until(_, l, r)
+            | Formula::Release(_, l, r) => {
+                l.for_each_atom(f);
+                r.for_each_atom(f);
+            }
+        }
+    }
+
+    /// Replaces every demand annotation with `Demand::ZERO`.
+    ///
+    /// Erasing the subscripts yields exactly RV-LTL (§5.5: "QuickLTL is by
+    /// definition a superset of other partial trace variants of LTL such as
+    /// RV-LTL"); the `finite` module uses this to provide the RV-LTL
+    /// baseline.
+    #[must_use]
+    pub fn erase_demands(self) -> Formula<P> {
+        match self {
+            Formula::Always(_, inner) => Formula::Always(Demand::ZERO, Box::new(inner.erase_demands())),
+            Formula::Eventually(_, inner) => {
+                Formula::Eventually(Demand::ZERO, Box::new(inner.erase_demands()))
+            }
+            Formula::Until(_, l, r) => Formula::Until(
+                Demand::ZERO,
+                Box::new(l.erase_demands()),
+                Box::new(r.erase_demands()),
+            ),
+            Formula::Release(_, l, r) => Formula::Release(
+                Demand::ZERO,
+                Box::new(l.erase_demands()),
+                Box::new(r.erase_demands()),
+            ),
+            Formula::Not(inner) => Formula::Not(Box::new(inner.erase_demands())),
+            Formula::And(l, r) => Formula::And(
+                Box::new(l.erase_demands()),
+                Box::new(r.erase_demands()),
+            ),
+            Formula::Or(l, r) => {
+                Formula::Or(Box::new(l.erase_demands()), Box::new(r.erase_demands()))
+            }
+            Formula::Next(inner) => Formula::Next(Box::new(inner.erase_demands())),
+            Formula::WeakNext(inner) => Formula::WeakNext(Box::new(inner.erase_demands())),
+            Formula::StrongNext(inner) => Formula::StrongNext(Box::new(inner.erase_demands())),
+            leaf @ (Formula::Top | Formula::Bottom | Formula::Atom(_)) => leaf,
+        }
+    }
+
+    /// Uniformly overrides every demand annotation with `n`.
+    ///
+    /// This is how the checker applies the user-configured default subscript
+    /// to a specification that omits explicit annotations (§4.1), and how
+    /// the Figure 13 harness sweeps the subscript parameter.
+    #[must_use]
+    pub fn with_uniform_demand(self, n: impl Into<Demand> + Copy) -> Formula<P> {
+        match self {
+            Formula::Always(_, inner) => {
+                Formula::Always(n.into(), Box::new(inner.with_uniform_demand(n)))
+            }
+            Formula::Eventually(_, inner) => {
+                Formula::Eventually(n.into(), Box::new(inner.with_uniform_demand(n)))
+            }
+            Formula::Until(_, l, r) => Formula::Until(
+                n.into(),
+                Box::new(l.with_uniform_demand(n)),
+                Box::new(r.with_uniform_demand(n)),
+            ),
+            Formula::Release(_, l, r) => Formula::Release(
+                n.into(),
+                Box::new(l.with_uniform_demand(n)),
+                Box::new(r.with_uniform_demand(n)),
+            ),
+            Formula::Not(inner) => Formula::Not(Box::new(inner.with_uniform_demand(n))),
+            Formula::And(l, r) => Formula::And(
+                Box::new(l.with_uniform_demand(n)),
+                Box::new(r.with_uniform_demand(n)),
+            ),
+            Formula::Or(l, r) => Formula::Or(
+                Box::new(l.with_uniform_demand(n)),
+                Box::new(r.with_uniform_demand(n)),
+            ),
+            Formula::Next(inner) => Formula::Next(Box::new(inner.with_uniform_demand(n))),
+            Formula::WeakNext(inner) => Formula::WeakNext(Box::new(inner.with_uniform_demand(n))),
+            Formula::StrongNext(inner) => {
+                Formula::StrongNext(Box::new(inner.with_uniform_demand(n)))
+            }
+            leaf @ (Formula::Top | Formula::Bottom | Formula::Atom(_)) => leaf,
+        }
+    }
+}
+
+/// Precedence levels for pretty-printing.
+fn prec<P>(f: &Formula<P>) -> u8 {
+    match f {
+        Formula::Top | Formula::Bottom | Formula::Atom(_) => 5,
+        Formula::Not(_)
+        | Formula::Next(_)
+        | Formula::WeakNext(_)
+        | Formula::StrongNext(_)
+        | Formula::Always(_, _)
+        | Formula::Eventually(_, _) => 4,
+        Formula::Until(_, _, _) | Formula::Release(_, _, _) => 3,
+        Formula::And(_, _) => 2,
+        Formula::Or(_, _) => 1,
+    }
+}
+
+fn fmt_at<P: fmt::Display>(
+    f: &Formula<P>,
+    min_prec: u8,
+    out: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    let p = prec(f);
+    if p < min_prec {
+        write!(out, "(")?;
+    }
+    match f {
+        Formula::Top => write!(out, "true")?,
+        Formula::Bottom => write!(out, "false")?,
+        Formula::Atom(a) => write!(out, "{a}")?,
+        Formula::Not(inner) => {
+            write!(out, "!")?;
+            fmt_at(inner, 4, out)?;
+        }
+        Formula::Next(inner) => {
+            write!(out, "X! ")?;
+            fmt_at(inner, 4, out)?;
+        }
+        Formula::WeakNext(inner) => {
+            write!(out, "Xw ")?;
+            fmt_at(inner, 4, out)?;
+        }
+        Formula::StrongNext(inner) => {
+            write!(out, "Xs ")?;
+            fmt_at(inner, 4, out)?;
+        }
+        Formula::Always(n, inner) => {
+            write!(out, "G[{n}] ")?;
+            fmt_at(inner, 4, out)?;
+        }
+        Formula::Eventually(n, inner) => {
+            write!(out, "F[{n}] ")?;
+            fmt_at(inner, 4, out)?;
+        }
+        Formula::Until(n, l, r) => {
+            fmt_at(l, 4, out)?;
+            write!(out, " U[{n}] ")?;
+            fmt_at(r, 4, out)?;
+        }
+        Formula::Release(n, l, r) => {
+            fmt_at(l, 4, out)?;
+            write!(out, " R[{n}] ")?;
+            fmt_at(r, 4, out)?;
+        }
+        Formula::And(l, r) => {
+            fmt_at(l, 2, out)?;
+            write!(out, " && ")?;
+            fmt_at(r, 3, out)?;
+        }
+        Formula::Or(l, r) => {
+            fmt_at(l, 1, out)?;
+            write!(out, " || ")?;
+            fmt_at(r, 2, out)?;
+        }
+    }
+    if p < min_prec {
+        write!(out, ")")?;
+    }
+    Ok(())
+}
+
+impl<P: fmt::Display> fmt::Display for Formula<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_at(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Formula<&str> {
+        Formula::atom(s)
+    }
+
+    #[test]
+    fn constructors_simplify_constants() {
+        assert_eq!(Formula::<&str>::Top.not(), Formula::Bottom);
+        assert_eq!(Formula::<&str>::Bottom.not(), Formula::Top);
+        assert_eq!(a("p").not().not(), a("p"));
+        assert_eq!(Formula::Top.and(a("p")), a("p"));
+        assert_eq!(a("p").and(Formula::Bottom), Formula::Bottom);
+        assert_eq!(Formula::Bottom.or(a("p")), a("p"));
+        assert_eq!(a("p").or(Formula::Top), Formula::Top);
+    }
+
+    #[test]
+    fn implies_desugars() {
+        assert_eq!(a("p").implies(a("q")), a("p").not().or(a("q")));
+        assert_eq!(Formula::<&str>::Bottom.implies(a("q")), Formula::Top);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let f = Formula::always(3, a("p").and(a("q")));
+        assert_eq!(f.size(), 4);
+        assert_eq!(f.depth(), 3);
+        assert_eq!(a("p").size(), 1);
+    }
+
+    #[test]
+    fn display_is_precedence_aware() {
+        let f = a("p").or(a("q")).and(a("r"));
+        assert_eq!(f.to_string(), "(p || q) && r");
+        let g = a("p").or(a("q").and(a("r")));
+        assert_eq!(g.to_string(), "p || q && r");
+        let h = Formula::until(2, a("p"), a("q")).not();
+        assert_eq!(h.to_string(), "!(p U[2] q)");
+    }
+
+    #[test]
+    fn display_temporal_operators() {
+        let f = Formula::always(100, Formula::eventually(5, a("menuEnabled")));
+        assert_eq!(f.to_string(), "G[100] F[5] menuEnabled");
+        let g = Formula::until(0, a("LogIn").not(), a("SecretPage")).not();
+        assert_eq!(g.to_string(), "!(!LogIn U[0] SecretPage)");
+    }
+
+    #[test]
+    fn erase_demands_zeroes_all_subscripts() {
+        let f = Formula::always(
+            100,
+            Formula::until(7, a("p"), Formula::release(3, a("q"), a("r"))),
+        );
+        let erased = f.erase_demands();
+        match erased {
+            Formula::Always(n, inner) => {
+                assert_eq!(n, Demand::ZERO);
+                match *inner {
+                    Formula::Until(m, _, r) => {
+                        assert_eq!(m, Demand::ZERO);
+                        match *r {
+                            Formula::Release(k, _, _) => assert_eq!(k, Demand::ZERO),
+                            other => panic!("expected release, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected until, got {other:?}"),
+                }
+            }
+            other => panic!("expected always, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_uniform_demand_overrides_all() {
+        let f = Formula::always(100, Formula::eventually(5, a("p")));
+        let g = f.with_uniform_demand(9u32);
+        assert_eq!(g.to_string(), "G[9] F[9] p");
+    }
+
+    #[test]
+    fn map_atoms_preserves_structure() {
+        let f = Formula::always(2, a("p").implies(Formula::eventually(1, a("q"))));
+        let g = f.clone().map_atoms(&mut |s| s.to_uppercase());
+        assert_eq!(g.to_string(), "G[2] (!P || F[1] Q)");
+        assert_eq!(g.size(), f.size());
+    }
+
+    #[test]
+    fn for_each_atom_visits_all() {
+        let f = Formula::until(1, a("x"), a("y").and(a("z")));
+        let mut seen = Vec::new();
+        f.for_each_atom(&mut |p| seen.push(*p));
+        assert_eq!(seen, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn demand_arithmetic() {
+        assert_eq!(Demand(5).decrement(), Demand(4));
+        assert_eq!(Demand(0).decrement(), Demand(0));
+        assert!(!Demand(0).is_positive());
+        assert!(Demand(1).is_positive());
+        assert_eq!(Demand::from(7u32), Demand(7));
+    }
+}

@@ -1,0 +1,212 @@
+//! The four-valued verdict lattice of QuickLTL (§2.1–2.2).
+//!
+//! Following RV-LTL (Bauer et al.), a test against a partial trace yields one
+//! of four values: a *definitive* answer when the trace alone proves or
+//! refutes the formula, or a *presumptive* answer when more states could
+//! still change the outcome. QuickLTL adds a fifth possibility at the level
+//! of [`Outcome`]: the trace can be *too short* to give even a presumptive
+//! answer, because required-next obligations (demands) remain outstanding.
+
+use std::fmt;
+
+/// A four-valued truth verdict, ordered from most false to most true.
+///
+/// The ordering `DefinitelyFalse < PresumablyFalse < PresumablyTrue <
+/// DefinitelyTrue` makes the verdict a lattice: combining evidence can use
+/// `min`/`max` directly.
+///
+/// # Examples
+///
+/// ```
+/// use quickltl::Verdict;
+/// assert!(Verdict::DefinitelyFalse < Verdict::PresumablyTrue);
+/// assert!(Verdict::PresumablyTrue.to_bool());
+/// assert!(!Verdict::PresumablyFalse.is_definitive());
+/// assert_eq!(Verdict::definitely(true), Verdict::DefinitelyTrue);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Verdict {
+    /// The trace refutes the formula; no extension can satisfy it.
+    DefinitelyFalse,
+    /// The trace neither proves nor refutes; the presumptive reading is false
+    /// (e.g. a liveness goal not yet fulfilled).
+    PresumablyFalse,
+    /// The trace neither proves nor refutes; the presumptive reading is true
+    /// (e.g. no counterexample to a safety property found).
+    PresumablyTrue,
+    /// The trace proves the formula; no extension can refute it.
+    DefinitelyTrue,
+}
+
+impl Verdict {
+    /// The definitive verdict with the given truth value.
+    #[must_use]
+    pub fn definitely(b: bool) -> Verdict {
+        if b {
+            Verdict::DefinitelyTrue
+        } else {
+            Verdict::DefinitelyFalse
+        }
+    }
+
+    /// The presumptive verdict with the given truth value.
+    #[must_use]
+    pub fn presumably(b: bool) -> Verdict {
+        if b {
+            Verdict::PresumablyTrue
+        } else {
+            Verdict::PresumablyFalse
+        }
+    }
+
+    /// `true` for the definitive verdicts.
+    #[must_use]
+    pub fn is_definitive(self) -> bool {
+        matches!(self, Verdict::DefinitelyTrue | Verdict::DefinitelyFalse)
+    }
+
+    /// The underlying two-valued reading.
+    #[must_use]
+    pub fn to_bool(self) -> bool {
+        matches!(self, Verdict::DefinitelyTrue | Verdict::PresumablyTrue)
+    }
+
+    /// The dual verdict: negating a formula negates its verdict while
+    /// preserving definitiveness.
+    #[must_use]
+    pub fn negate(self) -> Verdict {
+        match self {
+            Verdict::DefinitelyFalse => Verdict::DefinitelyTrue,
+            Verdict::PresumablyFalse => Verdict::PresumablyTrue,
+            Verdict::PresumablyTrue => Verdict::PresumablyFalse,
+            Verdict::DefinitelyTrue => Verdict::DefinitelyFalse,
+        }
+    }
+
+    /// Lattice meet (conjunction of evidence).
+    #[must_use]
+    pub fn meet(self, other: Verdict) -> Verdict {
+        self.min(other)
+    }
+
+    /// Lattice join (disjunction of evidence).
+    #[must_use]
+    pub fn join(self, other: Verdict) -> Verdict {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::DefinitelyFalse => "definitely false",
+            Verdict::PresumablyFalse => "presumably false",
+            Verdict::PresumablyTrue => "presumably true",
+            Verdict::DefinitelyTrue => "definitely true",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result of checking a formula against a (possibly still partial)
+/// trace.
+///
+/// Unlike RV-LTL, QuickLTL can *demand more states*: when the residual
+/// formula still contains required-next (`X!`) obligations, no presumptive
+/// verdict may be reported and the checker must keep interacting with the
+/// system under test (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// A verdict is available.
+    Verdict(Verdict),
+    /// The trace is too short: required-next demands remain outstanding.
+    MoreStatesNeeded,
+}
+
+impl Outcome {
+    /// The verdict, if one is available.
+    #[must_use]
+    pub fn verdict(self) -> Option<Verdict> {
+        match self {
+            Outcome::Verdict(v) => Some(v),
+            Outcome::MoreStatesNeeded => None,
+        }
+    }
+
+    /// `true` when the outcome carries a definitive verdict.
+    #[must_use]
+    pub fn is_definitive(self) -> bool {
+        matches!(self, Outcome::Verdict(v) if v.is_definitive())
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Verdict(v) => write!(f, "{v}"),
+            Outcome::MoreStatesNeeded => f.write_str("more states needed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_order() {
+        use Verdict::*;
+        assert!(DefinitelyFalse < PresumablyFalse);
+        assert!(PresumablyFalse < PresumablyTrue);
+        assert!(PresumablyTrue < DefinitelyTrue);
+    }
+
+    #[test]
+    fn negation_is_an_involution_and_antitone() {
+        use Verdict::*;
+        for v in [DefinitelyFalse, PresumablyFalse, PresumablyTrue, DefinitelyTrue] {
+            assert_eq!(v.negate().negate(), v);
+        }
+        assert_eq!(DefinitelyTrue.negate(), DefinitelyFalse);
+        assert_eq!(PresumablyTrue.negate(), PresumablyFalse);
+    }
+
+    #[test]
+    fn meet_and_join_behave_like_min_max() {
+        use Verdict::*;
+        assert_eq!(DefinitelyTrue.meet(PresumablyFalse), PresumablyFalse);
+        assert_eq!(DefinitelyFalse.join(PresumablyTrue), PresumablyTrue);
+        for v in [DefinitelyFalse, PresumablyFalse, PresumablyTrue, DefinitelyTrue] {
+            assert_eq!(v.meet(v), v);
+            assert_eq!(v.join(v), v);
+        }
+    }
+
+    #[test]
+    fn constructors_and_projections() {
+        assert_eq!(Verdict::definitely(true), Verdict::DefinitelyTrue);
+        assert_eq!(Verdict::presumably(false), Verdict::PresumablyFalse);
+        assert!(Verdict::DefinitelyFalse.is_definitive());
+        assert!(!Verdict::PresumablyTrue.is_definitive());
+        assert!(Verdict::PresumablyTrue.to_bool());
+        assert!(!Verdict::DefinitelyFalse.to_bool());
+    }
+
+    #[test]
+    fn outcome_projections() {
+        assert_eq!(
+            Outcome::Verdict(Verdict::DefinitelyTrue).verdict(),
+            Some(Verdict::DefinitelyTrue)
+        );
+        assert_eq!(Outcome::MoreStatesNeeded.verdict(), None);
+        assert!(Outcome::Verdict(Verdict::DefinitelyFalse).is_definitive());
+        assert!(!Outcome::Verdict(Verdict::PresumablyTrue).is_definitive());
+        assert!(!Outcome::MoreStatesNeeded.is_definitive());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Verdict::DefinitelyTrue.to_string(), "definitely true");
+        assert_eq!(Outcome::MoreStatesNeeded.to_string(), "more states needed");
+    }
+}

@@ -1,0 +1,332 @@
+//! Property-based tests for QuickLTL (experiments E6/E7 in DESIGN.md).
+//!
+//! These validate the paper's Figure 3 identities, the Figure 5/6
+//! expansions, and the soundness of formula progression against the
+//! classical infinite-trace semantics and the Pnueli finite-trace baseline.
+
+use proptest::prelude::*;
+use quickltl::finite::fltl;
+use quickltl::infinite::{holds, Lasso};
+use quickltl::{check_trace, parse, simplify, Formula, Outcome, Verdict};
+
+type F = Formula<u8>;
+
+/// A state is a bitmask of true propositions (propositions are 0..8).
+type State = u8;
+
+fn eval(p: &u8, s: &State) -> bool {
+    s & (1 << (p % 8)) != 0
+}
+
+/// Strategy for formulae. `next_ops` controls whether the three next
+/// operators (and positive demands) may appear; disabling them yields the
+/// RV-LTL-comparable fragment.
+fn formula(depth: u32, with_required: bool, max_demand: u32) -> BoxedStrategy<F> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(Formula::Atom),
+        Just(Formula::Top),
+        Just(Formula::Bottom),
+    ];
+    leaf.prop_recursive(depth, 64, 2, move |inner| {
+        let demand = 0..=max_demand;
+        let unary = prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            inner.clone().prop_map(Formula::weak_next),
+            inner.clone().prop_map(Formula::strong_next),
+            (demand.clone(), inner.clone()).prop_map(|(n, f)| Formula::always(n, f)),
+            (demand.clone(), inner.clone()).prop_map(|(n, f)| Formula::eventually(n, f)),
+        ];
+        let binary = prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (demand.clone(), inner.clone(), inner.clone())
+                .prop_map(|(n, a, b)| Formula::until(n, a, b)),
+            (demand.clone(), inner.clone(), inner.clone())
+                .prop_map(|(n, a, b)| Formula::release(n, a, b)),
+        ];
+        if with_required {
+            prop_oneof![unary, binary, inner.prop_map(Formula::next)].boxed()
+        } else {
+            prop_oneof![unary, binary].boxed()
+        }
+    })
+    .boxed()
+}
+
+fn lasso_strategy() -> impl Strategy<Value = Lasso<State>> {
+    (
+        prop::collection::vec(any::<u8>(), 0..6),
+        prop::collection::vec(any::<u8>(), 1..5),
+    )
+        .prop_map(|(stem, cycle)| Lasso::new(stem, cycle).expect("cycle non-empty"))
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<State>> {
+    prop::collection::vec(any::<u8>(), 1..10)
+}
+
+fn progress_outcome(f: F, trace: &[State]) -> Outcome {
+    check_trace(f, trace, &mut |p, s| {
+        Ok::<_, std::convert::Infallible>(eval(p, s))
+    })
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A definitive progression verdict on a prefix of a lasso agrees with
+    /// the classical LTL semantics of the whole lasso (E7).
+    #[test]
+    fn definitive_verdicts_are_sound_for_lassos(
+        f in formula(3, true, 3),
+        lasso in lasso_strategy(),
+        extra in 0usize..6,
+    ) {
+        let k = lasso.positions() + extra;
+        let prefix: Vec<State> = lasso.prefix(k).into_iter().copied().collect();
+        let outcome = progress_outcome(f.clone(), &prefix);
+        if let Outcome::Verdict(v) = outcome {
+            if v.is_definitive() {
+                prop_assert_eq!(
+                    holds(&f, &lasso, &eval),
+                    v.to_bool(),
+                    "formula {} on lasso {:?}", f, lasso
+                );
+            }
+        }
+    }
+
+    /// Progressing a negation gives exactly the negated outcome.
+    #[test]
+    fn negation_duality(f in formula(3, true, 3), trace in trace_strategy()) {
+        let pos = progress_outcome(f.clone(), &trace);
+        let neg = progress_outcome(f.not(), &trace);
+        match (pos, neg) {
+            (Outcome::Verdict(a), Outcome::Verdict(b)) => prop_assert_eq!(a.negate(), b),
+            (Outcome::MoreStatesNeeded, Outcome::MoreStatesNeeded) => {}
+            other => prop_assert!(false, "mismatched outcomes {:?}", other),
+        }
+    }
+
+    /// Once definitive, a verdict never changes as the trace is extended.
+    #[test]
+    fn definitive_verdicts_are_stable(
+        f in formula(3, true, 2),
+        trace in trace_strategy(),
+        extension in prop::collection::vec(any::<u8>(), 1..6),
+    ) {
+        let short = progress_outcome(f.clone(), &trace);
+        if let Outcome::Verdict(v) = short {
+            if v.is_definitive() {
+                let mut longer = trace.clone();
+                longer.extend(extension);
+                prop_assert_eq!(progress_outcome(f, &longer), Outcome::Verdict(v));
+            }
+        }
+    }
+
+    /// In the RV-LTL fragment (no required next, zero demands) the final
+    /// verdict's two-valued reading coincides with Pnueli's finite LTL —
+    /// the paper's claim that presumptive answers match Pnueli's semantics
+    /// (§2.1).
+    #[test]
+    fn rv_fragment_matches_pnueli(
+        f in formula(3, false, 0),
+        trace in trace_strategy(),
+    ) {
+        let outcome = progress_outcome(f.clone(), &trace);
+        match outcome {
+            Outcome::Verdict(v) => {
+                prop_assert_eq!(v.to_bool(), fltl(&f, &trace, 0, &eval), "formula {}", f);
+            }
+            Outcome::MoreStatesNeeded => prop_assert!(false, "no demands yet more states needed"),
+        }
+    }
+
+    /// Simplification preserves the classical semantics on lassos.
+    #[test]
+    fn simplify_preserves_lasso_semantics(
+        f in formula(3, true, 3),
+        lasso in lasso_strategy(),
+    ) {
+        prop_assert_eq!(holds(&f.clone(), &lasso, &eval), holds(&simplify(f), &lasso, &eval));
+    }
+
+    /// Simplification preserves the finite-trace semantics. Restricted to
+    /// the X!-free fragment: the FLTL baseline reads the required next as a
+    /// strong next (a completed trace cannot be extended), which is not
+    /// self-dual, so negation pushing is not FLTL-faithful for `X!`.
+    #[test]
+    fn simplify_preserves_fltl_semantics(
+        f in formula(3, false, 3),
+        trace in trace_strategy(),
+    ) {
+        prop_assert_eq!(
+            fltl(&f.clone(), &trace, 0, &eval),
+            fltl(&simplify(f), &trace, 0, &eval)
+        );
+    }
+
+    /// Simplification is idempotent.
+    #[test]
+    fn simplify_is_idempotent(f in formula(3, true, 3)) {
+        let once = simplify(f);
+        prop_assert_eq!(simplify(once.clone()), once);
+    }
+
+    /// Simplification at most doubles a formula (the standard bound for
+    /// negation-normal-form pushing: each atom gains at most one negation).
+    #[test]
+    fn simplify_growth_is_bounded_by_nnf(f in formula(3, true, 3)) {
+        prop_assert!(simplify(f.clone()).size() <= 2 * f.size());
+    }
+
+    /// Progression outcome is unaffected by simplifying the input first.
+    #[test]
+    fn progression_commutes_with_simplification(
+        f in formula(3, true, 2),
+        trace in trace_strategy(),
+    ) {
+        prop_assert_eq!(
+            progress_outcome(f.clone(), &trace),
+            progress_outcome(simplify(f), &trace)
+        );
+    }
+
+    /// Demand annotations are invisible to the infinite-trace semantics.
+    #[test]
+    fn demands_are_transparent_on_lassos(
+        f in formula(3, true, 4),
+        lasso in lasso_strategy(),
+    ) {
+        prop_assert_eq!(
+            holds(&f.clone(), &lasso, &eval),
+            holds(&f.erase_demands(), &lasso, &eval)
+        );
+    }
+
+    /// Figure 3 identities 6–11 (expansion laws) on lassos.
+    #[test]
+    fn expansion_identities_on_lassos(
+        body in formula(2, false, 0),
+        other in formula(2, false, 0),
+        lasso in lasso_strategy(),
+    ) {
+        let ev = eval;
+        // ◇φ = ⊤ U φ
+        prop_assert_eq!(
+            holds(&Formula::eventually(0u32, body.clone()), &lasso, &ev),
+            holds(&Formula::until(0u32, Formula::Top, body.clone()), &lasso, &ev)
+        );
+        // □φ = ⊥ R φ
+        prop_assert_eq!(
+            holds(&Formula::always(0u32, body.clone()), &lasso, &ev),
+            holds(&Formula::release(0u32, Formula::Bottom, body.clone()), &lasso, &ev)
+        );
+        // □φ = φ ∧ X□φ
+        prop_assert_eq!(
+            holds(&Formula::always(0u32, body.clone()), &lasso, &ev),
+            holds(
+                &body.clone().and(Formula::always(0u32, body.clone()).next()),
+                &lasso,
+                &ev
+            )
+        );
+        // ◇φ = φ ∨ X◇φ
+        prop_assert_eq!(
+            holds(&Formula::eventually(0u32, body.clone()), &lasso, &ev),
+            holds(
+                &body.clone().or(Formula::eventually(0u32, body.clone()).next()),
+                &lasso,
+                &ev
+            )
+        );
+        // φ U ψ = ψ ∨ (φ ∧ X(φ U ψ))
+        let until = Formula::until(0u32, other.clone(), body.clone());
+        prop_assert_eq!(
+            holds(&until, &lasso, &ev),
+            holds(
+                &body.clone().or(other.clone().and(until.clone().next())),
+                &lasso,
+                &ev
+            )
+        );
+        // φ R ψ = ψ ∧ (φ ∨ X(φ R ψ))
+        let release = Formula::release(0u32, other.clone(), body.clone());
+        prop_assert_eq!(
+            holds(&release, &lasso, &ev),
+            holds(&body.and(other.or(release.clone().next())), &lasso, &ev)
+        );
+    }
+
+    /// Figure 3 identities 1–5 (negation dualities) on lassos.
+    #[test]
+    fn negation_identities_on_lassos(
+        a in formula(2, false, 0),
+        b in formula(2, false, 0),
+        lasso in lasso_strategy(),
+    ) {
+        let ev = eval;
+        prop_assert_eq!(
+            holds(&Formula::always(0u32, a.clone()).not(), &lasso, &ev),
+            holds(&Formula::eventually(0u32, a.clone().not()), &lasso, &ev)
+        );
+        prop_assert_eq!(
+            holds(&Formula::until(0u32, a.clone(), b.clone()).not(), &lasso, &ev),
+            holds(
+                &Formula::release(0u32, a.clone().not(), b.clone().not()),
+                &lasso,
+                &ev
+            )
+        );
+        prop_assert_eq!(
+            holds(&a.clone().next().not(), &lasso, &ev),
+            holds(&a.not().next(), &lasso, &ev)
+        );
+        let _ = b;
+    }
+
+    /// Pretty-printing then parsing is the identity (after renaming atoms
+    /// to identifiers).
+    #[test]
+    fn display_parse_roundtrip(f in formula(3, true, 5)) {
+        let named: Formula<String> = f.map_atoms(&mut |n| format!("p{n}"));
+        let printed = named.to_string();
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
+        prop_assert_eq!(named, reparsed);
+    }
+
+    /// `check_trace` on a single-state trace of an atom is definitive.
+    #[test]
+    fn atoms_decide_immediately(p in 0u8..4, s in any::<u8>()) {
+        let outcome = progress_outcome(Formula::Atom(p), &[s]);
+        prop_assert_eq!(outcome, Outcome::Verdict(Verdict::definitely(eval(&p, &s))));
+    }
+
+    /// Safety properties (□ of a state predicate) are refutable but not
+    /// provable by finite traces — Alpern & Schneider via progression.
+    #[test]
+    fn safety_is_never_definitively_true(
+        p in 0u8..4,
+        n in 0u32..3,
+        trace in trace_strategy(),
+    ) {
+        let f = Formula::always(n, Formula::atom(p));
+        let outcome = progress_outcome(f, &trace);
+        prop_assert_ne!(outcome, Outcome::Verdict(Verdict::DefinitelyTrue));
+    }
+
+    /// Dually, liveness (◇ of a state predicate) is never definitively
+    /// false on a finite trace.
+    #[test]
+    fn liveness_is_never_definitively_false(
+        p in 0u8..4,
+        n in 0u32..3,
+        trace in trace_strategy(),
+    ) {
+        let f = Formula::eventually(n, Formula::atom(p));
+        let outcome = progress_outcome(f, &trace);
+        prop_assert_ne!(outcome, Outcome::Verdict(Verdict::DefinitelyFalse));
+    }
+}

@@ -1,0 +1,276 @@
+//! Static dependency analysis (§3.3).
+//!
+//! Before checking, Quickstrom must know which parts of the browser state
+//! are relevant to the properties at hand — both to instrument the running
+//! application with change listeners and to retrieve a consistent snapshot
+//! in bulk. Because Specstrom guarantees termination and has no recursion,
+//! a simple abstract interpretation suffices: we walk the binding graph
+//! from the `check`ed properties (plus the allowable actions and declared
+//! events) and collect every reachable selector literal.
+//!
+//! This includes *indirect* dependencies automatically: in
+//! `if `#toggle`.enabled {0} else {1}` the selector literal occurs in the
+//! condition and is collected when the expression is reached. The result
+//! is a sound over-approximation of the precise analysis: any selector the
+//! property could query is included (a selector in a dynamically dead
+//! branch may be instrumented unnecessarily, which costs snapshot size but
+//! never correctness).
+
+use crate::ast::{Expr, Item, LetStmt, Spec};
+use quickstrom_protocol::Selector;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Collects the selectors a set of root names (transitively) depends on.
+#[derive(Debug)]
+struct Collector<'a> {
+    by_name: HashMap<&'a str, &'a Item>,
+    visited: HashSet<&'a str>,
+    selectors: BTreeSet<Selector>,
+}
+
+impl<'a> Collector<'a> {
+    fn new(spec: &'a Spec) -> Self {
+        let mut by_name = HashMap::new();
+        for item in &spec.items {
+            if let Some(name) = item.name() {
+                // Later bindings shadow earlier ones; keep the last.
+                by_name.insert(name, item);
+            }
+        }
+        Collector {
+            by_name,
+            visited: HashSet::new(),
+            selectors: BTreeSet::new(),
+        }
+    }
+
+    fn visit_name(&mut self, name: &str) {
+        let Some(&item) = self.by_name.get(name) else {
+            return; // builtins and undefined names carry no selectors
+        };
+        if !self.visited.insert(item.name().expect("named item")) {
+            return;
+        }
+        match item {
+            Item::Let(LetStmt { value, .. }) => self.visit_expr(value),
+            Item::Fun { body, .. } => self.visit_expr(body),
+            Item::Action {
+                body,
+                timeout,
+                guard,
+                ..
+            } => {
+                self.visit_expr(body);
+                if let Some(t) = timeout {
+                    self.visit_expr(t);
+                }
+                if let Some(g) = guard {
+                    self.visit_expr(g);
+                }
+            }
+            Item::Check { .. } => {}
+        }
+    }
+
+    fn visit_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Selector(s, _) => {
+                self.selectors.insert(Selector::new(s.clone()));
+            }
+            Expr::Var(name, _) => {
+                let name = name.clone();
+                self.visit_name(&name);
+            }
+            Expr::Lit(_, _) | Expr::Happened(_) => {}
+            Expr::Call { func, args, .. } => {
+                self.visit_expr(func);
+                for a in args {
+                    self.visit_expr(a);
+                }
+            }
+            Expr::Unary { expr, .. } => self.visit_expr(expr),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.visit_expr(lhs);
+                self.visit_expr(rhs);
+            }
+            Expr::Member { obj, .. } => self.visit_expr(obj),
+            Expr::Index { obj, index, .. } => {
+                self.visit_expr(obj);
+                self.visit_expr(index);
+            }
+            Expr::Array(items, _) => {
+                for i in items {
+                    self.visit_expr(i);
+                }
+            }
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                self.visit_expr(cond);
+                self.visit_expr(then_branch);
+                self.visit_expr(else_branch);
+            }
+            Expr::Block { lets, result, .. } => {
+                for l in lets {
+                    self.visit_expr(&l.value);
+                }
+                self.visit_expr(result);
+            }
+            Expr::Temporal { body, .. } => self.visit_expr(body),
+            Expr::TemporalBin { lhs, rhs, .. } => {
+                self.visit_expr(lhs);
+                self.visit_expr(rhs);
+            }
+        }
+    }
+}
+
+/// The selectors relevant to the given root names (property and action
+/// names), following the binding graph transitively.
+#[must_use]
+pub fn dependencies_of(spec: &Spec, roots: &[String]) -> BTreeSet<Selector> {
+    let mut collector = Collector::new(spec);
+    for root in roots {
+        collector.visit_name(root);
+    }
+    collector.selectors
+}
+
+/// The selectors relevant to the whole specification: everything reachable
+/// from any `check` item (its properties, its allowable actions — all
+/// actions and events when unrestricted).
+///
+/// A specification without `check` items is analysed from every item, so
+/// library files still report their selector footprint.
+#[must_use]
+pub fn dependencies(spec: &Spec) -> BTreeSet<Selector> {
+    let mut roots: Vec<String> = Vec::new();
+    let mut any_check = false;
+    for item in &spec.items {
+        if let Item::Check {
+            properties,
+            with_actions,
+            ..
+        } = item
+        {
+            any_check = true;
+            roots.extend(properties.iter().cloned());
+            match with_actions {
+                Some(actions) => roots.extend(actions.iter().cloned()),
+                None => {
+                    // Unrestricted: every declared action and event may run.
+                    for other in &spec.items {
+                        if let Item::Action { name, .. } = other {
+                            roots.push(name.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !any_check {
+        for item in &spec.items {
+            if let Some(name) = item.name() {
+                roots.push(name.to_owned());
+            }
+        }
+    }
+    dependencies_of(spec, &roots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+
+    fn deps(src: &str) -> Vec<String> {
+        dependencies(&parse_spec(src).unwrap())
+            .into_iter()
+            .map(|s| s.as_str().to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn direct_dependencies() {
+        let got = deps(
+            "let ~stopped = `#toggle`.text == \"start\";\n\
+             check stopped;",
+        );
+        assert_eq!(got, vec!["#toggle"]);
+    }
+
+    #[test]
+    fn indirect_dependencies_through_bindings() {
+        let got = deps(
+            "let ~t = `#toggle`.enabled;\n\
+             let ~u = if t {0} else {1};\n\
+             let ~p = u == 0;\n\
+             check p;",
+        );
+        assert_eq!(got, vec!["#toggle"]);
+    }
+
+    #[test]
+    fn action_guards_and_bodies_are_included() {
+        let got = deps(
+            "let ~stopped = `#toggle`.text == \"start\";\n\
+             action start! = click!(`#start-btn`) when stopped;\n\
+             let ~p = true;\n\
+             check p;",
+        );
+        // Unrestricted check: the action's body and guard selectors count.
+        assert_eq!(got, vec!["#start-btn", "#toggle"]);
+    }
+
+    #[test]
+    fn with_list_restricts_action_roots() {
+        let got = deps(
+            "action a! = click!(`#a`);\n\
+             action b! = click!(`#b`);\n\
+             let ~p = true;\n\
+             check p with a!;",
+        );
+        assert_eq!(got, vec!["#a"]);
+    }
+
+    #[test]
+    fn unreached_bindings_are_excluded() {
+        let got = deps(
+            "let ~unused = `#nope`.text;\n\
+             let ~p = `#used`.present;\n\
+             check p with noop!;",
+        );
+        assert_eq!(got, vec!["#used"]);
+    }
+
+    #[test]
+    fn functions_are_traversed() {
+        let got = deps(
+            "fun firstText(s) = s;\n\
+             let ~p = firstText(`#x`.text) == \"1\";\n\
+             check p with noop!;",
+        );
+        assert_eq!(got, vec!["#x"]);
+    }
+
+    #[test]
+    fn no_check_analyses_everything() {
+        let got = deps("let ~a = `#one`.present; let ~b = `#two`.present;");
+        assert_eq!(got, vec!["#one", "#two"]);
+    }
+
+    #[test]
+    fn dependencies_of_specific_roots() {
+        let spec = parse_spec(
+            "let ~a = `#one`.present;\n\
+             let ~b = `#two`.present;",
+        )
+        .unwrap();
+        let got = dependencies_of(&spec, &["a".to_owned()]);
+        assert_eq!(got.len(), 1);
+        assert!(got.contains(&Selector::new("#one")));
+    }
+}

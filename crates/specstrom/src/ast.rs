@@ -1,0 +1,401 @@
+//! The abstract syntax of Specstrom.
+//!
+//! Specstrom (paper §3) superficially resembles JavaScript but is far more
+//! restricted: no recursion, guaranteed termination, and a two-sorted type
+//! system separating functions from data. Top-level [`Item`]s introduce
+//! bindings, actions/events, and `check` commands; [`Expr`]s cover values,
+//! state queries (backtick selectors), and QuickLTL temporal operators.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A source location, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start byte offset.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    #[must_use]
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical/temporal conjunction (lifts to formulae).
+    And,
+    /// Logical/temporal disjunction (lifts to formulae).
+    Or,
+    /// Implication `==>` (lifts to formulae).
+    Implies,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Membership (`x in xs`, also `tick? in happened`).
+    In,
+    /// Addition / string concatenation.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Mod,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Implies => "==>",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::In => "in",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Logical/temporal negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// The temporal operators of QuickLTL as surface syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalOp {
+    /// `always[n] e` — henceforth.
+    Always,
+    /// `eventually[n] e` — eventually.
+    Eventually,
+    /// `next e` — required next.
+    Next,
+    /// `nextW e` — weak next.
+    NextW,
+    /// `nextS e` — strong next.
+    NextS,
+}
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+/// A `let` inside a block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LetStmt {
+    /// Bound name.
+    pub name: String,
+    /// `true` for `let ~x = …` (evaluated lazily, per state).
+    pub deferred: bool,
+    /// The bound expression.
+    pub value: Rc<Expr>,
+    /// Source location of the binding.
+    pub span: Span,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal.
+    Lit(Literal, Span),
+    /// A backtick CSS selector literal.
+    Selector(String, Span),
+    /// A variable reference.
+    Var(String, Span),
+    /// The special `happened` state variable (§3.2).
+    Happened(Span),
+    /// `f(a, b)`.
+    Call {
+        /// Callee expression.
+        func: Rc<Expr>,
+        /// Argument expressions.
+        args: Vec<Rc<Expr>>,
+        /// Location.
+        span: Span,
+    },
+    /// Unary operator application.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        expr: Rc<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Binary operator application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Rc<Expr>,
+        /// Right operand.
+        rhs: Rc<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `obj.field`.
+    Member {
+        /// Object expression.
+        obj: Rc<Expr>,
+        /// Field name.
+        field: String,
+        /// Location.
+        span: Span,
+    },
+    /// `xs[i]`.
+    Index {
+        /// Collection expression.
+        obj: Rc<Expr>,
+        /// Index expression.
+        index: Rc<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `[a, b, c]`.
+    Array(Vec<Rc<Expr>>, Span),
+    /// `if c { … } else { … }`.
+    If {
+        /// Condition (must be a plain boolean, not a formula).
+        cond: Rc<Expr>,
+        /// Then branch.
+        then_branch: Rc<Expr>,
+        /// Else branch.
+        else_branch: Rc<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `{ let x = e; …; result }`.
+    Block {
+        /// Leading let-statements.
+        lets: Vec<LetStmt>,
+        /// The block's result expression.
+        result: Rc<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// A unary temporal operator with optional demand annotation.
+    Temporal {
+        /// Which operator.
+        op: TemporalOp,
+        /// The demand subscript; `None` uses the checker default (§4.1).
+        demand: Option<u32>,
+        /// Body.
+        body: Rc<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `a until[n] b` / `a release[n] b`.
+    TemporalBin {
+        /// `true` for until, `false` for release.
+        until: bool,
+        /// The demand subscript; `None` uses the checker default.
+        demand: Option<u32>,
+        /// Left operand.
+        lhs: Rc<Expr>,
+        /// Right operand.
+        rhs: Rc<Expr>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of this expression.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Lit(_, s)
+            | Expr::Selector(_, s)
+            | Expr::Var(_, s)
+            | Expr::Happened(s)
+            | Expr::Array(_, s) => *s,
+            Expr::Call { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Member { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::If { span, .. }
+            | Expr::Block { span, .. }
+            | Expr::Temporal { span, .. }
+            | Expr::TemporalBin { span, .. } => *span,
+        }
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// `true` for `~x`: the argument is passed unevaluated (call-by-name),
+    /// re-evaluated at each use — the evaluation-control feature of §3.1.
+    pub deferred: bool,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `let x = e;` or `let ~x = e;` or `let ~x { … }`.
+    Let(LetStmt),
+    /// `fun f(a, ~b) { … }`.
+    Fun {
+        /// Function name.
+        name: String,
+        /// Parameters.
+        params: Vec<Param>,
+        /// Body expression.
+        body: Rc<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `action name! = expr timeout t when g;` (or `action name? = …`).
+    Action {
+        /// Action (`…!`) or event (`…?`) name, including the suffix.
+        name: String,
+        /// The body, evaluating to a primitive action.
+        body: Rc<Expr>,
+        /// Optional timeout in milliseconds (§3.2, *Timeouts*).
+        timeout: Option<Rc<Expr>>,
+        /// Optional guard, evaluated per state (§3.2, *Actions*).
+        guard: Option<Rc<Expr>>,
+        /// Location.
+        span: Span,
+    },
+    /// `check p1, p2 with a!, b?;`
+    Check {
+        /// Property names to check.
+        properties: Vec<String>,
+        /// Optional restriction of the allowable actions (§3.2, the
+        /// `timeUp` example).
+        with_actions: Option<Vec<String>>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Item {
+    /// The name this item binds, if it binds one.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Item::Let(l) => Some(&l.name),
+            Item::Fun { name, .. } | Item::Action { name, .. } => Some(name),
+            Item::Check { .. } => None,
+        }
+    }
+
+    /// The source span.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            Item::Let(l) => l.span,
+            Item::Fun { span, .. } | Item::Action { span, .. } | Item::Check { span, .. } => {
+                *span
+            }
+        }
+    }
+}
+
+/// A parsed specification: a sequence of items.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// The items in source order.
+    pub items: Vec<Item>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn expr_span_projection() {
+        let e = Expr::Lit(Literal::Int(1), Span::new(2, 3));
+        assert_eq!(e.span(), Span::new(2, 3));
+        let v = Expr::Var("x".into(), Span::new(0, 1));
+        assert_eq!(v.span(), Span::new(0, 1));
+    }
+
+    #[test]
+    fn item_names() {
+        let item = Item::Let(LetStmt {
+            name: "x".into(),
+            deferred: false,
+            value: Rc::new(Expr::Lit(Literal::Null, Span::default())),
+            span: Span::default(),
+        });
+        assert_eq!(item.name(), Some("x"));
+        let check = Item::Check {
+            properties: vec!["p".into()],
+            with_actions: None,
+            span: Span::default(),
+        };
+        assert_eq!(check.name(), None);
+    }
+
+    #[test]
+    fn binop_display() {
+        assert_eq!(BinOp::Implies.to_string(), "==>");
+        assert_eq!(BinOp::In.to_string(), "in");
+        assert_eq!(BinOp::Mod.to_string(), "%");
+    }
+}

@@ -1,0 +1,134 @@
+//! Error types for Specstrom compilation and evaluation.
+
+use crate::ast::Span;
+use std::fmt;
+
+/// A compile-time error (lexing, parsing, name resolution, sort checking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Where in the source.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    /// An error at a location.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        SpecError {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the error with a line/column computed from `src`.
+    #[must_use]
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = line_col(src, self.span.start);
+        format!("{}:{}: {}", line, col, self.message)
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error at bytes {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A runtime evaluation error (bad types at runtime, missing state, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// Where in the source, if known.
+    pub span: Option<Span>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl EvalError {
+    /// An error with no location.
+    pub fn new(message: impl Into<String>) -> Self {
+        EvalError {
+            span: None,
+            message: message.into(),
+        }
+    }
+
+    /// An error at a location.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        EvalError {
+            span: Some(span),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(
+                f,
+                "evaluation error at bytes {}..{}: {}",
+                span.start, span.end, self.message
+            ),
+            None => write!(f, "evaluation error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Computes a 1-based line and column for a byte offset.
+#[must_use]
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let clamped = offset.min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in src.char_indices() {
+        if i >= clamped {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_computation() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 2), (1, 3));
+        assert_eq!(line_col(src, 4), (2, 1));
+        assert_eq!(line_col(src, 9), (3, 2));
+        assert_eq!(line_col(src, 999), (3, 4));
+    }
+
+    #[test]
+    fn render_includes_position() {
+        let err = SpecError::at(Span::new(4, 5), "boom");
+        assert_eq!(err.render("abc\ndef"), "2:1: boom");
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn eval_error_display() {
+        let e = EvalError::new("nope");
+        assert_eq!(e.to_string(), "evaluation error: nope");
+        let f = EvalError::at(Span::new(1, 2), "bad");
+        assert!(f.to_string().contains("1..2"));
+    }
+}

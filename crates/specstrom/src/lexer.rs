@@ -1,0 +1,549 @@
+//! The Specstrom lexer.
+//!
+//! Notable lexical rules:
+//!
+//! * Identifiers may end in `!` (user actions) or `?` (events), per the
+//!   paper's naming convention (§3.2) — `start!`, `tick?`. A trailing `!`
+//!   is only consumed when not followed by `=` (so `x != y` lexes as
+//!   inequality).
+//! * Backtick-quoted strings are CSS selector literals: `` `#toggle` ``.
+//! * `//` starts a line comment.
+
+use crate::ast::Span;
+use crate::error::SpecError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier, possibly with a `!`/`?` suffix.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A double-quoted string literal.
+    Str(String),
+    /// A backtick selector literal.
+    Selector(String),
+    // Keywords.
+    /// `let`
+    Let,
+    /// `fun`
+    Fun,
+    /// `action`
+    Action,
+    /// `check`
+    Check,
+    /// `with`
+    With,
+    /// `when`
+    When,
+    /// `timeout`
+    Timeout,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `in`
+    In,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `always`
+    Always,
+    /// `eventually`
+    Eventually,
+    /// `until`
+    Until,
+    /// `release`
+    Release,
+    /// `next`
+    Next,
+    /// `nextW`
+    NextW,
+    /// `nextS`
+    NextS,
+    /// `happened`
+    Happened,
+    // Punctuation.
+    /// `~`
+    Tilde,
+    /// `=`
+    Assign,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `==>`
+    Implies,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Selector(s) => write!(f, "`{s}`"),
+            other => {
+                let s = match other {
+                    Tok::Let => "let",
+                    Tok::Fun => "fun",
+                    Tok::Action => "action",
+                    Tok::Check => "check",
+                    Tok::With => "with",
+                    Tok::When => "when",
+                    Tok::Timeout => "timeout",
+                    Tok::If => "if",
+                    Tok::Else => "else",
+                    Tok::In => "in",
+                    Tok::True => "true",
+                    Tok::False => "false",
+                    Tok::Null => "null",
+                    Tok::Always => "always",
+                    Tok::Eventually => "eventually",
+                    Tok::Until => "until",
+                    Tok::Release => "release",
+                    Tok::Next => "next",
+                    Tok::NextW => "nextW",
+                    Tok::NextS => "nextS",
+                    Tok::Happened => "happened",
+                    Tok::Tilde => "~",
+                    Tok::Assign => "=",
+                    Tok::Semi => ";",
+                    Tok::Comma => ",",
+                    Tok::Dot => ".",
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Bang => "!",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    Tok::Implies => "==>",
+                    Tok::EqEq => "==",
+                    Tok::NotEq => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Where it came from.
+    pub span: Span,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "let" => Tok::Let,
+        "fun" => Tok::Fun,
+        "action" => Tok::Action,
+        "check" => Tok::Check,
+        "with" => Tok::With,
+        "when" => Tok::When,
+        "timeout" => Tok::Timeout,
+        "if" => Tok::If,
+        "else" => Tok::Else,
+        "in" => Tok::In,
+        "true" => Tok::True,
+        "false" => Tok::False,
+        "null" => Tok::Null,
+        "always" => Tok::Always,
+        "eventually" => Tok::Eventually,
+        "until" => Tok::Until,
+        "release" => Tok::Release,
+        "next" => Tok::Next,
+        "nextW" => Tok::NextW,
+        "nextS" => Tok::NextS,
+        "happened" => Tok::Happened,
+        _ => return None,
+    })
+}
+
+/// Lexes a whole source file.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] for unterminated strings/selectors, malformed
+/// numbers, or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, SpecError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let start = pos;
+        let c = bytes[pos] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                pos += 1;
+            }
+            '/' if bytes.get(pos + 1) == Some(&b'/') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            '`' => {
+                pos += 1;
+                let content_start = pos;
+                while pos < bytes.len() && bytes[pos] != b'`' {
+                    pos += 1;
+                }
+                if pos >= bytes.len() {
+                    return Err(SpecError::at(
+                        Span::new(start, pos),
+                        "unterminated selector literal",
+                    ));
+                }
+                let content = src[content_start..pos].to_owned();
+                pos += 1;
+                toks.push(SpannedTok {
+                    tok: Tok::Selector(content),
+                    span: Span::new(start, pos),
+                });
+            }
+            '"' => {
+                pos += 1;
+                let mut out = String::new();
+                loop {
+                    if pos >= bytes.len() {
+                        return Err(SpecError::at(
+                            Span::new(start, pos),
+                            "unterminated string literal",
+                        ));
+                    }
+                    match bytes[pos] {
+                        b'"' => {
+                            pos += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            pos += 1;
+                            let esc = bytes.get(pos).copied().ok_or_else(|| {
+                                SpecError::at(Span::new(start, pos), "unterminated escape")
+                            })?;
+                            out.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(SpecError::at(
+                                        Span::new(pos - 1, pos + 1),
+                                        format!("unknown escape \\{}", other as char),
+                                    ))
+                                }
+                            });
+                            pos += 1;
+                        }
+                        _ => {
+                            let ch = src[pos..].chars().next().expect("in bounds");
+                            out.push(ch);
+                            pos += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Str(out),
+                    span: Span::new(start, pos),
+                });
+            }
+            '0'..='9' => {
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let is_float = pos + 1 < bytes.len()
+                    && bytes[pos] == b'.'
+                    && bytes[pos + 1].is_ascii_digit();
+                if is_float {
+                    pos += 1;
+                    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                    let text = &src[start..pos];
+                    let value: f64 = text.parse().map_err(|_| {
+                        SpecError::at(Span::new(start, pos), format!("bad float {text}"))
+                    })?;
+                    toks.push(SpannedTok {
+                        tok: Tok::Float(value),
+                        span: Span::new(start, pos),
+                    });
+                } else {
+                    let text = &src[start..pos];
+                    let value: i64 = text.parse().map_err(|_| {
+                        SpecError::at(Span::new(start, pos), format!("integer out of range {text}"))
+                    })?;
+                    toks.push(SpannedTok {
+                        tok: Tok::Int(value),
+                        span: Span::new(start, pos),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while pos < bytes.len()
+                    && ((bytes[pos] as char).is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                // `!`/`?` suffix for action/event names — but `x!=y` must
+                // lex as `x` `!=` `y`.
+                if pos < bytes.len()
+                    && (bytes[pos] == b'?'
+                        || (bytes[pos] == b'!' && bytes.get(pos + 1) != Some(&b'=')))
+                {
+                    pos += 1;
+                }
+                let word = &src[start..pos];
+                let tok = keyword(word).unwrap_or_else(|| Tok::Ident(word.to_owned()));
+                toks.push(SpannedTok {
+                    tok,
+                    span: Span::new(start, pos),
+                });
+            }
+            _ => {
+                let two = bytes.get(pos..pos + 2).map(|b| (b[0], b[1]));
+                let three = bytes.get(pos..pos + 3);
+                let (tok, len) = if three == Some(b"==>") {
+                    (Tok::Implies, 3)
+                } else {
+                    match two {
+                        Some((b'&', b'&')) => (Tok::AndAnd, 2),
+                        Some((b'|', b'|')) => (Tok::OrOr, 2),
+                        Some((b'=', b'=')) => (Tok::EqEq, 2),
+                        Some((b'!', b'=')) => (Tok::NotEq, 2),
+                        Some((b'<', b'=')) => (Tok::Le, 2),
+                        Some((b'>', b'=')) => (Tok::Ge, 2),
+                        _ => match c {
+                            '~' => (Tok::Tilde, 1),
+                            '=' => (Tok::Assign, 1),
+                            ';' => (Tok::Semi, 1),
+                            ',' => (Tok::Comma, 1),
+                            '.' => (Tok::Dot, 1),
+                            '(' => (Tok::LParen, 1),
+                            ')' => (Tok::RParen, 1),
+                            '{' => (Tok::LBrace, 1),
+                            '}' => (Tok::RBrace, 1),
+                            '[' => (Tok::LBracket, 1),
+                            ']' => (Tok::RBracket, 1),
+                            '!' => (Tok::Bang, 1),
+                            '<' => (Tok::Lt, 1),
+                            '>' => (Tok::Gt, 1),
+                            '+' => (Tok::Plus, 1),
+                            '-' => (Tok::Minus, 1),
+                            '*' => (Tok::Star, 1),
+                            '/' => (Tok::Slash, 1),
+                            '%' => (Tok::Percent, 1),
+                            other => {
+                                return Err(SpecError::at(
+                                    Span::new(pos, pos + 1),
+                                    format!("unexpected character {other:?}"),
+                                ))
+                            }
+                        },
+                    }
+                };
+                toks.push(SpannedTok {
+                    tok,
+                    span: Span::new(pos, pos + len),
+                });
+                pos += len;
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_with_suffixes() {
+        assert_eq!(
+            toks("start! stop! tick? wait"),
+            vec![
+                Tok::Ident("start!".into()),
+                Tok::Ident("stop!".into()),
+                Tok::Ident("tick?".into()),
+                Tok::Ident("wait".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn bang_equals_is_inequality() {
+        assert_eq!(
+            toks("x != y"),
+            vec![Tok::Ident("x".into()), Tok::NotEq, Tok::Ident("y".into())]
+        );
+        assert_eq!(
+            toks("x!=y"),
+            vec![Tok::Ident("x".into()), Tok::NotEq, Tok::Ident("y".into())]
+        );
+        // But a unary bang after an ident boundary still works.
+        assert_eq!(
+            toks("!x"),
+            vec![Tok::Bang, Tok::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn selector_literals() {
+        assert_eq!(
+            toks("`#toggle`.text"),
+            vec![
+                Tok::Selector("#toggle".into()),
+                Tok::Dot,
+                Tok::Ident("text".into())
+            ]
+        );
+        assert!(lex("`oops").is_err());
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks(r#""start""#), vec![Tok::Str("start".into())]);
+        assert_eq!(toks(r#""a\nb\"c""#), vec![Tok::Str("a\nb\"c".into())]);
+        assert!(lex(r#""unterminated"#).is_err());
+        assert!(lex(r#""bad \q escape""#).is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 3.5 180"), vec![
+            Tok::Int(42),
+            Tok::Float(3.5),
+            Tok::Int(180)
+        ]);
+        // `1.` is Int then Dot (member access on ints is an eval error).
+        assert_eq!(toks("1.x"), vec![Tok::Int(1), Tok::Dot, Tok::Ident("x".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("let x = 1; // the answer\nlet"),
+            vec![
+                Tok::Let,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(1),
+                Tok::Semi,
+                Tok::Let
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a && b || c ==> d == e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::AndAnd,
+                Tok::Ident("b".into()),
+                Tok::OrOr,
+                Tok::Ident("c".into()),
+                Tok::Implies,
+                Tok::Ident("d".into()),
+                Tok::EqEq,
+                Tok::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(
+            toks("always eventually untilx next happened"),
+            vec![
+                Tok::Always,
+                Tok::Eventually,
+                Tok::Ident("untilx".into()),
+                Tok::Next,
+                Tok::Happened
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let ts = lex("let x").unwrap();
+        assert_eq!(ts[0].span, Span::new(0, 3));
+        assert_eq!(ts[1].span, Span::new(4, 5));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = lex("let @").unwrap_err();
+        assert!(err.to_string().contains('@'));
+    }
+}

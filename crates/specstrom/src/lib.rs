@@ -1,0 +1,70 @@
+//! # Specstrom
+//!
+//! The Quickstrom specification language (paper §3): a small, terminating
+//! language with JavaScript-adjacent syntax in which engineers write
+//! QuickLTL properties, declare the actions and events of their
+//! application, and issue `check` commands.
+//!
+//! The pipeline is [`parse_spec`] → [`compile`] (sort checking, §3's
+//! function/data separation; environment construction; §3.3 dependency
+//! analysis) → a [`CompiledSpec`] the checker can run: property thunks,
+//! action/event declarations with guards and timeouts, and the selector
+//! dependency list for executor instrumentation.
+//!
+//! ## Example
+//!
+//! ```
+//! use specstrom::load;
+//!
+//! let compiled = load(
+//!     r#"
+//!     let ~stopped = `#toggle`.text == "start";
+//!     action start! = click!(`#toggle`) when stopped;
+//!     let ~prop = always[10] (start! in happened ==> eventually[5] !stopped);
+//!     check prop;
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(compiled.dependencies.len(), 1);
+//! assert!(compiled.property_thunk("prop").is_some());
+//! ```
+//!
+//! ## Evaluation control (§3.1)
+//!
+//! Deferred bindings (`let ~x = …`, `~param`) capture expressions
+//! unevaluated and re-run them at every use, against the then-current
+//! state. The paper's `evovae` example — "x shall forever have the value it
+//! had initially" — type-checks and means what it should:
+//!
+//! ```
+//! use specstrom::load;
+//! let compiled = load(
+//!     "fun evovae(~x) { let v = x; always (x == v) }\n\
+//!      let ~p = evovae(`#field`.text);\n\
+//!      check p with noop!;",
+//! )
+//! .unwrap();
+//! assert!(compiled.property_thunk("p").is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sorts;
+pub mod spec;
+pub mod value;
+
+pub use error::{EvalError, SpecError};
+pub use eval::{element_record, eval_guard, expand_thunk, initial_env, to_formula, EvalCtx};
+pub use parser::{parse_expr, parse_spec};
+pub use pretty::{pretty_expr, pretty_item, pretty_spec};
+pub use spec::{compile, load, CheckDef, CompiledSpec};
+pub use value::{ActionValue, Binding, Builtin, Env, Thunk, Value};

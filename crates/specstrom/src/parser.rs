@@ -1,0 +1,931 @@
+//! The Specstrom parser: recursive descent with precedence climbing.
+//!
+//! Operator precedence, loosest to tightest:
+//!
+//! ```text
+//! ==>                       (right associative)
+//! ||
+//! &&
+//! until[n]  release[n]      (right associative)
+//! ==  !=  <  <=  >  >=  in  (non-associative)
+//! +  -
+//! *  /  %
+//! !  -  always[n]  eventually[n]  next  nextW  nextS   (prefix)
+//! f(x)  x.f  x[i]           (postfix)
+//! ```
+//!
+//! Demand subscripts use brackets after the operator keyword:
+//! `always[400] …`, `a until[5] b`. Omitting the subscript defers to the
+//! checker's configured default (§4.1).
+
+use crate::ast::{BinOp, Expr, Item, LetStmt, Literal, Param, Spec, TemporalOp, UnOp};
+use crate::ast::Span;
+use crate::error::SpecError;
+use crate::lexer::{lex, SpannedTok, Tok};
+use std::rc::Rc;
+
+/// Parses a complete specification source file.
+///
+/// # Errors
+///
+/// Returns the first [`SpecError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// use specstrom::parse_spec;
+/// let spec = parse_spec(
+///     "let ~stopped = `#toggle`.text == \"start\";\n\
+///      action start! = click!(`#toggle`) when stopped;\n\
+///      check stopped;",
+/// )
+/// .unwrap();
+/// assert_eq!(spec.items.len(), 3);
+/// ```
+pub fn parse_spec(src: &str) -> Result<Spec, SpecError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let mut items = Vec::new();
+    while !p.at_end() {
+        items.push(p.item()?);
+    }
+    Ok(Spec { items })
+}
+
+/// Parses a single expression (used by tests and the REPL-style helpers).
+///
+/// # Errors
+///
+/// Returns the first [`SpecError`] encountered, including trailing input.
+pub fn parse_expr(src: &str) -> Result<Rc<Expr>, SpecError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(p.error_here("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn here(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map_or(Span::new(self.src_len, self.src_len), |t| t.span)
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks
+            .get(self.pos.saturating_sub(1))
+            .map_or(Span::new(self.src_len, self.src_len), |t| t.span)
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> SpecError {
+        let msg = msg.into();
+        match self.peek() {
+            Some(tok) => SpecError::at(self.here(), format!("{msg} (found `{tok}`)")),
+            None => SpecError::at(self.here(), format!("{msg} (found end of input)")),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<Span, SpecError> {
+        if self.peek() == Some(tok) {
+            let span = self.here();
+            self.pos += 1;
+            Ok(span)
+        } else {
+            Err(self.error_here(format!("expected `{tok}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), SpecError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let span = self.here();
+                match self.bump() {
+                    Some(Tok::Ident(name)) => Ok((name, span)),
+                    _ => unreachable!("peeked an identifier"),
+                }
+            }
+            _ => Err(self.error_here("expected an identifier")),
+        }
+    }
+
+    // ---------------------------------------------------------------- items
+
+    fn item(&mut self) -> Result<Item, SpecError> {
+        match self.peek() {
+            Some(Tok::Let) => self.let_item(),
+            Some(Tok::Fun) => self.fun_item(),
+            Some(Tok::Action) => self.action_item(),
+            Some(Tok::Check) => self.check_item(),
+            _ => Err(self.error_here("expected `let`, `fun`, `action` or `check`")),
+        }
+    }
+
+    fn let_item(&mut self) -> Result<Item, SpecError> {
+        let start = self.expect(&Tok::Let)?;
+        let deferred = self.eat(&Tok::Tilde);
+        let (name, _) = self.ident()?;
+        let value = if self.peek() == Some(&Tok::LBrace) {
+            // `let ~ticking { … }` — block-bodied binding (Fig. 8).
+            self.block()?
+        } else {
+            self.expect(&Tok::Assign)?;
+            self.expr()?
+        };
+        let end = self.expect(&Tok::Semi).or_else(|e| {
+            // Block-bodied lets may omit the semicolon.
+            if matches!(value.as_ref(), Expr::Block { .. }) {
+                Ok(self.prev_span())
+            } else {
+                Err(e)
+            }
+        })?;
+        Ok(Item::Let(LetStmt {
+            name,
+            deferred,
+            value,
+            span: start.merge(end),
+        }))
+    }
+
+    fn fun_item(&mut self) -> Result<Item, SpecError> {
+        let start = self.expect(&Tok::Fun)?;
+        let (name, _) = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let deferred = self.eat(&Tok::Tilde);
+                let (pname, _) = self.ident()?;
+                params.push(Param {
+                    name: pname,
+                    deferred,
+                });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = if self.peek() == Some(&Tok::LBrace) {
+            let b = self.block()?;
+            let _ = self.eat(&Tok::Semi);
+            b
+        } else {
+            self.expect(&Tok::Assign)?;
+            let e = self.expr()?;
+            self.expect(&Tok::Semi)?;
+            e
+        };
+        let span = start.merge(self.prev_span());
+        Ok(Item::Fun {
+            name,
+            params,
+            body,
+            span,
+        })
+    }
+
+    fn action_item(&mut self) -> Result<Item, SpecError> {
+        let start = self.expect(&Tok::Action)?;
+        let (name, name_span) = self.ident()?;
+        if !name.ends_with('!') && !name.ends_with('?') {
+            return Err(SpecError::at(
+                name_span,
+                format!("action `{name}` must end with `!` (user action) or `?` (event)"),
+            ));
+        }
+        self.expect(&Tok::Assign)?;
+        let body = self.expr()?;
+        let timeout = if self.eat(&Tok::Timeout) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let guard = if self.eat(&Tok::When) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let end = self.expect(&Tok::Semi)?;
+        Ok(Item::Action {
+            name,
+            body,
+            timeout,
+            guard,
+            span: start.merge(end),
+        })
+    }
+
+    fn name_list(&mut self) -> Result<Vec<String>, SpecError> {
+        let mut names = Vec::new();
+        while let Some(Tok::Ident(_)) = self.peek() {
+            let (n, _) = self.ident()?;
+            names.push(n);
+            // Comma separators are optional (Fig. 8 uses spaces).
+            let _ = self.eat(&Tok::Comma);
+        }
+        if names.is_empty() {
+            return Err(self.error_here("expected one or more names"));
+        }
+        Ok(names)
+    }
+
+    fn check_item(&mut self) -> Result<Item, SpecError> {
+        let start = self.expect(&Tok::Check)?;
+        let properties = self.name_list()?;
+        let with_actions = if self.eat(&Tok::With) {
+            Some(self.name_list()?)
+        } else {
+            None
+        };
+        let end = self.expect(&Tok::Semi)?;
+        Ok(Item::Check {
+            properties,
+            with_actions,
+            span: start.merge(end),
+        })
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+        self.implies()
+    }
+
+    fn implies(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let lhs = self.or_expr()?;
+        if self.eat(&Tok::Implies) {
+            let rhs = self.implies()?;
+            let span = lhs.span().merge(rhs.span());
+            Ok(Rc::new(Expr::Binary {
+                op: BinOp::Implies,
+                lhs,
+                rhs,
+                span,
+            }))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Rc::new(Expr::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+                span,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let mut lhs = self.until_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.until_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Rc::new(Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+                span,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn demand(&mut self) -> Result<Option<u32>, SpecError> {
+        if self.eat(&Tok::LBracket) {
+            let n = match self.peek() {
+                Some(Tok::Int(n)) if *n >= 0 => {
+                    let v = u32::try_from(*n)
+                        .map_err(|_| self.error_here("demand subscript out of range"))?;
+                    self.pos += 1;
+                    v
+                }
+                _ => return Err(self.error_here("expected a non-negative demand subscript")),
+            };
+            self.expect(&Tok::RBracket)?;
+            Ok(Some(n))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn until_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let lhs = self.cmp_expr()?;
+        let until = match self.peek() {
+            Some(Tok::Until) => true,
+            Some(Tok::Release) => false,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let demand = self.demand()?;
+        // Right associative: `a until b until c` = `a until (b until c)`.
+        let rhs = self.until_expr()?;
+        let span = lhs.span().merge(rhs.span());
+        Ok(Rc::new(Expr::TemporalBin {
+            until,
+            demand,
+            lhs,
+            rhs,
+            span,
+        }))
+    }
+
+    fn cmp_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::EqEq) => BinOp::Eq,
+            Some(Tok::NotEq) => BinOp::Ne,
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Ge) => BinOp::Ge,
+            Some(Tok::In) => BinOp::In,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        let span = lhs.span().merge(rhs.span());
+        Ok(Rc::new(Expr::Binary { op, lhs, rhs, span }))
+    }
+
+    fn add_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Rc::new(Expr::Binary { op, lhs, rhs, span });
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Rc::new(Expr::Binary { op, lhs, rhs, span });
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let start = self.here();
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                let expr = self.unary_expr()?;
+                let span = start.merge(expr.span());
+                Ok(Rc::new(Expr::Unary {
+                    op: UnOp::Not,
+                    expr,
+                    span,
+                }))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                let expr = self.unary_expr()?;
+                let span = start.merge(expr.span());
+                Ok(Rc::new(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr,
+                    span,
+                }))
+            }
+            Some(Tok::Always) => self.temporal_prefix(TemporalOp::Always, true),
+            Some(Tok::Eventually) => self.temporal_prefix(TemporalOp::Eventually, true),
+            Some(Tok::Next) => self.temporal_prefix(TemporalOp::Next, false),
+            Some(Tok::NextW) => self.temporal_prefix(TemporalOp::NextW, false),
+            Some(Tok::NextS) => self.temporal_prefix(TemporalOp::NextS, false),
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn temporal_prefix(
+        &mut self,
+        op: TemporalOp,
+        demanded: bool,
+    ) -> Result<Rc<Expr>, SpecError> {
+        let start = self.here();
+        self.pos += 1;
+        let demand = if demanded { self.demand()? } else { None };
+        let body = self.unary_expr()?;
+        let span = start.merge(body.span());
+        Ok(Rc::new(Expr::Temporal {
+            op,
+            demand,
+            body,
+            span,
+        }))
+    }
+
+    fn postfix_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let mut expr = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::LParen) => {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(&Tok::RParen)?;
+                    let span = expr.span().merge(end);
+                    expr = Rc::new(Expr::Call {
+                        func: expr,
+                        args,
+                        span,
+                    });
+                }
+                Some(Tok::Dot) => {
+                    self.pos += 1;
+                    let (field, fspan) = self.ident()?;
+                    let span = expr.span().merge(fspan);
+                    expr = Rc::new(Expr::Member { obj: expr, field, span });
+                }
+                Some(Tok::LBracket) => {
+                    self.pos += 1;
+                    let index = self.expr()?;
+                    let end = self.expect(&Tok::RBracket)?;
+                    let span = expr.span().merge(end);
+                    expr = Rc::new(Expr::Index {
+                        obj: expr,
+                        index,
+                        span,
+                    });
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn primary(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let span = self.here();
+        match self.peek() {
+            Some(Tok::Int(_)) => match self.bump() {
+                Some(Tok::Int(n)) => Ok(Rc::new(Expr::Lit(Literal::Int(n), span))),
+                _ => unreachable!(),
+            },
+            Some(Tok::Float(_)) => match self.bump() {
+                Some(Tok::Float(x)) => Ok(Rc::new(Expr::Lit(Literal::Float(x), span))),
+                _ => unreachable!(),
+            },
+            Some(Tok::Str(_)) => match self.bump() {
+                Some(Tok::Str(s)) => Ok(Rc::new(Expr::Lit(Literal::Str(s), span))),
+                _ => unreachable!(),
+            },
+            Some(Tok::Selector(_)) => match self.bump() {
+                Some(Tok::Selector(s)) => Ok(Rc::new(Expr::Selector(s, span))),
+                _ => unreachable!(),
+            },
+            Some(Tok::True) => {
+                self.pos += 1;
+                Ok(Rc::new(Expr::Lit(Literal::Bool(true), span)))
+            }
+            Some(Tok::False) => {
+                self.pos += 1;
+                Ok(Rc::new(Expr::Lit(Literal::Bool(false), span)))
+            }
+            Some(Tok::Null) => {
+                self.pos += 1;
+                Ok(Rc::new(Expr::Lit(Literal::Null, span)))
+            }
+            Some(Tok::Happened) => {
+                self.pos += 1;
+                Ok(Rc::new(Expr::Happened(span)))
+            }
+            Some(Tok::Ident(_)) => {
+                let (name, span) = self.ident()?;
+                Ok(Rc::new(Expr::Var(name, span)))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::LBracket) => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() != Some(&Tok::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                let end = self.expect(&Tok::RBracket)?;
+                Ok(Rc::new(Expr::Array(items, span.merge(end))))
+            }
+            Some(Tok::If) => self.if_expr(),
+            Some(Tok::LBrace) => self.block(),
+            _ => Err(self.error_here("expected an expression")),
+        }
+    }
+
+    fn if_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let start = self.expect(&Tok::If)?;
+        let cond = self.expr()?;
+        let then_branch = self.block()?;
+        self.expect(&Tok::Else)?;
+        let else_branch = if self.peek() == Some(&Tok::If) {
+            self.if_expr()?
+        } else {
+            self.block()?
+        };
+        let span = start.merge(else_branch.span());
+        Ok(Rc::new(Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        }))
+    }
+
+    fn block(&mut self) -> Result<Rc<Expr>, SpecError> {
+        let start = self.expect(&Tok::LBrace)?;
+        let mut lets = Vec::new();
+        while self.peek() == Some(&Tok::Let) {
+            let lstart = self.here();
+            self.pos += 1;
+            let deferred = self.eat(&Tok::Tilde);
+            let (name, _) = self.ident()?;
+            self.expect(&Tok::Assign)?;
+            let value = self.expr()?;
+            let lend = self.expect(&Tok::Semi)?;
+            lets.push(LetStmt {
+                name,
+                deferred,
+                value,
+                span: lstart.merge(lend),
+            });
+        }
+        let result = self.expr()?;
+        let end = self.expect(&Tok::RBrace)?;
+        Ok(Rc::new(Expr::Block {
+            lets,
+            result,
+            span: start.merge(end),
+        }))
+    }
+}
+
+// `peek2` is used by no production today but kept for the parser's
+// evolution; reference it so the build stays warning-clean.
+impl Parser {
+    #[allow(dead_code)]
+    fn lookahead_is_assign(&self) -> bool {
+        self.peek2() == Some(&Tok::Assign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Rc<Expr> {
+        parse_expr(src).unwrap_or_else(|e| panic!("{src}: {}", e.render(src)))
+    }
+
+    #[test]
+    fn precedence_shape() {
+        // a || b && c parses as a || (b && c)
+        match expr("a || b && c").as_ref() {
+            Expr::Binary { op: BinOp::Or, rhs, .. } => {
+                assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // comparison binds tighter than &&
+        match expr("x == 1 && y == 2").as_ref() {
+            Expr::Binary { op: BinOp::And, lhs, .. } => {
+                assert!(matches!(lhs.as_ref(), Expr::Binary { op: BinOp::Eq, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporal_operators_with_demands() {
+        match expr("always[400] ticking").as_ref() {
+            Expr::Temporal {
+                op: TemporalOp::Always,
+                demand: Some(400),
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match expr("eventually stopped").as_ref() {
+            Expr::Temporal {
+                op: TemporalOp::Eventually,
+                demand: None,
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match expr("a until[5] b").as_ref() {
+            Expr::TemporalBin {
+                until: true,
+                demand: Some(5),
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match expr("exit release (edit || exit)").as_ref() {
+            Expr::TemporalBin { until: false, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporal_binds_tighter_than_and() {
+        // a && b until c parses as a && (b until c).
+        match expr("a && b until c").as_ref() {
+            Expr::Binary { op: BinOp::And, rhs, .. } => {
+                assert!(matches!(rhs.as_ref(), Expr::TemporalBin { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn postfix_chains() {
+        match expr("`#remaining`.text").as_ref() {
+            Expr::Member { obj, field, .. } => {
+                assert!(matches!(obj.as_ref(), Expr::Selector(s, _) if s == "#remaining"));
+                assert_eq!(field, "text");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match expr("parseInt(`#remaining`.text)").as_ref() {
+            Expr::Call { func, args, .. } => {
+                assert!(matches!(func.as_ref(), Expr::Var(n, _) if n == "parseInt"));
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match expr("items[0].text").as_ref() {
+            Expr::Member { obj, .. } => {
+                assert!(matches!(obj.as_ref(), Expr::Index { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_and_blocks() {
+        let e = expr("if time == 0 {stopped} else {started}");
+        match e.as_ref() {
+            Expr::If { then_branch, .. } => {
+                assert!(matches!(then_branch.as_ref(), Expr::Block { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let b = expr("{ let old = time; started && next (time == old - 1) }");
+        match b.as_ref() {
+            Expr::Block { lets, .. } => {
+                assert_eq!(lets.len(), 1);
+                assert_eq!(lets[0].name, "old");
+                assert!(!lets[0].deferred);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let e = expr("if a {1} else if b {2} else {3}");
+        match e.as_ref() {
+            Expr::If { else_branch, .. } => {
+                assert!(matches!(else_branch.as_ref(), Expr::If { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn happened_and_membership() {
+        match expr("tick? in happened").as_ref() {
+            Expr::Binary { op: BinOp::In, lhs, rhs, .. } => {
+                assert!(matches!(lhs.as_ref(), Expr::Var(n, _) if n == "tick?"));
+                assert!(matches!(rhs.as_ref(), Expr::Happened(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn egg_timer_items_parse() {
+        let src = r#"
+            let ~stopped = `#toggle`.text == "start";
+            let ~started = `#toggle`.text == "stop";
+            let ~time = parseInt(`#remaining`.text);
+            action start! = click!(`#toggle`) when stopped;
+            action stop! = click!(`#toggle`) when started;
+            action wait! = noop! timeout 1100 when started;
+            action tick? = changed?(`#remaining`);
+            let ~ticking {
+                let old = time;
+                started && next (tick? in happened && time == old - 1)
+            };
+            let ~liveness = always[400] (start! in happened ==> eventually[360] stopped);
+            check liveness with start! wait! tick?;
+        "#;
+        let spec = parse_spec(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        assert_eq!(spec.items.len(), 10);
+        match &spec.items[5] {
+            Item::Action {
+                name,
+                timeout,
+                guard,
+                ..
+            } => {
+                assert_eq!(name, "wait!");
+                assert!(timeout.is_some());
+                assert!(guard.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &spec.items[9] {
+            Item::Check {
+                properties,
+                with_actions,
+                ..
+            } => {
+                assert_eq!(properties, &["liveness".to_owned()]);
+                assert_eq!(
+                    with_actions.as_deref(),
+                    Some(&["start!".to_owned(), "wait!".to_owned(), "tick?".to_owned()][..])
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fun_items() {
+        let spec = parse_spec("fun evovae(~x) { let v = x; always (x == v) }").unwrap();
+        match &spec.items[0] {
+            Item::Fun { name, params, .. } => {
+                assert_eq!(name, "evovae");
+                assert_eq!(params.len(), 1);
+                assert!(params[0].deferred);
+                assert_eq!(params[0].name, "x");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Expression-bodied functions need `= … ;`.
+        let spec2 = parse_spec("fun double(x) = x * 2;").unwrap();
+        assert!(matches!(&spec2.items[0], Item::Fun { .. }));
+    }
+
+    #[test]
+    fn check_names_comma_or_space() {
+        let a = parse_spec("check safety liveness;").unwrap();
+        let b = parse_spec("check safety, liveness;").unwrap();
+        // Same structure; spans differ by the comma.
+        match (&a.items[0], &b.items[0]) {
+            (
+                Item::Check {
+                    properties: pa,
+                    with_actions: wa,
+                    ..
+                },
+                Item::Check {
+                    properties: pb,
+                    with_actions: wb,
+                    ..
+                },
+            ) => {
+                assert_eq!(pa, pb);
+                assert_eq!(wa, wb);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn action_names_need_suffix() {
+        let err = parse_spec("action go = noop!;").unwrap_err();
+        assert!(err.message.contains("must end with"));
+    }
+
+    #[test]
+    fn error_messages_show_found_token() {
+        let err = parse_expr("a &&").unwrap_err();
+        assert!(err.message.contains("end of input"));
+        let err2 = parse_spec("let x 5;").unwrap_err();
+        assert!(err2.message.contains('5'));
+    }
+
+    #[test]
+    fn arrays() {
+        match expr("[1, 2, 3]").as_ref() {
+            Expr::Array(items, _) => assert_eq!(items.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        match expr("[]").as_ref() {
+            Expr::Array(items, _) => assert!(items.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implies_is_right_associative() {
+        match expr("a ==> b ==> c").as_ref() {
+            Expr::Binary { op: BinOp::Implies, rhs, .. } => {
+                assert!(matches!(
+                    rhs.as_ref(),
+                    Expr::Binary { op: BinOp::Implies, .. }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_operators() {
+        match expr("!stopped").as_ref() {
+            Expr::Unary { op: UnOp::Not, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match expr("-5 + 3").as_ref() {
+            Expr::Binary { op: BinOp::Add, lhs, .. } => {
+                assert!(matches!(lhs.as_ref(), Expr::Unary { op: UnOp::Neg, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! A pretty-printer for Specstrom: renders ASTs back to concrete syntax.
+//!
+//! Used for diagnostics (showing residual atoms in counterexamples), for
+//! `specstrom`-as-a-library tooling, and to property-test the parser: the
+//! printer's output must re-parse, and printing is a fixpoint
+//! (`print ∘ parse ∘ print = print`).
+
+use crate::ast::{BinOp, Expr, Item, LetStmt, Literal, Param, Spec, TemporalOp, UnOp};
+use std::fmt::Write as _;
+
+/// Operator precedence levels, matching the parser (higher binds tighter).
+fn prec(expr: &Expr) -> u8 {
+    match expr {
+        Expr::Binary { op, .. } => match op {
+            BinOp::Implies => 1,
+            BinOp::Or => 2,
+            BinOp::And => 3,
+            BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::In => 5,
+            BinOp::Add | BinOp::Sub => 6,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 7,
+        },
+        Expr::TemporalBin { .. } => 4,
+        Expr::Unary { .. } | Expr::Temporal { .. } => 8,
+        Expr::Call { .. } | Expr::Member { .. } | Expr::Index { .. } => 9,
+        _ => 10,
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn demand_suffix(demand: Option<u32>) -> String {
+    demand.map(|n| format!("[{n}]")).unwrap_or_default()
+}
+
+fn write_expr(out: &mut String, expr: &Expr, min: u8) {
+    let p = prec(expr);
+    if p < min {
+        out.push('(');
+    }
+    match expr {
+        Expr::Lit(lit, _) => match lit {
+            Literal::Null => out.push_str("null"),
+            Literal::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Literal::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Literal::Float(x) => {
+                // Keep a decimal point so the literal re-parses as a float.
+                if x.fract() == 0.0 && x.is_finite() {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Literal::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+        },
+        Expr::Selector(s, _) => {
+            let _ = write!(out, "`{s}`");
+        }
+        Expr::Var(name, _) => out.push_str(name),
+        Expr::Happened(_) => out.push_str("happened"),
+        Expr::Call { func, args, .. } => {
+            write_expr(out, func, 9);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::Unary { op, expr, .. } => {
+            out.push_str(match op {
+                UnOp::Not => "!",
+                UnOp::Neg => "-",
+            });
+            write_expr(out, expr, 8);
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let (lp, rp) = match op {
+                // Right associative.
+                BinOp::Implies => (2, 1),
+                // Left associative chains.
+                BinOp::Or => (2, 3),
+                BinOp::And => (3, 4),
+                BinOp::Add | BinOp::Sub => (6, 7),
+                BinOp::Mul | BinOp::Div | BinOp::Mod => (7, 8),
+                // Non-associative.
+                _ => (6, 6),
+            };
+            write_expr(out, lhs, lp);
+            let _ = write!(out, " {op} ");
+            write_expr(out, rhs, rp);
+        }
+        Expr::Member { obj, field, .. } => {
+            write_expr(out, obj, 9);
+            out.push('.');
+            out.push_str(field);
+        }
+        Expr::Index { obj, index, .. } => {
+            write_expr(out, obj, 9);
+            out.push('[');
+            write_expr(out, index, 0);
+            out.push(']');
+        }
+        Expr::Array(items, _) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item, 0);
+            }
+            out.push(']');
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            out.push_str("if ");
+            write_expr(out, cond, 0);
+            out.push(' ');
+            write_block_like(out, then_branch);
+            out.push_str(" else ");
+            if matches!(else_branch.as_ref(), Expr::If { .. }) {
+                write_expr(out, else_branch, 0);
+            } else {
+                write_block_like(out, else_branch);
+            }
+        }
+        Expr::Block { lets, result, .. } => {
+            out.push_str("{ ");
+            for l in lets {
+                write_let_stmt(out, l);
+                out.push(' ');
+            }
+            write_expr(out, result, 0);
+            out.push_str(" }");
+        }
+        Expr::Temporal {
+            op, demand, body, ..
+        } => {
+            let name = match op {
+                TemporalOp::Always => "always",
+                TemporalOp::Eventually => "eventually",
+                TemporalOp::Next => "next",
+                TemporalOp::NextW => "nextW",
+                TemporalOp::NextS => "nextS",
+            };
+            out.push_str(name);
+            if matches!(op, TemporalOp::Always | TemporalOp::Eventually) {
+                out.push_str(&demand_suffix(*demand));
+            }
+            out.push(' ');
+            write_expr(out, body, 8);
+        }
+        Expr::TemporalBin {
+            until,
+            demand,
+            lhs,
+            rhs,
+            ..
+        } => {
+            write_expr(out, lhs, 5);
+            let _ = write!(
+                out,
+                " {}{} ",
+                if *until { "until" } else { "release" },
+                demand_suffix(*demand)
+            );
+            // Right associative.
+            write_expr(out, rhs, 4);
+        }
+    }
+    if p < min {
+        out.push(')');
+    }
+}
+
+/// `if`/`else` branches must print as blocks even when the parser produced
+/// a bare expression internally.
+fn write_block_like(out: &mut String, expr: &Expr) {
+    if matches!(expr, Expr::Block { .. }) {
+        write_expr(out, expr, 0);
+    } else {
+        out.push_str("{ ");
+        write_expr(out, expr, 0);
+        out.push_str(" }");
+    }
+}
+
+fn write_let_stmt(out: &mut String, stmt: &LetStmt) {
+    let _ = write!(
+        out,
+        "let {}{} = ",
+        if stmt.deferred { "~" } else { "" },
+        stmt.name
+    );
+    write_expr(out, &stmt.value, 0);
+    out.push(';');
+}
+
+fn write_params(out: &mut String, params: &[Param]) {
+    for (i, p) in params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if p.deferred {
+            out.push('~');
+        }
+        out.push_str(&p.name);
+    }
+}
+
+/// Renders one expression.
+#[must_use]
+pub fn pretty_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, 0);
+    out
+}
+
+/// Renders one item as a single line.
+#[must_use]
+pub fn pretty_item(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Let(stmt) => write_let_stmt(&mut out, stmt),
+        Item::Fun {
+            name, params, body, ..
+        } => {
+            let _ = write!(out, "fun {name}(");
+            write_params(&mut out, params);
+            out.push_str(") = ");
+            write_expr(&mut out, body, 0);
+            out.push(';');
+        }
+        Item::Action {
+            name,
+            body,
+            timeout,
+            guard,
+            ..
+        } => {
+            let _ = write!(out, "action {name} = ");
+            write_expr(&mut out, body, 0);
+            if let Some(t) = timeout {
+                out.push_str(" timeout ");
+                write_expr(&mut out, t, 0);
+            }
+            if let Some(g) = guard {
+                out.push_str(" when ");
+                write_expr(&mut out, g, 0);
+            }
+            out.push(';');
+        }
+        Item::Check {
+            properties,
+            with_actions,
+            ..
+        } => {
+            let _ = write!(out, "check {}", properties.join(", "));
+            if let Some(actions) = with_actions {
+                let _ = write!(out, " with {}", actions.join(", "));
+            }
+            out.push(';');
+        }
+    }
+    out
+}
+
+/// Renders a whole specification, one item per line.
+#[must_use]
+pub fn pretty_spec(spec: &Spec) -> String {
+    let mut out = String::new();
+    for item in &spec.items {
+        out.push_str(&pretty_item(item));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_spec};
+
+    fn roundtrip_expr(src: &str) -> String {
+        pretty_expr(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn literals_and_operators() {
+        assert_eq!(roundtrip_expr("1 + 2 * 3"), "1 + 2 * 3");
+        assert_eq!(roundtrip_expr("(1 + 2) * 3"), "(1 + 2) * 3");
+        assert_eq!(roundtrip_expr("a && b || c"), "a && b || c");
+        assert_eq!(roundtrip_expr("a && (b || c)"), "a && (b || c)");
+        assert_eq!(roundtrip_expr("!x"), "!x");
+        assert_eq!(roundtrip_expr("null == null"), "null == null");
+        assert_eq!(roundtrip_expr("\"a\\nb\""), "\"a\\nb\"");
+        assert_eq!(roundtrip_expr("2.5 + 1.0"), "2.5 + 1.0");
+    }
+
+    #[test]
+    fn temporal_printing() {
+        assert_eq!(
+            roundtrip_expr("always[400] (a || b)"),
+            "always[400] (a || b)"
+        );
+        assert_eq!(roundtrip_expr("eventually x"), "eventually x");
+        assert_eq!(roundtrip_expr("a until[5] b"), "a until[5] b");
+        assert_eq!(roundtrip_expr("nextW (x == 1)"), "nextW (x == 1)");
+        // `until` binds tighter than `&&`.
+        assert_eq!(roundtrip_expr("a && b until c"), "a && b until c");
+        assert_eq!(roundtrip_expr("(a && b) until c"), "(a && b) until c");
+    }
+
+    #[test]
+    fn postfix_and_selectors() {
+        assert_eq!(
+            roundtrip_expr("`#toggle`.text == \"start\""),
+            "`#toggle`.text == \"start\""
+        );
+        assert_eq!(
+            roundtrip_expr("parseInt(`#n`.text) + 1"),
+            "parseInt(`#n`.text) + 1"
+        );
+        assert_eq!(roundtrip_expr("xs[0].text"), "xs[0].text");
+        assert_eq!(roundtrip_expr("[1, 2, 3]"), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn blocks_and_ifs() {
+        assert_eq!(
+            roundtrip_expr("{ let v = x; v + 1 }"),
+            "{ let v = x; v + 1 }"
+        );
+        assert_eq!(
+            roundtrip_expr("if a { 1 } else { 2 }"),
+            "if a { 1 } else { 2 }"
+        );
+        assert_eq!(
+            roundtrip_expr("if a {1} else if b {2} else {3}"),
+            "if a { 1 } else if b { 2 } else { 3 }"
+        );
+    }
+
+    #[test]
+    fn items_print() {
+        let spec = parse_spec(
+            "let ~stopped = `#t`.text == \"start\";\n\
+             fun double(x) = x * 2;\n\
+             action start! = click!(`#t`) timeout 100 when stopped;\n\
+             check stopped with start!;",
+        )
+        .unwrap();
+        let printed = pretty_spec(&spec);
+        assert_eq!(
+            printed,
+            "let ~stopped = `#t`.text == \"start\";\n\
+             fun double(x) = x * 2;\n\
+             action start! = click!(`#t`) timeout 100 when stopped;\n\
+             check stopped with start!;\n"
+        );
+    }
+
+    #[test]
+    fn printing_is_a_fixpoint_on_the_bundled_specs() {
+        for src in [
+            include_str!("../../../specs/todomvc.strom"),
+            include_str!("../../../specs/egg_timer.strom"),
+            include_str!("../../../specs/counter.strom"),
+            include_str!("../../../specs/menu.strom"),
+        ] {
+            let once = pretty_spec(&parse_spec(src).unwrap());
+            let twice = pretty_spec(&parse_spec(&once).unwrap_or_else(|e| {
+                panic!("printed spec failed to re-parse: {}\n{once}", e.render(&once))
+            }));
+            assert_eq!(once, twice, "printer is not a fixpoint");
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! The two-sorted type system of Specstrom (§3).
+//!
+//! The paper's design brief: a type system "designed to be mostly invisible
+//! to the programmer: it distinguishes only between functions and
+//! non-functions, and all types are inferred". Its job is twofold:
+//!
+//! 1. **Termination.** Name resolution is strictly sequential (an item can
+//!    only refer to earlier items), so recursion is impossible; together
+//!    with the function/data separation this makes every Specstrom program
+//!    terminate, which the static analysis of §3.3 relies on.
+//! 2. **No function smuggling.** Functions may be passed as arguments
+//!    (higher-order programming is allowed) but may not be placed inside
+//!    arrays or records, compared, or used where data is expected.
+//!
+//! Sorts are `Val`, `Fun(params…)`, or inference variables solved by
+//! unification with an occurs check (`fun apply(f) = f(f)` is rejected).
+
+use crate::ast::{Expr, Item, Spec};
+use crate::ast::Span;
+use crate::error::SpecError;
+use crate::value::Builtin;
+use std::collections::HashMap;
+
+/// A sort: the "type" of a Specstrom expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sort {
+    /// Data: anything storable — numbers, strings, lists, records,
+    /// selectors, formulae, actions.
+    Val,
+    /// A function with the given parameter sorts (result is always `Val`).
+    Fun(Vec<Sort>),
+    /// An unsolved inference variable.
+    Var(usize),
+}
+
+/// The unification state.
+#[derive(Debug, Default)]
+struct Solver {
+    subst: Vec<Option<Sort>>,
+}
+
+impl Solver {
+    fn fresh(&mut self) -> Sort {
+        self.subst.push(None);
+        Sort::Var(self.subst.len() - 1)
+    }
+
+    fn resolve(&self, sort: &Sort) -> Sort {
+        match sort {
+            Sort::Var(i) => match &self.subst[*i] {
+                Some(s) => self.resolve(&s.clone()),
+                None => Sort::Var(*i),
+            },
+            Sort::Fun(params) => Sort::Fun(params.iter().map(|p| self.resolve(p)).collect()),
+            Sort::Val => Sort::Val,
+        }
+    }
+
+    fn occurs(&self, var: usize, sort: &Sort) -> bool {
+        match self.resolve(sort) {
+            Sort::Var(j) => var == j,
+            Sort::Fun(params) => params.iter().any(|p| self.occurs(var, p)),
+            Sort::Val => false,
+        }
+    }
+
+    fn unify(&mut self, a: &Sort, b: &Sort, span: Span) -> Result<(), SpecError> {
+        let ra = self.resolve(a);
+        let rb = self.resolve(b);
+        match (ra, rb) {
+            (Sort::Val, Sort::Val) => Ok(()),
+            (Sort::Var(i), other) | (other, Sort::Var(i)) => {
+                if let Sort::Var(j) = other {
+                    if i == j {
+                        return Ok(());
+                    }
+                }
+                if self.occurs(i, &other) {
+                    return Err(SpecError::at(
+                        span,
+                        "self-referential function sort (e.g. applying a function \
+                         to itself) is not allowed",
+                    ));
+                }
+                self.subst[i] = Some(other);
+                Ok(())
+            }
+            (Sort::Fun(pa), Sort::Fun(pb)) => {
+                if pa.len() != pb.len() {
+                    return Err(SpecError::at(
+                        span,
+                        format!(
+                            "function arity mismatch: {} vs {} parameters",
+                            pa.len(),
+                            pb.len()
+                        ),
+                    ));
+                }
+                for (x, y) in pa.iter().zip(pb.iter()) {
+                    self.unify(x, y, span)?;
+                }
+                Ok(())
+            }
+            (Sort::Val, Sort::Fun(_)) | (Sort::Fun(_), Sort::Val) => Err(SpecError::at(
+                span,
+                "a function was used where data is expected (functions may not \
+                 be stored in data structures or compared)",
+            )),
+        }
+    }
+}
+
+fn builtin_sort(b: Builtin) -> Sort {
+    if b.higher_order() {
+        // map/filter/all/any: (fun(Val), Val) -> Val
+        Sort::Fun(vec![Sort::Fun(vec![Sort::Val]), Sort::Val])
+    } else {
+        Sort::Fun(vec![Sort::Val; b.arity()])
+    }
+}
+
+fn initial_scope() -> HashMap<String, Sort> {
+    let mut scope = HashMap::new();
+    for b in Builtin::all() {
+        scope.insert(b.name().to_owned(), builtin_sort(*b));
+    }
+    scope.insert("noop!".to_owned(), Sort::Val);
+    scope.insert("reload!".to_owned(), Sort::Val);
+    scope.insert("loaded?".to_owned(), Sort::Val);
+    scope
+}
+
+/// Checks a whole specification.
+///
+/// # Errors
+///
+/// Returns the first sort error, undefined-name error, or misuse of a
+/// function as data.
+pub fn check_spec(spec: &Spec) -> Result<(), SpecError> {
+    let mut solver = Solver::default();
+    let mut scope = initial_scope();
+    for item in &spec.items {
+        match item {
+            Item::Let(stmt) => {
+                let sort = infer(&stmt.value, &scope, &mut solver)?;
+                scope.insert(stmt.name.clone(), sort);
+            }
+            Item::Fun {
+                name,
+                params,
+                body,
+                span,
+            } => {
+                let mut fn_scope = scope.clone();
+                let mut param_sorts = Vec::with_capacity(params.len());
+                for p in params {
+                    let v = solver.fresh();
+                    fn_scope.insert(p.name.clone(), v.clone());
+                    param_sorts.push(v);
+                }
+                let body_sort = infer(body, &fn_scope, &mut solver)?;
+                // Function bodies produce data (no function-returning
+                // functions — they could smuggle functions into data).
+                solver.unify(&body_sort, &Sort::Val, *span)?;
+                let resolved: Vec<Sort> =
+                    param_sorts.iter().map(|p| solver.resolve(p)).collect();
+                // Unconstrained parameters default to data.
+                let defaulted: Vec<Sort> = resolved
+                    .into_iter()
+                    .map(|s| if matches!(s, Sort::Var(_)) { Sort::Val } else { s })
+                    .collect();
+                scope.insert(name.clone(), Sort::Fun(defaulted));
+            }
+            Item::Action {
+                name,
+                body,
+                timeout,
+                guard,
+                span,
+            } => {
+                let body_sort = infer(body, &scope, &mut solver)?;
+                solver.unify(&body_sort, &Sort::Val, *span)?;
+                if let Some(t) = timeout {
+                    let s = infer(t, &scope, &mut solver)?;
+                    solver.unify(&s, &Sort::Val, t.span())?;
+                }
+                if let Some(g) = guard {
+                    let s = infer(g, &scope, &mut solver)?;
+                    solver.unify(&s, &Sort::Val, g.span())?;
+                }
+                scope.insert(name.clone(), Sort::Val);
+            }
+            Item::Check {
+                properties,
+                with_actions,
+                span,
+            } => {
+                for p in properties {
+                    match scope.get(p) {
+                        None => {
+                            return Err(SpecError::at(
+                                *span,
+                                format!("check references undefined property `{p}`"),
+                            ))
+                        }
+                        Some(sort) => {
+                            let s = sort.clone();
+                            solver.unify(&s, &Sort::Val, *span)?;
+                        }
+                    }
+                }
+                for a in with_actions.iter().flatten() {
+                    if !scope.contains_key(a) {
+                        return Err(SpecError::at(
+                            *span,
+                            format!("check references undefined action `{a}`"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn infer(
+    expr: &Expr,
+    scope: &HashMap<String, Sort>,
+    solver: &mut Solver,
+) -> Result<Sort, SpecError> {
+    match expr {
+        Expr::Lit(_, _) | Expr::Selector(_, _) | Expr::Happened(_) => Ok(Sort::Val),
+        Expr::Var(name, span) => scope.get(name).cloned().ok_or_else(|| {
+            SpecError::at(
+                *span,
+                format!(
+                    "undefined name `{name}` (bindings may only refer to earlier \
+                     definitions — recursion is not allowed)"
+                ),
+            )
+        }),
+        Expr::Call { func, args, span } => {
+            let callee = infer(func, scope, solver)?;
+            let mut arg_sorts = Vec::with_capacity(args.len());
+            for arg in args {
+                arg_sorts.push(infer(arg, scope, solver)?);
+            }
+            solver.unify(&callee, &Sort::Fun(arg_sorts), *span)?;
+            Ok(Sort::Val)
+        }
+        Expr::Unary { expr: inner, .. } => {
+            let s = infer(inner, scope, solver)?;
+            solver.unify(&s, &Sort::Val, inner.span())?;
+            Ok(Sort::Val)
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            let ls = infer(lhs, scope, solver)?;
+            solver.unify(&ls, &Sort::Val, lhs.span())?;
+            let rs = infer(rhs, scope, solver)?;
+            solver.unify(&rs, &Sort::Val, rhs.span())?;
+            Ok(Sort::Val)
+        }
+        Expr::Member { obj, .. } => {
+            let s = infer(obj, scope, solver)?;
+            solver.unify(&s, &Sort::Val, obj.span())?;
+            Ok(Sort::Val)
+        }
+        Expr::Index { obj, index, .. } => {
+            let s = infer(obj, scope, solver)?;
+            solver.unify(&s, &Sort::Val, obj.span())?;
+            let i = infer(index, scope, solver)?;
+            solver.unify(&i, &Sort::Val, index.span())?;
+            Ok(Sort::Val)
+        }
+        Expr::Array(items, _) => {
+            for item in items {
+                let s = infer(item, scope, solver)?;
+                // Functions may not be placed inside data structures.
+                solver.unify(&s, &Sort::Val, item.span())?;
+            }
+            Ok(Sort::Val)
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        } => {
+            let c = infer(cond, scope, solver)?;
+            solver.unify(&c, &Sort::Val, cond.span())?;
+            let t = infer(then_branch, scope, solver)?;
+            let e = infer(else_branch, scope, solver)?;
+            // Branches must agree; both must be data (an `if` returning a
+            // function conditionally would defeat the analysis).
+            solver.unify(&t, &e, *span)?;
+            solver.unify(&t, &Sort::Val, *span)?;
+            Ok(Sort::Val)
+        }
+        Expr::Block { lets, result, .. } => {
+            let mut block_scope = scope.clone();
+            for stmt in lets {
+                let s = infer(&stmt.value, &block_scope, solver)?;
+                block_scope.insert(stmt.name.clone(), s);
+            }
+            infer(result, &block_scope, solver)
+        }
+        Expr::Temporal { body, .. } => {
+            let s = infer(body, scope, solver)?;
+            solver.unify(&s, &Sort::Val, body.span())?;
+            Ok(Sort::Val)
+        }
+        Expr::TemporalBin { lhs, rhs, .. } => {
+            let ls = infer(lhs, scope, solver)?;
+            solver.unify(&ls, &Sort::Val, lhs.span())?;
+            let rs = infer(rhs, scope, solver)?;
+            solver.unify(&rs, &Sort::Val, rhs.span())?;
+            Ok(Sort::Val)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_spec;
+
+    fn check(src: &str) -> Result<(), SpecError> {
+        check_spec(&parse_spec(src).unwrap_or_else(|e| panic!("{src}: {e}")))
+    }
+
+    #[test]
+    fn simple_specs_pass() {
+        check("let x = 1; let y = x + 2;").unwrap();
+        check("let ~started = `#t`.text == \"stop\"; check started;").unwrap();
+        check("fun double(x) = x * 2; let four = double(2);").unwrap();
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        let err = check("let y = x; let x = 1;").unwrap_err();
+        assert!(err.message.contains("undefined name `x`"));
+        assert!(err.message.contains("recursion"));
+    }
+
+    #[test]
+    fn recursion_is_impossible() {
+        // A function cannot call itself: its own name is not in scope yet.
+        let err = check("fun f(x) = f(x);").unwrap_err();
+        assert!(err.message.contains("undefined name `f`"));
+    }
+
+    #[test]
+    fn functions_cannot_hide_in_arrays() {
+        let err = check("let xs = [parseInt];").unwrap_err();
+        assert!(err.message.contains("function"));
+    }
+
+    #[test]
+    fn functions_cannot_be_compared() {
+        let err = check("let b = parseInt == parseFloat;").unwrap_err();
+        assert!(err.message.contains("function"));
+    }
+
+    #[test]
+    fn higher_order_is_allowed() {
+        check(
+            "fun isLong(s) = length(s) > 3;\n\
+             let ~ok = all(isLong, texts(`li`));",
+        )
+        .unwrap();
+        // Builtins may be passed directly too.
+        check("let ns = map(parseInt, [\"1\", \"2\"]);").unwrap();
+    }
+
+    #[test]
+    fn calling_data_is_rejected() {
+        let err = check("let x = 1; let y = x(2);").unwrap_err();
+        assert!(err.message.contains("function"));
+    }
+
+    #[test]
+    fn arity_mismatches_are_caught() {
+        let err = check("fun f(a, b) = a + b; let x = f(1);").unwrap_err();
+        assert!(err.message.contains("arity"));
+        let err2 = check("let n = parseInt(\"1\", 10);").unwrap_err();
+        assert!(err2.message.contains("arity"));
+    }
+
+    #[test]
+    fn self_application_is_rejected() {
+        let err = check("fun apply(f) = f(f);").unwrap_err();
+        assert!(err.message.contains("self-referential"));
+    }
+
+    #[test]
+    fn if_branches_must_agree() {
+        check("let x = if true {1} else {2};").unwrap();
+        // Returning a function from a branch is rejected.
+        let err = check("fun pick(c) = if c {parseInt} else {parseFloat};").unwrap_err();
+        assert!(err.message.contains("function"));
+    }
+
+    #[test]
+    fn check_validates_names() {
+        let err = check("check nonexistent;").unwrap_err();
+        assert!(err.message.contains("undefined property"));
+        let err2 = check("let ~p = true; check p with ghost!;").unwrap_err();
+        assert!(err2.message.contains("undefined action"));
+    }
+
+    #[test]
+    fn action_items_bind_names() {
+        check(
+            "let ~stopped = `#t`.text == \"start\";\n\
+             action start! = click!(`#t`) when stopped;\n\
+             let ~p = start! in happened;\n\
+             check p with start!;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn egg_timer_fig8_checks() {
+        let src = r#"
+            let ~stopped = `#toggle`.text == "start";
+            let ~started = `#toggle`.text == "stop";
+            let ~time = parseInt(`#remaining`.text);
+            action start! = click!(`#toggle`) when stopped;
+            action stop! = click!(`#toggle`) when started;
+            action wait! = noop! timeout 1100 when started;
+            action tick? = changed?(`#remaining`);
+            let ~ticking {
+                let old = time;
+                started && next (tick? in happened
+                    && time == old - 1
+                    && if time == 0 {stopped} else {started})
+            };
+            let ~waiting = started && next (wait! in happened && started);
+            let ~starting = stopped && next (start! in happened
+                && if time == 0 {stopped} else {started});
+            let ~stopping = started && next (stop! in happened && stopped);
+            let ~safety = loaded? in happened && time == 180
+                && always[400] (starting || stopping || waiting || ticking);
+            let ~liveness = always[400] (start! in happened ==> eventually[360] stopped);
+            let ~timeUp = always[400] (start! in happened ==> eventually[360] (time == 0));
+            check safety liveness;
+            check timeUp with start! wait! tick?;
+        "#;
+        check(src).unwrap();
+    }
+
+    #[test]
+    fn deferred_params_are_data_parameters() {
+        check("fun evovae(~x) { let v = x; always (x == v) } let ~p = evovae(1 + 1);").unwrap();
+    }
+}

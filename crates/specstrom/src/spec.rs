@@ -1,0 +1,320 @@
+//! Compilation: from a parsed [`Spec`] to a checkable [`CompiledSpec`].
+//!
+//! Compilation runs the sort checker, builds the top-level environment
+//! (evaluating eager bindings at definition time, capturing deferred ones
+//! as thunks), registers actions/events with their guards and timeouts,
+//! resolves `check` items, and runs the §3.3 dependency analysis.
+
+use crate::analysis;
+use crate::ast::{Item, Spec};
+use crate::error::{EvalError, SpecError};
+use crate::eval::{self, EvalCtx};
+use crate::parser::parse_spec;
+use crate::sorts;
+use crate::value::{ActionValue, Binding, Env, Thunk, Value};
+use quickstrom_protocol::Selector;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A resolved `check` command: which properties to test, with which
+/// allowable actions and events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckDef {
+    /// Property names (bindings in the compiled environment).
+    pub properties: Vec<String>,
+    /// Names of user actions (`…!`) the checker may perform.
+    pub actions: Vec<String>,
+    /// Names of events (`…?`) the checker should recognise.
+    pub events: Vec<String>,
+}
+
+/// A compiled, checkable specification.
+#[derive(Debug)]
+pub struct CompiledSpec {
+    /// The top-level environment (builtins + all item bindings).
+    pub env: Env,
+    /// Declared actions and events by name.
+    pub actions: BTreeMap<String, Rc<ActionValue>>,
+    /// The resolved `check` commands, in source order.
+    pub checks: Vec<CheckDef>,
+    /// Every selector the specification can query (§3.3 analysis) — the
+    /// `Start` message's dependency list.
+    pub dependencies: Vec<Selector>,
+}
+
+impl CompiledSpec {
+    /// A thunk that evaluates the named top-level binding — the property
+    /// formula handed to the checker.
+    ///
+    /// Works uniformly for deferred and eager bindings by evaluating a
+    /// synthetic variable reference in the compiled environment.
+    #[must_use]
+    pub fn property_thunk(&self, name: &str) -> Option<Thunk> {
+        self.env.lookup(name)?;
+        let expr = Rc::new(crate::ast::Expr::Var(
+            name.to_owned(),
+            crate::ast::Span::default(),
+        ));
+        Some(Thunk::new(expr, self.env.clone()))
+    }
+
+    /// The declared action/event with the given name.
+    #[must_use]
+    pub fn action(&self, name: &str) -> Option<&Rc<ActionValue>> {
+        self.actions.get(name)
+    }
+}
+
+fn eval_error(e: EvalError, fallback: crate::ast::Span) -> SpecError {
+    SpecError::at(e.span.unwrap_or(fallback), e.message)
+}
+
+/// Compiles a parsed specification.
+///
+/// # Errors
+///
+/// Returns sort errors, definition-time evaluation errors (e.g. an eager
+/// top-level binding that queries state), malformed action declarations,
+/// and unresolved `check` names.
+#[allow(clippy::too_many_lines)]
+pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
+    sorts::check_spec(spec)?;
+    let mut env = eval::initial_env();
+    let mut actions: BTreeMap<String, Rc<ActionValue>> = BTreeMap::new();
+    let mut checks_raw = Vec::new();
+    // Definition-time evaluation is stateless: anything touching the state
+    // must be deferred with `~` (the evaluator's error explains this).
+    let ctx = EvalCtx::stateless(0);
+
+    for item in &spec.items {
+        match item {
+            Item::Let(stmt) => {
+                let binding = if stmt.deferred {
+                    Binding::Deferred(Thunk::new(Rc::clone(&stmt.value), env.clone()))
+                } else {
+                    Binding::Eager(
+                        eval::eval(&stmt.value, &env, &ctx)
+                            .map_err(|e| eval_error(e, stmt.span))?,
+                    )
+                };
+                env = env.bind(&stmt.name, binding);
+            }
+            Item::Fun {
+                name,
+                params,
+                body,
+                ..
+            } => {
+                let closure =
+                    eval::make_closure(name, params.clone(), Rc::clone(body), env.clone());
+                env = env.bind(name, Binding::Eager(closure));
+            }
+            Item::Action {
+                name,
+                body,
+                timeout,
+                guard,
+                span,
+            } => {
+                let base = eval::eval(body, &env, &ctx).map_err(|e| eval_error(e, *span))?;
+                let Value::Action(base) = base else {
+                    return Err(SpecError::at(
+                        *span,
+                        format!(
+                            "action `{name}` must be built from a primitive action \
+                             (click!, noop!, changed?, …), got {}",
+                            base.type_name()
+                        ),
+                    ));
+                };
+                let is_event = name.ends_with('?');
+                if is_event != base.event {
+                    return Err(SpecError::at(
+                        *span,
+                        format!(
+                            "`{name}` mixes conventions: `?` names must be events \
+                             (changed?), `!` names must be user actions (click!, noop!, …)"
+                        ),
+                    ));
+                }
+                let timeout_ms = match timeout {
+                    None => base.timeout_ms,
+                    Some(t) => {
+                        let v = eval::eval(t, &env, &ctx).map_err(|e| eval_error(e, t.span()))?;
+                        match v {
+                            Value::Int(ms) if ms >= 0 => Some(
+                                u64::try_from(ms).expect("non-negative"),
+                            ),
+                            other => {
+                                return Err(SpecError::at(
+                                    t.span(),
+                                    format!(
+                                        "timeout must be a non-negative integer \
+                                         (milliseconds), got {}",
+                                        other.type_name()
+                                    ),
+                                ))
+                            }
+                        }
+                    }
+                };
+                let guard_thunk = guard
+                    .as_ref()
+                    .map(|g| Thunk::new(Rc::clone(g), env.clone()));
+                let value = Rc::new(ActionValue {
+                    name: Some(name.clone()),
+                    kind: base.kind.clone(),
+                    selector: base.selector.clone(),
+                    timeout_ms,
+                    guard: guard_thunk,
+                    event: is_event,
+                });
+                actions.insert(name.clone(), Rc::clone(&value));
+                env = env.bind(name, Binding::Eager(Value::Action(value)));
+            }
+            Item::Check {
+                properties,
+                with_actions,
+                span,
+            } => {
+                checks_raw.push((properties.clone(), with_actions.clone(), *span));
+            }
+        }
+    }
+
+    let mut checks = Vec::with_capacity(checks_raw.len());
+    for (properties, with_actions, span) in checks_raw {
+        let names: Vec<String> = match with_actions {
+            Some(names) => names,
+            None => actions.keys().cloned().collect(),
+        };
+        let mut action_names = Vec::new();
+        let mut event_names = Vec::new();
+        for n in names {
+            match actions.get(&n) {
+                Some(a) if a.event => event_names.push(n),
+                Some(_) => action_names.push(n),
+                None if n == "noop!" || n == "reload!" => action_names.push(n),
+                None if n == "loaded?" => event_names.push(n),
+                None => {
+                    return Err(SpecError::at(
+                        span,
+                        format!("check references undeclared action `{n}`"),
+                    ))
+                }
+            }
+        }
+        checks.push(CheckDef {
+            properties,
+            actions: action_names,
+            events: event_names,
+        });
+    }
+
+    let dependencies = analysis::dependencies(spec).into_iter().collect();
+
+    Ok(CompiledSpec {
+        env,
+        actions,
+        checks,
+        dependencies,
+    })
+}
+
+/// Parses and compiles in one step.
+///
+/// # Errors
+///
+/// Returns the first lexing, parsing, sort, or compilation error.
+pub fn load(src: &str) -> Result<CompiledSpec, SpecError> {
+    compile(&parse_spec(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quickstrom_protocol::ActionKind;
+
+    const EGG_TIMER: &str = r#"
+        let ~stopped = `#toggle`.text == "start";
+        let ~started = `#toggle`.text == "stop";
+        let ~time = parseInt(`#remaining`.text);
+        action start! = click!(`#toggle`) when stopped;
+        action stop! = click!(`#toggle`) when started;
+        action wait! = noop! timeout 1100 when started;
+        action tick? = changed?(`#remaining`);
+        let ~liveness = always[40] (start! in happened ==> eventually[36] stopped);
+        check liveness;
+        check liveness with start! wait! tick?;
+    "#;
+
+    #[test]
+    fn compile_egg_timer() {
+        let compiled = load(EGG_TIMER).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(compiled.actions.len(), 4);
+        let wait = compiled.action("wait!").unwrap();
+        assert_eq!(wait.kind, Some(ActionKind::Noop));
+        assert_eq!(wait.timeout_ms, Some(1100));
+        assert!(wait.guard.is_some());
+        let tick = compiled.action("tick?").unwrap();
+        assert!(tick.event);
+        assert_eq!(
+            tick.selector,
+            Some(Selector::new("#remaining"))
+        );
+        // Dependencies: both selectors.
+        let deps: Vec<&str> = compiled.dependencies.iter().map(Selector::as_str).collect();
+        assert_eq!(deps, vec!["#remaining", "#toggle"]);
+    }
+
+    #[test]
+    fn checks_resolve_with_lists() {
+        let compiled = load(EGG_TIMER).unwrap();
+        assert_eq!(compiled.checks.len(), 2);
+        // Unrestricted check gets all actions and events.
+        assert_eq!(compiled.checks[0].actions, vec!["start!", "stop!", "wait!"]);
+        assert_eq!(compiled.checks[0].events, vec!["tick?"]);
+        // The restricted check keeps only the listed ones.
+        assert_eq!(compiled.checks[1].actions, vec!["start!", "wait!"]);
+        assert_eq!(compiled.checks[1].events, vec!["tick?"]);
+    }
+
+    #[test]
+    fn property_thunk_resolves() {
+        let compiled = load(EGG_TIMER).unwrap();
+        assert!(compiled.property_thunk("liveness").is_some());
+        assert!(compiled.property_thunk("nonexistent").is_none());
+    }
+
+    #[test]
+    fn eager_state_query_is_a_compile_error() {
+        let err = load("let t = `#x`.text; check t;").unwrap_err();
+        assert!(err.message.contains("state"), "{err}");
+    }
+
+    #[test]
+    fn suffix_convention_is_enforced() {
+        let err = load("action boom! = changed?(`#x`);").unwrap_err();
+        assert!(err.message.contains("mixes conventions"));
+        let err2 = load("action boom? = click!(`#x`);").unwrap_err();
+        assert!(err2.message.contains("mixes conventions"));
+    }
+
+    #[test]
+    fn action_body_must_be_action() {
+        let err = load("action go! = 42;").unwrap_err();
+        assert!(err.message.contains("primitive action"));
+    }
+
+    #[test]
+    fn timeout_must_be_integer() {
+        let err = load("action go! = noop! timeout \"soon\";").unwrap_err();
+        assert!(err.message.contains("milliseconds"));
+    }
+
+    #[test]
+    fn builtin_noop_in_with_list() {
+        let compiled = load("let ~p = true; check p with noop!;").unwrap();
+        assert_eq!(compiled.checks[0].actions, vec!["noop!"]);
+    }
+}

@@ -1,0 +1,548 @@
+//! Runtime values, environments and thunks.
+//!
+//! Specstrom values are JSON-like data plus three domain-specific citizens:
+//! CSS selectors, QuickLTL formulae (temporal expressions evaluate to
+//! these), and action specifications. Functions are values too but — per
+//! the §3 type system — may never be stored inside data, which the sort
+//! checker enforces statically.
+//!
+//! Environments are persistent chains; a [`Binding`] is either an eagerly
+//! evaluated [`Value`] or a *deferred* thunk (`let ~x = …`, `~param`)
+//! re-evaluated at every use against the then-current state — the
+//! evaluation-control feature of §3.1.
+
+use crate::ast::{Expr, Param};
+use crate::error::EvalError;
+use quickltl::Formula;
+use quickstrom_protocol::{ActionKind, Selector};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A lexical environment: a persistent chain of name bindings.
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Rc<Frame>>);
+
+#[derive(Debug)]
+struct Frame {
+    name: String,
+    binding: Binding,
+    parent: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    #[must_use]
+    pub fn new() -> Self {
+        Env(None)
+    }
+
+    /// Extends the environment with one binding.
+    #[must_use]
+    pub fn bind(&self, name: impl Into<String>, binding: Binding) -> Env {
+        Env(Some(Rc::new(Frame {
+            name: name.into(),
+            binding,
+            parent: self.clone(),
+        })))
+    }
+
+    /// Looks a name up, innermost first.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<&Binding> {
+        let mut cur = self;
+        while let Some(frame) = &cur.0 {
+            if frame.name == name {
+                return Some(&frame.binding);
+            }
+            cur = &frame.parent;
+        }
+        None
+    }
+
+    /// A stable pointer identity for conservative thunk equality.
+    fn ptr_id(&self) -> usize {
+        self.0.as_ref().map_or(0, |rc| Rc::as_ptr(rc) as usize)
+    }
+}
+
+/// How a name is bound.
+#[derive(Debug, Clone)]
+pub enum Binding {
+    /// Evaluated at definition time (`let x = …`).
+    Eager(Value),
+    /// Captured unevaluated (`let ~x = …`), re-evaluated per use.
+    Deferred(Thunk),
+}
+
+/// An unevaluated expression closed over its environment.
+///
+/// Thunks are also the atomic propositions of the QuickLTL formulae the
+/// interpreter builds: progression expands a `Thunk` atom by evaluating its
+/// expression against the current state.
+#[derive(Clone)]
+pub struct Thunk {
+    /// The expression to evaluate.
+    pub expr: Rc<Expr>,
+    /// The captured environment.
+    pub env: Env,
+}
+
+impl Thunk {
+    /// Creates a thunk.
+    #[must_use]
+    pub fn new(expr: Rc<Expr>, env: Env) -> Self {
+        Thunk { expr, env }
+    }
+}
+
+impl fmt::Debug for Thunk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Thunk({:?} @ env#{:x})", self.expr.span(), self.env.ptr_id())
+    }
+}
+
+impl fmt::Display for Thunk {
+    /// Shows the underlying expression in concrete syntax — this is what
+    /// residual formula atoms look like in diagnostics.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::pretty::pretty_expr(&self.expr))
+    }
+}
+
+/// Conservative equality: same expression node and same environment chain.
+/// Sound for the simplifier's idempotence dedup (`φ ∧ φ = φ`): equal thunks
+/// certainly evaluate identically; unequal ones are just not merged.
+impl PartialEq for Thunk {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.expr, &other.expr) && self.env.ptr_id() == other.env.ptr_id()
+    }
+}
+
+impl Eq for Thunk {}
+
+/// A user-defined function value.
+#[derive(Debug)]
+pub struct ClosureData {
+    /// Function name (diagnostics only).
+    pub name: String,
+    /// Parameters, with deferredness.
+    pub params: Vec<Param>,
+    /// Body expression.
+    pub body: Rc<Expr>,
+    /// Captured environment.
+    pub env: Env,
+}
+
+/// Built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `parseInt(s)` → int or null.
+    ParseInt,
+    /// `parseFloat(s)` → float or null.
+    ParseFloat,
+    /// `length(xs_or_string)`.
+    Length,
+    /// `contains(xs_or_string, item)`.
+    Contains,
+    /// `trim(s)`.
+    Trim,
+    /// `startsWith(s, prefix)`.
+    StartsWith,
+    /// `endsWith(s, suffix)`.
+    EndsWith,
+    /// `map(f, xs)`.
+    Map,
+    /// `filter(f, xs)`.
+    Filter,
+    /// `all(f, xs)`.
+    All,
+    /// `any(f, xs)`.
+    Any,
+    /// `zip(xs, ys)` → list of two-element lists.
+    Zip,
+    /// `append(xs, x)` → the list with `x` added at the end.
+    Append,
+    /// `texts(sel)` → the `.text` of every match.
+    Texts,
+    /// `click!(sel)`.
+    MkClick,
+    /// `dblclick!(sel)`.
+    MkDblClick,
+    /// `focus!(sel)`.
+    MkFocus,
+    /// `input!(sel)` — type checker-generated text.
+    MkInput,
+    /// `keypress!(sel, key)`.
+    MkKeyPress,
+    /// `reload!` is an action value, not a function; see `Value::Action`.
+    /// `changed?(sel)` — event constructor.
+    MkChanged,
+}
+
+impl Builtin {
+    /// The arity of the builtin.
+    #[must_use]
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::ParseInt
+            | Builtin::ParseFloat
+            | Builtin::Length
+            | Builtin::Trim
+            | Builtin::Texts
+            | Builtin::MkClick
+            | Builtin::MkDblClick
+            | Builtin::MkFocus
+            | Builtin::MkInput
+            | Builtin::MkChanged => 1,
+            Builtin::Contains
+            | Builtin::StartsWith
+            | Builtin::EndsWith
+            | Builtin::Map
+            | Builtin::Filter
+            | Builtin::All
+            | Builtin::Any
+            | Builtin::Zip
+            | Builtin::Append
+            | Builtin::MkKeyPress => 2,
+        }
+    }
+
+    /// Does the builtin take a function as its first argument?
+    #[must_use]
+    pub fn higher_order(self) -> bool {
+        matches!(
+            self,
+            Builtin::Map | Builtin::Filter | Builtin::All | Builtin::Any
+        )
+    }
+
+    /// The surface name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::ParseInt => "parseInt",
+            Builtin::ParseFloat => "parseFloat",
+            Builtin::Length => "length",
+            Builtin::Contains => "contains",
+            Builtin::Trim => "trim",
+            Builtin::StartsWith => "startsWith",
+            Builtin::EndsWith => "endsWith",
+            Builtin::Map => "map",
+            Builtin::Filter => "filter",
+            Builtin::All => "all",
+            Builtin::Any => "any",
+            Builtin::Zip => "zip",
+            Builtin::Append => "append",
+            Builtin::Texts => "texts",
+            Builtin::MkClick => "click!",
+            Builtin::MkDblClick => "dblclick!",
+            Builtin::MkFocus => "focus!",
+            Builtin::MkInput => "input!",
+            Builtin::MkKeyPress => "keypress!",
+            Builtin::MkChanged => "changed?",
+        }
+    }
+
+    /// All builtins, for seeding environments.
+    #[must_use]
+    pub fn all() -> &'static [Builtin] {
+        &[
+            Builtin::ParseInt,
+            Builtin::ParseFloat,
+            Builtin::Length,
+            Builtin::Contains,
+            Builtin::Trim,
+            Builtin::StartsWith,
+            Builtin::EndsWith,
+            Builtin::Map,
+            Builtin::Filter,
+            Builtin::All,
+            Builtin::Any,
+            Builtin::Zip,
+            Builtin::Append,
+            Builtin::Texts,
+            Builtin::MkClick,
+            Builtin::MkDblClick,
+            Builtin::MkFocus,
+            Builtin::MkInput,
+            Builtin::MkKeyPress,
+            Builtin::MkChanged,
+        ]
+    }
+}
+
+/// The specification of an action or event.
+///
+/// `action start! = click!(`#toggle`) timeout 1000 when stopped;` evaluates
+/// the right-hand side to a primitive `ActionValue`, then attaches the
+/// name, timeout, and guard.
+#[derive(Debug, Clone)]
+pub struct ActionValue {
+    /// The Specstrom name (`start!`, `tick?`), when declared.
+    pub name: Option<String>,
+    /// What the executor should do (actions) — `None` for pure events.
+    pub kind: Option<ActionKind>,
+    /// The target selector, for targeted kinds and `changed?` events.
+    pub selector: Option<Selector>,
+    /// Timeout in milliseconds (§3.2).
+    pub timeout_ms: Option<u64>,
+    /// Guard, evaluated per state.
+    pub guard: Option<Thunk>,
+    /// `true` for events (`…?`), `false` for user actions (`…!`).
+    pub event: bool,
+}
+
+impl ActionValue {
+    /// The display name (falls back to a primitive description).
+    #[must_use]
+    pub fn display_name(&self) -> String {
+        match (&self.name, &self.kind) {
+            (Some(n), _) => n.clone(),
+            (None, Some(k)) => format!("<{k:?}>"),
+            (None, None) => "<event>".to_owned(),
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(Rc<str>),
+    /// A list.
+    List(Rc<Vec<Value>>),
+    /// A record (element projections).
+    Record(Rc<BTreeMap<String, Value>>),
+    /// A CSS selector literal.
+    Selector(Selector),
+    /// A QuickLTL formula over thunk atoms.
+    Formula(Formula<Thunk>),
+    /// A user function.
+    Closure(Rc<ClosureData>),
+    /// A built-in function.
+    Builtin(Builtin),
+    /// An action or event specification.
+    Action(Rc<ActionValue>),
+}
+
+impl Value {
+    /// A string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// A list value.
+    #[must_use]
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(items))
+    }
+
+    /// A short description of the value's type, for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Record(_) => "record",
+            Value::Selector(_) => "selector",
+            Value::Formula(_) => "formula",
+            Value::Closure(_) => "function",
+            Value::Builtin(_) => "function",
+            Value::Action(_) => "action",
+        }
+    }
+
+    /// Is this a function (closure or builtin)?
+    #[must_use]
+    pub fn is_function(&self) -> bool {
+        matches!(self, Value::Closure(_) | Value::Builtin(_))
+    }
+
+    /// Requires a boolean, with a helpful error otherwise.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EvalError::new(format!(
+                "expected a boolean, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Structural equality in the language's `==` sense: `null` equals only
+    /// `null`, ints and floats compare numerically, actions compare by
+    /// name, functions and formulae are never equal.
+    #[must_use]
+    pub fn loosely_equals(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                #[allow(clippy::cast_precision_loss)]
+                let fa = *a as f64;
+                fa == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Selector(a), Value::Selector(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b.iter()).all(|(x, y)| x.loosely_equals(y))
+            }
+            (Value::Record(a), Value::Record(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| {
+                        ka == kb && va.loosely_equals(vb)
+                    })
+            }
+            (Value::Action(a), Value::Action(b)) => a.name == b.name,
+            // An action compares equal to its name string (used by
+            // `a! in happened`).
+            (Value::Action(a), Value::Str(s)) | (Value::Str(s), Value::Action(a)) => {
+                a.name.as_deref() == Some(&**s)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Selector(sel) => write!(f, "{sel}"),
+            Value::Formula(formula) => write!(f, "<formula {formula}>"),
+            Value::Closure(c) => write!(f, "<fun {}>", c.name),
+            Value::Builtin(b) => write!(f, "<builtin {}>", b.name()),
+            Value::Action(a) => write!(f, "<action {}>", a.display_name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Literal, Span};
+
+    fn dummy_expr() -> Rc<Expr> {
+        Rc::new(Expr::Lit(Literal::Null, Span::default()))
+    }
+
+    #[test]
+    fn env_lookup_shadows() {
+        let env = Env::new()
+            .bind("x", Binding::Eager(Value::Int(1)))
+            .bind("y", Binding::Eager(Value::Int(2)))
+            .bind("x", Binding::Eager(Value::Int(3)));
+        match env.lookup("x") {
+            Some(Binding::Eager(Value::Int(3))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(env.lookup("z").is_none());
+    }
+
+    #[test]
+    fn thunk_equality_is_pointer_based() {
+        let e = dummy_expr();
+        let env = Env::new();
+        let t1 = Thunk::new(Rc::clone(&e), env.clone());
+        let t2 = Thunk::new(Rc::clone(&e), env.clone());
+        assert_eq!(t1, t2);
+        let other = dummy_expr();
+        let t3 = Thunk::new(other, env);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn loose_equality() {
+        assert!(Value::Null.loosely_equals(&Value::Null));
+        assert!(!Value::Null.loosely_equals(&Value::Bool(false)));
+        assert!(Value::Int(2).loosely_equals(&Value::Float(2.0)));
+        assert!(Value::str("a").loosely_equals(&Value::str("a")));
+        assert!(Value::list(vec![Value::Int(1)]).loosely_equals(&Value::list(vec![Value::Int(1)])));
+        assert!(!Value::list(vec![Value::Int(1)]).loosely_equals(&Value::list(vec![])));
+    }
+
+    #[test]
+    fn action_equals_its_name() {
+        let action = Value::Action(Rc::new(ActionValue {
+            name: Some("tick?".into()),
+            kind: None,
+            selector: None,
+            timeout_ms: None,
+            guard: None,
+            event: true,
+        }));
+        assert!(action.loosely_equals(&Value::str("tick?")));
+        assert!(!action.loosely_equals(&Value::str("tock?")));
+    }
+
+    #[test]
+    fn type_names_and_predicates() {
+        assert_eq!(Value::Int(1).type_name(), "int");
+        assert!(Value::Builtin(Builtin::Map).is_function());
+        assert!(!Value::Null.is_function());
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert!(Value::Int(1).as_bool().is_err());
+    }
+
+    #[test]
+    fn builtin_arities() {
+        for b in Builtin::all() {
+            assert!(b.arity() >= 1 && b.arity() <= 2, "{b:?}");
+            assert!(!b.name().is_empty());
+        }
+        assert!(Builtin::Map.higher_order());
+        assert!(!Builtin::ParseInt.higher_order());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::list(vec![Value::Int(1), Value::Int(2)]).to_string(), "[1, 2]");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(Value::Builtin(Builtin::Trim).to_string(), "<builtin trim>");
+    }
+}

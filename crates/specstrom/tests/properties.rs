@@ -1,0 +1,248 @@
+//! Property-based tests for the Specstrom interpreter: algebraic laws of
+//! the value operations, logical-lifting coherence, and evaluation-control
+//! semantics.
+
+use proptest::prelude::*;
+use quickstrom_protocol::{ElementState, Selector, StateSnapshot};
+use specstrom::{eval, initial_env, parse_expr, EvalCtx, Value};
+
+fn snapshot(texts: &[String]) -> StateSnapshot {
+    let mut s = StateSnapshot::new();
+    s.queries.insert(
+        Selector::new("li"),
+        texts.iter().map(ElementState::with_text).collect(),
+    );
+    s.happened.push("loaded?".into());
+    s
+}
+
+fn eval_src(src: &str, snap: &StateSnapshot) -> Result<Value, specstrom::EvalError> {
+    let expr = parse_expr(src).map_err(|e| specstrom::EvalError::new(e.to_string()))?;
+    let ctx = EvalCtx::with_state(snap, 5);
+    eval::eval(&expr, &initial_env(), &ctx)
+}
+
+fn eval_int(src: &str) -> Option<i64> {
+    match eval_src(src, &snapshot(&[])) {
+        Ok(Value::Int(n)) => Some(n),
+        _ => None,
+    }
+}
+
+fn eval_bool(src: &str, snap: &StateSnapshot) -> Option<bool> {
+    match eval_src(src, snap) {
+        Ok(Value::Bool(b)) => Some(b),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Integer arithmetic follows the expected ring laws (within range).
+    #[test]
+    fn arithmetic_laws(a in -10_000i64..10_000, b in -10_000i64..10_000, c in -100i64..100) {
+        prop_assert_eq!(eval_int(&format!("{a} + {b}")), Some(a + b));
+        prop_assert_eq!(eval_int(&format!("{a} * ({b} + {c})")), Some(a * (b + c)));
+        prop_assert_eq!(
+            eval_int(&format!("{a} + {b}")),
+            eval_int(&format!("{b} + {a}"))
+        );
+        if c != 0 {
+            prop_assert_eq!(eval_int(&format!("{a} % {c}")), Some(a % c));
+        }
+    }
+
+    /// Comparison is a total order consistent with Rust's.
+    #[test]
+    fn comparison_is_consistent(a in -1000i64..1000, b in -1000i64..1000) {
+        let snap = snapshot(&[]);
+        prop_assert_eq!(eval_bool(&format!("{a} < {b}"), &snap), Some(a < b));
+        prop_assert_eq!(eval_bool(&format!("{a} <= {b}"), &snap), Some(a <= b));
+        prop_assert_eq!(eval_bool(&format!("{a} == {b}"), &snap), Some(a == b));
+        // Exactly one of <, ==, > holds.
+        let lt = a < b;
+        let eq = a == b;
+        let gt = a > b;
+        prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+    }
+
+    /// Boolean operators over plain booleans are the boolean algebra.
+    #[test]
+    fn boolean_algebra(a in any::<bool>(), b in any::<bool>()) {
+        let snap = snapshot(&[]);
+        prop_assert_eq!(eval_bool(&format!("{a} && {b}"), &snap), Some(a && b));
+        prop_assert_eq!(eval_bool(&format!("{a} || {b}"), &snap), Some(a || b));
+        prop_assert_eq!(eval_bool(&format!("!{a}"), &snap), Some(!a));
+        prop_assert_eq!(eval_bool(&format!("{a} ==> {b}"), &snap), Some(!a || b));
+        // De Morgan.
+        prop_assert_eq!(
+            eval_bool(&format!("!({a} && {b})"), &snap),
+            eval_bool(&format!("!{a} || !{b}"), &snap)
+        );
+    }
+
+    /// String builtins agree with Rust's string operations.
+    #[test]
+    fn string_builtins(s in "[a-z ]{0,12}", t in "[a-z]{0,4}") {
+        let snap = snapshot(&[]);
+        prop_assert_eq!(
+            eval_bool(&format!("contains({s:?}, {t:?})"), &snap),
+            Some(s.contains(&t))
+        );
+        prop_assert_eq!(
+            eval_bool(&format!("startsWith({s:?}, {t:?})"), &snap),
+            Some(s.starts_with(&t))
+        );
+        prop_assert_eq!(
+            eval_bool(&format!("trim({s:?}) == {:?}", s.trim()), &snap),
+            Some(true)
+        );
+        match eval_src(&format!("length({s:?})"), &snap) {
+            Ok(Value::Int(n)) => prop_assert_eq!(n as usize, s.chars().count()),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// `texts` and `.count` agree with the snapshot contents.
+    #[test]
+    fn state_projections_agree(texts in prop::collection::vec("[a-z]{1,6}", 0..6)) {
+        let snap = snapshot(&texts);
+        match eval_src("`li`.count", &snap) {
+            Ok(Value::Int(n)) => prop_assert_eq!(n as usize, texts.len()),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+        prop_assert_eq!(
+            eval_bool("`li`.present", &snap),
+            Some(!texts.is_empty())
+        );
+        match eval_src("texts(`li`)", &snap) {
+            Ok(Value::List(items)) => {
+                prop_assert_eq!(items.len(), texts.len());
+                for (v, t) in items.iter().zip(&texts) {
+                    prop_assert!(v.loosely_equals(&Value::str(t)));
+                }
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+        // Indexing agrees with .all.
+        if !texts.is_empty() {
+            prop_assert_eq!(
+                eval_bool(&format!("`li`[0].text == {:?}", texts[0]), &snap),
+                Some(true)
+            );
+        }
+        prop_assert_eq!(
+            eval_bool(&format!("`li`[{}] == null", texts.len()), &snap),
+            Some(true)
+        );
+    }
+
+    /// List equality is structural; append/length interact correctly.
+    #[test]
+    fn list_laws(xs in prop::collection::vec(-50i64..50, 0..6), x in -50i64..50) {
+        let snap = snapshot(&[]);
+        let list = format!(
+            "[{}]",
+            xs.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        );
+        prop_assert_eq!(eval_bool(&format!("{list} == {list}"), &snap), Some(true));
+        prop_assert_eq!(
+            eval_bool(&format!("length(append({list}, {x})) == length({list}) + 1"), &snap),
+            Some(true)
+        );
+        prop_assert_eq!(
+            eval_bool(&format!("contains(append({list}, {x}), {x})"), &snap),
+            Some(true)
+        );
+        prop_assert_eq!(
+            eval_bool(&format!("{x} in append({list}, {x})"), &snap),
+            Some(true)
+        );
+    }
+
+    /// map/filter/all/any satisfy their defining equations against a
+    /// Specstrom-defined predicate.
+    #[test]
+    fn higher_order_laws(xs in prop::collection::vec(-50i64..50, 0..8)) {
+        let list = format!(
+            "[{}]",
+            xs.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+        );
+        let src = format!(
+            "fun pos(x) = x > 0;\n\
+             let allPos = all(pos, {list});\n\
+             let anyPos = any(pos, {list});\n\
+             let count = length(filter(pos, {list}));\n\
+             let ~p = allPos == {} && anyPos == {} && count == {};\n\
+             check p with noop!;",
+            xs.iter().all(|x| *x > 0),
+            xs.iter().any(|x| *x > 0),
+            xs.iter().filter(|x| **x > 0).count(),
+        );
+        let compiled = specstrom::load(&src).unwrap_or_else(|e| panic!("{e}"));
+        let thunk = compiled.property_thunk("p").unwrap();
+        let snap = snapshot(&[]);
+        let ctx = EvalCtx::with_state(&snap, 0);
+        let formula = specstrom::expand_thunk(&thunk, &ctx).unwrap();
+        prop_assert_eq!(formula, quickstrom_protocol_formula_top());
+    }
+}
+
+/// `Formula::Top` with the thunk atom type, for comparison.
+fn quickstrom_protocol_formula_top() -> quickltl::Formula<specstrom::Thunk> {
+    quickltl::Formula::Top
+}
+
+/// Deferred vs eager evaluation: the §3.1 `evovae` distinction, tested
+/// end-to-end through the evaluator with two different states.
+#[test]
+fn deferred_parameters_reevaluate_per_state() {
+    let src = "fun evovae(~x) { let v = x; always[0] (x == v) }\n\
+               let ~p = evovae(`li`.count);\n\
+               check p with noop!;";
+    let compiled = specstrom::load(src).unwrap();
+    let thunk = compiled.property_thunk("p").unwrap();
+
+    // State A: two items. The `always` body freezes v = 2 at expansion.
+    let snap_a = snapshot(&["a".into(), "b".into()]);
+    let ctx_a = EvalCtx::with_state(&snap_a, 0);
+    let mut evaluator = quickltl::Evaluator::new(quickltl::Formula::Atom(thunk));
+    let r1 = evaluator
+        .observe_expanding(&mut |t| specstrom::expand_thunk(t, &ctx_a))
+        .unwrap();
+    assert!(matches!(r1, quickltl::StepReport::Continue { .. }));
+
+    // State B: one item — x re-evaluates to 1, v (captured eagerly inside
+    // the block at the state where `always` unrolled) stays 2 → violation.
+    let snap_b = snapshot(&["a".into()]);
+    let ctx_b = EvalCtx::with_state(&snap_b, 0);
+    let r2 = evaluator
+        .observe_expanding(&mut |t| specstrom::expand_thunk(t, &ctx_b))
+        .unwrap();
+    assert_eq!(r2, quickltl::StepReport::Definitive(false));
+}
+
+/// Eager parameters would make `evovae` trivially true (§3.1's point).
+#[test]
+fn eager_capture_is_trivially_constant() {
+    let src = "fun trivial(x) { let v = x; always[0] (x == v) }\n\
+               let ~p = trivial(`li`.count);\n\
+               check p with noop!;";
+    let compiled = specstrom::load(src).unwrap();
+    let thunk = compiled.property_thunk("p").unwrap();
+    let snap_a = snapshot(&["a".into(), "b".into()]);
+    let snap_b = snapshot(&[]);
+    let mut evaluator = quickltl::Evaluator::new(quickltl::Formula::Atom(thunk));
+    // Whatever the state does, x and v were both captured at call time.
+    for snap in [&snap_a, &snap_b, &snap_a] {
+        let ctx = EvalCtx::with_state(snap, 0);
+        let report = evaluator
+            .observe_expanding(&mut |t| specstrom::expand_thunk(t, &ctx))
+            .unwrap();
+        assert!(
+            !matches!(report, quickltl::StepReport::Definitive(false)),
+            "eager capture cannot be violated"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! The Model-View-Update application interface.
+//!
+//! Applications under test implement [`App`]: a pure view over an internal
+//! model, plus update functions for user events and timers. The paper
+//! observes (§5.2) that MVU's `display : M → V` / `update : M × A → M`
+//! decomposition matches Quickstrom's state-and-action worldview exactly —
+//! which is why this substrate can stand in for a browser.
+
+use crate::clock::VirtualClock;
+use crate::dom::El;
+use crate::storage::LocalStorage;
+
+/// The payload accompanying a dispatched event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// No payload (clicks, focus).
+    None,
+    /// The new text value (input events).
+    Text(String),
+    /// The pressed key name: `"Enter"`, `"Escape"`, or a character.
+    Key(String),
+}
+
+impl Payload {
+    /// The text payload, or empty.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        match self {
+            Payload::Text(t) => t,
+            _ => "",
+        }
+    }
+
+    /// The key payload, or empty.
+    #[must_use]
+    pub fn key(&self) -> &str {
+        match self {
+            Payload::Key(k) => k,
+            _ => "",
+        }
+    }
+}
+
+/// The effect context handed to app update functions: scheduling timers and
+/// touching persistent storage.
+#[derive(Debug)]
+pub struct AppCtx<'a> {
+    /// The virtual clock for scheduling asynchronous work.
+    pub clock: &'a mut VirtualClock,
+    /// Persistent storage surviving reloads.
+    pub storage: &'a mut LocalStorage,
+}
+
+/// A Model-View-Update application under test.
+///
+/// The executor drives the app: [`App::start`] on page load, a fresh
+/// [`App::view`] after every change, [`App::on_event`] for user
+/// interactions (the message comes from the handler annotations in the
+/// view), and [`App::on_timer`] when a scheduled timer fires.
+pub trait App {
+    /// Called once when the page loads (and again after a `reload!`, with
+    /// storage preserved).
+    fn start(&mut self, ctx: &mut AppCtx<'_>);
+
+    /// Renders the current model. Must be pure.
+    fn view(&self) -> El;
+
+    /// Handles a user event routed to handler message `msg`.
+    fn on_event(&mut self, msg: &str, payload: &Payload, ctx: &mut AppCtx<'_>);
+
+    /// Handles a fired timer with the given tag.
+    fn on_timer(&mut self, tag: &str, ctx: &mut AppCtx<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::{Document, EventKind};
+
+    /// A minimal counter app exercising the full trait surface.
+    #[derive(Default)]
+    struct Counter {
+        count: i64,
+        ticks: u64,
+    }
+
+    impl App for Counter {
+        fn start(&mut self, ctx: &mut AppCtx<'_>) {
+            if let Some(saved) = ctx.storage.get("count") {
+                self.count = saved.parse().unwrap_or(0);
+            }
+            ctx.clock.set_interval("tick", 1000);
+        }
+
+        fn view(&self) -> El {
+            El::new("div").id("app").children([
+                El::new("span").id("count").text(self.count.to_string()),
+                El::new("button")
+                    .id("inc")
+                    .text("+")
+                    .on(EventKind::Click, "inc"),
+            ])
+        }
+
+        fn on_event(&mut self, msg: &str, _payload: &Payload, ctx: &mut AppCtx<'_>) {
+            if msg == "inc" {
+                self.count += 1;
+                ctx.storage.set("count", self.count.to_string());
+            }
+        }
+
+        fn on_timer(&mut self, tag: &str, _ctx: &mut AppCtx<'_>) {
+            if tag == "tick" {
+                self.ticks += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn counter_round_trip() {
+        let mut clock = VirtualClock::new();
+        let mut storage = LocalStorage::new();
+        storage.set("count", "41");
+        let mut app = Counter::default();
+        {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.start(&mut ctx);
+        }
+        assert_eq!(app.count, 41);
+
+        let doc = Document::render(app.view());
+        let button = doc.query_all("#inc").unwrap()[0];
+        let msg = doc.handler(button, EventKind::Click).unwrap().to_owned();
+        {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.on_event(&msg, &Payload::None, &mut ctx);
+        }
+        assert_eq!(app.count, 42);
+        assert_eq!(storage.get("count"), Some("42"));
+
+        for (_, tag) in clock.advance(2500) {
+            let mut ctx = AppCtx {
+                clock: &mut clock,
+                storage: &mut storage,
+            };
+            app.on_timer(&tag, &mut ctx);
+        }
+        // Borrow note: timers were collected before the ctx borrow.
+        assert_eq!(app.ticks, 2);
+    }
+
+    #[test]
+    fn payload_projections() {
+        assert_eq!(Payload::Text("abc".into()).text(), "abc");
+        assert_eq!(Payload::Text("abc".into()).key(), "");
+        assert_eq!(Payload::Key("Enter".into()).key(), "Enter");
+        assert_eq!(Payload::None.text(), "");
+    }
+}

@@ -1,0 +1,247 @@
+//! Virtual time: a deterministic clock with one-shot and repeating timers.
+//!
+//! All "waiting" in the substrate is virtual. The executor advances the
+//! clock explicitly (on `Wait` requests, action timeouts, and a small
+//! deliberation charge between checker messages), collecting the timers
+//! that fire. This reproduces the paper's asynchronous-application
+//! behaviour — timer ticks, delayed re-renders — without wall-clock
+//! flakiness, and it is what makes counterexample replay exact.
+
+/// A handle to a scheduled timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+#[derive(Debug, Clone)]
+struct Timer {
+    id: TimerId,
+    tag: String,
+    due_ms: u64,
+    /// `Some(period)` for repeating timers.
+    interval_ms: Option<u64>,
+}
+
+/// A deterministic virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use webdom::VirtualClock;
+/// let mut clock = VirtualClock::new();
+/// clock.set_timeout("tick", 1000);
+/// clock.set_interval("blink", 300);
+/// let fired = clock.advance(1000);
+/// let tags: Vec<_> = fired.iter().map(|(_, t)| t.as_str()).collect();
+/// assert_eq!(tags, ["blink", "blink", "blink", "tick"]);
+/// assert_eq!(clock.now_ms(), 1000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now_ms: u64,
+    timers: Vec<Timer>,
+    next_id: u64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero with no timers.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// The current virtual time in milliseconds.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Schedules a one-shot timer `delay_ms` from now.
+    pub fn set_timeout(&mut self, tag: impl Into<String>, delay_ms: u64) -> TimerId {
+        self.push_timer(tag.into(), delay_ms, None)
+    }
+
+    /// Schedules a repeating timer with the given period.
+    ///
+    /// The first firing happens one full period from now. A zero period is
+    /// clamped to 1ms so the clock always makes progress.
+    pub fn set_interval(&mut self, tag: impl Into<String>, period_ms: u64) -> TimerId {
+        let period = period_ms.max(1);
+        self.push_timer(tag.into(), period, Some(period))
+    }
+
+    fn push_timer(&mut self, tag: String, delay_ms: u64, interval_ms: Option<u64>) -> TimerId {
+        let id = TimerId(self.next_id);
+        self.next_id += 1;
+        self.timers.push(Timer {
+            id,
+            tag,
+            due_ms: self.now_ms.saturating_add(delay_ms),
+            interval_ms,
+        });
+        id
+    }
+
+    /// Cancels a timer; returns whether it existed.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        let before = self.timers.len();
+        self.timers.retain(|t| t.id != id);
+        self.timers.len() != before
+    }
+
+    /// Cancels every timer with the given tag; returns how many were
+    /// cancelled.
+    pub fn cancel_tag(&mut self, tag: &str) -> usize {
+        let before = self.timers.len();
+        self.timers.retain(|t| t.tag != tag);
+        before - self.timers.len()
+    }
+
+    /// Cancels every pending timer (a page reload kills the old page's
+    /// timers); returns how many were cancelled.
+    pub fn cancel_all(&mut self) -> usize {
+        let n = self.timers.len();
+        self.timers.clear();
+        n
+    }
+
+    /// The due time of the earliest pending timer.
+    #[must_use]
+    pub fn next_due(&self) -> Option<u64> {
+        self.timers.iter().map(|t| t.due_ms).min()
+    }
+
+    /// Are any timers pending?
+    #[must_use]
+    pub fn has_timers(&self) -> bool {
+        !self.timers.is_empty()
+    }
+
+    /// Advances the clock by `delta_ms`, returning the timers that fired,
+    /// in firing order (by due time, then scheduling order). Repeating
+    /// timers re-arm automatically.
+    pub fn advance(&mut self, delta_ms: u64) -> Vec<(TimerId, String)> {
+        self.advance_to(self.now_ms.saturating_add(delta_ms))
+    }
+
+    /// Advances the clock to the absolute time `target_ms` (no-op if in the
+    /// past), returning fired timers in order.
+    pub fn advance_to(&mut self, target_ms: u64) -> Vec<(TimerId, String)> {
+        let mut fired = Vec::new();
+        while let Some(due) = self.next_due() {
+            if due > target_ms {
+                break;
+            }
+            // Fire every timer due at `due`, in scheduling order.
+            self.now_ms = self.now_ms.max(due);
+            let mut i = 0;
+            while i < self.timers.len() {
+                if self.timers[i].due_ms == due {
+                    let timer = &mut self.timers[i];
+                    fired.push((timer.id, timer.tag.clone()));
+                    if let Some(period) = timer.interval_ms {
+                        timer.due_ms += period.max(1);
+                        i += 1;
+                    } else {
+                        self.timers.remove(i);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.now_ms = self.now_ms.max(target_ms);
+        fired
+    }
+
+    /// Advances just far enough to fire the next timer (if any), returning
+    /// the fired timers; `None` when no timer is pending.
+    pub fn advance_to_next(&mut self) -> Option<Vec<(TimerId, String)>> {
+        let due = self.next_due()?;
+        Some(self.advance_to(due))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(fired: &[(TimerId, String)]) -> Vec<&str> {
+        fired.iter().map(|(_, t)| t.as_str()).collect()
+    }
+
+    #[test]
+    fn timeout_fires_once() {
+        let mut c = VirtualClock::new();
+        c.set_timeout("a", 100);
+        assert_eq!(tags(&c.advance(99)), Vec::<&str>::new());
+        assert_eq!(tags(&c.advance(1)), vec!["a"]);
+        assert_eq!(tags(&c.advance(1000)), Vec::<&str>::new());
+        assert!(!c.has_timers());
+    }
+
+    #[test]
+    fn interval_fires_repeatedly() {
+        let mut c = VirtualClock::new();
+        c.set_interval("t", 10);
+        assert_eq!(tags(&c.advance(35)), vec!["t", "t", "t"]);
+        assert_eq!(c.now_ms(), 35);
+        assert_eq!(tags(&c.advance(5)), vec!["t"]);
+    }
+
+    #[test]
+    fn firing_order_is_due_then_schedule_order() {
+        let mut c = VirtualClock::new();
+        c.set_timeout("late", 20);
+        c.set_timeout("early", 10);
+        c.set_timeout("also-early", 10);
+        assert_eq!(tags(&c.advance(30)), vec!["early", "also-early", "late"]);
+    }
+
+    #[test]
+    fn cancel_by_id_and_tag() {
+        let mut c = VirtualClock::new();
+        let a = c.set_timeout("x", 5);
+        c.set_timeout("y", 5);
+        c.set_timeout("y", 7);
+        assert!(c.cancel(a));
+        assert!(!c.cancel(a));
+        assert_eq!(c.cancel_tag("y"), 2);
+        assert_eq!(tags(&c.advance(100)), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn next_due_and_advance_to_next() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.next_due(), None);
+        assert_eq!(c.advance_to_next(), None);
+        c.set_timeout("a", 50);
+        assert_eq!(c.next_due(), Some(50));
+        let fired = c.advance_to_next().unwrap();
+        assert_eq!(tags(&fired), vec!["a"]);
+        assert_eq!(c.now_ms(), 50);
+    }
+
+    #[test]
+    fn advance_to_past_is_noop() {
+        let mut c = VirtualClock::new();
+        c.advance(100);
+        let fired = c.advance_to(10);
+        assert!(fired.is_empty());
+        assert_eq!(c.now_ms(), 100);
+    }
+
+    #[test]
+    fn zero_period_interval_is_clamped() {
+        let mut c = VirtualClock::new();
+        c.set_interval("z", 0);
+        // Clamped to 1ms: fires once per millisecond, not infinitely.
+        assert_eq!(c.advance(3).len(), 3);
+    }
+
+    #[test]
+    fn interval_rearms_relative_to_due_time() {
+        let mut c = VirtualClock::new();
+        c.set_interval("i", 10);
+        // Jumping far ahead fires every missed occurrence.
+        assert_eq!(c.advance(50).len(), 5);
+    }
+}

@@ -1,0 +1,575 @@
+//! Element trees: the builder DSL ([`El`]) and the rendered [`Document`].
+//!
+//! Views are constructed as plain [`El`] trees (MVU style) and then
+//! rendered into a [`Document`] — an arena with parent links, which is what
+//! the selector engine and the event dispatcher operate on.
+
+use crate::selector::{ParseSelectorError, SelectorExpr};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The kinds of synthetic user events an element can handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A single click.
+    Click,
+    /// A double click.
+    DblClick,
+    /// Text input (the new value is the payload).
+    Input,
+    /// A key press (the key name is the payload).
+    KeyDown,
+    /// The element gained focus.
+    Focus,
+    /// The element lost focus.
+    Blur,
+}
+
+/// A view-tree element under construction — the MVU view vocabulary.
+///
+/// `El` is a consuming builder: methods take and return `self` so views
+/// read declaratively.
+///
+/// # Examples
+///
+/// ```
+/// use webdom::{El, EventKind};
+/// let item = El::new("li")
+///     .class_if(true, "completed")
+///     .child(El::new("label").text("buy milk"))
+///     .on(EventKind::DblClick, "edit:3");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct El {
+    pub(crate) tag: String,
+    pub(crate) id: Option<String>,
+    pub(crate) classes: Vec<String>,
+    pub(crate) attributes: BTreeMap<String, String>,
+    pub(crate) text: String,
+    pub(crate) value: String,
+    pub(crate) checked: bool,
+    pub(crate) disabled: bool,
+    pub(crate) visible: bool,
+    pub(crate) focused: bool,
+    pub(crate) handlers: BTreeMap<EventKind, String>,
+    pub(crate) children: Vec<El>,
+}
+
+impl El {
+    /// A fresh, visible, enabled element with the given tag.
+    pub fn new(tag: impl Into<String>) -> Self {
+        El {
+            tag: tag.into(),
+            id: None,
+            classes: Vec::new(),
+            attributes: BTreeMap::new(),
+            text: String::new(),
+            value: String::new(),
+            checked: false,
+            disabled: false,
+            visible: true,
+            focused: false,
+            handlers: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Sets the element id (`#id` in selectors).
+    #[must_use]
+    pub fn id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+
+    /// Adds a CSS class.
+    #[must_use]
+    pub fn class(mut self, class: impl Into<String>) -> Self {
+        self.classes.push(class.into());
+        self
+    }
+
+    /// Adds a CSS class only when `cond` holds.
+    #[must_use]
+    pub fn class_if(self, cond: bool, class: impl Into<String>) -> Self {
+        if cond {
+            self.class(class)
+        } else {
+            self
+        }
+    }
+
+    /// Sets an attribute (`[k=v]` in selectors).
+    #[must_use]
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.insert(key.into(), value.into());
+        self
+    }
+
+    /// Sets the element's own text content.
+    #[must_use]
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.text = text.into();
+        self
+    }
+
+    /// Sets the form value (inputs).
+    #[must_use]
+    pub fn value(mut self, value: impl Into<String>) -> Self {
+        self.value = value.into();
+        self
+    }
+
+    /// Sets checkedness (checkboxes; `:checked` in selectors).
+    #[must_use]
+    pub fn checked(mut self, checked: bool) -> Self {
+        self.checked = checked;
+        self
+    }
+
+    /// Disables the element (`:disabled`).
+    #[must_use]
+    pub fn disabled(mut self, disabled: bool) -> Self {
+        self.disabled = disabled;
+        self
+    }
+
+    /// Hides the element (and its subtree) when `hidden` holds.
+    #[must_use]
+    pub fn hidden_if(mut self, hidden: bool) -> Self {
+        self.visible = !hidden;
+        self
+    }
+
+    /// Marks the element as holding keyboard focus (`:focus`).
+    #[must_use]
+    pub fn focused(mut self, focused: bool) -> Self {
+        self.focused = focused;
+        self
+    }
+
+    /// Attaches a handler: when `kind` is dispatched to this element (or
+    /// bubbles up to it), the app receives `msg`.
+    #[must_use]
+    pub fn on(mut self, kind: EventKind, msg: impl Into<String>) -> Self {
+        self.handlers.insert(kind, msg.into());
+        self
+    }
+
+    /// Appends a child element.
+    #[must_use]
+    pub fn child(mut self, child: El) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Appends a child only when `cond` holds.
+    #[must_use]
+    pub fn child_if(self, cond: bool, child: El) -> Self {
+        if cond {
+            self.child(child)
+        } else {
+            self
+        }
+    }
+
+    /// Appends many children.
+    #[must_use]
+    pub fn children(mut self, children: impl IntoIterator<Item = El>) -> Self {
+        self.children.extend(children);
+        self
+    }
+}
+
+/// A handle to a node inside a [`Document`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug, Clone)]
+struct Node {
+    el: El,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// A rendered element tree with parent links, queryable by CSS selectors.
+///
+/// Documents are immutable once rendered; MVU apps produce a fresh one per
+/// state.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Renders an [`El`] tree into a document.
+    #[must_use]
+    pub fn render(root: El) -> Self {
+        let mut doc = Document {
+            nodes: Vec::new(),
+            root: NodeId(0),
+        };
+        let root_id = doc.insert(root, None);
+        doc.root = root_id;
+        doc
+    }
+
+    fn insert(&mut self, mut el: El, parent: Option<NodeId>) -> NodeId {
+        let children = std::mem::take(&mut el.children);
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            el,
+            parent,
+            children: Vec::new(),
+        });
+        let child_ids: Vec<NodeId> = children
+            .into_iter()
+            .map(|c| self.insert(c, Some(id)))
+            .collect();
+        self.nodes[id.0].children = child_ids;
+        id
+    }
+
+    /// The root node.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The number of nodes in the document.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the document has no nodes (never the case after
+    /// rendering — kept for the conventional `len`/`is_empty` pair).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The tag name of a node.
+    #[must_use]
+    pub fn tag(&self, id: NodeId) -> &str {
+        &self.node(id).el.tag
+    }
+
+    /// The id attribute of a node.
+    #[must_use]
+    pub fn id_attr(&self, id: NodeId) -> Option<&str> {
+        self.node(id).el.id.as_deref()
+    }
+
+    /// The classes of a node.
+    #[must_use]
+    pub fn classes(&self, id: NodeId) -> &[String] {
+        &self.node(id).el.classes
+    }
+
+    /// An attribute value.
+    #[must_use]
+    pub fn attribute(&self, id: NodeId, key: &str) -> Option<&str> {
+        self.node(id).el.attributes.get(key).map(String::as_str)
+    }
+
+    /// All attributes of a node.
+    #[must_use]
+    pub fn attributes(&self, id: NodeId) -> &BTreeMap<String, String> {
+        &self.node(id).el.attributes
+    }
+
+    /// The node's own (not aggregated) text.
+    #[must_use]
+    pub fn own_text(&self, id: NodeId) -> &str {
+        &self.node(id).el.text
+    }
+
+    /// The form value of a node.
+    #[must_use]
+    pub fn value(&self, id: NodeId) -> &str {
+        &self.node(id).el.value
+    }
+
+    /// Whether a checkbox node is checked.
+    #[must_use]
+    pub fn checked(&self, id: NodeId) -> bool {
+        self.node(id).el.checked
+    }
+
+    /// Whether the node is enabled (not disabled).
+    #[must_use]
+    pub fn enabled(&self, id: NodeId) -> bool {
+        !self.node(id).el.disabled
+    }
+
+    /// Whether the node is focused.
+    #[must_use]
+    pub fn focused(&self, id: NodeId) -> bool {
+        self.node(id).el.focused
+    }
+
+    /// Whether the node is *effectively* visible: it and every ancestor are
+    /// marked visible.
+    #[must_use]
+    pub fn visible(&self, id: NodeId) -> bool {
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            if !self.node(n).el.visible {
+                return false;
+            }
+            cur = self.node(n).parent;
+        }
+        true
+    }
+
+    /// The parent of a node.
+    #[must_use]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// The children of a node.
+    #[must_use]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// The aggregated visible text of a node: its own text followed by its
+    /// visible descendants' text, in document order, space-normalised the
+    /// way a browser's `innerText` roughly behaves.
+    #[must_use]
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        self.collect_text(id, &mut parts);
+        parts.join(" ").trim().to_owned()
+    }
+
+    fn collect_text<'a>(&'a self, id: NodeId, parts: &mut Vec<&'a str>) {
+        let node = self.node(id);
+        if !node.el.visible {
+            return;
+        }
+        if !node.el.text.is_empty() {
+            parts.push(&node.el.text);
+        }
+        for &child in &node.children {
+            self.collect_text(child, parts);
+        }
+    }
+
+    /// All nodes in document (pre-)order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        // The arena is filled in pre-order by construction.
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// The nodes matching a CSS selector, in document order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSelectorError`] when `selector` is malformed.
+    pub fn query_all(&self, selector: &str) -> Result<Vec<NodeId>, ParseSelectorError> {
+        let expr = SelectorExpr::parse(selector)?;
+        Ok(self.select(&expr))
+    }
+
+    /// The nodes matching an already-parsed selector, in document order.
+    #[must_use]
+    pub fn select(&self, expr: &SelectorExpr) -> Vec<NodeId> {
+        self.iter().filter(|&id| expr.matches(self, id)).collect()
+    }
+
+    /// The message an event dispatched at `target` resolves to, walking up
+    /// the tree (event bubbling). Returns the handler message of the
+    /// nearest ancestor-or-self with a handler for `kind`.
+    #[must_use]
+    pub fn handler(&self, target: NodeId, kind: EventKind) -> Option<&str> {
+        let mut cur = Some(target);
+        while let Some(id) = cur {
+            if let Some(msg) = self.node(id).el.handlers.get(&kind) {
+                return Some(msg);
+            }
+            cur = self.node(id).parent;
+        }
+        None
+    }
+
+    /// The first focused node, if any.
+    #[must_use]
+    pub fn focused_node(&self) -> Option<NodeId> {
+        self.iter().find(|&id| self.node(id).el.focused)
+    }
+}
+
+impl fmt::Display for Document {
+    /// An indented, HTML-ish dump, useful in test failure output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(
+            doc: &Document,
+            id: NodeId,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let el = &doc.node(id).el;
+            write!(f, "{:indent$}<{}", "", el.tag, indent = depth * 2)?;
+            if let Some(i) = &el.id {
+                write!(f, " id={i:?}")?;
+            }
+            if !el.classes.is_empty() {
+                write!(f, " class={:?}", el.classes.join(" "))?;
+            }
+            if el.checked {
+                write!(f, " checked")?;
+            }
+            if el.disabled {
+                write!(f, " disabled")?;
+            }
+            if !el.visible {
+                write!(f, " hidden")?;
+            }
+            if el.focused {
+                write!(f, " focused")?;
+            }
+            if !el.value.is_empty() {
+                write!(f, " value={:?}", el.value)?;
+            }
+            write!(f, ">")?;
+            if !el.text.is_empty() {
+                write!(f, "{}", el.text)?;
+            }
+            writeln!(f)?;
+            for &child in &doc.node(id).children {
+                go(doc, child, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        go(self, self.root, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Document {
+        Document::render(
+            El::new("div").id("app").children([
+                El::new("header")
+                    .child(El::new("h1").text("todos"))
+                    .child(
+                        El::new("input")
+                            .class("new-todo")
+                            .value("pending")
+                            .focused(true)
+                            .on(EventKind::Input, "set-pending")
+                            .on(EventKind::KeyDown, "new-key"),
+                    ),
+                El::new("ul").class("todo-list").children([
+                    El::new("li")
+                        .class("completed")
+                        .child(El::new("input").class("toggle").checked(true))
+                        .child(El::new("label").text("walk"))
+                        .on(EventKind::Click, "item-0"),
+                    El::new("li")
+                        .child(El::new("input").class("toggle"))
+                        .child(El::new("label").text("shop"))
+                        .on(EventKind::Click, "item-1"),
+                ]),
+                El::new("footer").hidden_if(true).child(
+                    El::new("span").class("todo-count").text("1 item left"),
+                ),
+            ]),
+        )
+    }
+
+    #[test]
+    fn render_builds_parent_links() {
+        let doc = sample();
+        let root = doc.root();
+        assert_eq!(doc.tag(root), "div");
+        assert_eq!(doc.parent(root), None);
+        let header = doc.children(root)[0];
+        assert_eq!(doc.tag(header), "header");
+        assert_eq!(doc.parent(header), Some(root));
+        assert!(!doc.is_empty());
+        assert_eq!(doc.len(), 13);
+    }
+
+    #[test]
+    fn text_content_aggregates_visible_descendants() {
+        let doc = sample();
+        let root = doc.root();
+        // The hidden footer's text is excluded.
+        assert_eq!(doc.text_content(root), "todos walk shop");
+        let lis = doc.query_all("li").unwrap();
+        assert_eq!(doc.text_content(lis[0]), "walk");
+    }
+
+    #[test]
+    fn visibility_is_inherited() {
+        let doc = sample();
+        let count = doc.query_all(".todo-count").unwrap()[0];
+        assert!(!doc.visible(count), "inside a hidden footer");
+        let label = doc.query_all("label").unwrap()[0];
+        assert!(doc.visible(label));
+    }
+
+    #[test]
+    fn handler_bubbles_to_ancestors() {
+        let doc = sample();
+        let label = doc.query_all("label").unwrap()[0];
+        // The label has no Click handler; its li parent does.
+        assert_eq!(doc.handler(label, EventKind::Click), Some("item-0"));
+        assert_eq!(doc.handler(label, EventKind::DblClick), None);
+    }
+
+    #[test]
+    fn focused_node_lookup() {
+        let doc = sample();
+        let focused = doc.focused_node().unwrap();
+        assert_eq!(doc.classes(focused), &["new-todo".to_owned()]);
+        assert_eq!(doc.value(focused), "pending");
+    }
+
+    #[test]
+    fn query_all_document_order() {
+        let doc = sample();
+        let toggles = doc.query_all(".toggle").unwrap();
+        assert_eq!(toggles.len(), 2);
+        assert!(doc.checked(toggles[0]));
+        assert!(!doc.checked(toggles[1]));
+    }
+
+    #[test]
+    fn attribute_access() {
+        let doc = Document::render(El::new("a").attr("href", "#/active"));
+        let a = doc.root();
+        assert_eq!(doc.attribute(a, "href"), Some("#/active"));
+        assert_eq!(doc.attribute(a, "rel"), None);
+        assert_eq!(doc.attributes(a).len(), 1);
+    }
+
+    #[test]
+    fn display_dump_is_nonempty() {
+        let doc = sample();
+        let dump = doc.to_string();
+        assert!(dump.contains("<div id=\"app\">"));
+        assert!(dump.contains("checked"));
+        assert!(dump.contains("hidden"));
+    }
+
+    #[test]
+    fn el_builder_conditionals() {
+        let el = El::new("li")
+            .class_if(false, "completed")
+            .child_if(false, El::new("button"))
+            .child_if(true, El::new("span"));
+        assert!(el.classes.is_empty());
+        assert_eq!(el.children.len(), 1);
+    }
+}

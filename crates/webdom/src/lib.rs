@@ -1,0 +1,52 @@
+//! # webdom
+//!
+//! A virtual DOM substrate for acceptance testing: element trees, a CSS
+//! selector engine, synthetic user events, local storage, and a virtual
+//! clock with timers.
+//!
+//! This crate stands in for the Selenium WebDriver + headless browser stack
+//! of the original Quickstrom (DESIGN.md, *Substitutions*). Acceptance
+//! testing only ever observes an application through selector queries and
+//! synthetic events, so a faithful in-process DOM exercises the same
+//! checker/executor code paths — while making runs deterministic (virtual
+//! time) and fast.
+//!
+//! Applications implement the Model-View-Update [`App`] trait: a pure
+//! [`App::view`] renders the model into an [`El`] tree whose elements carry
+//! message-tagged event handlers, and [`App::on_event`]/[`App::on_timer`]
+//! update the model. The paper itself observes (§5.2) that the MVU
+//! architecture "is highly compatible with the view of states and actions
+//! used in Quickstrom".
+//!
+//! ## Quick example
+//!
+//! ```
+//! use webdom::{Document, El, EventKind};
+//!
+//! let view = El::new("div").id("app").child(
+//!     El::new("button")
+//!         .id("inc")
+//!         .text("+1")
+//!         .on(EventKind::Click, "increment"),
+//! );
+//! let doc = Document::render(view);
+//! let hits = doc.query_all("#inc").unwrap();
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(doc.handler(hits[0], EventKind::Click), Some("increment"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod app;
+pub mod clock;
+pub mod dom;
+pub mod selector;
+pub mod storage;
+
+pub use app::{App, AppCtx, Payload};
+pub use clock::{TimerId, VirtualClock};
+pub use dom::{Document, El, EventKind, NodeId};
+pub use selector::{ParseSelectorError, SelectorExpr};
+pub use storage::LocalStorage;

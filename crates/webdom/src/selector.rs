@@ -1,0 +1,532 @@
+//! A CSS selector engine covering the fragment acceptance tests need.
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! selector-list := complex (',' complex)*
+//! complex       := compound ((' ' | '>') compound)*
+//! compound      := [ tag | '*' ] simple*
+//! simple        := '#' ident | '.' ident | ':' pseudo
+//!                | '[' ident ']' | '[' ident '=' value ']'
+//! pseudo        := 'checked' | 'enabled' | 'disabled' | 'focus' | 'visible'
+//! ```
+//!
+//! Matching follows the CSS semantics: a complex selector matches a node if
+//! the rightmost compound matches it and the remaining compounds match some
+//! chain of ancestors (descendant combinator) or the immediate parent
+//! (child combinator `>`).
+
+use crate::dom::{Document, NodeId};
+use std::fmt;
+
+/// A parse error for a CSS selector, with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSelectorError {
+    /// Byte offset of the problem.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSelectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "selector parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseSelectorError {}
+
+/// A pseudo-class test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pseudo {
+    Checked,
+    Enabled,
+    Disabled,
+    Focus,
+    Visible,
+}
+
+/// One `simple` component of a compound selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Simple {
+    Id(String),
+    Class(String),
+    Pseudo(Pseudo),
+    HasAttr(String),
+    AttrEq(String, String),
+}
+
+/// A compound selector: optional tag plus simple components.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Compound {
+    tag: Option<String>,
+    simples: Vec<Simple>,
+}
+
+impl Compound {
+    fn matches(&self, doc: &Document, id: NodeId) -> bool {
+        if let Some(tag) = &self.tag {
+            if doc.tag(id) != tag {
+                return false;
+            }
+        }
+        self.simples.iter().all(|s| match s {
+            Simple::Id(want) => doc.id_attr(id) == Some(want.as_str()),
+            Simple::Class(want) => doc.classes(id).iter().any(|c| c == want),
+            Simple::Pseudo(Pseudo::Checked) => doc.checked(id),
+            Simple::Pseudo(Pseudo::Enabled) => doc.enabled(id),
+            Simple::Pseudo(Pseudo::Disabled) => !doc.enabled(id),
+            Simple::Pseudo(Pseudo::Focus) => doc.focused(id),
+            Simple::Pseudo(Pseudo::Visible) => doc.visible(id),
+            Simple::HasAttr(key) => doc.attribute(id, key).is_some(),
+            Simple::AttrEq(key, want) => doc.attribute(id, key) == Some(want.as_str()),
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Combinator {
+    Descendant,
+    Child,
+}
+
+/// A complex selector: compounds joined by combinators, stored rightmost
+/// last.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Complex {
+    /// `(compound, combinator-to-the-right)` pairs for all but the last.
+    leading: Vec<(Compound, Combinator)>,
+    last: Compound,
+}
+
+impl Complex {
+    fn matches(&self, doc: &Document, id: NodeId) -> bool {
+        if !self.last.matches(doc, id) {
+            return false;
+        }
+        // Walk leading compounds right to left, matching up the tree.
+        fn go(
+            doc: &Document,
+            leading: &[(Compound, Combinator)],
+            below: NodeId,
+        ) -> bool {
+            let Some(((compound, comb), rest)) = leading.split_last() else {
+                return true;
+            };
+            match comb {
+                Combinator::Child => match doc.parent(below) {
+                    Some(p) => compound.matches(doc, p) && go(doc, rest, p),
+                    None => false,
+                },
+                Combinator::Descendant => {
+                    let mut cur = doc.parent(below);
+                    while let Some(p) = cur {
+                        if compound.matches(doc, p) && go(doc, rest, p) {
+                            return true;
+                        }
+                        cur = doc.parent(p);
+                    }
+                    false
+                }
+            }
+        }
+        go(doc, &self.leading, id)
+    }
+}
+
+/// A parsed selector list, ready for matching.
+///
+/// # Examples
+///
+/// ```
+/// use webdom::{Document, El, SelectorExpr};
+/// let doc = Document::render(
+///     El::new("ul").class("todo-list").child(El::new("li").class("completed")),
+/// );
+/// let sel = SelectorExpr::parse(".todo-list > li.completed").unwrap();
+/// assert_eq!(doc.select(&sel).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectorExpr {
+    alternatives: Vec<Complex>,
+}
+
+impl SelectorExpr {
+    /// Parses a selector list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSelectorError`] on malformed input (empty selector,
+    /// dangling combinator, bad pseudo-class, …).
+    pub fn parse(input: &str) -> Result<Self, ParseSelectorError> {
+        Parser {
+            src: input,
+            pos: 0,
+        }
+        .selector_list()
+    }
+
+    /// Does the selector match this node?
+    #[must_use]
+    pub fn matches(&self, doc: &Document, id: NodeId) -> bool {
+        self.alternatives.iter().any(|c| c.matches(doc, id))
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseSelectorError {
+        ParseSelectorError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_spaces(&mut self) -> bool {
+        let start = self.pos;
+        while matches!(self.peek(), Some(' ' | '\t' | '\n')) {
+            self.bump();
+        }
+        self.pos != start
+    }
+
+    fn ident(&mut self) -> Result<String, ParseSelectorError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            self.bump();
+        }
+        if self.pos == start {
+            Err(self.error("expected an identifier"))
+        } else {
+            Ok(self.src[start..self.pos].to_owned())
+        }
+    }
+
+    fn selector_list(&mut self) -> Result<SelectorExpr, ParseSelectorError> {
+        let mut alternatives = vec![self.complex()?];
+        loop {
+            self.skip_spaces();
+            if self.peek() == Some(',') {
+                self.bump();
+                self.skip_spaces();
+                alternatives.push(self.complex()?);
+            } else {
+                break;
+            }
+        }
+        if self.pos != self.src.len() {
+            return Err(self.error("unexpected trailing input"));
+        }
+        Ok(SelectorExpr { alternatives })
+    }
+
+    fn complex(&mut self) -> Result<Complex, ParseSelectorError> {
+        self.skip_spaces();
+        let mut current = self.compound()?;
+        let mut leading = Vec::new();
+        loop {
+            let had_space = self.skip_spaces();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    self.skip_spaces();
+                    let next = self.compound()?;
+                    leading.push((current, Combinator::Child));
+                    current = next;
+                }
+                Some(c)
+                    if had_space
+                        && c != ','
+                        && (c.is_ascii_alphanumeric()
+                            || matches!(c, '#' | '.' | ':' | '[' | '*' | '_')) =>
+                {
+                    let next = self.compound()?;
+                    leading.push((current, Combinator::Descendant));
+                    current = next;
+                }
+                _ => break,
+            }
+        }
+        Ok(Complex {
+            leading,
+            last: current,
+        })
+    }
+
+    fn compound(&mut self) -> Result<Compound, ParseSelectorError> {
+        let mut compound = Compound::default();
+        let mut matched_any = false;
+        if let Some(c) = self.peek() {
+            if c == '*' {
+                self.bump();
+                matched_any = true;
+            } else if c.is_ascii_alphabetic() {
+                compound.tag = Some(self.ident()?);
+                matched_any = true;
+            }
+        }
+        loop {
+            match self.peek() {
+                Some('#') => {
+                    self.bump();
+                    compound.simples.push(Simple::Id(self.ident()?));
+                    matched_any = true;
+                }
+                Some('.') => {
+                    self.bump();
+                    compound.simples.push(Simple::Class(self.ident()?));
+                    matched_any = true;
+                }
+                Some(':') => {
+                    self.bump();
+                    let start = self.pos;
+                    let name = self.ident()?;
+                    let pseudo = match name.as_str() {
+                        "checked" => Pseudo::Checked,
+                        "enabled" => Pseudo::Enabled,
+                        "disabled" => Pseudo::Disabled,
+                        "focus" => Pseudo::Focus,
+                        "visible" => Pseudo::Visible,
+                        other => {
+                            self.pos = start;
+                            return Err(self.error(format!("unknown pseudo-class :{other}")));
+                        }
+                    };
+                    compound.simples.push(Simple::Pseudo(pseudo));
+                    matched_any = true;
+                }
+                Some('[') => {
+                    self.bump();
+                    self.skip_spaces();
+                    let key = self.ident()?;
+                    self.skip_spaces();
+                    match self.peek() {
+                        Some(']') => {
+                            self.bump();
+                            compound.simples.push(Simple::HasAttr(key));
+                        }
+                        Some('=') => {
+                            self.bump();
+                            let value = self.attr_value()?;
+                            if self.peek() != Some(']') {
+                                return Err(self.error("expected ']'"));
+                            }
+                            self.bump();
+                            compound.simples.push(Simple::AttrEq(key, value));
+                        }
+                        _ => return Err(self.error("expected '=' or ']'")),
+                    }
+                    matched_any = true;
+                }
+                _ => break,
+            }
+        }
+        if matched_any {
+            Ok(compound)
+        } else {
+            Err(self.error("expected a selector"))
+        }
+    }
+
+    fn attr_value(&mut self) -> Result<String, ParseSelectorError> {
+        if self.peek() == Some('"') || self.peek() == Some('\'') {
+            let quote = self.bump().expect("peeked");
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == quote {
+                    let value = self.src[start..self.pos].to_owned();
+                    self.bump();
+                    return Ok(value);
+                }
+                self.bump();
+            }
+            Err(self.error("unterminated attribute value"))
+        } else {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != ']' && !c.is_whitespace()) {
+                self.bump();
+            }
+            if self.pos == start {
+                Err(self.error("expected an attribute value"))
+            } else {
+                Ok(self.src[start..self.pos].to_owned())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::El;
+
+    fn todomvc_doc() -> Document {
+        Document::render(
+            El::new("section").class("todoapp").children([
+                El::new("header").class("header").children([
+                    El::new("h1").text("todos"),
+                    El::new("input").class("new-todo").focused(true),
+                ]),
+                El::new("section").class("main").children([
+                    El::new("input").id("toggle-all").class("toggle-all").checked(true),
+                    El::new("ul").class("todo-list").children([
+                        El::new("li").class("completed").children([
+                            El::new("input").class("toggle").checked(true),
+                            El::new("label").text("walk"),
+                            El::new("button").class("destroy"),
+                        ]),
+                        El::new("li").children([
+                            El::new("input").class("toggle"),
+                            El::new("label").text("shop"),
+                            El::new("button").class("destroy").disabled(true),
+                        ]),
+                    ]),
+                ]),
+                El::new("footer").class("footer").children([
+                    El::new("span").class("todo-count").child(El::new("strong").text("1")),
+                    El::new("ul").class("filters").children([
+                        El::new("li").child(
+                            El::new("a").class("selected").attr("href", "#/").text("All"),
+                        ),
+                        El::new("li")
+                            .child(El::new("a").attr("href", "#/active").text("Active")),
+                        El::new("li").child(
+                            El::new("a").attr("href", "#/completed").text("Completed"),
+                        ),
+                    ]),
+                ]),
+            ]),
+        )
+    }
+
+    fn count(doc: &Document, sel: &str) -> usize {
+        doc.query_all(sel).unwrap().len()
+    }
+
+    #[test]
+    fn tag_id_class_star() {
+        let doc = todomvc_doc();
+        assert_eq!(count(&doc, "li"), 5);
+        assert_eq!(count(&doc, ".todo-list li"), 2);
+        assert_eq!(count(&doc, "#toggle-all"), 1);
+        assert_eq!(count(&doc, "*"), doc.len());
+        assert_eq!(count(&doc, "input.toggle"), 2);
+    }
+
+    #[test]
+    fn descendant_vs_child() {
+        let doc = todomvc_doc();
+        assert_eq!(count(&doc, ".todoapp label"), 2);
+        assert_eq!(count(&doc, ".todoapp > label"), 0);
+        assert_eq!(count(&doc, ".todo-list > li > label"), 2);
+        assert_eq!(count(&doc, "footer .filters a"), 3);
+    }
+
+    #[test]
+    fn pseudo_classes() {
+        let doc = todomvc_doc();
+        assert_eq!(count(&doc, ".toggle:checked"), 1);
+        assert_eq!(count(&doc, "button:disabled"), 1);
+        assert_eq!(count(&doc, "button:enabled"), 1);
+        assert_eq!(count(&doc, ".new-todo:focus"), 1);
+        assert_eq!(count(&doc, "li.completed .toggle:checked"), 1);
+    }
+
+    #[test]
+    fn attribute_selectors() {
+        let doc = todomvc_doc();
+        assert_eq!(count(&doc, "a[href]"), 3);
+        assert_eq!(count(&doc, "a[href=\"#/active\"]"), 1);
+        assert_eq!(count(&doc, "a[href='#/']"), 1);
+        assert_eq!(count(&doc, "a[href=#/completed]"), 1);
+        assert_eq!(count(&doc, "a[rel]"), 0);
+    }
+
+    #[test]
+    fn selector_lists() {
+        let doc = todomvc_doc();
+        assert_eq!(count(&doc, "h1, .new-todo"), 2);
+        assert_eq!(count(&doc, ".missing, strong"), 1);
+    }
+
+    #[test]
+    fn visibility_pseudo() {
+        let doc = Document::render(
+            El::new("div").children([
+                El::new("p").text("shown"),
+                El::new("div")
+                    .hidden_if(true)
+                    .child(El::new("p").text("hidden child")),
+            ]),
+        );
+        assert_eq!(count(&doc, "p"), 2);
+        assert_eq!(count(&doc, "p:visible"), 1);
+    }
+
+    #[test]
+    fn compound_ordering_is_irrelevant() {
+        let doc = todomvc_doc();
+        assert_eq!(
+            doc.query_all("input.toggle:checked").unwrap(),
+            doc.query_all("input:checked.toggle").unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", "  ", "li >", "> li", ":hover", "[x", "[x=", "li ,", "a[x='y]", "..a"] {
+            assert!(
+                SelectorExpr::parse(bad).is_err(),
+                "expected parse failure for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = SelectorExpr::parse("li :hover").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.message.contains("hover"));
+    }
+
+    #[test]
+    fn naive_reference_agreement() {
+        // Cross-check the engine against a naive matcher for single
+        // compound selectors on a fixed document.
+        let doc = todomvc_doc();
+        for sel in ["li", ".toggle", "#toggle-all", "input", ".completed"] {
+            let expr = SelectorExpr::parse(sel).unwrap();
+            let naive: Vec<_> = doc
+                .iter()
+                .filter(|&id| {
+                    let bare = sel.trim_start_matches(['.', '#']);
+                    match sel.chars().next().unwrap() {
+                        '.' => doc.classes(id).iter().any(|c| c == bare),
+                        '#' => doc.id_attr(id) == Some(bare),
+                        _ => doc.tag(id) == sel,
+                    }
+                })
+                .collect();
+            assert_eq!(doc.select(&expr), naive, "selector {sel}");
+        }
+    }
+}

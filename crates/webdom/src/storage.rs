@@ -1,0 +1,99 @@
+//! Local storage: the browser's persistent string key–value store.
+//!
+//! TodoMVC persists its to-do list here so page reloads keep the data. The
+//! [`crate::app::App`] reads it in `start` and writes it on updates; the
+//! executor's `reload!` action (an extension suggested by §4.1 of the
+//! paper) re-creates the app while preserving this store.
+
+use std::collections::BTreeMap;
+
+/// A persistent string key–value store, mirroring `window.localStorage`.
+///
+/// # Examples
+///
+/// ```
+/// use webdom::LocalStorage;
+/// let mut store = LocalStorage::new();
+/// store.set("todos", "[\"walk\"]");
+/// assert_eq!(store.get("todos"), Some("[\"walk\"]"));
+/// store.remove("todos");
+/// assert_eq!(store.get("todos"), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocalStorage {
+    entries: BTreeMap<String, String>,
+}
+
+impl LocalStorage {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        LocalStorage::default()
+    }
+
+    /// The value stored under `key`, if any.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Stores `value` under `key`, returning the previous value.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
+        self.entries.insert(key.into(), value.into())
+    }
+
+    /// Removes `key`, returning the previous value.
+    pub fn remove(&mut self, key: &str) -> Option<String> {
+        self.entries.remove(key)
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove_roundtrip() {
+        let mut s = LocalStorage::new();
+        assert!(s.is_empty());
+        assert_eq!(s.set("a", "1"), None);
+        assert_eq!(s.set("a", "2"), Some("1".to_owned()));
+        assert_eq!(s.get("a"), Some("2"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.remove("a"), Some("2".to_owned()));
+        assert_eq!(s.remove("a"), None);
+    }
+
+    #[test]
+    fn clear_and_iter() {
+        let mut s = LocalStorage::new();
+        s.set("b", "2");
+        s.set("a", "1");
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![("a", "1"), ("b", "2")]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,279 @@
+//! Property-based tests for the webdom substrate: the selector engine
+//! against a naive reference matcher over generated documents, and the
+//! virtual clock's ordering laws.
+
+use proptest::prelude::*;
+use webdom::{Document, El, SelectorExpr, VirtualClock};
+
+// ---------------------------------------------------------------- selectors
+
+const TAGS: &[&str] = &["div", "span", "li", "ul", "input", "button", "label"];
+const CLASSES: &[&str] = &["toggle", "completed", "editing", "view", "main"];
+const IDS: &[&str] = &["app", "list", "new", "count"];
+
+#[derive(Debug, Clone)]
+struct GenEl {
+    tag: &'static str,
+    id: Option<&'static str>,
+    classes: Vec<&'static str>,
+    checked: bool,
+    disabled: bool,
+    hidden: bool,
+    children: Vec<GenEl>,
+}
+
+fn gen_el(depth: u32) -> BoxedStrategy<GenEl> {
+    let leaf = (
+        prop::sample::select(TAGS),
+        prop::option::of(prop::sample::select(IDS)),
+        prop::collection::vec(prop::sample::select(CLASSES), 0..3),
+        any::<bool>(),
+        any::<bool>(),
+        prop::bool::weighted(0.15),
+    )
+        .prop_map(|(tag, id, classes, checked, disabled, hidden)| GenEl {
+            tag,
+            id,
+            classes,
+            checked,
+            disabled,
+            hidden,
+            children: Vec::new(),
+        });
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        (
+            prop::sample::select(TAGS),
+            prop::option::of(prop::sample::select(IDS)),
+            prop::collection::vec(prop::sample::select(CLASSES), 0..3),
+            any::<bool>(),
+            prop::bool::weighted(0.15),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(tag, id, classes, checked, hidden, children)| GenEl {
+                tag,
+                id,
+                classes,
+                checked,
+                disabled: false,
+                hidden,
+                children,
+            })
+    })
+    .boxed()
+}
+
+fn build(g: &GenEl) -> El {
+    let mut el = El::new(g.tag)
+        .checked(g.checked)
+        .disabled(g.disabled)
+        .hidden_if(g.hidden);
+    if let Some(id) = g.id {
+        el = el.id(id);
+    }
+    for c in &g.classes {
+        el = el.class(*c);
+    }
+    for child in &g.children {
+        el = el.child(build(child));
+    }
+    el
+}
+
+/// A naive reference matcher for single compound selectors.
+fn naive_matches(doc: &Document, id: webdom::NodeId, sel: &str) -> bool {
+    // Supports the compound subset: tag, #id, .class, :checked, :disabled.
+    let mut rest = sel;
+    // Optional leading tag.
+    let tag_end = rest
+        .find(['#', '.', ':'])
+        .unwrap_or(rest.len());
+    let tag = &rest[..tag_end];
+    if !tag.is_empty() && doc.tag(id) != tag {
+        return false;
+    }
+    rest = &rest[tag_end..];
+    while !rest.is_empty() {
+        let (kind, tail) = rest.split_at(1);
+        let end = tail.find(['#', '.', ':']).unwrap_or(tail.len());
+        let (word, next) = tail.split_at(end);
+        let ok = match kind {
+            "#" => doc.id_attr(id) == Some(word),
+            "." => doc.classes(id).iter().any(|c| c == word),
+            ":" => match word {
+                "checked" => doc.checked(id),
+                "disabled" => !doc.enabled(id),
+                _ => unreachable!("generator only emits checked/disabled"),
+            },
+            _ => unreachable!("split_at(1)"),
+        };
+        if !ok {
+            return false;
+        }
+        rest = next;
+    }
+    true
+}
+
+fn compound_selector() -> impl Strategy<Value = String> {
+    (
+        prop::option::of(prop::sample::select(TAGS)),
+        prop::option::of(prop::sample::select(IDS)),
+        prop::collection::vec(prop::sample::select(CLASSES), 0..2),
+        prop::option::of(prop::sample::select(&[":checked", ":disabled"][..])),
+    )
+        .prop_filter_map("nonempty selector", |(tag, id, classes, pseudo)| {
+            let mut s = String::new();
+            if let Some(t) = tag {
+                s.push_str(t);
+            }
+            if let Some(i) = id {
+                s.push('#');
+                s.push_str(i);
+            }
+            for c in classes {
+                s.push('.');
+                s.push_str(c);
+            }
+            if let Some(p) = pseudo {
+                s.push_str(p);
+            }
+            if s.is_empty() {
+                None
+            } else {
+                Some(s)
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The selector engine agrees with the naive matcher on compound
+    /// selectors over arbitrary documents.
+    #[test]
+    fn engine_matches_naive_reference(root in gen_el(3), sel in compound_selector()) {
+        let doc = Document::render(build(&root));
+        let expr = SelectorExpr::parse(&sel).unwrap();
+        let engine: Vec<_> = doc.select(&expr);
+        let naive: Vec<_> = doc.iter().filter(|&n| naive_matches(&doc, n, &sel)).collect();
+        prop_assert_eq!(engine, naive, "selector {}", sel);
+    }
+
+    /// Descendant-combinator results are a subset of the rightmost
+    /// compound's matches, and every result has a matching ancestor.
+    #[test]
+    fn descendant_combinator_is_sound(root in gen_el(3)) {
+        let doc = Document::render(build(&root));
+        let expr = SelectorExpr::parse("div li").unwrap();
+        for id in doc.select(&expr) {
+            prop_assert_eq!(doc.tag(id), "li");
+            let mut cur = doc.parent(id);
+            let mut found = false;
+            while let Some(p) = cur {
+                if doc.tag(p) == "div" {
+                    found = true;
+                    break;
+                }
+                cur = doc.parent(p);
+            }
+            prop_assert!(found, "li without div ancestor matched");
+        }
+    }
+
+    /// Child combinator implies the parent matches directly.
+    #[test]
+    fn child_combinator_is_sound(root in gen_el(3)) {
+        let doc = Document::render(build(&root));
+        let expr = SelectorExpr::parse("ul > li").unwrap();
+        for id in doc.select(&expr) {
+            let parent = doc.parent(id).expect("child match has a parent");
+            prop_assert_eq!(doc.tag(parent), "ul");
+        }
+    }
+
+    /// Effective visibility is monotone: a visible node's ancestors are
+    /// all visible.
+    #[test]
+    fn visibility_is_monotone(root in gen_el(3)) {
+        let doc = Document::render(build(&root));
+        for id in doc.iter() {
+            if doc.visible(id) {
+                let mut cur = doc.parent(id);
+                while let Some(p) = cur {
+                    prop_assert!(doc.visible(p));
+                    cur = doc.parent(p);
+                }
+            }
+        }
+    }
+
+    /// Selector lists are unions: `a, b` matches exactly the union of the
+    /// individual matches, in document order.
+    #[test]
+    fn selector_lists_are_unions(root in gen_el(3)) {
+        let doc = Document::render(build(&root));
+        let both = doc.query_all("li, span").unwrap();
+        let mut expected: Vec<_> = doc
+            .iter()
+            .filter(|&n| doc.tag(n) == "li" || doc.tag(n) == "span")
+            .collect();
+        expected.sort();
+        prop_assert_eq!(both, expected);
+    }
+}
+
+// -------------------------------------------------------------------- clock
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Timers fire in due-time order, never early, never after
+    /// cancellation; `now` is monotone.
+    #[test]
+    fn clock_ordering_laws(delays in prop::collection::vec(0u64..500, 1..12)) {
+        let mut clock = VirtualClock::new();
+        for (i, &d) in delays.iter().enumerate() {
+            clock.set_timeout(format!("t{i}"), d);
+        }
+        let fired = clock.advance(1000);
+        // All fire (1000 ≥ every delay), in non-decreasing due order.
+        prop_assert_eq!(fired.len(), delays.len());
+        let mut dues: Vec<u64> = Vec::new();
+        for (_, tag) in &fired {
+            let idx: usize = tag[1..].parse().unwrap();
+            dues.push(delays[idx]);
+        }
+        let mut sorted = dues.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(dues, sorted, "firing order follows due times");
+        prop_assert_eq!(clock.now_ms(), 1000);
+    }
+
+    /// Splitting an advance never changes what fires.
+    #[test]
+    fn advance_is_divisible(
+        delays in prop::collection::vec(1u64..300, 1..8),
+        split in 1u64..299,
+    ) {
+        let mut one = VirtualClock::new();
+        let mut two = VirtualClock::new();
+        for (i, &d) in delays.iter().enumerate() {
+            one.set_timeout(format!("t{i}"), d);
+            two.set_timeout(format!("t{i}"), d);
+        }
+        let all_at_once: Vec<_> = one.advance(300).into_iter().map(|(_, t)| t).collect();
+        let mut stepped: Vec<_> = two.advance(split).into_iter().map(|(_, t)| t).collect();
+        stepped.extend(two.advance(300 - split).into_iter().map(|(_, t)| t));
+        prop_assert_eq!(all_at_once, stepped);
+        prop_assert_eq!(one.now_ms(), two.now_ms());
+    }
+
+    /// Intervals fire floor(elapsed/period) times.
+    #[test]
+    fn interval_count(period in 1u64..50, elapsed in 0u64..500) {
+        let mut clock = VirtualClock::new();
+        clock.set_interval("i", period);
+        let fired = clock.advance(elapsed);
+        prop_assert_eq!(fired.len() as u64, elapsed / period);
+    }
+}

@@ -1,0 +1,73 @@
+//! The checker is executor-agnostic (§3.4): test a CCS process model with
+//! the very same checker and specification language used for web apps.
+//!
+//! ```text
+//! cargo run --example ccs_model
+//! ```
+//!
+//! The model is Milner's vending machine; the specification says that
+//! coins and drinks strictly alternate and that the machine always returns
+//! to accepting coins.
+
+use ccs::{parse_definitions, transitions, CcsExecutor, Process};
+use quickstrom::prelude::*;
+
+const MODEL: &str = "Vend = coin.(tea.Vend + coffee.Vend);";
+
+const SPEC: &str = r#"
+    let ~coinReady = `.act-coin`.present;
+    let ~teaReady = `.act-tea`.present;
+    let ~coffeeReady = `.act-coffee`.present;
+
+    action coin!   = click!(`.act-coin`)   when coinReady;
+    action tea!    = click!(`.act-tea`)    when teaReady;
+    action coffee! = click!(`.act-coffee`) when coffeeReady;
+
+    let ~buyCoin = coinReady
+      && nextW (coin! in happened && teaReady && coffeeReady && !coinReady);
+    let ~buyTea = teaReady
+      && nextW (tea! in happened && coinReady && !teaReady);
+    let ~buyCoffee = coffeeReady
+      && nextW (coffee! in happened && coinReady && !coffeeReady);
+
+    let ~safety = loaded? in happened && coinReady
+      && always[25] (buyCoin || buyTea || buyCoffee);
+
+    let ~serviceLoop = always[25] eventually[3] coinReady;
+
+    check safety serviceLoop;
+"#;
+
+fn main() {
+    let (defs, main_name) = parse_definitions(MODEL).expect("model parses");
+    let start = Process::Const(main_name);
+    println!("model: {MODEL}");
+    println!(
+        "initial transitions: {}",
+        transitions(&start, &defs)
+            .expect("well-defined model")
+            .iter()
+            .map(|(a, p)| format!("--{a}--> {p}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let spec = specstrom::load(SPEC).expect("spec compiles");
+    let options = CheckOptions::default()
+        .with_tests(25)
+        .with_max_actions(40)
+        .with_default_demand(25)
+        .with_seed(99);
+    let report = check_spec(&spec, &options, &mut || {
+        let (defs, main_name) = parse_definitions(MODEL).expect("model parses");
+        Box::new(CcsExecutor::new(defs, Process::Const(main_name)))
+    })
+    .expect("checking proceeds");
+    print!("{report}");
+    if report.passed() {
+        println!("the vending machine satisfies its specification ✓");
+    } else {
+        println!("failures: {:?}", report.failures());
+        std::process::exit(1);
+    }
+}

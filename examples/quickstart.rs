@@ -1,0 +1,53 @@
+//! Quickstart: check a counter application against a Specstrom
+//! specification.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The specification (specs/counter.strom) is a two-transition state
+//! machine: `inc!` adds exactly one, `reset!` returns to zero, and the
+//! count is never negative. The checker explores the app with randomly
+//! generated interactions and reports the verdicts.
+
+use quickstrom::prelude::*;
+use quickstrom_apps::Counter;
+
+fn main() {
+    let source = quickstrom::specs::COUNTER;
+    println!("── specification ─────────────────────────────────────────");
+    println!("{source}");
+
+    let spec = specstrom::load(source).expect("the bundled spec compiles");
+    println!("── static analysis ───────────────────────────────────────");
+    println!(
+        "dependencies: {}",
+        spec.dependencies
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "actions: {}",
+        spec.actions.keys().cloned().collect::<Vec<_>>().join(", ")
+    );
+
+    let options = CheckOptions::default()
+        .with_tests(20)
+        .with_max_actions(40)
+        .with_default_demand(30)
+        .with_seed(2024);
+    println!("── checking ──────────────────────────────────────────────");
+    let report = check_spec(&spec, &options, &mut || {
+        Box::new(WebExecutor::new(Counter::new))
+    })
+    .expect("checking proceeds without protocol errors");
+    print!("{report}");
+    if report.passed() {
+        println!("all properties passed ✓");
+    } else {
+        println!("failures: {:?}", report.failures());
+        std::process::exit(1);
+    }
+}

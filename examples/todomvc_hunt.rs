@@ -1,0 +1,72 @@
+//! Bug hunting in TodoMVC implementations (§4): pick an implementation
+//! from the Table 1 registry, run the formal specification against it, and
+//! print the (shrunk) counterexample if one is found.
+//!
+//! ```text
+//! cargo run --release --example todomvc_hunt                 # default: backbone_marionette
+//! cargo run --release --example todomvc_hunt -- vanillajs    # any registry name
+//! cargo run --release --example todomvc_hunt -- vue          # a passing one
+//! ```
+//!
+//! The default target carries Table 2's problem 11 — the paper's
+//! "particularly involved to uncover" bug: create an item, edit it to the
+//! empty text, commit (it looks deleted), then click "toggle all" and the
+//! item returns from the dead.
+
+use quickstrom::prelude::*;
+use quickstrom_apps::registry;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "backbone_marionette".to_owned());
+    let Some(entry) = registry::by_name(&name) else {
+        eprintln!("unknown implementation {name:?}; known names:");
+        for e in registry::REGISTRY {
+            eprintln!("  {}", e.name);
+        }
+        std::process::exit(2);
+    };
+
+    println!(
+        "implementation: {} ({:?}, {})",
+        entry.name,
+        entry.maturity,
+        if entry.expected_to_fail() {
+            "listed as failing in Table 1"
+        } else {
+            "listed as passing in Table 1"
+        }
+    );
+    for fault in entry.faults {
+        println!(
+            "  injected fault {}: {}",
+            fault.number(),
+            fault.description()
+        );
+    }
+
+    let spec = specstrom::load(quickstrom::specs::TODOMVC).expect("bundled spec compiles");
+    let options = CheckOptions::default()
+        .with_tests(150)
+        .with_max_actions(60)
+        .with_default_demand(50)
+        .with_seed(42);
+    let started = std::time::Instant::now();
+    let report = check_spec(&spec, &options, &mut || {
+        Box::new(WebExecutor::new(|| entry.build()))
+    })
+    .expect("checking proceeds without protocol errors");
+    println!("{report}");
+    println!("wall time: {:.2?}", started.elapsed());
+
+    match (report.passed(), entry.expected_to_fail()) {
+        (false, true) => println!("⇒ bug exposed, as the paper found."),
+        (true, false) => println!("⇒ clean, as the paper found."),
+        (false, false) => println!("⇒ UNEXPECTED failure of a passing implementation!"),
+        (true, true) => println!(
+            "⇒ fault escaped this session (flaky fault — try more tests or \
+             another seed, cf. §4.3 on subscripts vs. flakiness)"
+        ),
+    }
+}

@@ -1,0 +1,106 @@
+//! "Nothing about the checker is specific to Selenium WebDriver: paired
+//! with a different executor, the same checker could be used to test any
+//! reactive system" (§3.4). Here the same checker and the same Specstrom
+//! language test CCS process models through the [`ccs::CcsExecutor`].
+
+use ccs::{parse_definitions, CcsExecutor, Process};
+use quickstrom::prelude::*;
+
+/// Milner's vending machine: insert a coin, then choose tea or coffee.
+const VENDING: &str = "Vend = coin.(tea.Vend + coffee.Vend);";
+
+/// The vending machine specification: you can always insert a coin or pick
+/// a drink; after a coin both drinks are offered; after a drink we are back
+/// to accepting coins.
+const VENDING_SPEC: &str = r#"
+    let ~coinReady = `.act-coin`.present;
+    let ~teaReady = `.act-tea`.present;
+    let ~coffeeReady = `.act-coffee`.present;
+
+    action coin!   = click!(`.act-coin`)   when coinReady;
+    action tea!    = click!(`.act-tea`)    when teaReady;
+    action coffee! = click!(`.act-coffee`) when coffeeReady;
+
+    let ~buyCoin = coinReady
+      && nextW (coin! in happened && teaReady && coffeeReady && !coinReady);
+    let ~buyTea = teaReady
+      && nextW (tea! in happened && coinReady && !teaReady);
+    let ~buyCoffee = coffeeReady
+      && nextW (coffee! in happened && coinReady && !coffeeReady);
+
+    let ~safety = loaded? in happened && coinReady
+      && always[20] (buyCoin || buyTea || buyCoffee);
+
+    let ~serviceLoop = always[20] eventually[3] coinReady;
+
+    check safety serviceLoop;
+"#;
+
+fn options() -> CheckOptions {
+    CheckOptions::default()
+        .with_tests(10)
+        .with_max_actions(30)
+        .with_default_demand(20)
+        .with_seed(5)
+}
+
+fn check_model(model: &str, spec_src: &str, opts: &CheckOptions) -> Report {
+    let spec = specstrom::load(spec_src).unwrap_or_else(|e| panic!("{}", e.render(spec_src)));
+    let model = model.to_owned();
+    check_spec(&spec, opts, &mut move || {
+        let (defs, main) = parse_definitions(&model).expect("valid CCS");
+        Box::new(CcsExecutor::new(defs, Process::Const(main)))
+    })
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[test]
+fn vending_machine_satisfies_its_spec() {
+    let report = check_model(VENDING, VENDING_SPEC, &options());
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.properties.len(), 2);
+}
+
+#[test]
+fn broken_vending_machine_is_caught() {
+    // This machine swallows the coin on the tea path: after tea it needs a
+    // *second* coin before offering drinks again — `buyTea` requires
+    // `coinReady` right after tea, which holds, but then the extra coin
+    // state breaks `buyCoin`'s promise of drinks.
+    let broken = "Vend = coin.(tea.coin.Vend + coffee.Vend);";
+    let report = check_model(broken, VENDING_SPEC, &options());
+    assert!(!report.passed(), "{report}");
+    let cx = report.properties[0].counterexample().unwrap();
+    assert_eq!(cx.verdict, Verdict::DefinitelyFalse);
+}
+
+#[test]
+fn deadlocking_machine_fails_the_service_loop() {
+    // After one serving the machine dies.
+    let dying = "Vend = coin.(tea.0 + coffee.0);";
+    let report = check_model(dying, VENDING_SPEC, &options());
+    assert!(!report.passed(), "{report}");
+    assert!(report.failures().contains(&"serviceLoop") || report.failures().contains(&"safety"));
+}
+
+#[test]
+fn synchronised_producer_consumer_model() {
+    // A producer and consumer synchronising over a restricted channel: the
+    // checker sees `put` (producer input) and `get` (consumer output is
+    // internalised; the observable is the consumer's deliver action).
+    let model = "Sys = (put.'hand.Sys | hand.deliver.Sys) \\ {hand};";
+    let spec = r#"
+        let ~canPut = `.act-put`.present;
+        let ~canDeliver = `.act-deliver`.present;
+        action put! = click!(`.act-put`) when canPut;
+        action deliver! = click!(`.act-deliver`) when canDeliver;
+        // After a put, the handoff is internal (τ) and the delivery becomes
+        // available.
+        let ~handoff = canPut
+          && nextW (put! in happened ==> canDeliver);
+        let ~safety = loaded? in happened && always[15] handoff;
+        check safety;
+    "#;
+    let report = check_model(model, spec, &options());
+    assert!(report.passed(), "{report}");
+}

@@ -1,0 +1,145 @@
+//! Experiment E5: the egg timer worked example (Figure 8).
+//!
+//! The integration tests use a 15-second timer and proportionally smaller
+//! demand subscripts so runs stay short; the shipped `specs/egg_timer.strom`
+//! is the Figure 8-faithful 180-second version (exercised by the
+//! `egg_timer` example binary) and is compile-checked here.
+
+use quickstrom::prelude::*;
+use quickstrom_apps::EggTimer;
+
+/// The Figure 8 specification scaled to a 15-second timer.
+fn scaled_spec(initial: i64) -> String {
+    format!(
+        r#"
+        let ~stopped = `#toggle`.text == "start";
+        let ~started = `#toggle`.text == "stop";
+        let ~time = parseInt(`#remaining`.text);
+        action start! = click!(`#toggle`) when stopped;
+        action stop!  = click!(`#toggle`) when started;
+        action wait!  = noop! timeout 1100 when started;
+        action tick?  = changed?(`#remaining`);
+        let ~ticking {{
+          let old = time;
+          started && nextW (tick? in happened
+            && time == old - 1
+            && (if time == 0 {{ stopped }} else {{ started }}))
+        }};
+        let ~waiting = started && nextW (wait! in happened && started);
+        let ~starting =
+          stopped && nextW (start! in happened
+            && (if time == 0 {{ stopped }} else {{ started }}));
+        let ~stopping = started && nextW (stop! in happened && stopped);
+        let ~safety =
+          loaded? in happened && time == {initial}
+          && always[50] (starting || stopping || waiting || ticking);
+        let ~liveness =
+          always[50] (start! in happened ==> eventually[45] stopped);
+        let ~timeUp =
+          always[50] (start! in happened ==> eventually[45] (time == 0));
+        check safety liveness;
+        check timeUp with start! wait! tick?;
+        "#
+    )
+}
+
+fn options() -> CheckOptions {
+    CheckOptions::default()
+        .with_tests(5)
+        .with_max_actions(60)
+        .with_default_demand(50)
+        .with_seed(11)
+}
+
+fn run_checks(spec_src: &str, duration: i64, opts: &CheckOptions) -> Report {
+    let spec = specstrom::load(spec_src).unwrap_or_else(|e| panic!("{}", e.render(spec_src)));
+    check_spec(&spec, opts, &mut move || {
+        Box::new(WebExecutor::new(move || {
+            EggTimer::with_duration(duration)
+        }))
+    })
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[test]
+fn pausing_timer_satisfies_all_properties() {
+    let report = run_checks(&scaled_spec(15), 15, &options());
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.properties.len(), 3, "safety, liveness, timeUp");
+}
+
+#[test]
+fn resetting_timer_satisfies_the_same_spec() {
+    // §5.4: the specification "intentionally applies both to timers that
+    // reset when stopped and to timers that pause when stopped".
+    let spec = specstrom::load(&scaled_spec(15)).unwrap();
+    let report = check_spec(&spec, &options(), &mut || {
+        Box::new(WebExecutor::new(|| EggTimer::resetting_with_duration(15)))
+    })
+    .unwrap();
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn broken_timer_that_skips_seconds_fails_safety() {
+    /// An egg timer whose tick decrements by two — violates `ticking`.
+    #[derive(Debug)]
+    struct SkippingTimer(EggTimer);
+    impl webdom::App for SkippingTimer {
+        fn start(&mut self, ctx: &mut webdom::AppCtx<'_>) {
+            self.0.start(ctx);
+        }
+        fn view(&self) -> webdom::El {
+            self.0.view()
+        }
+        fn on_event(&mut self, msg: &str, p: &webdom::Payload, ctx: &mut webdom::AppCtx<'_>) {
+            self.0.on_event(msg, p, ctx);
+        }
+        fn on_timer(&mut self, tag: &str, ctx: &mut webdom::AppCtx<'_>) {
+            // Tick twice: time jumps by two seconds.
+            self.0.on_timer(tag, ctx);
+            self.0.on_timer(tag, ctx);
+        }
+    }
+
+    let spec = specstrom::load(&scaled_spec(15)).unwrap();
+    let report = check_spec(&spec, &options(), &mut || {
+        Box::new(WebExecutor::new(|| SkippingTimer(EggTimer::with_duration(15))))
+    })
+    .unwrap();
+    assert!(!report.passed(), "skipping timer must fail:\n{report}");
+    let failures = report.failures();
+    assert!(failures.contains(&"safety"), "failures: {failures:?}");
+}
+
+#[test]
+fn wrong_initial_time_fails_immediately() {
+    let report = run_checks(&scaled_spec(14), 15, &options().with_tests(1));
+    assert!(!report.passed());
+    let cx = report.properties[0].counterexample().unwrap();
+    assert_eq!(
+        cx.script.len(),
+        0,
+        "the initial state already refutes: {cx}"
+    );
+}
+
+#[test]
+fn shipped_fig8_spec_compiles_with_expected_structure() {
+    let spec = specstrom::load(quickstrom::specs::EGG_TIMER)
+        .unwrap_or_else(|e| panic!("{}", e.render(quickstrom::specs::EGG_TIMER)));
+    // Fig. 8: four actions/events …
+    assert_eq!(spec.actions.len(), 4);
+    assert!(spec.action("start!").is_some());
+    assert!(spec.action("stop!").is_some());
+    assert!(spec.action("wait!").unwrap().timeout_ms == Some(1100));
+    assert!(spec.action("tick?").unwrap().event);
+    // … two check commands, the second restricted (excluding stop!).
+    assert_eq!(spec.checks.len(), 2);
+    assert_eq!(spec.checks[0].properties, vec!["safety", "liveness"]);
+    assert_eq!(spec.checks[1].properties, vec!["timeUp"]);
+    assert_eq!(spec.checks[1].actions, vec!["start!", "wait!"]);
+    // Dependencies: exactly the two selectors of the UI.
+    let deps: Vec<&str> = spec.dependencies.iter().map(|s| s.as_str()).collect();
+    assert_eq!(deps, vec!["#remaining", "#toggle"]);
+}

@@ -1,0 +1,109 @@
+//! The §2.1 motivating example end-to-end: a menu that is never disabled
+//! forever passes `always eventually enabled` under QuickLTL demands, while
+//! a menu that wedges permanently is caught; and the RV-LTL reading (all
+//! demands zero) produces the spurious counterexample the paper criticises.
+
+use quickstrom::prelude::*;
+use quickstrom_apps::MenuApp;
+use webdom::{App, AppCtx, El, EventKind, Payload};
+
+fn options() -> CheckOptions {
+    CheckOptions::default()
+        .with_tests(10)
+        .with_max_actions(25)
+        .with_default_demand(20)
+        .with_seed(3)
+}
+
+#[test]
+fn healthy_menu_passes_with_demands() {
+    let spec = specstrom::load(quickstrom::specs::MENU).unwrap();
+    let report = check_spec(&spec, &options(), &mut || {
+        Box::new(WebExecutor::new(|| MenuApp::new(500)))
+    })
+    .unwrap();
+    assert!(report.passed(), "{report}");
+}
+
+/// A menu that never comes back after the first open.
+#[derive(Debug, Default)]
+struct WedgedMenu {
+    enabled: bool,
+    opened: bool,
+}
+
+impl App for WedgedMenu {
+    fn start(&mut self, _ctx: &mut AppCtx<'_>) {
+        self.enabled = true;
+    }
+    fn view(&self) -> El {
+        El::new("div").child(
+            El::new("button")
+                .id("menu")
+                .text("menu")
+                .disabled(!self.enabled)
+                .on(EventKind::Click, "open"),
+        )
+    }
+    fn on_event(&mut self, msg: &str, _p: &Payload, _ctx: &mut AppCtx<'_>) {
+        if msg == "open" && self.enabled {
+            self.enabled = false;
+            self.opened = true;
+            // No re-enable timer: disabled forever.
+        }
+    }
+    fn on_timer(&mut self, _t: &str, _c: &mut AppCtx<'_>) {}
+}
+
+#[test]
+fn wedged_menu_fails() {
+    let spec = specstrom::load(quickstrom::specs::MENU).unwrap();
+    let report = check_spec(&spec, &options(), &mut || {
+        Box::new(WebExecutor::new(WedgedMenu::default))
+    })
+    .unwrap();
+    assert!(!report.passed(), "{report}");
+    // A wedged menu can never be *definitively* refuted (liveness): the
+    // verdict is presumptive (§2: "no finite amount of testing will ever
+    // produce a complete counterexample").
+    let cx = report.properties[0].counterexample().unwrap();
+    assert_eq!(cx.verdict, Verdict::PresumablyFalse);
+}
+
+#[test]
+fn rv_ltl_reading_flags_the_healthy_menu() {
+    // The same property with all demands erased (RV-LTL, §5.5): a trace
+    // that happens to end during the busy window is presumably false.
+    let rv_spec = "\
+        let ~menuEnabled = `#menu`.enabled;\n\
+        action open! = click!(`#menu`) when menuEnabled;\n\
+        action wait! = noop! timeout 600;\n\
+        action woke? = changed?(`#menu`);\n\
+        let ~p = always[0] eventually[0] menuEnabled;\n\
+        check p;";
+    let spec = specstrom::load(rv_spec).unwrap();
+    // Seeds are scanned until one run ends right after an open! — with the
+    // menu momentarily disabled, RV-LTL's presumptive answer is false.
+    let mut spurious = false;
+    for seed in 0..20 {
+        let report = check_spec(
+            &spec,
+            &CheckOptions::default()
+                .with_tests(2)
+                .with_max_actions(3)
+                .with_default_demand(0)
+                .with_seed(seed)
+                .with_shrink(false),
+            &mut || Box::new(WebExecutor::new(|| MenuApp::new(500))),
+        )
+        .unwrap();
+        if !report.passed() {
+            spurious = true;
+            break;
+        }
+    }
+    assert!(
+        spurious,
+        "expected RV-LTL to produce a spurious counterexample on some seed"
+    );
+}

@@ -1,0 +1,98 @@
+//! Persistence testing through page reloads — the future work of §4.1
+//! ("We expect that this could be modelled by inserting page reloads as
+//! another possible action, and may expose further problems in the
+//! implementations' handling of local storage"), implemented as an
+//! extension.
+//!
+//! The `reload!` primitive rebuilds the application while preserving local
+//! storage; the specification requires the to-do list (texts *and*
+//! completion states) to survive, the pending input to clear, and the
+//! filter to return to "All".
+
+use quickstrom::prelude::*;
+use quickstrom_apps::todomvc::TodoMvc;
+
+const PERSISTENCE_SPEC: &str = r#"
+    let ~itemTexts = texts(`.todo-list li label`);
+    let ~completedCount = `.todo-list li.completed`.count;
+    let ~pendingText = `.new-todo`.value;
+    let ~notEditing = `.todo-list li.editing`.count == 0;
+
+    action typeNew!    = input!(`.new-todo`)             when notEditing;
+    action addNew!     = keypress!(`.new-todo`, "Enter") when notEditing;
+    action toggleItem! = click!(`.toggle:visible`)       when notEditing;
+    action reloadPage! = reload!                         when notEditing;
+
+    // Mutating transitions, kept deliberately loose — the persistence
+    // property is the point here.
+    let ~mutate =
+      nextW (typeNew! in happened || addNew! in happened || toggleItem! in happened);
+
+    // The reload transition: the whole list — texts and completion states —
+    // survives; the pending input does not; the filter resets to All (so
+    // every item is visible again).
+    let ~reloadStep {
+      let oldTexts = itemTexts;
+      let oldCompleted = completedCount;
+      nextW (reloadPage! in happened
+        && itemTexts == oldTexts
+        && completedCount == oldCompleted
+        && pendingText == ""
+        && `.filters a.selected`.text == "All")
+    };
+
+    let ~persistence =
+      loaded? in happened
+      && always (mutate || reloadStep);
+
+    check persistence with typeNew! addNew! toggleItem! reloadPage!;
+"#;
+
+fn options() -> CheckOptions {
+    CheckOptions::default()
+        .with_tests(25)
+        .with_max_actions(40)
+        .with_default_demand(30)
+        .with_seed(77)
+}
+
+fn run(app: impl Fn() -> TodoMvc + Clone + 'static) -> Report {
+    let spec = specstrom::load(PERSISTENCE_SPEC)
+        .unwrap_or_else(|e| panic!("{}", e.render(PERSISTENCE_SPEC)));
+    check_spec(&spec, &options(), &mut move || {
+        let app = app.clone();
+        Box::new(WebExecutor::new(app))
+    })
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[test]
+fn correct_todomvc_survives_reloads() {
+    let report = run(TodoMvc::correct);
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn forgotten_toggle_persistence_is_caught() {
+    let report = run(|| TodoMvc::correct().with_broken_toggle_persistence());
+    assert!(
+        !report.passed(),
+        "the unpersisted toggle must be exposed by a reload:\n{report}"
+    );
+    let cx = report.properties[0].counterexample().unwrap();
+    // The shrunk reproduction is: create an item, toggle it, reload.
+    let names: Vec<&str> = cx.script.iter().map(|a| a.name.as_str()).collect();
+    assert!(names.contains(&"toggleItem!"), "{names:?}");
+    assert!(names.contains(&"reloadPage!"), "{names:?}");
+}
+
+#[test]
+fn faulty_but_persistent_implementations_pass_this_spec() {
+    // A Table 2 fault that has nothing to do with storage (bad plural
+    // text) passes the persistence property: specifications are free to
+    // check one aspect at a time (§5.4 — "the engineer … is free to leave
+    // out details").
+    use quickstrom_apps::todomvc::Fault;
+    let report = run(|| TodoMvc::with_faults([Fault::BadPluralization]));
+    assert!(report.passed(), "{report}");
+}

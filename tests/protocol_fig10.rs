@@ -1,0 +1,166 @@
+//! Experiment E4: the checker/executor interaction of Figure 10, including
+//! the stale-Act rejection.
+//!
+//! The paper's sequence: the checker clicks (Acted), the application
+//! asynchronously changes (Event), the checker acknowledges by using the
+//! longer trace length, presses a key (Acted), the application changes
+//! again (Event) — but this time the checker's next request races the
+//! event and carries a stale version, so the executor ignores it.
+
+use quickstrom_executor::WebExecutor;
+use quickstrom_protocol::{
+    ActionInstance, ActionKind, CheckerMsg, Executor, ExecutorMsg, Key, Selector,
+};
+use webdom::{App, AppCtx, El, EventKind, Payload};
+
+/// An app that mutates `#async` via a 0ms timer after every interaction —
+/// the "application state is asynchronously changed" of Figure 10.
+#[derive(Default)]
+struct AsyncApp {
+    clicks: u32,
+    keys: u32,
+    async_updates: u32,
+}
+
+impl App for AsyncApp {
+    fn start(&mut self, _ctx: &mut AppCtx<'_>) {}
+
+    fn view(&self) -> El {
+        El::new("div").children([
+            El::new("button")
+                .id("button")
+                .text(self.clicks.to_string())
+                .on(EventKind::Click, "click"),
+            El::new("input")
+                .id("field")
+                .value(self.keys.to_string())
+                .on(EventKind::KeyDown, "key"),
+            El::new("span")
+                .id("async")
+                .text(self.async_updates.to_string()),
+        ])
+    }
+
+    fn on_event(&mut self, msg: &str, _payload: &Payload, ctx: &mut AppCtx<'_>) {
+        match msg {
+            "click" => {
+                self.clicks += 1;
+                ctx.clock.set_timeout("async", 0);
+            }
+            "key" => {
+                self.keys += 1;
+                ctx.clock.set_timeout("async", 0);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, tag: &str, _ctx: &mut AppCtx<'_>) {
+        if tag == "async" {
+            self.async_updates += 1;
+        }
+    }
+}
+
+fn deps() -> Vec<Selector> {
+    vec![
+        Selector::new("#button"),
+        Selector::new("#field"),
+        Selector::new("#async"),
+    ]
+}
+
+fn click(version: u64) -> CheckerMsg {
+    CheckerMsg::Act {
+        action: ActionInstance::targeted("click!", ActionKind::Click, "#button", 0),
+        version,
+    }
+}
+
+fn press_key(version: u64) -> CheckerMsg {
+    CheckerMsg::Act {
+        action: ActionInstance::targeted(
+            "pressKey!",
+            ActionKind::KeyPress(Key::Char('x')),
+            "#field",
+            0,
+        ),
+        version,
+    }
+}
+
+#[test]
+fn figure_10_message_sequence() {
+    let mut executor = WebExecutor::new(AsyncApp::default);
+
+    // Session start: the loaded? event is trace state 1.
+    let r0 = executor.send(CheckerMsg::Start {
+        dependencies: deps(),
+    });
+    assert_eq!(r0.len(), 1);
+    assert!(matches!(&r0[0], ExecutorMsg::Event { event, .. } if event == "loaded?"));
+
+    // Checker: Act click! (version 1). Executor: Acted ⟨state⟩.
+    let r1 = executor.send(click(1));
+    assert_eq!(r1.len(), 1);
+    assert!(r1[0].is_acted());
+    assert_eq!(r1[0].state().first(&"#button".into()).unwrap().text, "1");
+
+    // The application changes asynchronously: Event changed? ⟨state⟩ is
+    // delivered while the checker deliberates — here, attached to the next
+    // exchange. The checker acknowledges receipt by using trace length 3.
+    let r2 = executor.send(press_key(2));
+    assert_eq!(r2.len(), 1, "stale Act must be ignored: {r2:?}");
+    assert!(
+        matches!(&r2[0], ExecutorMsg::Event { event, .. } if event == "changed?"),
+        "{r2:?}"
+    );
+    assert_eq!(r2[0].state().first(&"#async".into()).unwrap().text, "1");
+
+    // Checker retries with the acknowledged version: Act pressKey! 3 →
+    // Acted ⟨state⟩.
+    let r3 = executor.send(press_key(3));
+    assert_eq!(r3.len(), 1);
+    assert!(r3[0].is_acted());
+    assert_eq!(r3[0].state().first(&"#field".into()).unwrap().value, "1");
+
+    // Again the app changes asynchronously; the checker's next request
+    // carries the out-of-date trace length 4 (the paper's "3, not 4"
+    // moment scaled by our loaded? state) and is ignored.
+    let r4 = executor.send(press_key(4));
+    assert_eq!(r4.len(), 1);
+    assert!(
+        matches!(&r4[0], ExecutorMsg::Event { event, .. } if event == "changed?"),
+        "the stale pressKey! must produce no Acted: {r4:?}"
+    );
+    assert_eq!(r4[0].state().first(&"#async".into()).unwrap().text, "2");
+
+    // With the right version the action goes through.
+    let r5 = executor.send(press_key(5));
+    assert!(r5[0].is_acted());
+    assert_eq!(r5[0].state().first(&"#field".into()).unwrap().value, "2");
+}
+
+#[test]
+fn wait_requests_are_version_checked_too() {
+    let mut executor = WebExecutor::new(AsyncApp::default);
+    executor.send(CheckerMsg::Start {
+        dependencies: deps(),
+    });
+    executor.send(click(1));
+    // A Wait with a stale version is ignored; the pending changed? event is
+    // delivered instead.
+    let r = executor.send(CheckerMsg::Wait {
+        time_ms: 500,
+        version: 1,
+    });
+    assert_eq!(r.len(), 1);
+    assert!(matches!(&r[0], ExecutorMsg::Event { event, .. } if event == "changed?"));
+    // A fresh Wait times out (no pending async work).
+    let r2 = executor.send(CheckerMsg::Wait {
+        time_ms: 500,
+        version: 3,
+    });
+    assert_eq!(r2.len(), 1);
+    assert!(matches!(&r2[0], ExecutorMsg::Timeout { .. }));
+}

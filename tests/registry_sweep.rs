@@ -1,0 +1,58 @@
+//! A fast slice of experiment E1: a sample of the Table 1 registry checked
+//! end to end, asserting agreement with the paper's verdicts. The full
+//! 43-implementation sweep lives in `evalharness table1`.
+
+use quickstrom::prelude::*;
+use quickstrom::quickstrom_apps::registry;
+
+fn options() -> CheckOptions {
+    CheckOptions::default()
+        .with_tests(40)
+        .with_max_actions(60)
+        .with_default_demand(50)
+        .with_seed(20220322)
+        .with_shrink(false)
+}
+
+fn check(name: &str) -> bool {
+    let entry = registry::by_name(name).unwrap_or_else(|| panic!("unknown {name}"));
+    let spec = specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
+    let report = check_spec(&spec, &options(), &mut move || {
+        Box::new(WebExecutor::new(|| entry.build()))
+    })
+    .expect("no protocol errors");
+    report.passed()
+}
+
+#[test]
+fn a_sample_of_passing_implementations_pass() {
+    for name in ["vue", "react", "elm-like-binding-scala", "backbone", "kotlin-react"] {
+        let name = if name == "elm-like-binding-scala" {
+            "binding-scala"
+        } else {
+            name
+        };
+        assert!(check(name), "{name} should pass");
+    }
+}
+
+#[test]
+fn a_sample_of_failing_implementations_fail() {
+    for name in ["vanillajs", "elm", "jquery", "polymer", "dijon"] {
+        assert!(!check(name), "{name} should fail");
+    }
+}
+
+#[test]
+fn the_registry_has_the_table1_shape() {
+    use quickstrom::quickstrom_apps::registry::{Maturity, REGISTRY};
+    assert_eq!(REGISTRY.len(), 43);
+    let (passing, failing): (Vec<_>, Vec<_>) =
+        REGISTRY.iter().partition(|e| !e.expected_to_fail());
+    assert_eq!((passing.len(), failing.len()), (23, 20));
+    let beta = |es: &[&registry::Entry]| {
+        es.iter().filter(|e| e.maturity == Maturity::Beta).count()
+    };
+    assert_eq!(beta(&passing), 9);
+    assert_eq!(beta(&failing), 8);
+}

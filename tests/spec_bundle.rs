@@ -1,0 +1,102 @@
+//! The bundled Specstrom specifications compile with the expected shape:
+//! actions, events, checks, and instrumented selectors. Guards against
+//! silent drift between the spec files and the systems they describe.
+
+use quickstrom::prelude::*;
+use quickstrom::specstrom;
+
+#[test]
+fn todomvc_spec_structure() {
+    let spec = specstrom::load(quickstrom::specs::TODOMVC)
+        .unwrap_or_else(|e| panic!("{}", e.render(quickstrom::specs::TODOMVC)));
+    // Twelve user actions, no declared events (the correct app is fully
+    // synchronous; async faults surface as unexpected changed? states).
+    assert_eq!(spec.actions.len(), 12);
+    assert!(spec.actions.values().all(|a| !a.event));
+    // One check command over the single safety property, unrestricted.
+    assert_eq!(spec.checks.len(), 1);
+    assert_eq!(spec.checks[0].properties, vec!["safety"]);
+    assert_eq!(spec.checks[0].actions.len(), 12);
+    // The dependency analysis finds every selector the views render.
+    let deps: Vec<&str> = spec.dependencies.iter().map(Selector::as_str).collect();
+    for expected in [
+        ".clear-completed:visible",
+        ".edit",
+        ".edit:focus",
+        ".filters",
+        ".filters a.selected",
+        ".filters a:visible",
+        ".footer:visible",
+        ".new-todo",
+        ".todo-count",
+        ".todo-count strong",
+        ".todo-list li",
+        ".todo-list li label",
+        ".todo-list li label:visible",
+        ".todo-list li.completed",
+        ".todo-list li.editing",
+        ".toggle",
+        ".toggle-all:visible",
+        ".toggle:visible",
+        ".destroy:visible",
+    ] {
+        assert!(deps.contains(&expected), "missing dependency {expected}: {deps:?}");
+    }
+}
+
+#[test]
+fn all_bundled_specs_compile() {
+    for (name, src) in [
+        ("todomvc", quickstrom::specs::TODOMVC),
+        ("egg_timer", quickstrom::specs::EGG_TIMER),
+        ("counter", quickstrom::specs::COUNTER),
+        ("menu", quickstrom::specs::MENU),
+    ] {
+        let spec = specstrom::load(src)
+            .unwrap_or_else(|e| panic!("{name}: {}", e.render(src)));
+        assert!(!spec.checks.is_empty(), "{name} has no check commands");
+        for check in &spec.checks {
+            for property in &check.properties {
+                assert!(
+                    spec.property_thunk(property).is_some(),
+                    "{name}: property {property} unresolvable"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bundled_specs_survive_the_pretty_printer() {
+    // Print → re-parse → re-compile: formatted specifications stay valid.
+    for src in [
+        quickstrom::specs::TODOMVC,
+        quickstrom::specs::EGG_TIMER,
+        quickstrom::specs::COUNTER,
+        quickstrom::specs::MENU,
+    ] {
+        let parsed = specstrom::parse_spec(src).unwrap();
+        let printed = specstrom::pretty_spec(&parsed);
+        let compiled = specstrom::load(&printed)
+            .unwrap_or_else(|e| panic!("{}\n--\n{printed}", e.render(&printed)));
+        let original = specstrom::load(src).unwrap();
+        assert_eq!(compiled.dependencies, original.dependencies);
+        assert_eq!(
+            compiled.actions.keys().collect::<Vec<_>>(),
+            original.actions.keys().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn menu_spec_declares_the_event() {
+    let spec = specstrom::load(quickstrom::specs::MENU).unwrap();
+    let woke = spec.action("woke?").expect("woke? declared");
+    assert!(woke.event);
+    assert_eq!(
+        woke.selector.as_ref().map(Selector::as_str),
+        Some("#menu")
+    );
+    let wait = spec.action("wait!").expect("wait! declared");
+    assert_eq!(wait.timeout_ms, Some(600));
+}
