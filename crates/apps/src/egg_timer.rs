@@ -146,10 +146,7 @@ mod tests {
 
     fn drive(app: &mut EggTimer, clock: &mut VirtualClock, storage: &mut LocalStorage, ms: u64) {
         for (_, tag) in clock.advance(ms) {
-            let mut ctx = AppCtx {
-                clock,
-                storage,
-            };
+            let mut ctx = AppCtx { clock, storage };
             app.on_timer(&tag, &mut ctx);
         }
     }

@@ -126,7 +126,11 @@ pub const REGISTRY: &[Entry] = &[
     ),
     failing("canjs", Maturity::Mature, &[Fault::AddResetsFilter]),
     failing("elm", Maturity::Mature, &[Fault::PendingCleared]),
-    failing("jquery", Maturity::Mature, &[Fault::ToggleAllHiddenByFilter]),
+    failing(
+        "jquery",
+        Maturity::Mature,
+        &[Fault::ToggleAllHiddenByFilter],
+    ),
     failing("knockoutjs_require", Maturity::Mature, &[Fault::NoFilters]),
     failing("mithril", Maturity::Mature, &[Fault::BlankItemsAllowed]),
     failing("polymer", Maturity::Mature, &[Fault::BadPluralization]),

@@ -292,7 +292,8 @@ impl TodoMvc {
         self.todos = raw
             .lines()
             .filter_map(|line| {
-                let (flag, rest) = line.split_at(line.char_indices().nth(1).map_or(line.len(), |(i, _)| i));
+                let (flag, rest) =
+                    line.split_at(line.char_indices().nth(1).map_or(line.len(), |(i, _)| i));
                 let completed = flag == "1";
                 let text = rest.replace("\\n", "\n").replace("\\\\", "\\");
                 if flag.is_empty() {
@@ -359,8 +360,13 @@ impl App for TodoMvc {
         let visible: Vec<usize> = if self.flash_empty {
             Vec::new()
         } else if self.has(Fault::EditingHidesOthers) && self.editing.is_some() {
-            // Fault 12: only the edited item is shown.
-            self.editing.into_iter().collect()
+            // Fault 12: only the edited item is shown. Every mutation
+            // re-seats or clears `editing`, so the filter is a defensive
+            // backstop: rendering must never panic on a stale index.
+            self.editing
+                .into_iter()
+                .filter(|&i| i < self.todos.len())
+                .collect()
         } else {
             self.visible_indices()
         };
@@ -443,23 +449,21 @@ impl App for TodoMvc {
             .hidden_if(self.todos.is_empty() && self.zombies.is_empty())
             .child(count_span);
         if !self.has(Fault::NoFilters) {
-            footer = footer.child(
-                El::new("ul").class("filters").children([
-                    filter_link("All", "#/", self.filter == Filter::All, "filter:all"),
-                    filter_link(
-                        "Active",
-                        "#/active",
-                        self.filter == Filter::Active,
-                        "filter:active",
-                    ),
-                    filter_link(
-                        "Completed",
-                        "#/completed",
-                        self.filter == Filter::Completed,
-                        "filter:completed",
-                    ),
-                ]),
-            );
+            footer = footer.child(El::new("ul").class("filters").children([
+                filter_link("All", "#/", self.filter == Filter::All, "filter:all"),
+                filter_link(
+                    "Active",
+                    "#/active",
+                    self.filter == Filter::Active,
+                    "filter:active",
+                ),
+                filter_link(
+                    "Completed",
+                    "#/completed",
+                    self.filter == Filter::Completed,
+                    "filter:completed",
+                ),
+            ]));
         }
         if self.todos.iter().any(|t| t.completed) {
             footer = footer.child(
@@ -511,9 +515,11 @@ impl App for TodoMvc {
             root = El::new("div").child(root);
         }
         if self.variation.info_footer {
-            root = El::new("div")
-                .child(root)
-                .child(El::new("footer").class("info").text("Double-click to edit a todo"));
+            root = El::new("div").child(root).child(
+                El::new("footer")
+                    .class("info")
+                    .text("Double-click to edit a todo"),
+            );
         }
         root
     }
@@ -558,8 +564,7 @@ impl App for TodoMvc {
                     // Fault 11's visible half: zombies come back.
                     self.todos.append(&mut self.zombies);
                 }
-                let target =
-                    self.todos.is_empty() || !self.todos.iter().all(|t| t.completed);
+                let target = self.todos.is_empty() || !self.todos.iter().all(|t| t.completed);
                 if self.has(Fault::ToggleAllIgnoresHidden) && !target {
                     // Fault 9: untoggling only touches visible items.
                     let visible = self.visible_indices();
@@ -575,6 +580,17 @@ impl App for TodoMvc {
             }
             "clear-completed" => {
                 self.maybe_commit_pending(ctx);
+                // Re-seat the editing index across the removal, as
+                // `destroy:` does — an edited completed item stops being
+                // edited, an edited active item keeps its (shifted) slot.
+                if let Some(e) = self.editing {
+                    self.editing = match self.todos.get(e) {
+                        Some(t) if !t.completed => {
+                            Some(self.todos[..e].iter().filter(|t| !t.completed).count())
+                        }
+                        _ => None,
+                    };
+                }
                 self.todos.retain(|t| !t.completed);
                 self.persist(ctx);
             }
@@ -938,7 +954,11 @@ mod tests {
         h.send("toggle:1", Payload::None);
         h.send("clear-completed", Payload::None);
         assert_eq!(
-            h.app.todos().iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            h.app
+                .todos()
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
             vec!["a", "c"]
         );
         h.send("destroy:0", Payload::None);

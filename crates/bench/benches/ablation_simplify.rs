@@ -29,16 +29,12 @@ fn run(mode: SimplifyMode, states: usize) {
 fn bench_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_simplify");
     for states in [50usize, 200] {
-        group.bench_with_input(
-            BenchmarkId::new("full", states),
-            &states,
-            |b, &s| b.iter(|| run(SimplifyMode::Full, s)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("no_dedup", states),
-            &states,
-            |b, &s| b.iter(|| run(SimplifyMode::NoDedup, s)),
-        );
+        group.bench_with_input(BenchmarkId::new("full", states), &states, |b, &s| {
+            b.iter(|| run(SimplifyMode::Full, s))
+        });
+        group.bench_with_input(BenchmarkId::new("no_dedup", states), &states, |b, &s| {
+            b.iter(|| run(SimplifyMode::NoDedup, s))
+        });
     }
     group.finish();
 }

@@ -25,7 +25,9 @@ fn main() {
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let sessions: usize = flag("--sessions").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let sessions: usize = flag("--sessions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
     let runs: usize = flag("--runs").and_then(|v| v.parse().ok()).unwrap_or(3);
     let tests: usize = flag("--tests").and_then(|v| v.parse().ok()).unwrap_or(100);
     let csv = flag("--csv");
@@ -115,8 +117,7 @@ fn table1_and_2(tests: usize, with_table2: bool) {
             }
             line.push_str(r.name);
             if !r.fault_numbers.is_empty() && !r.passed {
-                let nums: Vec<String> =
-                    r.fault_numbers.iter().map(ToString::to_string).collect();
+                let nums: Vec<String> = r.fault_numbers.iter().map(ToString::to_string).collect();
                 let _ = write!(line, "^{}", nums.join(","));
             }
         }
@@ -170,9 +171,7 @@ fn table1_and_2(tests: usize, with_table2: bool) {
 /// The Figure 13 sweep: false-negative rate and running time vs subscript.
 fn figure13(sessions: usize, runs: usize, csv: Option<&str>) {
     println!("═══ Figure 13: false negative rate and running time vs subscript ═══");
-    println!(
-        "    ({sessions} sessions × {runs} runs per faulty implementation and subscript)"
-    );
+    println!("    ({sessions} sessions × {runs} runs per faulty implementation and subscript)");
     let subscripts = [10u32, 25, 50, 100, 200, 300, 400, 500];
     println!(
         "  {:>9}  {:>14}  {:>16}  {:>18}",
@@ -299,7 +298,7 @@ fn ablation_simplify() {
 /// paper's "involved" faults.
 fn ablation_strategy() {
     use quickstrom::quickstrom_apps::todomvc::{Fault, TodoMvc};
-    
+
     println!("═══ Ablation A4: action selection strategy (§5.1 future work) ═══");
     println!("    (mean runs until first failure over 20 seeds; cap 200 runs)");
     let spec = quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
@@ -313,7 +312,10 @@ fn ablation_strategy() {
         Fault::PendingCleared,
     ] {
         let mut means = Vec::new();
-        for strategy in [SelectionStrategy::UniformRandom, SelectionStrategy::LeastTried] {
+        for strategy in [
+            SelectionStrategy::UniformRandom,
+            SelectionStrategy::LeastTried,
+        ] {
             let mut total_runs = 0usize;
             let seeds = 20u64;
             for seed in 0..seeds {

@@ -46,7 +46,8 @@ impl ImplResult {
 /// failure.
 #[must_use]
 pub fn check_entry(entry: &'static Entry, options: &CheckOptions) -> ImplResult {
-    let spec = quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("bundled spec compiles");
+    let spec =
+        quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("bundled spec compiles");
     let started = Instant::now();
     let report = check_spec(&spec, options, &mut || {
         Box::new(WebExecutor::new(|| entry.build()))
@@ -168,7 +169,6 @@ pub fn fault_description(number: u8) -> &'static str {
 mod tests {
     use super::*;
     use quickstrom::quickstrom_apps::registry;
-    
 
     fn quick_options() -> CheckOptions {
         CheckOptions::default()
@@ -189,10 +189,7 @@ mod tests {
 
     #[test]
     fn failing_entry_is_flagged() {
-        let result = check_entry(
-            registry::by_name("elm").unwrap(),
-            &quick_options(),
-        );
+        let result = check_entry(registry::by_name("elm").unwrap(), &quick_options());
         assert!(!result.passed);
         assert!(result.agrees_with_paper());
         assert_eq!(result.fault_numbers, vec![7]);

@@ -177,8 +177,7 @@ mod tests {
     use quickstrom_protocol::ActionInstance;
 
     fn vending() -> CcsExecutor {
-        let (defs, main) =
-            parse_definitions("Vend = coin.(tea.Vend + coffee.Vend);").unwrap();
+        let (defs, main) = parse_definitions("Vend = coin.(tea.Vend + coffee.Vend);").unwrap();
         CcsExecutor::new(defs, Process::Const(main))
     }
 
@@ -239,8 +238,7 @@ mod tests {
     fn tau_steps_are_absorbed() {
         // (a.'b.0 | b.c.0) \ {b}: after `a`, the b-communication is a τ
         // that fires automatically, enabling `c`.
-        let (defs, main) =
-            parse_definitions("Sys = (a.'b.0 | b.c.0) \\ {b};").unwrap();
+        let (defs, main) = parse_definitions("Sys = (a.'b.0 | b.c.0) \\ {b};").unwrap();
         let mut e = CcsExecutor::new(defs, Process::Const(main));
         e.send(CheckerMsg::Start {
             dependencies: vec![Selector::new(".act-a"), Selector::new(".act-c")],

@@ -32,7 +32,11 @@ pub struct ParseCcsError {
 
 impl fmt::Display for ParseCcsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CCS parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "CCS parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -255,9 +259,7 @@ pub fn parse_definitions(src: &str) -> Result<(Definitions, String), ParseCcsErr
     while !parser.at_end() {
         let name = parser.ident()?;
         if !name.chars().next().is_some_and(char::is_uppercase) {
-            return Err(parser.error(format!(
-                "process constants start uppercase, got {name}"
-            )));
+            return Err(parser.error(format!("process constants start uppercase, got {name}")));
         }
         parser.expect('=')?;
         let body = parser.sum()?;
@@ -309,10 +311,9 @@ mod tests {
 
     #[test]
     fn definitions_with_comments() {
-        let (defs, main) = parse_definitions(
-            "// the classic machine\nVend = coin.(tea.Vend + coffee.Vend);",
-        )
-        .unwrap();
+        let (defs, main) =
+            parse_definitions("// the classic machine\nVend = coin.(tea.Vend + coffee.Vend);")
+                .unwrap();
         assert_eq!(main, "Vend");
         assert!(defs.get("Vend").is_some());
     }

@@ -225,10 +225,7 @@ mod tests {
     #[test]
     fn vending_machine_walk() {
         // Milner's classic vending machine.
-        let (defs, _) = parse_definitions(
-            "Vend = coin.(tea.Vend + coffee.Vend);",
-        )
-        .unwrap();
+        let (defs, _) = parse_definitions("Vend = coin.(tea.Vend + coffee.Vend);").unwrap();
         let start = Process::Const("Vend".into());
         let after_coin = &transitions(&start, &defs).unwrap()[0];
         assert_eq!(after_coin.0, Action::In("coin".into()));

@@ -249,12 +249,12 @@ mod tests {
     fn definitions_roundtrip() {
         let mut defs = Definitions::new();
         assert!(defs.is_empty());
-        defs.define("Clock", Process::prefix(Action::Out("tick".into()), Process::Const("Clock".into())));
-        assert_eq!(defs.len(), 1);
-        assert_eq!(
-            defs.get("Clock").unwrap().to_string(),
-            "'tick.Clock"
+        defs.define(
+            "Clock",
+            Process::prefix(Action::Out("tick".into()), Process::Const("Clock".into())),
         );
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs.get("Clock").unwrap().to_string(), "'tick.Clock");
         assert!(defs.get("Nope").is_none());
     }
 }

@@ -62,7 +62,10 @@ impl From<specstrom::EvalError> for CheckError {
 #[allow(clippy::large_enum_variant)] // StdRng is big; sources are stack-local
 enum ActionSource<'a> {
     Random(StdRng),
-    Script { actions: &'a [ActionInstance], pos: usize },
+    Script {
+        actions: &'a [ActionInstance],
+        pos: usize,
+    },
 }
 
 /// The text pool for generated inputs. Includes the empty string and
@@ -156,9 +159,7 @@ impl<'a> Run<'a> {
     /// actions that occurred immediately prior to the current state").
     fn happened_for(&self, msg: &ExecutorMsg, action: Option<&ActionInstance>) -> Vec<String> {
         match msg {
-            ExecutorMsg::Acted { .. } => {
-                action.map(|a| vec![a.name.clone()]).unwrap_or_default()
-            }
+            ExecutorMsg::Acted { .. } => action.map(|a| vec![a.name.clone()]).unwrap_or_default(),
             ExecutorMsg::Timeout { .. } => vec!["timeout?".to_owned()],
             ExecutorMsg::Event { event, detail, .. } => {
                 if event == "loaded?" {
@@ -237,7 +238,10 @@ impl<'a> Run<'a> {
     }
 
     /// Every enabled action instance at the current state.
-    fn enabled_instances(&self, rng: &mut Option<&mut StdRng>) -> Result<Vec<ActionInstance>, CheckError> {
+    fn enabled_instances(
+        &self,
+        rng: &mut Option<&mut StdRng>,
+    ) -> Result<Vec<ActionInstance>, CheckError> {
         let state = self.last_state.as_ref().expect("state after start");
         let ctx = EvalCtx::with_state(state, self.options.default_demand);
         let mut out = Vec::new();
@@ -334,9 +338,8 @@ impl<'a> Run<'a> {
                         .map(|c| self.action_counts.get(&c.name).copied().unwrap_or(0))
                         .min()
                         .expect("nonempty");
-                    candidates.retain(|c| {
-                        self.action_counts.get(&c.name).copied().unwrap_or(0) == min
-                    });
+                    candidates
+                        .retain(|c| self.action_counts.get(&c.name).copied().unwrap_or(0) == min);
                 }
                 let i = rng.gen_range(0..candidates.len());
                 Ok(Some(candidates[i].clone()))
@@ -448,7 +451,10 @@ impl<'a> Run<'a> {
             // Event-associated timeouts first (§3.4, Wait).
             if let Some(t) = self.pending_wait.take() {
                 let version = self.trace.len() as u64;
-                let replies = executor.send(CheckerMsg::Wait { time_ms: t, version });
+                let replies = executor.send(CheckerMsg::Wait {
+                    time_ms: t,
+                    version,
+                });
                 for msg in &replies {
                     self.ingest(msg, None)?;
                 }
@@ -545,10 +551,7 @@ fn shrink(
             candidate.drain(i..end);
             match replay(spec, check, property, options, make_executor, &candidate)? {
                 RunOutcome::Result(RunResult::Failed(cx)) => {
-                    failing = Counterexample {
-                        shrunk: true,
-                        ..cx
-                    };
+                    failing = Counterexample { shrunk: true, ..cx };
                     improved = true;
                     // Retry at the same index: the next chunk shifted left.
                 }
@@ -594,9 +597,9 @@ pub fn check_property(
     options: &CheckOptions,
     make_executor: &mut dyn FnMut() -> Box<dyn Executor>,
 ) -> Result<PropertyReport, CheckError> {
-    let property = spec.property_thunk(property_name).ok_or_else(|| {
-        CheckError::new(format!("unknown property `{property_name}`"))
-    })?;
+    let property = spec
+        .property_thunk(property_name)
+        .ok_or_else(|| CheckError::new(format!("unknown property `{property_name}`")))?;
     let mut runs = Vec::new();
     let mut states_total = 0;
     let mut actions_total = 0;

@@ -2,11 +2,11 @@
 //! (a shrunk counterexample still fails and is no larger), stop-at-first-
 //! failure, and verdict classification.
 
+use quickstrom_apps::todomvc::{Fault, TodoMvc};
+use quickstrom_apps::Counter;
 use quickstrom_checker::{check_property, check_spec, CheckOptions, RunResult};
 use quickstrom_executor::WebExecutor;
 use quickstrom_protocol::Executor;
-use quickstrom_apps::todomvc::{Fault, TodoMvc};
-use quickstrom_apps::Counter;
 
 const COUNTER_SPEC: &str = r#"
     let ~count = parseInt(`#count`.text);

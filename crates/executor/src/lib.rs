@@ -27,9 +27,7 @@ use quickstrom_protocol::{
     ActionInstance, ActionKind, CheckerMsg, ElementState, Executor, ExecutorMsg, Key, Selector,
     StateSnapshot,
 };
-use webdom::{
-    App, AppCtx, Document, EventKind, LocalStorage, Payload, SelectorExpr, VirtualClock,
-};
+use webdom::{App, AppCtx, Document, EventKind, LocalStorage, Payload, SelectorExpr, VirtualClock};
 
 /// Configuration for a [`WebExecutor`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -283,9 +281,8 @@ impl<A: App> Executor for WebExecutor<A> {
                 self.dependencies = dependencies
                     .into_iter()
                     .map(|sel| {
-                        let expr = SelectorExpr::parse(sel.as_str()).unwrap_or_else(|e| {
-                            panic!("invalid dependency selector {sel}: {e}")
-                        });
+                        let expr = SelectorExpr::parse(sel.as_str())
+                            .unwrap_or_else(|e| panic!("invalid dependency selector {sel}: {e}"));
                         (sel, expr)
                     })
                     .collect();

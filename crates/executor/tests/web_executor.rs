@@ -164,8 +164,7 @@ fn wait_times_out_without_observable_change() {
 fn act_with_timeout_waits_for_event() {
     let mut e = exec();
     start_deps(&mut e, &["#count", "#echo"]);
-    let action =
-        ActionInstance::targeted("inc!", ActionKind::Click, "#inc", 0).with_timeout(100);
+    let action = ActionInstance::targeted("inc!", ActionKind::Click, "#inc", 0).with_timeout(100);
     let replies = e.send(CheckerMsg::Act { action, version: 1 });
     // Acted (count=1) then the echo event (echo=1).
     assert_eq!(replies.len(), 2);
@@ -268,12 +267,7 @@ fn input_and_keypress_route_payloads() {
     });
     assert_eq!(r[0].state().first(&"#field".into()).unwrap().value, "hello");
     let r2 = e.send(CheckerMsg::Act {
-        action: ActionInstance::targeted(
-            "submit!",
-            ActionKind::KeyPress(Key::Enter),
-            "#field",
-            0,
-        ),
+        action: ActionInstance::targeted("submit!", ActionKind::KeyPress(Key::Enter), "#field", 0),
         version: 2,
     });
     assert_eq!(r2[0].state().first(&"#status".into()).unwrap().text, "sent");
@@ -300,7 +294,11 @@ fn reload_preserves_storage_but_resets_the_app() {
                 El::new("span").id("count").text(self.count.to_string()),
                 El::new("span")
                     .id("from-storage")
-                    .text(if self.loaded_from_storage { "yes" } else { "no" }),
+                    .text(if self.loaded_from_storage {
+                        "yes"
+                    } else {
+                        "no"
+                    }),
             ])
         }
         fn on_event(&mut self, msg: &str, _p: &Payload, ctx: &mut AppCtx<'_>) {

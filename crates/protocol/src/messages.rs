@@ -238,12 +238,8 @@ mod tests {
             0,
         );
         assert_eq!(b.to_string(), "type! @ `.new-todo`[0] \"milk\"");
-        let c = ActionInstance::targeted(
-            "commit!",
-            ActionKind::KeyPress(Key::Enter),
-            ".new-todo",
-            0,
-        );
+        let c =
+            ActionInstance::targeted("commit!", ActionKind::KeyPress(Key::Enter), ".new-todo", 0);
         assert_eq!(c.to_string(), "commit! @ `.new-todo`[0] <Enter>");
     }
 

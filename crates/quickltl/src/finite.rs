@@ -33,12 +33,7 @@ use crate::verdict::Outcome;
 /// assert!(fltl(&f, &["", "p"], 0, &holds));
 /// assert!(!fltl(&f, &["", ""], 0, &holds));
 /// ```
-pub fn fltl<P, S>(
-    f: &Formula<P>,
-    trace: &[S],
-    pos: usize,
-    eval: &impl Fn(&P, &S) -> bool,
-) -> bool {
+pub fn fltl<P, S>(f: &Formula<P>, trace: &[S], pos: usize, eval: &impl Fn(&P, &S) -> bool) -> bool {
     if pos >= trace.len() {
         return false;
     }
@@ -49,24 +44,16 @@ pub fn fltl<P, S>(
         Formula::Not(inner) => !fltl(inner, trace, pos, eval),
         Formula::And(l, r) => fltl(l, trace, pos, eval) && fltl(r, trace, pos, eval),
         Formula::Or(l, r) => fltl(l, trace, pos, eval) || fltl(r, trace, pos, eval),
-        Formula::WeakNext(inner) => {
-            pos + 1 >= trace.len() || fltl(inner, trace, pos + 1, eval)
-        }
+        Formula::WeakNext(inner) => pos + 1 >= trace.len() || fltl(inner, trace, pos + 1, eval),
         Formula::StrongNext(inner) | Formula::Next(inner) => {
             pos + 1 < trace.len() && fltl(inner, trace, pos + 1, eval)
         }
-        Formula::Always(_, inner) => {
-            (pos..trace.len()).all(|i| fltl(inner, trace, i, eval))
-        }
-        Formula::Eventually(_, inner) => {
-            (pos..trace.len()).any(|i| fltl(inner, trace, i, eval))
-        }
-        Formula::Until(_, l, r) => (pos..trace.len()).any(|i| {
-            fltl(r, trace, i, eval) && (pos..i).all(|j| fltl(l, trace, j, eval))
-        }),
-        Formula::Release(_, l, r) => (pos..trace.len()).all(|i| {
-            fltl(r, trace, i, eval) || (pos..i).any(|j| fltl(l, trace, j, eval))
-        }),
+        Formula::Always(_, inner) => (pos..trace.len()).all(|i| fltl(inner, trace, i, eval)),
+        Formula::Eventually(_, inner) => (pos..trace.len()).any(|i| fltl(inner, trace, i, eval)),
+        Formula::Until(_, l, r) => (pos..trace.len())
+            .any(|i| fltl(r, trace, i, eval) && (pos..i).all(|j| fltl(l, trace, j, eval))),
+        Formula::Release(_, l, r) => (pos..trace.len())
+            .all(|i| fltl(r, trace, i, eval) || (pos..i).any(|j| fltl(l, trace, j, eval))),
     }
 }
 
@@ -90,11 +77,7 @@ pub fn fltl<P, S>(
 /// let outcome = rv_ltl(f, &trace, &mut |p, s: &&str| s.contains(*p));
 /// assert_eq!(outcome, Outcome::Verdict(Verdict::PresumablyFalse));
 /// ```
-pub fn rv_ltl<P, S>(
-    f: Formula<P>,
-    trace: &[S],
-    eval: &mut impl FnMut(&P, &S) -> bool,
-) -> Outcome
+pub fn rv_ltl<P, S>(f: Formula<P>, trace: &[S], eval: &mut impl FnMut(&P, &S) -> bool) -> Outcome
 where
     P: Clone + PartialEq,
 {

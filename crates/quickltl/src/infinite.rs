@@ -120,17 +120,16 @@ impl<S> Lasso<S> {
 /// which coincides with the classical Figure 2 semantics on the unrolled
 /// infinite trace. All three next operators coincide on infinite traces —
 /// there is always a next state.
-fn eval_all<P, S>(
-    f: &Formula<P>,
-    lasso: &Lasso<S>,
-    eval: &impl Fn(&P, &S) -> bool,
-) -> Vec<bool> {
+fn eval_all<P, S>(f: &Formula<P>, lasso: &Lasso<S>, eval: &impl Fn(&P, &S) -> bool) -> Vec<bool> {
     let n = lasso.positions();
     match f {
         Formula::Top => vec![true; n],
         Formula::Bottom => vec![false; n],
         Formula::Atom(p) => (0..n).map(|i| eval(p, lasso.state(i))).collect(),
-        Formula::Not(inner) => eval_all(inner, lasso, eval).into_iter().map(|b| !b).collect(),
+        Formula::Not(inner) => eval_all(inner, lasso, eval)
+            .into_iter()
+            .map(|b| !b)
+            .collect(),
         Formula::And(l, r) => {
             let lv = eval_all(l, lasso, eval);
             let rv = eval_all(r, lasso, eval);
@@ -177,11 +176,7 @@ fn gfp<S>(lasso: &Lasso<S>, f: impl Fn(&[bool], usize) -> bool) -> Vec<bool> {
     fixpoint(lasso, true, f)
 }
 
-fn fixpoint<S>(
-    lasso: &Lasso<S>,
-    init: bool,
-    f: impl Fn(&[bool], usize) -> bool,
-) -> Vec<bool> {
+fn fixpoint<S>(lasso: &Lasso<S>, init: bool, f: impl Fn(&[bool], usize) -> bool) -> Vec<bool> {
     let n = lasso.positions();
     let mut v = vec![init; n];
     // Each sweep is monotone (towards the fixpoint) and flips at least one
@@ -265,8 +260,16 @@ mod tests {
 
     #[test]
     fn eventually_on_cycles() {
-        assert!(sat(&F::eventually(0u32, F::atom('p')), vec![""], vec!["", "p"]));
-        assert!(!sat(&F::eventually(0u32, F::atom('p')), vec!["", ""], vec![""]));
+        assert!(sat(
+            &F::eventually(0u32, F::atom('p')),
+            vec![""],
+            vec!["", "p"]
+        ));
+        assert!(!sat(
+            &F::eventually(0u32, F::atom('p')),
+            vec!["", ""],
+            vec![""]
+        ));
         // Only in the stem: still satisfied at position 0.
         assert!(sat(&F::eventually(0u32, F::atom('p')), vec!["p"], vec![""]));
     }
@@ -325,10 +328,7 @@ mod tests {
             (F::atom('p').next(), F::atom('p').strong_next()),
         ] {
             for (stem, cycle) in [(vec!["", "p"], vec![""]), (vec![], vec!["", "p"])] {
-                assert_eq!(
-                    sat(&f, stem.clone(), cycle.clone()),
-                    sat(&g, stem, cycle)
-                );
+                assert_eq!(sat(&f, stem.clone(), cycle.clone()), sat(&g, stem, cycle));
             }
         }
     }

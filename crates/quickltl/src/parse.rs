@@ -411,7 +411,10 @@ mod tests {
     fn implication_desugars() {
         assert_eq!(parse("a -> b").unwrap(), parse("!a || b").unwrap());
         // Right associative.
-        assert_eq!(parse("a -> b -> c").unwrap(), parse("!a || (!b || c)").unwrap());
+        assert_eq!(
+            parse("a -> b -> c").unwrap(),
+            parse("!a || (!b || c)").unwrap()
+        );
     }
 
     #[test]

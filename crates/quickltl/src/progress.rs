@@ -138,20 +138,12 @@ fn mk_release<P>(n: crate::syntax::Demand, l: Formula<P>, r: Formula<P>) -> Form
 
 /// Flattens an `∧`/`∨` chain into its non-constant conjuncts/disjuncts,
 /// returning `true` if the annihilating constant was found.
-fn flatten<P>(
-    f: Formula<P>,
-    is_and: bool,
-    out: &mut Vec<Formula<P>>,
-) -> bool {
+fn flatten<P>(f: Formula<P>, is_and: bool, out: &mut Vec<Formula<P>>) -> bool {
     match (f, is_and) {
         (Formula::Top, true) | (Formula::Bottom, false) => false, // unit: drop
         (Formula::Top, false) | (Formula::Bottom, true) => true,  // annihilator
-        (Formula::And(l, r), true) => {
-            flatten(*l, true, out) || flatten(*r, true, out)
-        }
-        (Formula::Or(l, r), false) => {
-            flatten(*l, false, out) || flatten(*r, false, out)
-        }
+        (Formula::And(l, r), true) => flatten(*l, true, out) || flatten(*r, true, out),
+        (Formula::Or(l, r), false) => flatten(*l, false, out) || flatten(*r, false, out),
         (other, _) => {
             out.push(other);
             false
@@ -179,7 +171,11 @@ fn rebuild<P: PartialEq>(
         }
         items = deduped;
     }
-    let unit = if is_and { Formula::Top } else { Formula::Bottom };
+    let unit = if is_and {
+        Formula::Top
+    } else {
+        Formula::Bottom
+    };
     let Some(first) = items.pop() else {
         return unit;
     };
@@ -228,9 +224,7 @@ where
         Formula::Bottom => Formula::Bottom,
         Formula::Atom(p) => Formula::Atom(p),
         Formula::Not(inner) => negate(*inner, mode),
-        Formula::And(l, r) => {
-            simplify_and(simplify_with(*l, mode), simplify_with(*r, mode), mode)
-        }
+        Formula::And(l, r) => simplify_and(simplify_with(*l, mode), simplify_with(*r, mode), mode),
         Formula::Or(l, r) => simplify_or(simplify_with(*l, mode), simplify_with(*r, mode), mode),
         Formula::Next(inner) => mk_next(simplify_with(*inner, mode)),
         Formula::WeakNext(inner) => mk_weak_next(simplify_with(*inner, mode)),
@@ -380,9 +374,7 @@ impl<P> Guarded<P> {
     fn is_guarded(f: &Formula<P>) -> bool {
         match f {
             Formula::Next(_) | Formula::WeakNext(_) | Formula::StrongNext(_) => true,
-            Formula::And(l, r) | Formula::Or(l, r) => {
-                Self::is_guarded(l) && Self::is_guarded(r)
-            }
+            Formula::And(l, r) | Formula::Or(l, r) => Self::is_guarded(l) && Self::is_guarded(r),
             _ => false,
         }
     }
@@ -767,8 +759,7 @@ where
     let mut evaluator = Evaluator::new(formula);
     let mut last = None;
     for state in trace {
-        let report =
-            evaluator.observe_expanding(&mut |p| eval(p, state).map(Formula::constant))?;
+        let report = evaluator.observe_expanding(&mut |p| eval(p, state).map(Formula::constant))?;
         if let StepReport::Definitive(_) = report {
             return Ok(report.outcome());
         }
@@ -970,7 +961,11 @@ mod tests {
             vec!["", "", "p"],
             vec!["", "", ""],
         ] {
-            assert_eq!(check(f.clone(), &trace), check(g.clone(), &trace), "{trace:?}");
+            assert_eq!(
+                check(f.clone(), &trace),
+                check(g.clone(), &trace),
+                "{trace:?}"
+            );
         }
     }
 
@@ -1006,10 +1001,7 @@ mod tests {
     #[test]
     fn classify_rejects_unguarded() {
         assert!(classify(F::atom('p')).is_err());
-        assert!(matches!(
-            classify(F::Top),
-            Ok(Progress::Definitive(true))
-        ));
+        assert!(matches!(classify(F::Top), Ok(Progress::Definitive(true))));
         let guarded = F::atom('p').next().and(F::atom('q').weak_next());
         match classify(guarded) {
             Ok(Progress::Guarded(g)) => {
@@ -1039,10 +1031,7 @@ mod tests {
     fn simplify_pushes_negations() {
         let f = F::until(3u32, F::atom('a'), F::atom('b')).not();
         let s = simplify(f);
-        assert_eq!(
-            s,
-            F::release(3u32, F::atom('a').not(), F::atom('b').not())
-        );
+        assert_eq!(s, F::release(3u32, F::atom('a').not(), F::atom('b').not()));
         let g = F::always(2u32, F::atom('a')).not();
         assert_eq!(simplify(g), F::eventually(2u32, F::atom('a').not()));
         let h = F::atom('a').weak_next().not();
@@ -1173,8 +1162,7 @@ mod tests {
             let report = ev
                 .observe_expanding::<Infallible>(&mut |p| {
                     Ok(match p {
-                        'n' => F::constant(s.contains('p'))
-                            .or(F::atom('q').strong_next()),
+                        'n' => F::constant(s.contains('p')).or(F::atom('q').strong_next()),
                         q => F::constant(s.contains(*q)),
                     })
                 })
@@ -1195,8 +1183,7 @@ mod tests {
             last = Some(
                 ev2.observe_expanding::<Infallible>(&mut |p| {
                     Ok(match p {
-                        'n' => F::constant(s.contains('p'))
-                            .or(F::atom('q').strong_next()),
+                        'n' => F::constant(s.contains('p')).or(F::atom('q').strong_next()),
                         q => F::constant(s.contains(*q)),
                     })
                 })

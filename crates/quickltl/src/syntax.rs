@@ -288,9 +288,7 @@ impl<P> Formula<P> {
             Formula::Bottom => Formula::Bottom,
             Formula::Atom(p) => Formula::Atom(f(p)),
             Formula::Not(inner) => Formula::Not(Box::new(inner.map_atoms(f))),
-            Formula::And(l, r) => {
-                Formula::And(Box::new(l.map_atoms(f)), Box::new(r.map_atoms(f)))
-            }
+            Formula::And(l, r) => Formula::And(Box::new(l.map_atoms(f)), Box::new(r.map_atoms(f))),
             Formula::Or(l, r) => Formula::Or(Box::new(l.map_atoms(f)), Box::new(r.map_atoms(f))),
             Formula::Next(inner) => Formula::Next(Box::new(inner.map_atoms(f))),
             Formula::WeakNext(inner) => Formula::WeakNext(Box::new(inner.map_atoms(f))),
@@ -336,7 +334,9 @@ impl<P> Formula<P> {
     #[must_use]
     pub fn erase_demands(self) -> Formula<P> {
         match self {
-            Formula::Always(_, inner) => Formula::Always(Demand::ZERO, Box::new(inner.erase_demands())),
+            Formula::Always(_, inner) => {
+                Formula::Always(Demand::ZERO, Box::new(inner.erase_demands()))
+            }
             Formula::Eventually(_, inner) => {
                 Formula::Eventually(Demand::ZERO, Box::new(inner.erase_demands()))
             }
@@ -351,10 +351,9 @@ impl<P> Formula<P> {
                 Box::new(r.erase_demands()),
             ),
             Formula::Not(inner) => Formula::Not(Box::new(inner.erase_demands())),
-            Formula::And(l, r) => Formula::And(
-                Box::new(l.erase_demands()),
-                Box::new(r.erase_demands()),
-            ),
+            Formula::And(l, r) => {
+                Formula::And(Box::new(l.erase_demands()), Box::new(r.erase_demands()))
+            }
             Formula::Or(l, r) => {
                 Formula::Or(Box::new(l.erase_demands()), Box::new(r.erase_demands()))
             }

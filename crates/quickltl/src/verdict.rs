@@ -164,7 +164,12 @@ mod tests {
     #[test]
     fn negation_is_an_involution_and_antitone() {
         use Verdict::*;
-        for v in [DefinitelyFalse, PresumablyFalse, PresumablyTrue, DefinitelyTrue] {
+        for v in [
+            DefinitelyFalse,
+            PresumablyFalse,
+            PresumablyTrue,
+            DefinitelyTrue,
+        ] {
             assert_eq!(v.negate().negate(), v);
         }
         assert_eq!(DefinitelyTrue.negate(), DefinitelyFalse);
@@ -176,7 +181,12 @@ mod tests {
         use Verdict::*;
         assert_eq!(DefinitelyTrue.meet(PresumablyFalse), PresumablyFalse);
         assert_eq!(DefinitelyFalse.join(PresumablyTrue), PresumablyTrue);
-        for v in [DefinitelyFalse, PresumablyFalse, PresumablyTrue, DefinitelyTrue] {
+        for v in [
+            DefinitelyFalse,
+            PresumablyFalse,
+            PresumablyTrue,
+            DefinitelyTrue,
+        ] {
             assert_eq!(v.meet(v), v);
             assert_eq!(v.join(v), v);
         }

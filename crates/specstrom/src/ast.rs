@@ -341,9 +341,7 @@ impl Item {
     pub fn span(&self) -> Span {
         match self {
             Item::Let(l) => l.span,
-            Item::Fun { span, .. } | Item::Action { span, .. } | Item::Check { span, .. } => {
-                *span
-            }
+            Item::Fun { span, .. } | Item::Action { span, .. } | Item::Check { span, .. } => *span,
         }
     }
 }

@@ -150,9 +150,7 @@ pub fn eval(expr: &Rc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, Eval
         },
         Expr::Happened(_) => {
             let state = ctx.state()?;
-            Ok(Value::list(
-                state.happened.iter().map(Value::str).collect(),
-            ))
+            Ok(Value::list(state.happened.iter().map(Value::str).collect()))
         }
         Expr::Call { func, args, span } => {
             let callee = eval(func, env, ctx)?;
@@ -206,7 +204,11 @@ pub fn eval(expr: &Rc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, Eval
                 )),
             }
         }
-        Expr::Unary { op, expr: inner, span } => {
+        Expr::Unary {
+            op,
+            expr: inner,
+            span,
+        } => {
             let v = eval(inner, env, ctx)?;
             match op {
                 UnOp::Not => match v {
@@ -272,7 +274,10 @@ pub fn eval(expr: &Rc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, Eval
                 )),
                 other => Err(EvalError::at(
                     *span,
-                    format!("`if` condition must be a boolean, got {}", other.type_name()),
+                    format!(
+                        "`if` condition must be a boolean, got {}",
+                        other.type_name()
+                    ),
                 )),
             }
         }
@@ -289,10 +294,7 @@ pub fn eval(expr: &Rc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, Eval
             eval(result, &block_env, ctx)
         }
         Expr::Temporal {
-            op,
-            demand,
-            body,
-            ..
+            op, demand, body, ..
         } => {
             let atom = Formula::Atom(Thunk::new(Rc::clone(body), env.clone()));
             let d = Demand(demand.unwrap_or(ctx.default_demand));
@@ -422,9 +424,7 @@ fn eval_binary(
             let l = eval(lhs, env, ctx)?;
             let r = eval(rhs, env, ctx)?;
             match r {
-                Value::List(items) => {
-                    Ok(Value::Bool(items.iter().any(|i| i.loosely_equals(&l))))
-                }
+                Value::List(items) => Ok(Value::Bool(items.iter().any(|i| i.loosely_equals(&l)))),
                 Value::Str(haystack) => match l {
                     Value::Str(needle) => Ok(Value::Bool(haystack.contains(&*needle))),
                     other => Err(EvalError::at(
@@ -473,11 +473,13 @@ fn compare(
         (Value::Int(a), Value::Int(b)) => Ok(Some(a.cmp(b))),
         (Value::Str(a), Value::Str(b)) => Ok(Some(a.cmp(b))),
         (Value::Float(a), Value::Float(b)) => Ok(a.partial_cmp(b)),
-        (Value::Int(a), Value::Float(b)) => {
+        (Value::Int(a), Value::Float(b)) =>
+        {
             #[allow(clippy::cast_precision_loss)]
             Ok((*a as f64).partial_cmp(b))
         }
-        (Value::Float(a), Value::Int(b)) => {
+        (Value::Float(a), Value::Int(b)) =>
+        {
             #[allow(clippy::cast_precision_loss)]
             Ok(a.partial_cmp(&(*b as f64)))
         }
@@ -494,9 +496,7 @@ fn arith(op: BinOp, l: Value, r: Value, span: crate::ast::Span) -> Result<Value,
         // Null propagates through arithmetic (a missing element's
         // projection), mirroring the comparison semantics above.
         (_, Value::Null, _) | (_, _, Value::Null) => Ok(Value::Null),
-        (BinOp::Add, Value::Str(a), Value::Str(b)) => {
-            Ok(Value::str(format!("{a}{b}")))
-        }
+        (BinOp::Add, Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
         // String concatenation with scalars, for messages like
         // `numLeft + " items left"`.
         (BinOp::Add, Value::Str(a), Value::Int(b)) => Ok(Value::str(format!("{a}{b}"))),
@@ -606,7 +606,9 @@ fn member(
         Value::Selector(selector) => {
             let elements = query(ctx, &selector, span)?;
             match field {
-                "count" => Ok(Value::Int(i64::try_from(elements.len()).unwrap_or(i64::MAX))),
+                "count" => Ok(Value::Int(
+                    i64::try_from(elements.len()).unwrap_or(i64::MAX),
+                )),
                 "present" => Ok(Value::Bool(!elements.is_empty())),
                 "all" => Ok(Value::list(elements.iter().map(element_record).collect())),
                 projection => match elements.first() {
@@ -675,11 +677,7 @@ fn index_value(
 /// higher-order builtins). Deferred parameters are not supported through
 /// this path — the sort checker rejects passing by-name functions to
 /// builtins.
-fn apply_function(
-    f: &Value,
-    args: Vec<Value>,
-    ctx: &EvalCtx<'_>,
-) -> Result<Value, EvalError> {
+fn apply_function(f: &Value, args: Vec<Value>, ctx: &EvalCtx<'_>) -> Result<Value, EvalError> {
     match f {
         Value::Closure(closure) => {
             if closure.params.len() != args.len() {
@@ -810,12 +808,13 @@ fn apply_builtin(
         Builtin::StartsWith | Builtin::EndsWith => {
             let suffix = args.pop().expect("arity 2");
             match (&args[0], &suffix) {
-                (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(if builtin == Builtin::StartsWith
-                {
-                    s.starts_with(&**p)
-                } else {
-                    s.ends_with(&**p)
-                })),
+                (Value::Str(s), Value::Str(p)) => {
+                    Ok(Value::Bool(if builtin == Builtin::StartsWith {
+                        s.starts_with(&**p)
+                    } else {
+                        s.ends_with(&**p)
+                    }))
+                }
                 _ => Err(EvalError::new("startsWith/endsWith expect two strings")),
             }
         }
@@ -979,12 +978,7 @@ pub fn eval_guard(thunk: &Thunk, ctx: &EvalCtx<'_>) -> Result<bool, EvalError> {
 
 /// Builds a closure value from a `fun` item.
 #[must_use]
-pub fn make_closure(
-    name: &str,
-    params: Vec<crate::ast::Param>,
-    body: Rc<Expr>,
-    env: Env,
-) -> Value {
+pub fn make_closure(name: &str, params: Vec<crate::ast::Param>, body: Rc<Expr>, env: Env) -> Value {
     Value::Closure(Rc::new(ClosureData {
         name: name.to_owned(),
         params,
@@ -1199,10 +1193,7 @@ mod tests {
             &ctx,
         )
         .unwrap();
-        assert!(mapped.loosely_equals(&Value::list(vec![
-            Value::Bool(false),
-            Value::Bool(true)
-        ])));
+        assert!(mapped.loosely_equals(&Value::list(vec![Value::Bool(false), Value::Bool(true)])));
         let all = apply_builtin(
             Builtin::All,
             vec![f.clone(), Value::list(vec![Value::Int(2), Value::Int(3)])],

@@ -316,9 +316,8 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, SpecError> {
                 while pos < bytes.len() && bytes[pos].is_ascii_digit() {
                     pos += 1;
                 }
-                let is_float = pos + 1 < bytes.len()
-                    && bytes[pos] == b'.'
-                    && bytes[pos + 1].is_ascii_digit();
+                let is_float =
+                    pos + 1 < bytes.len() && bytes[pos] == b'.' && bytes[pos + 1].is_ascii_digit();
                 if is_float {
                     pos += 1;
                     while pos < bytes.len() && bytes[pos].is_ascii_digit() {
@@ -335,7 +334,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, SpecError> {
                 } else {
                     let text = &src[start..pos];
                     let value: i64 = text.parse().map_err(|_| {
-                        SpecError::at(Span::new(start, pos), format!("integer out of range {text}"))
+                        SpecError::at(
+                            Span::new(start, pos),
+                            format!("integer out of range {text}"),
+                        )
                     })?;
                     toks.push(SpannedTok {
                         tok: Tok::Int(value),
@@ -449,10 +451,7 @@ mod tests {
             vec![Tok::Ident("x".into()), Tok::NotEq, Tok::Ident("y".into())]
         );
         // But a unary bang after an ident boundary still works.
-        assert_eq!(
-            toks("!x"),
-            vec![Tok::Bang, Tok::Ident("x".into())]
-        );
+        assert_eq!(toks("!x"), vec![Tok::Bang, Tok::Ident("x".into())]);
     }
 
     #[test]
@@ -478,13 +477,15 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 3.5 180"), vec![
-            Tok::Int(42),
-            Tok::Float(3.5),
-            Tok::Int(180)
-        ]);
+        assert_eq!(
+            toks("42 3.5 180"),
+            vec![Tok::Int(42), Tok::Float(3.5), Tok::Int(180)]
+        );
         // `1.` is Int then Dot (member access on ints is an eval error).
-        assert_eq!(toks("1.x"), vec![Tok::Int(1), Tok::Dot, Tok::Ident("x".into())]);
+        assert_eq!(
+            toks("1.x"),
+            vec![Tok::Int(1), Tok::Dot, Tok::Ident("x".into())]
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //! `always[400] …`, `a until[5] b`. Omitting the subscript defers to the
 //! checker's configured default (§4.1).
 
-use crate::ast::{BinOp, Expr, Item, LetStmt, Literal, Param, Spec, TemporalOp, UnOp};
 use crate::ast::Span;
+use crate::ast::{BinOp, Expr, Item, LetStmt, Literal, Param, Spec, TemporalOp, UnOp};
 use crate::error::SpecError;
 use crate::lexer::{lex, SpannedTok, Tok};
 use std::rc::Rc;
@@ -466,11 +466,7 @@ impl Parser {
         }
     }
 
-    fn temporal_prefix(
-        &mut self,
-        op: TemporalOp,
-        demanded: bool,
-    ) -> Result<Rc<Expr>, SpecError> {
+    fn temporal_prefix(&mut self, op: TemporalOp, demanded: bool) -> Result<Rc<Expr>, SpecError> {
         let start = self.here();
         self.pos += 1;
         let demand = if demanded { self.demand()? } else { None };
@@ -511,7 +507,11 @@ impl Parser {
                     self.pos += 1;
                     let (field, fspan) = self.ident()?;
                     let span = expr.span().merge(fspan);
-                    expr = Rc::new(Expr::Member { obj: expr, field, span });
+                    expr = Rc::new(Expr::Member {
+                        obj: expr,
+                        field,
+                        span,
+                    });
                 }
                 Some(Tok::LBracket) => {
                     self.pos += 1;
@@ -663,14 +663,20 @@ mod tests {
     fn precedence_shape() {
         // a || b && c parses as a || (b && c)
         match expr("a || b && c").as_ref() {
-            Expr::Binary { op: BinOp::Or, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Or, rhs, ..
+            } => {
                 assert!(matches!(rhs.as_ref(), Expr::Binary { op: BinOp::And, .. }));
             }
             other => panic!("unexpected {other:?}"),
         }
         // comparison binds tighter than &&
         match expr("x == 1 && y == 2").as_ref() {
-            Expr::Binary { op: BinOp::And, lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                ..
+            } => {
                 assert!(matches!(lhs.as_ref(), Expr::Binary { op: BinOp::Eq, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -713,7 +719,11 @@ mod tests {
     fn temporal_binds_tighter_than_and() {
         // a && b until c parses as a && (b until c).
         match expr("a && b until c").as_ref() {
-            Expr::Binary { op: BinOp::And, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::And,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(rhs.as_ref(), Expr::TemporalBin { .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -778,7 +788,12 @@ mod tests {
     #[test]
     fn happened_and_membership() {
         match expr("tick? in happened").as_ref() {
-            Expr::Binary { op: BinOp::In, lhs, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::In,
+                lhs,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(lhs.as_ref(), Expr::Var(n, _) if n == "tick?"));
                 assert!(matches!(rhs.as_ref(), Expr::Happened(_)));
             }
@@ -905,10 +920,17 @@ mod tests {
     #[test]
     fn implies_is_right_associative() {
         match expr("a ==> b ==> c").as_ref() {
-            Expr::Binary { op: BinOp::Implies, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Implies,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(
                     rhs.as_ref(),
-                    Expr::Binary { op: BinOp::Implies, .. }
+                    Expr::Binary {
+                        op: BinOp::Implies,
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -922,7 +944,11 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match expr("-5 + 3").as_ref() {
-            Expr::Binary { op: BinOp::Add, lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                lhs,
+                ..
+            } => {
                 assert!(matches!(lhs.as_ref(), Expr::Unary { op: UnOp::Neg, .. }));
             }
             other => panic!("unexpected {other:?}"),

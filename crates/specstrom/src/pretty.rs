@@ -15,13 +15,7 @@ fn prec(expr: &Expr) -> u8 {
             BinOp::Implies => 1,
             BinOp::Or => 2,
             BinOp::And => 3,
-            BinOp::Eq
-            | BinOp::Ne
-            | BinOp::Lt
-            | BinOp::Le
-            | BinOp::Gt
-            | BinOp::Ge
-            | BinOp::In => 5,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::In => 5,
             BinOp::Add | BinOp::Sub => 6,
             BinOp::Mul | BinOp::Div | BinOp::Mod => 7,
         },
@@ -399,7 +393,10 @@ mod tests {
         ] {
             let once = pretty_spec(&parse_spec(src).unwrap());
             let twice = pretty_spec(&parse_spec(&once).unwrap_or_else(|e| {
-                panic!("printed spec failed to re-parse: {}\n{once}", e.render(&once))
+                panic!(
+                    "printed spec failed to re-parse: {}\n{once}",
+                    e.render(&once)
+                )
             }));
             assert_eq!(once, twice, "printer is not a fixpoint");
         }

@@ -15,8 +15,8 @@
 //! Sorts are `Val`, `Fun(params…)`, or inference variables solved by
 //! unification with an occurs check (`fun apply(f) = f(f)` is rejected).
 
-use crate::ast::{Expr, Item, Spec};
 use crate::ast::Span;
+use crate::ast::{Expr, Item, Spec};
 use crate::error::SpecError;
 use crate::value::Builtin;
 use std::collections::HashMap;
@@ -162,12 +162,17 @@ pub fn check_spec(spec: &Spec) -> Result<(), SpecError> {
                 // Function bodies produce data (no function-returning
                 // functions — they could smuggle functions into data).
                 solver.unify(&body_sort, &Sort::Val, *span)?;
-                let resolved: Vec<Sort> =
-                    param_sorts.iter().map(|p| solver.resolve(p)).collect();
+                let resolved: Vec<Sort> = param_sorts.iter().map(|p| solver.resolve(p)).collect();
                 // Unconstrained parameters default to data.
                 let defaulted: Vec<Sort> = resolved
                     .into_iter()
-                    .map(|s| if matches!(s, Sort::Var(_)) { Sort::Val } else { s })
+                    .map(|s| {
+                        if matches!(s, Sort::Var(_)) {
+                            Sort::Val
+                        } else {
+                            s
+                        }
+                    })
                     .collect();
                 scope.insert(name.clone(), Sort::Fun(defaulted));
             }

@@ -100,10 +100,7 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
                 env = env.bind(&stmt.name, binding);
             }
             Item::Fun {
-                name,
-                params,
-                body,
-                ..
+                name, params, body, ..
             } => {
                 let closure =
                     eval::make_closure(name, params.clone(), Rc::clone(body), env.clone());
@@ -142,9 +139,9 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
                     Some(t) => {
                         let v = eval::eval(t, &env, &ctx).map_err(|e| eval_error(e, t.span()))?;
                         match v {
-                            Value::Int(ms) if ms >= 0 => Some(
-                                u64::try_from(ms).expect("non-negative"),
-                            ),
+                            Value::Int(ms) if ms >= 0 => {
+                                Some(u64::try_from(ms).expect("non-negative"))
+                            }
                             other => {
                                 return Err(SpecError::at(
                                     t.span(),
@@ -258,10 +255,7 @@ mod tests {
         assert!(wait.guard.is_some());
         let tick = compiled.action("tick?").unwrap();
         assert!(tick.event);
-        assert_eq!(
-            tick.selector,
-            Some(Selector::new("#remaining"))
-        );
+        assert_eq!(tick.selector, Some(Selector::new("#remaining")));
         // Dependencies: both selectors.
         let deps: Vec<&str> = compiled.dependencies.iter().map(Selector::as_str).collect();
         assert_eq!(deps, vec!["#remaining", "#toggle"]);

@@ -98,7 +98,12 @@ impl Thunk {
 
 impl fmt::Debug for Thunk {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Thunk({:?} @ env#{:x})", self.expr.span(), self.env.ptr_id())
+        write!(
+            f,
+            "Thunk({:?} @ env#{:x})",
+            self.expr.span(),
+            self.env.ptr_id()
+        )
     }
 }
 
@@ -404,14 +409,13 @@ impl Value {
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Selector(a), Value::Selector(b)) => a == b,
             (Value::List(a), Value::List(b)) => {
-                a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|(x, y)| x.loosely_equals(y))
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.loosely_equals(y))
             }
             (Value::Record(a), Value::Record(b)) => {
                 a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| {
-                        ka == kb && va.loosely_equals(vb)
-                    })
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.loosely_equals(vb))
             }
             (Value::Action(a), Value::Action(b)) => a.name == b.name,
             // An action compares equal to its name string (used by
@@ -541,7 +545,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Value::Null.to_string(), "null");
-        assert_eq!(Value::list(vec![Value::Int(1), Value::Int(2)]).to_string(), "[1, 2]");
+        assert_eq!(
+            Value::list(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
         assert_eq!(Value::str("hi").to_string(), "\"hi\"");
         assert_eq!(Value::Builtin(Builtin::Trim).to_string(), "<builtin trim>");
     }

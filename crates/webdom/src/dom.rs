@@ -409,12 +409,7 @@ impl Document {
 impl fmt::Display for Document {
     /// An indented, HTML-ish dump, useful in test failure output.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn go(
-            doc: &Document,
-            id: NodeId,
-            depth: usize,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
+        fn go(doc: &Document, id: NodeId, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             let el = &doc.node(id).el;
             write!(f, "{:indent$}<{}", "", el.tag, indent = depth * 2)?;
             if let Some(i) = &el.id {
@@ -459,16 +454,14 @@ mod tests {
     fn sample() -> Document {
         Document::render(
             El::new("div").id("app").children([
-                El::new("header")
-                    .child(El::new("h1").text("todos"))
-                    .child(
-                        El::new("input")
-                            .class("new-todo")
-                            .value("pending")
-                            .focused(true)
-                            .on(EventKind::Input, "set-pending")
-                            .on(EventKind::KeyDown, "new-key"),
-                    ),
+                El::new("header").child(El::new("h1").text("todos")).child(
+                    El::new("input")
+                        .class("new-todo")
+                        .value("pending")
+                        .focused(true)
+                        .on(EventKind::Input, "set-pending")
+                        .on(EventKind::KeyDown, "new-key"),
+                ),
                 El::new("ul").class("todo-list").children([
                     El::new("li")
                         .class("completed")
@@ -480,9 +473,9 @@ mod tests {
                         .child(El::new("label").text("shop"))
                         .on(EventKind::Click, "item-1"),
                 ]),
-                El::new("footer").hidden_if(true).child(
-                    El::new("span").class("todo-count").text("1 item left"),
-                ),
+                El::new("footer")
+                    .hidden_if(true)
+                    .child(El::new("span").class("todo-count").text("1 item left")),
             ]),
         )
     }

@@ -109,11 +109,7 @@ impl Complex {
             return false;
         }
         // Walk leading compounds right to left, matching up the tree.
-        fn go(
-            doc: &Document,
-            leading: &[(Compound, Combinator)],
-            below: NodeId,
-        ) -> bool {
+        fn go(doc: &Document, leading: &[(Compound, Combinator)], below: NodeId) -> bool {
             let Some(((compound, comb), rest)) = leading.split_last() else {
                 return true;
             };
@@ -163,11 +159,7 @@ impl SelectorExpr {
     /// Returns [`ParseSelectorError`] on malformed input (empty selector,
     /// dangling combinator, bad pseudo-class, …).
     pub fn parse(input: &str) -> Result<Self, ParseSelectorError> {
-        Parser {
-            src: input,
-            pos: 0,
-        }
-        .selector_list()
+        Parser { src: input, pos: 0 }.selector_list()
     }
 
     /// Does the selector match this node?
@@ -210,8 +202,7 @@ impl<'a> Parser<'a> {
 
     fn ident(&mut self) -> Result<String, ParseSelectorError> {
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-' || c == '_')
-        {
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-' || c == '_') {
             self.bump();
         }
         if self.pos == start {
@@ -387,7 +378,10 @@ mod tests {
                     El::new("input").class("new-todo").focused(true),
                 ]),
                 El::new("section").class("main").children([
-                    El::new("input").id("toggle-all").class("toggle-all").checked(true),
+                    El::new("input")
+                        .id("toggle-all")
+                        .class("toggle-all")
+                        .checked(true),
                     El::new("ul").class("todo-list").children([
                         El::new("li").class("completed").children([
                             El::new("input").class("toggle").checked(true),
@@ -402,16 +396,19 @@ mod tests {
                     ]),
                 ]),
                 El::new("footer").class("footer").children([
-                    El::new("span").class("todo-count").child(El::new("strong").text("1")),
+                    El::new("span")
+                        .class("todo-count")
+                        .child(El::new("strong").text("1")),
                     El::new("ul").class("filters").children([
                         El::new("li").child(
-                            El::new("a").class("selected").attr("href", "#/").text("All"),
+                            El::new("a")
+                                .class("selected")
+                                .attr("href", "#/")
+                                .text("All"),
                         ),
+                        El::new("li").child(El::new("a").attr("href", "#/active").text("Active")),
                         El::new("li")
-                            .child(El::new("a").attr("href", "#/active").text("Active")),
-                        El::new("li").child(
-                            El::new("a").attr("href", "#/completed").text("Completed"),
-                        ),
+                            .child(El::new("a").attr("href", "#/completed").text("Completed")),
                     ]),
                 ]),
             ]),
@@ -493,7 +490,9 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        for bad in ["", "  ", "li >", "> li", ":hover", "[x", "[x=", "li ,", "a[x='y]", "..a"] {
+        for bad in [
+            "", "  ", "li >", "> li", ":hover", "[x", "[x=", "li ,", "a[x='y]", "..a",
+        ] {
             assert!(
                 SelectorExpr::parse(bad).is_err(),
                 "expected parse failure for {bad:?}"

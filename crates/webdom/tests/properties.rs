@@ -84,9 +84,7 @@ fn naive_matches(doc: &Document, id: webdom::NodeId, sel: &str) -> bool {
     // Supports the compound subset: tag, #id, .class, :checked, :disabled.
     let mut rest = sel;
     // Optional leading tag.
-    let tag_end = rest
-        .find(['#', '.', ':'])
-        .unwrap_or(rest.len());
+    let tag_end = rest.find(['#', '.', ':']).unwrap_or(rest.len());
     let tag = &rest[..tag_end];
     if !tag.is_empty() && doc.tag(id) != tag {
         return false;

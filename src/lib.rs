@@ -74,7 +74,9 @@ pub mod specs {
 pub mod prelude {
     pub use crate::specs;
     pub use quickltl::{Formula, Outcome, Verdict};
-    pub use quickstrom_checker::{check_property, check_spec, CheckOptions, Report, SelectionStrategy};
+    pub use quickstrom_checker::{
+        check_property, check_spec, CheckOptions, Report, SelectionStrategy,
+    };
     pub use quickstrom_executor::WebExecutor;
     pub use quickstrom_protocol::{Executor, Selector, StateSnapshot};
     pub use specstrom::{load, CompiledSpec};

@@ -54,9 +54,7 @@ fn options() -> CheckOptions {
 fn run_checks(spec_src: &str, duration: i64, opts: &CheckOptions) -> Report {
     let spec = specstrom::load(spec_src).unwrap_or_else(|e| panic!("{}", e.render(spec_src)));
     check_spec(&spec, opts, &mut move || {
-        Box::new(WebExecutor::new(move || {
-            EggTimer::with_duration(duration)
-        }))
+        Box::new(WebExecutor::new(move || EggTimer::with_duration(duration)))
     })
     .unwrap_or_else(|e| panic!("{e}"))
 }
@@ -104,7 +102,9 @@ fn broken_timer_that_skips_seconds_fails_safety() {
 
     let spec = specstrom::load(&scaled_spec(15)).unwrap();
     let report = check_spec(&spec, &options(), &mut || {
-        Box::new(WebExecutor::new(|| SkippingTimer(EggTimer::with_duration(15))))
+        Box::new(WebExecutor::new(|| {
+            SkippingTimer(EggTimer::with_duration(15))
+        }))
     })
     .unwrap();
     assert!(!report.passed(), "skipping timer must fail:\n{report}");

@@ -80,7 +80,10 @@ fn menu_liveness_family() {
         Outcome::Verdict(Verdict::PresumablyFalse)
     );
     // QuickLTL instead demands more states at that point.
-    assert_eq!(check("G[4] F[2] m", &["m", "", "m", ""]), Outcome::MoreStatesNeeded);
+    assert_eq!(
+        check("G[4] F[2] m", &["m", "", "m", ""]),
+        Outcome::MoreStatesNeeded
+    );
 }
 
 #[test]
@@ -110,10 +113,7 @@ fn annotated_menu_example_of_section_2_2() {
         trace.push("");
     }
     trace.push("m");
-    assert_eq!(
-        check(f, &trace),
-        Outcome::Verdict(Verdict::PresumablyTrue)
-    );
+    assert_eq!(check(f, &trace), Outcome::Verdict(Verdict::PresumablyTrue));
     // Wedged disabled: each disabled state spawns a fresh ◇₅ whose demand
     // is unexpired, so *no* finite trace ending disabled ever satisfies
     // the presumptive precondition — the logic keeps demanding states.

@@ -26,7 +26,13 @@ fn check(name: &str) -> bool {
 
 #[test]
 fn a_sample_of_passing_implementations_pass() {
-    for name in ["vue", "react", "elm-like-binding-scala", "backbone", "kotlin-react"] {
+    for name in [
+        "vue",
+        "react",
+        "elm-like-binding-scala",
+        "backbone",
+        "kotlin-react",
+    ] {
         let name = if name == "elm-like-binding-scala" {
             "binding-scala"
         } else {
@@ -47,12 +53,9 @@ fn a_sample_of_failing_implementations_fail() {
 fn the_registry_has_the_table1_shape() {
     use quickstrom::quickstrom_apps::registry::{Maturity, REGISTRY};
     assert_eq!(REGISTRY.len(), 43);
-    let (passing, failing): (Vec<_>, Vec<_>) =
-        REGISTRY.iter().partition(|e| !e.expected_to_fail());
+    let (passing, failing): (Vec<_>, Vec<_>) = REGISTRY.iter().partition(|e| !e.expected_to_fail());
     assert_eq!((passing.len(), failing.len()), (23, 20));
-    let beta = |es: &[&registry::Entry]| {
-        es.iter().filter(|e| e.maturity == Maturity::Beta).count()
-    };
+    let beta = |es: &[&registry::Entry]| es.iter().filter(|e| e.maturity == Maturity::Beta).count();
     assert_eq!(beta(&passing), 9);
     assert_eq!(beta(&failing), 8);
 }

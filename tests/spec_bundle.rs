@@ -40,7 +40,10 @@ fn todomvc_spec_structure() {
         ".toggle:visible",
         ".destroy:visible",
     ] {
-        assert!(deps.contains(&expected), "missing dependency {expected}: {deps:?}");
+        assert!(
+            deps.contains(&expected),
+            "missing dependency {expected}: {deps:?}"
+        );
     }
 }
 
@@ -52,8 +55,7 @@ fn all_bundled_specs_compile() {
         ("counter", quickstrom::specs::COUNTER),
         ("menu", quickstrom::specs::MENU),
     ] {
-        let spec = specstrom::load(src)
-            .unwrap_or_else(|e| panic!("{name}: {}", e.render(src)));
+        let spec = specstrom::load(src).unwrap_or_else(|e| panic!("{name}: {}", e.render(src)));
         assert!(!spec.checks.is_empty(), "{name} has no check commands");
         for check in &spec.checks {
             for property in &check.properties {
@@ -93,10 +95,7 @@ fn menu_spec_declares_the_event() {
     let spec = specstrom::load(quickstrom::specs::MENU).unwrap();
     let woke = spec.action("woke?").expect("woke? declared");
     assert!(woke.event);
-    assert_eq!(
-        woke.selector.as_ref().map(Selector::as_str),
-        Some("#menu")
-    );
+    assert_eq!(woke.selector.as_ref().map(Selector::as_str), Some("#menu"));
     let wait = spec.action("wait!").expect("wait! declared");
     assert_eq!(wait.timeout_ms, Some(600));
 }

@@ -16,7 +16,10 @@ fn options() -> CheckOptions {
         .with_seed(7)
 }
 
-fn check_app(app_factory: impl Fn() -> TodoMvc + Clone + 'static, options: &CheckOptions) -> Report {
+fn check_app(
+    app_factory: impl Fn() -> TodoMvc + Clone + 'static,
+    options: &CheckOptions,
+) -> Report {
     let spec = specstrom::load(quickstrom::specs::TODOMVC)
         .unwrap_or_else(|e| panic!("{}", e.render(quickstrom::specs::TODOMVC)));
     check_spec(&spec, options, &mut move || {

@@ -1,0 +1,70 @@
+//! The deterministic RNG behind the stand-in strategies: PCG-XSH-RR 64/32,
+//! seeded from the test's name so every test gets a stable, independent
+//! stream across runs and platforms.
+
+/// A small deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    inc: u64,
+}
+
+const MULTIPLIER: u64 = 6364136223846793005;
+
+impl TestRng {
+    /// A generator seeded from an arbitrary string (FNV-1a hashed).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::seed_from_u64(hash)
+    }
+
+    /// A generator from a numeric seed (SplitMix64-expanded into PCG state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let state = z ^ (z >> 31);
+        let mut rng = TestRng {
+            state: 0,
+            inc: (state << 1) | 1,
+        };
+        rng.step();
+        rng.state = rng.state.wrapping_add(state);
+        rng.step();
+        rng
+    }
+
+    fn step(&mut self) -> u64 {
+        let old = self.state;
+        self.state = old.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
+        old
+    }
+
+    /// The next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.step();
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// A uniform draw from `0..bound`. Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

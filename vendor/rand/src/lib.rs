@@ -1,0 +1,110 @@
+//! Offline stand-in for `rand`, covering the slice of the API the checker
+//! uses: `StdRng`, `SeedableRng::seed_from_u64`, and `Rng::gen_range` over
+//! half-open integer ranges. The generator is PCG-XSH-RR 64/32 seeded via
+//! SplitMix64 — deterministic for a given seed on every platform, which is
+//! exactly the reproducibility contract the checker's `--seed` relies on.
+
+use std::ops::Range;
+
+/// Sources of randomness: the low-level 32/64-bit word interface.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range sampling, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`. Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// A uniform sample from `range` using `rng`.
+    fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide);
+                let draw = rng.next_u64() as $wide % span;
+                range.start.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic PCG-XSH-RR 64/32 generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+        inc: u64,
+    }
+
+    const MULTIPLIER: u64 = 6364136223846793005;
+
+    impl StdRng {
+        fn step(&mut self) -> u64 {
+            let old = self.state;
+            self.state = old.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
+            old
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            let old = self.step();
+            let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+            let rot = (old >> 59) as u32;
+            xorshifted.rotate_right(rot)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 to decorrelate nearby seeds before seeding PCG.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            let state = z ^ (z >> 31);
+            let mut rng = StdRng {
+                state: 0,
+                inc: (state << 1) | 1,
+            };
+            rng.step();
+            rng.state = rng.state.wrapping_add(state);
+            rng.step();
+            rng
+        }
+    }
+}

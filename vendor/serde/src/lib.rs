@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real build environment for this repository has no network access and
+//! no registry cache, so the workspace vendors a dependency-free shim. The
+//! protocol crate only *derives* `Serialize`/`Deserialize` (nothing in-tree
+//! serializes yet), so marker traits with blanket impls plus no-op derive
+//! macros are behaviour-preserving. Swap `vendor/serde` for the registry
+//! crate in the workspace `Cargo.toml` when online.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Implemented for every type, mirroring the blanket [`crate::Deserialize`].
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` stand-in.
+//!
+//! The companion `serde` crate implements its traits for every type via
+//! blanket impls, so the derives have nothing to generate: they only need
+//! to exist (and to register the `#[serde(...)]` helper attribute) so that
+//! `#[derive(Serialize, Deserialize)]` compiles unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts the input and emits nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input and emits nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
