@@ -143,6 +143,23 @@ pub const REGISTRY: &[Entry] = &[
 ];
 
 /// The registry entry with the given name.
+///
+/// # Examples
+///
+/// Looking an implementation up and checking it end to end:
+///
+/// ```
+/// use quickstrom_apps::registry;
+///
+/// let vue = registry::by_name("vue").expect("listed in Table 1");
+/// assert!(!vue.expected_to_fail());
+/// let elm = registry::by_name("elm").expect("listed in Table 1");
+/// assert_eq!(
+///     elm.faults.iter().map(|f| f.number()).collect::<Vec<_>>(),
+///     vec![7],
+/// );
+/// assert!(registry::by_name("svelte").is_none()); // not in the 2022 sweep
+/// ```
 #[must_use]
 pub fn by_name(name: &str) -> Option<&'static Entry> {
     REGISTRY.iter().find(|e| e.name == name)

@@ -17,7 +17,7 @@ fn bench_todomvc_run(c: &mut Criterion) {
         .with_shrink(false);
     c.bench_function("todomvc_single_run", |b| {
         b.iter(|| {
-            let report = check_spec(&spec, &options, &mut || {
+            let report = check_spec(&spec, &options, &|| {
                 Box::new(WebExecutor::new(|| entry.build()))
             })
             .expect("no protocol errors");
@@ -47,7 +47,7 @@ fn bench_egg_timer_run(c: &mut Criterion) {
         .with_shrink(false);
     c.bench_function("egg_timer_full_spec", |b| {
         b.iter(|| {
-            let report = check_spec(&spec, &options, &mut || {
+            let report = check_spec(&spec, &options, &|| {
                 Box::new(WebExecutor::new(EggTimer::new))
             })
             .expect("no protocol errors");

@@ -1,0 +1,67 @@
+//! The sharded registry sweep: wall-clock of a slice of the Table 1 sweep
+//! at different worker counts. This is the project's hottest end-to-end
+//! path; the parallel runtime's whole purpose is to move the `jobs > 1`
+//! lines below the `jobs = 1` baseline while producing identical verdicts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quickstrom::prelude::*;
+use quickstrom::quickstrom_apps::registry::{Entry, REGISTRY};
+use quickstrom_bench::sweep_entries;
+
+/// A representative slice: passing entries dominate (as in the paper —
+/// failing checks exit early, so passing implementations set the pace).
+fn slice_of_registry() -> Vec<&'static Entry> {
+    let passing = REGISTRY.iter().filter(|e| !e.expected_to_fail()).take(6);
+    let failing = REGISTRY.iter().filter(|e| e.expected_to_fail()).take(2);
+    passing.chain(failing).collect()
+}
+
+fn bench_sweep_jobs(c: &mut Criterion) {
+    let entries = slice_of_registry();
+    let options = CheckOptions::default()
+        .with_tests(8)
+        .with_max_actions(40)
+        .with_default_demand(30)
+        .with_seed(20220322)
+        .with_shrink(false);
+    let mut group = c.benchmark_group("registry_sweep");
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let results = sweep_entries(&entries, &options, jobs);
+                std::hint::black_box(results.iter().filter(|r| r.passed).count())
+            });
+        });
+    }
+}
+
+fn bench_inner_jobs(c: &mut Criterion) {
+    // The inner fan-out: runs of one property on one (passing) entry.
+    let entry = REGISTRY
+        .iter()
+        .find(|e| !e.expected_to_fail())
+        .expect("a passing entry");
+    let spec = quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
+    let mut group = c.benchmark_group("single_entry_runs");
+    for jobs in [1usize, 4] {
+        let options = CheckOptions::default()
+            .with_tests(16)
+            .with_max_actions(40)
+            .with_default_demand(30)
+            .with_seed(20220322)
+            .with_shrink(false)
+            .with_jobs(jobs);
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &options, |b, options| {
+            b.iter(|| {
+                let report = check_spec(&spec, options, &|| {
+                    Box::new(WebExecutor::new(|| entry.build()))
+                })
+                .expect("no protocol errors");
+                std::hint::black_box(report.passed())
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_sweep_jobs, bench_inner_jobs);
+criterion_main!(benches);

@@ -2,18 +2,28 @@
 //! paper's evaluation (§4), plus the ablations from DESIGN.md.
 //!
 //! ```text
-//! cargo run --release -p quickstrom-bench --bin evalharness -- table1
-//! cargo run --release -p quickstrom-bench --bin evalharness -- table2
+//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- table2 [--jobs 4]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- figure13 [--sessions 10] [--runs 3] [--csv fig13.csv]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- ablation-rvltl
 //! cargo run --release -p quickstrom-bench --bin evalharness -- ablation-simplify
-//! cargo run --release -p quickstrom-bench --bin evalharness -- all
+//! cargo run --release -p quickstrom-bench --bin evalharness -- all [--jobs 4]
 //! ```
+//!
+//! `--jobs N` fans the registry sweep out over N worker threads. Every
+//! verdict, fault attribution and state count is identical for every N
+//! (see DESIGN.md, *Parallel runtime*); only the timing columns vary —
+//! per-entry wall times are measured under whatever contention the worker
+//! count creates, so compare `wall_s` values only between runs with the
+//! same `--jobs`. `--json PATH` writes the per-entry wall-time JSON used
+//! for perf-trajectory tracking.
 
 use quickstrom::prelude::*;
 use quickstrom::quickstrom_apps::registry::{Maturity, REGISTRY};
 use quickstrom::quickstrom_apps::MenuApp;
-use quickstrom_bench::{check_entry, fault_description, figure13_point, ImplResult};
+use quickstrom_bench::{
+    check_entry, fault_description, figure13_point, sweep_registry_jobs, sweep_to_json, ImplResult,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -21,30 +31,40 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
     let flag = |name: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1).cloned())
+        let position = args.iter().position(|a| a == name)?;
+        match args.get(position + 1) {
+            // The next token being another flag means the value is
+            // missing — `--json --jobs 4` must not write a file named
+            // `--jobs` after a multi-minute sweep.
+            Some(value) if !value.starts_with("--") => Some(value.clone()),
+            _ => {
+                eprintln!("flag {name} requires a value; ignoring it");
+                None
+            }
+        }
     };
     let sessions: usize = flag("--sessions")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
     let runs: usize = flag("--runs").and_then(|v| v.parse().ok()).unwrap_or(3);
     let tests: usize = flag("--tests").and_then(|v| v.parse().ok()).unwrap_or(100);
+    let jobs: usize = flag("--jobs").and_then(|v| v.parse().ok()).unwrap_or(1);
     let csv = flag("--csv");
+    let json = flag("--json");
 
     match command {
         "table1" => {
-            table1_and_2(tests, false);
+            table1_and_2(tests, false, jobs, json.as_deref());
         }
         "table2" => {
-            table1_and_2(tests, true);
+            table1_and_2(tests, true, jobs, json.as_deref());
         }
         "figure13" => figure13(sessions, runs, csv.as_deref()),
         "ablation-rvltl" => ablation_rvltl(),
         "ablation-simplify" => ablation_simplify(),
         "ablation-strategy" => ablation_strategy(),
         "all" => {
-            table1_and_2(tests, true);
+            table1_and_2(tests, true, jobs, json.as_deref());
             figure13(sessions.min(3), runs, csv.as_deref());
             ablation_rvltl();
             ablation_simplify();
@@ -62,12 +82,13 @@ fn main() {
 }
 
 /// Runs the registry sweep and prints Table 1 (and optionally Table 2).
-fn table1_and_2(tests: usize, with_table2: bool) {
+fn table1_and_2(tests: usize, with_table2: bool, jobs: usize, json: Option<&str>) {
     println!("═══ Table 1: Summary of Results (TodoMVC registry sweep) ═══");
     println!(
-        "    ({} implementations, {} runs each, subscript 100 — the paper's default)",
+        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s))",
         REGISTRY.len(),
-        tests
+        tests,
+        jobs.max(1)
     );
     let options = CheckOptions::default()
         .with_tests(tests)
@@ -75,10 +96,7 @@ fn table1_and_2(tests: usize, with_table2: bool) {
         .with_default_demand(100)
         .with_seed(20220322) // the paper's arXiv date
         .with_shrink(false);
-    let started = std::time::Instant::now();
-    let mut results: Vec<ImplResult> = Vec::new();
-    for entry in REGISTRY {
-        let result = check_entry(entry, &options);
+    let print_line = |result: &ImplResult| {
         println!(
             "  {:>22}  {}  ({:5.2}s, {} states){}",
             result.name,
@@ -91,8 +109,26 @@ fn table1_and_2(tests: usize, with_table2: bool) {
                 "  ⚠ disagrees with Table 1"
             }
         );
-        results.push(result);
-    }
+    };
+    let started = std::time::Instant::now();
+    let results: Vec<ImplResult> = if jobs > 1 {
+        // Entries finish out of order on the pool; collect, then print in
+        // canonical registry order.
+        let results = sweep_registry_jobs(&options, jobs);
+        results.iter().for_each(&print_line);
+        results
+    } else {
+        // Sequential: stream each entry's line as it completes, so the
+        // multi-minute default sweep shows progress.
+        REGISTRY
+            .iter()
+            .map(|entry| {
+                let result = check_entry(entry, &options);
+                print_line(&result);
+                result
+            })
+            .collect()
+    };
 
     let maturity = |name: &str| {
         REGISTRY
@@ -146,6 +182,12 @@ fn table1_and_2(tests: usize, with_table2: bool) {
         started.elapsed().as_secs_f64()
     );
     println!("paper: Passed — 23 (9 beta, 14 mature); Failed — 20 (8 beta, 12 mature)");
+
+    if let Some(path) = json {
+        let doc = sweep_to_json(&results, jobs.max(1), started.elapsed().as_secs_f64());
+        std::fs::write(path, doc).expect("write JSON");
+        println!("wrote {path}");
+    }
 
     if with_table2 {
         println!();
@@ -239,7 +281,7 @@ fn ablation_rvltl() {
                     .with_default_demand(0)
                     .with_seed(seed as u64)
                     .with_shrink(false),
-                &mut || Box::new(WebExecutor::new(|| MenuApp::new(500))),
+                &|| Box::new(WebExecutor::new(|| MenuApp::new(500))),
             )
             .expect("no protocol errors");
             if !report.passed() {
@@ -326,7 +368,7 @@ fn ablation_strategy() {
                     .with_seed(seed * 7919)
                     .with_shrink(false)
                     .with_strategy(strategy);
-                let report = check_spec(&spec, &options, &mut || {
+                let report = check_spec(&spec, &options, &|| {
                     Box::new(WebExecutor::new(move || TodoMvc::with_faults([fault])))
                 })
                 .expect("no protocol errors");

@@ -4,12 +4,21 @@
 //! the Criterion benchmarks: running the TodoMVC registry sweep (Tables 1
 //! and 2), the subscript sweep (Figure 13), and the ablations of
 //! DESIGN.md.
+//!
+//! The registry sweep is the project's hottest end-to-end path, and it
+//! parallelises at entry granularity: [`sweep_registry_jobs`] fans the 43
+//! implementations out over the checker's worker pool
+//! ([`pool`]). Verdicts and state counts are
+//! byte-identical for every job count — only wall-clock time changes —
+//! because each entry's check is self-contained and seeded independently.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use quickstrom::prelude::*;
 use quickstrom::quickstrom_apps::registry::{Entry, REGISTRY};
+use quickstrom::quickstrom_checker::pool;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// The result of checking one registry implementation.
@@ -49,7 +58,7 @@ pub fn check_entry(entry: &'static Entry, options: &CheckOptions) -> ImplResult 
     let spec =
         quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("bundled spec compiles");
     let started = Instant::now();
-    let report = check_spec(&spec, options, &mut || {
+    let report = check_spec(&spec, options, &|| {
         Box::new(WebExecutor::new(|| entry.build()))
     })
     .expect("no protocol errors");
@@ -67,7 +76,69 @@ pub fn check_entry(entry: &'static Entry, options: &CheckOptions) -> ImplResult 
 /// Checks the entire registry, in order.
 #[must_use]
 pub fn sweep_registry(options: &CheckOptions) -> Vec<ImplResult> {
-    REGISTRY.iter().map(|e| check_entry(e, options)).collect()
+    sweep_registry_jobs(options, 1)
+}
+
+/// Checks a set of registry entries on up to `jobs` worker threads.
+///
+/// Results come back in input order, and every field except the wall-clock
+/// time is independent of `jobs`: the entries don't share any state, so
+/// this is the embarrassingly parallel outer level of the Table 1 sweep
+/// (the inner level — the runs within one check — is governed by
+/// [`CheckOptions::jobs`]).
+#[must_use]
+pub fn sweep_entries(
+    entries: &[&'static Entry],
+    options: &CheckOptions,
+    jobs: usize,
+) -> Vec<ImplResult> {
+    pool::run_ordered(jobs, entries.len(), |i| check_entry(entries[i], options))
+}
+
+/// Checks the entire registry on up to `jobs` worker threads, in registry
+/// order.
+#[must_use]
+pub fn sweep_registry_jobs(options: &CheckOptions, jobs: usize) -> Vec<ImplResult> {
+    let entries: Vec<&'static Entry> = REGISTRY.iter().collect();
+    sweep_entries(&entries, options, jobs)
+}
+
+/// Renders sweep results as a JSON document with per-entry wall times —
+/// the machine-readable output behind `evalharness table1 --json`, meant
+/// for perf-trajectory tracking (`BENCH_*.json`).
+///
+/// The schema is one object with sweep-level metadata and an `entries`
+/// array; every entry carries `name`, `passed`, `expected_to_fail`,
+/// `wall_s`, `states` and `faults`.
+#[must_use]
+pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"table1_registry_sweep\",");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(out, "  \"total_wall_s\": {total_wall_s:.4},");
+    let _ = writeln!(
+        out,
+        "  \"states_total\": {},",
+        results.iter().map(|r| r.states).sum::<usize>()
+    );
+    let _ = writeln!(out, "  \"entries\": [");
+    for (i, r) in results.iter().enumerate() {
+        let faults: Vec<String> = r.fault_numbers.iter().map(ToString::to_string).collect();
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"passed\": {}, \"expected_to_fail\": {}, \
+             \"wall_s\": {:.4}, \"states\": {}, \"faults\": [{}]}}",
+            r.name,
+            r.passed,
+            r.expected_to_fail,
+            r.wall_s,
+            r.states,
+            faults.join(", ")
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// One point of the Figure 13 sweep.
@@ -131,7 +202,7 @@ pub fn figure13_point(subscript: u32, sessions: usize, runs_per_session: usize) 
             .with_shrink(false);
         let started = Instant::now();
         // Track virtual time by keeping the last executor alive per run.
-        let report = check_spec(&spec, &options, &mut || {
+        let report = check_spec(&spec, &options, &|| {
             Box::new(WebExecutor::new(|| entry.build()))
         })
         .expect("no protocol errors");

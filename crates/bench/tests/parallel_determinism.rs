@@ -1,0 +1,99 @@
+//! The determinism invariant of the parallel runtime: `jobs = N` produces
+//! a [`Report`] *identical* to `jobs = 1` — same verdicts, same
+//! counterexample scripts and traces, same state/action totals — for both
+//! passing and failing registry entries. See DESIGN.md, *Parallel
+//! runtime*.
+//!
+//! These tests are tier-1: they gate the whole sharded check runtime. If
+//! one fails, some run observed state that depended on worker count or
+//! completion order.
+
+use quickstrom::prelude::*;
+use quickstrom::quickstrom_apps::registry;
+use quickstrom_bench::sweep_entries;
+
+fn options() -> CheckOptions {
+    CheckOptions::default()
+        .with_tests(24)
+        .with_max_actions(40)
+        .with_default_demand(30)
+        .with_seed(20220322)
+}
+
+fn report_for(name: &str, jobs: usize) -> Report {
+    let entry = registry::by_name(name).unwrap_or_else(|| panic!("unknown entry {name}"));
+    let spec = quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
+    check_spec(&spec, &options().with_jobs(jobs), &|| {
+        Box::new(WebExecutor::new(|| entry.build()))
+    })
+    .expect("no protocol errors")
+}
+
+/// A passing entry: every run executes, so this exercises full-fan-out
+/// merging with no cancellation.
+#[test]
+fn passing_entry_report_is_identical_across_job_counts() {
+    let sequential = report_for("vue", 1);
+    assert!(sequential.passed(), "{sequential}");
+    for jobs in [2, 4, 7] {
+        let parallel = report_for("vue", jobs);
+        assert_eq!(
+            sequential, parallel,
+            "jobs={jobs} diverged from the sequential report"
+        );
+    }
+}
+
+/// A failing entry: exercises stop-at-first-failure cancellation — the
+/// parallel run must report the counterexample of the *earliest* failing
+/// run index (with the identical shrunk script and trace), not whichever
+/// worker finished first.
+#[test]
+fn failing_entry_report_is_identical_across_job_counts() {
+    let sequential = report_for("elm", 1);
+    assert!(!sequential.passed(), "elm should fail: {sequential}");
+    let cx_seq = sequential.properties[0]
+        .counterexample()
+        .expect("counterexample");
+    for jobs in [2, 4] {
+        let parallel = report_for("elm", jobs);
+        assert_eq!(
+            sequential, parallel,
+            "jobs={jobs} diverged from the sequential report"
+        );
+        let cx_par = parallel.properties[0]
+            .counterexample()
+            .expect("counterexample");
+        assert_eq!(cx_seq.script, cx_par.script, "jobs={jobs} script differs");
+        assert_eq!(cx_seq.trace, cx_par.trace, "jobs={jobs} trace differs");
+    }
+}
+
+/// The outer fan-out (registry entries): every verdict and state count
+/// matches the sequential sweep; only wall-clock may differ.
+#[test]
+fn entry_sweep_is_identical_across_job_counts() {
+    let entries: Vec<_> = ["vue", "elm", "react", "jquery", "backbone"]
+        .iter()
+        .map(|n| registry::by_name(n).expect("registry name"))
+        .collect();
+    let quick = options().with_tests(10).with_shrink(false);
+    let sequential = sweep_entries(&entries, &quick, 1);
+    for jobs in [2, 4] {
+        let parallel = sweep_entries(&entries, &quick, jobs);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name, "jobs={jobs} order differs");
+            assert_eq!(
+                s.passed, p.passed,
+                "jobs={jobs}: {} verdict differs",
+                s.name
+            );
+            assert_eq!(
+                s.states, p.states,
+                "jobs={jobs}: {} state count differs",
+                s.name
+            );
+        }
+    }
+}

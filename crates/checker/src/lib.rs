@@ -19,6 +19,11 @@
 //!    longer demands more states; failing runs yield replayable, shrinkable
 //!    counterexamples.
 //!
+//! With [`CheckOptions::jobs`] greater than one, the runs of a property
+//! fan out over an in-tree worker [`pool`]; per-run seeds derive from
+//! `(master seed, run index)` ([`derive_run_seed`]), so the report is
+//! bit-identical regardless of worker count.
+//!
 //! ## Example
 //!
 //! A complete check against a tiny hand-rolled executor (real executors
@@ -70,7 +75,7 @@
 //! )
 //! .unwrap();
 //! let options = CheckOptions::default().with_tests(3).with_max_actions(10);
-//! let report = check_spec(&spec, &options, &mut || {
+//! let report = check_spec(&spec, &options, &|| {
 //!     Box::new(Blinker { on: false })
 //! })
 //! .unwrap();
@@ -82,9 +87,12 @@
 #![forbid(unsafe_code)]
 
 pub mod options;
+pub mod pool;
 pub mod report;
+mod run;
 pub mod runner;
+mod session;
 
 pub use options::{CheckOptions, SelectionStrategy};
 pub use report::{Counterexample, PropertyReport, Report, RunResult, TraceEntry};
-pub use runner::{check_property, check_spec, CheckError};
+pub use runner::{check_property, check_spec, derive_run_seed, CheckError, MakeExecutor};

@@ -37,6 +37,11 @@ pub struct CheckOptions {
     pub shrink: bool,
     /// How to pick among enabled actions (§5.1 extension).
     pub strategy: SelectionStrategy,
+    /// Worker threads for the runs of one property. `0` and `1` both mean
+    /// sequential. Any value produces a report identical to `jobs = 1`:
+    /// run seeds derive from `(seed, run index)` alone and results merge
+    /// in run-index order (see DESIGN.md, *Parallel runtime*).
+    pub jobs: usize,
 }
 
 impl Default for CheckOptions {
@@ -48,6 +53,7 @@ impl Default for CheckOptions {
             seed: 0,
             shrink: true,
             strategy: SelectionStrategy::UniformRandom,
+            jobs: 1,
         }
     }
 }
@@ -95,6 +101,14 @@ impl CheckOptions {
         self
     }
 
+    /// Returns the options with the given worker-thread count (`0` and `1`
+    /// both mean sequential; the report is the same for every value).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// The hard cap on actions in one run: the budget plus headroom for
     /// outstanding demands (a nested demand can require up to twice the
     /// default subscript in additional states).
@@ -123,13 +137,15 @@ mod tests {
             .with_default_demand(10)
             .with_seed(42)
             .with_shrink(false)
-            .with_strategy(SelectionStrategy::LeastTried);
+            .with_strategy(SelectionStrategy::LeastTried)
+            .with_jobs(4);
         assert_eq!(o.tests, 5);
         assert_eq!(o.max_actions, 30);
         assert_eq!(o.default_demand, 10);
         assert_eq!(o.seed, 42);
         assert!(!o.shrink);
         assert_eq!(o.strategy, SelectionStrategy::LeastTried);
+        assert_eq!(o.jobs, 4);
         assert_eq!(o.hard_action_cap(), 30 + 20 + 16);
     }
 }

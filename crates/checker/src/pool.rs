@@ -1,0 +1,221 @@
+//! A small in-tree worker pool: ordered fan-out over `std::thread` and
+//! channels.
+//!
+//! The checker's parallel runtime has one need: run `count` independent
+//! tasks on up to `jobs` OS threads and collect the results *in task-index
+//! order*, so that a parallel sweep merges into exactly the report a
+//! sequential sweep would produce. [`run_ordered`] provides that, and
+//! [`Cancellation`] carries the stop-at-first-failure signal between
+//! workers without disturbing determinism (see DESIGN.md, *Parallel
+//! runtime*).
+//!
+//! No work-stealing, no task queues, no external dependencies: workers pull
+//! the next index from a shared atomic counter and post `(index, result)`
+//! pairs down an [`std::sync::mpsc`] channel. A worker panic stops the
+//! fan-out — siblings bail at their next index fetch — and is re-raised
+//! in the caller with its original payload.
+//!
+//! # Examples
+//!
+//! ```
+//! use quickstrom_checker::pool::run_ordered;
+//!
+//! let squares = run_ordered(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// Runs `task(0..count)` on up to `jobs` worker threads and returns the
+/// results in index order.
+///
+/// With `jobs <= 1` (or at most one task) the tasks run inline on the
+/// calling thread, in order — the parallel and sequential paths share this
+/// single entry point. Scheduling is dynamic (workers pull the next index
+/// when free), so slow tasks don't convoy behind fast ones; result order is
+/// nevertheless always `0..count`.
+///
+/// # Panics
+///
+/// If a task panics, sibling workers stop at their next index fetch
+/// (already-started tasks finish) and the first panic is re-raised in the
+/// caller with its original payload — a long fan-out doesn't grind
+/// through its whole backlog after one task has already died.
+pub fn run_ordered<T, F>(jobs: usize, count: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(count);
+    if jobs <= 1 {
+        return (0..count).map(task).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    // The first panic payload, kept so it can be re-raised with its
+    // original message (`#[should_panic]` expectations, test names).
+    let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let task = &task;
+            let stop = &stop;
+            let panic_payload = &panic_payload;
+            scope.spawn(move || loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                // AssertUnwindSafe: on panic the result is discarded and
+                // the payload re-raised, so no broken state is observed.
+                match panic::catch_unwind(AssertUnwindSafe(|| task(index))) {
+                    Ok(value) => {
+                        if tx.send((index, value)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(payload) => {
+                        stop.store(true, Ordering::SeqCst);
+                        panic_payload
+                            .lock()
+                            .expect("payload lock")
+                            .get_or_insert(payload);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+    if let Some(payload) = panic_payload.into_inner().expect("payload lock") {
+        panic::resume_unwind(payload);
+    }
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (index, value) in rx {
+        slots[index] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("worker delivered every index"))
+        .collect()
+}
+
+/// The stop-at-first-failure signal shared by the workers of one fan-out.
+///
+/// Tracks the *earliest* task index at which a stopping condition (a
+/// failing run, a check error) was observed. Workers consult
+/// [`should_skip`](Cancellation::should_skip) before starting a task:
+/// indices *after* the earliest known stop can be skipped — a sequential
+/// loop would never have reached them — while indices *before* it must
+/// still run, because an even earlier failure may yet surface and become
+/// the canonical one. This is what keeps an N-worker report bit-identical
+/// to the 1-worker report.
+#[derive(Debug)]
+pub struct Cancellation {
+    earliest_stop: AtomicUsize,
+}
+
+impl Cancellation {
+    /// A fresh signal with no stop recorded.
+    #[must_use]
+    pub fn new() -> Self {
+        Cancellation {
+            earliest_stop: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// Records that the task at `index` hit a stopping condition.
+    pub fn note_stop(&self, index: usize) {
+        self.earliest_stop.fetch_min(index, Ordering::SeqCst);
+    }
+
+    /// May the task at `index` be skipped? True only for indices strictly
+    /// after the earliest recorded stop.
+    #[must_use]
+    pub fn should_skip(&self, index: usize) -> bool {
+        index > self.earliest_stop.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for Cancellation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sequential_when_single_job() {
+        let calls = AtomicUsize::new(0);
+        let out = run_ordered(1, 5, |i| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            i + 1
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+        assert_eq!(calls.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn parallel_results_are_in_index_order() {
+        // Make early indices slow so completion order differs from
+        // submission order.
+        let out = run_ordered(4, 16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = run_ordered(4, 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_tasks_is_fine() {
+        let out = run_ordered(64, 3, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 3 exploded")]
+    fn worker_panic_propagates_to_caller() {
+        let _ = run_ordered(4, 8, |i| {
+            if i == 3 {
+                panic!("worker 3 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn cancellation_tracks_earliest_stop() {
+        let cancel = Cancellation::new();
+        assert!(!cancel.should_skip(0));
+        assert!(!cancel.should_skip(1_000_000));
+        cancel.note_stop(7);
+        cancel.note_stop(12); // later stop does not override an earlier one
+        assert!(!cancel.should_skip(6));
+        assert!(!cancel.should_skip(7));
+        assert!(cancel.should_skip(8));
+        cancel.note_stop(2);
+        assert!(!cancel.should_skip(2));
+        assert!(cancel.should_skip(3));
+    }
+}

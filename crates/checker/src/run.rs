@@ -1,0 +1,390 @@
+//! Per-run state: trace recording, formula progression and action
+//! selection.
+//!
+//! A [`Run`] is the pure half of a test run — it owns the evaluator, the
+//! recorded trace and the action-selection state, but never talks to an
+//! executor itself. The I/O half lives in [`crate::session::Session`],
+//! which couples a `Run` with an executor and drives it to completion.
+
+use crate::options::{CheckOptions, SelectionStrategy};
+use crate::report::{Counterexample, RunResult, TraceEntry};
+use crate::runner::CheckError;
+use quickltl::{Evaluator, Formula, StepReport, Verdict};
+use quickstrom_protocol::{ActionInstance, ActionKind, ExecutorMsg, Selector, StateSnapshot};
+use rand::rngs::StdRng;
+use rand::Rng;
+use specstrom::{eval_guard, expand_thunk, ActionValue, CheckDef, CompiledSpec, EvalCtx, Thunk};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Where the next action comes from: fresh randomness or a recorded script
+/// (for counterexample replay and shrinking).
+#[allow(clippy::large_enum_variant)] // StdRng is big; sources are stack-local
+pub(crate) enum ActionSource<'a> {
+    /// Uniformly random selection with a per-run generator.
+    Random(StdRng),
+    /// Replay of a recorded action script.
+    Script {
+        /// The recorded actions.
+        actions: &'a [ActionInstance],
+        /// Position of the next action to replay.
+        pos: usize,
+    },
+}
+
+/// The text pool for generated inputs. Includes the empty string and
+/// whitespace-only entries deliberately: several TodoMVC faults (blank
+/// items, empty-edit deletion) only surface on degenerate input.
+const INPUT_POOL: &[&str] = &[
+    "",
+    " ",
+    "a",
+    "buy milk",
+    "walk the dog",
+    "  trim me  ",
+    "x",
+    "déjà vu",
+    "meditate",
+];
+
+fn generate_text(rng: &mut StdRng) -> String {
+    let i = rng.gen_range(0..INPUT_POOL.len());
+    INPUT_POOL[i].to_owned()
+}
+
+/// The per-run machinery shared by random runs and scripted replays.
+pub(crate) struct Run<'a> {
+    pub(crate) spec: &'a CompiledSpec,
+    pub(crate) check: &'a CheckDef,
+    pub(crate) options: &'a CheckOptions,
+    pub(crate) evaluator: Evaluator<Thunk>,
+    /// Event name lookup: selector → declared `…?` event names.
+    pub(crate) events_by_selector: BTreeMap<Selector, Vec<String>>,
+    /// Event-declared timeouts: event name → ms.
+    pub(crate) event_timeouts: BTreeMap<String, u64>,
+    pub(crate) trace: Vec<TraceEntry>,
+    pub(crate) script: Vec<ActionInstance>,
+    pub(crate) actions_done: usize,
+    /// Per-action-name execution counts (the LeastTried strategy, §5.1).
+    pub(crate) action_counts: BTreeMap<String, usize>,
+    pub(crate) last_state: Option<StateSnapshot>,
+    pub(crate) last_report: Option<StepReport>,
+    pub(crate) pending_wait: Option<u64>,
+}
+
+/// The outcome of one run, before aggregation.
+pub(crate) enum RunOutcome {
+    /// The run concluded with a result.
+    Result(RunResult),
+    /// A scripted replay found the script no longer applicable (an action's
+    /// guard was false or its target disappeared) — only used by shrinking.
+    ScriptInvalid,
+}
+
+impl<'a> Run<'a> {
+    pub(crate) fn new(
+        spec: &'a CompiledSpec,
+        check: &'a CheckDef,
+        property: &Thunk,
+        options: &'a CheckOptions,
+    ) -> Self {
+        let mut events_by_selector: BTreeMap<Selector, Vec<String>> = BTreeMap::new();
+        let mut event_timeouts = BTreeMap::new();
+        for name in &check.events {
+            if let Some(av) = spec.action(name) {
+                if let Some(sel) = &av.selector {
+                    events_by_selector
+                        .entry(sel.clone())
+                        .or_default()
+                        .push(name.clone());
+                }
+                if let Some(t) = av.timeout_ms {
+                    event_timeouts.insert(name.clone(), t);
+                }
+            }
+        }
+        Run {
+            spec,
+            check,
+            options,
+            evaluator: Evaluator::new(Formula::Atom(property.clone())),
+            events_by_selector,
+            event_timeouts,
+            trace: Vec::new(),
+            script: Vec::new(),
+            actions_done: 0,
+            action_counts: BTreeMap::new(),
+            last_state: None,
+            last_report: None,
+            pending_wait: None,
+        }
+    }
+
+    /// The `happened` names for an executor message (§3.2: "all events or
+    /// actions that occurred immediately prior to the current state").
+    fn happened_for(&self, msg: &ExecutorMsg, action: Option<&ActionInstance>) -> Vec<String> {
+        match msg {
+            ExecutorMsg::Acted { .. } => action.map(|a| vec![a.name.clone()]).unwrap_or_default(),
+            ExecutorMsg::Timeout { .. } => vec!["timeout?".to_owned()],
+            ExecutorMsg::Event { event, detail, .. } => {
+                if event == "loaded?" {
+                    return vec!["loaded?".to_owned()];
+                }
+                let mut mapped: Vec<String> = detail
+                    .iter()
+                    .filter_map(|sel| self.events_by_selector.get(sel))
+                    .flatten()
+                    .cloned()
+                    .collect();
+                mapped.sort();
+                mapped.dedup();
+                if mapped.is_empty() {
+                    vec![event.clone()]
+                } else {
+                    mapped
+                }
+            }
+        }
+    }
+
+    /// Feeds one executor message into the trace and the formula.
+    pub(crate) fn ingest(
+        &mut self,
+        msg: &ExecutorMsg,
+        action: Option<&ActionInstance>,
+    ) -> Result<(), CheckError> {
+        let happened = self.happened_for(msg, action);
+        let mut state = msg.state().clone();
+        state.happened = happened.clone();
+        self.trace.push(TraceEntry {
+            happened: happened.clone(),
+            timestamp_ms: state.timestamp_ms,
+        });
+        // Event-declared timeouts (§3.4): when a timeout is associated with
+        // an event and that event occurs, the checker requests a Wait.
+        if matches!(msg, ExecutorMsg::Event { .. }) {
+            for name in &happened {
+                if let Some(&t) = self.event_timeouts.get(name) {
+                    self.pending_wait = Some(t);
+                }
+            }
+        }
+        let ctx = EvalCtx::with_state(&state, self.options.default_demand);
+        let report = self
+            .evaluator
+            .observe_expanding(&mut |thunk| expand_thunk(thunk, &ctx))
+            .map_err(CheckError::from)?;
+        self.last_report = Some(report);
+        self.last_state = Some(state);
+        Ok(())
+    }
+
+    pub(crate) fn definitive(&self) -> Option<bool> {
+        match self.last_report {
+            Some(StepReport::Definitive(b)) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn presumptive(&self) -> Option<bool> {
+        match self.last_report {
+            Some(StepReport::Continue { presumptive }) => presumptive,
+            Some(StepReport::Definitive(b)) => Some(b),
+            None => None,
+        }
+    }
+
+    /// Formula demands more states (required-next outstanding)?
+    fn demands_more(&self) -> bool {
+        matches!(
+            self.last_report,
+            Some(StepReport::Continue { presumptive: None })
+        )
+    }
+
+    /// Every enabled action instance at the current state.
+    fn enabled_instances(
+        &self,
+        rng: &mut Option<&mut StdRng>,
+    ) -> Result<Vec<ActionInstance>, CheckError> {
+        let state = self.last_state.as_ref().expect("state after start");
+        let ctx = EvalCtx::with_state(state, self.options.default_demand);
+        let mut out = Vec::new();
+        for name in &self.check.actions {
+            let av: Arc<ActionValue> = match self.spec.action(name) {
+                Some(av) => Arc::clone(av),
+                // `noop!`/`reload!` may appear in with-lists undeclared.
+                None => match name.as_str() {
+                    "noop!" => Arc::new(ActionValue {
+                        name: Some("noop!".into()),
+                        kind: Some(ActionKind::Noop),
+                        selector: None,
+                        timeout_ms: None,
+                        guard: None,
+                        event: false,
+                    }),
+                    "reload!" => Arc::new(ActionValue {
+                        name: Some("reload!".into()),
+                        kind: Some(ActionKind::Reload),
+                        selector: None,
+                        timeout_ms: None,
+                        guard: None,
+                        event: false,
+                    }),
+                    other => {
+                        return Err(CheckError::new(format!(
+                            "check references undeclared action `{other}`"
+                        )))
+                    }
+                },
+            };
+            if let Some(guard) = &av.guard {
+                if !eval_guard(guard, &ctx).map_err(CheckError::from)? {
+                    continue;
+                }
+            }
+            let Some(kind) = av.kind.clone() else {
+                continue; // events are not performable
+            };
+            let base = ActionInstance {
+                name: name.clone(),
+                kind,
+                target: None,
+                timeout_ms: av.timeout_ms,
+            };
+            if base.kind.needs_target() {
+                let selector = av.selector.clone().ok_or_else(|| {
+                    CheckError::new(format!("action `{name}` lacks a target selector"))
+                })?;
+                let count = state.matches(&selector).len();
+                for index in 0..count {
+                    let mut instance = base.clone();
+                    instance.target = Some((selector.clone(), index));
+                    if let ActionKind::Input(None) = instance.kind {
+                        if let Some(rng) = rng.as_deref_mut() {
+                            instance.kind = ActionKind::Input(Some(generate_text(rng)));
+                        }
+                    }
+                    out.push(instance);
+                }
+            } else {
+                out.push(base);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Picks the next action, or `None` when the run should stop.
+    pub(crate) fn next_action(
+        &mut self,
+        source: &mut ActionSource<'_>,
+    ) -> Result<Option<ActionInstance>, CheckError> {
+        match source {
+            ActionSource::Random(rng) => {
+                let budget_spent = self.actions_done >= self.options.max_actions;
+                if budget_spent && !self.demands_more() {
+                    return Ok(None);
+                }
+                if self.actions_done >= self.options.hard_action_cap() {
+                    return Ok(None);
+                }
+                let mut candidates = {
+                    let mut rng_opt: Option<&mut StdRng> = Some(rng);
+                    self.enabled_instances(&mut rng_opt)?
+                };
+                if candidates.is_empty() {
+                    return Ok(None);
+                }
+                if self.options.strategy == SelectionStrategy::LeastTried {
+                    // Keep only the instances of the least-performed
+                    // action names (§5.1's "more targeted" selection).
+                    let min = candidates
+                        .iter()
+                        .map(|c| self.action_counts.get(&c.name).copied().unwrap_or(0))
+                        .min()
+                        .expect("nonempty");
+                    candidates
+                        .retain(|c| self.action_counts.get(&c.name).copied().unwrap_or(0) == min);
+                }
+                let i = rng.gen_range(0..candidates.len());
+                Ok(Some(candidates[i].clone()))
+            }
+            ActionSource::Script { actions, pos } => {
+                let Some(action) = actions.get(*pos) else {
+                    return Ok(None);
+                };
+                *pos += 1;
+                Ok(Some(action.clone()))
+            }
+        }
+    }
+
+    /// Is a scripted action still applicable at the current state?
+    pub(crate) fn script_action_valid(&self, action: &ActionInstance) -> Result<bool, CheckError> {
+        let state = self.last_state.as_ref().expect("state after start");
+        let ctx = EvalCtx::with_state(state, self.options.default_demand);
+        if let Some(av) = self.spec.action(&action.name) {
+            if let Some(guard) = &av.guard {
+                if !eval_guard(guard, &ctx).map_err(CheckError::from)? {
+                    return Ok(false);
+                }
+            }
+        }
+        if let Some((selector, index)) = &action.target {
+            if *index >= state.matches(selector).len() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Concludes the run. `allow_forced` permits the end-of-trace fallback
+    /// verdict for formulas whose demands never drain (see
+    /// `quickltl::progress::end_of_trace_default`); it is only set for
+    /// *random* runs stopping naturally (budget spent, application stuck).
+    /// Scripted replays that merely ran out of script must NOT use it —
+    /// otherwise the shrinker would count any prefix ending mid-demand as
+    /// a fresh "failure" and shrink real counterexamples into noise.
+    pub(crate) fn finish(&self, allow_forced: bool) -> RunOutcome {
+        if let Some(b) = self.definitive() {
+            return RunOutcome::Result(self.to_result(Verdict::definitely(b)));
+        }
+        if let Some(b) = self.presumptive() {
+            return RunOutcome::Result(self.to_result(Verdict::presumably(b)));
+        }
+        if allow_forced {
+            if let quickltl::Outcome::Verdict(v) = self.evaluator.forced_outcome() {
+                return RunOutcome::Result(self.to_result_forced(v));
+            }
+        }
+        RunOutcome::Result(RunResult::Inconclusive {
+            reason: format!(
+                "run ended after {} action(s) with trace-length demands \
+                 still outstanding",
+                self.actions_done
+            ),
+        })
+    }
+
+    fn to_result(&self, verdict: Verdict) -> RunResult {
+        self.result_with(verdict, false)
+    }
+
+    fn to_result_forced(&self, verdict: Verdict) -> RunResult {
+        self.result_with(verdict, true)
+    }
+
+    fn result_with(&self, verdict: Verdict, forced: bool) -> RunResult {
+        if verdict.to_bool() {
+            RunResult::Passed(verdict)
+        } else {
+            RunResult::Failed(Counterexample {
+                verdict,
+                script: self.script.clone(),
+                trace: self.trace.clone(),
+                shrunk: false,
+                forced,
+            })
+        }
+    }
+}

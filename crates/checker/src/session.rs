@@ -1,0 +1,137 @@
+//! One checker⟷executor session: the I/O half of a test run.
+//!
+//! A [`Session`] owns a fresh executor and a [`Run`], and drives the
+//! protocol loop of §3.4 against it: send `Start`, ingest the `loaded?`
+//! event, then alternate between picking actions (or honouring pending
+//! `Wait`s) and feeding the executor's replies back into the formula,
+//! until a definitive verdict arrives or the action source dries up.
+//!
+//! Sessions are single-threaded and self-contained — the parallel runtime
+//! in [`crate::runner`] simply constructs one `Session` per worker.
+
+use crate::options::CheckOptions;
+use crate::run::{ActionSource, Run, RunOutcome};
+use crate::runner::CheckError;
+use quickstrom_protocol::{CheckerMsg, Executor, ExecutorMsg};
+use specstrom::{CheckDef, CompiledSpec, Thunk};
+
+/// A [`Run`] coupled with the executor session that feeds it.
+pub(crate) struct Session<'a> {
+    run: Run<'a>,
+    executor: Box<dyn Executor>,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session: a fresh `Run` against a fresh executor.
+    pub(crate) fn new(
+        spec: &'a CompiledSpec,
+        check: &'a CheckDef,
+        property: &Thunk,
+        options: &'a CheckOptions,
+        executor: Box<dyn Executor>,
+    ) -> Self {
+        Session {
+            run: Run::new(spec, check, property, options),
+            executor,
+        }
+    }
+
+    /// States observed so far (trace length).
+    pub(crate) fn states(&self) -> usize {
+        self.run.trace.len()
+    }
+
+    /// Actions accepted so far.
+    pub(crate) fn actions(&self) -> usize {
+        self.run.actions_done
+    }
+
+    /// Executes the run to completion against the owned executor.
+    pub(crate) fn drive(
+        &mut self,
+        source: &mut ActionSource<'_>,
+    ) -> Result<RunOutcome, CheckError> {
+        let start = CheckerMsg::Start {
+            dependencies: self.run.spec.dependencies.clone(),
+        };
+        let replies = self.executor.send(start);
+        if replies.is_empty() {
+            return Err(CheckError::new(
+                "executor sent nothing in response to Start (expected the \
+                 loaded? event)",
+            ));
+        }
+        let allow_forced = matches!(source, ActionSource::Random(_));
+        for msg in &replies {
+            self.run.ingest(msg, None)?;
+            if self.run.definitive().is_some() {
+                self.executor.send(CheckerMsg::End);
+                return Ok(self.run.finish(allow_forced));
+            }
+        }
+        loop {
+            // Event-associated timeouts first (§3.4, Wait).
+            if let Some(t) = self.run.pending_wait.take() {
+                let version = self.run.trace.len() as u64;
+                let replies = self.executor.send(CheckerMsg::Wait {
+                    time_ms: t,
+                    version,
+                });
+                for msg in &replies {
+                    self.run.ingest(msg, None)?;
+                }
+                if self.run.definitive().is_some() {
+                    break;
+                }
+                continue;
+            }
+            let Some(action) = self.run.next_action(source)? else {
+                break;
+            };
+            if matches!(source, ActionSource::Script { .. })
+                && !self.run.script_action_valid(&action)?
+            {
+                self.executor.send(CheckerMsg::End);
+                return Ok(RunOutcome::ScriptInvalid);
+            }
+            let version = self.run.trace.len() as u64;
+            let replies = self.executor.send(CheckerMsg::Act {
+                action: action.clone(),
+                version,
+            });
+            let accepted = replies.iter().any(ExecutorMsg::is_acted);
+            let mut acted_seen = false;
+            for msg in &replies {
+                let tag = if msg.is_acted() && !acted_seen {
+                    acted_seen = true;
+                    Some(&action)
+                } else {
+                    None
+                };
+                self.run.ingest(msg, tag)?;
+                if self.run.definitive().is_some() {
+                    break;
+                }
+            }
+            if accepted {
+                *self
+                    .run
+                    .action_counts
+                    .entry(action.name.clone())
+                    .or_default() += 1;
+                self.run.script.push(action);
+                self.run.actions_done += 1;
+            } else if replies.is_empty() {
+                // Neither acted nor any pending event: protocol violation.
+                return Err(CheckError::new(
+                    "executor ignored an up-to-date Act without sending events",
+                ));
+            }
+            if self.run.definitive().is_some() {
+                break;
+            }
+        }
+        self.executor.send(CheckerMsg::End);
+        Ok(self.run.finish(allow_forced))
+    }
+}

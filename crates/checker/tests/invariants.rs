@@ -50,7 +50,7 @@ fn reports_are_deterministic_for_a_seed() {
 fn shrunk_counterexamples_still_fail_when_replayed() {
     // A faulty TodoMVC: pending input cleared on filter change.
     let spec = specstrom::load(TODOMVC_SPEC).unwrap();
-    let make = &mut || -> Box<dyn Executor> {
+    let make = &|| -> Box<dyn Executor> {
         Box::new(WebExecutor::new(|| {
             TodoMvc::with_faults([Fault::PendingCleared])
         }))
@@ -91,7 +91,7 @@ fn unshrunk_counterexamples_are_no_smaller_than_shrunk() {
             .with_default_demand(40)
             .with_seed(3)
             .with_shrink(shrink);
-        let report = check_spec(&spec, &options, &mut || -> Box<dyn Executor> {
+        let report = check_spec(&spec, &options, &|| -> Box<dyn Executor> {
             Box::new(WebExecutor::new(|| {
                 TodoMvc::with_faults([Fault::PendingCleared])
             }))
@@ -120,7 +120,7 @@ fn checking_stops_at_the_first_failing_run() {
         .with_default_demand(30)
         .with_seed(0)
         .with_shrink(false);
-    let report = check_spec(&spec, &options, &mut || -> Box<dyn Executor> {
+    let report = check_spec(&spec, &options, &|| -> Box<dyn Executor> {
         Box::new(WebExecutor::new(|| {
             TodoMvc::with_faults([Fault::NoCheckboxes])
         }))

@@ -45,8 +45,13 @@ impl Default for WebExecutorConfig {
 }
 
 /// An executor hosting one [`App`] on a virtual DOM and a virtual clock.
+///
+/// `WebExecutor<A>` is `Send` whenever the app is: the checker's parallel
+/// runtime constructs one executor per worker thread (the factory closure
+/// handed to `check_spec` must be `Sync`), and nothing in here touches
+/// thread-local or shared state.
 pub struct WebExecutor<A> {
-    factory: Box<dyn Fn() -> A>,
+    factory: Box<dyn Fn() -> A + Send + Sync>,
     app: A,
     clock: VirtualClock,
     storage: LocalStorage,
@@ -70,12 +75,15 @@ impl<A> std::fmt::Debug for WebExecutor<A> {
 impl<A: App> WebExecutor<A> {
     /// Creates an executor; `factory` builds the app (and rebuilds it on
     /// `reload!`, with storage preserved).
-    pub fn new(factory: impl Fn() -> A + 'static) -> Self {
+    pub fn new(factory: impl Fn() -> A + Send + Sync + 'static) -> Self {
         Self::with_config(factory, WebExecutorConfig::default())
     }
 
     /// Creates an executor with explicit configuration.
-    pub fn with_config(factory: impl Fn() -> A + 'static, config: WebExecutorConfig) -> Self {
+    pub fn with_config(
+        factory: impl Fn() -> A + Send + Sync + 'static,
+        config: WebExecutorConfig,
+    ) -> Self {
         let app = factory();
         WebExecutor {
             factory: Box::new(factory),
@@ -270,6 +278,30 @@ impl<A: App> WebExecutor<A> {
         self.last_snapshot = snap.clone();
         self.trace_len += 1;
         out.push(ExecutorMsg::Acted { state: snap });
+    }
+}
+
+#[cfg(test)]
+mod send_audit {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    /// The parallel check runtime constructs executors on worker threads;
+    /// this pins the `Send` guarantee at compile time for a concrete app.
+    #[test]
+    fn web_executor_is_send_for_send_apps() {
+        #[derive(Debug)]
+        struct Nop;
+        impl App for Nop {
+            fn start(&mut self, _: &mut AppCtx<'_>) {}
+            fn view(&self) -> webdom::El {
+                webdom::El::new("div")
+            }
+            fn on_event(&mut self, _: &str, _: &Payload, _: &mut AppCtx<'_>) {}
+            fn on_timer(&mut self, _: &str, _: &mut AppCtx<'_>) {}
+        }
+        assert_send::<WebExecutor<Nop>>();
     }
 }
 

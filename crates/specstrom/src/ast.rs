@@ -7,7 +7,7 @@
 //! state queries (backtick selectors), and QuickLTL temporal operators.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A source location, in bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -140,7 +140,7 @@ pub struct LetStmt {
     /// `true` for `let ~x = …` (evaluated lazily, per state).
     pub deferred: bool,
     /// The bound expression.
-    pub value: Rc<Expr>,
+    pub value: Arc<Expr>,
     /// Source location of the binding.
     pub span: Span,
 }
@@ -159,9 +159,9 @@ pub enum Expr {
     /// `f(a, b)`.
     Call {
         /// Callee expression.
-        func: Rc<Expr>,
+        func: Arc<Expr>,
         /// Argument expressions.
-        args: Vec<Rc<Expr>>,
+        args: Vec<Arc<Expr>>,
         /// Location.
         span: Span,
     },
@@ -170,7 +170,7 @@ pub enum Expr {
         /// The operator.
         op: UnOp,
         /// Operand.
-        expr: Rc<Expr>,
+        expr: Arc<Expr>,
         /// Location.
         span: Span,
     },
@@ -179,16 +179,16 @@ pub enum Expr {
         /// The operator.
         op: BinOp,
         /// Left operand.
-        lhs: Rc<Expr>,
+        lhs: Arc<Expr>,
         /// Right operand.
-        rhs: Rc<Expr>,
+        rhs: Arc<Expr>,
         /// Location.
         span: Span,
     },
     /// `obj.field`.
     Member {
         /// Object expression.
-        obj: Rc<Expr>,
+        obj: Arc<Expr>,
         /// Field name.
         field: String,
         /// Location.
@@ -197,22 +197,22 @@ pub enum Expr {
     /// `xs[i]`.
     Index {
         /// Collection expression.
-        obj: Rc<Expr>,
+        obj: Arc<Expr>,
         /// Index expression.
-        index: Rc<Expr>,
+        index: Arc<Expr>,
         /// Location.
         span: Span,
     },
     /// `[a, b, c]`.
-    Array(Vec<Rc<Expr>>, Span),
+    Array(Vec<Arc<Expr>>, Span),
     /// `if c { … } else { … }`.
     If {
         /// Condition (must be a plain boolean, not a formula).
-        cond: Rc<Expr>,
+        cond: Arc<Expr>,
         /// Then branch.
-        then_branch: Rc<Expr>,
+        then_branch: Arc<Expr>,
         /// Else branch.
-        else_branch: Rc<Expr>,
+        else_branch: Arc<Expr>,
         /// Location.
         span: Span,
     },
@@ -221,7 +221,7 @@ pub enum Expr {
         /// Leading let-statements.
         lets: Vec<LetStmt>,
         /// The block's result expression.
-        result: Rc<Expr>,
+        result: Arc<Expr>,
         /// Location.
         span: Span,
     },
@@ -232,7 +232,7 @@ pub enum Expr {
         /// The demand subscript; `None` uses the checker default (§4.1).
         demand: Option<u32>,
         /// Body.
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         /// Location.
         span: Span,
     },
@@ -243,9 +243,9 @@ pub enum Expr {
         /// The demand subscript; `None` uses the checker default.
         demand: Option<u32>,
         /// Left operand.
-        lhs: Rc<Expr>,
+        lhs: Arc<Expr>,
         /// Right operand.
-        rhs: Rc<Expr>,
+        rhs: Arc<Expr>,
         /// Location.
         span: Span,
     },
@@ -296,7 +296,7 @@ pub enum Item {
         /// Parameters.
         params: Vec<Param>,
         /// Body expression.
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         /// Location.
         span: Span,
     },
@@ -305,11 +305,11 @@ pub enum Item {
         /// Action (`…!`) or event (`…?`) name, including the suffix.
         name: String,
         /// The body, evaluating to a primitive action.
-        body: Rc<Expr>,
+        body: Arc<Expr>,
         /// Optional timeout in milliseconds (§3.2, *Timeouts*).
-        timeout: Option<Rc<Expr>>,
+        timeout: Option<Arc<Expr>>,
         /// Optional guard, evaluated per state (§3.2, *Actions*).
-        guard: Option<Rc<Expr>>,
+        guard: Option<Arc<Expr>>,
         /// Location.
         span: Span,
     },
@@ -378,7 +378,7 @@ mod tests {
         let item = Item::Let(LetStmt {
             name: "x".into(),
             deferred: false,
-            value: Rc::new(Expr::Lit(Literal::Null, Span::default())),
+            value: Arc::new(Expr::Lit(Literal::Null, Span::default())),
             span: Span::default(),
         });
         assert_eq!(item.name(), Some("x"));

@@ -22,7 +22,7 @@ use quickltl::{Demand, Formula};
 use quickstrom_protocol::{ActionKind, ElementState, Key, Selector, StateSnapshot};
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The context for one evaluation: the current state (if any), the default
 /// demand subscript, and a fuel counter guarding against runaway expansion.
@@ -89,7 +89,7 @@ pub fn initial_env() -> Env {
     }
     env = env.bind(
         "noop!",
-        Binding::Eager(Value::Action(Rc::new(ActionValue {
+        Binding::Eager(Value::Action(Arc::new(ActionValue {
             name: Some("noop!".into()),
             kind: Some(ActionKind::Noop),
             selector: None,
@@ -100,7 +100,7 @@ pub fn initial_env() -> Env {
     );
     env = env.bind(
         "reload!",
-        Binding::Eager(Value::Action(Rc::new(ActionValue {
+        Binding::Eager(Value::Action(Arc::new(ActionValue {
             name: Some("reload!".into()),
             kind: Some(ActionKind::Reload),
             selector: None,
@@ -111,7 +111,7 @@ pub fn initial_env() -> Env {
     );
     env = env.bind(
         "loaded?",
-        Binding::Eager(Value::Action(Rc::new(ActionValue {
+        Binding::Eager(Value::Action(Arc::new(ActionValue {
             name: Some("loaded?".into()),
             kind: None,
             selector: None,
@@ -129,7 +129,7 @@ pub fn initial_env() -> Env {
 ///
 /// Returns [`EvalError`] on runtime type mismatches, state queries without
 /// a state, arithmetic errors, or fuel exhaustion.
-pub fn eval(expr: &Rc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalError> {
+pub fn eval(expr: &Arc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalError> {
     ctx.burn()?;
     match expr.as_ref() {
         Expr::Lit(lit, _) => Ok(match lit {
@@ -172,7 +172,7 @@ pub fn eval(expr: &Rc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, Eval
                         let binding = if param.deferred {
                             // Call-by-name: capture the argument expression
                             // in the *caller's* environment (§3.1).
-                            Binding::Deferred(Thunk::new(Rc::clone(arg), env.clone()))
+                            Binding::Deferred(Thunk::new(Arc::clone(arg), env.clone()))
                         } else {
                             Binding::Eager(eval(arg, env, ctx)?)
                         };
@@ -285,7 +285,7 @@ pub fn eval(expr: &Rc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, Eval
             let mut block_env = env.clone();
             for stmt in lets {
                 let binding = if stmt.deferred {
-                    Binding::Deferred(Thunk::new(Rc::clone(&stmt.value), block_env.clone()))
+                    Binding::Deferred(Thunk::new(Arc::clone(&stmt.value), block_env.clone()))
                 } else {
                     Binding::Eager(eval(&stmt.value, &block_env, ctx)?)
                 };
@@ -296,7 +296,7 @@ pub fn eval(expr: &Rc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, Eval
         Expr::Temporal {
             op, demand, body, ..
         } => {
-            let atom = Formula::Atom(Thunk::new(Rc::clone(body), env.clone()));
+            let atom = Formula::Atom(Thunk::new(Arc::clone(body), env.clone()));
             let d = Demand(demand.unwrap_or(ctx.default_demand));
             Ok(Value::Formula(match op {
                 TemporalOp::Always => Formula::Always(d, Box::new(atom)),
@@ -313,8 +313,8 @@ pub fn eval(expr: &Rc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, Eval
             rhs,
             ..
         } => {
-            let l = Formula::Atom(Thunk::new(Rc::clone(lhs), env.clone()));
-            let r = Formula::Atom(Thunk::new(Rc::clone(rhs), env.clone()));
+            let l = Formula::Atom(Thunk::new(Arc::clone(lhs), env.clone()));
+            let r = Formula::Atom(Thunk::new(Arc::clone(rhs), env.clone()));
             let d = Demand(demand.unwrap_or(ctx.default_demand));
             Ok(Value::Formula(if *until {
                 Formula::Until(d, Box::new(l), Box::new(r))
@@ -355,8 +355,8 @@ fn lift(l: Logical) -> Formula<Thunk> {
 #[allow(clippy::too_many_lines)]
 fn eval_binary(
     op: BinOp,
-    lhs: &Rc<Expr>,
-    rhs: &Rc<Expr>,
+    lhs: &Arc<Expr>,
+    rhs: &Arc<Expr>,
     env: &Env,
     ctx: &EvalCtx<'_>,
     span: crate::ast::Span,
@@ -573,8 +573,8 @@ pub fn element_record(element: &ElementState) -> Value {
         .iter()
         .map(|(k, v)| (k.clone(), Value::str(v)))
         .collect();
-    fields.insert("attributes".to_owned(), Value::Record(Rc::new(attrs)));
-    Value::Record(Rc::new(fields))
+    fields.insert("attributes".to_owned(), Value::Record(Arc::new(attrs)));
+    Value::Record(Arc::new(fields))
 }
 
 fn query<'s>(
@@ -709,9 +709,9 @@ fn apply_function(f: &Value, args: Vec<Value>, ctx: &EvalCtx<'_>) -> Result<Valu
     }
 }
 
-fn expect_list(v: &Value, what: &str) -> Result<Rc<Vec<Value>>, EvalError> {
+fn expect_list(v: &Value, what: &str) -> Result<Arc<Vec<Value>>, EvalError> {
     match v {
-        Value::List(items) => Ok(Rc::clone(items)),
+        Value::List(items) => Ok(Arc::clone(items)),
         other => Err(EvalError::new(format!(
             "{what} expects a list, got {}",
             other.type_name()
@@ -730,7 +730,7 @@ fn expect_selector(v: Value, what: &str) -> Result<Selector, EvalError> {
 }
 
 fn mk_action(kind: ActionKind, selector: Selector) -> Value {
-    Value::Action(Rc::new(ActionValue {
+    Value::Action(Arc::new(ActionValue {
         name: None,
         kind: Some(kind),
         selector: Some(selector),
@@ -928,7 +928,7 @@ fn apply_builtin(
         }
         Builtin::MkChanged => {
             let sel = expect_selector(args.remove(0), "changed?")?;
-            Ok(Value::Action(Rc::new(ActionValue {
+            Ok(Value::Action(Arc::new(ActionValue {
                 name: None,
                 kind: None,
                 selector: Some(sel),
@@ -978,8 +978,13 @@ pub fn eval_guard(thunk: &Thunk, ctx: &EvalCtx<'_>) -> Result<bool, EvalError> {
 
 /// Builds a closure value from a `fun` item.
 #[must_use]
-pub fn make_closure(name: &str, params: Vec<crate::ast::Param>, body: Rc<Expr>, env: Env) -> Value {
-    Value::Closure(Rc::new(ClosureData {
+pub fn make_closure(
+    name: &str,
+    params: Vec<crate::ast::Param>,
+    body: Arc<Expr>,
+    env: Env,
+) -> Value {
+    Value::Closure(Arc::new(ClosureData {
         name: name.to_owned(),
         params,
         body,

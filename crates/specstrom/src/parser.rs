@@ -22,7 +22,7 @@ use crate::ast::Span;
 use crate::ast::{BinOp, Expr, Item, LetStmt, Literal, Param, Spec, TemporalOp, UnOp};
 use crate::error::SpecError;
 use crate::lexer::{lex, SpannedTok, Tok};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Parses a complete specification source file.
 ///
@@ -61,7 +61,7 @@ pub fn parse_spec(src: &str) -> Result<Spec, SpecError> {
 /// # Errors
 ///
 /// Returns the first [`SpecError`] encountered, including trailing input.
-pub fn parse_expr(src: &str) -> Result<Rc<Expr>, SpecError> {
+pub fn parse_expr(src: &str) -> Result<Arc<Expr>, SpecError> {
     let toks = lex(src)?;
     let mut p = Parser {
         toks,
@@ -294,16 +294,16 @@ impl Parser {
 
     // ---------------------------------------------------------- expressions
 
-    fn expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn expr(&mut self) -> Result<Arc<Expr>, SpecError> {
         self.implies()
     }
 
-    fn implies(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn implies(&mut self) -> Result<Arc<Expr>, SpecError> {
         let lhs = self.or_expr()?;
         if self.eat(&Tok::Implies) {
             let rhs = self.implies()?;
             let span = lhs.span().merge(rhs.span());
-            Ok(Rc::new(Expr::Binary {
+            Ok(Arc::new(Expr::Binary {
                 op: BinOp::Implies,
                 lhs,
                 rhs,
@@ -314,12 +314,12 @@ impl Parser {
         }
     }
 
-    fn or_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn or_expr(&mut self) -> Result<Arc<Expr>, SpecError> {
         let mut lhs = self.and_expr()?;
         while self.eat(&Tok::OrOr) {
             let rhs = self.and_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Rc::new(Expr::Binary {
+            lhs = Arc::new(Expr::Binary {
                 op: BinOp::Or,
                 lhs,
                 rhs,
@@ -329,12 +329,12 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn and_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn and_expr(&mut self) -> Result<Arc<Expr>, SpecError> {
         let mut lhs = self.until_expr()?;
         while self.eat(&Tok::AndAnd) {
             let rhs = self.until_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Rc::new(Expr::Binary {
+            lhs = Arc::new(Expr::Binary {
                 op: BinOp::And,
                 lhs,
                 rhs,
@@ -362,7 +362,7 @@ impl Parser {
         }
     }
 
-    fn until_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn until_expr(&mut self) -> Result<Arc<Expr>, SpecError> {
         let lhs = self.cmp_expr()?;
         let until = match self.peek() {
             Some(Tok::Until) => true,
@@ -374,7 +374,7 @@ impl Parser {
         // Right associative: `a until b until c` = `a until (b until c)`.
         let rhs = self.until_expr()?;
         let span = lhs.span().merge(rhs.span());
-        Ok(Rc::new(Expr::TemporalBin {
+        Ok(Arc::new(Expr::TemporalBin {
             until,
             demand,
             lhs,
@@ -383,7 +383,7 @@ impl Parser {
         }))
     }
 
-    fn cmp_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn cmp_expr(&mut self) -> Result<Arc<Expr>, SpecError> {
         let lhs = self.add_expr()?;
         let op = match self.peek() {
             Some(Tok::EqEq) => BinOp::Eq,
@@ -398,10 +398,10 @@ impl Parser {
         self.pos += 1;
         let rhs = self.add_expr()?;
         let span = lhs.span().merge(rhs.span());
-        Ok(Rc::new(Expr::Binary { op, lhs, rhs, span }))
+        Ok(Arc::new(Expr::Binary { op, lhs, rhs, span }))
     }
 
-    fn add_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn add_expr(&mut self) -> Result<Arc<Expr>, SpecError> {
         let mut lhs = self.mul_expr()?;
         loop {
             let op = match self.peek() {
@@ -412,12 +412,12 @@ impl Parser {
             self.pos += 1;
             let rhs = self.mul_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Rc::new(Expr::Binary { op, lhs, rhs, span });
+            lhs = Arc::new(Expr::Binary { op, lhs, rhs, span });
         }
         Ok(lhs)
     }
 
-    fn mul_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn mul_expr(&mut self) -> Result<Arc<Expr>, SpecError> {
         let mut lhs = self.unary_expr()?;
         loop {
             let op = match self.peek() {
@@ -429,19 +429,19 @@ impl Parser {
             self.pos += 1;
             let rhs = self.unary_expr()?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Rc::new(Expr::Binary { op, lhs, rhs, span });
+            lhs = Arc::new(Expr::Binary { op, lhs, rhs, span });
         }
         Ok(lhs)
     }
 
-    fn unary_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn unary_expr(&mut self) -> Result<Arc<Expr>, SpecError> {
         let start = self.here();
         match self.peek() {
             Some(Tok::Bang) => {
                 self.pos += 1;
                 let expr = self.unary_expr()?;
                 let span = start.merge(expr.span());
-                Ok(Rc::new(Expr::Unary {
+                Ok(Arc::new(Expr::Unary {
                     op: UnOp::Not,
                     expr,
                     span,
@@ -451,7 +451,7 @@ impl Parser {
                 self.pos += 1;
                 let expr = self.unary_expr()?;
                 let span = start.merge(expr.span());
-                Ok(Rc::new(Expr::Unary {
+                Ok(Arc::new(Expr::Unary {
                     op: UnOp::Neg,
                     expr,
                     span,
@@ -466,13 +466,13 @@ impl Parser {
         }
     }
 
-    fn temporal_prefix(&mut self, op: TemporalOp, demanded: bool) -> Result<Rc<Expr>, SpecError> {
+    fn temporal_prefix(&mut self, op: TemporalOp, demanded: bool) -> Result<Arc<Expr>, SpecError> {
         let start = self.here();
         self.pos += 1;
         let demand = if demanded { self.demand()? } else { None };
         let body = self.unary_expr()?;
         let span = start.merge(body.span());
-        Ok(Rc::new(Expr::Temporal {
+        Ok(Arc::new(Expr::Temporal {
             op,
             demand,
             body,
@@ -480,7 +480,7 @@ impl Parser {
         }))
     }
 
-    fn postfix_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn postfix_expr(&mut self) -> Result<Arc<Expr>, SpecError> {
         let mut expr = self.primary()?;
         loop {
             match self.peek() {
@@ -497,7 +497,7 @@ impl Parser {
                     }
                     let end = self.expect(&Tok::RParen)?;
                     let span = expr.span().merge(end);
-                    expr = Rc::new(Expr::Call {
+                    expr = Arc::new(Expr::Call {
                         func: expr,
                         args,
                         span,
@@ -507,7 +507,7 @@ impl Parser {
                     self.pos += 1;
                     let (field, fspan) = self.ident()?;
                     let span = expr.span().merge(fspan);
-                    expr = Rc::new(Expr::Member {
+                    expr = Arc::new(Expr::Member {
                         obj: expr,
                         field,
                         span,
@@ -518,7 +518,7 @@ impl Parser {
                     let index = self.expr()?;
                     let end = self.expect(&Tok::RBracket)?;
                     let span = expr.span().merge(end);
-                    expr = Rc::new(Expr::Index {
+                    expr = Arc::new(Expr::Index {
                         obj: expr,
                         index,
                         span,
@@ -530,44 +530,44 @@ impl Parser {
         Ok(expr)
     }
 
-    fn primary(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn primary(&mut self) -> Result<Arc<Expr>, SpecError> {
         let span = self.here();
         match self.peek() {
             Some(Tok::Int(_)) => match self.bump() {
-                Some(Tok::Int(n)) => Ok(Rc::new(Expr::Lit(Literal::Int(n), span))),
+                Some(Tok::Int(n)) => Ok(Arc::new(Expr::Lit(Literal::Int(n), span))),
                 _ => unreachable!(),
             },
             Some(Tok::Float(_)) => match self.bump() {
-                Some(Tok::Float(x)) => Ok(Rc::new(Expr::Lit(Literal::Float(x), span))),
+                Some(Tok::Float(x)) => Ok(Arc::new(Expr::Lit(Literal::Float(x), span))),
                 _ => unreachable!(),
             },
             Some(Tok::Str(_)) => match self.bump() {
-                Some(Tok::Str(s)) => Ok(Rc::new(Expr::Lit(Literal::Str(s), span))),
+                Some(Tok::Str(s)) => Ok(Arc::new(Expr::Lit(Literal::Str(s), span))),
                 _ => unreachable!(),
             },
             Some(Tok::Selector(_)) => match self.bump() {
-                Some(Tok::Selector(s)) => Ok(Rc::new(Expr::Selector(s, span))),
+                Some(Tok::Selector(s)) => Ok(Arc::new(Expr::Selector(s, span))),
                 _ => unreachable!(),
             },
             Some(Tok::True) => {
                 self.pos += 1;
-                Ok(Rc::new(Expr::Lit(Literal::Bool(true), span)))
+                Ok(Arc::new(Expr::Lit(Literal::Bool(true), span)))
             }
             Some(Tok::False) => {
                 self.pos += 1;
-                Ok(Rc::new(Expr::Lit(Literal::Bool(false), span)))
+                Ok(Arc::new(Expr::Lit(Literal::Bool(false), span)))
             }
             Some(Tok::Null) => {
                 self.pos += 1;
-                Ok(Rc::new(Expr::Lit(Literal::Null, span)))
+                Ok(Arc::new(Expr::Lit(Literal::Null, span)))
             }
             Some(Tok::Happened) => {
                 self.pos += 1;
-                Ok(Rc::new(Expr::Happened(span)))
+                Ok(Arc::new(Expr::Happened(span)))
             }
             Some(Tok::Ident(_)) => {
                 let (name, span) = self.ident()?;
-                Ok(Rc::new(Expr::Var(name, span)))
+                Ok(Arc::new(Expr::Var(name, span)))
             }
             Some(Tok::LParen) => {
                 self.pos += 1;
@@ -587,7 +587,7 @@ impl Parser {
                     }
                 }
                 let end = self.expect(&Tok::RBracket)?;
-                Ok(Rc::new(Expr::Array(items, span.merge(end))))
+                Ok(Arc::new(Expr::Array(items, span.merge(end))))
             }
             Some(Tok::If) => self.if_expr(),
             Some(Tok::LBrace) => self.block(),
@@ -595,7 +595,7 @@ impl Parser {
         }
     }
 
-    fn if_expr(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn if_expr(&mut self) -> Result<Arc<Expr>, SpecError> {
         let start = self.expect(&Tok::If)?;
         let cond = self.expr()?;
         let then_branch = self.block()?;
@@ -606,7 +606,7 @@ impl Parser {
             self.block()?
         };
         let span = start.merge(else_branch.span());
-        Ok(Rc::new(Expr::If {
+        Ok(Arc::new(Expr::If {
             cond,
             then_branch,
             else_branch,
@@ -614,7 +614,7 @@ impl Parser {
         }))
     }
 
-    fn block(&mut self) -> Result<Rc<Expr>, SpecError> {
+    fn block(&mut self) -> Result<Arc<Expr>, SpecError> {
         let start = self.expect(&Tok::LBrace)?;
         let mut lets = Vec::new();
         while self.peek() == Some(&Tok::Let) {
@@ -634,7 +634,7 @@ impl Parser {
         }
         let result = self.expr()?;
         let end = self.expect(&Tok::RBrace)?;
-        Ok(Rc::new(Expr::Block {
+        Ok(Arc::new(Expr::Block {
             lets,
             result,
             span: start.merge(end),
@@ -655,7 +655,7 @@ impl Parser {
 mod tests {
     use super::*;
 
-    fn expr(src: &str) -> Rc<Expr> {
+    fn expr(src: &str) -> Arc<Expr> {
         parse_expr(src).unwrap_or_else(|e| panic!("{src}: {}", e.render(src)))
     }
 

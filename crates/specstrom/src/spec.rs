@@ -14,7 +14,7 @@ use crate::sorts;
 use crate::value::{ActionValue, Binding, Env, Thunk, Value};
 use quickstrom_protocol::Selector;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A resolved `check` command: which properties to test, with which
 /// allowable actions and events.
@@ -34,7 +34,7 @@ pub struct CompiledSpec {
     /// The top-level environment (builtins + all item bindings).
     pub env: Env,
     /// Declared actions and events by name.
-    pub actions: BTreeMap<String, Rc<ActionValue>>,
+    pub actions: BTreeMap<String, Arc<ActionValue>>,
     /// The resolved `check` commands, in source order.
     pub checks: Vec<CheckDef>,
     /// Every selector the specification can query (§3.3 analysis) — the
@@ -51,7 +51,7 @@ impl CompiledSpec {
     #[must_use]
     pub fn property_thunk(&self, name: &str) -> Option<Thunk> {
         self.env.lookup(name)?;
-        let expr = Rc::new(crate::ast::Expr::Var(
+        let expr = Arc::new(crate::ast::Expr::Var(
             name.to_owned(),
             crate::ast::Span::default(),
         ));
@@ -60,7 +60,7 @@ impl CompiledSpec {
 
     /// The declared action/event with the given name.
     #[must_use]
-    pub fn action(&self, name: &str) -> Option<&Rc<ActionValue>> {
+    pub fn action(&self, name: &str) -> Option<&Arc<ActionValue>> {
         self.actions.get(name)
     }
 }
@@ -80,7 +80,7 @@ fn eval_error(e: EvalError, fallback: crate::ast::Span) -> SpecError {
 pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
     sorts::check_spec(spec)?;
     let mut env = eval::initial_env();
-    let mut actions: BTreeMap<String, Rc<ActionValue>> = BTreeMap::new();
+    let mut actions: BTreeMap<String, Arc<ActionValue>> = BTreeMap::new();
     let mut checks_raw = Vec::new();
     // Definition-time evaluation is stateless: anything touching the state
     // must be deferred with `~` (the evaluator's error explains this).
@@ -90,7 +90,7 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
         match item {
             Item::Let(stmt) => {
                 let binding = if stmt.deferred {
-                    Binding::Deferred(Thunk::new(Rc::clone(&stmt.value), env.clone()))
+                    Binding::Deferred(Thunk::new(Arc::clone(&stmt.value), env.clone()))
                 } else {
                     Binding::Eager(
                         eval::eval(&stmt.value, &env, &ctx)
@@ -103,7 +103,7 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
                 name, params, body, ..
             } => {
                 let closure =
-                    eval::make_closure(name, params.clone(), Rc::clone(body), env.clone());
+                    eval::make_closure(name, params.clone(), Arc::clone(body), env.clone());
                 env = env.bind(name, Binding::Eager(closure));
             }
             Item::Action {
@@ -157,8 +157,8 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
                 };
                 let guard_thunk = guard
                     .as_ref()
-                    .map(|g| Thunk::new(Rc::clone(g), env.clone()));
-                let value = Rc::new(ActionValue {
+                    .map(|g| Thunk::new(Arc::clone(g), env.clone()));
+                let value = Arc::new(ActionValue {
                     name: Some(name.clone()),
                     kind: base.kind.clone(),
                     selector: base.selector.clone(),
@@ -166,7 +166,7 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
                     guard: guard_thunk,
                     event: is_event,
                 });
-                actions.insert(name.clone(), Rc::clone(&value));
+                actions.insert(name.clone(), Arc::clone(&value));
                 env = env.bind(name, Binding::Eager(Value::Action(value)));
             }
             Item::Check {
@@ -310,5 +310,17 @@ mod tests {
     fn builtin_noop_in_with_list() {
         let compiled = load("let ~p = true; check p with noop!;").unwrap();
         assert_eq!(compiled.checks[0].actions, vec!["noop!"]);
+    }
+
+    /// The checker's parallel runtime shares one compiled spec (and the
+    /// property thunks cloned out of it) across worker threads. Values are
+    /// `Arc`-based and immutable after compilation, so this holds by
+    /// construction — pin it at compile time.
+    #[test]
+    fn compiled_specs_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledSpec>();
+        assert_send_sync::<crate::Thunk>();
+        assert_send_sync::<crate::value::Value>();
     }
 }

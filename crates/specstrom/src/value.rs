@@ -17,11 +17,11 @@ use quickltl::Formula;
 use quickstrom_protocol::{ActionKind, Selector};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A lexical environment: a persistent chain of name bindings.
 #[derive(Debug, Clone, Default)]
-pub struct Env(Option<Rc<Frame>>);
+pub struct Env(Option<Arc<Frame>>);
 
 #[derive(Debug)]
 struct Frame {
@@ -40,7 +40,7 @@ impl Env {
     /// Extends the environment with one binding.
     #[must_use]
     pub fn bind(&self, name: impl Into<String>, binding: Binding) -> Env {
-        Env(Some(Rc::new(Frame {
+        Env(Some(Arc::new(Frame {
             name: name.into(),
             binding,
             parent: self.clone(),
@@ -62,7 +62,7 @@ impl Env {
 
     /// A stable pointer identity for conservative thunk equality.
     fn ptr_id(&self) -> usize {
-        self.0.as_ref().map_or(0, |rc| Rc::as_ptr(rc) as usize)
+        self.0.as_ref().map_or(0, |rc| Arc::as_ptr(rc) as usize)
     }
 }
 
@@ -83,7 +83,7 @@ pub enum Binding {
 #[derive(Clone)]
 pub struct Thunk {
     /// The expression to evaluate.
-    pub expr: Rc<Expr>,
+    pub expr: Arc<Expr>,
     /// The captured environment.
     pub env: Env,
 }
@@ -91,7 +91,7 @@ pub struct Thunk {
 impl Thunk {
     /// Creates a thunk.
     #[must_use]
-    pub fn new(expr: Rc<Expr>, env: Env) -> Self {
+    pub fn new(expr: Arc<Expr>, env: Env) -> Self {
         Thunk { expr, env }
     }
 }
@@ -120,7 +120,7 @@ impl fmt::Display for Thunk {
 /// certainly evaluate identically; unequal ones are just not merged.
 impl PartialEq for Thunk {
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.expr, &other.expr) && self.env.ptr_id() == other.env.ptr_id()
+        Arc::ptr_eq(&self.expr, &other.expr) && self.env.ptr_id() == other.env.ptr_id()
     }
 }
 
@@ -134,7 +134,7 @@ pub struct ClosureData {
     /// Parameters, with deferredness.
     pub params: Vec<Param>,
     /// Body expression.
-    pub body: Rc<Expr>,
+    pub body: Arc<Expr>,
     /// Captured environment.
     pub env: Env,
 }
@@ -322,33 +322,33 @@ pub enum Value {
     /// A float.
     Float(f64),
     /// A string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A list.
-    List(Rc<Vec<Value>>),
+    List(Arc<Vec<Value>>),
     /// A record (element projections).
-    Record(Rc<BTreeMap<String, Value>>),
+    Record(Arc<BTreeMap<String, Value>>),
     /// A CSS selector literal.
     Selector(Selector),
     /// A QuickLTL formula over thunk atoms.
     Formula(Formula<Thunk>),
     /// A user function.
-    Closure(Rc<ClosureData>),
+    Closure(Arc<ClosureData>),
     /// A built-in function.
     Builtin(Builtin),
     /// An action or event specification.
-    Action(Rc<ActionValue>),
+    Action(Arc<ActionValue>),
 }
 
 impl Value {
     /// A string value.
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Rc::from(s.as_ref()))
+        Value::Str(Arc::from(s.as_ref()))
     }
 
     /// A list value.
     #[must_use]
     pub fn list(items: Vec<Value>) -> Value {
-        Value::List(Rc::new(items))
+        Value::List(Arc::new(items))
     }
 
     /// A short description of the value's type, for error messages.
@@ -470,8 +470,8 @@ mod tests {
     use super::*;
     use crate::ast::{Literal, Span};
 
-    fn dummy_expr() -> Rc<Expr> {
-        Rc::new(Expr::Lit(Literal::Null, Span::default()))
+    fn dummy_expr() -> Arc<Expr> {
+        Arc::new(Expr::Lit(Literal::Null, Span::default()))
     }
 
     #[test]
@@ -491,8 +491,8 @@ mod tests {
     fn thunk_equality_is_pointer_based() {
         let e = dummy_expr();
         let env = Env::new();
-        let t1 = Thunk::new(Rc::clone(&e), env.clone());
-        let t2 = Thunk::new(Rc::clone(&e), env.clone());
+        let t1 = Thunk::new(Arc::clone(&e), env.clone());
+        let t2 = Thunk::new(Arc::clone(&e), env.clone());
         assert_eq!(t1, t2);
         let other = dummy_expr();
         let t3 = Thunk::new(other, env);
@@ -511,7 +511,7 @@ mod tests {
 
     #[test]
     fn action_equals_its_name() {
-        let action = Value::Action(Rc::new(ActionValue {
+        let action = Value::Action(Arc::new(ActionValue {
             name: Some("tick?".into()),
             kind: None,
             selector: None,

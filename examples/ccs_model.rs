@@ -58,7 +58,7 @@ fn main() {
         .with_max_actions(40)
         .with_default_demand(25)
         .with_seed(99);
-    let report = check_spec(&spec, &options, &mut || {
+    let report = check_spec(&spec, &options, &|| {
         let (defs, main_name) = parse_definitions(MODEL).expect("model parses");
         Box::new(CcsExecutor::new(defs, Process::Const(main_name)))
     })

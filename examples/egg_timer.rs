@@ -36,7 +36,7 @@ fn main() {
         .with_seed(8)
         .with_shrink(false);
     let started = std::time::Instant::now();
-    let report = check_spec(&spec, &options, &mut || {
+    let report = check_spec(&spec, &options, &|| {
         Box::new(WebExecutor::new(EggTimer::new))
     })
     .expect("checking proceeds without protocol errors");

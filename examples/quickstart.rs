@@ -39,7 +39,7 @@ fn main() {
         .with_default_demand(30)
         .with_seed(2024);
     println!("── checking ──────────────────────────────────────────────");
-    let report = check_spec(&spec, &options, &mut || {
+    let report = check_spec(&spec, &options, &|| {
         Box::new(WebExecutor::new(Counter::new))
     })
     .expect("checking proceeds without protocol errors");

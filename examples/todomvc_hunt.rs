@@ -53,7 +53,7 @@ fn main() {
         .with_default_demand(50)
         .with_seed(42);
     let started = std::time::Instant::now();
-    let report = check_spec(&spec, &options, &mut || {
+    let report = check_spec(&spec, &options, &|| {
         Box::new(WebExecutor::new(|| entry.build()))
     })
     .expect("checking proceeds without protocol errors");

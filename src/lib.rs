@@ -29,7 +29,8 @@
 //!
 //! ## Quickstart
 //!
-//! Check the counter app against its specification:
+//! Check the counter app against its specification (see the root
+//! `README.md` for the full tour):
 //!
 //! ```
 //! use quickstrom::prelude::*;
@@ -39,12 +40,19 @@
 //!     .with_tests(5)
 //!     .with_max_actions(20)
 //!     .with_default_demand(10);
-//! let report = check_spec(&spec, &options, &mut || {
+//! let report = check_spec(&spec, &options, &|| {
 //!     Box::new(WebExecutor::new(quickstrom_apps::Counter::new))
 //! })
 //! .unwrap();
 //! assert!(report.passed(), "{report}");
 //! ```
+//!
+//! Checks parallelise without changing their outcome: add
+//! `.with_jobs(4)` to the options and the runs fan out over four worker
+//! threads, producing a report identical to the sequential one (per-run
+//! seeds derive from `(master seed, run index)`; see
+//! [`quickstrom_checker::derive_run_seed`] and DESIGN.md's *Parallel
+//! runtime* section).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

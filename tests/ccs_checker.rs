@@ -47,7 +47,7 @@ fn options() -> CheckOptions {
 fn check_model(model: &str, spec_src: &str, opts: &CheckOptions) -> Report {
     let spec = specstrom::load(spec_src).unwrap_or_else(|e| panic!("{}", e.render(spec_src)));
     let model = model.to_owned();
-    check_spec(&spec, opts, &mut move || {
+    check_spec(&spec, opts, &move || {
         let (defs, main) = parse_definitions(&model).expect("valid CCS");
         Box::new(CcsExecutor::new(defs, Process::Const(main)))
     })

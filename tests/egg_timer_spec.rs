@@ -53,7 +53,7 @@ fn options() -> CheckOptions {
 
 fn run_checks(spec_src: &str, duration: i64, opts: &CheckOptions) -> Report {
     let spec = specstrom::load(spec_src).unwrap_or_else(|e| panic!("{}", e.render(spec_src)));
-    check_spec(&spec, opts, &mut move || {
+    check_spec(&spec, opts, &move || {
         Box::new(WebExecutor::new(move || EggTimer::with_duration(duration)))
     })
     .unwrap_or_else(|e| panic!("{e}"))
@@ -71,7 +71,7 @@ fn resetting_timer_satisfies_the_same_spec() {
     // §5.4: the specification "intentionally applies both to timers that
     // reset when stopped and to timers that pause when stopped".
     let spec = specstrom::load(&scaled_spec(15)).unwrap();
-    let report = check_spec(&spec, &options(), &mut || {
+    let report = check_spec(&spec, &options(), &|| {
         Box::new(WebExecutor::new(|| EggTimer::resetting_with_duration(15)))
     })
     .unwrap();
@@ -101,7 +101,7 @@ fn broken_timer_that_skips_seconds_fails_safety() {
     }
 
     let spec = specstrom::load(&scaled_spec(15)).unwrap();
-    let report = check_spec(&spec, &options(), &mut || {
+    let report = check_spec(&spec, &options(), &|| {
         Box::new(WebExecutor::new(|| {
             SkippingTimer(EggTimer::with_duration(15))
         }))

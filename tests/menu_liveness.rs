@@ -18,7 +18,7 @@ fn options() -> CheckOptions {
 #[test]
 fn healthy_menu_passes_with_demands() {
     let spec = specstrom::load(quickstrom::specs::MENU).unwrap();
-    let report = check_spec(&spec, &options(), &mut || {
+    let report = check_spec(&spec, &options(), &|| {
         Box::new(WebExecutor::new(|| MenuApp::new(500)))
     })
     .unwrap();
@@ -58,7 +58,7 @@ impl App for WedgedMenu {
 #[test]
 fn wedged_menu_fails() {
     let spec = specstrom::load(quickstrom::specs::MENU).unwrap();
-    let report = check_spec(&spec, &options(), &mut || {
+    let report = check_spec(&spec, &options(), &|| {
         Box::new(WebExecutor::new(WedgedMenu::default))
     })
     .unwrap();
@@ -94,7 +94,7 @@ fn rv_ltl_reading_flags_the_healthy_menu() {
                 .with_default_demand(0)
                 .with_seed(seed)
                 .with_shrink(false),
-            &mut || Box::new(WebExecutor::new(|| MenuApp::new(500))),
+            &|| Box::new(WebExecutor::new(|| MenuApp::new(500))),
         )
         .unwrap();
         if !report.passed() {

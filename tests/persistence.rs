@@ -56,10 +56,10 @@ fn options() -> CheckOptions {
         .with_seed(77)
 }
 
-fn run(app: impl Fn() -> TodoMvc + Clone + 'static) -> Report {
+fn run(app: impl Fn() -> TodoMvc + Clone + Send + Sync + 'static) -> Report {
     let spec = specstrom::load(PERSISTENCE_SPEC)
         .unwrap_or_else(|e| panic!("{}", e.render(PERSISTENCE_SPEC)));
-    check_spec(&spec, &options(), &mut move || {
+    check_spec(&spec, &options(), &move || {
         let app = app.clone();
         Box::new(WebExecutor::new(app))
     })

@@ -17,7 +17,7 @@ fn options() -> CheckOptions {
 fn check(name: &str) -> bool {
     let entry = registry::by_name(name).unwrap_or_else(|| panic!("unknown {name}"));
     let spec = specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
-    let report = check_spec(&spec, &options(), &mut move || {
+    let report = check_spec(&spec, &options(), &move || {
         Box::new(WebExecutor::new(|| entry.build()))
     })
     .expect("no protocol errors");

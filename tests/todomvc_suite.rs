@@ -17,12 +17,12 @@ fn options() -> CheckOptions {
 }
 
 fn check_app(
-    app_factory: impl Fn() -> TodoMvc + Clone + 'static,
+    app_factory: impl Fn() -> TodoMvc + Clone + Send + Sync + 'static,
     options: &CheckOptions,
 ) -> Report {
     let spec = specstrom::load(quickstrom::specs::TODOMVC)
         .unwrap_or_else(|e| panic!("{}", e.render(quickstrom::specs::TODOMVC)));
-    check_spec(&spec, options, &mut move || {
+    check_spec(&spec, options, &move || {
         let factory = app_factory.clone();
         Box::new(WebExecutor::new(factory))
     })
