@@ -5,10 +5,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use quickstrom::prelude::*;
 use quickstrom::quickstrom_apps::{registry, EggTimer};
+use quickstrom_bench::todomvc_spec;
 
 fn bench_todomvc_run(c: &mut Criterion) {
     let entry = registry::by_name("vue").expect("registry entry");
-    let spec = quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
+    // Shared once-compiled spec: the iteration closure measures checking
+    // only (spec compile has its own benchmark below).
+    let spec = todomvc_spec();
     let options = CheckOptions::default()
         .with_tests(1)
         .with_max_actions(50)

@@ -1,0 +1,112 @@
+//! The per-step evaluation micro-benchmark: compiled IR vs the reference
+//! tree-walk on the TodoMVC hot path.
+//!
+//! One "step" is exactly what the checker does per observed state: expand
+//! the property formula's thunk atoms against the snapshot (unroll →
+//! simplify → step, via `Evaluator::observe_expanding`). The compiled
+//! evaluator resolves variables by `(depth, slot)` and element projections
+//! by pre-seeded symbols; the reference evaluator compares strings down
+//! the environment chain and rebuilds string-keyed records — the cost the
+//! compilation pass removes. The two are pinned semantically by the
+//! differential suites; this benchmark quantifies the gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quickstrom::prelude::*;
+use quickstrom::quickstrom_apps::registry;
+use quickstrom::quickstrom_protocol::{CheckerMsg, ExecutorMsg};
+use quickstrom::specstrom::{self, reference, EvalCtx};
+use quickstrom_bench::todomvc_spec;
+
+/// A realistic TodoMVC snapshot: boot the vue registry entry behind the
+/// executor and take the `loaded?` state with every spec dependency
+/// instrumented.
+fn todomvc_snapshot() -> StateSnapshot {
+    let spec = todomvc_spec();
+    let entry = registry::by_name("vue").expect("registry entry");
+    let mut executor = WebExecutor::new(|| entry.build());
+    let replies = executor.send(CheckerMsg::Start {
+        dependencies: spec.dependencies.clone(),
+    });
+    let first = replies.first().expect("loaded? reply");
+    let mut state = match first {
+        ExecutorMsg::Event { state, .. } => state.clone(),
+        other => panic!("unexpected first reply {other:?}"),
+    };
+    state.happened = vec!["loaded?".to_owned()];
+    state
+}
+
+fn bench_eval_step(c: &mut Criterion) {
+    let state = todomvc_snapshot();
+
+    // Compiled pipeline: slot-resolved IR against the interned snapshot.
+    let compiled = todomvc_spec();
+    let compiled_thunk = compiled
+        .property_thunk("safety")
+        .expect("safety property exists");
+
+    // Reference pipeline: the original tree-walk over the same source.
+    let parsed = specstrom::parse_spec(quickstrom::specs::TODOMVC).expect("spec parses");
+    let ref_compiled = reference::compile_env(&parsed).expect("reference env builds");
+    let ref_thunk = ref_compiled
+        .property_thunk("safety")
+        .expect("safety property exists");
+
+    c.bench_function("eval_step_compiled", |b| {
+        b.iter(|| {
+            let ctx = EvalCtx::with_state(&state, 100);
+            std::hint::black_box(
+                specstrom::expand_thunk(&compiled_thunk, &ctx).expect("expansion succeeds"),
+            )
+        });
+    });
+
+    c.bench_function("eval_step_reference", |b| {
+        b.iter(|| {
+            let ctx = EvalCtx::with_state(&state, 100);
+            std::hint::black_box(
+                reference::expand_thunk(&ref_thunk, &ctx).expect("expansion succeeds"),
+            )
+        });
+    });
+
+    // The same comparison through real formula progression: several
+    // observations of the same state, so residual-formula atoms (the
+    // obligations `always`/`eventually` re-spawn) are expanded too.
+    const STEPS: usize = 5;
+
+    c.bench_function("eval_step_progression_compiled", |b| {
+        b.iter(|| {
+            let mut ev = quickstrom::quickltl::Evaluator::new(quickstrom::quickltl::Formula::Atom(
+                compiled_thunk.clone(),
+            ));
+            for _ in 0..STEPS {
+                let ctx = EvalCtx::with_state(&state, 100);
+                ev.observe_expanding(&mut |t| specstrom::expand_thunk(t, &ctx))
+                    .expect("expansion succeeds");
+            }
+            std::hint::black_box(ev.outcome())
+        });
+    });
+
+    c.bench_function("eval_step_progression_reference", |b| {
+        b.iter(|| {
+            let mut ev = quickstrom::quickltl::Evaluator::new(quickstrom::quickltl::Formula::Atom(
+                ref_thunk.clone(),
+            ));
+            for _ in 0..STEPS {
+                let ctx = EvalCtx::with_state(&state, 100);
+                ev.observe_expanding(&mut |t| reference::expand_thunk(t, &ctx))
+                    .expect("expansion succeeds");
+            }
+            std::hint::black_box(ev.outcome())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_eval_step
+}
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use quickstrom::prelude::*;
 use quickstrom::quickstrom_apps::registry::{Entry, REGISTRY};
-use quickstrom_bench::sweep_entries;
+use quickstrom_bench::{sweep_entries, todomvc_spec};
 
 /// A representative slice: passing entries dominate (as in the paper —
 /// failing checks exit early, so passing implementations set the pace).
@@ -41,7 +41,9 @@ fn bench_inner_jobs(c: &mut Criterion) {
         .iter()
         .find(|e| !e.expected_to_fail())
         .expect("a passing entry");
-    let spec = quickstrom::specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
+    // One shared Arc<CompiledSpec> across all job counts and iterations:
+    // this bench measures checking, not parsing.
+    let spec = todomvc_spec();
     let mut group = c.benchmark_group("single_entry_runs");
     for jobs in [1usize, 4] {
         let options = CheckOptions::default()

@@ -1,0 +1,223 @@
+//! The bundled-spec differential suite: compiled-IR evaluation ≡ reference
+//! tree-walk, behaviourally, on all four bundled specifications.
+//!
+//! For each spec we drive the real application behind the web executor
+//! with a deterministic pseudo-random action script, record the observed
+//! snapshot trace, and then progress every checked property through *both*
+//! evaluators over the identical trace, comparing the step-by-step
+//! [`StepReport`]s. This pins the compilation pass (interning, slot
+//! resolution, IR lowering — see `specstrom::compile`) to the original
+//! interpreter on exactly the workload the checker runs: real element
+//! records, real guards, real residual-formula expansion.
+//!
+//! The expression-level differential proptests live in
+//! `crates/specstrom/tests/properties.rs`; this suite covers the
+//! spec-level pipeline (top-level environments, deferred bindings,
+//! closures, actions).
+
+use quickstrom::prelude::*;
+use quickstrom::quickltl::{Evaluator, Formula, StepReport};
+use quickstrom::quickstrom_apps::{registry, Counter, EggTimer, MenuApp};
+use quickstrom::quickstrom_protocol::{ActionKind, CheckerMsg, Executor, ExecutorMsg};
+use quickstrom::specstrom::{self, reference, EvalCtx};
+
+/// A tiny deterministic generator (xorshift) for the driver script.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Drives one executor session with pseudo-random enabled actions and
+/// returns the observed snapshot trace (with `happened` filled in the way
+/// the checker does for acted/event states).
+fn record_trace(
+    spec: &CompiledSpec,
+    mut executor: Box<dyn Executor>,
+    steps: usize,
+    seed: u64,
+) -> Vec<StateSnapshot> {
+    let mut rng = Prng(seed | 1);
+    let mut trace = Vec::new();
+    let replies = executor.send(CheckerMsg::Start {
+        dependencies: spec.dependencies.clone(),
+    });
+    for msg in &replies {
+        let mut state = msg.state().clone();
+        if let ExecutorMsg::Event { event, .. } = msg {
+            state.happened = vec![event.clone()];
+        }
+        trace.push(state);
+    }
+    let actions: Vec<_> = spec.actions.values().filter(|a| !a.event).collect();
+    for _ in 0..steps {
+        let last = trace.last().expect("loaded state");
+        let ctx = EvalCtx::with_state(last, 10);
+        // Enabled actions at the current state, guard-checked through the
+        // *compiled* evaluator (both evaluators then see the same trace).
+        let mut candidates = Vec::new();
+        for av in &actions {
+            if let Some(guard) = &av.guard {
+                if !specstrom::eval_guard(guard, &ctx).unwrap_or(false) {
+                    continue;
+                }
+            }
+            let Some(kind) = av.kind.clone() else {
+                continue;
+            };
+            let name = av.name.clone().unwrap_or_default();
+            if kind.needs_target() {
+                let selector = av.selector.expect("targeted action has a selector");
+                for index in 0..last.matches(&selector).len() {
+                    let mut kind = kind.clone();
+                    if let ActionKind::Input(None) = kind {
+                        kind = ActionKind::Input(Some(
+                            ["", "a", "buy milk", " x "][rng.pick(4)].to_owned(),
+                        ));
+                    }
+                    candidates.push(ActionInstance {
+                        name: name.clone(),
+                        kind,
+                        target: Some((selector, index)),
+                        timeout_ms: av.timeout_ms,
+                    });
+                }
+            } else {
+                candidates.push(ActionInstance {
+                    name: name.clone(),
+                    kind,
+                    target: None,
+                    timeout_ms: av.timeout_ms,
+                });
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        let action = candidates[rng.pick(candidates.len())].clone();
+        let version = trace.len() as u64;
+        let replies = executor.send(CheckerMsg::Act {
+            action: action.clone(),
+            version,
+        });
+        for msg in &replies {
+            let mut state = msg.state().clone();
+            state.happened = match msg {
+                ExecutorMsg::Acted { .. } => vec![action.name.clone()],
+                ExecutorMsg::Timeout { .. } => vec!["timeout?".to_owned()],
+                ExecutorMsg::Event { event, .. } => vec![event.clone()],
+            };
+            trace.push(state);
+        }
+    }
+    executor.send(CheckerMsg::End);
+    trace
+}
+
+use quickstrom::quickstrom_protocol::ActionInstance;
+
+/// Progresses one property through both evaluators over the same trace and
+/// asserts identical step reports.
+fn assert_equivalent_progression(src: &str, spec: &CompiledSpec, trace: &[StateSnapshot]) {
+    let parsed = specstrom::parse_spec(src).expect("spec parses");
+    let ref_compiled = reference::compile_env(&parsed).expect("reference env builds");
+    for check in &spec.checks {
+        for property in &check.properties {
+            let compiled_thunk = spec
+                .property_thunk(property)
+                .unwrap_or_else(|| panic!("compiled property `{property}`"));
+            let ref_thunk = ref_compiled
+                .property_thunk(property)
+                .unwrap_or_else(|| panic!("reference property `{property}`"));
+            let mut compiled_ev = Evaluator::new(Formula::Atom(compiled_thunk));
+            let mut ref_ev = Evaluator::new(Formula::Atom(ref_thunk));
+            for (i, state) in trace.iter().enumerate() {
+                let ctx = EvalCtx::with_state(state, 10);
+                let compiled_report = compiled_ev
+                    .observe_expanding(&mut |t| specstrom::expand_thunk(t, &ctx))
+                    .unwrap_or_else(|e| panic!("{property} state {i}: compiled: {e}"));
+                let ref_report = ref_ev
+                    .observe_expanding(&mut |t| reference::expand_thunk(t, &ctx))
+                    .unwrap_or_else(|e| panic!("{property} state {i}: reference: {e}"));
+                assert_eq!(
+                    compiled_report,
+                    ref_report,
+                    "`{property}` diverged at state {i} of {}",
+                    trace.len()
+                );
+                if matches!(compiled_report, StepReport::Definitive(_)) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn differential_on(src: &str, make: &dyn Fn() -> Box<dyn Executor>, steps: usize) {
+    let spec = specstrom::load(src).expect("spec compiles");
+    for seed in [1u64, 7, 20220322] {
+        let trace = record_trace(&spec, make(), steps, seed);
+        assert!(trace.len() > 1, "driver produced a trace");
+        assert_equivalent_progression(src, &spec, &trace);
+    }
+}
+
+#[test]
+fn counter_spec_progresses_identically() {
+    differential_on(
+        quickstrom::specs::COUNTER,
+        &|| Box::new(WebExecutor::new(Counter::new)),
+        25,
+    );
+}
+
+#[test]
+fn menu_spec_progresses_identically() {
+    differential_on(
+        quickstrom::specs::MENU,
+        &|| Box::new(WebExecutor::new(|| MenuApp::new(500))),
+        25,
+    );
+}
+
+#[test]
+fn egg_timer_spec_progresses_identically() {
+    differential_on(
+        quickstrom::specs::EGG_TIMER,
+        &|| Box::new(WebExecutor::new(EggTimer::new)),
+        30,
+    );
+}
+
+#[test]
+fn todomvc_spec_progresses_identically() {
+    let entry = registry::by_name("vue").expect("registry entry");
+    differential_on(
+        quickstrom::specs::TODOMVC,
+        &|| Box::new(WebExecutor::new(|| entry.build())),
+        30,
+    );
+}
+
+/// A faulty implementation too: divergence is most likely where formulae
+/// actually fail, so progress both evaluators through a violation.
+#[test]
+fn faulty_todomvc_fails_identically_in_both_evaluators() {
+    let entry = registry::by_name("elm").expect("registry entry");
+    differential_on(
+        quickstrom::specs::TODOMVC,
+        &|| Box::new(WebExecutor::new(|| entry.build())),
+        40,
+    );
+}

@@ -96,7 +96,7 @@ impl CcsExecutor {
             } else {
                 Vec::new()
             };
-            snap.queries.insert(selector.clone(), elements);
+            snap.queries.insert(*selector, elements);
         }
         snap
     }

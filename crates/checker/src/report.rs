@@ -66,8 +66,40 @@ impl fmt::Display for Counterexample {
     }
 }
 
+/// Wall-clock attribution of one property check across the phases of the
+/// §3.4 loop, accumulated over every run (and shrink replay).
+///
+/// `executor_s` is time spent inside [`Executor::send`] — driving the
+/// application, firing timers, rendering snapshots.  `eval_s` is time
+/// spent in specification evaluation: formula progression through each
+/// state and action-guard evaluation.  Together with the spec-compile
+/// time measured by callers, these let a benchmark JSON attribute a
+/// regression to a phase instead of only recording wall time.
+///
+/// [`Executor::send`]: quickstrom_protocol::Executor::send
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Seconds inside `Executor::send`.
+    pub executor_s: f64,
+    /// Seconds in formula evaluation/progression and guard evaluation.
+    pub eval_s: f64,
+}
+
+impl PhaseTimings {
+    /// Component-wise accumulation.
+    pub fn absorb(&mut self, other: PhaseTimings) {
+        self.executor_s += other.executor_s;
+        self.eval_s += other.eval_s;
+    }
+}
+
 /// The aggregate result of checking one property.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores [`PropertyReport::timings`]: wall-clock attribution is
+/// the one field that legitimately differs between two otherwise identical
+/// checks (the `jobs = N` ⇒ `jobs = 1` determinism invariant is stated
+/// over everything else).
+#[derive(Debug, Clone)]
 pub struct PropertyReport {
     /// The property name.
     pub property: String,
@@ -77,6 +109,17 @@ pub struct PropertyReport {
     pub states_total: usize,
     /// Total actions performed across runs.
     pub actions_total: usize,
+    /// Per-phase wall-clock attribution (excluded from equality).
+    pub timings: PhaseTimings,
+}
+
+impl PartialEq for PropertyReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.property == other.property
+            && self.runs == other.runs
+            && self.states_total == other.states_total
+            && self.actions_total == other.actions_total
+    }
 }
 
 impl PropertyReport {
@@ -133,7 +176,10 @@ impl fmt::Display for PropertyReport {
 }
 
 /// The result of checking a whole specification (all `check` commands).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Equality compares verdicts, scripts, traces and totals — not the
+/// [`PhaseTimings`] (see [`PropertyReport`]).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Report {
     /// Reports per property, in check order.
     pub properties: Vec<PropertyReport>,
@@ -144,6 +190,16 @@ impl Report {
     #[must_use]
     pub fn passed(&self) -> bool {
         self.properties.iter().all(PropertyReport::passed)
+    }
+
+    /// Summed per-phase timings across all properties.
+    #[must_use]
+    pub fn timings(&self) -> PhaseTimings {
+        let mut total = PhaseTimings::default();
+        for p in &self.properties {
+            total.absorb(p.timings);
+        }
+        total
     }
 
     /// The names of failed properties.
@@ -210,12 +266,14 @@ mod tests {
                     runs: vec![RunResult::Passed(Verdict::PresumablyTrue)],
                     states_total: 10,
                     actions_total: 9,
+                    timings: PhaseTimings::default(),
                 },
                 PropertyReport {
                     property: "liveness".into(),
                     runs: vec![RunResult::Failed(cx())],
                     states_total: 5,
                     actions_total: 4,
+                    timings: PhaseTimings::default(),
                 },
             ],
         };
@@ -239,6 +297,7 @@ mod tests {
             ],
             states_total: 3,
             actions_total: 2,
+            timings: PhaseTimings::default(),
         };
         assert!(p.passed());
         assert_eq!(p.inconclusive_runs(), 1);

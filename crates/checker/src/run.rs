@@ -70,6 +70,10 @@ pub(crate) struct Run<'a> {
     pub(crate) last_state: Option<StateSnapshot>,
     pub(crate) last_report: Option<StepReport>,
     pub(crate) pending_wait: Option<u64>,
+    /// Wall-clock time spent in specification evaluation — formula
+    /// progression plus guard evaluation (the per-phase attribution behind
+    /// [`crate::report::PhaseTimings::eval_s`]).
+    pub(crate) eval_time: std::time::Duration,
 }
 
 /// The outcome of one run, before aggregation.
@@ -94,7 +98,7 @@ impl<'a> Run<'a> {
             if let Some(av) = spec.action(name) {
                 if let Some(sel) = &av.selector {
                     events_by_selector
-                        .entry(sel.clone())
+                        .entry(*sel)
                         .or_default()
                         .push(name.clone());
                 }
@@ -117,6 +121,7 @@ impl<'a> Run<'a> {
             last_state: None,
             last_report: None,
             pending_wait: None,
+            eval_time: std::time::Duration::ZERO,
         }
     }
 
@@ -170,10 +175,12 @@ impl<'a> Run<'a> {
             }
         }
         let ctx = EvalCtx::with_state(&state, self.options.default_demand);
+        let eval_started = std::time::Instant::now();
         let report = self
             .evaluator
             .observe_expanding(&mut |thunk| expand_thunk(thunk, &ctx))
             .map_err(CheckError::from)?;
+        self.eval_time += eval_started.elapsed();
         self.last_report = Some(report);
         self.last_state = Some(state);
         Ok(())
@@ -202,8 +209,19 @@ impl<'a> Run<'a> {
         )
     }
 
-    /// Every enabled action instance at the current state.
+    /// Every enabled action instance at the current state. Guard
+    /// evaluation counts toward [`Run::eval_time`].
     fn enabled_instances(
+        &mut self,
+        rng: &mut Option<&mut StdRng>,
+    ) -> Result<Vec<ActionInstance>, CheckError> {
+        let eval_started = std::time::Instant::now();
+        let result = self.enabled_instances_inner(rng);
+        self.eval_time += eval_started.elapsed();
+        result
+    }
+
+    fn enabled_instances_inner(
         &self,
         rng: &mut Option<&mut StdRng>,
     ) -> Result<Vec<ActionInstance>, CheckError> {
@@ -215,22 +233,8 @@ impl<'a> Run<'a> {
                 Some(av) => Arc::clone(av),
                 // `noop!`/`reload!` may appear in with-lists undeclared.
                 None => match name.as_str() {
-                    "noop!" => Arc::new(ActionValue {
-                        name: Some("noop!".into()),
-                        kind: Some(ActionKind::Noop),
-                        selector: None,
-                        timeout_ms: None,
-                        guard: None,
-                        event: false,
-                    }),
-                    "reload!" => Arc::new(ActionValue {
-                        name: Some("reload!".into()),
-                        kind: Some(ActionKind::Reload),
-                        selector: None,
-                        timeout_ms: None,
-                        guard: None,
-                        event: false,
-                    }),
+                    "noop!" => Arc::new(ActionValue::constant("noop!", ActionKind::Noop)),
+                    "reload!" => Arc::new(ActionValue::constant("reload!", ActionKind::Reload)),
                     other => {
                         return Err(CheckError::new(format!(
                             "check references undeclared action `{other}`"
@@ -253,13 +257,13 @@ impl<'a> Run<'a> {
                 timeout_ms: av.timeout_ms,
             };
             if base.kind.needs_target() {
-                let selector = av.selector.clone().ok_or_else(|| {
+                let selector = av.selector.ok_or_else(|| {
                     CheckError::new(format!("action `{name}` lacks a target selector"))
                 })?;
                 let count = state.matches(&selector).len();
                 for index in 0..count {
                     let mut instance = base.clone();
-                    instance.target = Some((selector.clone(), index));
+                    instance.target = Some((selector, index));
                     if let ActionKind::Input(None) = instance.kind {
                         if let Some(rng) = rng.as_deref_mut() {
                             instance.kind = ActionKind::Input(Some(generate_text(rng)));

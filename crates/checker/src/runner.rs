@@ -27,7 +27,7 @@
 
 use crate::options::CheckOptions;
 use crate::pool::{self, Cancellation};
-use crate::report::{Counterexample, PropertyReport, Report, RunResult};
+use crate::report::{Counterexample, PhaseTimings, PropertyReport, Report, RunResult};
 use crate::run::{ActionSource, RunOutcome};
 use crate::session::Session;
 use quickstrom_protocol::{ActionInstance, Executor};
@@ -113,6 +113,7 @@ struct ExecutedRun {
     states: usize,
     actions: usize,
     result: RunResult,
+    timings: PhaseTimings,
 }
 
 /// Executes the run at `index`: fresh executor, fresh RNG seeded from
@@ -141,6 +142,7 @@ fn run_one(
         states: session.states(),
         actions: session.actions(),
         result,
+        timings: session.timings(),
     })
 }
 
@@ -219,13 +221,14 @@ fn replay(
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
     script: &[ActionInstance],
-) -> Result<RunOutcome, CheckError> {
+) -> Result<(RunOutcome, PhaseTimings), CheckError> {
     let mut session = Session::new(spec, check, property, options, make_executor());
     let mut source = ActionSource::Script {
         actions: script,
         pos: 0,
     };
-    session.drive(&mut source)
+    let outcome = session.drive(&mut source)?;
+    Ok((outcome, session.timings()))
 }
 
 /// Minimises a failing script by removing chunks and replaying (a light
@@ -238,6 +241,7 @@ fn shrink(
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
     mut failing: Counterexample,
+    timings: &mut PhaseTimings,
 ) -> Result<Counterexample, CheckError> {
     let mut budget = 200usize;
     let mut chunk = (failing.script.len() / 2).max(1);
@@ -249,7 +253,10 @@ fn shrink(
             let mut candidate: Vec<ActionInstance> = failing.script.clone();
             let end = (i + chunk).min(candidate.len());
             candidate.drain(i..end);
-            match replay(spec, check, property, options, make_executor, &candidate)? {
+            let (outcome, replay_timings) =
+                replay(spec, check, property, options, make_executor, &candidate)?;
+            timings.absorb(replay_timings);
+            match outcome {
                 RunOutcome::Result(RunResult::Failed(cx)) => {
                     failing = Counterexample { shrunk: true, ..cx };
                     improved = true;
@@ -312,13 +319,23 @@ pub fn check_property(
     let mut runs = Vec::with_capacity(executed.len());
     let mut states_total = 0;
     let mut actions_total = 0;
+    let mut timings = PhaseTimings::default();
     for run in executed {
         states_total += run.states;
         actions_total += run.actions;
+        timings.absorb(run.timings);
         match run.result {
             RunResult::Failed(cx) => {
                 let cx = if options.shrink && cx.script.len() > 1 && !cx.forced {
-                    shrink(spec, check, &property, options, make_executor, cx)?
+                    shrink(
+                        spec,
+                        check,
+                        &property,
+                        options,
+                        make_executor,
+                        cx,
+                        &mut timings,
+                    )?
                 } else {
                     cx
                 };
@@ -332,6 +349,7 @@ pub fn check_property(
         runs,
         states_total,
         actions_total,
+        timings,
     })
 }
 

@@ -10,6 +10,7 @@
 //! in [`crate::runner`] simply constructs one `Session` per worker.
 
 use crate::options::CheckOptions;
+use crate::report::PhaseTimings;
 use crate::run::{ActionSource, Run, RunOutcome};
 use crate::runner::CheckError;
 use quickstrom_protocol::{CheckerMsg, Executor, ExecutorMsg};
@@ -19,6 +20,9 @@ use specstrom::{CheckDef, CompiledSpec, Thunk};
 pub(crate) struct Session<'a> {
     run: Run<'a>,
     executor: Box<dyn Executor>,
+    /// Wall-clock time spent inside `Executor::send` (the per-phase
+    /// attribution behind [`PhaseTimings::executor_s`]).
+    exec_time: std::time::Duration,
 }
 
 impl<'a> Session<'a> {
@@ -33,6 +37,23 @@ impl<'a> Session<'a> {
         Session {
             run: Run::new(spec, check, property, options),
             executor,
+            exec_time: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Sends one message, attributing the wall time to the executor phase.
+    fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg> {
+        let started = std::time::Instant::now();
+        let replies = self.executor.send(msg);
+        self.exec_time += started.elapsed();
+        replies
+    }
+
+    /// The per-phase wall-clock attribution of this session so far.
+    pub(crate) fn timings(&self) -> PhaseTimings {
+        PhaseTimings {
+            executor_s: self.exec_time.as_secs_f64(),
+            eval_s: self.run.eval_time.as_secs_f64(),
         }
     }
 
@@ -54,7 +75,7 @@ impl<'a> Session<'a> {
         let start = CheckerMsg::Start {
             dependencies: self.run.spec.dependencies.clone(),
         };
-        let replies = self.executor.send(start);
+        let replies = self.send(start);
         if replies.is_empty() {
             return Err(CheckError::new(
                 "executor sent nothing in response to Start (expected the \
@@ -65,7 +86,7 @@ impl<'a> Session<'a> {
         for msg in &replies {
             self.run.ingest(msg, None)?;
             if self.run.definitive().is_some() {
-                self.executor.send(CheckerMsg::End);
+                self.send(CheckerMsg::End);
                 return Ok(self.run.finish(allow_forced));
             }
         }
@@ -73,7 +94,7 @@ impl<'a> Session<'a> {
             // Event-associated timeouts first (§3.4, Wait).
             if let Some(t) = self.run.pending_wait.take() {
                 let version = self.run.trace.len() as u64;
-                let replies = self.executor.send(CheckerMsg::Wait {
+                let replies = self.send(CheckerMsg::Wait {
                     time_ms: t,
                     version,
                 });
@@ -91,11 +112,11 @@ impl<'a> Session<'a> {
             if matches!(source, ActionSource::Script { .. })
                 && !self.run.script_action_valid(&action)?
             {
-                self.executor.send(CheckerMsg::End);
+                self.send(CheckerMsg::End);
                 return Ok(RunOutcome::ScriptInvalid);
             }
             let version = self.run.trace.len() as u64;
-            let replies = self.executor.send(CheckerMsg::Act {
+            let replies = self.send(CheckerMsg::Act {
                 action: action.clone(),
                 version,
             });
@@ -131,7 +152,7 @@ impl<'a> Session<'a> {
                 break;
             }
         }
-        self.executor.send(CheckerMsg::End);
+        self.send(CheckerMsg::End);
         Ok(self.run.finish(allow_forced))
     }
 }

@@ -38,10 +38,10 @@ fn counter_executor() -> Box<dyn Executor> {
 #[test]
 fn reports_are_deterministic_for_a_seed() {
     let spec = specstrom::load(COUNTER_SPEC).unwrap();
-    let a = check_spec(&spec, &options(11), &mut counter_executor).unwrap();
-    let b = check_spec(&spec, &options(11), &mut counter_executor).unwrap();
+    let a = check_spec(&spec, &options(11), &counter_executor).unwrap();
+    let b = check_spec(&spec, &options(11), &counter_executor).unwrap();
     assert_eq!(a, b);
-    let c = check_spec(&spec, &options(12), &mut counter_executor).unwrap();
+    let c = check_spec(&spec, &options(12), &counter_executor).unwrap();
     // Same verdicts (the app is correct), possibly different exploration.
     assert!(c.passed());
 }
@@ -144,21 +144,15 @@ fn checking_stops_at_the_first_failing_run() {
 fn missing_property_is_a_check_error() {
     let spec = specstrom::load(COUNTER_SPEC).unwrap();
     let check = &spec.checks[0];
-    let err = check_property(
-        &spec,
-        check,
-        "nonexistent",
-        &options(0),
-        &mut counter_executor,
-    )
-    .unwrap_err();
+    let err =
+        check_property(&spec, check, "nonexistent", &options(0), &counter_executor).unwrap_err();
     assert!(err.message.contains("nonexistent"));
 }
 
 #[test]
 fn action_and_state_totals_accumulate() {
     let spec = specstrom::load(COUNTER_SPEC).unwrap();
-    let report = check_spec(&spec, &options(1), &mut counter_executor).unwrap();
+    let report = check_spec(&spec, &options(1), &counter_executor).unwrap();
     let prop = &report.properties[0];
     // Every run contributes its loaded? state plus one per action.
     assert_eq!(prop.states_total, prop.actions_total + prop.runs.len());

@@ -133,7 +133,7 @@ impl<A: App> WebExecutor<A> {
                 .into_iter()
                 .map(|id| Self::project(&doc, id))
                 .collect();
-            snap.queries.insert(selector.clone(), elements);
+            snap.queries.insert(*selector, elements);
         }
         snap
     }
@@ -281,30 +281,6 @@ impl<A: App> WebExecutor<A> {
     }
 }
 
-#[cfg(test)]
-mod send_audit {
-    use super::*;
-
-    fn assert_send<T: Send>() {}
-
-    /// The parallel check runtime constructs executors on worker threads;
-    /// this pins the `Send` guarantee at compile time for a concrete app.
-    #[test]
-    fn web_executor_is_send_for_send_apps() {
-        #[derive(Debug)]
-        struct Nop;
-        impl App for Nop {
-            fn start(&mut self, _: &mut AppCtx<'_>) {}
-            fn view(&self) -> webdom::El {
-                webdom::El::new("div")
-            }
-            fn on_event(&mut self, _: &str, _: &Payload, _: &mut AppCtx<'_>) {}
-            fn on_timer(&mut self, _: &str, _: &mut AppCtx<'_>) {}
-        }
-        assert_send::<WebExecutor<Nop>>();
-    }
-}
-
 impl<A: App> Executor for WebExecutor<A> {
     fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg> {
         let mut out = Vec::new();
@@ -350,5 +326,29 @@ impl<A: App> Executor for WebExecutor<A> {
             CheckerMsg::End => {}
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod send_audit {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    /// The parallel check runtime constructs executors on worker threads;
+    /// this pins the `Send` guarantee at compile time for a concrete app.
+    #[test]
+    fn web_executor_is_send_for_send_apps() {
+        #[derive(Debug)]
+        struct Nop;
+        impl App for Nop {
+            fn start(&mut self, _: &mut AppCtx<'_>) {}
+            fn view(&self) -> webdom::El {
+                webdom::El::new("div")
+            }
+            fn on_event(&mut self, _: &str, _: &Payload, _: &mut AppCtx<'_>) {}
+            fn on_timer(&mut self, _: &str, _: &mut AppCtx<'_>) {}
+        }
+        assert_send::<WebExecutor<Nop>>();
     }
 }

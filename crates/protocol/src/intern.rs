@@ -1,0 +1,247 @@
+//! A global string interner and the [`Symbol`] newtype.
+//!
+//! The hot loop of the checker evaluates the progressed formula once per
+//! observed state, and every evaluation touches identifiers: record field
+//! names, element projections, selector texts, attribute keys. Interning
+//! maps each distinct string to a `u32` once, so the per-step work compares
+//! and hashes machine words instead of re-walking string bytes.
+//!
+//! The interner is process-global and append-only: an interned string is
+//! never freed (it is leaked into `'static`), so [`Symbol::as_str`] can
+//! hand out `&'static str` without lifetime gymnastics and symbols stay
+//! valid across threads for the whole process. This is the "one interner
+//! across all runs and shrink replays" the checker relies on — two
+//! [`Symbol`]s are equal if and only if their strings are, no matter which
+//! thread or run interned them first. The leak is bounded by the set of
+//! distinct identifiers ever interned (specification text, DOM attribute
+//! keys), not by the number of evaluations.
+//!
+//! A fixed set of names that appear on the per-step path — the element
+//! projection fields of [`crate::ElementState`] — is pre-seeded in a known
+//! order, so [`sym`] can expose them as `const` symbols and evaluators can
+//! match on them without any lookup at all. The pre-seeded order is the
+//! alphabetical field order, which keeps record iteration order identical
+//! to the pre-interning `BTreeMap<String, _>` representation.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a `u32` index into the process-global symbol table.
+///
+/// Equality, ordering and hashing all operate on the index — O(1) — and
+/// agree with string equality (the interner is injective). Note that the
+/// *ordering* of two symbols follows interning order, not lexicographic
+/// order; use [`Symbol::as_str`] when alphabetical order matters.
+///
+/// A `Symbol` is **process-local**: the index is only meaningful against
+/// this process's table. Anything that crosses a process boundary must
+/// carry the string ([`Symbol::as_str`]) and re-intern on the other side —
+/// see the crate docs on serialization.
+///
+/// # Examples
+///
+/// ```
+/// use quickstrom_protocol::Symbol;
+/// let a = Symbol::intern("text");
+/// let b = Symbol::intern("text");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "text");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        let mut interner = Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        };
+        for s in sym::PRESEEDED {
+            interner.intern(s);
+        }
+        interner
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(self.strings.len()).expect("fewer than 2^32 distinct symbols");
+        self.strings.push(leaked);
+        self.map.insert(leaked, id);
+        id
+    }
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+impl Symbol {
+    /// Interns a string, returning its symbol (inserting it on first use).
+    #[must_use]
+    pub fn intern(s: &str) -> Symbol {
+        let table = interner();
+        if let Some(&id) = table.read().expect("interner poisoned").map.get(s) {
+            return Symbol(id);
+        }
+        Symbol(table.write().expect("interner poisoned").intern(s))
+    }
+
+    /// Looks a string up *without* interning it.
+    ///
+    /// Use this when the string comes from runtime data (user text, record
+    /// indexing by a computed key): a miss means no record field of that
+    /// name can exist anywhere, and the table is not polluted with
+    /// arbitrary runtime strings.
+    #[must_use]
+    pub fn lookup(s: &str) -> Option<Symbol> {
+        interner()
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(s)
+            .map(|&id| Symbol(id))
+    }
+
+    /// The interned string.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner poisoned").strings[self.0 as usize]
+    }
+
+    /// The raw table index (stable for the lifetime of the process).
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+/// Pre-seeded symbols for the element projection fields, available as
+/// constants so evaluators can match on them without a table lookup.
+pub mod sym {
+    use super::Symbol;
+
+    /// The strings seeded into the interner at indices `0..`, in order.
+    ///
+    /// The first eight are the [`crate::ElementState`] record fields in
+    /// alphabetical order (so symbol-keyed element records iterate in the
+    /// same order string-keyed ones did); the rest are the synthetic
+    /// selector projections.
+    pub(super) const PRESEEDED: &[&str] = &[
+        "attributes",
+        "checked",
+        "classes",
+        "enabled",
+        "focused",
+        "text",
+        "value",
+        "visible",
+        "count",
+        "present",
+        "all",
+    ];
+
+    /// `.attributes` — the element's attribute record.
+    pub const ATTRIBUTES: Symbol = Symbol(0);
+    /// `.checked` — checkbox/radio checkedness.
+    pub const CHECKED: Symbol = Symbol(1);
+    /// `.classes` — the CSS class list.
+    pub const CLASSES: Symbol = Symbol(2);
+    /// `.enabled` — not `disabled`.
+    pub const ENABLED: Symbol = Symbol(3);
+    /// `.focused` — has keyboard focus.
+    pub const FOCUSED: Symbol = Symbol(4);
+    /// `.text` — concatenated visible text.
+    pub const TEXT: Symbol = Symbol(5);
+    /// `.value` — the form value.
+    pub const VALUE: Symbol = Symbol(6);
+    /// `.visible` — rendered visible.
+    pub const VISIBLE: Symbol = Symbol(7);
+    /// `.count` — number of matched elements (selector projection).
+    pub const COUNT: Symbol = Symbol(8);
+    /// `.present` — at least one match (selector projection).
+    pub const PRESENT: Symbol = Symbol(9);
+    /// `.all` — every match as a record list (selector projection).
+    pub const ALL: Symbol = Symbol(10);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_injective() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        let c = Symbol::intern("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "hello");
+        assert_eq!(c.as_str(), "world");
+    }
+
+    #[test]
+    fn preseeded_constants_match_their_strings() {
+        assert_eq!(Symbol::intern("text"), sym::TEXT);
+        assert_eq!(Symbol::intern("attributes"), sym::ATTRIBUTES);
+        assert_eq!(Symbol::intern("checked"), sym::CHECKED);
+        assert_eq!(Symbol::intern("classes"), sym::CLASSES);
+        assert_eq!(Symbol::intern("enabled"), sym::ENABLED);
+        assert_eq!(Symbol::intern("focused"), sym::FOCUSED);
+        assert_eq!(Symbol::intern("value"), sym::VALUE);
+        assert_eq!(Symbol::intern("visible"), sym::VISIBLE);
+        assert_eq!(Symbol::intern("count"), sym::COUNT);
+        assert_eq!(Symbol::intern("present"), sym::PRESENT);
+        assert_eq!(Symbol::intern("all"), sym::ALL);
+        assert_eq!(sym::TEXT.as_str(), "text");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert_eq!(
+            Symbol::lookup("definitely-never-interned-q8x7"),
+            None,
+            "lookup must not insert"
+        );
+        let s = Symbol::intern("now-interned-q8x7");
+        assert_eq!(Symbol::lookup("now-interned-q8x7"), Some(s));
+    }
+
+    #[test]
+    fn symbols_are_shareable_across_threads() {
+        let s = Symbol::intern("threaded");
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(move || Symbol::intern("threaded") == s))
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+    }
+
+    #[test]
+    fn display_resolves() {
+        assert_eq!(Symbol::intern("shown").to_string(), "shown");
+        assert_eq!(format!("{}", sym::TEXT), "text");
+    }
+}

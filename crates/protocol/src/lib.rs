@@ -11,7 +11,14 @@
 //! is why these types live in their own dependency-free crate.
 //!
 //! All types are `serde`-serializable so that a checker and an executor can
-//! live in separate processes, exactly as in the original system.
+//! live in separate processes, exactly as in the original system. One
+//! caveat since interning: [`Symbol`] (and types embedding it, like
+//! [`Selector`] and [`ElementState::attributes`]) is a process-local table
+//! index — a cross-process wire format must serialize symbols as their
+//! *strings* and re-intern on receipt. The vendored offline `serde` is a
+//! no-op shim; when swapping in the real crate, give `Symbol` string-based
+//! `Serialize`/`Deserialize` impls (`as_str` out, `intern` in) rather than
+//! deriving over the raw index.
 //!
 //! ## The protocol (Figure 9)
 //!
@@ -31,9 +38,11 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod intern;
 pub mod messages;
 pub mod snapshot;
 
+pub use intern::{sym, Symbol};
 pub use messages::{ActionInstance, ActionKind, CheckerMsg, ExecutorMsg, Key};
 pub use snapshot::{ElementState, Selector, StateSnapshot};
 

@@ -7,7 +7,9 @@
 //! mapping each relevant selector to the projections of its matched
 //! elements.
 
+use crate::intern::Symbol;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -15,7 +17,13 @@ use std::fmt;
 /// specification.
 ///
 /// The protocol treats selectors as opaque strings; the web executor parses
-/// them with the `webdom` selector engine.
+/// them with the `webdom` selector engine. Internally the text is interned
+/// ([`Symbol`]) and the `'static` string it resolves to is cached inline,
+/// so cloning is a copy, equality and hashing are O(1) on the symbol, and
+/// neither `as_str` nor comparison ever touches the global interner lock.
+/// Ordering compares the *text* (not the intern index), so sorted
+/// collections of selectors stay in the stable alphabetical order that
+/// dependency lists and reports rely on.
 ///
 /// # Examples
 ///
@@ -25,25 +33,70 @@ use std::fmt;
 /// assert_eq!(s.as_str(), "#toggle");
 /// assert_eq!(s.to_string(), "`#toggle`");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct Selector(String);
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Selector {
+    sym: Symbol,
+    text: &'static str,
+}
 
 impl Selector {
-    /// Wraps a selector string.
-    pub fn new(s: impl Into<String>) -> Self {
-        Selector(s.into())
+    /// Interns a selector string.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        let sym = Symbol::intern(s.as_ref());
+        Selector {
+            sym,
+            text: sym.as_str(),
+        }
     }
 
-    /// The selector text.
+    /// The selector text (no interner access; the `'static` resolution is
+    /// cached at construction).
     #[must_use]
     pub fn as_str(&self) -> &str {
-        &self.0
+        self.text
+    }
+
+    /// The interned selector symbol.
+    #[must_use]
+    pub fn symbol(&self) -> Symbol {
+        self.sym
+    }
+}
+
+impl PartialEq for Selector {
+    fn eq(&self, other: &Self) -> bool {
+        self.sym == other.sym
+    }
+}
+
+impl Eq for Selector {}
+
+impl std::hash::Hash for Selector {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sym.hash(state);
+    }
+}
+
+impl Ord for Selector {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.sym == other.sym {
+            // Fast path: same symbol means same text.
+            Ordering::Equal
+        } else {
+            self.text.cmp(other.text)
+        }
+    }
+}
+
+impl PartialOrd for Selector {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 
 impl fmt::Display for Selector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "`{}`", self.0)
+        write!(f, "`{}`", self.as_str())
     }
 }
 
@@ -55,7 +108,7 @@ impl From<&str> for Selector {
 
 impl From<String> for Selector {
     fn from(s: String) -> Self {
-        Selector(s)
+        Selector::new(s)
     }
 }
 
@@ -81,8 +134,10 @@ pub struct ElementState {
     pub focused: bool,
     /// The element's CSS classes, sorted.
     pub classes: Vec<String>,
-    /// Other attributes.
-    pub attributes: BTreeMap<String, String>,
+    /// Other attributes, keyed by interned attribute name. Keys are
+    /// interned once when the DOM is built, so projecting attributes into
+    /// evaluator records never re-hashes the key strings.
+    pub attributes: BTreeMap<Symbol, String>,
 }
 
 impl ElementState {
@@ -160,12 +215,12 @@ impl StateSnapshot {
         let mut changed = Vec::new();
         for (sel, elems) in &self.queries {
             if other.queries.get(sel) != Some(elems) {
-                changed.push(sel.clone());
+                changed.push(*sel);
             }
         }
         for sel in other.queries.keys() {
             if !self.queries.contains_key(sel) {
-                changed.push(sel.clone());
+                changed.push(*sel);
             }
         }
         changed.sort();

@@ -75,6 +75,41 @@ fn progress_outcome(f: F, trace: &[State]) -> Outcome {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
+    /// `simplify` is idempotent: its output is a fixed point. The
+    /// simplifier runs after every unroll on the checker's hot path, so a
+    /// non-idempotent rewrite would mean progression results depend on how
+    /// many times a residual formula happens to be re-simplified.
+    #[test]
+    fn simplify_is_idempotent(f in formula(4, true, 3)) {
+        let once = simplify(f);
+        let twice = simplify(once.clone());
+        prop_assert_eq!(&once, &twice, "not a fixed point: {}", once);
+    }
+
+    /// Pre-simplifying a formula never changes progression outcomes: for
+    /// every trace, `unroll`-based checking of `simplify(f)` yields exactly
+    /// the verdict of checking `f` (the simplifier is semantically
+    /// transparent, including demand bookkeeping and `MoreStatesNeeded`).
+    #[test]
+    fn simplify_preserves_unroll_verdicts(
+        f in formula(3, true, 3),
+        trace in trace_strategy(),
+    ) {
+        let raw = progress_outcome(f.clone(), &trace);
+        let simplified = progress_outcome(simplify(f.clone()), &trace);
+        prop_assert_eq!(
+            raw,
+            simplified,
+            "simplification changed the outcome of {} on {:?}", f, trace
+        );
+        // And on every proper prefix, so intermediate reports agree too.
+        for k in 1..trace.len() {
+            let raw_k = progress_outcome(f.clone(), &trace[..k]);
+            let simp_k = progress_outcome(simplify(f.clone()), &trace[..k]);
+            prop_assert_eq!(raw_k, simp_k, "prefix {k} of {:?} diverged", trace);
+        }
+    }
+
     /// A definitive progression verdict on a prefix of a lasso agrees with
     /// the classical LTL semantics of the whole lasso (E7).
     #[test]
@@ -168,30 +203,11 @@ proptest! {
         );
     }
 
-    /// Simplification is idempotent.
-    #[test]
-    fn simplify_is_idempotent(f in formula(3, true, 3)) {
-        let once = simplify(f);
-        prop_assert_eq!(simplify(once.clone()), once);
-    }
-
     /// Simplification at most doubles a formula (the standard bound for
     /// negation-normal-form pushing: each atom gains at most one negation).
     #[test]
     fn simplify_growth_is_bounded_by_nnf(f in formula(3, true, 3)) {
         prop_assert!(simplify(f.clone()).size() <= 2 * f.size());
-    }
-
-    /// Progression outcome is unaffected by simplifying the input first.
-    #[test]
-    fn progression_commutes_with_simplification(
-        f in formula(3, true, 2),
-        trace in trace_strategy(),
-    ) {
-        prop_assert_eq!(
-            progress_outcome(f.clone(), &trace),
-            progress_outcome(simplify(f), &trace)
-        );
     }
 
     /// Demand annotations are invisible to the infinite-trace semantics.

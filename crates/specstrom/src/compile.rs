@@ -1,0 +1,649 @@
+//! The compilation pass: name interning, slot resolution, and lowering to
+//! a resolved IR.
+//!
+//! The paper's checker evaluates the progressed formula once per observed
+//! state — millions of times over a registry sweep — and the original
+//! tree-walking interpreter paid O(scope-depth) *string comparisons* for
+//! every variable reference (see [`crate::reference`], which preserves it
+//! verbatim). This module runs once per specification, between the sort
+//! checker and evaluation, and removes that cost from the hot path:
+//!
+//! 1. **Interning** — every identifier and record field name becomes a
+//!    [`Symbol`] (a `u32` into the process-global table shared with the
+//!    protocol layer, so snapshot field keys and evaluator field keys are
+//!    the *same* symbols).
+//! 2. **Slot resolution** — every variable reference is resolved to a
+//!    `(depth, slot)` pair: walk `depth` environment frames, index `slot`.
+//!    Undefined names become compile-time errors (the sort checker already
+//!    guarantees this for full specifications).
+//! 3. **Lowering** — the surface [`Expr`] tree becomes an [`Ir`] tree with
+//!    literals pre-evaluated to [`Value`]s (string literals allocate their
+//!    `Arc<str>` once, at compile time) and blocks desugared to nested
+//!    single-binding [`Ir::Let`] nodes.
+//!
+//! The compiled evaluator in [`crate::eval`] interprets this IR against
+//! the slot-indexed [`Env`]. Equivalence with the reference tree-walk is
+//! pinned by differential property tests (`tests/properties.rs` and the
+//! bundled-spec differential suite in the bench crate).
+
+use crate::ast::{BinOp, Expr, LetStmt, Literal, Param, Span, TemporalOp, UnOp};
+use crate::error::SpecError;
+use crate::value::Env;
+use crate::value::{ActionValue, Binding, Builtin, SlotParam, Value};
+use quickstrom_protocol::{ActionKind, Selector, Symbol};
+use std::sync::Arc;
+
+/// A compiled expression: the resolved IR interpreted by [`crate::eval`].
+///
+/// Structurally parallel to [`Expr`], with three differences: variable
+/// references carry `(depth, slot)` coordinates instead of names, field
+/// names are interned [`Symbol`]s, and literals are pre-built [`Value`]s.
+#[derive(Debug)]
+pub enum Ir {
+    /// A pre-evaluated constant (literal or selector literal).
+    Const(Value, Span),
+    /// A resolved variable reference: walk `depth` frames, index `slot`.
+    Var {
+        /// Frames to walk towards the environment root.
+        depth: u32,
+        /// Index into the frame's slot vector.
+        slot: u32,
+        /// The surface name (diagnostics only).
+        name: Symbol,
+        /// Location.
+        span: Span,
+    },
+    /// The special `happened` state variable (§3.2).
+    Happened(Span),
+    /// `f(a, b)`.
+    Call {
+        /// Callee.
+        func: Arc<Ir>,
+        /// Arguments.
+        args: Vec<Arc<Ir>>,
+        /// Location.
+        span: Span,
+    },
+    /// Unary operator application.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        expr: Arc<Ir>,
+        /// Location.
+        span: Span,
+    },
+    /// Binary operator application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Arc<Ir>,
+        /// Right operand.
+        rhs: Arc<Ir>,
+        /// Location.
+        span: Span,
+    },
+    /// `obj.field`, with the field name interned.
+    Member {
+        /// Object expression.
+        obj: Arc<Ir>,
+        /// Interned field name.
+        field: Symbol,
+        /// Location.
+        span: Span,
+    },
+    /// `xs[i]`.
+    Index {
+        /// Collection expression.
+        obj: Arc<Ir>,
+        /// Index expression.
+        index: Arc<Ir>,
+        /// Location.
+        span: Span,
+    },
+    /// `[a, b, c]`.
+    Array(Vec<Arc<Ir>>, Span),
+    /// `if c { … } else { … }`.
+    If {
+        /// Condition (must be a plain boolean, not a formula).
+        cond: Arc<Ir>,
+        /// Then branch.
+        then_branch: Arc<Ir>,
+        /// Else branch.
+        else_branch: Arc<Ir>,
+        /// Location.
+        span: Span,
+    },
+    /// One block binding: `{ let x = value; body }`. Blocks with several
+    /// `let`s lower to nested `Let` nodes; at run time each pushes a
+    /// single-slot frame, so references resolve as `(0, 0)` within the
+    /// innermost binding.
+    Let {
+        /// Bound name (diagnostics only).
+        name: Symbol,
+        /// `true` for `let ~x = …` (captured as a thunk, evaluated per
+        /// use).
+        deferred: bool,
+        /// The bound expression.
+        value: Arc<Ir>,
+        /// The rest of the block.
+        body: Arc<Ir>,
+        /// Location of the binding.
+        span: Span,
+    },
+    /// A unary temporal operator with optional demand annotation.
+    Temporal {
+        /// Which operator.
+        op: TemporalOp,
+        /// The demand subscript; `None` uses the checker default (§4.1).
+        demand: Option<u32>,
+        /// Body — captured as a thunk atom over the current environment.
+        body: Arc<Ir>,
+        /// Location.
+        span: Span,
+    },
+    /// `a until[n] b` / `a release[n] b`.
+    TemporalBin {
+        /// `true` for until, `false` for release.
+        until: bool,
+        /// The demand subscript; `None` uses the checker default.
+        demand: Option<u32>,
+        /// Left operand.
+        lhs: Arc<Ir>,
+        /// Right operand.
+        rhs: Arc<Ir>,
+        /// Location.
+        span: Span,
+    },
+}
+
+impl Ir {
+    /// The source span of this compiled expression.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            Ir::Const(_, s) | Ir::Happened(s) | Ir::Array(_, s) => *s,
+            Ir::Var { span, .. }
+            | Ir::Call { span, .. }
+            | Ir::Unary { span, .. }
+            | Ir::Binary { span, .. }
+            | Ir::Member { span, .. }
+            | Ir::Index { span, .. }
+            | Ir::If { span, .. }
+            | Ir::Let { span, .. }
+            | Ir::Temporal { span, .. }
+            | Ir::TemporalBin { span, .. } => *span,
+        }
+    }
+
+    /// Reconstructs a surface expression, for diagnostics: residual formula
+    /// atoms display through [`crate::pretty::pretty_expr`] of this tree.
+    ///
+    /// Lowering is lossless up to block grouping (nested [`Ir::Let`]s print
+    /// as one block), so the reconstruction reads like the original source.
+    #[must_use]
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            Ir::Const(v, span) => const_to_expr(v, *span),
+            Ir::Var { name, span, .. } => Expr::Var(name.as_str().to_owned(), *span),
+            Ir::Happened(span) => Expr::Happened(*span),
+            Ir::Call { func, args, span } => Expr::Call {
+                func: Arc::new(func.to_expr()),
+                args: args.iter().map(|a| Arc::new(a.to_expr())).collect(),
+                span: *span,
+            },
+            Ir::Unary { op, expr, span } => Expr::Unary {
+                op: *op,
+                expr: Arc::new(expr.to_expr()),
+                span: *span,
+            },
+            Ir::Binary { op, lhs, rhs, span } => Expr::Binary {
+                op: *op,
+                lhs: Arc::new(lhs.to_expr()),
+                rhs: Arc::new(rhs.to_expr()),
+                span: *span,
+            },
+            Ir::Member { obj, field, span } => Expr::Member {
+                obj: Arc::new(obj.to_expr()),
+                field: field.as_str().to_owned(),
+                span: *span,
+            },
+            Ir::Index { obj, index, span } => Expr::Index {
+                obj: Arc::new(obj.to_expr()),
+                index: Arc::new(index.to_expr()),
+                span: *span,
+            },
+            Ir::Array(items, span) => {
+                Expr::Array(items.iter().map(|i| Arc::new(i.to_expr())).collect(), *span)
+            }
+            Ir::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => Expr::If {
+                cond: Arc::new(cond.to_expr()),
+                then_branch: Arc::new(then_branch.to_expr()),
+                else_branch: Arc::new(else_branch.to_expr()),
+                span: *span,
+            },
+            Ir::Let { span, .. } => {
+                // Re-group a chain of nested lets into one block.
+                let mut lets = Vec::new();
+                let mut cur = self;
+                while let Ir::Let {
+                    name,
+                    deferred,
+                    value,
+                    body,
+                    span,
+                } = cur
+                {
+                    lets.push(LetStmt {
+                        name: name.as_str().to_owned(),
+                        deferred: *deferred,
+                        value: Arc::new(value.to_expr()),
+                        span: *span,
+                    });
+                    cur = body;
+                }
+                Expr::Block {
+                    lets,
+                    result: Arc::new(cur.to_expr()),
+                    span: *span,
+                }
+            }
+            Ir::Temporal {
+                op,
+                demand,
+                body,
+                span,
+            } => Expr::Temporal {
+                op: *op,
+                demand: *demand,
+                body: Arc::new(body.to_expr()),
+                span: *span,
+            },
+            Ir::TemporalBin {
+                until,
+                demand,
+                lhs,
+                rhs,
+                span,
+            } => Expr::TemporalBin {
+                until: *until,
+                demand: *demand,
+                lhs: Arc::new(lhs.to_expr()),
+                rhs: Arc::new(rhs.to_expr()),
+                span: *span,
+            },
+        }
+    }
+}
+
+fn const_to_expr(v: &Value, span: Span) -> Expr {
+    match v {
+        Value::Null => Expr::Lit(Literal::Null, span),
+        Value::Bool(b) => Expr::Lit(Literal::Bool(*b), span),
+        Value::Int(n) => Expr::Lit(Literal::Int(*n), span),
+        Value::Float(x) => Expr::Lit(Literal::Float(*x), span),
+        Value::Str(s) => Expr::Lit(Literal::Str(s.to_string()), span),
+        Value::Selector(sel) => Expr::Selector(sel.as_str().to_owned(), span),
+        // Only literal constants are lowered to `Const`; render anything
+        // else through its display form.
+        other => Expr::Var(other.to_string(), span),
+    }
+}
+
+/// The compile-time scope stack mirroring the run-time frame chain.
+///
+/// `scopes[0]` is the global frame (builtins plus top-level items, growing
+/// as the specification is compiled); later entries are parameter frames
+/// and single-binding `let` frames. Resolution scans innermost-out, and
+/// within a frame scans slots in reverse so later bindings shadow earlier
+/// ones.
+#[derive(Debug)]
+pub(crate) struct Resolver {
+    scopes: Vec<Vec<Symbol>>,
+}
+
+impl Resolver {
+    pub(crate) fn new(globals: Vec<Symbol>) -> Self {
+        Resolver {
+            scopes: vec![globals],
+        }
+    }
+
+    /// Appends a slot to the global frame (top-level item compilation).
+    pub(crate) fn define_global(&mut self, name: Symbol) {
+        self.scopes[0].push(name);
+    }
+
+    pub(crate) fn push_scope(&mut self, names: Vec<Symbol>) {
+        self.scopes.push(names);
+    }
+
+    pub(crate) fn pop_scope(&mut self) {
+        self.scopes.pop().expect("scope stack underflow");
+    }
+
+    fn resolve(&self, name: Symbol) -> Option<(u32, u32)> {
+        for (up, frame) in self.scopes.iter().rev().enumerate() {
+            if let Some(slot) = frame.iter().rposition(|&n| n == name) {
+                let depth = u32::try_from(up).expect("scope depth fits u32");
+                let slot = u32::try_from(slot).expect("slot index fits u32");
+                return Some((depth, slot));
+            }
+        }
+        None
+    }
+}
+
+/// Lowers one expression against the current scope stack.
+pub(crate) fn lower(expr: &Expr, r: &mut Resolver) -> Result<Arc<Ir>, SpecError> {
+    Ok(Arc::new(match expr {
+        Expr::Lit(lit, span) => {
+            let value = match lit {
+                Literal::Null => Value::Null,
+                Literal::Bool(b) => Value::Bool(*b),
+                Literal::Int(n) => Value::Int(*n),
+                Literal::Float(x) => Value::Float(*x),
+                Literal::Str(s) => Value::str(s),
+            };
+            Ir::Const(value, *span)
+        }
+        Expr::Selector(s, span) => Ir::Const(Value::Selector(Selector::new(s)), *span),
+        Expr::Var(name, span) => {
+            let sym = Symbol::intern(name);
+            let Some((depth, slot)) = r.resolve(sym) else {
+                return Err(SpecError::at(*span, format!("undefined name `{name}`")));
+            };
+            Ir::Var {
+                depth,
+                slot,
+                name: sym,
+                span: *span,
+            }
+        }
+        Expr::Happened(span) => Ir::Happened(*span),
+        Expr::Call { func, args, span } => Ir::Call {
+            func: lower(func, r)?,
+            args: args.iter().map(|a| lower(a, r)).collect::<Result<_, _>>()?,
+            span: *span,
+        },
+        Expr::Unary { op, expr, span } => Ir::Unary {
+            op: *op,
+            expr: lower(expr, r)?,
+            span: *span,
+        },
+        Expr::Binary { op, lhs, rhs, span } => Ir::Binary {
+            op: *op,
+            lhs: lower(lhs, r)?,
+            rhs: lower(rhs, r)?,
+            span: *span,
+        },
+        Expr::Member { obj, field, span } => Ir::Member {
+            obj: lower(obj, r)?,
+            field: Symbol::intern(field),
+            span: *span,
+        },
+        Expr::Index { obj, index, span } => Ir::Index {
+            obj: lower(obj, r)?,
+            index: lower(index, r)?,
+            span: *span,
+        },
+        Expr::Array(items, span) => Ir::Array(
+            items
+                .iter()
+                .map(|i| lower(i, r))
+                .collect::<Result<_, _>>()?,
+            *span,
+        ),
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        } => Ir::If {
+            cond: lower(cond, r)?,
+            then_branch: lower(then_branch, r)?,
+            else_branch: lower(else_branch, r)?,
+            span: *span,
+        },
+        Expr::Block { lets, result, .. } => return lower_block(lets, result, r),
+        Expr::Temporal {
+            op,
+            demand,
+            body,
+            span,
+        } => Ir::Temporal {
+            op: *op,
+            demand: *demand,
+            body: lower(body, r)?,
+            span: *span,
+        },
+        Expr::TemporalBin {
+            until,
+            demand,
+            lhs,
+            rhs,
+            span,
+        } => Ir::TemporalBin {
+            until: *until,
+            demand: *demand,
+            lhs: lower(lhs, r)?,
+            rhs: lower(rhs, r)?,
+            span: *span,
+        },
+    }))
+}
+
+/// Desugars a block into nested single-binding [`Ir::Let`]s: each `let`
+/// opens a one-slot scope visible to the remaining bindings and the result.
+fn lower_block(lets: &[LetStmt], result: &Expr, r: &mut Resolver) -> Result<Arc<Ir>, SpecError> {
+    let Some((stmt, rest)) = lets.split_first() else {
+        return lower(result, r);
+    };
+    let value = lower(&stmt.value, r)?;
+    let name = Symbol::intern(&stmt.name);
+    r.push_scope(vec![name]);
+    let body = lower_block(rest, result, r);
+    r.pop_scope();
+    Ok(Arc::new(Ir::Let {
+        name,
+        deferred: stmt.deferred,
+        value,
+        body: body?,
+        span: stmt.span,
+    }))
+}
+
+/// Lowers the parameter list of a `fun` item.
+pub(crate) fn lower_params(params: &[Param]) -> Vec<SlotParam> {
+    params
+        .iter()
+        .map(|p| SlotParam {
+            name: Symbol::intern(&p.name),
+            deferred: p.deferred,
+        })
+        .collect()
+}
+
+fn constant_action(name: &str, kind: ActionKind) -> Binding {
+    Binding::Eager(Value::Action(Arc::new(ActionValue::constant(name, kind))))
+}
+
+/// The initial global frame: every builtin plus the constant actions
+/// `noop!`, `reload!` and the built-in `loaded?` event (§3.2), as parallel
+/// name and binding vectors (same indices).
+#[must_use]
+pub fn initial_globals() -> (Vec<Symbol>, Vec<Binding>) {
+    let mut names = Vec::new();
+    let mut bindings = Vec::new();
+    for b in Builtin::all() {
+        names.push(Symbol::intern(b.name()));
+        bindings.push(Binding::Eager(Value::Builtin(*b)));
+    }
+    names.push(Symbol::intern("noop!"));
+    bindings.push(constant_action("noop!", ActionKind::Noop));
+    names.push(Symbol::intern("reload!"));
+    bindings.push(constant_action("reload!", ActionKind::Reload));
+    names.push(Symbol::intern("loaded?"));
+    bindings.push(Binding::Eager(Value::Action(Arc::new(
+        ActionValue::builtin_event("loaded?"),
+    ))));
+    (names, bindings)
+}
+
+/// The initial environment: one frame holding [`initial_globals`].
+///
+/// This is the compiled counterpart of the reference interpreter's
+/// `initial_env`; expressions compiled with [`compile_expr`] evaluate
+/// against it.
+#[must_use]
+pub fn initial_env() -> Env {
+    let (_, bindings) = initial_globals();
+    Env::new().push(bindings)
+}
+
+/// Compiles a standalone expression against the initial (builtins-only)
+/// scope — the entry point for tests, tools and the differential harness.
+/// Specification items are compiled by [`crate::spec::compile`], which
+/// grows the global scope item by item.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] for references to names that are not builtins.
+pub fn compile_expr(expr: &Expr) -> Result<Arc<Ir>, SpecError> {
+    let (names, _) = initial_globals();
+    let mut resolver = Resolver::new(names);
+    lower(expr, &mut resolver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use crate::pretty::pretty_expr;
+
+    fn compiled(src: &str) -> Arc<Ir> {
+        compile_expr(&parse_expr(src).unwrap()).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    #[test]
+    fn literals_become_constants() {
+        assert!(matches!(
+            compiled("42").as_ref(),
+            Ir::Const(Value::Int(42), _)
+        ));
+        match compiled("\"hi\"").as_ref() {
+            Ir::Const(Value::Str(s), _) => assert_eq!(&**s, "hi"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match compiled("`#toggle`").as_ref() {
+            Ir::Const(Value::Selector(sel), _) => assert_eq!(sel.as_str(), "#toggle"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builtins_resolve_to_global_slots() {
+        match compiled("parseInt").as_ref() {
+            Ir::Var { depth: 0, slot, .. } => assert_eq!(*slot, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // `trim` is the fifth builtin.
+        match compiled("trim").as_ref() {
+            Ir::Var { depth: 0, slot, .. } => assert_eq!(*slot, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_names_fail_at_compile_time() {
+        let err = compile_expr(&parse_expr("nope").unwrap()).unwrap_err();
+        assert!(err.message.contains("undefined name `nope`"));
+        // Even when unreachable at run time: resolution is static.
+        let err2 = compile_expr(&parse_expr("false && nope").unwrap()).unwrap_err();
+        assert!(err2.message.contains("undefined name `nope`"));
+    }
+
+    #[test]
+    fn block_lets_resolve_to_nested_single_slots() {
+        let ir = compiled("{ let x = 1; let y = x; y }");
+        let Ir::Let { value, body, .. } = ir.as_ref() else {
+            panic!("expected let");
+        };
+        assert!(matches!(value.as_ref(), Ir::Const(Value::Int(1), _)));
+        let Ir::Let {
+            value: y_value,
+            body: result,
+            ..
+        } = body.as_ref()
+        else {
+            panic!("expected nested let");
+        };
+        // `x` seen from `y`'s initialiser: one frame up would be wrong —
+        // the `y` scope is not yet open while lowering its value.
+        assert!(matches!(
+            y_value.as_ref(),
+            Ir::Var {
+                depth: 0,
+                slot: 0,
+                ..
+            }
+        ));
+        // `y` seen from the result: innermost frame.
+        assert!(matches!(
+            result.as_ref(),
+            Ir::Var {
+                depth: 0,
+                slot: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shadowing_resolves_to_the_innermost_binding() {
+        let ir = compiled("{ let x = 1; let x = 2; x }");
+        let Ir::Let { body, .. } = ir.as_ref() else {
+            panic!("expected let");
+        };
+        let Ir::Let { body: result, .. } = body.as_ref() else {
+            panic!("expected nested let");
+        };
+        assert!(matches!(
+            result.as_ref(),
+            Ir::Var {
+                depth: 0,
+                slot: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn to_expr_reconstructs_readable_source() {
+        for src in [
+            "1 + 2 * 3",
+            "`#toggle`.text == \"start\"",
+            "always[3] (`#t`.present)",
+            "{ let v = 1; v + 1 }",
+            "if true { 1 } else { 2 }",
+            "texts(`li`)[0]",
+            "a until[5] b",
+        ] {
+            // `a`/`b` are undefined; swap for builtins in the last case.
+            let src = if src.contains("until") {
+                "parseInt until[5] parseFloat"
+            } else {
+                src
+            };
+            let expr = parse_expr(src).unwrap();
+            let ir = compile_expr(&expr).unwrap();
+            assert_eq!(pretty_expr(&ir.to_expr()), pretty_expr(&expr), "{src}");
+        }
+    }
+}

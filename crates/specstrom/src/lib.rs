@@ -5,11 +5,25 @@
 //! QuickLTL properties, declare the actions and events of their
 //! application, and issue `check` commands.
 //!
-//! The pipeline is [`parse_spec`] → [`compile`] (sort checking, §3's
-//! function/data separation; environment construction; §3.3 dependency
-//! analysis) → a [`CompiledSpec`] the checker can run: property thunks,
-//! action/event declarations with guards and timeouts, and the selector
-//! dependency list for executor instrumentation.
+//! The pipeline is [`parse_spec`] → [`mod@compile`] → a [`CompiledSpec`] the
+//! checker can run. Compilation performs, in order:
+//!
+//! 1. **Sort checking** ([`sorts`]) — §3's function/data separation.
+//! 2. **Interning + slot resolution + lowering** ([`mod@compile`]) — every
+//!    identifier and field name becomes a [`quickstrom_protocol::Symbol`],
+//!    every variable reference a `(depth, slot)` coordinate, and the AST a
+//!    resolved IR with pre-built literal values.
+//! 3. **Environment construction** ([`spec`]) — eager bindings evaluated
+//!    at definition time, deferred ones captured as compiled thunks,
+//!    actions/events registered with guards and timeouts.
+//! 4. **Dependency analysis** ([`analysis`]) — the §3.3 selector list for
+//!    executor instrumentation.
+//!
+//! Per-state evaluation then runs the compiled IR ([`mod@eval`]) against a
+//! slot-indexed environment: no string comparison or hashing happens on
+//! the formula-progression hot path. The original tree-walking
+//! interpreter is preserved in [`mod@reference`] (test/bench-only), and
+//! differential property tests pin `compiled ≡ reference`.
 //!
 //! ## Example
 //!
@@ -53,18 +67,21 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod reference;
 pub mod sorts;
 pub mod spec;
 pub mod value;
 
+pub use compile::{compile_expr, initial_env, Ir};
 pub use error::{EvalError, SpecError};
-pub use eval::{element_record, eval_guard, expand_thunk, initial_env, to_formula, EvalCtx};
+pub use eval::{element_record, eval_guard, expand_thunk, to_formula, EvalCtx};
 pub use parser::{parse_expr, parse_spec};
 pub use pretty::{pretty_expr, pretty_item, pretty_spec};
 pub use spec::{compile, load, CheckDef, CompiledSpec};
-pub use value::{ActionValue, Binding, Builtin, Env, Thunk, Value};
+pub use value::{ActionValue, Binding, Builtin, Env, SlotParam, Thunk, Value};

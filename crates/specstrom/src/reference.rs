@@ -1,127 +1,397 @@
-//! The compiled Specstrom evaluator.
+//! The reference tree-walking interpreter (test/bench-only).
 //!
-//! Evaluation happens *per state*: expressions over selector queries and
-//! `happened` read the current [`StateSnapshot`]; temporal operators
-//! produce [`Formula`] values whose atoms are [`Thunk`]s closed over the
-//! environment, to be re-evaluated at future states by formula progression.
+//! This module preserves, essentially verbatim, the original Specstrom
+//! interpreter that walked the surface [`Expr`] tree against a linked-list
+//! environment of *named* frames compared by string equality. The
+//! production path now compiles specifications to a slot-resolved IR
+//! ([`mod@crate::compile`]) evaluated by [`mod@crate::eval`]; this reference
+//! implementation exists so that:
 //!
-//! This module interprets the resolved IR of [`mod@crate::compile`] against
-//! the slot-indexed [`Env`]: variable references are `(depth, slot)` walks
-//! (no string comparisons), record fields are interned [`Symbol`]s, and
-//! element projections like `` `#e`.text `` read the snapshot field
-//! directly instead of materialising a full record first. The original
-//! tree-walking interpreter is preserved, unchanged, in
-//! [`crate::reference`] for differential testing and benchmarking.
+//! * differential property tests can pin `compiled ≡ reference` on
+//!   generated expressions and on the bundled specifications, and
+//! * the `eval_step` benchmark can measure what the compilation pass buys
+//!   on the per-state hot path.
 //!
-//! Two design points from the paper are load-bearing here:
+//! It is **not** part of the supported evaluation pipeline — nothing in
+//! the checker depends on it — and its semantics are frozen: change the
+//! production evaluator and the differential suite will tell you whether
+//! the change is observable.
 //!
-//! * **Evaluation control (§3.1)**: deferred bindings (`let ~x`, `~param`)
-//!   are captured unevaluated and re-run at every use, so `evovae(~x) =
-//!   { let v = x; always (x == v) }` freezes `v` at the state where the
-//!   `always` body is unrolled while `x` stays live.
-//! * **Boolean lifting**: `&&`, `||`, `==>` and `!` operate on plain
-//!   booleans until a formula operand appears, at which point the whole
-//!   expression is lifted into the temporal logic.
+//! The one intentional semantic difference: the production pipeline
+//! rejects *undefined names* at compile time, while this interpreter
+//! discovers them at evaluation time (so `false && nope` evaluates to
+//! `false` here and fails to compile there). Differential tests only
+//! exercise well-resolved expressions, where the two agree.
 
-use crate::ast::{BinOp, Span, TemporalOp, UnOp};
-use crate::compile::Ir;
+use crate::ast::{BinOp, Expr, Item, Literal, Spec, TemporalOp, UnOp};
 use crate::error::EvalError;
-use crate::value::{ActionValue, Binding, Builtin, ClosureData, Env, SlotParam, Thunk, Value};
+use crate::eval::EvalCtx;
+use crate::value::Builtin;
 use quickltl::{Demand, Formula};
-use quickstrom_protocol::{sym, ActionKind, ElementState, Key, Selector, StateSnapshot, Symbol};
-use std::cell::Cell;
+use quickstrom_protocol::{ActionKind, ElementState, Key, Selector, StateSnapshot};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
-/// The context for one evaluation: the current state (if any), the default
-/// demand subscript, and a fuel counter guarding against runaway expansion.
+/// A lexical environment: a persistent chain of name bindings, looked up
+/// innermost-first by string comparison.
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Arc<Frame>>);
+
 #[derive(Debug)]
-pub struct EvalCtx<'a> {
-    /// The current state snapshot; `None` at definition time.
-    pub state: Option<&'a StateSnapshot>,
-    /// The demand used for temporal operators without an explicit
-    /// subscript (§4.1: "they use a user-specified default value").
-    pub default_demand: u32,
-    fuel: Cell<u64>,
+struct Frame {
+    name: String,
+    binding: Binding,
+    parent: Env,
 }
 
-impl<'a> EvalCtx<'a> {
-    /// A context with a state, the given default demand, and default fuel.
+impl Env {
+    /// The empty environment.
     #[must_use]
-    pub fn with_state(state: &'a StateSnapshot, default_demand: u32) -> Self {
-        EvalCtx {
-            state: Some(state),
-            default_demand,
-            fuel: Cell::new(1_000_000),
-        }
+    pub fn new() -> Self {
+        Env(None)
     }
 
-    /// A stateless context (definition-time evaluation).
+    /// Extends the environment with one binding.
     #[must_use]
-    pub fn stateless(default_demand: u32) -> Self {
-        EvalCtx {
-            state: None,
-            default_demand,
-            fuel: Cell::new(1_000_000),
-        }
+    pub fn bind(&self, name: impl Into<String>, binding: Binding) -> Env {
+        Env(Some(Arc::new(Frame {
+            name: name.into(),
+            binding,
+            parent: self.clone(),
+        })))
     }
 
-    fn burn(&self) -> Result<(), EvalError> {
-        let left = self.fuel.get();
-        if left == 0 {
-            return Err(EvalError::new(
-                "evaluation fuel exhausted — this should be impossible for a \
-                 type-checked Specstrom program",
-            ));
+    /// Looks a name up, innermost first.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<&Binding> {
+        let mut cur = self;
+        while let Some(frame) = &cur.0 {
+            if frame.name == name {
+                return Some(&frame.binding);
+            }
+            cur = &frame.parent;
         }
-        self.fuel.set(left - 1);
-        Ok(())
+        None
     }
 
-    fn state(&self) -> Result<&'a StateSnapshot, EvalError> {
-        self.state.ok_or_else(|| {
-            EvalError::new(
-                "state-dependent expression evaluated outside a state context \
-                 (bind it with `let ~x = …` so it is evaluated per state)",
-            )
-        })
+    fn ptr_id(&self) -> usize {
+        self.0.as_ref().map_or(0, |rc| Arc::as_ptr(rc) as usize)
     }
 }
 
-/// Evaluates a compiled expression to a value.
+/// How a name is bound.
+#[derive(Debug, Clone)]
+pub enum Binding {
+    /// Evaluated at definition time (`let x = …`).
+    Eager(Value),
+    /// Captured unevaluated (`let ~x = …`), re-evaluated per use.
+    Deferred(Thunk),
+}
+
+/// An unevaluated expression closed over its environment.
+#[derive(Clone)]
+pub struct Thunk {
+    /// The expression to evaluate.
+    pub expr: Arc<Expr>,
+    /// The captured environment.
+    pub env: Env,
+}
+
+impl Thunk {
+    /// Creates a thunk.
+    #[must_use]
+    pub fn new(expr: Arc<Expr>, env: Env) -> Self {
+        Thunk { expr, env }
+    }
+}
+
+impl fmt::Debug for Thunk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RefThunk({:?} @ env#{:x})",
+            self.expr.span(),
+            self.env.ptr_id()
+        )
+    }
+}
+
+impl fmt::Display for Thunk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::pretty::pretty_expr(&self.expr))
+    }
+}
+
+impl PartialEq for Thunk {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.expr, &other.expr) && self.env.ptr_id() == other.env.ptr_id()
+    }
+}
+
+impl Eq for Thunk {}
+
+/// A user-defined function value.
+#[derive(Debug)]
+pub struct ClosureData {
+    /// Function name (diagnostics only).
+    pub name: String,
+    /// Parameters, with deferredness.
+    pub params: Vec<crate::ast::Param>,
+    /// Body expression.
+    pub body: Arc<Expr>,
+    /// Captured environment.
+    pub env: Env,
+}
+
+/// The specification of an action or event (reference flavour).
+#[derive(Debug, Clone)]
+pub struct ActionValue {
+    /// The Specstrom name (`start!`, `tick?`), when declared.
+    pub name: Option<String>,
+    /// What the executor should do (actions) — `None` for pure events.
+    pub kind: Option<ActionKind>,
+    /// The target selector, for targeted kinds and `changed?` events.
+    pub selector: Option<Selector>,
+    /// Timeout in milliseconds (§3.2).
+    pub timeout_ms: Option<u64>,
+    /// Guard, evaluated per state.
+    pub guard: Option<Thunk>,
+    /// `true` for events (`…?`), `false` for user actions (`…!`).
+    pub event: bool,
+}
+
+/// A runtime value of the reference interpreter. Mirrors
+/// [`crate::value::Value`] with string-keyed records and source-level
+/// closures/thunks.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(Arc<str>),
+    /// A list.
+    List(Arc<Vec<Value>>),
+    /// A record with string keys (the original representation).
+    Record(Arc<BTreeMap<String, Value>>),
+    /// A CSS selector literal.
+    Selector(Selector),
+    /// A QuickLTL formula over source-thunk atoms.
+    Formula(Formula<Thunk>),
+    /// A user function.
+    Closure(Arc<ClosureData>),
+    /// A built-in function.
+    Builtin(Builtin),
+    /// An action or event specification.
+    Action(Arc<ActionValue>),
+}
+
+impl Value {
+    /// A string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// A list value.
+    #[must_use]
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Arc::new(items))
+    }
+
+    /// A short description of the value's type, for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Record(_) => "record",
+            Value::Selector(_) => "selector",
+            Value::Formula(_) => "formula",
+            Value::Closure(_) => "function",
+            Value::Builtin(_) => "function",
+            Value::Action(_) => "action",
+        }
+    }
+
+    /// Is this a function (closure or builtin)?
+    #[must_use]
+    pub fn is_function(&self) -> bool {
+        matches!(self, Value::Closure(_) | Value::Builtin(_))
+    }
+
+    /// Requires a boolean.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EvalError::new(format!(
+                "expected a boolean, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Structural equality in the language's `==` sense.
+    #[must_use]
+    pub fn loosely_equals(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                #[allow(clippy::cast_precision_loss)]
+                let fa = *a as f64;
+                fa == *b
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Selector(a), Value::Selector(b)) => a == b,
+            (Value::List(a), Value::List(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.loosely_equals(y))
+            }
+            (Value::Record(a), Value::Record(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.loosely_equals(vb))
+            }
+            (Value::Action(a), Value::Action(b)) => a.name == b.name,
+            (Value::Action(a), Value::Str(s)) | (Value::Str(s), Value::Action(a)) => {
+                a.name.as_deref() == Some(&**s)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Selector(sel) => write!(f, "{sel}"),
+            Value::Formula(formula) => write!(f, "<formula {formula}>"),
+            Value::Closure(c) => write!(f, "<fun {}>", c.name),
+            Value::Builtin(b) => write!(f, "<builtin {}>", b.name()),
+            Value::Action(a) => match (&a.name, &a.kind) {
+                (Some(n), _) => write!(f, "<action {n}>"),
+                (None, Some(k)) => write!(f, "<action <{k:?}>>"),
+                (None, None) => write!(f, "<action <event>>"),
+            },
+        }
+    }
+}
+
+/// The initial environment: builtins plus the constant actions `noop!`,
+/// `reload!` and the built-in `loaded?` event (§3.2).
+#[must_use]
+pub fn initial_env() -> Env {
+    let mut env = Env::new();
+    for b in Builtin::all() {
+        env = env.bind(b.name(), Binding::Eager(Value::Builtin(*b)));
+    }
+    env = env.bind(
+        "noop!",
+        Binding::Eager(Value::Action(Arc::new(ActionValue {
+            name: Some("noop!".into()),
+            kind: Some(ActionKind::Noop),
+            selector: None,
+            timeout_ms: None,
+            guard: None,
+            event: false,
+        }))),
+    );
+    env = env.bind(
+        "reload!",
+        Binding::Eager(Value::Action(Arc::new(ActionValue {
+            name: Some("reload!".into()),
+            kind: Some(ActionKind::Reload),
+            selector: None,
+            timeout_ms: None,
+            guard: None,
+            event: false,
+        }))),
+    );
+    env = env.bind(
+        "loaded?",
+        Binding::Eager(Value::Action(Arc::new(ActionValue {
+            name: Some("loaded?".into()),
+            kind: None,
+            selector: None,
+            timeout_ms: None,
+            guard: None,
+            event: true,
+        }))),
+    );
+    env
+}
+
+/// Evaluates an expression to a value (the original tree walk).
 ///
 /// # Errors
 ///
 /// Returns [`EvalError`] on runtime type mismatches, state queries without
-/// a state, arithmetic errors, or fuel exhaustion.
-pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalError> {
-    ctx.burn()?;
-    match ir.as_ref() {
-        Ir::Const(v, _) => Ok(v.clone()),
-        Ir::Var {
-            depth,
-            slot,
-            name,
-            span,
-        } => match env.get(*depth, *slot) {
+/// a state, arithmetic errors, undefined names, or fuel exhaustion.
+#[allow(clippy::too_many_lines)]
+pub fn eval(expr: &Arc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalError> {
+    match expr.as_ref() {
+        Expr::Lit(lit, _) => Ok(match lit {
+            Literal::Null => Value::Null,
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::Int(n) => Value::Int(*n),
+            Literal::Float(x) => Value::Float(*x),
+            Literal::Str(s) => Value::str(s),
+        }),
+        Expr::Selector(s, _) => Ok(Value::Selector(Selector::new(s))),
+        Expr::Var(name, span) => match env.lookup(name) {
             Some(Binding::Eager(v)) => Ok(v.clone()),
             Some(Binding::Deferred(thunk)) => {
                 let thunk = thunk.clone();
-                eval(&thunk.ir, &thunk.env, ctx)
+                eval(&thunk.expr, &thunk.env, ctx)
             }
-            None => Err(EvalError::at(
-                *span,
-                format!(
-                    "internal error: environment shape does not match the \
-                     compiled slot for `{name}`"
-                ),
-            )),
+            None => Err(EvalError::at(*span, format!("undefined name `{name}`"))),
         },
-        Ir::Happened(_) => {
-            let state = ctx.state()?;
+        Expr::Happened(_) => {
+            let state = state_of(ctx)?;
             Ok(Value::list(state.happened.iter().map(Value::str).collect()))
         }
-        Ir::Call { func, args, span } => {
+        Expr::Call { func, args, span } => {
             let callee = eval(func, env, ctx)?;
             match callee {
                 Value::Closure(closure) => {
@@ -136,18 +406,15 @@ pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalErr
                             ),
                         ));
                     }
-                    let mut frame = Vec::with_capacity(args.len());
+                    let mut call_env = closure.env.clone();
                     for (param, arg) in closure.params.iter().zip(args) {
                         let binding = if param.deferred {
-                            // Call-by-name: capture the argument expression
-                            // in the *caller's* environment (§3.1).
                             Binding::Deferred(Thunk::new(Arc::clone(arg), env.clone()))
                         } else {
                             Binding::Eager(eval(arg, env, ctx)?)
                         };
-                        frame.push(binding);
+                        call_env = call_env.bind(&param.name, binding);
                     }
-                    let call_env = closure.env.push(frame);
                     eval(&closure.body, &call_env, ctx)
                 }
                 Value::Builtin(builtin) => {
@@ -174,7 +441,7 @@ pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalErr
                 )),
             }
         }
-        Ir::Unary {
+        Expr::Unary {
             op,
             expr: inner,
             span,
@@ -203,17 +470,17 @@ pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalErr
                 },
             }
         }
-        Ir::Binary { op, lhs, rhs, span } => eval_binary(*op, lhs, rhs, env, ctx, *span),
-        Ir::Member { obj, field, span } => {
+        Expr::Binary { op, lhs, rhs, span } => eval_binary(*op, lhs, rhs, env, ctx, *span),
+        Expr::Member { obj, field, span } => {
             let base = eval(obj, env, ctx)?;
-            member(base, *field, ctx, *span)
+            member(base, field, ctx, *span)
         }
-        Ir::Index { obj, index, span } => {
+        Expr::Index { obj, index, span } => {
             let base = eval(obj, env, ctx)?;
             let idx = eval(index, env, ctx)?;
             index_value(base, idx, ctx, *span)
         }
-        Ir::Array(items, _) => {
+        Expr::Array(items, _) => {
             let mut out = Vec::with_capacity(items.len());
             for item in items {
                 let v = eval(item, env, ctx)?;
@@ -227,7 +494,7 @@ pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalErr
             }
             Ok(Value::list(out))
         }
-        Ir::If {
+        Expr::If {
             cond,
             then_branch,
             else_branch,
@@ -251,21 +518,19 @@ pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalErr
                 )),
             }
         }
-        Ir::Let {
-            deferred,
-            value,
-            body,
-            ..
-        } => {
-            let binding = if *deferred {
-                Binding::Deferred(Thunk::new(Arc::clone(value), env.clone()))
-            } else {
-                Binding::Eager(eval(value, env, ctx)?)
-            };
-            let inner = env.push(vec![binding]);
-            eval(body, &inner, ctx)
+        Expr::Block { lets, result, .. } => {
+            let mut block_env = env.clone();
+            for stmt in lets {
+                let binding = if stmt.deferred {
+                    Binding::Deferred(Thunk::new(Arc::clone(&stmt.value), block_env.clone()))
+                } else {
+                    Binding::Eager(eval(&stmt.value, &block_env, ctx)?)
+                };
+                block_env = block_env.bind(&stmt.name, binding);
+            }
+            eval(result, &block_env, ctx)
         }
-        Ir::Temporal {
+        Expr::Temporal {
             op, demand, body, ..
         } => {
             let atom = Formula::Atom(Thunk::new(Arc::clone(body), env.clone()));
@@ -278,7 +543,7 @@ pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalErr
                 TemporalOp::NextS => atom.strong_next(),
             }))
         }
-        Ir::TemporalBin {
+        Expr::TemporalBin {
             until,
             demand,
             lhs,
@@ -297,13 +562,21 @@ pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalErr
     }
 }
 
-/// Either a plain boolean or a lifted formula — the two "logical" shapes.
+fn state_of<'s>(ctx: &EvalCtx<'s>) -> Result<&'s StateSnapshot, EvalError> {
+    ctx.state.ok_or_else(|| {
+        EvalError::new(
+            "state-dependent expression evaluated outside a state context \
+             (bind it with `let ~x = …` so it is evaluated per state)",
+        )
+    })
+}
+
 enum Logical {
     Plain(bool),
     Lifted(Formula<Thunk>),
 }
 
-fn as_logical(v: Value, span: Span) -> Result<Logical, EvalError> {
+fn as_logical(v: Value, span: crate::ast::Span) -> Result<Logical, EvalError> {
     match v {
         Value::Bool(b) => Ok(Logical::Plain(b)),
         Value::Formula(f) => Ok(Logical::Lifted(f)),
@@ -327,17 +600,16 @@ fn lift(l: Logical) -> Formula<Thunk> {
 #[allow(clippy::too_many_lines)]
 fn eval_binary(
     op: BinOp,
-    lhs: &Arc<Ir>,
-    rhs: &Arc<Ir>,
+    lhs: &Arc<Expr>,
+    rhs: &Arc<Expr>,
     env: &Env,
     ctx: &EvalCtx<'_>,
-    span: Span,
+    span: crate::ast::Span,
 ) -> Result<Value, EvalError> {
     match op {
         BinOp::And => {
             let l = as_logical(eval(lhs, env, ctx)?, lhs.span())?;
             match l {
-                // Short circuit: the right operand is not evaluated.
                 Logical::Plain(false) => Ok(Value::Bool(false)),
                 Logical::Plain(true) => {
                     let r = as_logical(eval(rhs, env, ctx)?, rhs.span())?;
@@ -415,7 +687,6 @@ fn eval_binary(
             let r = eval(rhs, env, ctx)?;
             let ord = compare(&l, &r, span)?;
             Ok(Value::Bool(match (op, ord) {
-                // Null (or NaN) never satisfies an ordering comparison.
                 (_, None) => false,
                 (BinOp::Lt, Some(o)) => o.is_lt(),
                 (BinOp::Le, Some(o)) => o.is_le(),
@@ -432,11 +703,11 @@ fn eval_binary(
     }
 }
 
-/// Ordering for `<`/`<=`/`>`/`>=`. `None` means "null was involved": a
-/// selector query that matched nothing propagates as an always-false
-/// comparison rather than a hard error, so specifications can state
-/// invariants about optional elements without defensive guards.
-fn compare(l: &Value, r: &Value, span: Span) -> Result<Option<std::cmp::Ordering>, EvalError> {
+fn compare(
+    l: &Value,
+    r: &Value,
+    span: crate::ast::Span,
+) -> Result<Option<std::cmp::Ordering>, EvalError> {
     match (l, r) {
         (Value::Int(a), Value::Int(b)) => Ok(Some(a.cmp(b))),
         (Value::Str(a), Value::Str(b)) => Ok(Some(a.cmp(b))),
@@ -459,14 +730,10 @@ fn compare(l: &Value, r: &Value, span: Span) -> Result<Option<std::cmp::Ordering
     }
 }
 
-fn arith(op: BinOp, l: Value, r: Value, span: Span) -> Result<Value, EvalError> {
+fn arith(op: BinOp, l: Value, r: Value, span: crate::ast::Span) -> Result<Value, EvalError> {
     match (op, &l, &r) {
-        // Null propagates through arithmetic (a missing element's
-        // projection), mirroring the comparison semantics above.
         (_, Value::Null, _) | (_, _, Value::Null) => Ok(Value::Null),
         (BinOp::Add, Value::Str(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
-        // String concatenation with scalars, for messages like
-        // `numLeft + " items left"`.
         (BinOp::Add, Value::Str(a), Value::Int(b)) => Ok(Value::str(format!("{a}{b}"))),
         (BinOp::Add, Value::Int(a), Value::Str(b)) => Ok(Value::str(format!("{a}{b}"))),
         (BinOp::Add, Value::Str(a), Value::Float(b)) => Ok(Value::str(format!("{a}{b}"))),
@@ -509,12 +776,11 @@ fn arith(op: BinOp, l: Value, r: Value, span: Span) -> Result<Value, EvalError> 
     }
 }
 
-fn to_f64(v: &Value, span: Span) -> Result<f64, EvalError> {
+fn to_f64(v: &Value, span: crate::ast::Span) -> Result<f64, EvalError> {
     match v {
         #[allow(clippy::cast_precision_loss)]
         Value::Int(n) => Ok(*n as f64),
         Value::Float(x) => Ok(*x),
-
         other => Err(EvalError::at(
             span,
             format!("arithmetic on a {}", other.type_name()),
@@ -522,63 +788,36 @@ fn to_f64(v: &Value, span: Span) -> Result<f64, EvalError> {
     }
 }
 
-/// Converts an [`ElementState`] into a Specstrom record.
-///
-/// Field keys are the pre-seeded projection symbols and attribute keys are
-/// already interned in the snapshot, so no string is hashed or compared
-/// here — this used to be a `BTreeMap<String, _>` rebuild per access.
+/// Converts an [`ElementState`] into a string-keyed record, re-hashing
+/// every field name — the cost the compiled path eliminates.
 #[must_use]
 pub fn element_record(element: &ElementState) -> Value {
     let mut fields = BTreeMap::new();
-    fields.insert(sym::TEXT, Value::str(&element.text));
-    fields.insert(sym::VALUE, Value::str(&element.value));
-    fields.insert(sym::CHECKED, Value::Bool(element.checked));
-    fields.insert(sym::ENABLED, Value::Bool(element.enabled));
-    fields.insert(sym::VISIBLE, Value::Bool(element.visible));
-    fields.insert(sym::FOCUSED, Value::Bool(element.focused));
+    fields.insert("text".to_owned(), Value::str(&element.text));
+    fields.insert("value".to_owned(), Value::str(&element.value));
+    fields.insert("checked".to_owned(), Value::Bool(element.checked));
+    fields.insert("enabled".to_owned(), Value::Bool(element.enabled));
+    fields.insert("visible".to_owned(), Value::Bool(element.visible));
+    fields.insert("focused".to_owned(), Value::Bool(element.focused));
     fields.insert(
-        sym::CLASSES,
+        "classes".to_owned(),
         Value::list(element.classes.iter().map(Value::str).collect()),
     );
-    let attrs: BTreeMap<Symbol, Value> = element
+    let attrs: BTreeMap<String, Value> = element
         .attributes
         .iter()
-        .map(|(k, v)| (*k, Value::str(v)))
+        .map(|(k, v)| (k.as_str().to_owned(), Value::str(v)))
         .collect();
-    fields.insert(sym::ATTRIBUTES, Value::Record(Arc::new(attrs)));
+    fields.insert("attributes".to_owned(), Value::Record(Arc::new(attrs)));
     Value::Record(Arc::new(fields))
-}
-
-/// Projects one field of an element without building the record — the fast
-/// path for `` `#e`.text ``-style accesses, which dominate specification
-/// bodies.
-fn element_field(element: &ElementState, field: Symbol) -> Option<Value> {
-    Some(match field {
-        f if f == sym::TEXT => Value::str(&element.text),
-        f if f == sym::VALUE => Value::str(&element.value),
-        f if f == sym::CHECKED => Value::Bool(element.checked),
-        f if f == sym::ENABLED => Value::Bool(element.enabled),
-        f if f == sym::VISIBLE => Value::Bool(element.visible),
-        f if f == sym::FOCUSED => Value::Bool(element.focused),
-        f if f == sym::CLASSES => Value::list(element.classes.iter().map(Value::str).collect()),
-        f if f == sym::ATTRIBUTES => {
-            let attrs: BTreeMap<Symbol, Value> = element
-                .attributes
-                .iter()
-                .map(|(k, v)| (*k, Value::str(v)))
-                .collect();
-            Value::Record(Arc::new(attrs))
-        }
-        _ => return None,
-    })
 }
 
 fn query<'s>(
     ctx: &EvalCtx<'s>,
     selector: &Selector,
-    span: Span,
+    span: crate::ast::Span,
 ) -> Result<&'s [ElementState], EvalError> {
-    let state = ctx.state()?;
+    let state = state_of(ctx)?;
     if let Some(elements) = state.queries.get(selector) {
         Ok(elements)
     } else {
@@ -592,31 +831,40 @@ fn query<'s>(
     }
 }
 
-fn member(base: Value, field: Symbol, ctx: &EvalCtx<'_>, span: Span) -> Result<Value, EvalError> {
+fn member(
+    base: Value,
+    field: &str,
+    ctx: &EvalCtx<'_>,
+    span: crate::ast::Span,
+) -> Result<Value, EvalError> {
     match base {
         Value::Selector(selector) => {
             let elements = query(ctx, &selector, span)?;
-            if field == sym::COUNT {
-                return Ok(Value::Int(
+            match field {
+                "count" => Ok(Value::Int(
                     i64::try_from(elements.len()).unwrap_or(i64::MAX),
-                ));
-            }
-            if field == sym::PRESENT {
-                return Ok(Value::Bool(!elements.is_empty()));
-            }
-            if field == sym::ALL {
-                return Ok(Value::list(elements.iter().map(element_record).collect()));
-            }
-            match elements.first() {
-                None => Ok(Value::Null),
-                Some(first) => element_field(first, field).ok_or_else(|| {
-                    EvalError::at(span, format!("unknown element projection `.{field}`"))
-                }),
+                )),
+                "present" => Ok(Value::Bool(!elements.is_empty())),
+                "all" => Ok(Value::list(elements.iter().map(element_record).collect())),
+                projection => match elements.first() {
+                    None => Ok(Value::Null),
+                    Some(first) => {
+                        let record = element_record(first);
+                        match &record {
+                            Value::Record(fields) => match fields.get(projection) {
+                                Some(v) => Ok(v.clone()),
+                                None => Err(EvalError::at(
+                                    span,
+                                    format!("unknown element projection `.{projection}`"),
+                                )),
+                            },
+                            _ => unreachable!("element_record returns a record"),
+                        }
+                    }
+                },
             }
         }
-        Value::Record(fields) => Ok(fields.get(&field).cloned().unwrap_or(Value::Null)),
-        // Lenient chaining: a missing element projects to null, and
-        // projecting from null stays null (web-programmer ergonomics).
+        Value::Record(fields) => Ok(fields.get(field).cloned().unwrap_or(Value::Null)),
         Value::Null => Ok(Value::Null),
         other => Err(EvalError::at(
             span,
@@ -625,7 +873,12 @@ fn member(base: Value, field: Symbol, ctx: &EvalCtx<'_>, span: Span) -> Result<V
     }
 }
 
-fn index_value(base: Value, idx: Value, ctx: &EvalCtx<'_>, span: Span) -> Result<Value, EvalError> {
+fn index_value(
+    base: Value,
+    idx: Value,
+    ctx: &EvalCtx<'_>,
+    span: crate::ast::Span,
+) -> Result<Value, EvalError> {
     match (base, idx) {
         (Value::List(items), Value::Int(i)) => {
             let i = usize::try_from(i).ok();
@@ -639,11 +892,7 @@ fn index_value(base: Value, idx: Value, ctx: &EvalCtx<'_>, span: Span) -> Result
                 .unwrap_or(Value::Null))
         }
         (Value::Record(fields), Value::Str(key)) => {
-            // A key never interned cannot be a field of any record; use the
-            // non-inserting lookup so runtime data does not grow the table.
-            Ok(Symbol::lookup(&key)
-                .and_then(|sym| fields.get(&sym).cloned())
-                .unwrap_or(Value::Null))
+            Ok(fields.get(&*key).cloned().unwrap_or(Value::Null))
         }
         (Value::Null, _) => Ok(Value::Null),
         (base, idx) => Err(EvalError::at(
@@ -657,10 +906,6 @@ fn index_value(base: Value, idx: Value, ctx: &EvalCtx<'_>, span: Span) -> Result
     }
 }
 
-/// Applies a function *value* to already-evaluated arguments (used by the
-/// higher-order builtins). Deferred parameters are not supported through
-/// this path — the sort checker rejects passing by-name functions to
-/// builtins.
 fn apply_function(f: &Value, args: Vec<Value>, ctx: &EvalCtx<'_>) -> Result<Value, EvalError> {
     match f {
         Value::Closure(closure) => {
@@ -672,7 +917,7 @@ fn apply_function(f: &Value, args: Vec<Value>, ctx: &EvalCtx<'_>) -> Result<Valu
                     args.len()
                 )));
             }
-            let mut frame = Vec::with_capacity(args.len());
+            let mut call_env = closure.env.clone();
             for (param, arg) in closure.params.iter().zip(args) {
                 if param.deferred {
                     return Err(EvalError::new(format!(
@@ -681,9 +926,8 @@ fn apply_function(f: &Value, args: Vec<Value>, ctx: &EvalCtx<'_>) -> Result<Valu
                         closure.name, param.name
                     )));
                 }
-                frame.push(Binding::Eager(arg));
+                call_env = call_env.bind(&param.name, Binding::Eager(arg));
             }
-            let call_env = closure.env.push(frame);
             eval(&closure.body, &call_env, ctx)
         }
         Value::Builtin(b) => apply_builtin(*b, args, ctx),
@@ -725,6 +969,7 @@ fn mk_action(kind: ActionKind, selector: Selector) -> Value {
     }))
 }
 
+#[allow(clippy::too_many_lines)]
 fn apply_builtin(
     builtin: Builtin,
     mut args: Vec<Value>,
@@ -867,7 +1112,7 @@ fn apply_builtin(
         }
         Builtin::Texts => {
             let selector = expect_selector(args.remove(0), "texts")?;
-            let elements = query(ctx, &selector, Span::default())?;
+            let elements = query(ctx, &selector, crate::ast::Span::default())?;
             Ok(Value::list(
                 elements.iter().map(|e| Value::str(&e.text)).collect(),
             ))
@@ -942,337 +1187,170 @@ pub fn to_formula(v: Value) -> Result<Formula<Thunk>, EvalError> {
     }
 }
 
-/// Expands a thunk atom at the current state — the bridge between formula
-/// progression and the interpreter.
+/// Expands a thunk atom at the current state — the reference counterpart of
+/// [`crate::eval::expand_thunk`].
 ///
 /// # Errors
 ///
 /// Propagates evaluation errors and non-logical results.
 pub fn expand_thunk(thunk: &Thunk, ctx: &EvalCtx<'_>) -> Result<Formula<Thunk>, EvalError> {
-    to_formula(eval(&thunk.ir, &thunk.env, ctx)?)
+    to_formula(eval(&thunk.expr, &thunk.env, ctx)?)
 }
 
-/// Evaluates a thunk expecting a plain boolean (action guards).
+/// The reference counterpart of a compiled specification: the top-level
+/// environment built by the original item-by-item `bind` loop.
+#[derive(Debug)]
+pub struct RefCompiled {
+    /// The top-level environment (builtins + all item bindings).
+    pub env: Env,
+}
+
+impl RefCompiled {
+    /// A thunk that evaluates the named top-level binding.
+    #[must_use]
+    pub fn property_thunk(&self, name: &str) -> Option<Thunk> {
+        self.env.lookup(name)?;
+        let expr = Arc::new(Expr::Var(name.to_owned(), crate::ast::Span::default()));
+        Some(Thunk::new(expr, self.env.clone()))
+    }
+}
+
+/// Builds the reference top-level environment for a parsed specification —
+/// the original definition-time loop of `spec::compile`, without action
+/// registration or dependency analysis (which are unchanged between the
+/// pipelines).
 ///
 /// # Errors
 ///
-/// Propagates evaluation errors; errors on non-boolean results.
-pub fn eval_guard(thunk: &Thunk, ctx: &EvalCtx<'_>) -> Result<bool, EvalError> {
-    eval(&thunk.ir, &thunk.env, ctx)?.as_bool()
-}
-
-/// Builds a closure value from a compiled `fun` item.
-#[must_use]
-pub fn make_closure(name: Symbol, params: Vec<SlotParam>, body: Arc<Ir>, env: Env) -> Value {
-    Value::Closure(Arc::new(ClosureData {
-        name,
-        params,
-        body,
-        env,
-    }))
+/// Returns definition-time evaluation errors (e.g. an eager top-level
+/// binding that queries state).
+pub fn compile_env(spec: &Spec) -> Result<RefCompiled, EvalError> {
+    let mut env = initial_env();
+    let ctx = EvalCtx::stateless(0);
+    for item in &spec.items {
+        match item {
+            Item::Let(stmt) => {
+                let binding = if stmt.deferred {
+                    Binding::Deferred(Thunk::new(Arc::clone(&stmt.value), env.clone()))
+                } else {
+                    Binding::Eager(eval(&stmt.value, &env, &ctx)?)
+                };
+                env = env.bind(&stmt.name, binding);
+            }
+            Item::Fun {
+                name, params, body, ..
+            } => {
+                let closure = Value::Closure(Arc::new(ClosureData {
+                    name: name.clone(),
+                    params: params.clone(),
+                    body: Arc::clone(body),
+                    env: env.clone(),
+                }));
+                env = env.bind(name, Binding::Eager(closure));
+            }
+            Item::Action {
+                name,
+                body,
+                timeout,
+                guard,
+                ..
+            } => {
+                let base = eval(body, &env, &ctx)?;
+                let Value::Action(base) = base else {
+                    return Err(EvalError::new(format!(
+                        "action `{name}` must be built from a primitive action"
+                    )));
+                };
+                let timeout_ms = match timeout {
+                    None => base.timeout_ms,
+                    Some(t) => match eval(t, &env, &ctx)? {
+                        Value::Int(ms) if ms >= 0 => Some(u64::try_from(ms).expect("non-negative")),
+                        other => {
+                            return Err(EvalError::new(format!(
+                                "timeout must be a non-negative integer, got {}",
+                                other.type_name()
+                            )))
+                        }
+                    },
+                };
+                let guard_thunk = guard
+                    .as_ref()
+                    .map(|g| Thunk::new(Arc::clone(g), env.clone()));
+                let value = Arc::new(ActionValue {
+                    name: Some(name.clone()),
+                    kind: base.kind.clone(),
+                    selector: base.selector,
+                    timeout_ms,
+                    guard: guard_thunk,
+                    event: name.ends_with('?'),
+                });
+                env = env.bind(name, Binding::Eager(Value::Action(value)));
+            }
+            Item::Check { .. } => {}
+        }
+    }
+    Ok(RefCompiled { env })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compile::{compile_expr, initial_env};
-    use crate::parser::parse_expr;
+    use crate::parser::{parse_expr, parse_spec};
 
     fn snapshot() -> StateSnapshot {
         let mut s = StateSnapshot::new();
-        let mut toggle = ElementState::with_text("start");
-        toggle.classes.push("btn".into());
-        s.queries.insert(Selector::new("#toggle"), vec![toggle]);
         s.queries.insert(
-            Selector::new("#remaining"),
-            vec![ElementState::with_text("180")],
+            Selector::new("#toggle"),
+            vec![ElementState::with_text("start")],
         );
-        s.queries.insert(
-            Selector::new(".todo-list li"),
-            vec![
-                ElementState::with_text("walk"),
-                ElementState::with_text("shop"),
-            ],
-        );
-        s.queries.insert(Selector::new("#missing"), vec![]);
         s.happened.push("loaded?".into());
         s
     }
 
-    fn eval_str(src: &str) -> Result<Value, EvalError> {
+    fn v(src: &str) -> Value {
         let snap = snapshot();
         let ctx = EvalCtx::with_state(&snap, 7);
-        let ir =
-            compile_expr(&parse_expr(src).unwrap()).map_err(|e| EvalError::new(e.to_string()))?;
-        eval(&ir, &initial_env(), &ctx)
-    }
-
-    fn v(src: &str) -> Value {
-        eval_str(src).unwrap_or_else(|e| panic!("{src}: {e}"))
-    }
-
-    fn b(src: &str) -> bool {
-        match v(src) {
-            Value::Bool(x) => x,
-            other => panic!("{src}: expected bool, got {other}"),
-        }
+        let expr = parse_expr(src).unwrap();
+        eval(&expr, &initial_env(), &ctx).unwrap_or_else(|e| panic!("{src}: {e}"))
     }
 
     #[test]
-    fn literals_and_arithmetic() {
-        assert!(matches!(v("42"), Value::Int(42)));
+    fn reference_evaluates_the_basics() {
         assert!(matches!(v("2 + 3 * 4"), Value::Int(14)));
-        assert!(matches!(v("(2 + 3) * 4"), Value::Int(20)));
-        assert!(matches!(v("7 % 3"), Value::Int(1)));
-        assert!(matches!(v("-5 + 5"), Value::Int(0)));
-        assert!(matches!(v("1.5 + 1"), Value::Float(x) if (x - 2.5).abs() < 1e-9));
-        assert!(eval_str("1 / 0").is_err());
-        assert!(matches!(v("\"a\" + \"b\""), Value::Str(s) if &*s == "ab"));
-    }
-
-    #[test]
-    fn comparisons_and_equality() {
-        assert!(b("1 < 2"));
-        assert!(b("2 <= 2"));
-        assert!(b("\"a\" < \"b\""));
-        assert!(b("1 == 1.0"));
-        assert!(b("null == null"));
-        assert!(b("null != 0"));
-        assert!(b("[1,2] == [1,2]"));
-        assert!(eval_str("1 < \"a\"").is_err());
-    }
-
-    #[test]
-    fn state_queries() {
-        assert!(b("`#toggle`.text == \"start\""));
-        assert!(b("`#toggle`.enabled"));
-        assert!(b("`#toggle`.visible"));
-        assert!(b("!`#toggle`.checked"));
-        assert!(b("`.todo-list li`.count == 2"));
-        assert!(b("`.todo-list li`.present"));
-        assert!(b("!`#missing`.present"));
-        assert!(b("`#missing`.text == null"));
-        assert!(b("\"btn\" in `#toggle`.classes"));
-    }
-
-    #[test]
-    fn parse_int_from_label() {
-        assert!(matches!(v("parseInt(`#remaining`.text)"), Value::Int(180)));
-        assert!(matches!(v("parseInt(\"oops\")"), Value::Null));
-        assert!(matches!(v("parseFloat(\"2.5\")"), Value::Float(x) if (x - 2.5).abs() < 1e-9));
-    }
-
-    #[test]
-    fn selector_all_and_indexing() {
-        assert!(b("`.todo-list li`.all[0].text == \"walk\""));
-        assert!(b("`.todo-list li`[1].text == \"shop\""));
-        assert!(b("`.todo-list li`[9] == null"));
-        assert!(b("`.todo-list li`[9].text == null"));
-        assert!(b("texts(`.todo-list li`) == [\"walk\", \"shop\"]"));
-    }
-
-    #[test]
-    fn happened_membership() {
-        assert!(b("loaded? in happened"));
-        assert!(b("\"loaded?\" in happened"));
-        assert!(!b("reload! in happened"));
-    }
-
-    #[test]
-    fn logical_short_circuit() {
-        // The right operand would error at run time (division by zero), but
-        // is never reached. (Unresolved *names* are now compile errors —
-        // see `compile::tests::undefined_names_fail_at_compile_time`.)
-        assert!(!b("false && 1 / 0 == 0"));
-        assert!(b("true || 1 / 0 == 0"));
-        assert!(b("false ==> 1 / 0 == 0"));
-        assert!(eval_str("true && 1 / 0 == 0").is_err());
-    }
-
-    #[test]
-    fn temporal_lifting() {
-        match v("always[3] (`#toggle`.text == \"start\")") {
-            Value::Formula(Formula::Always(d, _)) => assert_eq!(d, Demand(3)),
-            other => panic!("unexpected {other}"),
-        }
-        // Omitted demand uses the context default (7 in these tests).
-        match v("eventually (`#toggle`.text == \"stop\")") {
-            Value::Formula(Formula::Eventually(d, _)) => assert_eq!(d, Demand(7)),
-            other => panic!("unexpected {other}"),
-        }
-        // Mixed bool/formula conjunction lifts.
-        match v("`#toggle`.enabled && next `#toggle`.enabled") {
-            Value::Formula(Formula::Next(_)) => {}
-            other => panic!("unexpected {other}"),
-        }
-        // false && formula short-circuits to a plain bool.
-        assert!(!b("false && next `#toggle`.enabled"));
-    }
-
-    #[test]
-    fn until_release_values() {
-        match v("`#toggle`.enabled until[2] `#toggle`.checked") {
-            Value::Formula(Formula::Until(d, _, _)) => assert_eq!(d, Demand(2)),
-            other => panic!("unexpected {other}"),
-        }
-        match v("`#toggle`.enabled release `#toggle`.checked") {
-            Value::Formula(Formula::Release(d, _, _)) => assert_eq!(d, Demand(7)),
-            other => panic!("unexpected {other}"),
-        }
-    }
-
-    #[test]
-    fn if_requires_plain_bool() {
-        assert!(matches!(v("if 1 == 1 {2} else {3}"), Value::Int(2)));
-        assert!(eval_str("if next true {1} else {2}").is_err());
-        assert!(eval_str("if 5 {1} else {2}").is_err());
-    }
-
-    #[test]
-    fn blocks_and_deferred_lets() {
-        assert!(matches!(v("{ let x = 2; x * x }"), Value::Int(4)));
-        // A deferred let is re-evaluated at use; with a fixed state that is
-        // observationally the same, but it must not error at bind time even
-        // if state-dependent and unused under a stateless context.
-        let ir = compile_expr(&parse_expr("{ let ~q = `#toggle`.text; 1 }").unwrap()).unwrap();
-        let ctx = EvalCtx::stateless(0);
-        let out = eval(&ir, &initial_env(), &ctx).unwrap();
-        assert!(matches!(out, Value::Int(1)));
-        // An eager state query without state errors.
-        let bad = compile_expr(&parse_expr("{ let q = `#toggle`.text; 1 }").unwrap()).unwrap();
-        assert!(eval(&bad, &initial_env(), &ctx).is_err());
-    }
-
-    #[test]
-    fn higher_order_builtins() {
-        assert!(b("length([1,2,3]) == 3"));
-        assert!(b("contains([1,2], 2)"));
-        assert!(b("contains(\"hello\", \"ell\")"));
-        assert!(b("trim(\"  x \") == \"x\""));
-        assert!(b("startsWith(\"abc\", \"ab\")"));
-        assert!(b("endsWith(\"abc\", \"bc\")"));
-        assert!(b("zip([1,2],[3,4]) == [[1,3],[2,4]]"));
-        // A higher-order predicate that returns non-booleans is a runtime
-        // error inside any/all.
-        assert!(eval_str("any(parseInt, [\"1\"])").is_err());
-    }
-
-    #[test]
-    fn map_filter_all_any_with_closures() {
-        // Build a closure through a spec-level `fun` by hand: body `x > 1`
-        // compiled against a one-parameter frame over the globals.
-        let (names, _) = crate::compile::initial_globals();
-        let mut resolver = crate::compile::Resolver::new(names);
-        resolver.push_scope(vec![Symbol::intern("x")]);
-        let body = crate::compile::lower(&parse_expr("x > 1").unwrap(), &mut resolver).unwrap();
-        resolver.pop_scope();
-        let f = make_closure(
-            Symbol::intern("gt1"),
-            vec![SlotParam {
-                name: Symbol::intern("x"),
-                deferred: false,
-            }],
-            body,
-            initial_env(),
-        );
-        let snap = snapshot();
-        let ctx = EvalCtx::with_state(&snap, 0);
-        let out = apply_function(&f, vec![Value::Int(2)], &ctx).unwrap();
-        assert!(matches!(out, Value::Bool(true)));
-        // map via builtin machinery
-        let mapped = apply_builtin(
-            Builtin::Map,
-            vec![f.clone(), Value::list(vec![Value::Int(0), Value::Int(5)])],
-            &ctx,
-        )
-        .unwrap();
-        assert!(mapped.loosely_equals(&Value::list(vec![Value::Bool(false), Value::Bool(true)])));
-        let all = apply_builtin(
-            Builtin::All,
-            vec![f.clone(), Value::list(vec![Value::Int(2), Value::Int(3)])],
-            &ctx,
-        )
-        .unwrap();
-        assert!(matches!(all, Value::Bool(true)));
-        let filtered = apply_builtin(
-            Builtin::Filter,
-            vec![f, Value::list(vec![Value::Int(0), Value::Int(2)])],
-            &ctx,
-        )
-        .unwrap();
-        assert!(filtered.loosely_equals(&Value::list(vec![Value::Int(2)])));
-    }
-
-    #[test]
-    fn action_constructors() {
-        match v("click!(`#toggle`)") {
-            Value::Action(a) => {
-                assert_eq!(a.kind, Some(ActionKind::Click));
-                assert_eq!(a.selector, Some(Selector::new("#toggle")));
-                assert!(!a.event);
-            }
-            other => panic!("unexpected {other}"),
-        }
-        match v("keypress!(`input`, \"Enter\")") {
-            Value::Action(a) => assert_eq!(a.kind, Some(ActionKind::KeyPress(Key::Enter))),
-            other => panic!("unexpected {other}"),
-        }
-        match v("changed?(`#remaining`)") {
-            Value::Action(a) => {
-                assert!(a.event);
-                assert_eq!(a.kind, None);
-            }
-            other => panic!("unexpected {other}"),
-        }
-        match v("noop!") {
-            Value::Action(a) => assert_eq!(a.kind, Some(ActionKind::Noop)),
-            other => panic!("unexpected {other}"),
-        }
-        assert!(eval_str("keypress!(`i`, \"Bogus\")").is_err());
-    }
-
-    #[test]
-    fn functions_not_storable() {
-        assert!(eval_str("[parseInt]").is_err());
-    }
-
-    #[test]
-    fn uninstrumented_selector_is_an_error() {
-        let err = eval_str("`#nope`.text").unwrap_err();
-        assert!(err.message.contains("not instrumented"));
-    }
-
-    #[test]
-    fn expand_thunk_bridges_to_formulas() {
-        let snap = snapshot();
-        let ctx = EvalCtx::with_state(&snap, 0);
-        let ir = compile_expr(&parse_expr("`#toggle`.text == \"start\"").unwrap()).unwrap();
-        let thunk = Thunk::new(ir, initial_env());
-        assert_eq!(expand_thunk(&thunk, &ctx).unwrap(), Formula::Top);
-        let ir2 = compile_expr(&parse_expr("next (`#toggle`.text == \"stop\")").unwrap()).unwrap();
-        let thunk2 = Thunk::new(ir2, initial_env());
         assert!(matches!(
-            expand_thunk(&thunk2, &ctx).unwrap(),
-            Formula::Next(_)
+            v("`#toggle`.text == \"start\""),
+            Value::Bool(true)
         ));
+        assert!(matches!(v("loaded? in happened"), Value::Bool(true)));
+        assert!(matches!(v("{ let x = 2; x * x }"), Value::Int(4)));
     }
 
     #[test]
-    fn null_is_lenient_in_comparisons_and_arithmetic() {
-        // A selector that matched nothing propagates as null: orderings are
-        // false, arithmetic stays null, equality distinguishes it.
-        assert!(!b("`#missing`.text < \"a\""));
-        assert!(!b("`#missing`.text >= \"a\""));
-        assert!(b("parseInt(`#missing`.text) + 1 == null"));
-        assert!(b("`#missing`.text == null"));
-        // But comparing structurally wrong types is still an error.
-        assert!(eval_str("1 < \"a\"").is_err());
+    fn reference_keeps_runtime_name_errors() {
+        // The historical behaviour the compiled pipeline tightened: an
+        // undefined name behind a short-circuit is only found if reached.
+        let snap = snapshot();
+        let ctx = EvalCtx::with_state(&snap, 0);
+        let expr = parse_expr("false && nope").unwrap();
+        let out = eval(&expr, &initial_env(), &ctx).unwrap();
+        assert!(matches!(out, Value::Bool(false)));
+        let reached = parse_expr("true && nope").unwrap();
+        assert!(eval(&reached, &initial_env(), &ctx).is_err());
     }
 
     #[test]
-    fn record_index_by_unknown_key_is_null_and_does_not_intern() {
-        assert!(b("`#toggle`.all[0][\"text\"] == \"start\""));
-        assert!(b("`#toggle`.all[0][\"never-a-field-xyz\"] == null"));
-        assert_eq!(Symbol::lookup("never-a-field-xyz"), None);
+    fn reference_spec_env_builds_property_thunks() {
+        let spec = parse_spec(
+            "let ~stopped = `#toggle`.text == \"start\";\n\
+             action start! = click!(`#toggle`) when stopped;\n\
+             check stopped with start!;",
+        )
+        .unwrap();
+        let compiled = compile_env(&spec).unwrap();
+        let thunk = compiled.property_thunk("stopped").unwrap();
+        let snap = snapshot();
+        let ctx = EvalCtx::with_state(&snap, 0);
+        assert_eq!(expand_thunk(&thunk, &ctx).unwrap(), Formula::Top);
+        assert!(compiled.property_thunk("missing").is_none());
     }
 }

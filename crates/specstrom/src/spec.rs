@@ -1,18 +1,28 @@
 //! Compilation: from a parsed [`Spec`] to a checkable [`CompiledSpec`].
 //!
-//! Compilation runs the sort checker, builds the top-level environment
-//! (evaluating eager bindings at definition time, capturing deferred ones
-//! as thunks), registers actions/events with their guards and timeouts,
-//! resolves `check` items, and runs the §3.3 dependency analysis.
+//! Compilation runs the sort checker, then the lowering pass of
+//! [`mod@crate::compile`] (interning names, resolving every variable reference
+//! to a `(depth, slot)` coordinate), builds the top-level environment as a
+//! single slot-indexed global frame (evaluating eager bindings at
+//! definition time, capturing deferred ones as compiled thunks), registers
+//! actions/events with their guards and timeouts, resolves `check` items,
+//! and runs the §3.3 dependency analysis.
+//!
+//! The global frame grows item by item; each captured environment (a
+//! deferred `let`, a closure, an action guard) snapshots the prefix of the
+//! frame visible at its definition, which is exactly the set of slots its
+//! compiled code can reference — Specstrom has no forward references, so
+//! the snapshot is always sufficient.
 
 use crate::analysis;
 use crate::ast::{Item, Spec};
+use crate::compile::{self, Resolver};
 use crate::error::{EvalError, SpecError};
 use crate::eval::{self, EvalCtx};
 use crate::parser::parse_spec;
 use crate::sorts;
 use crate::value::{ActionValue, Binding, Env, Thunk, Value};
-use quickstrom_protocol::Selector;
+use quickstrom_protocol::{Selector, Symbol};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -29,10 +39,19 @@ pub struct CheckDef {
 }
 
 /// A compiled, checkable specification.
+///
+/// Everything inside is immutable and `Arc`-shared, so one `CompiledSpec`
+/// is shared by every worker of the parallel runtime, and all of them
+/// address the same interned symbols (there is one process-global
+/// interner; see [`quickstrom_protocol::Symbol`]).
 #[derive(Debug)]
 pub struct CompiledSpec {
-    /// The top-level environment (builtins + all item bindings).
+    /// The sealed top-level environment: one frame holding builtins plus
+    /// every item binding, addressed by slot.
     pub env: Env,
+    /// The names of the global slots, in slot order (used to resolve
+    /// property names handed to [`CompiledSpec::property_thunk`]).
+    global_names: Vec<Symbol>,
     /// Declared actions and events by name.
     pub actions: BTreeMap<String, Arc<ActionValue>>,
     /// The resolved `check` commands, in source order.
@@ -47,15 +66,19 @@ impl CompiledSpec {
     /// formula handed to the checker.
     ///
     /// Works uniformly for deferred and eager bindings by evaluating a
-    /// synthetic variable reference in the compiled environment.
+    /// synthetic, slot-resolved variable reference in the sealed global
+    /// environment.
     #[must_use]
     pub fn property_thunk(&self, name: &str) -> Option<Thunk> {
-        self.env.lookup(name)?;
-        let expr = Arc::new(crate::ast::Expr::Var(
-            name.to_owned(),
-            crate::ast::Span::default(),
-        ));
-        Some(Thunk::new(expr, self.env.clone()))
+        let sym = Symbol::lookup(name)?;
+        let slot = self.global_names.iter().rposition(|&n| n == sym)?;
+        let ir = Arc::new(compile::Ir::Var {
+            depth: 0,
+            slot: u32::try_from(slot).expect("slot fits u32"),
+            name: sym,
+            span: crate::ast::Span::default(),
+        });
+        Some(Thunk::new(ir, self.env.clone()))
     }
 
     /// The declared action/event with the given name.
@@ -79,32 +102,48 @@ fn eval_error(e: EvalError, fallback: crate::ast::Span) -> SpecError {
 #[allow(clippy::too_many_lines)]
 pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
     sorts::check_spec(spec)?;
-    let mut env = eval::initial_env();
+    let (mut names, mut globals) = compile::initial_globals();
+    let mut resolver = Resolver::new(names.clone());
     let mut actions: BTreeMap<String, Arc<ActionValue>> = BTreeMap::new();
     let mut checks_raw = Vec::new();
     // Definition-time evaluation is stateless: anything touching the state
     // must be deferred with `~` (the evaluator's error explains this).
     let ctx = EvalCtx::stateless(0);
+    // The environment visible to item `k` is the global frame truncated to
+    // the slots defined before `k`; `snapshot` rebuilds it after each item.
+    let snapshot = |globals: &Vec<Binding>| Env::new().push(globals.clone());
+    let mut env = snapshot(&globals);
 
     for item in &spec.items {
         match item {
             Item::Let(stmt) => {
+                let ir = compile::lower(&stmt.value, &mut resolver)?;
                 let binding = if stmt.deferred {
-                    Binding::Deferred(Thunk::new(Arc::clone(&stmt.value), env.clone()))
+                    Binding::Deferred(Thunk::new(ir, env.clone()))
                 } else {
                     Binding::Eager(
-                        eval::eval(&stmt.value, &env, &ctx)
-                            .map_err(|e| eval_error(e, stmt.span))?,
+                        eval::eval(&ir, &env, &ctx).map_err(|e| eval_error(e, stmt.span))?,
                     )
                 };
-                env = env.bind(&stmt.name, binding);
+                let name = Symbol::intern(&stmt.name);
+                resolver.define_global(name);
+                names.push(name);
+                globals.push(binding);
+                env = snapshot(&globals);
             }
             Item::Fun {
                 name, params, body, ..
             } => {
-                let closure =
-                    eval::make_closure(name, params.clone(), Arc::clone(body), env.clone());
-                env = env.bind(name, Binding::Eager(closure));
+                let slot_params = compile::lower_params(params);
+                resolver.push_scope(slot_params.iter().map(|p| p.name).collect());
+                let body_ir = compile::lower(body, &mut resolver);
+                resolver.pop_scope();
+                let name_sym = Symbol::intern(name);
+                let closure = eval::make_closure(name_sym, slot_params, body_ir?, env.clone());
+                resolver.define_global(name_sym);
+                names.push(name_sym);
+                globals.push(Binding::Eager(closure));
+                env = snapshot(&globals);
             }
             Item::Action {
                 name,
@@ -113,7 +152,8 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
                 guard,
                 span,
             } => {
-                let base = eval::eval(body, &env, &ctx).map_err(|e| eval_error(e, *span))?;
+                let body_ir = compile::lower(body, &mut resolver)?;
+                let base = eval::eval(&body_ir, &env, &ctx).map_err(|e| eval_error(e, *span))?;
                 let Value::Action(base) = base else {
                     return Err(SpecError::at(
                         *span,
@@ -137,7 +177,9 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
                 let timeout_ms = match timeout {
                     None => base.timeout_ms,
                     Some(t) => {
-                        let v = eval::eval(t, &env, &ctx).map_err(|e| eval_error(e, t.span()))?;
+                        let t_ir = compile::lower(t, &mut resolver)?;
+                        let v =
+                            eval::eval(&t_ir, &env, &ctx).map_err(|e| eval_error(e, t.span()))?;
                         match v {
                             Value::Int(ms) if ms >= 0 => {
                                 Some(u64::try_from(ms).expect("non-negative"))
@@ -155,19 +197,24 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
                         }
                     }
                 };
-                let guard_thunk = guard
-                    .as_ref()
-                    .map(|g| Thunk::new(Arc::clone(g), env.clone()));
+                let guard_thunk = match guard {
+                    None => None,
+                    Some(g) => Some(Thunk::new(compile::lower(g, &mut resolver)?, env.clone())),
+                };
                 let value = Arc::new(ActionValue {
                     name: Some(name.clone()),
                     kind: base.kind.clone(),
-                    selector: base.selector.clone(),
+                    selector: base.selector,
                     timeout_ms,
                     guard: guard_thunk,
                     event: is_event,
                 });
                 actions.insert(name.clone(), Arc::clone(&value));
-                env = env.bind(name, Binding::Eager(Value::Action(value)));
+                let name_sym = Symbol::intern(name);
+                resolver.define_global(name_sym);
+                names.push(name_sym);
+                globals.push(Binding::Eager(Value::Action(value)));
+                env = snapshot(&globals);
             }
             Item::Check {
                 properties,
@@ -181,13 +228,13 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
 
     let mut checks = Vec::with_capacity(checks_raw.len());
     for (properties, with_actions, span) in checks_raw {
-        let names: Vec<String> = match with_actions {
-            Some(names) => names,
+        let check_names: Vec<String> = match with_actions {
+            Some(check_names) => check_names,
             None => actions.keys().cloned().collect(),
         };
         let mut action_names = Vec::new();
         let mut event_names = Vec::new();
-        for n in names {
+        for n in check_names {
             match actions.get(&n) {
                 Some(a) if a.event => event_names.push(n),
                 Some(_) => action_names.push(n),
@@ -212,6 +259,7 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
 
     Ok(CompiledSpec {
         env,
+        global_names: names,
         actions,
         checks,
         dependencies,
@@ -278,6 +326,30 @@ mod tests {
         let compiled = load(EGG_TIMER).unwrap();
         assert!(compiled.property_thunk("liveness").is_some());
         assert!(compiled.property_thunk("nonexistent").is_none());
+    }
+
+    #[test]
+    fn property_thunks_evaluate_against_states() {
+        use quickstrom_protocol::{ElementState, StateSnapshot};
+        let compiled = load(EGG_TIMER).unwrap();
+        let thunk = compiled.property_thunk("stopped").unwrap();
+        let mut snap = StateSnapshot::new();
+        snap.queries.insert(
+            Selector::new("#toggle"),
+            vec![ElementState::with_text("start")],
+        );
+        snap.queries.insert(Selector::new("#remaining"), vec![]);
+        let ctx = EvalCtx::with_state(&snap, 0);
+        assert!(eval::eval_guard(&thunk, &ctx).unwrap());
+    }
+
+    #[test]
+    fn shadowed_top_level_names_resolve_to_the_latest() {
+        let compiled = load("let x = 1; let x = 2; let y = x; check y with noop!;").unwrap();
+        let thunk = compiled.property_thunk("y").unwrap();
+        let ctx = EvalCtx::stateless(0);
+        let v = eval::eval(&thunk.ir, &thunk.env, &ctx).unwrap();
+        assert!(matches!(v, Value::Int(2)));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Runtime values, environments and thunks.
+//! Runtime values, slot-indexed environments and compiled thunks.
 //!
 //! Specstrom values are JSON-like data plus three domain-specific citizens:
 //! CSS selectors, QuickLTL formulae (temporal expressions evaluate to
@@ -6,27 +6,38 @@
 //! the §3 type system — may never be stored inside data, which the sort
 //! checker enforces statically.
 //!
-//! Environments are persistent chains; a [`Binding`] is either an eagerly
-//! evaluated [`Value`] or a *deferred* thunk (`let ~x = …`, `~param`)
-//! re-evaluated at every use against the then-current state — the
-//! evaluation-control feature of §3.1.
+//! Environments are persistent chains of *frames*. Unlike the original
+//! one-name-per-frame, compare-by-string representation (preserved in
+//! [`crate::reference`]), a frame here is a `Vec` of bindings and every
+//! variable reference was resolved at compile time to a `(depth, slot)`
+//! pair by [`mod@crate::compile`]: a lookup walks `depth` parent links and
+//! indexes a vector — no string comparisons on the per-state hot path.
+//!
+//! A [`Binding`] is either an eagerly evaluated [`Value`] or a *deferred*
+//! thunk (`let ~x = …`, `~param`) re-evaluated at every use against the
+//! then-current state — the evaluation-control feature of §3.1.
 
-use crate::ast::{Expr, Param};
+use crate::compile::Ir;
 use crate::error::EvalError;
 use quickltl::Formula;
-use quickstrom_protocol::{ActionKind, Selector};
+use quickstrom_protocol::{ActionKind, Selector, Symbol};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-/// A lexical environment: a persistent chain of name bindings.
+/// A lexical environment: a persistent chain of slot-indexed frames.
+///
+/// Compiled code addresses bindings as `(depth, slot)`: walk `depth`
+/// frames towards the root, then index the frame's slot vector. The chain
+/// is immutable and `Arc`-shared, so thunks and closures capture it by
+/// cheap clone, exactly like the original linked list — only the lookup
+/// got cheaper.
 #[derive(Debug, Clone, Default)]
 pub struct Env(Option<Arc<Frame>>);
 
 #[derive(Debug)]
 struct Frame {
-    name: String,
-    binding: Binding,
+    slots: Vec<Binding>,
     parent: Env,
 }
 
@@ -37,27 +48,28 @@ impl Env {
         Env(None)
     }
 
-    /// Extends the environment with one binding.
+    /// Pushes one frame of bindings (a call's arguments, a `let`'s single
+    /// binding, or the sealed global frame).
     #[must_use]
-    pub fn bind(&self, name: impl Into<String>, binding: Binding) -> Env {
+    pub fn push(&self, slots: Vec<Binding>) -> Env {
         Env(Some(Arc::new(Frame {
-            name: name.into(),
-            binding,
+            slots,
             parent: self.clone(),
         })))
     }
 
-    /// Looks a name up, innermost first.
+    /// The binding at `(depth, slot)`, as resolved by the compiler.
+    ///
+    /// Returns `None` only if the environment does not match the shape the
+    /// code was compiled against — an internal invariant violation, never
+    /// a user error.
     #[must_use]
-    pub fn lookup(&self, name: &str) -> Option<&Binding> {
+    pub fn get(&self, depth: u32, slot: u32) -> Option<&Binding> {
         let mut cur = self;
-        while let Some(frame) = &cur.0 {
-            if frame.name == name {
-                return Some(&frame.binding);
-            }
-            cur = &frame.parent;
+        for _ in 0..depth {
+            cur = &cur.0.as_ref()?.parent;
         }
-        None
+        cur.0.as_ref()?.slots.get(slot as usize)
     }
 
     /// A stable pointer identity for conservative thunk equality.
@@ -75,15 +87,15 @@ pub enum Binding {
     Deferred(Thunk),
 }
 
-/// An unevaluated expression closed over its environment.
+/// An unevaluated compiled expression closed over its environment.
 ///
 /// Thunks are also the atomic propositions of the QuickLTL formulae the
 /// interpreter builds: progression expands a `Thunk` atom by evaluating its
-/// expression against the current state.
+/// compiled code against the current state.
 #[derive(Clone)]
 pub struct Thunk {
-    /// The expression to evaluate.
-    pub expr: Arc<Expr>,
+    /// The compiled expression to evaluate.
+    pub ir: Arc<Ir>,
     /// The captured environment.
     pub env: Env,
 }
@@ -91,8 +103,8 @@ pub struct Thunk {
 impl Thunk {
     /// Creates a thunk.
     #[must_use]
-    pub fn new(expr: Arc<Expr>, env: Env) -> Self {
-        Thunk { expr, env }
+    pub fn new(ir: Arc<Ir>, env: Env) -> Self {
+        Thunk { ir, env }
     }
 }
 
@@ -101,40 +113,51 @@ impl fmt::Debug for Thunk {
         write!(
             f,
             "Thunk({:?} @ env#{:x})",
-            self.expr.span(),
+            self.ir.span(),
             self.env.ptr_id()
         )
     }
 }
 
 impl fmt::Display for Thunk {
-    /// Shows the underlying expression in concrete syntax — this is what
-    /// residual formula atoms look like in diagnostics.
+    /// Shows the underlying expression in (reconstructed) concrete syntax —
+    /// this is what residual formula atoms look like in diagnostics.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&crate::pretty::pretty_expr(&self.expr))
+        f.write_str(&crate::pretty::pretty_expr(&self.ir.to_expr()))
     }
 }
 
-/// Conservative equality: same expression node and same environment chain.
+/// Conservative equality: same compiled node and same environment chain.
 /// Sound for the simplifier's idempotence dedup (`φ ∧ φ = φ`): equal thunks
 /// certainly evaluate identically; unequal ones are just not merged.
 impl PartialEq for Thunk {
     fn eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.expr, &other.expr) && self.env.ptr_id() == other.env.ptr_id()
+        Arc::ptr_eq(&self.ir, &other.ir) && self.env.ptr_id() == other.env.ptr_id()
     }
 }
 
 impl Eq for Thunk {}
 
+/// A compiled function parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotParam {
+    /// Parameter name (diagnostics only; the body addresses it by slot).
+    pub name: Symbol,
+    /// `true` for `~x`: the argument is passed unevaluated (call-by-name),
+    /// re-evaluated at each use — the evaluation-control feature of §3.1.
+    pub deferred: bool,
+}
+
 /// A user-defined function value.
 #[derive(Debug)]
 pub struct ClosureData {
     /// Function name (diagnostics only).
-    pub name: String,
-    /// Parameters, with deferredness.
-    pub params: Vec<Param>,
-    /// Body expression.
-    pub body: Arc<Expr>,
+    pub name: Symbol,
+    /// Parameters, with deferredness. At a call they become one
+    /// environment frame, in declaration order.
+    pub params: Vec<SlotParam>,
+    /// Compiled body.
+    pub body: Arc<Ir>,
     /// Captured environment.
     pub env: Env,
 }
@@ -299,6 +322,36 @@ pub struct ActionValue {
 }
 
 impl ActionValue {
+    /// A bare built-in action (`noop!`, `reload!`): named, with a kind, no
+    /// selector, timeout or guard. The single definition behind the
+    /// initial environment and the checker's handling of undeclared
+    /// built-ins in `with`-lists.
+    #[must_use]
+    pub fn constant(name: &str, kind: ActionKind) -> Self {
+        ActionValue {
+            name: Some(name.to_owned()),
+            kind: Some(kind),
+            selector: None,
+            timeout_ms: None,
+            guard: None,
+            event: false,
+        }
+    }
+
+    /// The bare built-in event of the given name (`loaded?`): no kind,
+    /// selector, timeout or guard.
+    #[must_use]
+    pub fn builtin_event(name: &str) -> Self {
+        ActionValue {
+            name: Some(name.to_owned()),
+            kind: None,
+            selector: None,
+            timeout_ms: None,
+            guard: None,
+            event: true,
+        }
+    }
+
     /// The display name (falls back to a primitive description).
     #[must_use]
     pub fn display_name(&self) -> String {
@@ -325,8 +378,12 @@ pub enum Value {
     Str(Arc<str>),
     /// A list.
     List(Arc<Vec<Value>>),
-    /// A record (element projections).
-    Record(Arc<BTreeMap<String, Value>>),
+    /// A record (element projections), keyed by interned field name.
+    ///
+    /// The pre-seeded element-field symbols sort in alphabetical order, so
+    /// element records iterate exactly as the string-keyed representation
+    /// did; records with later-interned keys iterate in interning order.
+    Record(Arc<BTreeMap<Symbol, Value>>),
     /// A CSS selector literal.
     Selector(Selector),
     /// A QuickLTL formula over thunk atoms.
@@ -468,33 +525,40 @@ impl fmt::Display for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{Literal, Span};
+    use crate::ast::Span;
 
-    fn dummy_expr() -> Arc<Expr> {
-        Arc::new(Expr::Lit(Literal::Null, Span::default()))
+    fn dummy_ir() -> Arc<Ir> {
+        Arc::new(Ir::Const(Value::Null, Span::default()))
     }
 
     #[test]
-    fn env_lookup_shadows() {
+    fn env_get_walks_depth_then_slot() {
         let env = Env::new()
-            .bind("x", Binding::Eager(Value::Int(1)))
-            .bind("y", Binding::Eager(Value::Int(2)))
-            .bind("x", Binding::Eager(Value::Int(3)));
-        match env.lookup("x") {
+            .push(vec![
+                Binding::Eager(Value::Int(1)),
+                Binding::Eager(Value::Int(2)),
+            ])
+            .push(vec![Binding::Eager(Value::Int(3))]);
+        match env.get(0, 0) {
             Some(Binding::Eager(Value::Int(3))) => {}
             other => panic!("unexpected {other:?}"),
         }
-        assert!(env.lookup("z").is_none());
+        match env.get(1, 1) {
+            Some(Binding::Eager(Value::Int(2))) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(env.get(0, 5).is_none());
+        assert!(env.get(2, 0).is_none());
     }
 
     #[test]
     fn thunk_equality_is_pointer_based() {
-        let e = dummy_expr();
+        let ir = dummy_ir();
         let env = Env::new();
-        let t1 = Thunk::new(Arc::clone(&e), env.clone());
-        let t2 = Thunk::new(Arc::clone(&e), env.clone());
+        let t1 = Thunk::new(Arc::clone(&ir), env.clone());
+        let t2 = Thunk::new(Arc::clone(&ir), env.clone());
         assert_eq!(t1, t2);
-        let other = dummy_expr();
+        let other = dummy_ir();
         let t3 = Thunk::new(other, env);
         assert_ne!(t1, t3);
     }

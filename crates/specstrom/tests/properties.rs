@@ -1,10 +1,11 @@
 //! Property-based tests for the Specstrom interpreter: algebraic laws of
-//! the value operations, logical-lifting coherence, and evaluation-control
-//! semantics.
+//! the value operations, logical-lifting coherence, evaluation-control
+//! semantics, and the differential suite pinning the compiled evaluator to
+//! the reference tree-walk.
 
 use proptest::prelude::*;
 use quickstrom_protocol::{ElementState, Selector, StateSnapshot};
-use specstrom::{eval, initial_env, parse_expr, EvalCtx, Value};
+use specstrom::{compile_expr, eval, initial_env, parse_expr, reference, EvalCtx, Value};
 
 fn snapshot(texts: &[String]) -> StateSnapshot {
     let mut s = StateSnapshot::new();
@@ -18,8 +19,9 @@ fn snapshot(texts: &[String]) -> StateSnapshot {
 
 fn eval_src(src: &str, snap: &StateSnapshot) -> Result<Value, specstrom::EvalError> {
     let expr = parse_expr(src).map_err(|e| specstrom::EvalError::new(e.to_string()))?;
+    let ir = compile_expr(&expr).map_err(|e| specstrom::EvalError::new(e.to_string()))?;
     let ctx = EvalCtx::with_state(snap, 5);
-    eval::eval(&expr, &initial_env(), &ctx)
+    eval::eval(&ir, &initial_env(), &ctx)
 }
 
 fn eval_int(src: &str) -> Option<i64> {
@@ -221,6 +223,242 @@ fn deferred_parameters_reevaluate_per_state() {
         .observe_expanding(&mut |t| specstrom::expand_thunk(t, &ctx_b))
         .unwrap();
     assert_eq!(r2, quickltl::StepReport::Definitive(false));
+}
+
+// ---------------------------------------------------------------------
+// Differential suite: compiled evaluator ≡ reference tree-walk.
+//
+// The compilation pass (interning, slot resolution, IR lowering) must be
+// semantically invisible. These properties generate random well-scoped
+// expressions, evaluate them through both pipelines against the same
+// snapshot, and require agreement — on values, on formula structure (atoms
+// compared by their printed source), and on error/success outcome.
+// ---------------------------------------------------------------------
+
+/// Structural agreement between a compiled value and a reference value.
+fn values_agree(c: &Value, r: &reference::Value) -> bool {
+    use reference::Value as R;
+    match (c, r) {
+        (Value::Null, R::Null) => true,
+        (Value::Bool(a), R::Bool(b)) => a == b,
+        (Value::Int(a), R::Int(b)) => a == b,
+        (Value::Float(a), R::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+        (Value::Str(a), R::Str(b)) => a == b,
+        (Value::Selector(a), R::Selector(b)) => a == b,
+        (Value::List(a), R::List(b)) => {
+            a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| values_agree(x, y))
+        }
+        (Value::Record(a), R::Record(b)) => {
+            a.len() == b.len()
+                && a.iter()
+                    .all(|(k, v)| b.get(k.as_str()).is_some_and(|w| values_agree(v, w)))
+        }
+        (Value::Formula(a), R::Formula(b)) => formulas_agree(a, b),
+        (Value::Builtin(a), R::Builtin(b)) => a == b,
+        (Value::Closure(a), R::Closure(b)) => a.name.as_str() == b.name,
+        (Value::Action(a), R::Action(b)) => a.name == b.name && a.event == b.event,
+        _ => false,
+    }
+}
+
+/// Formula agreement: same shape, same demands, atoms printing the same
+/// source text (thunk environments are representation-specific and cannot
+/// be compared directly; the bundled-spec differential suite in the bench
+/// crate compares them behaviourally, by progression).
+fn formulas_agree(
+    c: &quickltl::Formula<specstrom::Thunk>,
+    r: &quickltl::Formula<reference::Thunk>,
+) -> bool {
+    use quickltl::Formula as F;
+    match (c, r) {
+        (F::Top, F::Top) | (F::Bottom, F::Bottom) => true,
+        (F::Atom(a), F::Atom(b)) => a.to_string() == b.to_string(),
+        (F::Not(a), F::Not(b))
+        | (F::Next(a), F::Next(b))
+        | (F::WeakNext(a), F::WeakNext(b))
+        | (F::StrongNext(a), F::StrongNext(b)) => formulas_agree(a, b),
+        (F::And(al, ar), F::And(bl, br)) | (F::Or(al, ar), F::Or(bl, br)) => {
+            formulas_agree(al, bl) && formulas_agree(ar, br)
+        }
+        (F::Always(n, a), F::Always(m, b)) | (F::Eventually(n, a), F::Eventually(m, b)) => {
+            n == m && formulas_agree(a, b)
+        }
+        (F::Until(n, al, ar), F::Until(m, bl, br))
+        | (F::Release(n, al, ar), F::Release(m, bl, br)) => {
+            n == m && formulas_agree(al, bl) && formulas_agree(ar, br)
+        }
+        _ => false,
+    }
+}
+
+/// Evaluates one source expression through both pipelines and asserts
+/// agreement.
+fn assert_differential(src: &str, snap: &StateSnapshot) {
+    let expr = parse_expr(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+    let ctx = EvalCtx::with_state(snap, 5);
+    let compiled = compile_expr(&expr)
+        .map_err(|e| specstrom::EvalError::new(e.to_string()))
+        .and_then(|ir| eval::eval(&ir, &initial_env(), &ctx));
+    let referenced = reference::eval(&expr, &reference::initial_env(), &ctx);
+    match (compiled, referenced) {
+        (Ok(c), Ok(r)) => {
+            prop_assert!(
+                values_agree(&c, &r),
+                "divergence on {src:?}: compiled {c} vs reference {r}"
+            );
+        }
+        (Err(_), Err(_)) => {}
+        (c, r) => prop_assert!(false, "outcome divergence on {src:?}: {c:?} vs {r:?}"),
+    }
+}
+
+/// Random well-scoped integer-valued expressions.
+fn int_expr(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        prop_oneof![
+            (-50i64..50).prop_map(|n| format!("{n}")),
+            Just("`li`.count".to_owned()),
+            Just("parseInt(`li`.text)".to_owned()),
+            Just("length(texts(`li`))".to_owned()),
+            Just("length(happened)".to_owned()),
+        ]
+        .boxed()
+    } else {
+        let inner = int_expr(depth - 1);
+        let cond = bool_expr(depth - 1);
+        prop_oneof![
+            inner.clone(),
+            (
+                inner.clone(),
+                inner.clone(),
+                prop::sample::select(&["+", "-", "*", "/", "%"][..])
+            )
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            (cond, inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| format!("if {c} {{ {t} }} else {{ {e} }}")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("{{ let x = {a}; (x + {b}) }}")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("{{ let ~x = {a}; let y = {b}; (x * y) }}")),
+            inner.prop_map(|a| format!("-({a})")),
+        ]
+        .boxed()
+    }
+}
+
+/// Random well-scoped boolean-valued expressions.
+fn bool_expr(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        prop_oneof![
+            any::<bool>().prop_map(|b| format!("{b}")),
+            Just("`li`.present".to_owned()),
+            Just("`li`.text == null".to_owned()),
+            Just("\"loaded?\" in happened".to_owned()),
+            Just("contains(texts(`li`), \"walk\")".to_owned()),
+            Just("startsWith(`li`.text + \"\", \"w\")".to_owned()),
+        ]
+        .boxed()
+    } else {
+        let inner = bool_expr(depth - 1);
+        let num = int_expr(depth - 1);
+        prop_oneof![
+            inner.clone(),
+            (
+                num.clone(),
+                num.clone(),
+                prop::sample::select(&["==", "!=", "<", "<=", ">", ">="][..])
+            )
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            (
+                inner.clone(),
+                inner.clone(),
+                prop::sample::select(&["&&", "||", "==>"][..])
+            )
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            inner.clone().prop_map(|a| format!("!({a})")),
+            (num.clone(), num).prop_map(|(a, b)| format!("({a} in [{b}, {a}])")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| format!("{{ let p = {a}; (p == ({b})) }}")),
+        ]
+        .boxed()
+    }
+}
+
+/// Random logical expressions that may lift into temporal formulae.
+fn logical_expr(depth: u32) -> BoxedStrategy<String> {
+    let b = bool_expr(depth);
+    if depth == 0 {
+        b
+    } else {
+        let inner = logical_expr(depth - 1);
+        prop_oneof![
+            b.clone(),
+            (0u32..4, inner.clone()).prop_map(|(n, a)| format!("always[{n}] ({a})")),
+            (0u32..4, inner.clone()).prop_map(|(n, a)| format!("eventually[{n}] ({a})")),
+            inner.clone().prop_map(|a| format!("next ({a})")),
+            inner.clone().prop_map(|a| format!("nextW ({a})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| format!("(({a}) until[2] ({c}))")),
+            (
+                inner.clone(),
+                inner.clone(),
+                prop::sample::select(&["&&", "||", "==>"][..])
+            )
+                .prop_map(|(a, c, op)| format!("(({a}) {op} ({c}))")),
+            inner.prop_map(|a| format!("!({a})")),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Compiled ≡ reference on generated integer expressions (values,
+    /// errors, blocks, deferred lets, state projections).
+    #[test]
+    fn differential_int_expressions(
+        src in int_expr(3),
+        texts in prop::collection::vec("[a-z0-9]{0,5}", 0..4),
+    ) {
+        assert_differential(&src, &snapshot(&texts));
+    }
+
+    /// Compiled ≡ reference on generated boolean expressions.
+    #[test]
+    fn differential_bool_expressions(
+        src in bool_expr(3),
+        texts in prop::collection::vec("[a-z ]{0,6}", 0..4),
+    ) {
+        assert_differential(&src, &snapshot(&texts));
+    }
+
+    /// Compiled ≡ reference on generated temporal expressions: the lifted
+    /// formulae agree structurally, atom by atom.
+    #[test]
+    fn differential_temporal_expressions(
+        src in logical_expr(3),
+        texts in prop::collection::vec("[a-z]{0,4}", 0..3),
+    ) {
+        assert_differential(&src, &snapshot(&texts));
+    }
+
+    /// Compiled ≡ reference on element records: `.all`, indexing, member
+    /// access and record indexing agree (record keys are interned on one
+    /// side and strings on the other).
+    #[test]
+    fn differential_element_records(texts in prop::collection::vec("[a-z]{1,5}", 1..4)) {
+        let snap = snapshot(&texts);
+        for src in [
+            "`li`.all",
+            "`li`[0]",
+            "`li`.all[0].text",
+            "`li`[0].attributes",
+            "`li`.all[0][\"text\"]",
+            "`li`.all[0][\"classes\"]",
+        ] {
+            assert_differential(src, &snap);
+        }
+    }
 }
 
 /// Eager parameters would make `evovae` trivially true (§3.1's point).

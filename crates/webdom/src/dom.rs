@@ -5,6 +5,7 @@
 //! the selector engine and the event dispatcher operate on.
 
 use crate::selector::{ParseSelectorError, SelectorExpr};
+use quickstrom_protocol::Symbol;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -44,7 +45,7 @@ pub struct El {
     pub(crate) tag: String,
     pub(crate) id: Option<String>,
     pub(crate) classes: Vec<String>,
-    pub(crate) attributes: BTreeMap<String, String>,
+    pub(crate) attributes: BTreeMap<Symbol, String>,
     pub(crate) text: String,
     pub(crate) value: String,
     pub(crate) checked: bool,
@@ -98,10 +99,12 @@ impl El {
         }
     }
 
-    /// Sets an attribute (`[k=v]` in selectors).
+    /// Sets an attribute (`[k=v]` in selectors). The key is interned, so
+    /// snapshot projection downstream copies a `u32` instead of a string.
     #[must_use]
-    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
-        self.attributes.insert(key.into(), value.into());
+    pub fn attr(mut self, key: impl AsRef<str>, value: impl Into<String>) -> Self {
+        self.attributes
+            .insert(Symbol::intern(key.as_ref()), value.into());
         self
     }
 
@@ -271,15 +274,17 @@ impl Document {
         &self.node(id).el.classes
     }
 
-    /// An attribute value.
+    /// An attribute value. Looks the key up without interning it, so
+    /// probing for attributes that exist nowhere stays allocation-free.
     #[must_use]
     pub fn attribute(&self, id: NodeId, key: &str) -> Option<&str> {
-        self.node(id).el.attributes.get(key).map(String::as_str)
+        let sym = Symbol::lookup(key)?;
+        self.node(id).el.attributes.get(&sym).map(String::as_str)
     }
 
-    /// All attributes of a node.
+    /// All attributes of a node, keyed by interned attribute name.
     #[must_use]
-    pub fn attributes(&self, id: NodeId) -> &BTreeMap<String, String> {
+    pub fn attributes(&self, id: NodeId) -> &BTreeMap<Symbol, String> {
         &self.node(id).el.attributes
     }
 
