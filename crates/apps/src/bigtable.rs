@@ -1,0 +1,371 @@
+//! BigTable: a sortable, filterable data grid with hundreds of rows — the
+//! large-DOM stress workload for the incremental snapshot pipeline.
+//!
+//! TodoMVC documents stay small (a handful of items); this app is the
+//! opposite regime: the instrumented selectors match hundreds of elements,
+//! while each user action touches at most a couple of them. A full
+//! snapshot per protocol message costs O(rows); a `SnapshotDelta` (see
+//! the `quickstrom-protocol` crate) costs O(1) for a row selection or a
+//! cell bump. `specs/bigtable.strom` states the grid's
+//! safety property, and the `bigtable` Criterion bench measures the
+//! delta-versus-full gap where it actually matters.
+//!
+//! The grid:
+//!
+//! * `#total-count` / `#shown-count` — total rows and rows matching the
+//!   current filter.
+//! * `.grid-row` — one `<tr>` per visible row with `.cell-id`,
+//!   `.cell-name`, `.cell-value` cells; clicking a row selects it
+//!   (`.selected`), clicking its value cell bumps the value by one.
+//! * `#sort-id` / `#sort-name` / `#sort-value` — stable re-sorts.
+//! * `#filter-all` / `#filter-high` / `#filter-low` — value filters
+//!   (high means `value >= 500`); a selected row that drops out of the
+//!   filter is deselected, and `#selected-name` always mirrors the
+//!   selected row's name cell (empty when nothing is selected).
+
+use webdom::{App, AppCtx, El, EventKind, Payload};
+
+/// The filter threshold between "low" and "high" rows.
+const HIGH_THRESHOLD: i64 = 500;
+
+/// The sort orders of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortKey {
+    /// By row id (the initial order).
+    Id,
+    /// By name, then id.
+    Name,
+    /// By value, then id.
+    Value,
+}
+
+/// The value filters of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Filter {
+    /// Every row.
+    All,
+    /// Rows with `value >= 500`.
+    High,
+    /// Rows with `value < 500`.
+    Low,
+}
+
+/// One data row.
+#[derive(Debug, Clone)]
+struct Row {
+    id: u32,
+    name: String,
+    value: i64,
+}
+
+/// A deterministic pseudo-random value from a row id (SplitMix64
+/// finalizer), so every `BigTable::new()` renders the same data set.
+fn row_value(id: u32) -> i64 {
+    let mut z = u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        ((z ^ (z >> 31)) % 1000) as i64
+    }
+}
+
+const NAME_WORDS: &[&str] = &[
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliett",
+    "kilo", "lima", "mike", "november", "oscar", "papa", "quebec", "romeo", "sierra", "tango",
+];
+
+/// A sortable, filterable data grid under test.
+#[derive(Debug, Clone)]
+pub struct BigTable {
+    rows: Vec<Row>,
+    sort: SortKey,
+    filter: Filter,
+    selected: Option<u32>,
+}
+
+impl Default for BigTable {
+    fn default() -> Self {
+        BigTable::new()
+    }
+}
+
+impl BigTable {
+    /// The default grid: 250 rows of deterministic data.
+    #[must_use]
+    pub fn new() -> Self {
+        BigTable::with_rows(250)
+    }
+
+    /// A grid with `n` rows (the benches scale this).
+    #[must_use]
+    pub fn with_rows(n: u32) -> Self {
+        let rows = (0..n)
+            .map(|id| Row {
+                id,
+                name: format!("{}-{id:04}", NAME_WORDS[(id as usize) % NAME_WORDS.len()]),
+                value: row_value(id),
+            })
+            .collect();
+        BigTable {
+            rows,
+            sort: SortKey::Id,
+            filter: Filter::All,
+            selected: None,
+        }
+    }
+
+    /// The number of rows in the data set (not the filtered view).
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn matches_filter(&self, row: &Row) -> bool {
+        match self.filter {
+            Filter::All => true,
+            Filter::High => row.value >= HIGH_THRESHOLD,
+            Filter::Low => row.value < HIGH_THRESHOLD,
+        }
+    }
+
+    /// The visible rows: filtered, then stably sorted by the active key.
+    fn visible(&self) -> Vec<&Row> {
+        let mut rows: Vec<&Row> = self
+            .rows
+            .iter()
+            .filter(|r| self.matches_filter(r))
+            .collect();
+        match self.sort {
+            SortKey::Id => rows.sort_by_key(|r| r.id),
+            SortKey::Name => rows.sort_by(|a, b| a.name.cmp(&b.name).then(a.id.cmp(&b.id))),
+            SortKey::Value => rows.sort_by(|a, b| a.value.cmp(&b.value).then(a.id.cmp(&b.id))),
+        }
+        rows
+    }
+
+    /// Drops the selection when the selected row no longer matches the
+    /// filter — the invariant `#selected-name` mirrors a *visible* row.
+    fn revalidate_selection(&mut self) {
+        if let Some(id) = self.selected {
+            let still_visible = self
+                .rows
+                .iter()
+                .any(|r| r.id == id && self.matches_filter(r));
+            if !still_visible {
+                self.selected = None;
+            }
+        }
+    }
+
+    fn selected_name(&self) -> &str {
+        self.selected
+            .and_then(|id| self.rows.iter().find(|r| r.id == id))
+            .map_or("", |r| r.name.as_str())
+    }
+}
+
+impl App for BigTable {
+    fn start(&mut self, _ctx: &mut AppCtx<'_>) {}
+
+    fn view(&self) -> El {
+        let visible = self.visible();
+        let filter_button = |id: &str, label: &str, active: bool, msg: &str| {
+            El::new("button")
+                .id(id)
+                .class_if(active, "active")
+                .text(label)
+                .on(EventKind::Click, msg)
+        };
+        El::new("div").id("bigtable").children([
+            El::new("header").children([
+                El::new("button")
+                    .id("sort-id")
+                    .text("sort by id")
+                    .on(EventKind::Click, "sort:id"),
+                El::new("button")
+                    .id("sort-name")
+                    .text("sort by name")
+                    .on(EventKind::Click, "sort:name"),
+                El::new("button")
+                    .id("sort-value")
+                    .text("sort by value")
+                    .on(EventKind::Click, "sort:value"),
+                filter_button(
+                    "filter-all",
+                    "all",
+                    self.filter == Filter::All,
+                    "filter:all",
+                ),
+                filter_button(
+                    "filter-high",
+                    "high",
+                    self.filter == Filter::High,
+                    "filter:high",
+                ),
+                filter_button(
+                    "filter-low",
+                    "low",
+                    self.filter == Filter::Low,
+                    "filter:low",
+                ),
+                El::new("span")
+                    .id("shown-count")
+                    .text(visible.len().to_string()),
+                El::new("span")
+                    .id("total-count")
+                    .text(self.rows.len().to_string()),
+                El::new("span")
+                    .id("selected-name")
+                    .text(self.selected_name()),
+            ]),
+            El::new("table").child(El::new("tbody").children(visible.iter().map(|row| {
+                El::new("tr")
+                    .class("grid-row")
+                    .class_if(self.selected == Some(row.id), "selected")
+                    .on(EventKind::Click, format!("select:{}", row.id))
+                    .children([
+                        El::new("td").class("cell-id").text(row.id.to_string()),
+                        El::new("td").class("cell-name").text(row.name.clone()),
+                        El::new("td")
+                            .class("cell-value")
+                            .text(row.value.to_string())
+                            .on(EventKind::Click, format!("bump:{}", row.id)),
+                    ])
+            }))),
+        ])
+    }
+
+    fn on_event(&mut self, msg: &str, _payload: &Payload, _ctx: &mut AppCtx<'_>) {
+        if let Some(id) = msg.strip_prefix("select:") {
+            if let Ok(id) = id.parse::<u32>() {
+                self.selected = Some(id);
+            }
+        } else if let Some(id) = msg.strip_prefix("bump:") {
+            if let Ok(id) = id.parse::<u32>() {
+                if let Some(row) = self.rows.iter_mut().find(|r| r.id == id) {
+                    row.value += 1;
+                }
+                self.revalidate_selection();
+            }
+        } else {
+            match msg {
+                "sort:id" => self.sort = SortKey::Id,
+                "sort:name" => self.sort = SortKey::Name,
+                "sort:value" => self.sort = SortKey::Value,
+                "filter:all" => self.filter = Filter::All,
+                "filter:high" => self.filter = Filter::High,
+                "filter:low" => self.filter = Filter::Low,
+                _ => {}
+            }
+            self.revalidate_selection();
+        }
+    }
+
+    fn on_timer(&mut self, _tag: &str, _ctx: &mut AppCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdom::{Document, LocalStorage, VirtualClock};
+
+    fn ctx_parts() -> (VirtualClock, LocalStorage) {
+        (VirtualClock::new(), LocalStorage::new())
+    }
+
+    #[test]
+    fn renders_all_rows_with_counts() {
+        let app = BigTable::with_rows(40);
+        let doc = Document::render(app.view());
+        assert_eq!(doc.query_all(".grid-row").unwrap().len(), 40);
+        let shown = doc.query_all("#shown-count").unwrap()[0];
+        assert_eq!(doc.text_content(shown), "40");
+        let total = doc.query_all("#total-count").unwrap()[0];
+        assert_eq!(doc.text_content(total), "40");
+    }
+
+    #[test]
+    fn filters_partition_the_rows() {
+        let (mut clock, mut storage) = ctx_parts();
+        let mut ctx = AppCtx {
+            clock: &mut clock,
+            storage: &mut storage,
+        };
+        let mut app = BigTable::with_rows(100);
+        app.on_event("filter:high", &Payload::None, &mut ctx);
+        let high = app.visible().len();
+        app.on_event("filter:low", &Payload::None, &mut ctx);
+        let low = app.visible().len();
+        assert_eq!(high + low, 100);
+        assert!(high > 0 && low > 0, "the data set straddles the threshold");
+    }
+
+    #[test]
+    fn sorting_is_stable_and_total_preserving() {
+        let (mut clock, mut storage) = ctx_parts();
+        let mut ctx = AppCtx {
+            clock: &mut clock,
+            storage: &mut storage,
+        };
+        let mut app = BigTable::with_rows(50);
+        app.on_event("sort:name", &Payload::None, &mut ctx);
+        let names: Vec<String> = app.visible().iter().map(|r| r.name.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        assert_eq!(app.visible().len(), 50);
+        app.on_event("sort:value", &Payload::None, &mut ctx);
+        let values: Vec<i64> = app.visible().iter().map(|r| r.value).collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn selection_mirrors_the_name_and_survives_sorts_but_not_filters() {
+        let (mut clock, mut storage) = ctx_parts();
+        let mut ctx = AppCtx {
+            clock: &mut clock,
+            storage: &mut storage,
+        };
+        let mut app = BigTable::with_rows(30);
+        // Select a low-value row, then filter to high: deselected.
+        let low_id = app
+            .rows
+            .iter()
+            .find(|r| r.value < HIGH_THRESHOLD)
+            .map(|r| r.id)
+            .expect("a low row exists");
+        app.on_event(&format!("select:{low_id}"), &Payload::None, &mut ctx);
+        assert_eq!(app.selected, Some(low_id));
+        let doc = Document::render(app.view());
+        assert_eq!(doc.query_all(".grid-row.selected").unwrap().len(), 1);
+        let label = doc.query_all("#selected-name").unwrap()[0];
+        let cell = doc.query_all(".grid-row.selected .cell-name").unwrap()[0];
+        assert_eq!(doc.text_content(label), doc.text_content(cell));
+        app.on_event("sort:value", &Payload::None, &mut ctx);
+        assert_eq!(app.selected, Some(low_id), "sorting keeps the selection");
+        app.on_event("filter:high", &Payload::None, &mut ctx);
+        assert_eq!(app.selected, None, "filtered-out rows are deselected");
+        let doc = Document::render(app.view());
+        let label = doc.query_all("#selected-name").unwrap()[0];
+        assert_eq!(doc.text_content(label), "");
+    }
+
+    #[test]
+    fn bumping_edits_one_value() {
+        let (mut clock, mut storage) = ctx_parts();
+        let mut ctx = AppCtx {
+            clock: &mut clock,
+            storage: &mut storage,
+        };
+        let mut app = BigTable::with_rows(10);
+        let before = app.rows[3].value;
+        app.on_event("bump:3", &Payload::None, &mut ctx);
+        assert_eq!(app.rows[3].value, before + 1);
+        // Cell clicks route to the bump handler, not the row select.
+        let doc = Document::render(app.view());
+        let cells = doc.query_all(".cell-value").unwrap();
+        let handler = doc.handler(cells[0], EventKind::Click).unwrap();
+        assert!(handler.starts_with("bump:"), "{handler}");
+    }
+}

@@ -13,17 +13,22 @@
 //!   taxonomy of Table 2 as injectable faults.
 //! * [`registry`] — the 43 named "implementations" reproducing Table 1's
 //!   pass/fail split (see DESIGN.md, *Substitutions*).
+//! * [`bigtable`] — a sortable/filterable data grid with hundreds of rows:
+//!   the large-DOM workload the incremental snapshot pipeline is measured
+//!   on (specs/bigtable.strom, the `bigtable` bench).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod bigtable;
 pub mod counter;
 pub mod egg_timer;
 pub mod menu;
 pub mod registry;
 pub mod todomvc;
 
+pub use bigtable::BigTable;
 pub use counter::Counter;
 pub use egg_timer::EggTimer;
 pub use menu::MenuApp;

@@ -1,0 +1,87 @@
+//! The large-DOM benchmark: checking the BigTable grid with the
+//! incremental snapshot pipeline versus the full-snapshot protocol.
+//!
+//! The grid renders hundreds of rows behind selectors that match all of
+//! them, while each action touches at most a couple of elements — the
+//! regime the delta protocol and the dirty-tracked render cache were
+//! built for. Both modes produce bit-identical reports (pinned by
+//! `crates/bench/tests/differential_delta.rs`); this bench measures the
+//! wall-clock gap, and TodoMVC is included as the small-DOM control.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quickstrom::prelude::*;
+use quickstrom::quickstrom_apps::{registry, BigTable};
+use quickstrom::quickstrom_executor::WebExecutorConfig;
+use quickstrom_bench::todomvc_spec;
+use std::sync::Arc;
+
+fn options() -> CheckOptions {
+    CheckOptions::default()
+        .with_tests(2)
+        .with_max_actions(25)
+        .with_default_demand(20)
+        .with_seed(2026)
+        .with_shrink(false)
+}
+
+fn bench_bigtable_modes(c: &mut Criterion) {
+    let spec =
+        Arc::new(quickstrom::specstrom::load(quickstrom::specs::BIGTABLE).expect("spec compiles"));
+    let opts = options();
+    for (name, config) in [
+        ("bigtable_check_delta", WebExecutorConfig::default()),
+        ("bigtable_check_full", WebExecutorConfig::full_snapshots()),
+    ] {
+        let spec = Arc::clone(&spec);
+        let config = config.clone();
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let config = config.clone();
+                let report = check_spec(&spec, &opts, &move || {
+                    Box::new(WebExecutor::with_config(
+                        || BigTable::with_rows(250),
+                        config.clone(),
+                    ))
+                })
+                .expect("no protocol errors");
+                assert!(report.passed());
+                std::hint::black_box(report.transport().shipped_bytes)
+            });
+        });
+    }
+}
+
+fn bench_todomvc_modes(c: &mut Criterion) {
+    let spec = todomvc_spec();
+    let entry = registry::by_name("vue").expect("registry entry");
+    let opts = CheckOptions::default()
+        .with_tests(1)
+        .with_max_actions(50)
+        .with_default_demand(40)
+        .with_seed(1)
+        .with_shrink(false);
+    for (name, config) in [
+        ("todomvc_check_delta", WebExecutorConfig::default()),
+        ("todomvc_check_full", WebExecutorConfig::full_snapshots()),
+    ] {
+        let spec = Arc::clone(&spec);
+        let config = config.clone();
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let config = config.clone();
+                let report = check_spec(&spec, &opts, &move || {
+                    Box::new(WebExecutor::with_config(|| entry.build(), config.clone()))
+                })
+                .expect("no protocol errors");
+                std::hint::black_box(report.passed())
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bigtable_modes, bench_todomvc_modes
+}
+criterion_main!(benches);

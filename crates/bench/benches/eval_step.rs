@@ -29,7 +29,10 @@ fn todomvc_snapshot() -> StateSnapshot {
     });
     let first = replies.first().expect("loaded? reply");
     let mut state = match first {
-        ExecutorMsg::Event { state, .. } => state.clone(),
+        ExecutorMsg::Event { state, .. } => state
+            .full()
+            .expect("the initial state is a full snapshot")
+            .clone(),
         other => panic!("unexpected first reply {other:?}"),
     };
     state.happened = vec!["loaded?".to_owned()];

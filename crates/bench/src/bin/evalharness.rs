@@ -2,9 +2,10 @@
 //! paper's evaluation (§4), plus the ablations from DESIGN.md.
 //!
 //! ```text
-//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- table2 [--jobs 4]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- figure13 [--sessions 10] [--runs 3] [--csv fig13.csv]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- delta-compare [--tests 10] [--jobs 4] [--json BENCH_delta_compare.json]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- ablation-rvltl
 //! cargo run --release -p quickstrom-bench --bin evalharness -- ablation-simplify
 //! cargo run --release -p quickstrom-bench --bin evalharness -- all [--jobs 4]
@@ -16,13 +17,20 @@
 //! per-entry wall times are measured under whatever contention the worker
 //! count creates, so compare `wall_s` values only between runs with the
 //! same `--jobs`. `--json PATH` writes the per-entry wall-time JSON used
-//! for perf-trajectory tracking.
+//! for perf-trajectory tracking — since the incremental snapshot pipeline
+//! it also carries per-entry transport accounting (bytes shipped, the
+//! full-snapshot counterfactual, delta counts, changed selectors).
+//! `--full-snapshots` runs the sweep over the pre-incremental protocol
+//! (every message a complete snapshot); `delta-compare` runs both modes
+//! on TodoMVC and the BigTable grid, asserts they agree bit-for-bit, and
+//! writes a comparison JSON.
 
 use quickstrom::prelude::*;
 use quickstrom::quickstrom_apps::registry::{Maturity, REGISTRY};
 use quickstrom::quickstrom_apps::MenuApp;
 use quickstrom_bench::{
-    check_entry, fault_description, figure13_point, sweep_registry_jobs, sweep_to_json, ImplResult,
+    check_entry_mode, fault_description, figure13_point, sweep_entries_mode, sweep_to_json,
+    ImplResult, SnapshotMode,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -51,21 +59,28 @@ fn main() {
     let jobs: usize = flag("--jobs").and_then(|v| v.parse().ok()).unwrap_or(1);
     let csv = flag("--csv");
     let json = flag("--json");
+    let mode = if args.iter().any(|a| a == "--full-snapshots") {
+        SnapshotMode::Full
+    } else {
+        SnapshotMode::Delta
+    };
 
     match command {
         "table1" => {
-            table1_and_2(tests, false, jobs, json.as_deref());
+            table1_and_2(tests, false, jobs, json.as_deref(), mode);
         }
         "table2" => {
-            table1_and_2(tests, true, jobs, json.as_deref());
+            table1_and_2(tests, true, jobs, json.as_deref(), mode);
         }
         "figure13" => figure13(sessions, runs, csv.as_deref()),
+        "delta-compare" => delta_compare(tests, jobs, json.as_deref()),
         "ablation-rvltl" => ablation_rvltl(),
         "ablation-simplify" => ablation_simplify(),
         "ablation-strategy" => ablation_strategy(),
         "all" => {
-            table1_and_2(tests, true, jobs, json.as_deref());
+            table1_and_2(tests, true, jobs, json.as_deref(), mode);
             figure13(sessions.min(3), runs, csv.as_deref());
+            delta_compare(tests.min(10), jobs, None);
             ablation_rvltl();
             ablation_simplify();
             ablation_strategy();
@@ -73,8 +88,8 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "commands: table1 table2 figure13 ablation-rvltl ablation-simplify \
-                 ablation-strategy all"
+                "commands: table1 table2 figure13 delta-compare ablation-rvltl \
+                 ablation-simplify ablation-strategy all"
             );
             std::process::exit(2);
         }
@@ -82,13 +97,23 @@ fn main() {
 }
 
 /// Runs the registry sweep and prints Table 1 (and optionally Table 2).
-fn table1_and_2(tests: usize, with_table2: bool, jobs: usize, json: Option<&str>) {
+fn table1_and_2(
+    tests: usize,
+    with_table2: bool,
+    jobs: usize,
+    json: Option<&str>,
+    mode: SnapshotMode,
+) {
     println!("═══ Table 1: Summary of Results (TodoMVC registry sweep) ═══");
     println!(
-        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s))",
+        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s), {} snapshots)",
         REGISTRY.len(),
         tests,
-        jobs.max(1)
+        jobs.max(1),
+        match mode {
+            SnapshotMode::Delta => "incremental",
+            SnapshotMode::Full => "full",
+        }
     );
     let options = CheckOptions::default()
         .with_tests(tests)
@@ -111,10 +136,12 @@ fn table1_and_2(tests: usize, with_table2: bool, jobs: usize, json: Option<&str>
         );
     };
     let started = std::time::Instant::now();
+    let entries: Vec<&'static quickstrom::quickstrom_apps::registry::Entry> =
+        REGISTRY.iter().collect();
     let results: Vec<ImplResult> = if jobs > 1 {
         // Entries finish out of order on the pool; collect, then print in
         // canonical registry order.
-        let results = sweep_registry_jobs(&options, jobs);
+        let results = sweep_entries_mode(&entries, &options, jobs, mode);
         results.iter().for_each(&print_line);
         results
     } else {
@@ -123,7 +150,7 @@ fn table1_and_2(tests: usize, with_table2: bool, jobs: usize, json: Option<&str>
         REGISTRY
             .iter()
             .map(|entry| {
-                let result = check_entry(entry, &options);
+                let result = check_entry_mode(entry, &options, mode);
                 print_line(&result);
                 result
             })
@@ -182,6 +209,19 @@ fn table1_and_2(tests: usize, with_table2: bool, jobs: usize, json: Option<&str>
         started.elapsed().as_secs_f64()
     );
     println!("paper: Passed — 23 (9 beta, 14 mature); Failed — 20 (8 beta, 12 mature)");
+    let mut transport = TransportStats::default();
+    for r in &results {
+        transport.absorb(r.transport);
+    }
+    println!(
+        "snapshot transport: {} bytes shipped vs {} full-snapshot bytes \
+         (ratio {:.3}, {} deltas, {} changed selectors)",
+        transport.shipped_bytes,
+        transport.full_bytes,
+        transport.delta_ratio(),
+        transport.delta_states,
+        transport.changed_selectors
+    );
 
     if let Some(path) = json {
         let doc = sweep_to_json(&results, jobs.max(1), started.elapsed().as_secs_f64());
@@ -207,6 +247,115 @@ fn table1_and_2(tests: usize, with_table2: bool, jobs: usize, json: Option<&str>
             "paper row counts: 1,2,1,1,1,1,4,2,1,1,1,1,2,1 (problem 4 is 2 here; see\n\
              DESIGN.md on reconciling Table 1's superscripts with Table 2's counts)"
         );
+    }
+}
+
+/// Runs TodoMVC (the whole registry) and the BigTable grid in both
+/// snapshot modes, asserts the reports agree bit-for-bit, and reports the
+/// wall-time and bytes-shipped comparison.
+fn delta_compare(tests: usize, jobs: usize, json: Option<&str>) {
+    use quickstrom::quickstrom_apps::BigTable;
+    use std::fmt::Write as _;
+
+    println!("═══ Delta vs full-snapshot comparison ═══");
+    let options = CheckOptions::default()
+        .with_tests(tests)
+        .with_max_actions(120)
+        .with_default_demand(100)
+        .with_seed(20220322)
+        .with_shrink(false);
+
+    // TodoMVC: the whole 43-entry registry, both modes.
+    let entries: Vec<&'static quickstrom::quickstrom_apps::registry::Entry> =
+        REGISTRY.iter().collect();
+    let run_sweep = |mode: SnapshotMode| {
+        let started = std::time::Instant::now();
+        let results = sweep_entries_mode(&entries, &options, jobs.max(1), mode);
+        (results, started.elapsed().as_secs_f64())
+    };
+    let (delta_results, delta_wall) = run_sweep(SnapshotMode::Delta);
+    let (full_results, full_wall) = run_sweep(SnapshotMode::Full);
+    for (d, f) in delta_results.iter().zip(&full_results) {
+        assert_eq!(
+            (d.name, d.passed, d.states),
+            (f.name, f.passed, f.states),
+            "delta mode must be bit-identical to full mode"
+        );
+    }
+    let sum = |rs: &[ImplResult], f: &dyn Fn(&ImplResult) -> u64| rs.iter().map(f).sum::<u64>();
+    let delta_shipped = sum(&delta_results, &|r| r.transport.shipped_bytes);
+    let full_shipped = sum(&full_results, &|r| r.transport.shipped_bytes);
+    println!(
+        "  TodoMVC registry ({} entries, {} runs each): verdicts and state counts identical",
+        entries.len(),
+        tests
+    );
+    println!("    wall: delta {delta_wall:.2}s vs full {full_wall:.2}s");
+    println!("    bytes shipped: delta {delta_shipped} vs full {full_shipped}");
+
+    // BigTable: the large-DOM grid, both modes.
+    let bt_spec =
+        quickstrom::specstrom::load(quickstrom::specs::BIGTABLE).expect("bundled spec compiles");
+    let bt_options = CheckOptions::default()
+        .with_tests(tests)
+        .with_max_actions(25)
+        .with_default_demand(20)
+        .with_seed(2026)
+        .with_shrink(false)
+        .with_jobs(jobs.max(1));
+    let run_bt = |mode: SnapshotMode| {
+        let config = mode.config();
+        let started = std::time::Instant::now();
+        let report = check_spec(&bt_spec, &bt_options, &move || {
+            Box::new(WebExecutor::with_config(
+                || BigTable::with_rows(250),
+                config.clone(),
+            ))
+        })
+        .expect("no protocol errors");
+        (report, started.elapsed().as_secs_f64())
+    };
+    let (bt_delta, bt_delta_wall) = run_bt(SnapshotMode::Delta);
+    let (bt_full, bt_full_wall) = run_bt(SnapshotMode::Full);
+    assert_eq!(bt_delta, bt_full, "bigtable reports must be identical");
+    let bt_delta_t = bt_delta.transport();
+    let bt_full_t = bt_full.transport();
+    println!("  BigTable (250 rows, {tests} runs): reports identical");
+    println!("    wall: delta {bt_delta_wall:.2}s vs full {bt_full_wall:.2}s");
+    println!(
+        "    bytes shipped: delta {} vs full {} (ratio {:.3})",
+        bt_delta_t.shipped_bytes,
+        bt_full_t.shipped_bytes,
+        bt_delta_t.delta_ratio()
+    );
+
+    if let Some(path) = json {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"benchmark\": \"delta_vs_full\",");
+        let _ = writeln!(out, "  \"tests\": {tests},");
+        let _ = writeln!(out, "  \"jobs\": {},", jobs.max(1));
+        let _ = writeln!(out, "  \"workloads\": {{");
+        let _ = writeln!(
+            out,
+            "    \"todomvc_registry\": {{\"identical\": true, \
+             \"delta_wall_s\": {delta_wall:.4}, \"full_wall_s\": {full_wall:.4}, \
+             \"delta_shipped_bytes\": {delta_shipped}, \
+             \"full_shipped_bytes\": {full_shipped}}},"
+        );
+        let _ = writeln!(
+            out,
+            "    \"bigtable\": {{\"identical\": true, \
+             \"delta_wall_s\": {bt_delta_wall:.4}, \"full_wall_s\": {bt_full_wall:.4}, \
+             \"delta_shipped_bytes\": {}, \"full_shipped_bytes\": {}, \
+             \"delta_ratio\": {:.4}}}",
+            bt_delta_t.shipped_bytes,
+            bt_full_t.shipped_bytes,
+            bt_delta_t.delta_ratio()
+        );
+        let _ = writeln!(out, "  }}");
+        out.push_str("}\n");
+        std::fs::write(path, out).expect("write JSON");
+        println!("wrote {path}");
     }
 }
 

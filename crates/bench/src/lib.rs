@@ -22,6 +22,29 @@ use std::fmt::Write as _;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+/// How executors ship states over the checker protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotMode {
+    /// Incremental: one full snapshot, then `SnapshotDelta`s (the
+    /// default pipeline).
+    #[default]
+    Delta,
+    /// Every message carries a complete snapshot (the pre-incremental
+    /// protocol, kept for differential comparison).
+    Full,
+}
+
+impl SnapshotMode {
+    /// The executor configuration for this mode.
+    #[must_use]
+    pub fn config(self) -> WebExecutorConfig {
+        match self {
+            SnapshotMode::Delta => WebExecutorConfig::default(),
+            SnapshotMode::Full => WebExecutorConfig::full_snapshots(),
+        }
+    }
+}
+
 /// The bundled TodoMVC specification, compiled once per process and shared
 /// (`Arc`) across sweep entries, worker threads, and Criterion iterations —
 /// benches and sweeps measure *checking*, not parsing. The one-off compile
@@ -71,6 +94,9 @@ pub struct ImplResult {
     pub states: usize,
     /// Fault numbers injected into this implementation.
     pub fault_numbers: Vec<u8>,
+    /// Snapshot-transport accounting: bytes shipped, the full-snapshot
+    /// counterfactual, delta counts and changed selectors.
+    pub transport: TransportStats,
 }
 
 impl ImplResult {
@@ -90,10 +116,27 @@ impl ImplResult {
 /// failure.
 #[must_use]
 pub fn check_entry(entry: &'static Entry, options: &CheckOptions) -> ImplResult {
+    check_entry_mode(entry, options, SnapshotMode::Delta)
+}
+
+/// Checks one registry entry with an explicit snapshot-shipping mode.
+/// Everything but the timing and transport columns is mode-independent
+/// (pinned by the differential suite).
+///
+/// # Panics
+///
+/// See [`check_entry`].
+#[must_use]
+pub fn check_entry_mode(
+    entry: &'static Entry,
+    options: &CheckOptions,
+    mode: SnapshotMode,
+) -> ImplResult {
     let spec = todomvc_spec();
     let started = Instant::now();
-    let report = check_spec(&spec, options, &|| {
-        Box::new(WebExecutor::new(|| entry.build()))
+    let config = mode.config();
+    let report = check_spec(&spec, options, &move || {
+        Box::new(WebExecutor::with_config(|| entry.build(), config.clone()))
     })
     .expect("no protocol errors");
     let states = report.properties.iter().map(|p| p.states_total).sum();
@@ -107,6 +150,7 @@ pub fn check_entry(entry: &'static Entry, options: &CheckOptions) -> ImplResult 
         eval_s: timings.eval_s,
         states,
         fault_numbers: entry.faults.iter().map(|f| f.number()).collect(),
+        transport: report.transport(),
     }
 }
 
@@ -129,7 +173,20 @@ pub fn sweep_entries(
     options: &CheckOptions,
     jobs: usize,
 ) -> Vec<ImplResult> {
-    pool::run_ordered(jobs, entries.len(), |i| check_entry(entries[i], options))
+    sweep_entries_mode(entries, options, jobs, SnapshotMode::Delta)
+}
+
+/// [`sweep_entries`] with an explicit snapshot-shipping mode.
+#[must_use]
+pub fn sweep_entries_mode(
+    entries: &[&'static Entry],
+    options: &CheckOptions,
+    jobs: usize,
+    mode: SnapshotMode,
+) -> Vec<ImplResult> {
+    pool::run_ordered(jobs, entries.len(), |i| {
+        check_entry_mode(entries[i], options, mode)
+    })
 }
 
 /// Checks the entire registry on up to `jobs` worker threads, in registry
@@ -146,10 +203,13 @@ pub fn sweep_registry_jobs(options: &CheckOptions, jobs: usize) -> Vec<ImplResul
 ///
 /// The schema is one object with sweep-level metadata (including the
 /// one-off `spec_compile_s` phase — the spec is compiled once and shared
-/// across entries) and an `entries` array; every entry carries `name`,
-/// `passed`, `expected_to_fail`, `wall_s`, the phase attribution
-/// `executor_s`/`eval_s`, `states` and `faults`, so a regression can be
-/// blamed on a phase instead of only recorded as wall time.
+/// across entries — and the transport totals `shipped_bytes` /
+/// `full_bytes` / `delta_ratio`) and an `entries` array; every entry
+/// carries `name`, `passed`, `expected_to_fail`, `wall_s`, the phase
+/// attribution `executor_s`/`eval_s`, `states`, `faults`, and its own
+/// snapshot-transport accounting (`shipped_bytes`, `full_bytes`,
+/// `delta_states`, `changed_selectors`), so a regression can be blamed on
+/// a phase — or on the wire — instead of only recorded as wall time.
 #[must_use]
 pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> String {
     let mut out = String::from("{\n");
@@ -166,6 +226,13 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
         "  \"states_total\": {},",
         results.iter().map(|r| r.states).sum::<usize>()
     );
+    let mut transport = TransportStats::default();
+    for r in results {
+        transport.absorb(r.transport);
+    }
+    let _ = writeln!(out, "  \"shipped_bytes\": {},", transport.shipped_bytes);
+    let _ = writeln!(out, "  \"full_bytes\": {},", transport.full_bytes);
+    let _ = writeln!(out, "  \"delta_ratio\": {:.4},", transport.delta_ratio());
     let _ = writeln!(out, "  \"entries\": [");
     for (i, r) in results.iter().enumerate() {
         let faults: Vec<String> = r.fault_numbers.iter().map(ToString::to_string).collect();
@@ -173,7 +240,9 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             out,
             "    {{\"name\": \"{}\", \"passed\": {}, \"expected_to_fail\": {}, \
              \"wall_s\": {:.4}, \"executor_s\": {:.4}, \"eval_s\": {:.4}, \
-             \"states\": {}, \"faults\": [{}]}}",
+             \"states\": {}, \"faults\": [{}], \
+             \"shipped_bytes\": {}, \"full_bytes\": {}, \"delta_states\": {}, \
+             \"changed_selectors\": {}}}",
             r.name,
             r.passed,
             r.expected_to_fail,
@@ -181,7 +250,11 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             r.executor_s,
             r.eval_s,
             r.states,
-            faults.join(", ")
+            faults.join(", "),
+            r.transport.shipped_bytes,
+            r.transport.full_bytes,
+            r.transport.delta_states,
+            r.transport.changed_selectors,
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }

@@ -54,7 +54,10 @@ fn record_trace(
         dependencies: spec.dependencies.clone(),
     });
     for msg in &replies {
-        let mut state = msg.state().clone();
+        let mut state = msg
+            .update()
+            .resolve(trace.last())
+            .expect("resolvable update");
         if let ExecutorMsg::Event { event, .. } = msg {
             state.happened = vec![event.clone()];
         }
@@ -112,7 +115,10 @@ fn record_trace(
             version,
         });
         for msg in &replies {
-            let mut state = msg.state().clone();
+            let mut state = msg
+                .update()
+                .resolve(trace.last())
+                .expect("resolvable update");
             state.happened = match msg {
                 ExecutorMsg::Acted { .. } => vec![action.name.clone()],
                 ExecutorMsg::Timeout { .. } => vec!["timeout?".to_owned()],

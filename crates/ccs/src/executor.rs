@@ -96,7 +96,7 @@ impl CcsExecutor {
             } else {
                 Vec::new()
             };
-            snap.queries.insert(*selector, elements);
+            snap.insert_query(*selector, elements);
         }
         snap
     }
@@ -127,11 +127,7 @@ impl Executor for CcsExecutor {
                 self.current = self.initial.clone();
                 self.stabilise();
                 self.trace_len = 1;
-                vec![ExecutorMsg::Event {
-                    event: "loaded?".to_owned(),
-                    detail: Vec::new(),
-                    state: self.snapshot(),
-                }]
+                vec![ExecutorMsg::event("loaded?", Vec::new(), self.snapshot())]
             }
             CheckerMsg::Act { action, version } => {
                 if version < self.trace_len {
@@ -151,9 +147,7 @@ impl Executor for CcsExecutor {
                     _ => {}
                 }
                 self.trace_len += 1;
-                vec![ExecutorMsg::Acted {
-                    state: self.snapshot(),
-                }]
+                vec![ExecutorMsg::acted(self.snapshot())]
             }
             CheckerMsg::Wait { version, .. } => {
                 if version < self.trace_len {
@@ -161,9 +155,7 @@ impl Executor for CcsExecutor {
                 }
                 // CCS models have no clock: a wait always times out.
                 self.trace_len += 1;
-                vec![ExecutorMsg::Timeout {
-                    state: self.snapshot(),
-                }]
+                vec![ExecutorMsg::timeout(self.snapshot())]
             }
             CheckerMsg::End => Vec::new(),
         }
@@ -203,7 +195,7 @@ mod tests {
         let r = e.send(CheckerMsg::Start {
             dependencies: deps(),
         });
-        let state = r[0].state();
+        let state = r[0].full_state().unwrap();
         assert_eq!(state.matches(&".act-coin".into()).len(), 1);
         assert_eq!(state.matches(&".act-tea".into()).len(), 0);
         assert_eq!(state.first(&"#state".into()).unwrap().text, "Vend");
@@ -216,12 +208,19 @@ mod tests {
             dependencies: deps(),
         });
         let r = e.send(click(".act-coin", 1));
-        let state = r[0].state();
+        let state = r[0].full_state().unwrap();
         assert_eq!(state.matches(&".act-coin".into()).len(), 0);
         assert_eq!(state.matches(&".act-tea".into()).len(), 1);
         assert_eq!(state.matches(&".act-coffee".into()).len(), 1);
         let r2 = e.send(click(".act-tea", 2));
-        assert_eq!(r2[0].state().matches(&".act-coin".into()).len(), 1);
+        assert_eq!(
+            r2[0]
+                .full_state()
+                .unwrap()
+                .matches(&".act-coin".into())
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -231,7 +230,14 @@ mod tests {
             dependencies: deps(),
         });
         let r = e.send(click(".act-tea", 1));
-        assert_eq!(r[0].state().first(&"#state".into()).unwrap().text, "Vend");
+        assert_eq!(
+            r[0].full_state()
+                .unwrap()
+                .first(&"#state".into())
+                .unwrap()
+                .text,
+            "Vend"
+        );
     }
 
     #[test]
@@ -244,7 +250,10 @@ mod tests {
             dependencies: vec![Selector::new(".act-a"), Selector::new(".act-c")],
         });
         let r = e.send(click(".act-a", 1));
-        assert_eq!(r[0].state().matches(&".act-c".into()).len(), 1);
+        assert_eq!(
+            r[0].full_state().unwrap().matches(&".act-c".into()).len(),
+            1
+        );
     }
 
     #[test]
@@ -272,6 +281,13 @@ mod tests {
             action: ActionInstance::untargeted("reload!", ActionKind::Reload),
             version: 2,
         });
-        assert_eq!(r[0].state().first(&"#state".into()).unwrap().text, "Vend");
+        assert_eq!(
+            r[0].full_state()
+                .unwrap()
+                .first(&"#state".into())
+                .unwrap()
+                .text,
+            "Vend"
+        );
     }
 }

@@ -43,25 +43,25 @@
 //! impl Blinker {
 //!     fn snapshot(&self) -> StateSnapshot {
 //!         let mut s = StateSnapshot::new();
-//!         s.queries.insert(
-//!             "#light".into(),
+//!         s.insert_query(
+//!             "#light",
 //!             vec![ElementState::with_text(if self.on { "on" } else { "off" })],
 //!         );
 //!         s
 //!     }
 //! }
 //!
+//! // A minimal executor ships full snapshots; incremental executors send
+//! // `SnapshotDelta`s after the first state (see `quickstrom-executor`).
 //! impl Executor for Blinker {
 //!     fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg> {
 //!         match msg {
-//!             CheckerMsg::Start { .. } => vec![ExecutorMsg::Event {
-//!                 event: "loaded?".into(),
-//!                 detail: Vec::new(),
-//!                 state: self.snapshot(),
-//!             }],
+//!             CheckerMsg::Start { .. } => {
+//!                 vec![ExecutorMsg::event("loaded?", Vec::new(), self.snapshot())]
+//!             }
 //!             CheckerMsg::Act { .. } => {
 //!                 self.on = !self.on;
-//!                 vec![ExecutorMsg::Acted { state: self.snapshot() }]
+//!                 vec![ExecutorMsg::acted(self.snapshot())]
 //!             }
 //!             _ => vec![],
 //!         }

@@ -1,7 +1,7 @@
 //! Run results, counterexamples and property reports.
 
 use quickltl::{Outcome, Verdict};
-use quickstrom_protocol::ActionInstance;
+use quickstrom_protocol::{ActionInstance, StateSnapshot, TransportStats};
 use std::fmt;
 
 /// How a single test run ended.
@@ -48,12 +48,35 @@ pub struct Counterexample {
 }
 
 /// One state of a recorded trace.
+///
+/// The full reconstructed state is kept, not just a summary — affordably,
+/// because per-selector query results are [`Arc`]-shared between
+/// neighbouring entries (the checker applies
+/// [`SnapshotDelta`](quickstrom_protocol::SnapshotDelta)s onto the
+/// previous state, and unchanged selectors keep their allocation). A
+/// trace of T steps therefore costs O(changed) memory per step, not
+/// O(T × all selectors).
+///
+/// [`Arc`]: std::sync::Arc
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
+    /// The reconstructed state at this position of the trace, with its
+    /// `happened` annotation filled in by the checker.
+    pub state: StateSnapshot,
+}
+
+impl TraceEntry {
     /// The `happened` annotation of the state.
-    pub happened: Vec<String>,
+    #[must_use]
+    pub fn happened(&self) -> &[String] {
+        &self.state.happened
+    }
+
     /// Virtual time of the snapshot.
-    pub timestamp_ms: u64,
+    #[must_use]
+    pub fn timestamp_ms(&self) -> u64 {
+        self.state.timestamp_ms
+    }
 }
 
 impl fmt::Display for Counterexample {
@@ -95,10 +118,12 @@ impl PhaseTimings {
 
 /// The aggregate result of checking one property.
 ///
-/// Equality ignores [`PropertyReport::timings`]: wall-clock attribution is
-/// the one field that legitimately differs between two otherwise identical
-/// checks (the `jobs = N` ⇒ `jobs = 1` determinism invariant is stated
-/// over everything else).
+/// Equality ignores [`PropertyReport::timings`] and
+/// [`PropertyReport::transport`]: wall-clock attribution and wire-cost
+/// accounting are the fields that legitimately differ between two
+/// otherwise identical checks (the `jobs = N` ⇒ `jobs = 1` determinism
+/// invariant — and the delta-mode ≡ full-mode invariant — are stated over
+/// everything else).
 #[derive(Debug, Clone)]
 pub struct PropertyReport {
     /// The property name.
@@ -111,6 +136,10 @@ pub struct PropertyReport {
     pub actions_total: usize,
     /// Per-phase wall-clock attribution (excluded from equality).
     pub timings: PhaseTimings,
+    /// Snapshot-transport accounting accumulated over every run and
+    /// shrink replay (excluded from equality): bytes shipped vs the
+    /// full-snapshot counterfactual, delta counts, changed selectors.
+    pub transport: TransportStats,
 }
 
 impl PartialEq for PropertyReport {
@@ -202,6 +231,16 @@ impl Report {
         total
     }
 
+    /// Summed snapshot-transport accounting across all properties.
+    #[must_use]
+    pub fn transport(&self) -> TransportStats {
+        let mut total = TransportStats::default();
+        for p in &self.properties {
+            total.absorb(p.transport);
+        }
+        total
+    }
+
     /// The names of failed properties.
     #[must_use]
     pub fn failures(&self) -> Vec<&str> {
@@ -249,8 +288,11 @@ mod tests {
                 0,
             )],
             trace: vec![TraceEntry {
-                happened: vec!["loaded?".into()],
-                timestamp_ms: 0,
+                state: {
+                    let mut s = StateSnapshot::new();
+                    s.happened.push("loaded?".into());
+                    s
+                },
             }],
             shrunk: true,
             forced: false,
@@ -267,6 +309,7 @@ mod tests {
                     states_total: 10,
                     actions_total: 9,
                     timings: PhaseTimings::default(),
+                    transport: TransportStats::default(),
                 },
                 PropertyReport {
                     property: "liveness".into(),
@@ -274,6 +317,7 @@ mod tests {
                     states_total: 5,
                     actions_total: 4,
                     timings: PhaseTimings::default(),
+                    transport: TransportStats::default(),
                 },
             ],
         };
@@ -298,6 +342,7 @@ mod tests {
             states_total: 3,
             actions_total: 2,
             timings: PhaseTimings::default(),
+            transport: TransportStats::default(),
         };
         assert!(p.passed());
         assert_eq!(p.inconclusive_runs(), 1);

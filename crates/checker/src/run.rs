@@ -10,7 +10,9 @@ use crate::options::{CheckOptions, SelectionStrategy};
 use crate::report::{Counterexample, RunResult, TraceEntry};
 use crate::runner::CheckError;
 use quickltl::{Evaluator, Formula, StepReport, Verdict};
-use quickstrom_protocol::{ActionInstance, ActionKind, ExecutorMsg, Selector, StateSnapshot};
+use quickstrom_protocol::{
+    ActionInstance, ActionKind, ExecutorMsg, Selector, StateSnapshot, StateUpdate,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use specstrom::{eval_guard, expand_thunk, ActionValue, CheckDef, CompiledSpec, EvalCtx, Thunk};
@@ -153,17 +155,37 @@ impl<'a> Run<'a> {
     }
 
     /// Feeds one executor message into the trace and the formula.
+    ///
+    /// The carried [`StateUpdate`] is reconstructed against the previous
+    /// state: a full snapshot replaces it, a delta is applied onto it —
+    /// sharing the query results of every unchanged selector, so the
+    /// recorded trace grows by O(changed) per step. Delta versions must
+    /// follow the trace length exactly (the executor numbers states from
+    /// 1); a gap means a missed update and is a protocol error.
     pub(crate) fn ingest(
         &mut self,
         msg: &ExecutorMsg,
         action: Option<&ActionInstance>,
     ) -> Result<(), CheckError> {
         let happened = self.happened_for(msg, action);
-        let mut state = msg.state().clone();
+        let update = msg.update();
+        if let StateUpdate::Delta(delta) = update {
+            let expected = self.trace.len() as u64 + 1;
+            if delta.state_version != expected {
+                return Err(CheckError::new(format!(
+                    "snapshot delta carries state version {} but the checker \
+                     has seen {} state(s) (expected version {expected})",
+                    delta.state_version,
+                    self.trace.len(),
+                )));
+            }
+        }
+        let mut state = update
+            .resolve(self.last_state.as_ref())
+            .map_err(|e| CheckError::new(e.to_string()))?;
         state.happened = happened.clone();
         self.trace.push(TraceEntry {
-            happened: happened.clone(),
-            timestamp_ms: state.timestamp_ms,
+            state: state.clone(),
         });
         // Event-declared timeouts (§3.4): when a timeout is associated with
         // an event and that event occurs, the checker requests a Wait.

@@ -30,6 +30,7 @@ use crate::pool::{self, Cancellation};
 use crate::report::{Counterexample, PhaseTimings, PropertyReport, Report, RunResult};
 use crate::run::{ActionSource, RunOutcome};
 use crate::session::Session;
+use quickstrom_protocol::TransportStats;
 use quickstrom_protocol::{ActionInstance, Executor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,6 +115,7 @@ struct ExecutedRun {
     actions: usize,
     result: RunResult,
     timings: PhaseTimings,
+    transport: TransportStats,
 }
 
 /// Executes the run at `index`: fresh executor, fresh RNG seeded from
@@ -143,6 +145,7 @@ fn run_one(
         actions: session.actions(),
         result,
         timings: session.timings(),
+        transport: session.transport(),
     })
 }
 
@@ -221,19 +224,20 @@ fn replay(
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
     script: &[ActionInstance],
-) -> Result<(RunOutcome, PhaseTimings), CheckError> {
+) -> Result<(RunOutcome, PhaseTimings, TransportStats), CheckError> {
     let mut session = Session::new(spec, check, property, options, make_executor());
     let mut source = ActionSource::Script {
         actions: script,
         pos: 0,
     };
     let outcome = session.drive(&mut source)?;
-    Ok((outcome, session.timings()))
+    Ok((outcome, session.timings(), session.transport()))
 }
 
 /// Minimises a failing script by removing chunks and replaying (a light
 /// delta-debugging pass). Not described in the paper — the real tool
 /// shrinks too — and documented as an extension in DESIGN.md.
+#[allow(clippy::too_many_arguments)] // internal: the two &mut accumulators push it over
 fn shrink(
     spec: &CompiledSpec,
     check: &CheckDef,
@@ -242,6 +246,7 @@ fn shrink(
     make_executor: MakeExecutor<'_>,
     mut failing: Counterexample,
     timings: &mut PhaseTimings,
+    transport: &mut TransportStats,
 ) -> Result<Counterexample, CheckError> {
     let mut budget = 200usize;
     let mut chunk = (failing.script.len() / 2).max(1);
@@ -253,9 +258,10 @@ fn shrink(
             let mut candidate: Vec<ActionInstance> = failing.script.clone();
             let end = (i + chunk).min(candidate.len());
             candidate.drain(i..end);
-            let (outcome, replay_timings) =
+            let (outcome, replay_timings, replay_transport) =
                 replay(spec, check, property, options, make_executor, &candidate)?;
             timings.absorb(replay_timings);
+            transport.absorb(replay_transport);
             match outcome {
                 RunOutcome::Result(RunResult::Failed(cx)) => {
                     failing = Counterexample { shrunk: true, ..cx };
@@ -320,10 +326,12 @@ pub fn check_property(
     let mut states_total = 0;
     let mut actions_total = 0;
     let mut timings = PhaseTimings::default();
+    let mut transport = TransportStats::default();
     for run in executed {
         states_total += run.states;
         actions_total += run.actions;
         timings.absorb(run.timings);
+        transport.absorb(run.transport);
         match run.result {
             RunResult::Failed(cx) => {
                 let cx = if options.shrink && cx.script.len() > 1 && !cx.forced {
@@ -335,6 +343,7 @@ pub fn check_property(
                         make_executor,
                         cx,
                         &mut timings,
+                        &mut transport,
                     )?
                 } else {
                     cx
@@ -350,6 +359,7 @@ pub fn check_property(
         states_total,
         actions_total,
         timings,
+        transport,
     })
 }
 

@@ -13,7 +13,7 @@ use crate::options::CheckOptions;
 use crate::report::PhaseTimings;
 use crate::run::{ActionSource, Run, RunOutcome};
 use crate::runner::CheckError;
-use quickstrom_protocol::{CheckerMsg, Executor, ExecutorMsg};
+use quickstrom_protocol::{CheckerMsg, Executor, ExecutorMsg, TransportStats};
 use specstrom::{CheckDef, CompiledSpec, Thunk};
 
 /// A [`Run`] coupled with the executor session that feeds it.
@@ -55,6 +55,11 @@ impl<'a> Session<'a> {
             executor_s: self.exec_time.as_secs_f64(),
             eval_s: self.run.eval_time.as_secs_f64(),
         }
+    }
+
+    /// The snapshot-transport accounting of this session's executor.
+    pub(crate) fn transport(&self) -> TransportStats {
+        self.executor.transport_stats()
     }
 
     /// States observed so far (trace length).

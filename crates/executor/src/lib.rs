@@ -15,6 +15,25 @@
 //! version is ignored, exactly reproducing the Figure 10 race,
 //! deterministically.
 //!
+//! ## The incremental snapshot pipeline
+//!
+//! Observation is dirty-tracked end to end. Rendering goes through a
+//! [`webdom::RenderCache`]: an unchanged view tree costs one comparison
+//! instead of a re-render, and each dependency selector's projected
+//! results are memoised per render generation — so unchanged documents
+//! answer every query without matching a single node, and pointer
+//! equality of the memoised [`QueryResults`] is a complete change test.
+//! After the initial full [`StateSnapshot`], every message ships a
+//! [`SnapshotDelta`] (per-selector element edits, monotone
+//! `state_version`) instead of a full state; the executor's record of
+//! "the last reported state" is just the memoised query handles plus that
+//! version number — no second snapshot copy exists anywhere.
+//! [`Executor::transport_stats`] reports what the wire carried versus the
+//! full-snapshot counterfactual. Set
+//! [`WebExecutorConfig::full_snapshots`] to ship complete snapshots
+//! instead; the two modes are observably identical (the differential
+//! tests pin verdicts, states and shrunk counterexamples bit-for-bit).
+//!
 //! The virtual clock makes every run replayable: given the same action
 //! script, the same trace results — which is what the checker's shrinker
 //! relies on.
@@ -24,10 +43,14 @@
 #![forbid(unsafe_code)]
 
 use quickstrom_protocol::{
-    ActionInstance, ActionKind, CheckerMsg, ElementState, Executor, ExecutorMsg, Key, Selector,
-    StateSnapshot,
+    ActionInstance, ActionKind, CheckerMsg, Executor, ExecutorMsg, Key, QueryResults, Selector,
+    SnapshotDelta, StateSnapshot, StateUpdate, TransportStats, DELTA_FORMAT_VERSION,
 };
-use webdom::{App, AppCtx, Document, EventKind, LocalStorage, Payload, SelectorExpr, VirtualClock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use webdom::{
+    App, AppCtx, EventKind, LocalStorage, Payload, RenderCache, SelectorExpr, VirtualClock,
+};
 
 /// Configuration for a [`WebExecutor`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,11 +59,31 @@ pub struct WebExecutorConfig {
     /// timers may fire (this is what makes the Figure 10 stale-action race
     /// reachable, deterministically).
     pub deliberation_ms: u64,
+    /// Ship [`SnapshotDelta`]s after the initial full snapshot (the
+    /// default). With `false`, every message carries a complete
+    /// [`StateSnapshot`] — observably identical, just more bytes.
+    pub deltas: bool,
 }
 
 impl Default for WebExecutorConfig {
     fn default() -> Self {
-        WebExecutorConfig { deliberation_ms: 1 }
+        WebExecutorConfig {
+            deliberation_ms: 1,
+            deltas: true,
+        }
+    }
+}
+
+impl WebExecutorConfig {
+    /// The default configuration with delta shipping disabled — every
+    /// state goes out as a full snapshot (the pre-incremental protocol,
+    /// kept for differential testing and as a cross-process fallback).
+    #[must_use]
+    pub fn full_snapshots() -> Self {
+        WebExecutorConfig {
+            deltas: false,
+            ..WebExecutorConfig::default()
+        }
     }
 }
 
@@ -56,9 +99,24 @@ pub struct WebExecutor<A> {
     clock: VirtualClock,
     storage: LocalStorage,
     dependencies: Vec<(Selector, SelectorExpr)>,
-    last_snapshot: StateSnapshot,
+    /// Dirty-tracked rendering and per-selector query memoisation.
+    cache: RenderCache,
+    /// The query results of the last reported state, positionally aligned
+    /// with `dependencies` — shared handles into the cache, not a snapshot
+    /// copy. Together with `trace_len` (the state version) this *is* the
+    /// executor's record of what the checker knows.
+    last_queries: Vec<QueryResults>,
+    /// Per-selector wire-size contributions of `last_queries` (aligned
+    /// with `dependencies`), and their sum — the O(changed)-maintained
+    /// full-snapshot counterfactual behind [`TransportStats::full_bytes`].
+    query_sizes: Vec<usize>,
+    full_queries_bytes: usize,
+    /// Whether the initial full snapshot has been sent (deltas only ever
+    /// follow a full base).
+    sent_initial: bool,
     trace_len: u64,
     started: bool,
+    stats: TransportStats,
     config: WebExecutorConfig,
 }
 
@@ -68,6 +126,7 @@ impl<A> std::fmt::Debug for WebExecutor<A> {
             .field("trace_len", &self.trace_len)
             .field("now_ms", &self.clock.now_ms())
             .field("started", &self.started)
+            .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
 }
@@ -91,9 +150,14 @@ impl<A: App> WebExecutor<A> {
             clock: VirtualClock::new(),
             storage: LocalStorage::new(),
             dependencies: Vec::new(),
-            last_snapshot: StateSnapshot::new(),
+            cache: RenderCache::new(),
+            last_queries: Vec::new(),
+            query_sizes: Vec::new(),
+            full_queries_bytes: 0,
+            sent_initial: false,
             trace_len: 0,
             started: false,
+            stats: TransportStats::default(),
             config,
         }
     }
@@ -105,37 +169,127 @@ impl<A: App> WebExecutor<A> {
         self.clock.now_ms()
     }
 
-    fn render(&self) -> Document {
-        Document::render(self.app.view())
+    /// Renders the current view through the dirty-tracking cache and
+    /// returns the memoised query results of every dependency selector,
+    /// positionally aligned with `dependencies`.
+    fn current_queries(&mut self) -> Vec<QueryResults> {
+        self.cache.render(self.app.view());
+        let cache = &mut self.cache;
+        self.dependencies
+            .iter()
+            .map(|(selector, expr)| cache.query(*selector, expr))
+            .collect()
     }
 
-    /// Projects one DOM node into the protocol's element state.
-    fn project(doc: &Document, id: webdom::NodeId) -> ElementState {
-        ElementState {
-            text: doc.text_content(id),
-            value: doc.value(id).to_owned(),
-            checked: doc.checked(id),
-            enabled: doc.enabled(id),
-            visible: doc.visible(id),
-            focused: doc.focused(id),
-            classes: doc.classes(id).to_vec(),
-            attributes: doc.attributes(id).clone(),
-        }
+    /// The dependency indices whose results changed since the last
+    /// reported state. Pointer equality is a complete test here: the
+    /// render cache revalidates (returns the previous allocation for)
+    /// every selector whose projections came out unchanged.
+    fn changed_since_last(&self, queries: &[QueryResults]) -> Vec<usize> {
+        queries
+            .iter()
+            .enumerate()
+            .filter(|(i, results)| match self.last_queries.get(*i) {
+                Some(last) => !Arc::ptr_eq(last, results),
+                None => true,
+            })
+            .map(|(i, _)| i)
+            .collect()
     }
 
-    fn snapshot(&self) -> StateSnapshot {
-        let doc = self.render();
-        let mut snap = StateSnapshot::new();
-        snap.timestamp_ms = self.clock.now_ms();
-        for (selector, expr) in &self.dependencies {
-            let elements: Vec<ElementState> = doc
-                .select(expr)
-                .into_iter()
-                .map(|id| Self::project(&doc, id))
-                .collect();
-            snap.queries.insert(*selector, elements);
+    /// Maps changed dependency indices to their selectors, in selector
+    /// order (the order events report in their `detail`).
+    fn changed_selectors(&self, changed: &[usize]) -> Vec<Selector> {
+        let mut selectors: Vec<Selector> =
+            changed.iter().map(|&i| self.dependencies[i].0).collect();
+        selectors.sort();
+        selectors.dedup();
+        selectors
+    }
+
+    /// Books a new state: bumps the version, maintains the wire-size
+    /// counterfactual, records transport stats, and returns the update to
+    /// ship — the initial (or full-mode) snapshot, or a delta against the
+    /// previous state.
+    fn emit_state(&mut self, queries: Vec<QueryResults>, changed: &[usize]) -> StateUpdate {
+        let timestamp_ms = self.clock.now_ms();
+        self.trace_len += 1;
+        self.query_sizes.resize(queries.len(), 0);
+        for &i in changed {
+            let entry = StateSnapshot::query_wire_size(&self.dependencies[i].0, &queries[i]);
+            let old = std::mem::replace(&mut self.query_sizes[i], entry);
+            self.full_queries_bytes = self.full_queries_bytes - old + entry;
         }
-        snap
+        // What a full snapshot of this state would cost on the wire.
+        let full_equivalent = StateSnapshot::full_update_wire_size(self.full_queries_bytes);
+        let delta = if self.config.deltas && self.sent_initial {
+            let mut changes = BTreeMap::new();
+            for &i in changed {
+                let base = self.last_queries.get(i).map_or(&[][..], |r| r);
+                // The change list only holds provably changed selectors
+                // (pointer inequality), so the element-level diff is
+                // always Some — but tolerate None rather than ship an
+                // empty edit.
+                if let Some(edit) = quickstrom_protocol::delta::diff_results(base, &queries[i]) {
+                    changes.insert(self.dependencies[i].0, edit);
+                }
+            }
+            let delta = SnapshotDelta {
+                format: DELTA_FORMAT_VERSION,
+                state_version: self.trace_len,
+                changes,
+                happened: Vec::new(),
+                timestamp_ms,
+            };
+            // Adaptive fallback: a step that rewrote most of the document
+            // (a re-sort, a filter flip) produces a delta as large as the
+            // snapshot itself — then the full form is strictly better, on
+            // the wire *and* in process (the receiver reuses its shared
+            // allocations instead of patching element lists).
+            if 1 + delta.wire_size() < full_equivalent {
+                Some(delta)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let update = match delta {
+            Some(delta) => StateUpdate::Delta(delta),
+            None => {
+                self.sent_initial = true;
+                StateUpdate::Full(StateSnapshot {
+                    queries: self
+                        .dependencies
+                        .iter()
+                        .zip(&queries)
+                        .map(|((selector, _), results)| (*selector, Arc::clone(results)))
+                        .collect(),
+                    happened: Vec::new(),
+                    timestamp_ms,
+                })
+            }
+        };
+        self.stats.record(&update, full_equivalent, changed.len());
+        self.last_queries = queries;
+        update
+    }
+
+    /// Observes the current state and, when any instrumented selector
+    /// changed, emits a `changed?` event carrying the update.
+    fn emit_if_changed(&mut self, out: &mut Vec<ExecutorMsg>) {
+        let queries = self.current_queries();
+        let changed = self.changed_since_last(&queries);
+        if changed.is_empty() {
+            return;
+        }
+        let detail = self.changed_selectors(&changed);
+        let update = self.emit_state(queries, &changed);
+        out.push(ExecutorMsg::Event {
+            event: "changed?".to_owned(),
+            detail,
+            state: update,
+        });
     }
 
     /// Fires app timers due within the next `delta_ms` of virtual time; for
@@ -150,20 +304,6 @@ impl<A: App> WebExecutor<A> {
             };
             self.app.on_timer(&tag, &mut ctx);
             self.emit_if_changed(out);
-        }
-    }
-
-    fn emit_if_changed(&mut self, out: &mut Vec<ExecutorMsg>) {
-        let snap = self.snapshot();
-        if snap.queries_differ(&self.last_snapshot) {
-            let detail = self.last_snapshot.changed_selectors(&snap);
-            self.last_snapshot = snap.clone();
-            self.trace_len += 1;
-            out.push(ExecutorMsg::Event {
-                event: "changed?".to_owned(),
-                detail,
-                state: snap,
-            });
         }
     }
 
@@ -190,10 +330,10 @@ impl<A: App> WebExecutor<A> {
                 }
                 _ => {
                     self.clock.advance_to(deadline);
-                    let snap = self.snapshot();
-                    self.last_snapshot = snap.clone();
-                    self.trace_len += 1;
-                    out.push(ExecutorMsg::Timeout { state: snap });
+                    let queries = self.current_queries();
+                    let changed = self.changed_since_last(&queries);
+                    let update = self.emit_state(queries, &changed);
+                    out.push(ExecutorMsg::Timeout { state: update });
                     return;
                 }
             }
@@ -206,13 +346,13 @@ impl<A: App> WebExecutor<A> {
             storage: &mut self.storage,
         };
         self.app.start(&mut ctx);
-        let snap = self.snapshot();
-        self.last_snapshot = snap.clone();
-        self.trace_len += 1;
+        let queries = self.current_queries();
+        let changed: Vec<usize> = (0..queries.len()).collect();
+        let update = self.emit_state(queries, &changed);
         out.push(ExecutorMsg::Event {
             event: "loaded?".to_owned(),
             detail: Vec::new(),
-            state: snap,
+            state: update,
         });
     }
 
@@ -235,7 +375,18 @@ impl<A: App> WebExecutor<A> {
                 self.app.start(&mut ctx);
             }
             kind => {
-                let doc = self.render();
+                // After Start, the cached document is always current at
+                // message entry: every path that mutates the app (boot,
+                // pump, perform, reload) re-renders before handing control
+                // back, so the checker's (selector, index) target resolves
+                // against exactly the state it was chosen from. An Act
+                // before Start is protocol misuse (debug-asserted in
+                // `send`), but must stay a well-defined no-op reply in
+                // release builds, not a cache panic — render on demand.
+                if !self.started {
+                    self.cache.render(self.app.view());
+                }
+                let doc = self.cache.document();
                 let target = action.target.as_ref().and_then(|(selector, index)| {
                     let expr = SelectorExpr::parse(selector.as_str()).ok()?;
                     doc.select(&expr).get(*index).copied()
@@ -274,10 +425,10 @@ impl<A: App> WebExecutor<A> {
                 }
             }
         }
-        let snap = self.snapshot();
-        self.last_snapshot = snap.clone();
-        self.trace_len += 1;
-        out.push(ExecutorMsg::Acted { state: snap });
+        let queries = self.current_queries();
+        let changed = self.changed_since_last(&queries);
+        let update = self.emit_state(queries, &changed);
+        out.push(ExecutorMsg::Acted { state: update });
     }
 }
 
@@ -294,6 +445,17 @@ impl<A: App> Executor for WebExecutor<A> {
                         (sel, expr)
                     })
                     .collect();
+                // A Start opens a *new session*: versions restart from
+                // zero and the first state must be a full snapshot again
+                // (a delta against a previous session's base — possibly
+                // over a different dependency list — would be rejected or,
+                // worse, mis-applied by a fresh checker).
+                self.last_queries = Vec::new();
+                self.query_sizes = Vec::new();
+                self.full_queries_bytes = 0;
+                self.sent_initial = false;
+                self.trace_len = 0;
+                self.stats = TransportStats::default();
                 self.started = true;
                 self.boot(&mut out);
                 // Immediately-due timers (e.g. zero-delay init work).
@@ -326,6 +488,10 @@ impl<A: App> Executor for WebExecutor<A> {
             CheckerMsg::End => {}
         }
         out
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        self.stats
     }
 }
 

@@ -1,11 +1,27 @@
 //! Behavioural tests for the web executor: Acted/Event/Timeout semantics,
 //! the Figure 10 staleness race, action-timeout waits, and `reload!`.
 
-use quickstrom_executor::WebExecutor;
+use quickstrom_executor::{WebExecutor, WebExecutorConfig};
 use quickstrom_protocol::{
-    ActionInstance, ActionKind, CheckerMsg, Executor, ExecutorMsg, Key, Selector,
+    ActionInstance, ActionKind, CheckerMsg, Executor, ExecutorMsg, Key, Selector, StateSnapshot,
+    StateUpdate,
 };
 use webdom::{App, AppCtx, El, EventKind, Payload};
+
+/// Reconstructs the states carried by a batch of replies, delta-aware —
+/// exactly what a remote checker does with the update stream.
+fn absorb(last: &mut Option<StateSnapshot>, msgs: &[ExecutorMsg]) -> Vec<StateSnapshot> {
+    msgs.iter()
+        .map(|m| {
+            let s = m
+                .update()
+                .resolve(last.as_ref())
+                .expect("resolvable update");
+            *last = Some(s.clone());
+            s
+        })
+        .collect()
+}
 
 /// An app with a counter button and an async "echo" area updated by a 0ms
 /// timer after each click — enough to exercise Acted, changed? events,
@@ -78,7 +94,8 @@ fn start_reports_loaded() {
     match &replies[0] {
         ExecutorMsg::Event { event, state, .. } => {
             assert_eq!(event, "loaded?");
-            assert_eq!(state.first(&"#count".into()).unwrap().text, "0");
+            let full = state.full().expect("initial state is full");
+            assert_eq!(full.first(&"#count".into()).unwrap().text, "0");
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -87,40 +104,37 @@ fn start_reports_loaded() {
 #[test]
 fn acting_updates_state() {
     let mut e = exec();
-    start_deps(&mut e, &["#count"]);
+    let mut last = None;
+    absorb(&mut last, &start_deps(&mut e, &["#count"]));
     let replies = e.send(click_inc(1));
     assert_eq!(replies.len(), 1);
-    match &replies[0] {
-        ExecutorMsg::Acted { state } => {
-            assert_eq!(state.first(&"#count".into()).unwrap().text, "1");
-        }
-        other => panic!("unexpected {other:?}"),
-    }
+    assert!(replies[0].is_acted());
+    let states = absorb(&mut last, &replies);
+    assert_eq!(states[0].first(&"#count".into()).unwrap().text, "1");
 }
 
 #[test]
 fn async_echo_surfaces_as_changed_event_and_stales_the_next_act() {
     let mut e = exec();
-    start_deps(&mut e, &["#count", "#echo"]);
+    let mut last = None;
+    absorb(&mut last, &start_deps(&mut e, &["#count", "#echo"]));
     // Click: count=1, a 0ms echo timer is scheduled.
     let r1 = e.send(click_inc(1));
     assert_eq!(r1.len(), 1, "echo not yet fired: {r1:?}");
+    absorb(&mut last, &r1);
     // The checker decides its next action based on trace length 2, but
     // during deliberation the echo timer fires → Event, version stale.
     let r2 = e.send(click_inc(2));
     assert_eq!(r2.len(), 1);
     match &r2[0] {
-        ExecutorMsg::Event {
-            event,
-            detail,
-            state,
-        } => {
+        ExecutorMsg::Event { event, detail, .. } => {
             assert_eq!(event, "changed?");
             assert_eq!(detail, &vec![Selector::new("#echo")]);
-            assert_eq!(state.first(&"#echo".into()).unwrap().text, "1");
         }
         other => panic!("unexpected {other:?}"),
     }
+    let states = absorb(&mut last, &r2);
+    assert_eq!(states[0].first(&"#echo".into()).unwrap().text, "1");
     // Retry with the updated version: accepted.
     let r3 = e.send(click_inc(3));
     assert!(r3.iter().any(ExecutorMsg::is_acted));
@@ -129,20 +143,17 @@ fn async_echo_surfaces_as_changed_event_and_stales_the_next_act() {
 #[test]
 fn wait_returns_event_when_app_changes() {
     let mut e = exec();
-    start_deps(&mut e, &["#blink"]);
+    let mut last = None;
+    absorb(&mut last, &start_deps(&mut e, &["#blink"]));
     // The blink interval fires at 500ms; a 1000ms wait is interrupted.
     let replies = e.send(CheckerMsg::Wait {
         time_ms: 1000,
         version: 1,
     });
     assert_eq!(replies.len(), 1);
-    match &replies[0] {
-        ExecutorMsg::Event { event, state, .. } => {
-            assert_eq!(event, "changed?");
-            assert_eq!(state.first(&"#blink".into()).unwrap().text, "on");
-        }
-        other => panic!("unexpected {other:?}"),
-    }
+    assert!(matches!(&replies[0], ExecutorMsg::Event { event, .. } if event == "changed?"));
+    let states = absorb(&mut last, &replies);
+    assert_eq!(states[0].first(&"#blink".into()).unwrap().text, "on");
     assert!(e.now_ms() <= 501);
 }
 
@@ -163,31 +174,28 @@ fn wait_times_out_without_observable_change() {
 #[test]
 fn act_with_timeout_waits_for_event() {
     let mut e = exec();
-    start_deps(&mut e, &["#count", "#echo"]);
+    let mut last = None;
+    absorb(&mut last, &start_deps(&mut e, &["#count", "#echo"]));
     let action = ActionInstance::targeted("inc!", ActionKind::Click, "#inc", 0).with_timeout(100);
     let replies = e.send(CheckerMsg::Act { action, version: 1 });
     // Acted (count=1) then the echo event (echo=1).
     assert_eq!(replies.len(), 2);
     assert!(replies[0].is_acted());
-    match &replies[1] {
-        ExecutorMsg::Event { state, .. } => {
-            assert_eq!(state.first(&"#echo".into()).unwrap().text, "1");
-        }
-        other => panic!("unexpected {other:?}"),
-    }
+    assert!(matches!(&replies[1], ExecutorMsg::Event { .. }));
+    let states = absorb(&mut last, &replies);
+    assert_eq!(states[1].first(&"#echo".into()).unwrap().text, "1");
 }
 
 #[test]
 fn actions_on_missing_targets_are_noops() {
     let mut e = exec();
-    start_deps(&mut e, &["#count"]);
+    let mut last = None;
+    absorb(&mut last, &start_deps(&mut e, &["#count"]));
     let action = ActionInstance::targeted("ghost!", ActionKind::Click, "#ghost", 0);
     let replies = e.send(CheckerMsg::Act { action, version: 1 });
     assert!(replies[0].is_acted());
-    assert_eq!(
-        replies[0].state().first(&"#count".into()).unwrap().text,
-        "0"
-    );
+    let states = absorb(&mut last, &replies);
+    assert_eq!(states[0].first(&"#count".into()).unwrap().text, "0");
 }
 
 #[test]
@@ -253,9 +261,13 @@ fn input_and_keypress_route_payloads() {
     }
 
     let mut e = WebExecutor::new(Form::default);
-    e.send(CheckerMsg::Start {
-        dependencies: vec![Selector::new("#field"), Selector::new("#status")],
-    });
+    let mut last = None;
+    absorb(
+        &mut last,
+        &e.send(CheckerMsg::Start {
+            dependencies: vec![Selector::new("#field"), Selector::new("#status")],
+        }),
+    );
     let r = e.send(CheckerMsg::Act {
         action: ActionInstance::targeted(
             "type!",
@@ -265,12 +277,14 @@ fn input_and_keypress_route_payloads() {
         ),
         version: 1,
     });
-    assert_eq!(r[0].state().first(&"#field".into()).unwrap().value, "hello");
+    let states = absorb(&mut last, &r);
+    assert_eq!(states[0].first(&"#field".into()).unwrap().value, "hello");
     let r2 = e.send(CheckerMsg::Act {
         action: ActionInstance::targeted("submit!", ActionKind::KeyPress(Key::Enter), "#field", 0),
         version: 2,
     });
-    assert_eq!(r2[0].state().first(&"#status".into()).unwrap().text, "sent");
+    let states = absorb(&mut last, &r2);
+    assert_eq!(states[0].first(&"#status".into()).unwrap().text, "sent");
 }
 
 #[test]
@@ -311,18 +325,115 @@ fn reload_preserves_storage_but_resets_the_app() {
     }
 
     let mut e = WebExecutor::new(Persisting::default);
-    e.send(CheckerMsg::Start {
-        dependencies: vec![Selector::new("#count"), Selector::new("#from-storage")],
-    });
-    e.send(CheckerMsg::Act {
-        action: ActionInstance::targeted("inc!", ActionKind::Click, "#inc", 0),
-        version: 1,
-    });
+    let mut last = None;
+    absorb(
+        &mut last,
+        &e.send(CheckerMsg::Start {
+            dependencies: vec![Selector::new("#count"), Selector::new("#from-storage")],
+        }),
+    );
+    absorb(
+        &mut last,
+        &e.send(CheckerMsg::Act {
+            action: ActionInstance::targeted("inc!", ActionKind::Click, "#inc", 0),
+            version: 1,
+        }),
+    );
     let r = e.send(CheckerMsg::Act {
         action: ActionInstance::untargeted("reload!", ActionKind::Reload),
         version: 2,
     });
-    let state = r[0].state();
-    assert_eq!(state.first(&"#count".into()).unwrap().text, "1");
-    assert_eq!(state.first(&"#from-storage".into()).unwrap().text, "yes");
+    let states = absorb(&mut last, &r);
+    assert_eq!(states[0].first(&"#count".into()).unwrap().text, "1");
+    assert_eq!(
+        states[0].first(&"#from-storage".into()).unwrap().text,
+        "yes"
+    );
+}
+
+#[test]
+fn deltas_ship_only_changed_selectors_and_stats_account_for_it() {
+    let mut e = exec();
+    let mut last = None;
+    let r0 = start_deps(&mut e, &["#blink", "#count", "#echo"]);
+    assert!(!r0[0].update().is_delta(), "first state must be full");
+    absorb(&mut last, &r0);
+    // A click changes #count only; the delta must touch exactly it.
+    let r1 = e.send(click_inc(1));
+    match r1[0].update() {
+        StateUpdate::Delta(d) => {
+            assert_eq!(d.state_version, 2);
+            assert_eq!(d.changed_selectors(), vec![Selector::new("#count")]);
+        }
+        other => panic!("expected a delta, got {other:?}"),
+    }
+    absorb(&mut last, &r1);
+    let stats = e.transport_stats();
+    assert_eq!(stats.states, 2);
+    assert_eq!(stats.full_states, 1);
+    assert_eq!(stats.delta_states, 1);
+    assert_eq!(stats.changed_selectors, 3 + 1);
+    assert!(
+        stats.shipped_bytes < stats.full_bytes,
+        "the delta must be cheaper than two full snapshots: {stats:?}"
+    );
+}
+
+#[test]
+fn full_snapshot_mode_produces_identical_states() {
+    let script: Vec<CheckerMsg> = vec![
+        click_inc(1),
+        click_inc(2),
+        click_inc(3),
+        CheckerMsg::Wait {
+            time_ms: 600,
+            version: 4,
+        },
+    ];
+    let drive = |config: WebExecutorConfig| -> Vec<StateSnapshot> {
+        let mut e = WebExecutor::with_config(Echoing::default, config);
+        let mut last = None;
+        let mut states = absorb(
+            &mut last,
+            &start_deps(&mut e, &["#blink", "#count", "#echo"]),
+        );
+        for msg in &script {
+            states.extend(absorb(&mut last, &e.send(msg.clone())));
+        }
+        states
+    };
+    let delta_states = drive(WebExecutorConfig::default());
+    let full_states = drive(WebExecutorConfig::full_snapshots());
+    assert_eq!(delta_states, full_states);
+    assert!(delta_states.len() > 3);
+}
+
+/// A second `Start` opens a new session: the first state is a full
+/// snapshot again (a delta against the old session's base — possibly
+/// over different selectors — would be rejected by a fresh checker),
+/// versions restart, and transport stats count the new session only.
+#[test]
+fn restarting_a_session_sends_a_full_snapshot_again() {
+    let mut e = exec();
+    let mut last = None;
+    absorb(&mut last, &start_deps(&mut e, &["#count", "#echo"]));
+    absorb(&mut last, &e.send(click_inc(1)));
+    assert_eq!(e.transport_stats().delta_states, 1);
+
+    // New session, different dependency list.
+    let r = start_deps(&mut e, &["#blink", "#count"]);
+    assert!(
+        !r[0].update().is_delta(),
+        "session restart must resend full"
+    );
+    let mut fresh = None;
+    let states = absorb(&mut fresh, &r);
+    assert_eq!(states[0].first(&"#count".into()).unwrap().text, "1");
+    assert!(states[0].queries.contains_key(&Selector::new("#blink")));
+    let stats = e.transport_stats();
+    assert_eq!((stats.full_states, stats.delta_states), (1, 0));
+
+    // Versions restart from the new session's trace: version 1 is fresh.
+    let r2 = e.send(click_inc(1));
+    assert!(r2.iter().any(ExecutorMsg::is_acted));
 }

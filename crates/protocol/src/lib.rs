@@ -33,18 +33,32 @@
 //! carries the length of the trace as the checker knows it; an executor
 //! whose trace has since grown ignores the stale request, and the checker,
 //! upon seeing the event notifications that grew the trace, re-decides.
+//!
+//! ## Incremental state (beyond Figure 9)
+//!
+//! Executor messages carry a [`StateUpdate`] rather than a bare snapshot:
+//! after the initial full [`StateSnapshot`], an incremental executor ships
+//! [`SnapshotDelta`]s — per-selector element edits plus a monotone
+//! `state_version` — and the checker reconstructs states by applying them
+//! onto the previous state ([`StateUpdate::resolve`]), sharing the query
+//! results of every unchanged selector. See the [`delta`] module docs for
+//! the algebra and its guarantees.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod delta;
 pub mod intern;
 pub mod messages;
 pub mod snapshot;
 
+pub use delta::{
+    DeltaError, QueryDelta, SnapshotDelta, StateUpdate, TransportStats, DELTA_FORMAT_VERSION,
+};
 pub use intern::{sym, Symbol};
 pub use messages::{ActionInstance, ActionKind, CheckerMsg, ExecutorMsg, Key};
-pub use snapshot::{ElementState, Selector, StateSnapshot};
+pub use snapshot::{ElementState, QueryResults, Selector, StateSnapshot};
 
 /// An executor for the Quickstrom protocol.
 ///
@@ -55,14 +69,30 @@ pub use snapshot::{ElementState, Selector, StateSnapshot};
 /// [`CheckerMsg::Act`] produces no [`ExecutorMsg::Acted`]; the returned
 /// events are exactly the notifications the checker had not yet seen
 /// (Figure 10's race, made deterministic).
+///
+/// State payloads are [`StateUpdate`]s: the first message of a session
+/// carries a full [`StateSnapshot`], and an incremental executor ships
+/// [`SnapshotDelta`]s from then on. Executors that never compute deltas
+/// simply wrap every snapshot in [`StateUpdate::Full`].
 pub trait Executor {
     /// Delivers one checker message; returns the executor's replies in
     /// order.
     fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg>;
+
+    /// Transport statistics accumulated over this session so far (bytes
+    /// shipped vs the full-snapshot counterfactual, delta counts).
+    /// Executors that don't track transport report empty stats.
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
 }
 
 impl<T: Executor + ?Sized> Executor for Box<T> {
     fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg> {
         (**self).send(msg)
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        (**self).transport_stats()
     }
 }

@@ -1,5 +1,6 @@
 //! The checker/executor messages of Figure 9, and the action vocabulary.
 
+use crate::delta::StateUpdate;
 use crate::snapshot::{Selector, StateSnapshot};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -162,6 +163,12 @@ pub enum CheckerMsg {
 }
 
 /// Messages from the executor to the checker (Figure 9, right column).
+///
+/// Each variant carries a [`StateUpdate`]: the first message of a session
+/// is always a full [`StateSnapshot`]; from then on an incremental
+/// executor sends [`SnapshotDelta`](crate::SnapshotDelta)s against the
+/// previously reported state. Receivers reconstruct the state with
+/// [`StateUpdate::resolve`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecutorMsg {
     /// An event occurred (asynchronously, or the initial `loaded?`), along
@@ -172,31 +179,67 @@ pub enum ExecutorMsg {
         /// For `changed?`, the selectors whose projections changed (one
         /// asynchronous update may touch several instrumented selectors).
         detail: Vec<Selector>,
-        /// The updated state.
-        state: StateSnapshot,
+        /// The updated state (full or incremental).
+        state: StateUpdate,
     },
     /// An action was performed, along with the updated state.
     Acted {
-        /// The updated state.
-        state: StateSnapshot,
+        /// The updated state (full or incremental).
+        state: StateUpdate,
     },
     /// A requested timeout elapsed without an event, along with the
     /// (possibly updated) state.
     Timeout {
-        /// The current state.
-        state: StateSnapshot,
+        /// The current state (full or incremental).
+        state: StateUpdate,
     },
 }
 
 impl ExecutorMsg {
-    /// The state carried by this message.
+    /// An [`Event`](ExecutorMsg::Event) message (`state` may be a full
+    /// snapshot or a delta).
+    pub fn event(
+        event: impl Into<String>,
+        detail: Vec<Selector>,
+        state: impl Into<StateUpdate>,
+    ) -> Self {
+        ExecutorMsg::Event {
+            event: event.into(),
+            detail,
+            state: state.into(),
+        }
+    }
+
+    /// An [`Acted`](ExecutorMsg::Acted) message.
+    pub fn acted(state: impl Into<StateUpdate>) -> Self {
+        ExecutorMsg::Acted {
+            state: state.into(),
+        }
+    }
+
+    /// A [`Timeout`](ExecutorMsg::Timeout) message.
+    pub fn timeout(state: impl Into<StateUpdate>) -> Self {
+        ExecutorMsg::Timeout {
+            state: state.into(),
+        }
+    }
+
+    /// The state update carried by this message.
     #[must_use]
-    pub fn state(&self) -> &StateSnapshot {
+    pub fn update(&self) -> &StateUpdate {
         match self {
             ExecutorMsg::Event { state, .. }
             | ExecutorMsg::Acted { state }
             | ExecutorMsg::Timeout { state } => state,
         }
+    }
+
+    /// The full snapshot carried by this message, when the update is not
+    /// incremental (use [`StateUpdate::resolve`] to reconstruct states
+    /// from a delta-mode executor).
+    #[must_use]
+    pub fn full_state(&self) -> Option<&StateSnapshot> {
+        self.update().full()
     }
 
     /// `true` for `Acted` replies.
@@ -246,17 +289,15 @@ mod tests {
     #[test]
     fn executor_msg_state_access() {
         let s = StateSnapshot::new();
-        let m = ExecutorMsg::Acted { state: s.clone() };
-        assert_eq!(m.state(), &s);
+        let m = ExecutorMsg::acted(s.clone());
+        assert_eq!(m.full_state(), Some(&s));
+        assert_eq!(m.update().resolve(None).unwrap(), s);
         assert!(m.is_acted());
-        let e = ExecutorMsg::Event {
-            event: "loaded?".into(),
-            detail: Vec::new(),
-            state: s.clone(),
-        };
+        let e = ExecutorMsg::event("loaded?", Vec::new(), s.clone());
         assert!(!e.is_acted());
-        let t = ExecutorMsg::Timeout { state: s };
+        let t = ExecutorMsg::timeout(s);
         assert!(!t.is_acted());
+        assert!(!t.update().is_delta());
     }
 
     #[test]

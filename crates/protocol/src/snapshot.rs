@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A CSS selector, as written between backticks in a Specstrom
 /// specification.
@@ -156,7 +157,34 @@ impl ElementState {
     pub fn has_class(&self, class: &str) -> bool {
         self.classes.iter().any(|c| c == class)
     }
+
+    /// An estimate of this projection's encoded size on a wire, in bytes
+    /// (see [`StateSnapshot::wire_size`] for the encoding model).
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        let strings = |s: &str| 4 + s.len();
+        strings(&self.text)
+            + strings(&self.value)
+            + 4 // the four booleans
+            + 4
+            + self.classes.iter().map(|c| strings(c)).sum::<usize>()
+            + 4
+            + self
+                .attributes
+                .iter()
+                .map(|(k, v)| strings(k.as_str()) + strings(v))
+                .sum::<usize>()
+    }
 }
+
+/// The shared element-list type of per-selector query results.
+///
+/// Query results are reference-counted so that snapshots, deltas applied
+/// onto them, and recorded traces all share the same allocation for
+/// selectors whose projections did not change between states: cloning a
+/// [`StateSnapshot`] or keeping one per trace step costs O(selectors)
+/// pointer bumps, not a deep copy of every element.
+pub type QueryResults = Arc<Vec<ElementState>>;
 
 /// A snapshot of all relevant state at one moment of the trace.
 ///
@@ -168,8 +196,12 @@ impl ElementState {
 /// requested and fills it in — but sets it for `Event` states.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StateSnapshot {
-    /// Selector → matched element projections, in document order.
-    pub queries: BTreeMap<Selector, Vec<ElementState>>,
+    /// Selector → matched element projections, in document order. The
+    /// element lists are [`Arc`]-shared ([`QueryResults`]): cloning a
+    /// snapshot, applying a [`SnapshotDelta`](crate::SnapshotDelta) onto
+    /// it, or recording it in a trace shares the allocations of every
+    /// unchanged selector.
+    pub queries: BTreeMap<Selector, QueryResults>,
     /// Names of actions/events that produced this state.
     pub happened: Vec<String>,
     /// Virtual time at which the snapshot was taken, in milliseconds.
@@ -183,10 +215,21 @@ impl StateSnapshot {
         StateSnapshot::default()
     }
 
+    /// Inserts a selector's matched elements (wrapping them in the shared
+    /// [`QueryResults`] representation).
+    pub fn insert_query(&mut self, selector: impl Into<Selector>, elements: Vec<ElementState>) {
+        self.queries.insert(selector.into(), Arc::new(elements));
+    }
+
+    /// Inserts an already-shared result list without copying the elements.
+    pub fn insert_shared(&mut self, selector: impl Into<Selector>, elements: QueryResults) {
+        self.queries.insert(selector.into(), elements);
+    }
+
     /// The elements matched by `selector`, or an empty slice.
     #[must_use]
     pub fn matches(&self, selector: &Selector) -> &[ElementState] {
-        self.queries.get(selector).map_or(&[], Vec::as_slice)
+        self.queries.get(selector).map_or(&[], |r| r.as_slice())
     }
 
     /// The first element matched by `selector`, if any.
@@ -202,20 +245,46 @@ impl StateSnapshot {
     }
 
     /// Returns `true` when the queried projections (not `happened` or the
-    /// timestamp) differ between the two snapshots — the executor's change
-    /// detection for `changed?` events.
+    /// timestamp) differ between the two snapshots. This is the semantic
+    /// definition of "changed" that [`changed_selectors`] and the delta
+    /// algebra agree with (the incremental executor itself detects change
+    /// cheaper, by pointer equality over its memoised query handles).
+    /// Stops at the first difference; selectors sharing the same
+    /// [`QueryResults`] allocation compare in O(1).
+    ///
+    /// [`changed_selectors`]: StateSnapshot::changed_selectors
     #[must_use]
     pub fn queries_differ(&self, other: &StateSnapshot) -> bool {
-        self.queries != other.queries
+        for (sel, elems) in &self.queries {
+            match other.queries.get(sel) {
+                Some(theirs) => {
+                    if !Arc::ptr_eq(elems, theirs) && elems != theirs {
+                        return true;
+                    }
+                }
+                None => return true,
+            }
+        }
+        other
+            .queries
+            .keys()
+            .any(|sel| !self.queries.contains_key(sel))
     }
 
-    /// The selectors whose projections differ between the two snapshots.
+    /// The selectors whose projections differ between the two snapshots
+    /// (in either direction — the relation is symmetric), in selector
+    /// order. Shared allocations short-circuit the element comparison.
     #[must_use]
     pub fn changed_selectors(&self, other: &StateSnapshot) -> Vec<Selector> {
         let mut changed = Vec::new();
         for (sel, elems) in &self.queries {
-            if other.queries.get(sel) != Some(elems) {
-                changed.push(*sel);
+            match other.queries.get(sel) {
+                Some(theirs) => {
+                    if !Arc::ptr_eq(elems, theirs) && elems != theirs {
+                        changed.push(*sel);
+                    }
+                }
+                None => changed.push(*sel),
             }
         }
         for sel in other.queries.keys() {
@@ -227,6 +296,49 @@ impl StateSnapshot {
         changed.dedup();
         changed
     }
+
+    /// An estimate of this snapshot's encoded size on a wire, in bytes.
+    ///
+    /// The model is a compact tagged binary encoding: 4-byte length
+    /// prefixes for strings and collections, 8 bytes per integer, 1 byte
+    /// per boolean, and symbols serialized as their text (a cross-process
+    /// transport cannot ship process-local intern indices — see the crate
+    /// docs). The vendored offline `serde` is a no-op shim, so this
+    /// deterministic estimate is what the transport statistics
+    /// ([`crate::TransportStats`]) are measured in.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        let strings = |s: &str| 4 + s.len();
+        4 + self
+            .queries
+            .iter()
+            .map(|(sel, elems)| StateSnapshot::query_wire_size(sel, elems))
+            .sum::<usize>()
+            + 4
+            + self.happened.iter().map(|h| strings(h)).sum::<usize>()
+            + 8 // timestamp_ms
+    }
+
+    /// The wire-size contribution of one selector's entry in `queries` —
+    /// the per-selector term of [`StateSnapshot::wire_size`], exposed so
+    /// executors can maintain a running full-snapshot counterfactual in
+    /// O(changed) without re-stating the encoding model.
+    #[must_use]
+    pub fn query_wire_size(selector: &Selector, elements: &[ElementState]) -> usize {
+        4 + selector.as_str().len()
+            + 4
+            + elements.iter().map(ElementState::wire_size).sum::<usize>()
+    }
+
+    /// The wire size of a [`StateUpdate::Full`](crate::StateUpdate)
+    /// carrying a snapshot whose query entries total `queries_bytes` and
+    /// whose `happened` list is empty (executors leave `happened` to the
+    /// checker): the variant tag plus the framing of
+    /// [`StateSnapshot::wire_size`].
+    #[must_use]
+    pub fn full_update_wire_size(queries_bytes: usize) -> usize {
+        1 + 4 + queries_bytes + 4 + 8
+    }
 }
 
 #[cfg(test)]
@@ -236,7 +348,7 @@ mod tests {
     fn snap(pairs: &[(&str, &[&str])]) -> StateSnapshot {
         let mut s = StateSnapshot::new();
         for (sel, texts) in pairs {
-            s.queries.insert(
+            s.insert_query(
                 Selector::new(*sel),
                 texts.iter().map(|t| ElementState::with_text(*t)).collect(),
             );
@@ -289,6 +401,25 @@ mod tests {
         let c = snap(&[("#a", &["y"])]);
         assert!(a.queries_differ(&c));
         assert_eq!(a.changed_selectors(&c), vec![Selector::new("#a")]);
+    }
+
+    #[test]
+    fn clones_share_query_allocations() {
+        let a = snap(&[("#a", &["x"]), (".items", &["1", "2"])]);
+        let b = a.clone();
+        let sel = Selector::new("#a");
+        assert!(Arc::ptr_eq(&a.queries[&sel], &b.queries[&sel]));
+        // Shared allocations still compare equal (and cheaply).
+        assert!(!a.queries_differ(&b));
+    }
+
+    #[test]
+    fn wire_size_tracks_content() {
+        let small = snap(&[("#a", &["x"])]);
+        let big = snap(&[("#a", &["x"]), (".items", &["one", "two", "three"])]);
+        assert!(big.wire_size() > small.wire_size());
+        let empty = StateSnapshot::new();
+        assert_eq!(empty.wire_size(), 4 + 4 + 8);
     }
 
     #[test]

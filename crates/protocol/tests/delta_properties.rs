@@ -1,0 +1,140 @@
+//! Property-based tests for the snapshot algebra: `diff`/`apply`
+//! round-trips over generated snapshots, symmetry and agreement of the
+//! change-detection primitives, and wire-size sanity.
+//!
+//! These are the laws the incremental pipeline rests on: the executor
+//! ships `diff(base, next)` and the checker applies it onto its copy of
+//! `base`, so the round-trip must reproduce `next` *exactly* — any slack
+//! here would surface as delta-mode traces diverging from full-mode
+//! traces (which `crates/bench/tests/differential_delta.rs` pins at the
+//! checker level).
+
+use proptest::prelude::*;
+use quickstrom_protocol::{ElementState, Selector, SnapshotDelta, StateSnapshot, Symbol};
+
+const SELECTORS: &[&str] = &[
+    "#a",
+    "#b",
+    ".rows",
+    ".rows .cell",
+    "input:checked",
+    ".footer",
+];
+const TEXTS: &[&str] = &["", "x", "row", "buy milk", "déjà vu", "  pad  "];
+const CLASSES: &[&str] = &["selected", "completed", "active"];
+const ATTRS: &[(&str, &str)] = &[("href", "#/all"), ("rel", "x"), ("data-k", "v")];
+
+fn gen_element() -> impl Strategy<Value = ElementState> {
+    (
+        prop::sample::select(TEXTS),
+        prop::sample::select(TEXTS),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec(prop::sample::select(CLASSES), 0..3),
+        prop::collection::vec(prop::sample::select(ATTRS), 0..2),
+    )
+        .prop_map(|(text, value, checked, enabled, visible, classes, attrs)| {
+            let mut e = ElementState {
+                text: text.to_owned(),
+                value: value.to_owned(),
+                checked,
+                enabled,
+                visible,
+                ..ElementState::default()
+            };
+            e.classes = classes.into_iter().map(str::to_owned).collect();
+            e.classes.sort();
+            e.classes.dedup();
+            for (k, v) in attrs {
+                e.attributes.insert(Symbol::intern(k), v.to_owned());
+            }
+            e
+        })
+}
+
+fn gen_snapshot() -> impl Strategy<Value = StateSnapshot> {
+    (
+        prop::collection::vec(
+            (
+                prop::sample::select(SELECTORS),
+                prop::collection::vec(gen_element(), 0..5),
+            ),
+            0..SELECTORS.len(),
+        ),
+        prop::collection::vec(
+            prop::sample::select(&["loaded?", "click!", "timeout?"][..]),
+            0..2,
+        ),
+        0u64..1000,
+    )
+        .prop_map(|(queries, happened, timestamp_ms)| {
+            let mut s = StateSnapshot::new();
+            for (sel, elems) in queries {
+                s.insert_query(Selector::new(sel), elems);
+            }
+            s.happened = happened.into_iter().map(str::to_owned).collect();
+            s.timestamp_ms = timestamp_ms;
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The fundamental law: applying the diff reproduces the target
+    /// snapshot exactly, for arbitrary (unrelated) snapshot pairs.
+    #[test]
+    fn diff_apply_round_trips((base, next) in (gen_snapshot(), gen_snapshot())) {
+        let delta = SnapshotDelta::diff(&base, &next, 2);
+        let rebuilt = delta.apply(&base).expect("well-formed delta applies");
+        prop_assert_eq!(rebuilt, next);
+    }
+
+    /// Diffing a snapshot against itself produces an empty change set,
+    /// and the delta still round-trips (carrying metadata only).
+    #[test]
+    fn self_diff_is_empty(snap in gen_snapshot()) {
+        let delta = SnapshotDelta::diff(&snap, &snap, 1);
+        prop_assert!(delta.changes.is_empty());
+        prop_assert_eq!(delta.apply(&snap).expect("applies"), snap);
+    }
+
+    /// `changed_selectors` is symmetric, agrees with `queries_differ`,
+    /// and matches the key set of the diff in both directions.
+    #[test]
+    fn change_detection_is_consistent((a, b) in (gen_snapshot(), gen_snapshot())) {
+        let ab = a.changed_selectors(&b);
+        let ba = b.changed_selectors(&a);
+        prop_assert_eq!(&ab, &ba, "changed_selectors must be symmetric");
+        prop_assert_eq!(a.queries_differ(&b), !ab.is_empty());
+        prop_assert_eq!(b.queries_differ(&a), !ab.is_empty());
+        prop_assert_eq!(SnapshotDelta::diff(&a, &b, 1).changed_selectors(), ab);
+        prop_assert_eq!(SnapshotDelta::diff(&b, &a, 1).changed_selectors(), ba);
+    }
+
+    /// Applying a diff shares the allocations of unchanged selectors with
+    /// the base — the structural-sharing guarantee trace storage relies
+    /// on — and never exceeds the change set in what it replaces.
+    #[test]
+    fn apply_shares_unchanged_allocations((base, next) in (gen_snapshot(), gen_snapshot())) {
+        let delta = SnapshotDelta::diff(&base, &next, 2);
+        let rebuilt = delta.apply(&base).expect("applies");
+        for (sel, results) in &rebuilt.queries {
+            if !delta.changes.contains_key(sel) {
+                let original = base.queries.get(sel).expect("unchanged implies present");
+                prop_assert!(std::sync::Arc::ptr_eq(original, results));
+            }
+        }
+    }
+
+    /// Wire sizes are consistent: a delta between equal-keyed snapshots
+    /// never beats the theoretical floor (metadata), and the estimate is
+    /// stable under recomputation.
+    #[test]
+    fn wire_sizes_are_deterministic(snap in gen_snapshot()) {
+        prop_assert_eq!(snap.wire_size(), snap.clone().wire_size());
+        let delta = SnapshotDelta::diff(&snap, &snap, 3);
+        prop_assert!(delta.wire_size() >= 4 + 8 + 4 + 4 + 8 - snap.happened.len());
+    }
+}

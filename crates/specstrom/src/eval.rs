@@ -982,19 +982,19 @@ mod tests {
         let mut s = StateSnapshot::new();
         let mut toggle = ElementState::with_text("start");
         toggle.classes.push("btn".into());
-        s.queries.insert(Selector::new("#toggle"), vec![toggle]);
-        s.queries.insert(
+        s.insert_query(Selector::new("#toggle"), vec![toggle]);
+        s.insert_query(
             Selector::new("#remaining"),
             vec![ElementState::with_text("180")],
         );
-        s.queries.insert(
+        s.insert_query(
             Selector::new(".todo-list li"),
             vec![
                 ElementState::with_text("walk"),
                 ElementState::with_text("shop"),
             ],
         );
-        s.queries.insert(Selector::new("#missing"), vec![]);
+        s.insert_query(Selector::new("#missing"), vec![]);
         s.happened.push("loaded?".into());
         s
     }

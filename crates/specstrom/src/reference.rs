@@ -1299,7 +1299,7 @@ mod tests {
 
     fn snapshot() -> StateSnapshot {
         let mut s = StateSnapshot::new();
-        s.queries.insert(
+        s.insert_query(
             Selector::new("#toggle"),
             vec![ElementState::with_text("start")],
         );

@@ -334,11 +334,11 @@ mod tests {
         let compiled = load(EGG_TIMER).unwrap();
         let thunk = compiled.property_thunk("stopped").unwrap();
         let mut snap = StateSnapshot::new();
-        snap.queries.insert(
+        snap.insert_query(
             Selector::new("#toggle"),
             vec![ElementState::with_text("start")],
         );
-        snap.queries.insert(Selector::new("#remaining"), vec![]);
+        snap.insert_query(Selector::new("#remaining"), vec![]);
         let ctx = EvalCtx::with_state(&snap, 0);
         assert!(eval::eval_guard(&thunk, &ctx).unwrap());
     }

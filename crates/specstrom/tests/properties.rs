@@ -9,7 +9,7 @@ use specstrom::{compile_expr, eval, initial_env, parse_expr, reference, EvalCtx,
 
 fn snapshot(texts: &[String]) -> StateSnapshot {
     let mut s = StateSnapshot::new();
-    s.queries.insert(
+    s.insert_query(
         Selector::new("li"),
         texts.iter().map(ElementState::with_text).collect(),
     );

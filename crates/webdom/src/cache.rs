@@ -1,0 +1,206 @@
+//! Dirty-tracked rendering: a generation counter over [`Document::render`]
+//! plus per-selector query memoisation.
+//!
+//! MVU apps produce a fresh view tree per state, but most checker steps
+//! leave most of the document alone — and many steps (a stale action, a
+//! timer that changed nothing observable) leave *all* of it alone. A
+//! [`RenderCache`] exploits that:
+//!
+//! * **Render dirty-tracking** — [`RenderCache::render`] compares the new
+//!   view tree against the previously rendered one and only re-renders a
+//!   [`Document`] (bumping the *render generation*) when they differ. An
+//!   unchanged view costs one tree comparison instead of an arena build.
+//! * **Query memoisation** — [`RenderCache::query`] caches each selector's
+//!   projected results ([`QueryResults`]) keyed on the render generation:
+//!   while the generation stands still, repeated queries answer without
+//!   re-matching a single node.
+//! * **Structural reuse** — when a re-render *does* happen but a
+//!   selector's projections come out equal, the cache keeps handing out
+//!   the previous allocation. Downstream consumers (snapshot diffing, the
+//!   checker's shared traces) can therefore treat pointer equality of
+//!   [`QueryResults`] as "provably unchanged".
+
+use crate::dom::{Document, El};
+use crate::selector::SelectorExpr;
+use quickstrom_protocol::{QueryResults, Selector};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct MemoEntry {
+    /// The render generation this result was computed (or revalidated) at.
+    generation: u64,
+    result: QueryResults,
+}
+
+/// A memoising wrapper around [`Document::render`] and selector queries.
+///
+/// # Examples
+///
+/// ```
+/// use webdom::{El, RenderCache, SelectorExpr};
+/// use std::sync::Arc;
+///
+/// let mut cache = RenderCache::new();
+/// let view = || El::new("div").child(El::new("span").id("x").text("hi"));
+/// let expr = SelectorExpr::parse("#x").unwrap();
+///
+/// assert!(cache.render(view())); // first render is always fresh
+/// let first = cache.query("#x".into(), &expr);
+/// assert!(!cache.render(view())); // unchanged view: no re-render
+/// let second = cache.query("#x".into(), &expr);
+/// assert!(Arc::ptr_eq(&first, &second)); // memoised, not re-matched
+/// ```
+#[derive(Debug, Default)]
+pub struct RenderCache {
+    generation: u64,
+    doc: Option<Document>,
+    memo: BTreeMap<Selector, MemoEntry>,
+}
+
+impl RenderCache {
+    /// An empty cache (generation zero, nothing rendered).
+    #[must_use]
+    pub fn new() -> Self {
+        RenderCache::default()
+    }
+
+    /// The current render generation. Bumps exactly when [`render`] sees
+    /// a view that differs from the previous one.
+    ///
+    /// [`render`]: RenderCache::render
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Renders `view`, unless it is structurally equal to the previously
+    /// rendered document ([`Document::same_view`] — no clone, comparison
+    /// cost only) — in which case the cached [`Document`] (and every
+    /// memoised query) stays valid. Returns `true` when a fresh document
+    /// was rendered.
+    pub fn render(&mut self, view: El) -> bool {
+        if let Some(doc) = &self.doc {
+            if doc.same_view(&view) {
+                return false;
+            }
+        }
+        self.doc = Some(Document::render(view));
+        self.generation += 1;
+        true
+    }
+
+    /// The most recently rendered document.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing has been rendered yet.
+    #[must_use]
+    pub fn document(&self) -> &Document {
+        self.doc.as_ref().expect("RenderCache::render first")
+    }
+
+    /// The projected results of `expr`, memoised per selector and keyed
+    /// on the render generation.
+    ///
+    /// When the generation moved, the selector is re-matched — but if the
+    /// fresh projections equal the previous ones, the *old* allocation is
+    /// revalidated and returned, so `Arc::ptr_eq` on two results from
+    /// this cache is a complete change test.
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing has been rendered yet.
+    pub fn query(&mut self, selector: Selector, expr: &SelectorExpr) -> QueryResults {
+        let doc = self.doc.as_ref().expect("RenderCache::render first");
+        if let Some(entry) = self.memo.get(&selector) {
+            if entry.generation == self.generation {
+                return Arc::clone(&entry.result);
+            }
+        }
+        let fresh = doc.query_states(expr);
+        let result = match self.memo.get(&selector) {
+            Some(entry) if *entry.result == fresh => Arc::clone(&entry.result),
+            _ => Arc::new(fresh),
+        };
+        self.memo.insert(
+            selector,
+            MemoEntry {
+                generation: self.generation,
+                result: Arc::clone(&result),
+            },
+        );
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::EventKind;
+
+    fn view(rows: usize, selected: usize) -> El {
+        El::new("div")
+            .id("app")
+            .child(El::new("ul").children((0..rows).map(|i| {
+                El::new("li")
+                    .class_if(i == selected, "selected")
+                    .text(format!("row {i}"))
+                    .on(EventKind::Click, format!("pick:{i}"))
+            })))
+    }
+
+    #[test]
+    fn unchanged_views_keep_generation_and_memo() {
+        let mut cache = RenderCache::new();
+        assert_eq!(cache.generation(), 0);
+        assert!(cache.render(view(3, 0)));
+        assert_eq!(cache.generation(), 1);
+        let expr = SelectorExpr::parse("li").unwrap();
+        let a = cache.query("li".into(), &expr);
+        assert_eq!(a.len(), 3);
+        assert!(!cache.render(view(3, 0)));
+        assert_eq!(cache.generation(), 1);
+        let b = cache.query("li".into(), &expr);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn changed_views_re_render_but_reuse_equal_projections() {
+        let mut cache = RenderCache::new();
+        cache.render(view(3, 0));
+        let li = SelectorExpr::parse("li").unwrap();
+        let sel = SelectorExpr::parse(".selected").unwrap();
+        let all_before = cache.query("li".into(), &li);
+        let selected_before = cache.query(".selected".into(), &sel);
+        assert_eq!(selected_before[0].text, "row 0");
+
+        // Selecting another row changes `.selected` but also the class
+        // list of two `li` elements, so both selectors re-project.
+        assert!(cache.render(view(3, 2)));
+        let all_after = cache.query("li".into(), &li);
+        let selected_after = cache.query(".selected".into(), &sel);
+        assert!(!Arc::ptr_eq(&all_before, &all_after));
+        assert_eq!(selected_after[0].text, "row 2");
+
+        // Rendering back restores projections equal to the originals.
+        // Reuse is relative to the *previous* ask (that is the contract
+        // change detection relies on), so these are fresh allocations —
+        // but a subsequent no-op render revalidates them in place.
+        assert!(cache.render(view(3, 0)));
+        let all_back = cache.query("li".into(), &li);
+        assert!(!Arc::ptr_eq(&all_after, &all_back));
+        assert_eq!(*all_before, *all_back);
+        assert!(!cache.render(view(3, 0)));
+        assert!(Arc::ptr_eq(&all_back, &cache.query("li".into(), &li)));
+    }
+
+    #[test]
+    fn document_access_follows_latest_render() {
+        let mut cache = RenderCache::new();
+        cache.render(view(2, 1));
+        assert_eq!(cache.document().query_all("li").unwrap().len(), 2);
+        cache.render(view(5, 1));
+        assert_eq!(cache.document().query_all("li").unwrap().len(), 5);
+    }
+}

@@ -5,7 +5,7 @@
 //! the selector engine and the event dispatcher operate on.
 
 use crate::selector::{ParseSelectorError, SelectorExpr};
-use quickstrom_protocol::Symbol;
+use quickstrom_protocol::{ElementState, Symbol};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -389,6 +389,31 @@ impl Document {
         self.iter().filter(|&id| expr.matches(self, id)).collect()
     }
 
+    /// Projects one node into the protocol's observable element state —
+    /// what Selenium-style acceptance testing can see of it.
+    #[must_use]
+    pub fn project(&self, id: NodeId) -> ElementState {
+        ElementState {
+            text: self.text_content(id),
+            value: self.value(id).to_owned(),
+            checked: self.checked(id),
+            enabled: self.enabled(id),
+            visible: self.visible(id),
+            focused: self.focused(id),
+            classes: self.classes(id).to_vec(),
+            attributes: self.attributes(id).clone(),
+        }
+    }
+
+    /// The projections of every node matching `expr`, in document order.
+    #[must_use]
+    pub fn query_states(&self, expr: &SelectorExpr) -> Vec<ElementState> {
+        self.select(expr)
+            .into_iter()
+            .map(|id| self.project(id))
+            .collect()
+    }
+
     /// The message an event dispatched at `target` resolves to, walking up
     /// the tree (event bubbling). Returns the handler message of the
     /// nearest ancestor-or-self with a handler for `kind`.
@@ -408,6 +433,61 @@ impl Document {
     #[must_use]
     pub fn focused_node(&self) -> Option<NodeId> {
         self.iter().find(|&id| self.node(id).el.focused)
+    }
+
+    /// Structural equality between this document and an unrendered view
+    /// tree — `true` exactly when rendering `view` would reproduce this
+    /// document. Walks both trees without cloning either, so dirty
+    /// tracking ([`crate::RenderCache`]) can detect unchanged views at
+    /// comparison cost only.
+    #[must_use]
+    pub fn same_view(&self, view: &El) -> bool {
+        self.node_matches(self.root, view)
+    }
+
+    fn node_matches(&self, id: NodeId, el: &El) -> bool {
+        // Exhaustive destructuring, no `..` rest pattern: dirty tracking
+        // treats `same_view == true` as "provably unchanged", so a field
+        // added to `El` but missed here would silently reuse stale
+        // documents — make the compiler flag the omission instead.
+        let El {
+            tag,
+            id: el_id,
+            classes,
+            attributes,
+            text,
+            value,
+            checked,
+            disabled,
+            visible,
+            focused,
+            handlers,
+            children,
+        } = el;
+        let node = self.node(id);
+        if node.children.len() != children.len() {
+            return false;
+        }
+        let ours = &node.el;
+        // Field-by-field (node elements have their children moved out).
+        if &ours.tag != tag
+            || &ours.id != el_id
+            || &ours.classes != classes
+            || &ours.attributes != attributes
+            || &ours.text != text
+            || &ours.value != value
+            || ours.checked != *checked
+            || ours.disabled != *disabled
+            || ours.visible != *visible
+            || ours.focused != *focused
+            || &ours.handlers != handlers
+        {
+            return false;
+        }
+        node.children
+            .iter()
+            .zip(children)
+            .all(|(&child, child_el)| self.node_matches(child, child_el))
     }
 }
 

@@ -40,12 +40,14 @@
 #![forbid(unsafe_code)]
 
 pub mod app;
+pub mod cache;
 pub mod clock;
 pub mod dom;
 pub mod selector;
 pub mod storage;
 
 pub use app::{App, AppCtx, Payload};
+pub use cache::RenderCache;
 pub use clock::{TimerId, VirtualClock};
 pub use dom::{Document, El, EventKind, NodeId};
 pub use selector::{ParseSelectorError, SelectorExpr};

@@ -76,6 +76,9 @@ pub mod specs {
     pub const COUNTER: &str = include_str!("../specs/counter.strom");
     /// The §2.1 menu liveness specification.
     pub const MENU: &str = include_str!("../specs/menu.strom");
+    /// The BigTable data-grid specification — the large-DOM stress
+    /// workload for the incremental snapshot pipeline.
+    pub const BIGTABLE: &str = include_str!("../specs/bigtable.strom");
 }
 
 /// The working set for writing and running checks.
@@ -85,7 +88,9 @@ pub mod prelude {
     pub use quickstrom_checker::{
         check_property, check_spec, CheckOptions, Report, SelectionStrategy,
     };
-    pub use quickstrom_executor::WebExecutor;
-    pub use quickstrom_protocol::{Executor, Selector, StateSnapshot};
+    pub use quickstrom_executor::{WebExecutor, WebExecutorConfig};
+    pub use quickstrom_protocol::{
+        Executor, Selector, SnapshotDelta, StateSnapshot, StateUpdate, TransportStats,
+    };
     pub use specstrom::{load, CompiledSpec};
 }

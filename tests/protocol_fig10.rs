@@ -9,7 +9,7 @@
 
 use quickstrom_executor::WebExecutor;
 use quickstrom_protocol::{
-    ActionInstance, ActionKind, CheckerMsg, Executor, ExecutorMsg, Key, Selector,
+    ActionInstance, ActionKind, CheckerMsg, Executor, ExecutorMsg, Key, Selector, StateSnapshot,
 };
 use webdom::{App, AppCtx, El, EventKind, Payload};
 
@@ -89,9 +89,22 @@ fn press_key(version: u64) -> CheckerMsg {
     }
 }
 
+/// Reconstructs the state carried by one reply, delta-aware: the executor
+/// ships a full snapshot first and `SnapshotDelta`s afterwards, exactly
+/// like a remote checker would see them.
+fn absorb(last: &mut Option<StateSnapshot>, msg: &ExecutorMsg) -> StateSnapshot {
+    let state = msg
+        .update()
+        .resolve(last.as_ref())
+        .expect("resolvable update");
+    *last = Some(state.clone());
+    state
+}
+
 #[test]
 fn figure_10_message_sequence() {
     let mut executor = WebExecutor::new(AsyncApp::default);
+    let mut last: Option<StateSnapshot> = None;
 
     // Session start: the loaded? event is trace state 1.
     let r0 = executor.send(CheckerMsg::Start {
@@ -99,12 +112,16 @@ fn figure_10_message_sequence() {
     });
     assert_eq!(r0.len(), 1);
     assert!(matches!(&r0[0], ExecutorMsg::Event { event, .. } if event == "loaded?"));
+    assert!(!r0[0].update().is_delta(), "first state must be full");
+    absorb(&mut last, &r0[0]);
 
     // Checker: Act click! (version 1). Executor: Acted ⟨state⟩.
     let r1 = executor.send(click(1));
     assert_eq!(r1.len(), 1);
     assert!(r1[0].is_acted());
-    assert_eq!(r1[0].state().first(&"#button".into()).unwrap().text, "1");
+    assert!(r1[0].update().is_delta(), "later states ship as deltas");
+    let s1 = absorb(&mut last, &r1[0]);
+    assert_eq!(s1.first(&"#button".into()).unwrap().text, "1");
 
     // The application changes asynchronously: Event changed? ⟨state⟩ is
     // delivered while the checker deliberates — here, attached to the next
@@ -115,14 +132,16 @@ fn figure_10_message_sequence() {
         matches!(&r2[0], ExecutorMsg::Event { event, .. } if event == "changed?"),
         "{r2:?}"
     );
-    assert_eq!(r2[0].state().first(&"#async".into()).unwrap().text, "1");
+    let s2 = absorb(&mut last, &r2[0]);
+    assert_eq!(s2.first(&"#async".into()).unwrap().text, "1");
 
     // Checker retries with the acknowledged version: Act pressKey! 3 →
     // Acted ⟨state⟩.
     let r3 = executor.send(press_key(3));
     assert_eq!(r3.len(), 1);
     assert!(r3[0].is_acted());
-    assert_eq!(r3[0].state().first(&"#field".into()).unwrap().value, "1");
+    let s3 = absorb(&mut last, &r3[0]);
+    assert_eq!(s3.first(&"#field".into()).unwrap().value, "1");
 
     // Again the app changes asynchronously; the checker's next request
     // carries the out-of-date trace length 4 (the paper's "3, not 4"
@@ -133,12 +152,14 @@ fn figure_10_message_sequence() {
         matches!(&r4[0], ExecutorMsg::Event { event, .. } if event == "changed?"),
         "the stale pressKey! must produce no Acted: {r4:?}"
     );
-    assert_eq!(r4[0].state().first(&"#async".into()).unwrap().text, "2");
+    let s4 = absorb(&mut last, &r4[0]);
+    assert_eq!(s4.first(&"#async".into()).unwrap().text, "2");
 
     // With the right version the action goes through.
     let r5 = executor.send(press_key(5));
     assert!(r5[0].is_acted());
-    assert_eq!(r5[0].state().first(&"#field".into()).unwrap().value, "2");
+    let s5 = absorb(&mut last, &r5[0]);
+    assert_eq!(s5.first(&"#field".into()).unwrap().value, "2");
 }
 
 #[test]

@@ -54,6 +54,7 @@ fn all_bundled_specs_compile() {
         ("egg_timer", quickstrom::specs::EGG_TIMER),
         ("counter", quickstrom::specs::COUNTER),
         ("menu", quickstrom::specs::MENU),
+        ("bigtable", quickstrom::specs::BIGTABLE),
     ] {
         let spec = specstrom::load(src).unwrap_or_else(|e| panic!("{name}: {}", e.render(src)));
         assert!(!spec.checks.is_empty(), "{name} has no check commands");
@@ -76,6 +77,7 @@ fn bundled_specs_survive_the_pretty_printer() {
         quickstrom::specs::EGG_TIMER,
         quickstrom::specs::COUNTER,
         quickstrom::specs::MENU,
+        quickstrom::specs::BIGTABLE,
     ] {
         let parsed = specstrom::parse_spec(src).unwrap();
         let printed = specstrom::pretty_spec(&parsed);
@@ -86,6 +88,35 @@ fn bundled_specs_survive_the_pretty_printer() {
         assert_eq!(
             compiled.actions.keys().collect::<Vec<_>>(),
             original.actions.keys().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn bigtable_spec_structure() {
+    let spec = specstrom::load(quickstrom::specs::BIGTABLE)
+        .unwrap_or_else(|e| panic!("{}", e.render(quickstrom::specs::BIGTABLE)));
+    // Eight user actions (select, bump, three sorts, three filters), no
+    // declared events: the grid is fully synchronous.
+    assert_eq!(spec.actions.len(), 8);
+    assert!(spec.actions.values().all(|a| !a.event));
+    assert_eq!(spec.checks.len(), 1);
+    assert_eq!(spec.checks[0].properties, vec!["safety"]);
+    // The dependency analysis finds the row selectors the grid renders —
+    // the hundreds-of-elements queries the delta pipeline is measured on.
+    let deps: Vec<&str> = spec.dependencies.iter().map(Selector::as_str).collect();
+    for expected in [
+        ".grid-row",
+        ".grid-row.selected",
+        ".grid-row.selected .cell-name",
+        ".cell-value",
+        "#shown-count",
+        "#total-count",
+        "#selected-name",
+    ] {
+        assert!(
+            deps.contains(&expected),
+            "missing dependency {expected}: {deps:?}"
         );
     }
 }
