@@ -16,6 +16,9 @@
 //! * [`bigtable`] — a sortable/filterable data grid with hundreds of rows:
 //!   the large-DOM workload the incremental snapshot pipeline is measured
 //!   on (specs/bigtable.strom, the `bigtable` bench).
+//! * [`wizard`] — a five-step gated checkout flow: the deep-state
+//!   corridor workload the coverage-guided exploration engine is measured
+//!   on (specs/wizard.strom, `evalharness coverage-compare`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,6 +30,7 @@ pub mod egg_timer;
 pub mod menu;
 pub mod registry;
 pub mod todomvc;
+pub mod wizard;
 
 pub use bigtable::BigTable;
 pub use counter::Counter;
@@ -34,3 +38,4 @@ pub use egg_timer::EggTimer;
 pub use menu::MenuApp;
 pub use registry::{Entry, Maturity, REGISTRY};
 pub use todomvc::{Fault, TodoMvc, Variation};
+pub use wizard::Wizard;

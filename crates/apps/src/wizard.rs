@@ -1,0 +1,341 @@
+//! Wizard: a five-step checkout flow — the *deep-state* workload for the
+//! coverage-guided exploration engine.
+//!
+//! TodoMVC's interesting states are broad but shallow: most of them are a
+//! handful of actions from the initial state. This app is the opposite:
+//! its states form a corridor behind an *improbable* first gate. Each
+//! step gates `#next` behind a step-specific requirement —
+//!
+//! 1. **Unlock** — the four `.switch` toggles must match the combination
+//!    (switches 1 and 3 on, the rest off; `#lock-state` reads `open`).
+//!    A uniform random walk over the 16 switch patterns takes a long
+//!    excursion to land on the one unlocking pattern.
+//! 2. **Details** — `#name-input` must hold non-blank text.
+//! 3. **Plan** — one of the three `.plan` options must be selected.
+//! 4. **Review** — the `#confirm` checkbox must be checked.
+//! 5. **Done** — terminal; `#done` appears, `#restart` starts over.
+//!
+//! — while `#back` is always available in the middle of the corridor (and
+//! discards the *current* step's progress, so wandering is punished).
+//! Per run, stumbling through the lock *and* the remaining gates is rare;
+//! what cracks the corridor is the trace corpus: once any run reaches a
+//! novel step, later runs replay that prefix and spend their whole
+//! remaining budget extending past it. `specs/wizard.strom` states the
+//! corridor's invariants as a checkable property, and
+//! `tests/wizard_spec.rs` measures the depth difference directly
+//! (completions per strategy at an equal budget).
+
+use webdom::{App, AppCtx, El, EventKind, Payload};
+
+/// The number of steps in the corridor (the terminal "done" step
+/// included).
+pub const STEPS: u32 = 5;
+
+/// The number of combination switches on step 1.
+pub const SWITCHES: usize = 4;
+
+/// The unlocking switch pattern (switches 1 and 3, 1-based).
+const COMBINATION: [bool; SWITCHES] = [true, false, true, false];
+
+/// A five-step checkout wizard with per-step gating.
+#[derive(Debug, Clone, Default)]
+pub struct Wizard {
+    step: u32,
+    switches: [bool; SWITCHES],
+    name: String,
+    plan: Option<usize>,
+    confirmed: bool,
+    /// How many times the flow completed (survives `#restart`).
+    completions: u32,
+}
+
+impl Wizard {
+    /// A fresh wizard at step 1.
+    #[must_use]
+    pub fn new() -> Wizard {
+        Wizard {
+            step: 1,
+            ..Wizard::default()
+        }
+    }
+
+    /// The current step, 1-based.
+    #[must_use]
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Is the current step's requirement met (may the user advance)?
+    #[must_use]
+    pub fn gate_open(&self) -> bool {
+        match self.step {
+            1 => self.switches == COMBINATION,
+            2 => !self.name.trim().is_empty(),
+            3 => self.plan.is_some(),
+            4 => self.confirmed,
+            _ => false, // the terminal step has no `next`
+        }
+    }
+
+    /// Leaving a step backwards discards that step's progress — wandering
+    /// is not free, which is what makes the deep states deep.
+    fn discard_current_progress(&mut self) {
+        match self.step {
+            1 => self.switches = [false; SWITCHES],
+            2 => self.name.clear(),
+            3 => self.plan = None,
+            4 => self.confirmed = false,
+            _ => {}
+        }
+    }
+}
+
+const PLAN_NAMES: [&str; 3] = ["starter", "pro", "enterprise"];
+
+const TITLES: [&str; 5] = ["Unlock", "Details", "Plan", "Review", "Done"];
+
+impl App for Wizard {
+    fn start(&mut self, _ctx: &mut AppCtx<'_>) {
+        if self.step == 0 {
+            self.step = 1;
+        }
+    }
+
+    fn view(&self) -> El {
+        let step = self.step;
+        let title = TITLES[(step as usize - 1).min(TITLES.len() - 1)];
+        El::new("div").id("app").children([
+            El::new("span").id("step").text(step.to_string()),
+            El::new("h1").id("title").text(title),
+            El::new("button")
+                .id("back")
+                .text("back")
+                .disabled(step == 1 || step == STEPS)
+                .on(EventKind::Click, "back"),
+            El::new("button")
+                .id("next")
+                .text(if step == STEPS - 1 {
+                    "place order"
+                } else {
+                    "next"
+                })
+                .disabled(!self.gate_open())
+                .on(EventKind::Click, "next"),
+            // Step 1: the combination lock.
+            El::new("div").id("lock").hidden_if(step != 1).children(
+                self.switches
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &on)| {
+                        El::new("input")
+                            .class("switch")
+                            .attr("type", "checkbox")
+                            .checked(on)
+                            .on(EventKind::Click, format!("switch:{i}"))
+                    })
+                    .chain([El::new("span").id("lock-state").text(
+                        if self.switches == COMBINATION {
+                            "open"
+                        } else {
+                            "locked"
+                        },
+                    )]),
+            ),
+            // Step 2: details.
+            El::new("input")
+                .id("name-input")
+                .value(self.name.clone())
+                .hidden_if(step != 2)
+                .on(EventKind::Input, "name"),
+            // Step 3: plan choice.
+            El::new("div").id("plans").hidden_if(step != 3).children(
+                PLAN_NAMES.iter().enumerate().map(|(i, name)| {
+                    El::new("button")
+                        .class("plan")
+                        .class_if(self.plan == Some(i), "selected")
+                        .text(*name)
+                        .on(EventKind::Click, format!("plan:{i}"))
+                }),
+            ),
+            // Step 4: review summary + confirmation.
+            El::new("div").id("review").hidden_if(step != 4).children([
+                El::new("span")
+                    .id("review-name")
+                    .text(self.name.trim().to_string()),
+                El::new("span")
+                    .id("review-plan")
+                    .text(self.plan.map_or("", |i| PLAN_NAMES[i]).to_string()),
+                El::new("input")
+                    .id("confirm")
+                    .attr("type", "checkbox")
+                    .checked(self.confirmed)
+                    .on(EventKind::Click, "confirm"),
+            ]),
+            // Step 5: done.
+            El::new("div")
+                .id("done-panel")
+                .hidden_if(step != STEPS)
+                .children([
+                    El::new("span").id("done").text("order placed"),
+                    El::new("span")
+                        .id("completions")
+                        .text(self.completions.to_string()),
+                    El::new("button")
+                        .id("restart")
+                        .text("start over")
+                        .on(EventKind::Click, "restart"),
+                ]),
+        ])
+    }
+
+    fn on_event(&mut self, msg: &str, payload: &Payload, _ctx: &mut AppCtx<'_>) {
+        match msg {
+            "next" if self.gate_open() => {
+                self.step += 1;
+                if self.step == STEPS {
+                    self.completions += 1;
+                }
+            }
+            "back" if self.step > 1 && self.step < STEPS => {
+                self.discard_current_progress();
+                self.step -= 1;
+            }
+            "name" if self.step == 2 => self.name = payload.text().to_owned(),
+            "confirm" if self.step == 4 => self.confirmed = !self.confirmed,
+            "restart" if self.step == STEPS => {
+                *self = Wizard {
+                    completions: self.completions,
+                    ..Wizard::new()
+                };
+            }
+            other => {
+                if let Some(i) = other.strip_prefix("switch:") {
+                    if self.step == 1 {
+                        if let Ok(i) = i.parse::<usize>() {
+                            if i < SWITCHES {
+                                self.switches[i] = !self.switches[i];
+                            }
+                        }
+                    }
+                } else if let Some(i) = other.strip_prefix("plan:") {
+                    if self.step == 3 {
+                        if let Ok(i) = i.parse::<usize>() {
+                            if i < PLAN_NAMES.len() {
+                                self.plan = Some(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _tag: &str, _ctx: &mut AppCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use webdom::{Document, LocalStorage, VirtualClock};
+
+    fn ctx_parts() -> (VirtualClock, LocalStorage) {
+        (VirtualClock::new(), LocalStorage::new())
+    }
+
+    fn send(app: &mut Wizard, msg: &str, payload: Payload) {
+        let (mut clock, mut storage) = ctx_parts();
+        let mut ctx = AppCtx {
+            clock: &mut clock,
+            storage: &mut storage,
+        };
+        app.on_event(msg, &payload, &mut ctx);
+    }
+
+    fn unlock(app: &mut Wizard) {
+        for (i, &on) in COMBINATION.iter().enumerate() {
+            if on {
+                send(app, &format!("switch:{i}"), Payload::None);
+            }
+        }
+    }
+
+    fn complete_flow(app: &mut Wizard) {
+        unlock(app);
+        send(app, "next", Payload::None);
+        send(app, "name", Payload::Text("Ada".into()));
+        send(app, "next", Payload::None);
+        send(app, "plan:1", Payload::None);
+        send(app, "next", Payload::None);
+        send(app, "confirm", Payload::None);
+        send(app, "next", Payload::None);
+    }
+
+    #[test]
+    fn gates_block_until_satisfied() {
+        let mut app = Wizard::new();
+        assert_eq!(app.step(), 1);
+        send(&mut app, "next", Payload::None);
+        assert_eq!(app.step(), 1, "cannot advance before unlocking");
+        // A partial combination is still locked…
+        send(&mut app, "switch:0", Payload::None);
+        assert!(!app.gate_open());
+        // …an extra switch on top of the combination too…
+        send(&mut app, "switch:2", Payload::None);
+        send(&mut app, "switch:1", Payload::None);
+        assert!(!app.gate_open());
+        // …and exactly the combination opens it.
+        send(&mut app, "switch:1", Payload::None);
+        assert!(app.gate_open());
+        send(&mut app, "next", Payload::None);
+        assert_eq!(app.step(), 2);
+        send(&mut app, "name", Payload::Text("   ".into()));
+        assert!(!app.gate_open(), "blank names don't count");
+    }
+
+    #[test]
+    fn full_corridor_reaches_done_and_restarts() {
+        let mut app = Wizard::new();
+        complete_flow(&mut app);
+        assert_eq!(app.step(), STEPS);
+        let doc = Document::render(app.view());
+        let done = doc.query_all("#done").unwrap();
+        assert_eq!(done.len(), 1);
+        assert!(doc.visible(done[0]));
+        send(&mut app, "restart", Payload::None);
+        assert_eq!(app.step(), 1);
+        assert_eq!(app.completions, 1);
+        complete_flow(&mut app);
+        assert_eq!(app.completions, 2);
+    }
+
+    #[test]
+    fn going_back_discards_the_current_step() {
+        let mut app = Wizard::new();
+        unlock(&mut app);
+        send(&mut app, "next", Payload::None);
+        send(&mut app, "name", Payload::Text("Ada".into()));
+        send(&mut app, "back", Payload::None);
+        assert_eq!(app.step(), 1);
+        assert_eq!(
+            app.switches, COMBINATION,
+            "earlier steps keep their progress"
+        );
+        send(&mut app, "next", Payload::None);
+        assert_eq!(app.step(), 2);
+        assert!(app.name.is_empty(), "the abandoned step was reset");
+    }
+
+    #[test]
+    fn hidden_panels_follow_the_step() {
+        let app = Wizard::new();
+        let doc = Document::render(app.view());
+        let switches = doc.query_all(".switch").unwrap();
+        assert_eq!(switches.len(), SWITCHES);
+        assert!(doc.visible(switches[0]));
+        let lock = doc.query_all("#lock-state").unwrap();
+        assert_eq!(doc.text_content(lock[0]), "locked");
+        let plans = doc.query_all(".plan").unwrap();
+        assert_eq!(plans.len(), 3);
+        assert!(!doc.visible(plans[0]), "plan options hidden on step 1");
+    }
+}

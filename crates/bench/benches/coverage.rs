@@ -1,0 +1,87 @@
+//! The exploration-engine benchmarks: what coverage accounting costs,
+//! and what the strategies cost relative to each other.
+//!
+//! Two questions matter for the hot path. First, fingerprint overhead:
+//! every checker step now updates an incremental fingerprint
+//! (O(changed) term re-hashing) and a per-run coverage map — the
+//! `fingerprint_*` benches measure the raw hashing building blocks on a
+//! large grid snapshot, full recompute vs the incremental one-selector
+//! update. Second, end-to-end strategy cost: the `check_*` benches run
+//! the same BigTable check under each strategy; novelty's extra
+//! bookkeeping (pair maps, corpus scheduling) should be noise next to
+//! the executor and evaluation phases.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quickstrom::prelude::*;
+use quickstrom::quickstrom_apps::BigTable;
+use quickstrom::quickstrom_explore::Fingerprinter;
+use quickstrom::quickstrom_protocol::{fingerprint_state, ElementState, SnapshotDelta};
+use std::sync::Arc;
+
+/// A 250-row-grid-shaped snapshot (one wide selector, several narrow
+/// ones), built without driving an executor.
+fn grid_snapshot() -> StateSnapshot {
+    let mut s = StateSnapshot::new();
+    let rows: Vec<ElementState> = (0..250)
+        .map(|i| {
+            let mut e = ElementState::with_text(format!("row {i}"));
+            if i == 17 {
+                e.classes.push("selected".into());
+            }
+            e
+        })
+        .collect();
+    s.insert_query(".grid-row", rows);
+    s.insert_query("#total-count", vec![ElementState::with_text("250")]);
+    s.insert_query("#shown-count", vec![ElementState::with_text("250")]);
+    s.insert_query("#selected-name", vec![ElementState::with_text("alpha")]);
+    s
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let base = grid_snapshot();
+    c.bench_function("fingerprint_full_recompute", |b| {
+        b.iter(|| std::hint::black_box(fingerprint_state(&base)));
+    });
+
+    // The incremental path: one selector (of four) changes per step.
+    let mut next = base.clone();
+    next.insert_query("#selected-name", vec![ElementState::with_text("bravo")]);
+    let delta = SnapshotDelta::diff(&base, &next, 2);
+    let mut warm = Fingerprinter::new();
+    warm.observe(&base, None);
+    c.bench_function("fingerprint_incremental_one_selector", |b| {
+        b.iter(|| {
+            let mut fp = warm.clone();
+            std::hint::black_box(fp.observe_update(&next, &delta.clone().into()))
+        });
+    });
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let spec =
+        Arc::new(quickstrom::specstrom::load(quickstrom::specs::BIGTABLE).expect("spec compiles"));
+    let opts = CheckOptions::default()
+        .with_tests(2)
+        .with_max_actions(25)
+        .with_default_demand(20)
+        .with_seed(2026)
+        .with_shrink(false);
+    for strategy in SelectionStrategy::ALL {
+        let spec = Arc::clone(&spec);
+        let opts = opts.clone().with_strategy(strategy);
+        c.bench_function(&format!("bigtable_check_{}", strategy.name()), |b| {
+            b.iter(|| {
+                let report = check_spec(&spec, &opts, &|| {
+                    Box::new(WebExecutor::new(|| BigTable::with_rows(250)))
+                })
+                .expect("no protocol errors");
+                assert!(report.passed());
+                std::hint::black_box(report.coverage().distinct_states)
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_fingerprint, bench_strategies);
+criterion_main!(benches);

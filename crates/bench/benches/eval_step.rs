@@ -35,7 +35,7 @@ fn todomvc_snapshot() -> StateSnapshot {
             .clone(),
         other => panic!("unexpected first reply {other:?}"),
     };
-    state.happened = vec!["loaded?".to_owned()];
+    state.happened = vec!["loaded?".into()];
     state
 }
 

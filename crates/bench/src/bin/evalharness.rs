@@ -2,10 +2,11 @@
 //! paper's evaluation (§4), plus the ablations from DESIGN.md.
 //!
 //! ```text
-//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- table2 [--jobs 4]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- figure13 [--sessions 10] [--runs 3] [--csv fig13.csv]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- delta-compare [--tests 10] [--jobs 4] [--json BENCH_delta_compare.json]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- coverage-compare [--tests 30] [--jobs 4] [--json BENCH_coverage_compare.json]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- ablation-rvltl
 //! cargo run --release -p quickstrom-bench --bin evalharness -- ablation-simplify
 //! cargo run --release -p quickstrom-bench --bin evalharness -- all [--jobs 4]
@@ -23,7 +24,11 @@
 //! `--full-snapshots` runs the sweep over the pre-incremental protocol
 //! (every message a complete snapshot); `delta-compare` runs both modes
 //! on TodoMVC and the BigTable grid, asserts they agree bit-for-bit, and
-//! writes a comparison JSON.
+//! writes a comparison JSON. `--strategy uniform|least-tried|novelty`
+//! selects the action-selection strategy (see DESIGN.md, *Exploration
+//! engine*); `coverage-compare` sweeps all three strategies over the
+//! TodoMVC, BigTable and Wizard workloads at an equal step budget and
+//! reports distinct-fingerprint coverage per strategy.
 
 use quickstrom::prelude::*;
 use quickstrom::quickstrom_apps::registry::{Maturity, REGISTRY};
@@ -64,23 +69,38 @@ fn main() {
     } else {
         SnapshotMode::Delta
     };
+    let strategy = match flag("--strategy") {
+        Some(name) => match SelectionStrategy::parse(&name) {
+            Some(s) => s,
+            None => {
+                eprintln!(
+                    "unknown strategy {name:?} (expected uniform, least-tried \
+                     or novelty)"
+                );
+                std::process::exit(2);
+            }
+        },
+        None => SelectionStrategy::default(),
+    };
 
     match command {
         "table1" => {
-            table1_and_2(tests, false, jobs, json.as_deref(), mode);
+            table1_and_2(tests, false, jobs, json.as_deref(), mode, strategy);
         }
         "table2" => {
-            table1_and_2(tests, true, jobs, json.as_deref(), mode);
+            table1_and_2(tests, true, jobs, json.as_deref(), mode, strategy);
         }
         "figure13" => figure13(sessions, runs, csv.as_deref()),
         "delta-compare" => delta_compare(tests, jobs, json.as_deref()),
+        "coverage-compare" => coverage_compare(tests, jobs, json.as_deref()),
         "ablation-rvltl" => ablation_rvltl(),
         "ablation-simplify" => ablation_simplify(),
         "ablation-strategy" => ablation_strategy(),
         "all" => {
-            table1_and_2(tests, true, jobs, json.as_deref(), mode);
+            table1_and_2(tests, true, jobs, json.as_deref(), mode, strategy);
             figure13(sessions.min(3), runs, csv.as_deref());
             delta_compare(tests.min(10), jobs, None);
+            coverage_compare(tests.min(30), jobs, None);
             ablation_rvltl();
             ablation_simplify();
             ablation_strategy();
@@ -88,8 +108,8 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "commands: table1 table2 figure13 delta-compare ablation-rvltl \
-                 ablation-simplify ablation-strategy all"
+                "commands: table1 table2 figure13 delta-compare coverage-compare \
+                 ablation-rvltl ablation-simplify ablation-strategy all"
             );
             std::process::exit(2);
         }
@@ -103,24 +123,27 @@ fn table1_and_2(
     jobs: usize,
     json: Option<&str>,
     mode: SnapshotMode,
+    strategy: SelectionStrategy,
 ) {
     println!("═══ Table 1: Summary of Results (TodoMVC registry sweep) ═══");
     println!(
-        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s), {} snapshots)",
+        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s), {} snapshots, {} strategy)",
         REGISTRY.len(),
         tests,
         jobs.max(1),
         match mode {
             SnapshotMode::Delta => "incremental",
             SnapshotMode::Full => "full",
-        }
+        },
+        strategy
     );
     let options = CheckOptions::default()
         .with_tests(tests)
         .with_max_actions(120)
         .with_default_demand(100)
         .with_seed(20220322) // the paper's arXiv date
-        .with_shrink(false);
+        .with_shrink(false)
+        .with_strategy(strategy);
     let print_line = |result: &ImplResult| {
         println!(
             "  {:>22}  {}  ({:5.2}s, {} states){}",
@@ -221,6 +244,15 @@ fn table1_and_2(
         transport.delta_ratio(),
         transport.delta_states,
         transport.changed_selectors
+    );
+    let mut coverage = CoverageStats::default();
+    for r in &results {
+        coverage.absorb(r.coverage);
+    }
+    println!(
+        "state coverage: {} distinct fingerprints, {} transitions \
+         (summed per entry; strategy {})",
+        coverage.distinct_states, coverage.distinct_edges, strategy
     );
 
     if let Some(path) = json {
@@ -354,6 +386,130 @@ fn delta_compare(tests: usize, jobs: usize, json: Option<&str>) {
         );
         let _ = writeln!(out, "  }}");
         out.push_str("}\n");
+        std::fs::write(path, out).expect("write JSON");
+        println!("wrote {path}");
+    }
+}
+
+/// The coverage comparison: every strategy over the TodoMVC, BigTable
+/// and Wizard workloads at an equal step budget, aggregated over a few
+/// seeds. Reports distinct state fingerprints (the headline), distinct
+/// transitions, and corpus usage, and writes the comparison JSON the CI
+/// smoke uploads as `BENCH_coverage_compare.json`.
+fn coverage_compare(tests: usize, jobs: usize, json: Option<&str>) {
+    use quickstrom::quickstrom_apps::{BigTable, TodoMvc, Wizard};
+
+    println!("═══ Coverage comparison: uniform vs least-tried vs novelty ═══");
+    println!(
+        "    ({tests} runs × 40 actions per seed, seeds 11/7/2026, equal budget \
+         for every strategy)"
+    );
+    const SEEDS: [u64; 3] = [11, 7, 2026];
+    struct Workload {
+        name: &'static str,
+        source: &'static str,
+        factory: &'static (dyn Fn() -> Box<dyn Executor> + Sync),
+    }
+    let workloads = [
+        Workload {
+            name: "todomvc",
+            source: quickstrom::specs::TODOMVC,
+            factory: &|| Box::new(WebExecutor::new(TodoMvc::correct)),
+        },
+        Workload {
+            name: "bigtable",
+            source: quickstrom::specs::BIGTABLE,
+            factory: &|| Box::new(WebExecutor::new(|| BigTable::with_rows(250))),
+        },
+        Workload {
+            name: "wizard",
+            source: quickstrom::specs::WIZARD,
+            factory: &|| Box::new(WebExecutor::new(Wizard::new)),
+        },
+    ];
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"coverage_compare\",");
+    let _ = writeln!(out, "  \"tests\": {tests},");
+    let _ = writeln!(out, "  \"max_actions\": 40,");
+    let _ = writeln!(out, "  \"seeds\": [11, 7, 2026],");
+    let _ = writeln!(out, "  \"workloads\": {{");
+    println!(
+        "  {:>9}  {:>12}  {:>16}  {:>12}  {:>14}",
+        "workload", "strategy", "distinct states", "transitions", "corpus replays"
+    );
+    for (w_index, workload) in workloads.iter().enumerate() {
+        let spec = quickstrom::specstrom::load(workload.source).expect("bundled spec compiles");
+        let mut per_strategy = Vec::new();
+        for strategy in SelectionStrategy::ALL {
+            let mut total = CoverageStats::default();
+            for seed in SEEDS {
+                let options = CheckOptions::default()
+                    .with_tests(tests)
+                    .with_max_actions(40)
+                    .with_default_demand(30)
+                    .with_seed(seed)
+                    .with_shrink(false)
+                    .with_strategy(strategy)
+                    .with_jobs(jobs.max(1));
+                let report =
+                    check_spec(&spec, &options, workload.factory).expect("no protocol errors");
+                assert!(
+                    report.passed(),
+                    "{}: correct workload flagged under {strategy}: {report}",
+                    workload.name
+                );
+                total.absorb(report.coverage());
+            }
+            println!(
+                "  {:>9}  {:>12}  {:>16}  {:>12}  {:>14}",
+                workload.name,
+                strategy.name(),
+                total.distinct_states,
+                total.distinct_edges,
+                total.corpus_replays
+            );
+            per_strategy.push((strategy, total));
+        }
+        let uniform = per_strategy[0].1.distinct_states;
+        let novelty = per_strategy[2].1.distinct_states;
+        #[allow(clippy::cast_precision_loss)]
+        let gain = novelty as f64 / uniform.max(1) as f64;
+        println!(
+            "  {:>9}  novelty reaches {:.2}× the distinct fingerprints of uniform",
+            workload.name, gain
+        );
+        let _ = writeln!(out, "    \"{}\": {{", workload.name);
+        for (strategy, total) in &per_strategy {
+            let _ = writeln!(
+                out,
+                "      \"{}\": {{\"distinct_states\": {}, \"distinct_edges\": {}, \
+                 \"corpus_size\": {}, \"corpus_replays\": {}}},",
+                strategy.name(),
+                total.distinct_states,
+                total.distinct_edges,
+                total.corpus_size,
+                total.corpus_replays,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "      \"novelty_over_uniform\": {gain:.4}\n    }}{}",
+            if w_index + 1 < workloads.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    println!(
+        "reading: at the same budget, coverage-guided selection with corpus \
+         replay-then-extend visits more distinct application states — the \
+         exploration-engine headline (DESIGN.md, *Exploration engine*)."
+    );
+    if let Some(path) = json {
         std::fs::write(path, out).expect("write JSON");
         println!("wrote {path}");
     }

@@ -97,6 +97,10 @@ pub struct ImplResult {
     /// Snapshot-transport accounting: bytes shipped, the full-snapshot
     /// counterfactual, delta counts and changed selectors.
     pub transport: TransportStats,
+    /// Coverage accounting: distinct state fingerprints, fingerprint
+    /// transitions, and trace-corpus usage summed over the checked
+    /// properties.
+    pub coverage: CoverageStats,
 }
 
 impl ImplResult {
@@ -151,6 +155,7 @@ pub fn check_entry_mode(
         states,
         fault_numbers: entry.faults.iter().map(|f| f.number()).collect(),
         transport: report.transport(),
+        coverage: report.coverage(),
     }
 }
 
@@ -203,13 +208,16 @@ pub fn sweep_registry_jobs(options: &CheckOptions, jobs: usize) -> Vec<ImplResul
 ///
 /// The schema is one object with sweep-level metadata (including the
 /// one-off `spec_compile_s` phase — the spec is compiled once and shared
-/// across entries — and the transport totals `shipped_bytes` /
-/// `full_bytes` / `delta_ratio`) and an `entries` array; every entry
-/// carries `name`, `passed`, `expected_to_fail`, `wall_s`, the phase
-/// attribution `executor_s`/`eval_s`, `states`, `faults`, and its own
-/// snapshot-transport accounting (`shipped_bytes`, `full_bytes`,
-/// `delta_states`, `changed_selectors`), so a regression can be blamed on
-/// a phase — or on the wire — instead of only recorded as wall time.
+/// across entries — the transport totals `shipped_bytes` / `full_bytes` /
+/// `delta_ratio`, and the coverage totals `distinct_states` /
+/// `distinct_edges`) and an `entries` array; every entry carries `name`,
+/// `passed`, `expected_to_fail`, `wall_s`, the phase attribution
+/// `executor_s`/`eval_s`, `states`, `faults`, its snapshot-transport
+/// accounting (`shipped_bytes`, `full_bytes`, `delta_states`,
+/// `changed_selectors`), and its coverage accounting (`distinct_states`,
+/// `distinct_edges`), so a regression can be blamed on a phase — or on
+/// the wire, or on lost exploration breadth — instead of only recorded
+/// as wall time.
 #[must_use]
 pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> String {
     let mut out = String::from("{\n");
@@ -233,6 +241,12 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
     let _ = writeln!(out, "  \"shipped_bytes\": {},", transport.shipped_bytes);
     let _ = writeln!(out, "  \"full_bytes\": {},", transport.full_bytes);
     let _ = writeln!(out, "  \"delta_ratio\": {:.4},", transport.delta_ratio());
+    let mut coverage = CoverageStats::default();
+    for r in results {
+        coverage.absorb(r.coverage);
+    }
+    let _ = writeln!(out, "  \"distinct_states\": {},", coverage.distinct_states);
+    let _ = writeln!(out, "  \"distinct_edges\": {},", coverage.distinct_edges);
     let _ = writeln!(out, "  \"entries\": [");
     for (i, r) in results.iter().enumerate() {
         let faults: Vec<String> = r.fault_numbers.iter().map(ToString::to_string).collect();
@@ -242,7 +256,8 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
              \"wall_s\": {:.4}, \"executor_s\": {:.4}, \"eval_s\": {:.4}, \
              \"states\": {}, \"faults\": [{}], \
              \"shipped_bytes\": {}, \"full_bytes\": {}, \"delta_states\": {}, \
-             \"changed_selectors\": {}}}",
+             \"changed_selectors\": {}, \
+             \"distinct_states\": {}, \"distinct_edges\": {}}}",
             r.name,
             r.passed,
             r.expected_to_fail,
@@ -255,6 +270,8 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             r.transport.full_bytes,
             r.transport.delta_states,
             r.transport.changed_selectors,
+            r.coverage.distinct_states,
+            r.coverage.distinct_edges,
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }

@@ -140,7 +140,7 @@ fn faulty_entry_shrinks_identically_in_both_modes() {
     assert_eq!(cx_delta.verdict, cx_full.verdict);
     // The reconstructed trace carries real states, structurally shared.
     assert!(!cx_delta.trace.is_empty());
-    assert!(cx_delta.trace[0].happened().contains(&"loaded?".to_owned()));
+    assert!(cx_delta.trace[0].happened().contains(&"loaded?".into()));
 }
 
 /// The whole 43-entry registry: per-entry verdicts and state counts are

@@ -18,7 +18,7 @@
 use quickstrom::prelude::*;
 use quickstrom::quickltl::{Evaluator, Formula, StepReport};
 use quickstrom::quickstrom_apps::{registry, Counter, EggTimer, MenuApp};
-use quickstrom::quickstrom_protocol::{ActionKind, CheckerMsg, Executor, ExecutorMsg};
+use quickstrom::quickstrom_protocol::{ActionKind, CheckerMsg, Executor, ExecutorMsg, Symbol};
 use quickstrom::specstrom::{self, reference, EvalCtx};
 
 /// A tiny deterministic generator (xorshift) for the driver script.
@@ -59,7 +59,7 @@ fn record_trace(
             .resolve(trace.last())
             .expect("resolvable update");
         if let ExecutorMsg::Event { event, .. } = msg {
-            state.happened = vec![event.clone()];
+            state.happened = vec![Symbol::intern(event)];
         }
         trace.push(state);
     }
@@ -120,9 +120,9 @@ fn record_trace(
                 .resolve(trace.last())
                 .expect("resolvable update");
             state.happened = match msg {
-                ExecutorMsg::Acted { .. } => vec![action.name.clone()],
-                ExecutorMsg::Timeout { .. } => vec!["timeout?".to_owned()],
-                ExecutorMsg::Event { event, .. } => vec![event.clone()],
+                ExecutorMsg::Acted { .. } => vec![Symbol::intern(&action.name)],
+                ExecutorMsg::Timeout { .. } => vec![Symbol::intern("timeout?")],
+                ExecutorMsg::Event { event, .. } => vec![Symbol::intern(event)],
             };
             trace.push(state);
         }

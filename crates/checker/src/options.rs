@@ -4,18 +4,13 @@
 ///
 /// The paper's checker "makes a completely random selection from the set
 /// of allowable actions" and names more targeted selection as future work
-/// (§5.1). [`SelectionStrategy::LeastTried`] is a first step in that
-/// direction: prefer the action *kind* performed least often in this run,
-/// nudging exploration toward rarely exercised interactions (the
-/// `ablation-strategy` harness measures the effect on time-to-bug).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SelectionStrategy {
-    /// Uniform over all enabled instances — the paper's behaviour.
-    #[default]
-    UniformRandom,
-    /// Uniform over the instances of the least-performed action names.
-    LeastTried,
-}
+/// (§5.1). The strategies themselves — uniform, least-tried, and the
+/// coverage-guided novelty strategy with its trace corpus — live in the
+/// `quickstrom-explore` crate; this re-export keeps the checker API
+/// stable. Every strategy produces reports that are bit-identical for
+/// `jobs = 1` and `jobs = N` at a fixed seed (see DESIGN.md,
+/// *Exploration engine*).
+pub use quickstrom_explore::SelectionStrategy;
 
 /// Options controlling a checking session.
 #[derive(Debug, Clone, PartialEq, Eq)]

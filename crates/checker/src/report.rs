@@ -1,7 +1,8 @@
 //! Run results, counterexamples and property reports.
 
 use quickltl::{Outcome, Verdict};
-use quickstrom_protocol::{ActionInstance, StateSnapshot, TransportStats};
+use quickstrom_explore::CoverageStats;
+use quickstrom_protocol::{ActionInstance, StateSnapshot, Symbol, TransportStats};
 use std::fmt;
 
 /// How a single test run ended.
@@ -66,9 +67,9 @@ pub struct TraceEntry {
 }
 
 impl TraceEntry {
-    /// The `happened` annotation of the state.
+    /// The `happened` annotation of the state (interned names).
     #[must_use]
-    pub fn happened(&self) -> &[String] {
+    pub fn happened(&self) -> &[Symbol] {
         &self.state.happened
     }
 
@@ -118,12 +119,14 @@ impl PhaseTimings {
 
 /// The aggregate result of checking one property.
 ///
-/// Equality ignores [`PropertyReport::timings`] and
-/// [`PropertyReport::transport`]: wall-clock attribution and wire-cost
-/// accounting are the fields that legitimately differ between two
-/// otherwise identical checks (the `jobs = N` ⇒ `jobs = 1` determinism
-/// invariant — and the delta-mode ≡ full-mode invariant — are stated over
-/// everything else).
+/// Equality ignores [`PropertyReport::timings`],
+/// [`PropertyReport::transport`] and [`PropertyReport::coverage`]:
+/// wall-clock attribution, wire-cost accounting and coverage accounting
+/// are the observability fields layered on top of the verdict (the
+/// `jobs = N` ⇒ `jobs = 1` determinism invariant — and the delta-mode ≡
+/// full-mode invariant — are stated over everything else; coverage has
+/// its own, separately pinned determinism invariant, see
+/// `crates/bench/tests/coverage_determinism.rs`).
 #[derive(Debug, Clone)]
 pub struct PropertyReport {
     /// The property name.
@@ -140,6 +143,13 @@ pub struct PropertyReport {
     /// shrink replay (excluded from equality): bytes shipped vs the
     /// full-snapshot counterfactual, delta counts, changed selectors.
     pub transport: TransportStats,
+    /// Coverage accounting merged over the test runs in canonical index
+    /// order (excluded from equality — but itself deterministic:
+    /// bit-identical for any `jobs`): distinct state fingerprints,
+    /// fingerprint transitions, and trace-corpus usage. Shrink replays do
+    /// not contribute — coverage measures what the *test budget*
+    /// explored.
+    pub coverage: CoverageStats,
 }
 
 impl PartialEq for PropertyReport {
@@ -241,6 +251,18 @@ impl Report {
         total
     }
 
+    /// Summed coverage accounting across all properties. Distinct counts
+    /// are per-property and may overlap between properties, so this is an
+    /// upper bound on whole-spec coverage (exact per property).
+    #[must_use]
+    pub fn coverage(&self) -> CoverageStats {
+        let mut total = CoverageStats::default();
+        for p in &self.properties {
+            total.absorb(p.coverage);
+        }
+        total
+    }
+
     /// The names of failed properties.
     #[must_use]
     pub fn failures(&self) -> Vec<&str> {
@@ -310,6 +332,7 @@ mod tests {
                     actions_total: 9,
                     timings: PhaseTimings::default(),
                     transport: TransportStats::default(),
+                    coverage: CoverageStats::default(),
                 },
                 PropertyReport {
                     property: "liveness".into(),
@@ -318,6 +341,7 @@ mod tests {
                     actions_total: 4,
                     timings: PhaseTimings::default(),
                     transport: TransportStats::default(),
+                    coverage: CoverageStats::default(),
                 },
             ],
         };
@@ -343,6 +367,7 @@ mod tests {
             actions_total: 2,
             timings: PhaseTimings::default(),
             transport: TransportStats::default(),
+            coverage: CoverageStats::default(),
         };
         assert!(p.passed());
         assert_eq!(p.inconclusive_runs(), 1);

@@ -2,29 +2,50 @@
 //! selection.
 //!
 //! A [`Run`] is the pure half of a test run — it owns the evaluator, the
-//! recorded trace and the action-selection state, but never talks to an
-//! executor itself. The I/O half lives in [`crate::session::Session`],
-//! which couples a `Run` with an executor and drives it to completion.
+//! recorded trace, the coverage observations and the action-selection
+//! state, but never talks to an executor itself. The I/O half lives in
+//! [`crate::session::Session`], which couples a `Run` with an executor
+//! and drives it to completion.
+//!
+//! Action selection is delegated to a pluggable
+//! [`Strategy`](quickstrom_explore::Strategy) built from
+//! [`CheckOptions::strategy`]; the run feeds it the current state's
+//! fingerprint and its per-`(state, action)` history, maintained
+//! incrementally from the snapshot pipeline's deltas (see DESIGN.md,
+//! *Exploration engine*).
 
-use crate::options::{CheckOptions, SelectionStrategy};
+use crate::options::CheckOptions;
 use crate::report::{Counterexample, RunResult, TraceEntry};
 use crate::runner::CheckError;
 use quickltl::{Evaluator, Formula, StepReport, Verdict};
+use quickstrom_explore::{target_index, Candidate, RunCoverage, Strategy, StrategyCtx};
 use quickstrom_protocol::{
-    ActionInstance, ActionKind, ExecutorMsg, Selector, StateSnapshot, StateUpdate,
+    ActionInstance, ActionKind, ExecutorMsg, Selector, StateFingerprint, StateSnapshot,
+    StateUpdate, Symbol,
 };
 use rand::rngs::StdRng;
-use rand::Rng;
 use specstrom::{eval_guard, expand_thunk, ActionValue, CheckDef, CompiledSpec, EvalCtx, Thunk};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Where the next action comes from: fresh randomness or a recorded script
-/// (for counterexample replay and shrinking).
+/// Where the next action comes from: fresh randomness (optionally seeded
+/// with a corpus prefix to replay-then-extend) or a recorded script (for
+/// counterexample replay and shrinking).
 #[allow(clippy::large_enum_variant)] // StdRng is big; sources are stack-local
 pub(crate) enum ActionSource<'a> {
-    /// Uniformly random selection with a per-run generator.
-    Random(StdRng),
+    /// Strategy-driven selection with a per-run generator. When `prefix`
+    /// is non-empty the run first replays it action by action (a corpus
+    /// seed leading back to a novel state), then extends with fresh
+    /// strategy-chosen actions; a prefix action whose guard no longer
+    /// holds abandons the rest of the prefix.
+    Random {
+        /// The per-run generator (seeded from `(master seed, run index)`).
+        rng: StdRng,
+        /// The corpus prefix to replay first (empty for fresh runs).
+        prefix: &'a [ActionInstance],
+        /// Position of the next prefix action to replay.
+        pos: usize,
+    },
     /// Replay of a recorded action script.
     Script {
         /// The recorded actions.
@@ -36,7 +57,9 @@ pub(crate) enum ActionSource<'a> {
 
 /// The text pool for generated inputs. Includes the empty string and
 /// whitespace-only entries deliberately: several TodoMVC faults (blank
-/// items, empty-edit deletion) only surface on degenerate input.
+/// items, empty-edit deletion) only surface on degenerate input. Widened
+/// beyond ASCII with multibyte, combining-mark, emoji and very long
+/// samples — all still drawn deterministically from the run RNG.
 const INPUT_POOL: &[&str] = &[
     "",
     " ",
@@ -47,11 +70,41 @@ const INPUT_POOL: &[&str] = &[
     "x",
     "déjà vu",
     "meditate",
+    "日本語のテキスト",
+    "🦀 crabs 🦀",
+    "emoji\u{200d}zwj\u{200d}seq",
+    "Ω≈ç√∫ µ≤≥÷",
+    "a deliberately long entry that overflows typical list layouts, wraps \
+     across several lines, and exercises truncation and measurement paths \
+     that short inputs never reach (0123456789 0123456789 0123456789)",
 ];
 
 fn generate_text(rng: &mut StdRng) -> String {
+    use rand::Rng;
     let i = rng.gen_range(0..INPUT_POOL.len());
     INPUT_POOL[i].to_owned()
+}
+
+/// What [`Run::next_action`] chose, and from where — consumed by the
+/// acceptance bookkeeping ([`Run::note_accepted`]/[`Run::note_effect`]).
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    /// Fingerprint of the state the choice was made in.
+    fp: StateFingerprint,
+    /// Interned action name.
+    name: Symbol,
+    /// Target element index (0 for untargeted actions).
+    target_index: u32,
+}
+
+impl Default for Choice {
+    fn default() -> Self {
+        Choice {
+            fp: StateFingerprint::EMPTY,
+            name: Symbol::intern("noop!"),
+            target_index: 0,
+        }
+    }
 }
 
 /// The per-run machinery shared by random runs and scripted replays.
@@ -61,14 +114,32 @@ pub(crate) struct Run<'a> {
     pub(crate) options: &'a CheckOptions,
     pub(crate) evaluator: Evaluator<Thunk>,
     /// Event name lookup: selector → declared `…?` event names.
-    pub(crate) events_by_selector: BTreeMap<Selector, Vec<String>>,
+    pub(crate) events_by_selector: BTreeMap<Selector, Vec<Symbol>>,
     /// Event-declared timeouts: event name → ms.
-    pub(crate) event_timeouts: BTreeMap<String, u64>,
+    pub(crate) event_timeouts: BTreeMap<Symbol, u64>,
+    /// The check's action names, interned once and aligned with
+    /// `check.actions` — the enabled-action enumeration runs every step
+    /// and must not hit the global interner per candidate set.
+    action_syms: Vec<Symbol>,
+    /// Pre-interned `"timeout?"` (per-message `happened` filling).
+    sym_timeout: Symbol,
+    /// Pre-interned `"loaded?"` (per-message `happened` filling).
+    sym_loaded: Symbol,
     pub(crate) trace: Vec<TraceEntry>,
     pub(crate) script: Vec<ActionInstance>,
     pub(crate) actions_done: usize,
-    /// Per-action-name execution counts (the LeastTried strategy, §5.1).
-    pub(crate) action_counts: BTreeMap<String, usize>,
+    /// Per-action-name acceptance counts (the LeastTried signal, §5.1).
+    pub(crate) action_counts: BTreeMap<Symbol, usize>,
+    /// The pluggable action picker built from [`CheckOptions::strategy`].
+    pub(crate) strategy: Box<dyn Strategy>,
+    /// Coverage observations: fingerprints, transitions, first visits and
+    /// per-`(state, action)` counts, maintained incrementally per step.
+    pub(crate) coverage: RunCoverage,
+    /// Where and what the last returned action was: the choice-time
+    /// fingerprint plus the action's interned name and target index —
+    /// captured at selection so acceptance bookkeeping never re-interns
+    /// or re-derives them.
+    last_choice: Choice,
     pub(crate) last_state: Option<StateSnapshot>,
     pub(crate) last_report: Option<StepReport>,
     pub(crate) pending_wait: Option<u64>,
@@ -94,18 +165,16 @@ impl<'a> Run<'a> {
         property: &Thunk,
         options: &'a CheckOptions,
     ) -> Self {
-        let mut events_by_selector: BTreeMap<Selector, Vec<String>> = BTreeMap::new();
+        let mut events_by_selector: BTreeMap<Selector, Vec<Symbol>> = BTreeMap::new();
         let mut event_timeouts = BTreeMap::new();
         for name in &check.events {
             if let Some(av) = spec.action(name) {
+                let sym = Symbol::intern(name);
                 if let Some(sel) = &av.selector {
-                    events_by_selector
-                        .entry(*sel)
-                        .or_default()
-                        .push(name.clone());
+                    events_by_selector.entry(*sel).or_default().push(sym);
                 }
                 if let Some(t) = av.timeout_ms {
-                    event_timeouts.insert(name.clone(), t);
+                    event_timeouts.insert(sym, t);
                 }
             }
         }
@@ -116,10 +185,16 @@ impl<'a> Run<'a> {
             evaluator: Evaluator::new(Formula::Atom(property.clone())),
             events_by_selector,
             event_timeouts,
+            action_syms: check.actions.iter().map(|n| Symbol::intern(n)).collect(),
+            sym_timeout: Symbol::intern("timeout?"),
+            sym_loaded: Symbol::intern("loaded?"),
             trace: Vec::new(),
             script: Vec::new(),
             actions_done: 0,
             action_counts: BTreeMap::new(),
+            strategy: options.strategy.build(),
+            coverage: RunCoverage::new(),
+            last_choice: Choice::default(),
             last_state: None,
             last_report: None,
             pending_wait: None,
@@ -129,24 +204,30 @@ impl<'a> Run<'a> {
 
     /// The `happened` names for an executor message (§3.2: "all events or
     /// actions that occurred immediately prior to the current state").
-    fn happened_for(&self, msg: &ExecutorMsg, action: Option<&ActionInstance>) -> Vec<String> {
+    /// Interned end to end: no string is cloned per step.
+    fn happened_for(&self, msg: &ExecutorMsg, action: Option<&ActionInstance>) -> Vec<Symbol> {
         match msg {
-            ExecutorMsg::Acted { .. } => action.map(|a| vec![a.name.clone()]).unwrap_or_default(),
-            ExecutorMsg::Timeout { .. } => vec!["timeout?".to_owned()],
+            ExecutorMsg::Acted { .. } => action
+                .map(|a| vec![Symbol::intern(&a.name)])
+                .unwrap_or_default(),
+            ExecutorMsg::Timeout { .. } => vec![self.sym_timeout],
             ExecutorMsg::Event { event, detail, .. } => {
                 if event == "loaded?" {
-                    return vec!["loaded?".to_owned()];
+                    return vec![self.sym_loaded];
                 }
-                let mut mapped: Vec<String> = detail
+                let mut mapped: Vec<Symbol> = detail
                     .iter()
                     .filter_map(|sel| self.events_by_selector.get(sel))
                     .flatten()
-                    .cloned()
+                    .copied()
                     .collect();
-                mapped.sort();
+                // Sort by *text* (symbol order is interning order), so
+                // the recorded `happened` lists keep the alphabetical
+                // order reports and traces have always had.
+                mapped.sort_unstable_by_key(|s| s.as_str());
                 mapped.dedup();
                 if mapped.is_empty() {
-                    vec![event.clone()]
+                    vec![Symbol::intern(event)]
                 } else {
                     mapped
                 }
@@ -154,14 +235,17 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Feeds one executor message into the trace and the formula.
+    /// Feeds one executor message into the trace, the formula, and the
+    /// coverage accounting.
     ///
     /// The carried [`StateUpdate`] is reconstructed against the previous
     /// state: a full snapshot replaces it, a delta is applied onto it —
     /// sharing the query results of every unchanged selector, so the
-    /// recorded trace grows by O(changed) per step. Delta versions must
-    /// follow the trace length exactly (the executor numbers states from
-    /// 1); a gap means a missed update and is a protocol error.
+    /// recorded trace grows by O(changed) per step. The state's
+    /// [`StateFingerprint`] is maintained the same way: a delta only
+    /// re-hashes its changed selectors. Delta versions must follow the
+    /// trace length exactly (the executor numbers states from 1); a gap
+    /// means a missed update and is a protocol error.
     pub(crate) fn ingest(
         &mut self,
         msg: &ExecutorMsg,
@@ -184,6 +268,8 @@ impl<'a> Run<'a> {
             .resolve(self.last_state.as_ref())
             .map_err(|e| CheckError::new(e.to_string()))?;
         state.happened = happened.clone();
+        let fp = self.coverage.fingerprinter().observe_update(&state, update);
+        self.coverage.observe_state(fp, self.script.len());
         self.trace.push(TraceEntry {
             state: state.clone(),
         });
@@ -231,12 +317,13 @@ impl<'a> Run<'a> {
         )
     }
 
-    /// Every enabled action instance at the current state. Guard
-    /// evaluation counts toward [`Run::eval_time`].
+    /// Every enabled action instance at the current state, paired with
+    /// its interned name. Guard evaluation counts toward
+    /// [`Run::eval_time`].
     fn enabled_instances(
         &mut self,
         rng: &mut Option<&mut StdRng>,
-    ) -> Result<Vec<ActionInstance>, CheckError> {
+    ) -> Result<Vec<Candidate>, CheckError> {
         let eval_started = std::time::Instant::now();
         let result = self.enabled_instances_inner(rng);
         self.eval_time += eval_started.elapsed();
@@ -246,11 +333,11 @@ impl<'a> Run<'a> {
     fn enabled_instances_inner(
         &self,
         rng: &mut Option<&mut StdRng>,
-    ) -> Result<Vec<ActionInstance>, CheckError> {
+    ) -> Result<Vec<Candidate>, CheckError> {
         let state = self.last_state.as_ref().expect("state after start");
         let ctx = EvalCtx::with_state(state, self.options.default_demand);
         let mut out = Vec::new();
-        for name in &self.check.actions {
+        for (name, &sym) in self.check.actions.iter().zip(&self.action_syms) {
             let av: Arc<ActionValue> = match self.spec.action(name) {
                 Some(av) => Arc::clone(av),
                 // `noop!`/`reload!` may appear in with-lists undeclared.
@@ -291,10 +378,16 @@ impl<'a> Run<'a> {
                             instance.kind = ActionKind::Input(Some(generate_text(rng)));
                         }
                     }
-                    out.push(instance);
+                    out.push(Candidate {
+                        action: instance,
+                        name: sym,
+                    });
                 }
             } else {
-                out.push(base);
+                out.push(Candidate {
+                    action: base,
+                    name: sym,
+                });
             }
         }
         Ok(out)
@@ -306,7 +399,7 @@ impl<'a> Run<'a> {
         source: &mut ActionSource<'_>,
     ) -> Result<Option<ActionInstance>, CheckError> {
         match source {
-            ActionSource::Random(rng) => {
+            ActionSource::Random { rng, prefix, pos } => {
                 let budget_spent = self.actions_done >= self.options.max_actions;
                 if budget_spent && !self.demands_more() {
                     return Ok(None);
@@ -314,35 +407,85 @@ impl<'a> Run<'a> {
                 if self.actions_done >= self.options.hard_action_cap() {
                     return Ok(None);
                 }
-                let mut candidates = {
+                // Corpus replay-then-extend: walk the prefix first. An
+                // action that no longer applies (guard false, target
+                // gone) abandons the rest of the prefix — the run
+                // diverged, so the remainder would lead somewhere else
+                // anyway — and falls through to strategy selection.
+                while *pos < prefix.len() {
+                    let action = prefix[*pos].clone();
+                    *pos += 1;
+                    if self.script_action_valid(&action)? {
+                        self.last_choice = Choice {
+                            fp: self.coverage.current(),
+                            name: Symbol::intern(&action.name),
+                            target_index: target_index(&action),
+                        };
+                        return Ok(Some(action));
+                    }
+                    *pos = prefix.len();
+                }
+                let candidates = {
                     let mut rng_opt: Option<&mut StdRng> = Some(rng);
                     self.enabled_instances(&mut rng_opt)?
                 };
                 if candidates.is_empty() {
                     return Ok(None);
                 }
-                if self.options.strategy == SelectionStrategy::LeastTried {
-                    // Keep only the instances of the least-performed
-                    // action names (§5.1's "more targeted" selection).
-                    let min = candidates
-                        .iter()
-                        .map(|c| self.action_counts.get(&c.name).copied().unwrap_or(0))
-                        .min()
-                        .expect("nonempty");
-                    candidates
-                        .retain(|c| self.action_counts.get(&c.name).copied().unwrap_or(0) == min);
-                }
-                let i = rng.gen_range(0..candidates.len());
-                Ok(Some(candidates[i].clone()))
+                let ctx = StrategyCtx {
+                    current: self.coverage.current(),
+                    action_counts: &self.action_counts,
+                    coverage: &self.coverage,
+                };
+                let chosen = &candidates[self.strategy.pick(&ctx, &candidates, rng)];
+                self.last_choice = Choice {
+                    fp: self.coverage.current(),
+                    name: chosen.name,
+                    target_index: chosen.target_index(),
+                };
+                Ok(Some(chosen.action.clone()))
             }
             ActionSource::Script { actions, pos } => {
                 let Some(action) = actions.get(*pos) else {
                     return Ok(None);
                 };
                 *pos += 1;
+                // Scripted replays go through the same acceptance
+                // bookkeeping as random runs, so the choice must be
+                // recorded here too — otherwise their counts and
+                // coverage pairs would be credited to a stale choice.
+                self.last_choice = Choice {
+                    fp: self.coverage.current(),
+                    name: Symbol::intern(&action.name),
+                    target_index: target_index(action),
+                };
                 Ok(Some(action.clone()))
             }
         }
+    }
+
+    /// Script bookkeeping for an accepted action, called *before* the
+    /// resulting states are ingested so that trace positions (and the
+    /// corpus prefix lengths harvested from them) include the action
+    /// that produced them. The interned name and target index were
+    /// captured when the action was chosen ([`Run::next_action`]).
+    pub(crate) fn note_accepted(&mut self, action: ActionInstance) {
+        *self.action_counts.entry(self.last_choice.name).or_default() += 1;
+        self.script.push(action);
+        self.actions_done += 1;
+    }
+
+    /// Coverage bookkeeping for an accepted action, called *after* its
+    /// resulting states were ingested: records the `(state, action)`
+    /// pair against the choice-time fingerprint, with productivity read
+    /// off the now-current fingerprint ([`RunCoverage::note_action`]).
+    pub(crate) fn note_effect(&mut self) {
+        let Choice {
+            fp,
+            name,
+            target_index,
+        } = self.last_choice;
+        self.coverage.note_action(fp, name, target_index);
     }
 
     /// Is a scripted action still applicable at the current state?

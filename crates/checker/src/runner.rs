@@ -30,6 +30,7 @@ use crate::pool::{self, Cancellation};
 use crate::report::{Counterexample, PhaseTimings, PropertyReport, Report, RunResult};
 use crate::run::{ActionSource, RunOutcome};
 use crate::session::Session;
+use quickstrom_explore::{CoverageMap, CoverageStats, RunCoverage, TraceCorpus};
 use quickstrom_protocol::TransportStats;
 use quickstrom_protocol::{ActionInstance, Executor};
 use rand::rngs::StdRng;
@@ -116,10 +117,19 @@ struct ExecutedRun {
     result: RunResult,
     timings: PhaseTimings,
     transport: TransportStats,
+    /// The accepted action script (the corpus harvests novel prefixes
+    /// from it).
+    script: Vec<ActionInstance>,
+    /// The run's coverage observations, merged into the property's map in
+    /// canonical index order.
+    coverage: RunCoverage,
+    /// Whether the run was seeded with a corpus prefix.
+    replayed: bool,
 }
 
 /// Executes the run at `index`: fresh executor, fresh RNG seeded from
-/// `(options.seed, index)`.
+/// `(options.seed, index)`, optionally replaying a corpus `prefix` before
+/// extending with strategy-chosen actions.
 fn run_one(
     spec: &CompiledSpec,
     check: &CheckDef,
@@ -127,12 +137,14 @@ fn run_one(
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
     index: usize,
+    prefix: Option<&[ActionInstance]>,
 ) -> Result<ExecutedRun, CheckError> {
     let mut session = Session::new(spec, check, property, options, make_executor());
-    let mut source = ActionSource::Random(StdRng::seed_from_u64(derive_run_seed(
-        options.seed,
-        index as u64,
-    )));
+    let mut source = ActionSource::Random {
+        rng: StdRng::seed_from_u64(derive_run_seed(options.seed, index as u64)),
+        prefix: prefix.unwrap_or(&[]),
+        pos: 0,
+    };
     let outcome = session.drive(&mut source)?;
     let result = match outcome {
         RunOutcome::Result(result) => result,
@@ -146,6 +158,9 @@ fn run_one(
         result,
         timings: session.timings(),
         transport: session.transport(),
+        script: session.take_script(),
+        coverage: session.take_coverage(),
+        replayed: prefix.is_some(),
     })
 }
 
@@ -160,7 +175,7 @@ fn run_tests_sequential(
 ) -> Result<Vec<ExecutedRun>, CheckError> {
     let mut executed = Vec::new();
     for index in 0..options.tests {
-        let run = run_one(spec, check, property, options, make_executor, index)?;
+        let run = run_one(spec, check, property, options, make_executor, index, None)?;
         let failed = run.result.is_failure();
         executed.push(run);
         if failed {
@@ -187,7 +202,7 @@ fn run_tests_parallel(
             if cancel.should_skip(index) {
                 return None;
             }
-            let outcome = run_one(spec, check, property, options, make_executor, index);
+            let outcome = run_one(spec, check, property, options, make_executor, index, None);
             let stops = match &outcome {
                 Ok(run) => run.result.is_failure(),
                 Err(_) => true,
@@ -214,6 +229,104 @@ fn run_tests_parallel(
         }
     }
     Ok(executed)
+}
+
+/// How many runs are dispatched between corpus-harvest barriers when the
+/// strategy schedules corpus replays.
+///
+/// The epoch is a fixed constant — *never* derived from the worker
+/// count — because it is part of the determinism contract: runs within
+/// an epoch are seeded before the epoch starts (from the corpus contents
+/// at the barrier) and merged in index order after it, so the corpus a
+/// run sees depends only on `(strategy, seed, run index)`, not on
+/// scheduling. Larger epochs would fan out better but feed discoveries
+/// back more slowly; four runs keeps both effects small.
+const CORPUS_EPOCH: usize = 4;
+
+/// What the corpus-scheduled fan-out produces beyond the runs: the merged
+/// coverage and how the corpus was used.
+struct CorpusOutcome {
+    executed: Vec<ExecutedRun>,
+    coverage: CoverageMap,
+    corpus_size: usize,
+    corpus_replays: usize,
+}
+
+/// The coverage-guided loop: runs execute in fixed-size epochs; between
+/// epochs the per-run coverage is merged (in index order) into the
+/// property's map, prefixes that reached property-novel fingerprints
+/// enter the [`TraceCorpus`], and the next epoch's runs are
+/// deterministically seeded with replay-then-extend prefixes.
+///
+/// Stop-at-first-failure matches the sequential semantics: the merge
+/// stops at the first failing index (inclusive); later runs of that
+/// epoch are discarded identically for every `jobs` value.
+fn run_tests_corpus(
+    spec: &CompiledSpec,
+    check: &CheckDef,
+    property: &Thunk,
+    options: &CheckOptions,
+    make_executor: MakeExecutor<'_>,
+) -> Result<CorpusOutcome, CheckError> {
+    let mut corpus = TraceCorpus::default();
+    let mut coverage = CoverageMap::new();
+    let mut executed = Vec::new();
+    let mut corpus_replays = 0usize;
+    let mut stopped = false;
+    let mut start = 0usize;
+    while start < options.tests && !stopped {
+        let end = (start + CORPUS_EPOCH).min(options.tests);
+        // Seed the epoch from the corpus as it stands at this barrier —
+        // a pure function of (corpus contents, run index).
+        let prefixes: Vec<Option<Vec<ActionInstance>>> = (start..end)
+            .map(|index| {
+                corpus
+                    .schedule(index, options.max_actions)
+                    .map(|entry| entry.script.clone())
+            })
+            .collect();
+        let slots: Vec<Result<ExecutedRun, CheckError>> =
+            pool::run_ordered(options.jobs, end - start, |k| {
+                run_one(
+                    spec,
+                    check,
+                    property,
+                    options,
+                    make_executor,
+                    start + k,
+                    prefixes[k].as_deref(),
+                )
+            });
+        for outcome in slots {
+            let run = outcome?;
+            // Harvest prefixes that reached property-novel fingerprints
+            // *before* merging this run's map — merge order is the
+            // canonical index order, so the corpus contents are
+            // deterministic too.
+            for &(len, fp) in &run.coverage.first_visits {
+                if !coverage.contains_state(fp) && len > 0 {
+                    corpus.add(run.script[..len].to_vec(), fp);
+                }
+            }
+            coverage.merge(&run.coverage.map);
+            if run.replayed {
+                corpus_replays += 1;
+            }
+            let failed = run.result.is_failure();
+            executed.push(run);
+            if failed {
+                stopped = true;
+                break;
+            }
+        }
+        start = end;
+    }
+    Ok(CorpusOutcome {
+        executed,
+        coverage,
+        corpus_size: corpus.len(),
+        corpus_replays,
+    })
 }
 
 /// Runs one scripted replay; used by the shrinker.
@@ -317,11 +430,35 @@ pub fn check_property(
     let property = spec
         .property_thunk(property_name)
         .ok_or_else(|| CheckError::new(format!("unknown property `{property_name}`")))?;
-    let executed = if options.jobs > 1 && options.tests > 1 {
-        run_tests_parallel(spec, check, &property, options, make_executor)?
+    let outcome = if options.strategy.uses_corpus() {
+        run_tests_corpus(spec, check, &property, options, make_executor)?
     } else {
-        run_tests_sequential(spec, check, &property, options, make_executor)?
+        let executed = if options.jobs > 1 && options.tests > 1 {
+            run_tests_parallel(spec, check, &property, options, make_executor)?
+        } else {
+            run_tests_sequential(spec, check, &property, options, make_executor)?
+        };
+        // Merge per-run coverage in canonical index order (the union is
+        // order-insensitive anyway, but the canonical order is the
+        // stated contract).
+        let mut coverage = CoverageMap::new();
+        for run in &executed {
+            coverage.merge(&run.coverage.map);
+        }
+        CorpusOutcome {
+            executed,
+            coverage,
+            corpus_size: 0,
+            corpus_replays: 0,
+        }
     };
+    let coverage_stats = CoverageStats {
+        distinct_states: outcome.coverage.distinct_states(),
+        distinct_edges: outcome.coverage.distinct_edges(),
+        corpus_size: outcome.corpus_size,
+        corpus_replays: outcome.corpus_replays,
+    };
+    let executed = outcome.executed;
     let mut runs = Vec::with_capacity(executed.len());
     let mut states_total = 0;
     let mut actions_total = 0;
@@ -360,6 +497,7 @@ pub fn check_property(
         actions_total,
         timings,
         transport,
+        coverage: coverage_stats,
     })
 }
 

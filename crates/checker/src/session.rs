@@ -13,7 +13,8 @@ use crate::options::CheckOptions;
 use crate::report::PhaseTimings;
 use crate::run::{ActionSource, Run, RunOutcome};
 use crate::runner::CheckError;
-use quickstrom_protocol::{CheckerMsg, Executor, ExecutorMsg, TransportStats};
+use quickstrom_explore::RunCoverage;
+use quickstrom_protocol::{ActionInstance, CheckerMsg, Executor, ExecutorMsg, TransportStats};
 use specstrom::{CheckDef, CompiledSpec, Thunk};
 
 /// A [`Run`] coupled with the executor session that feeds it.
@@ -72,6 +73,20 @@ impl<'a> Session<'a> {
         self.run.actions_done
     }
 
+    /// Takes the run's accepted action script (the corpus harvests
+    /// replay prefixes from it). Only called once the run has concluded
+    /// and its result — including any counterexample, which clones the
+    /// script — has been extracted.
+    pub(crate) fn take_script(&mut self) -> Vec<ActionInstance> {
+        std::mem::take(&mut self.run.script)
+    }
+
+    /// Takes the run's coverage observations (leaving fresh, empty
+    /// coverage behind — only called once the run has concluded).
+    pub(crate) fn take_coverage(&mut self) -> RunCoverage {
+        std::mem::take(&mut self.run.coverage)
+    }
+
     /// Executes the run to completion against the owned executor.
     pub(crate) fn drive(
         &mut self,
@@ -87,7 +102,7 @@ impl<'a> Session<'a> {
                  loaded? event)",
             ));
         }
-        let allow_forced = matches!(source, ActionSource::Random(_));
+        let allow_forced = matches!(source, ActionSource::Random { .. });
         for msg in &replies {
             self.run.ingest(msg, None)?;
             if self.run.definitive().is_some() {
@@ -126,6 +141,13 @@ impl<'a> Session<'a> {
                 version,
             });
             let accepted = replies.iter().any(ExecutorMsg::is_acted);
+            if accepted {
+                // Script bookkeeping happens *before* ingesting the
+                // replies, so the states the action produced see a trace
+                // position that includes it — the corpus harvests replay
+                // prefixes from exactly these positions.
+                self.run.note_accepted(action.clone());
+            }
             let mut acted_seen = false;
             for msg in &replies {
                 let tag = if msg.is_acted() && !acted_seen {
@@ -140,13 +162,10 @@ impl<'a> Session<'a> {
                 }
             }
             if accepted {
-                *self
-                    .run
-                    .action_counts
-                    .entry(action.name.clone())
-                    .or_default() += 1;
-                self.run.script.push(action);
-                self.run.actions_done += 1;
+                // Coverage bookkeeping happens *after*: productivity is
+                // the post-action fingerprint differing from the
+                // choice-time one.
+                self.run.note_effect();
             } else if replies.is_empty() {
                 // Neither acted nor any pending event: protocol violation.
                 return Err(CheckError::new(

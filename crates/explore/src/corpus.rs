@@ -1,0 +1,243 @@
+//! The trace corpus: interesting action prefixes, kept for
+//! replay-then-extend scheduling.
+//!
+//! When a run reaches a fingerprint no earlier (merged) run has seen, the
+//! action prefix that got there is worth more than the rest of that run:
+//! replaying it puts a later run back at the frontier with its whole
+//! remaining budget available for *extension*. The corpus stores one
+//! shortest-known prefix per novel fingerprint, keeps the deepest
+//! (longest) prefixes when full, and schedules them deterministically by
+//! run index — no randomness, no wall-clock, so `jobs = N` scheduling is
+//! bit-identical to sequential scheduling.
+
+use quickstrom_protocol::{ActionInstance, StateFingerprint};
+use std::collections::BTreeSet;
+
+/// One corpus entry: the action prefix that first reached a novel
+/// fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// The accepted actions, in order, up to the novel state.
+    pub script: Vec<ActionInstance>,
+    /// The fingerprint the prefix reached.
+    pub fingerprint: StateFingerprint,
+}
+
+/// A bounded store of interesting action prefixes.
+#[derive(Debug, Clone)]
+pub struct TraceCorpus {
+    /// Entries sorted by descending script length (deepest first), ties
+    /// by fingerprint — a deterministic total order.
+    entries: Vec<CorpusEntry>,
+    /// Fingerprints currently represented (one entry per fingerprint).
+    known: BTreeSet<StateFingerprint>,
+    cap: usize,
+}
+
+/// The default corpus capacity.
+pub const DEFAULT_CORPUS_CAP: usize = 128;
+
+/// Out of this many scheduled runs, one explores fresh (no prefix) — the
+/// corpus must keep competing against unbiased exploration, or an early
+/// frontier would lock the whole budget onto one region.
+const FRESH_EVERY: usize = 8;
+
+/// Replays round-robin over at most this many of the deepest eligible
+/// entries (see [`TraceCorpus::schedule`]).
+const REPLAY_POOL: usize = 8;
+
+impl TraceCorpus {
+    /// An empty corpus holding at most `cap` entries.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> TraceCorpus {
+        TraceCorpus {
+            entries: Vec::new(),
+            known: BTreeSet::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The number of stored prefixes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no prefix is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Offers a prefix that reached `fingerprint`. Returns `true` when it
+    /// was admitted: the script is non-empty and either the fingerprint
+    /// is not yet represented, the new prefix is *shorter* than the
+    /// represented one (replays re-walk known states, so a shorter route
+    /// to the same place makes every future replay cheaper), or (when
+    /// full) the prefix is deep enough to evict the shallowest entry.
+    pub fn add(&mut self, script: Vec<ActionInstance>, fingerprint: StateFingerprint) -> bool {
+        if script.is_empty() {
+            return false;
+        }
+        if self.known.contains(&fingerprint) {
+            let existing = self
+                .entries
+                .iter()
+                .position(|e| e.fingerprint == fingerprint)
+                .expect("known fingerprints have an entry");
+            if self.entries[existing].script.len() <= script.len() {
+                return false;
+            }
+            self.entries.remove(existing);
+            self.known.remove(&fingerprint);
+        }
+        let entry = CorpusEntry {
+            script,
+            fingerprint,
+        };
+        // Descending length, ascending fingerprint: a deterministic
+        // total order with the deepest prefixes first.
+        let key = |e: &CorpusEntry| (usize::MAX - e.script.len(), e.fingerprint);
+        let pos = self
+            .entries
+            .binary_search_by_key(&key(&entry), key)
+            .unwrap_or_else(|p| p);
+        if self.entries.len() >= self.cap {
+            if pos >= self.entries.len() {
+                return false; // shallower than everything we hold
+            }
+            let evicted = self.entries.pop().expect("cap >= 1");
+            self.known.remove(&evicted.fingerprint);
+        }
+        self.known.insert(entry.fingerprint);
+        self.entries.insert(pos.min(self.entries.len()), entry);
+        true
+    }
+
+    /// The replay prefix for the run at `run_index`, or `None` when the
+    /// run should explore fresh.
+    ///
+    /// Deterministic in `(corpus contents, run_index, max_prefix)`: every
+    /// `FRESH_EVERY`th (eighth) run explores fresh; the others alternate between
+    /// two replay pools over the entries whose prefix leaves at least
+    /// half of `max_prefix` unspent (a prefix that eats the whole action
+    /// budget would replay without ever extending) —
+    ///
+    /// * a **frontier pool**: the `REPLAY_POOL` (eight) *deepest* eligible
+    ///   entries. This is what makes corridors crack: most corpus
+    ///   entries are shallow variations near the start state, and
+    ///   round-robining over all of them would almost never resume from
+    ///   the frontier;
+    /// * a **breadth pool**: every eligible entry. This is what pays on
+    ///   wide state spaces, where extending *many different* mid-depth
+    ///   states covers more than hammering the deepest few.
+    #[must_use]
+    pub fn schedule(&self, run_index: usize, max_prefix: usize) -> Option<&CorpusEntry> {
+        if self.entries.is_empty() || run_index.is_multiple_of(FRESH_EVERY) {
+            return None;
+        }
+        let eligible: Vec<&CorpusEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.script.len() * 2 <= max_prefix)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let pool = if run_index % 4 == 2 {
+            &eligible[..REPLAY_POOL.min(eligible.len())]
+        } else {
+            &eligible[..]
+        };
+        Some(pool[run_index % pool.len()])
+    }
+}
+
+impl Default for TraceCorpus {
+    fn default() -> Self {
+        TraceCorpus::with_capacity(DEFAULT_CORPUS_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quickstrom_protocol::ActionKind;
+
+    fn fp(raw: u64) -> StateFingerprint {
+        StateFingerprint::from_raw(raw)
+    }
+
+    fn script(len: usize) -> Vec<ActionInstance> {
+        (0..len)
+            .map(|_| ActionInstance::untargeted("noop!", ActionKind::Noop))
+            .collect()
+    }
+
+    #[test]
+    fn one_entry_per_fingerprint_preferring_shorter_routes() {
+        let mut c = TraceCorpus::with_capacity(8);
+        assert!(c.add(script(3), fp(1)));
+        assert!(!c.add(script(5), fp(1)), "longer route to a known place");
+        assert!(!c.add(Vec::new(), fp(2)), "empty prefixes are useless");
+        assert!(c.add(script(5), fp(2)));
+        assert_eq!(c.len(), 2);
+        // A *shorter* route to a represented fingerprint replaces it —
+        // every future replay of that entry gets cheaper.
+        assert!(c.add(script(2), fp(2)));
+        assert_eq!(c.len(), 2);
+        let shortest = c
+            .entries
+            .iter()
+            .find(|e| e.fingerprint == fp(2))
+            .expect("still represented");
+        assert_eq!(shortest.script.len(), 2);
+    }
+
+    #[test]
+    fn entries_sort_deepest_first_and_evict_shallowest() {
+        let mut c = TraceCorpus::with_capacity(3);
+        assert!(c.add(script(2), fp(1)));
+        assert!(c.add(script(6), fp(2)));
+        assert!(c.add(script(4), fp(3)));
+        // Full. A deeper prefix evicts the shallowest…
+        assert!(c.add(script(5), fp(4)));
+        assert_eq!(c.len(), 3);
+        assert!(!c.known.contains(&fp(1)), "shallowest entry evicted");
+        // …and a shallower one is rejected outright.
+        assert!(!c.add(script(1), fp(5)));
+        // The evicted fingerprint may be re-offered later.
+        assert!(c.add(script(7), fp(1)));
+    }
+
+    #[test]
+    fn scheduling_is_deterministic_and_mixes_in_fresh_runs() {
+        let mut c = TraceCorpus::with_capacity(8);
+        assert_eq!(c.schedule(1, 40), None, "empty corpus: always fresh");
+        c.add(script(10), fp(1));
+        c.add(script(6), fp(2));
+        assert!(c.schedule(0, 40).is_none(), "every 8th run is fresh");
+        assert!(c.schedule(8, 40).is_none());
+        let a = c.schedule(1, 40).expect("replay run");
+        let b = c.schedule(1, 40).expect("same index, same entry");
+        assert_eq!(a, b);
+        // Round-robin across indices covers both entries.
+        let picked: BTreeSet<StateFingerprint> = (1..8)
+            .filter_map(|i| c.schedule(i, 40))
+            .map(|e| e.fingerprint)
+            .collect();
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn scheduling_skips_prefixes_that_eat_the_budget() {
+        let mut c = TraceCorpus::with_capacity(8);
+        c.add(script(30), fp(1));
+        assert!(
+            c.schedule(1, 40).is_none(),
+            "a 30-action prefix leaves no room to extend a 40-action run"
+        );
+        c.add(script(12), fp(2));
+        assert_eq!(c.schedule(1, 40).expect("eligible").fingerprint, fp(2));
+    }
+}

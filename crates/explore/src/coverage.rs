@@ -1,0 +1,337 @@
+//! Coverage accounting: which abstract states a sweep has visited.
+//!
+//! A [`CoverageMap`] is a set of distinct [`StateFingerprint`]s plus the
+//! set of observed fingerprint *transitions* (directed edges). Every run
+//! builds its own [`RunCoverage`] in isolation — this is what keeps the
+//! parallel runtime deterministic: a run's behaviour depends only on its
+//! own trace, never on what concurrent runs discovered — and the checker
+//! merges the per-run maps into a property-level map in canonical
+//! run-index order. Since merging is a set union plus count addition, the
+//! merged numbers are identical for `jobs = 1` and `jobs = N`.
+
+use crate::fingerprinter::Fingerprinter;
+use quickstrom_protocol::{StateFingerprint, Symbol};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Distinct fingerprints and fingerprint transitions observed by one run,
+/// one property, or one sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    states: BTreeSet<StateFingerprint>,
+    edges: BTreeSet<(StateFingerprint, StateFingerprint)>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Records a visited state; returns `true` when it was new to this
+    /// map.
+    pub fn insert_state(&mut self, fp: StateFingerprint) -> bool {
+        self.states.insert(fp)
+    }
+
+    /// Records a transition; returns `true` when it was new to this map.
+    pub fn insert_edge(&mut self, from: StateFingerprint, to: StateFingerprint) -> bool {
+        self.edges.insert((from, to))
+    }
+
+    /// Has this state been visited?
+    #[must_use]
+    pub fn contains_state(&self, fp: StateFingerprint) -> bool {
+        self.states.contains(&fp)
+    }
+
+    /// The number of distinct states visited.
+    #[must_use]
+    pub fn distinct_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The number of distinct transitions observed.
+    #[must_use]
+    pub fn distinct_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Set union — commutative and associative, so any merge order
+    /// produces the same map.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        self.states.extend(other.states.iter().copied());
+        self.edges.extend(other.edges.iter().copied());
+    }
+}
+
+/// The summary a [`PropertyReport`] carries: the coverage numbers of one
+/// property check, plus how the trace corpus was used to produce them.
+///
+/// [`PropertyReport`]: ../quickstrom_checker/report/struct.PropertyReport.html
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageStats {
+    /// Distinct state fingerprints reached across the merged runs.
+    pub distinct_states: usize,
+    /// Distinct fingerprint transitions observed across the merged runs.
+    pub distinct_edges: usize,
+    /// Entries in the trace corpus when the check finished.
+    pub corpus_size: usize,
+    /// Runs that were seeded with a corpus prefix (replay-then-extend).
+    pub corpus_replays: usize,
+}
+
+impl CoverageStats {
+    /// Component-wise accumulation across properties. Distinct counts are
+    /// *summed* — two properties may well visit overlapping states, so
+    /// this is an upper bound on whole-spec coverage, reported per
+    /// property where exactness matters.
+    pub fn absorb(&mut self, other: CoverageStats) {
+        self.distinct_states += other.distinct_states;
+        self.distinct_edges += other.distinct_edges;
+        self.corpus_size += other.corpus_size;
+        self.corpus_replays += other.corpus_replays;
+    }
+}
+
+/// What happened when an action name was tried from a given state: how
+/// often, and how often it actually changed the abstract state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairStats {
+    /// Times the action was performed from the state.
+    pub tried: u32,
+    /// Of those, times the fingerprint changed (the action was
+    /// *productive* — a self-looping click is not).
+    pub productive: u32,
+}
+
+/// Run-wide statistics for one action name, for the dead-name signal.
+#[derive(Debug, Clone, Default)]
+struct NameStats {
+    tried: u32,
+    productive: u32,
+    /// Distinct target indices tried. Convicting a name as a run-wide
+    /// dud requires evidence across several *instances*: a single-target
+    /// action whose productivity is state-dependent (submit on a blank
+    /// form) must not be buried by a few early failures, while a
+    /// hundred-instance grid action that self-loops everywhere should.
+    instances: BTreeSet<u32>,
+}
+
+/// Everything one run observes about coverage, accumulated step by step
+/// as states arrive and actions are accepted.
+#[derive(Debug, Clone, Default)]
+pub struct RunCoverage {
+    /// The fingerprints and edges this run visited.
+    pub map: CoverageMap,
+    /// `(script length, fingerprint)` at the first visit of each
+    /// run-novel fingerprint, in visit order. The script length is the
+    /// number of accepted actions when the state was reached — the replay
+    /// prefix that leads back to it.
+    pub first_visits: Vec<(usize, StateFingerprint)>,
+    /// Per-`(state fingerprint, action name)` statistics — the primary
+    /// novelty signal: `(times tried, times it changed the fingerprint)`.
+    pairs_name: BTreeMap<(StateFingerprint, Symbol), PairStats>,
+    /// Per-name statistics across the whole run — the generalisation of
+    /// the self-loop signal: an action that never changed the state
+    /// *anywhere* is probably not going to change it here either.
+    names: BTreeMap<Symbol, NameStats>,
+    /// How often each `(state fingerprint, action name, target index)`
+    /// triple was performed — the secondary signal. The target index
+    /// matters on wide DOMs: selecting row 5 and selecting row 80 of a
+    /// grid are different explorations even though both are `selectRow!`.
+    pairs_instance: BTreeMap<(StateFingerprint, Symbol, u32), u32>,
+    /// Incremental fingerprint of the evolving state.
+    fingerprinter: Fingerprinter,
+    /// The previous state's fingerprint (edge source), once a state has
+    /// been observed.
+    last: Option<StateFingerprint>,
+}
+
+impl RunCoverage {
+    /// Fresh, empty coverage for a new run.
+    #[must_use]
+    pub fn new() -> RunCoverage {
+        RunCoverage::default()
+    }
+
+    /// The incremental fingerprinter (the checker feeds it one
+    /// [`StateUpdate`](quickstrom_protocol::StateUpdate) per step).
+    pub fn fingerprinter(&mut self) -> &mut Fingerprinter {
+        &mut self.fingerprinter
+    }
+
+    /// The fingerprint of the most recently observed state.
+    #[must_use]
+    pub fn current(&self) -> StateFingerprint {
+        self.fingerprinter.current()
+    }
+
+    /// Records the arrival of a state with the given fingerprint, reached
+    /// after `script_len` accepted actions. Returns `true` when the state
+    /// was new to this run.
+    pub fn observe_state(&mut self, fp: StateFingerprint, script_len: usize) -> bool {
+        let novel = self.map.insert_state(fp);
+        if novel {
+            self.first_visits.push((script_len, fp));
+        }
+        if let Some(prev) = self.last {
+            if prev != fp {
+                self.map.insert_edge(prev, fp);
+            }
+        }
+        self.last = Some(fp);
+        novel
+    }
+
+    /// Records that the named action was performed against target
+    /// `index` in the state with fingerprint `fp`. Whether it was
+    /// *productive* — actually moved the application to a different
+    /// abstract state — is read off the current fingerprint, which by
+    /// call order (states are ingested before the action is noted) is the
+    /// post-action state.
+    pub fn note_action(&mut self, fp: StateFingerprint, action: Symbol, index: u32) {
+        let productive = self.current() != fp;
+        let stats = self.pairs_name.entry((fp, action)).or_default();
+        stats.tried += 1;
+        stats.productive += u32::from(productive);
+        let global = self.names.entry(action).or_default();
+        global.tried += 1;
+        global.productive += u32::from(productive);
+        global.instances.insert(index);
+        *self.pairs_instance.entry((fp, action, index)).or_default() += 1;
+    }
+
+    /// The `(tried, productive)` statistics of the named action in the
+    /// state with fingerprint `fp` during this run.
+    #[must_use]
+    pub fn pair_stats(&self, fp: StateFingerprint, action: Symbol) -> PairStats {
+        self.pairs_name
+            .get(&(fp, action))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// How often the named action has been performed (against any target)
+    /// in the state with fingerprint `fp` during this run.
+    #[must_use]
+    pub fn pair_count(&self, fp: StateFingerprint, action: Symbol) -> u32 {
+        self.pair_stats(fp, action).tried
+    }
+
+    /// Is the named action a known dud — tried at least six times this
+    /// run, across at least three distinct target instances, without ever
+    /// changing the abstract state anywhere?
+    #[must_use]
+    pub fn name_is_dead(&self, action: Symbol) -> bool {
+        self.names
+            .get(&action)
+            .is_some_and(|s| s.tried >= 6 && s.productive == 0 && s.instances.len() >= 3)
+    }
+
+    /// How often the named action has been performed against target
+    /// `index` in the state with fingerprint `fp` during this run.
+    #[must_use]
+    pub fn instance_count(&self, fp: StateFingerprint, action: Symbol, index: u32) -> u32 {
+        self.pairs_instance
+            .get(&(fp, action, index))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(raw: u64) -> StateFingerprint {
+        StateFingerprint::from_raw(raw)
+    }
+
+    #[test]
+    fn map_counts_distinct_states_and_edges() {
+        let mut m = CoverageMap::new();
+        assert!(m.insert_state(fp(1)));
+        assert!(!m.insert_state(fp(1)));
+        assert!(m.insert_state(fp(2)));
+        assert!(m.insert_edge(fp(1), fp(2)));
+        assert!(!m.insert_edge(fp(1), fp(2)));
+        assert!(m.insert_edge(fp(2), fp(1)));
+        assert_eq!(m.distinct_states(), 2);
+        assert_eq!(m.distinct_edges(), 2);
+        assert!(m.contains_state(fp(1)));
+        assert!(!m.contains_state(fp(3)));
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let mut a = CoverageMap::new();
+        a.insert_state(fp(1));
+        a.insert_edge(fp(1), fp(2));
+        let mut b = CoverageMap::new();
+        b.insert_state(fp(2));
+        b.insert_state(fp(1));
+        b.insert_edge(fp(2), fp(3));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.distinct_states(), 2);
+        assert_eq!(ab.distinct_edges(), 2);
+    }
+
+    #[test]
+    fn run_coverage_tracks_first_visits_and_edges() {
+        let mut rc = RunCoverage::new();
+        assert!(rc.observe_state(fp(10), 0));
+        assert!(rc.observe_state(fp(20), 1));
+        assert!(!rc.observe_state(fp(10), 2)); // revisit
+        assert_eq!(rc.first_visits, vec![(0, fp(10)), (1, fp(20))]);
+        assert_eq!(rc.map.distinct_states(), 2);
+        // 10→20, 20→10; self-loops (state unchanged) are not edges.
+        assert_eq!(rc.map.distinct_edges(), 2);
+        assert!(!rc.observe_state(fp(10), 3));
+        assert_eq!(rc.map.distinct_edges(), 2);
+    }
+
+    #[test]
+    fn pair_counts_accumulate() {
+        let mut rc = RunCoverage::new();
+        let click = Symbol::intern("click!");
+        let other = Symbol::intern("other!");
+        assert_eq!(rc.pair_count(fp(1), click), 0);
+        rc.note_action(fp(1), click, 0);
+        rc.note_action(fp(1), click, 0);
+        rc.note_action(fp(2), click, 0);
+        rc.note_action(fp(1), click, 7);
+        assert_eq!(rc.pair_count(fp(1), click), 3);
+        assert_eq!(rc.instance_count(fp(1), click, 0), 2);
+        assert_eq!(rc.instance_count(fp(1), click, 7), 1);
+        assert_eq!(rc.pair_count(fp(2), click), 1);
+        assert_eq!(rc.pair_count(fp(1), other), 0);
+        assert_eq!(rc.instance_count(fp(1), other, 0), 0);
+    }
+
+    #[test]
+    fn stats_absorb_sums() {
+        let mut total = CoverageStats::default();
+        total.absorb(CoverageStats {
+            distinct_states: 3,
+            distinct_edges: 5,
+            corpus_size: 2,
+            corpus_replays: 1,
+        });
+        total.absorb(CoverageStats {
+            distinct_states: 4,
+            distinct_edges: 1,
+            corpus_size: 0,
+            corpus_replays: 0,
+        });
+        assert_eq!(total.distinct_states, 7);
+        assert_eq!(total.distinct_edges, 6);
+        assert_eq!(total.corpus_size, 2);
+        assert_eq!(total.corpus_replays, 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Incremental fingerprint maintenance: O(changed) per step.
+//!
+//! [`fingerprint_state`] walks every selector of a snapshot; for the
+//! incremental snapshot pipeline that would throw away exactly the
+//! advantage deltas buy. A [`Fingerprinter`] instead keeps the
+//! per-selector [`query_term`]s of the last observed state and, when told
+//! which selectors changed (a
+//! [`SnapshotDelta`](quickstrom_protocol::SnapshotDelta) says exactly
+//! that), subtracts the stale terms and adds the fresh ones — the
+//! commutative-sum construction of the fingerprint makes the update
+//! exact, not approximate, which the explore crate's proptests pin
+//! against full recomputation.
+
+use quickstrom_protocol::{fingerprint_state, query_term, Selector, StateFingerprint};
+use quickstrom_protocol::{StateSnapshot, StateUpdate};
+use std::collections::BTreeMap;
+
+/// Maintains the [`StateFingerprint`] of an evolving state in O(changed)
+/// per step.
+#[derive(Debug, Clone, Default)]
+pub struct Fingerprinter {
+    /// Per-selector terms of the last observed state.
+    terms: BTreeMap<Selector, u64>,
+    /// The running sum of `terms`.
+    current: StateFingerprint,
+}
+
+impl Fingerprinter {
+    /// A fresh fingerprinter that has observed no state (its current
+    /// fingerprint is [`StateFingerprint::EMPTY`]).
+    #[must_use]
+    pub fn new() -> Fingerprinter {
+        Fingerprinter::default()
+    }
+
+    /// The fingerprint of the last observed state.
+    #[must_use]
+    pub fn current(&self) -> StateFingerprint {
+        self.current
+    }
+
+    /// Observes the next state. `changed` lists the selectors whose query
+    /// results may differ from the previous state (additions and removals
+    /// included); `None` means "unknown — recompute everything".
+    ///
+    /// Passing a `changed` list that misses a selector whose results
+    /// actually changed produces a stale fingerprint — callers should
+    /// derive the list from the exact delta algebra
+    /// ([`SnapshotDelta::changed_selectors`]), as
+    /// [`Fingerprinter::observe_update`] does.
+    ///
+    /// [`SnapshotDelta::changed_selectors`]: quickstrom_protocol::SnapshotDelta::changed_selectors
+    pub fn observe(
+        &mut self,
+        state: &StateSnapshot,
+        changed: Option<&[Selector]>,
+    ) -> StateFingerprint {
+        match changed {
+            None => {
+                self.terms.clear();
+                for (sel, elems) in &state.queries {
+                    self.terms.insert(*sel, query_term(sel, elems));
+                }
+                self.current = fingerprint_state(state);
+            }
+            Some(selectors) => {
+                for sel in selectors {
+                    if let Some(old) = self.terms.remove(sel) {
+                        self.current = self.current.remove_term(old);
+                    }
+                    if let Some(elems) = state.queries.get(sel) {
+                        let term = query_term(sel, elems);
+                        self.terms.insert(*sel, term);
+                        self.current = self.current.add_term(term);
+                    }
+                }
+            }
+        }
+        self.current
+    }
+
+    /// Observes the state produced by a [`StateUpdate`]: full snapshots
+    /// recompute from scratch, deltas update only their changed selectors.
+    /// `state` must be the snapshot the update resolved to.
+    pub fn observe_update(
+        &mut self,
+        state: &StateSnapshot,
+        update: &StateUpdate,
+    ) -> StateFingerprint {
+        match update {
+            StateUpdate::Full(_) => self.observe(state, None),
+            StateUpdate::Delta(delta) => self.observe(state, Some(&delta.changed_selectors())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quickstrom_protocol::{ElementState, SnapshotDelta};
+
+    fn snap(pairs: &[(&str, &[&str])]) -> StateSnapshot {
+        let mut s = StateSnapshot::new();
+        for (sel, texts) in pairs {
+            s.insert_query(
+                Selector::new(*sel),
+                texts.iter().map(|t| ElementState::with_text(*t)).collect(),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let base = snap(&[("#a", &["x"]), (".rows", &["1", "2"]), ("#gone", &["g"])]);
+        let next = snap(&[("#a", &["x"]), (".rows", &["1", "2", "3"]), ("#new", &[])]);
+        let delta = SnapshotDelta::diff(&base, &next, 2);
+
+        let mut fp = Fingerprinter::new();
+        assert_eq!(fp.observe(&base, None), fingerprint_state(&base));
+        let incremental = fp.observe_update(&next, &delta.clone().into());
+        assert_eq!(incremental, fingerprint_state(&next));
+        // Removal is covered: `#gone` left the term sum.
+        assert_eq!(fp.current(), fingerprint_state(&next));
+    }
+
+    #[test]
+    fn full_updates_reset_everything() {
+        let a = snap(&[("#a", &["x"])]);
+        let b = snap(&[("#b", &["y", "z"])]);
+        let mut fp = Fingerprinter::new();
+        fp.observe(&a, None);
+        let got = fp.observe_update(&b, &b.clone().into());
+        assert_eq!(got, fingerprint_state(&b));
+    }
+
+    #[test]
+    fn changed_list_order_is_irrelevant() {
+        let base = snap(&[("#a", &["x"]), ("#b", &["y"])]);
+        let next = snap(&[("#a", &["x", "2"]), ("#b", &[])]);
+        let forwards = [Selector::new("#a"), Selector::new("#b")];
+        let backwards = [Selector::new("#b"), Selector::new("#a")];
+        let mut f1 = Fingerprinter::new();
+        f1.observe(&base, None);
+        let mut f2 = f1.clone();
+        assert_eq!(
+            f1.observe(&next, Some(&forwards)),
+            f2.observe(&next, Some(&backwards)),
+        );
+    }
+}

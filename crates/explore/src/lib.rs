@@ -1,0 +1,48 @@
+//! # quickstrom-explore
+//!
+//! Coverage-guided exploration for the Quickstrom checker.
+//!
+//! Quickstrom's checker (§5.1) picks actions with a fixed heuristic and
+//! has no notion of which application states a sweep has already
+//! covered — extra test budget re-explores the same shallow states. This
+//! crate supplies the missing pieces:
+//!
+//! * **State fingerprints** — snapshots abstracted into deterministic
+//!   64-bit shape hashes ([`StateFingerprint`], computed in the protocol
+//!   crate), maintained incrementally in O(changed) per step by a
+//!   [`Fingerprinter`] fed with the snapshot pipeline's
+//!   [`SnapshotDelta`](quickstrom_protocol::SnapshotDelta)s.
+//! * **Coverage maps** — per-run and per-property sets of distinct
+//!   fingerprints and fingerprint transitions ([`CoverageMap`],
+//!   [`RunCoverage`], summarised as [`CoverageStats`]), merged
+//!   deterministically in run-index order by the checker's parallel
+//!   runtime.
+//! * **Pluggable strategies** — the [`Strategy`] trait with [`Uniform`],
+//!   [`LeastTried`] and the coverage-guided [`Novelty`] implementations,
+//!   selected by [`SelectionStrategy`].
+//! * **A trace corpus** — interesting action prefixes (ones that reached
+//!   novel fingerprints) stored in a [`TraceCorpus`] and scheduled for
+//!   replay-then-extend runs, deterministically by run index.
+//!
+//! Everything here is deterministic by construction: no wall clock, no
+//! process-local hashing, no cross-run shared mutable state. A fixed
+//! `(strategy, seed)` produces bit-identical coverage for `jobs = 1` and
+//! `jobs = N` — the invariant `crates/bench/tests/coverage_determinism.rs`
+//! pins. See DESIGN.md, *Exploration engine*.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod coverage;
+pub mod fingerprinter;
+pub mod strategy;
+
+pub use corpus::{CorpusEntry, TraceCorpus, DEFAULT_CORPUS_CAP};
+pub use coverage::{CoverageMap, CoverageStats, RunCoverage};
+pub use fingerprinter::Fingerprinter;
+pub use quickstrom_protocol::{fingerprint_state, StateFingerprint};
+pub use strategy::{
+    target_index, Candidate, LeastTried, Novelty, SelectionStrategy, Strategy, StrategyCtx, Uniform,
+};

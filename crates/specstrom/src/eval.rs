@@ -119,7 +119,13 @@ pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalErr
         },
         Ir::Happened(_) => {
             let state = ctx.state()?;
-            Ok(Value::list(state.happened.iter().map(Value::str).collect()))
+            Ok(Value::list(
+                state
+                    .happened
+                    .iter()
+                    .map(|h| Value::str(h.as_str()))
+                    .collect(),
+            ))
         }
         Ir::Call { func, args, span } => {
             let callee = eval(func, env, ctx)?;

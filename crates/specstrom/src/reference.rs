@@ -389,7 +389,13 @@ pub fn eval(expr: &Arc<Expr>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, Eva
         },
         Expr::Happened(_) => {
             let state = state_of(ctx)?;
-            Ok(Value::list(state.happened.iter().map(Value::str).collect()))
+            Ok(Value::list(
+                state
+                    .happened
+                    .iter()
+                    .map(|h| Value::str(h.as_str()))
+                    .collect(),
+            ))
         }
         Expr::Call { func, args, span } => {
             let callee = eval(func, env, ctx)?;

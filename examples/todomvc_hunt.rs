@@ -47,10 +47,16 @@ fn main() {
     }
 
     let spec = specstrom::load(quickstrom::specs::TODOMVC).expect("bundled spec compiles");
+    // Least-tried selection keeps rare interactions (edit commits,
+    // toggle-all) in rotation instead of drowning them in input typing —
+    // it finds this fault in a fraction of the runs uniform needs (the
+    // `ablation-strategy` harness quantifies the gap; `Novelty` works
+    // too, see DESIGN.md, *Exploration engine*).
     let options = CheckOptions::default()
         .with_tests(150)
         .with_max_actions(60)
         .with_default_demand(50)
+        .with_strategy(SelectionStrategy::LeastTried)
         .with_seed(42);
     let started = std::time::Instant::now();
     let report = check_spec(&spec, &options, &|| {

@@ -21,6 +21,8 @@
 //!   interpreter, dependency analysis.
 //! * [`quickstrom_protocol`] / [`quickstrom_checker`] /
 //!   [`quickstrom_executor`] — the checker⟷executor split of §3.4.
+//! * [`quickstrom_explore`] — coverage-guided exploration: state
+//!   fingerprints, pluggable selection strategies, the trace corpus.
 //! * [`webdom`] — the virtual browser substrate (see DESIGN.md).
 //! * [`ccs`] — the CCS executor mentioned in §3.4.
 //! * [`quickstrom_apps`] — egg timer, TodoMVC (+ fault taxonomy), and the
@@ -62,6 +64,7 @@ pub use quickltl;
 pub use quickstrom_apps;
 pub use quickstrom_checker;
 pub use quickstrom_executor;
+pub use quickstrom_explore;
 pub use quickstrom_protocol;
 pub use specstrom;
 pub use webdom;
@@ -79,6 +82,9 @@ pub mod specs {
     /// The BigTable data-grid specification — the large-DOM stress
     /// workload for the incremental snapshot pipeline.
     pub const BIGTABLE: &str = include_str!("../specs/bigtable.strom");
+    /// The Wizard checkout-corridor specification — the deep-state
+    /// workload for the coverage-guided exploration engine.
+    pub const WIZARD: &str = include_str!("../specs/wizard.strom");
 }
 
 /// The working set for writing and running checks.
@@ -89,6 +95,7 @@ pub mod prelude {
         check_property, check_spec, CheckOptions, Report, SelectionStrategy,
     };
     pub use quickstrom_executor::{WebExecutor, WebExecutorConfig};
+    pub use quickstrom_explore::{CoverageStats, StateFingerprint};
     pub use quickstrom_protocol::{
         Executor, Selector, SnapshotDelta, StateSnapshot, StateUpdate, TransportStats,
     };
