@@ -2,11 +2,12 @@
 //! paper's evaluation (§4), plus the ablations from DESIGN.md.
 //!
 //! ```text
-//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried] [--no-mask-atoms]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- table2 [--jobs 4]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- figure13 [--sessions 10] [--runs 3] [--csv fig13.csv]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- delta-compare [--tests 10] [--jobs 4] [--json BENCH_delta_compare.json]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- coverage-compare [--tests 30] [--jobs 4] [--json BENCH_coverage_compare.json]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- lint [--json lint.json] [--deny-warnings]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- ablation-rvltl
 //! cargo run --release -p quickstrom-bench --bin evalharness -- ablation-simplify
 //! cargo run --release -p quickstrom-bench --bin evalharness -- all [--jobs 4]
@@ -28,7 +29,14 @@
 //! selects the action-selection strategy (see DESIGN.md, *Exploration
 //! engine*); `coverage-compare` sweeps all three strategies over the
 //! TodoMVC, BigTable and Wizard workloads at an equal step budget and
-//! reports distinct-fingerprint coverage per strategy.
+//! reports distinct-fingerprint coverage per strategy — under both the
+//! spec-agnostic shape fingerprint and the spec-aware projection
+//! fingerprint derived from the compiled spec's static analysis.
+//! `lint` runs the spec static analysis over every bundled specification
+//! and prints its diagnostics (vacuous implications, tautological or
+//! unsatisfiable properties, unused bindings/actions/selectors) with
+//! source positions; `--deny-warnings` exits non-zero on any finding
+//! (the CI smoke), `--json PATH` writes the machine-readable report.
 
 use quickstrom::prelude::*;
 use quickstrom::quickstrom_apps::registry::{Maturity, REGISTRY};
@@ -69,6 +77,7 @@ fn main() {
     } else {
         SnapshotMode::Delta
     };
+    let mask_atoms = !args.iter().any(|a| a == "--no-mask-atoms");
     let strategy = match flag("--strategy") {
         Some(name) => match SelectionStrategy::parse(&name) {
             Some(s) => s,
@@ -85,22 +94,48 @@ fn main() {
 
     match command {
         "table1" => {
-            table1_and_2(tests, false, jobs, json.as_deref(), mode, strategy);
+            table1_and_2(
+                tests,
+                false,
+                jobs,
+                json.as_deref(),
+                mode,
+                strategy,
+                mask_atoms,
+            );
         }
         "table2" => {
-            table1_and_2(tests, true, jobs, json.as_deref(), mode, strategy);
+            table1_and_2(
+                tests,
+                true,
+                jobs,
+                json.as_deref(),
+                mode,
+                strategy,
+                mask_atoms,
+            );
         }
         "figure13" => figure13(sessions, runs, csv.as_deref()),
         "delta-compare" => delta_compare(tests, jobs, json.as_deref()),
         "coverage-compare" => coverage_compare(tests, jobs, json.as_deref()),
+        "lint" => lint_specs(json.as_deref(), args.iter().any(|a| a == "--deny-warnings")),
         "ablation-rvltl" => ablation_rvltl(),
         "ablation-simplify" => ablation_simplify(),
         "ablation-strategy" => ablation_strategy(),
         "all" => {
-            table1_and_2(tests, true, jobs, json.as_deref(), mode, strategy);
+            table1_and_2(
+                tests,
+                true,
+                jobs,
+                json.as_deref(),
+                mode,
+                strategy,
+                mask_atoms,
+            );
             figure13(sessions.min(3), runs, csv.as_deref());
             delta_compare(tests.min(10), jobs, None);
             coverage_compare(tests.min(30), jobs, None);
+            lint_specs(None, false);
             ablation_rvltl();
             ablation_simplify();
             ablation_strategy();
@@ -109,7 +144,7 @@ fn main() {
             eprintln!("unknown command {other:?}");
             eprintln!(
                 "commands: table1 table2 figure13 delta-compare coverage-compare \
-                 ablation-rvltl ablation-simplify ablation-strategy all"
+                 lint ablation-rvltl ablation-simplify ablation-strategy all"
             );
             std::process::exit(2);
         }
@@ -117,6 +152,7 @@ fn main() {
 }
 
 /// Runs the registry sweep and prints Table 1 (and optionally Table 2).
+#[allow(clippy::fn_params_excessive_bools)]
 fn table1_and_2(
     tests: usize,
     with_table2: bool,
@@ -124,10 +160,11 @@ fn table1_and_2(
     json: Option<&str>,
     mode: SnapshotMode,
     strategy: SelectionStrategy,
+    mask_atoms: bool,
 ) {
     println!("═══ Table 1: Summary of Results (TodoMVC registry sweep) ═══");
     println!(
-        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s), {} snapshots, {} strategy)",
+        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s), {} snapshots, {} strategy, atom masks {})",
         REGISTRY.len(),
         tests,
         jobs.max(1),
@@ -135,7 +172,8 @@ fn table1_and_2(
             SnapshotMode::Delta => "incremental",
             SnapshotMode::Full => "full",
         },
-        strategy
+        strategy,
+        if mask_atoms { "on" } else { "off" }
     );
     let options = CheckOptions::default()
         .with_tests(tests)
@@ -143,7 +181,8 @@ fn table1_and_2(
         .with_default_demand(100)
         .with_seed(20220322) // the paper's arXiv date
         .with_shrink(false)
-        .with_strategy(strategy);
+        .with_strategy(strategy)
+        .with_mask_atoms(mask_atoms);
     let print_line = |result: &ImplResult| {
         println!(
             "  {:>22}  {}  ({:5.2}s, {} states){}",
@@ -253,6 +292,14 @@ fn table1_and_2(
         "state coverage: {} distinct fingerprints, {} transitions \
          (summed per entry; strategy {})",
         coverage.distinct_states, coverage.distinct_edges, strategy
+    );
+    let atoms_total: u64 = results.iter().map(|r| r.atoms_total).sum();
+    let atoms_reevaluated: u64 = results.iter().map(|r| r.atoms_reevaluated).sum();
+    #[allow(clippy::cast_precision_loss)]
+    let reeval_pct = 100.0 * atoms_reevaluated as f64 / (atoms_total.max(1)) as f64;
+    println!(
+        "atom evaluation: {atoms_reevaluated} of {atoms_total} requested expansions \
+         re-evaluated ({reeval_pct:.1}%; the rest reused under the static atom masks)"
     );
 
     if let Some(path) = json {
@@ -440,8 +487,7 @@ fn coverage_compare(tests: usize, jobs: usize, json: Option<&str>) {
     );
     for (w_index, workload) in workloads.iter().enumerate() {
         let spec = quickstrom::specstrom::load(workload.source).expect("bundled spec compiles");
-        let mut per_strategy = Vec::new();
-        for strategy in SelectionStrategy::ALL {
+        let run_total = |strategy: SelectionStrategy, fingerprint: FingerprintMode| {
             let mut total = CoverageStats::default();
             for seed in SEEDS {
                 let options = CheckOptions::default()
@@ -451,6 +497,7 @@ fn coverage_compare(tests: usize, jobs: usize, json: Option<&str>) {
                     .with_seed(seed)
                     .with_shrink(false)
                     .with_strategy(strategy)
+                    .with_fingerprint(fingerprint)
                     .with_jobs(jobs.max(1));
                 let report =
                     check_spec(&spec, &options, workload.factory).expect("no protocol errors");
@@ -461,6 +508,11 @@ fn coverage_compare(tests: usize, jobs: usize, json: Option<&str>) {
                 );
                 total.absorb(report.coverage());
             }
+            total
+        };
+        let mut per_strategy = Vec::new();
+        for strategy in SelectionStrategy::ALL {
+            let total = run_total(strategy, FingerprintMode::Shape);
             println!(
                 "  {:>9}  {:>12}  {:>16}  {:>12}  {:>14}",
                 workload.name,
@@ -471,13 +523,38 @@ fn coverage_compare(tests: usize, jobs: usize, json: Option<&str>) {
             );
             per_strategy.push((strategy, total));
         }
+        // The spec-aware fingerprint column: the same uniform-vs-novelty
+        // comparison, but with both the novelty signal and the coverage
+        // accounting using the projection hash derived from the compiled
+        // spec's static analysis (exact texts on atom-read fields,
+        // nothing else) — the abstraction the properties actually
+        // distinguish states by.
+        let spec_uniform = run_total(SelectionStrategy::UniformRandom, FingerprintMode::SpecAware);
+        let spec_novelty = run_total(SelectionStrategy::Novelty, FingerprintMode::SpecAware);
+        for (label, total) in [
+            ("uniform/spec", &spec_uniform),
+            ("novelty/spec", &spec_novelty),
+        ] {
+            println!(
+                "  {:>9}  {:>12}  {:>16}  {:>12}  {:>14}",
+                workload.name,
+                label,
+                total.distinct_states,
+                total.distinct_edges,
+                total.corpus_replays
+            );
+        }
         let uniform = per_strategy[0].1.distinct_states;
         let novelty = per_strategy[2].1.distinct_states;
         #[allow(clippy::cast_precision_loss)]
         let gain = novelty as f64 / uniform.max(1) as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let spec_gain =
+            spec_novelty.distinct_states as f64 / spec_uniform.distinct_states.max(1) as f64;
         println!(
-            "  {:>9}  novelty reaches {:.2}× the distinct fingerprints of uniform",
-            workload.name, gain
+            "  {:>9}  novelty reaches {gain:.2}× the distinct fingerprints of uniform \
+             (shape), {spec_gain:.2}× (spec-aware)",
+            workload.name
         );
         let _ = writeln!(out, "    \"{}\": {{", workload.name);
         for (strategy, total) in &per_strategy {
@@ -492,9 +569,24 @@ fn coverage_compare(tests: usize, jobs: usize, json: Option<&str>) {
                 total.corpus_replays,
             );
         }
+        for (key, total) in [
+            ("uniform_spec_aware", &spec_uniform),
+            ("novelty_spec_aware", &spec_novelty),
+        ] {
+            let _ = writeln!(
+                out,
+                "      \"{key}\": {{\"distinct_states\": {}, \"distinct_edges\": {}, \
+                 \"corpus_size\": {}, \"corpus_replays\": {}}},",
+                total.distinct_states,
+                total.distinct_edges,
+                total.corpus_size,
+                total.corpus_replays,
+            );
+        }
         let _ = writeln!(
             out,
-            "      \"novelty_over_uniform\": {gain:.4}\n    }}{}",
+            "      \"novelty_over_uniform\": {gain:.4},\n      \
+             \"spec_novelty_over_uniform\": {spec_gain:.4}\n    }}{}",
             if w_index + 1 < workloads.len() {
                 ","
             } else {
@@ -512,6 +604,81 @@ fn coverage_compare(tests: usize, jobs: usize, json: Option<&str>) {
     if let Some(path) = json {
         std::fs::write(path, out).expect("write JSON");
         println!("wrote {path}");
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs the spec static analysis over every bundled specification and
+/// reports its diagnostics with `file:line:col` positions. With
+/// `deny_warnings` any finding makes the process exit non-zero — the CI
+/// lint smoke. With `json` a machine-readable report is written.
+fn lint_specs(json: Option<&str>, deny_warnings: bool) {
+    use quickstrom::specstrom::{compile, line_col, parse_spec};
+
+    println!("═══ Spec lint: static analysis diagnostics over the bundled specs ═══");
+    let bundled = [
+        ("specs/todomvc.strom", quickstrom::specs::TODOMVC),
+        ("specs/egg_timer.strom", quickstrom::specs::EGG_TIMER),
+        ("specs/counter.strom", quickstrom::specs::COUNTER),
+        ("specs/menu.strom", quickstrom::specs::MENU),
+        ("specs/bigtable.strom", quickstrom::specs::BIGTABLE),
+        ("specs/wizard.strom", quickstrom::specs::WIZARD),
+    ];
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"lint\",");
+    let _ = writeln!(out, "  \"specs\": {{");
+    let mut total = 0usize;
+    for (i, (path, source)) in bundled.iter().enumerate() {
+        let spec = parse_spec(source).expect("bundled spec parses");
+        let compiled = compile(&spec).expect("bundled spec compiles");
+        let diagnostics = quickstrom::specstrom::lint(&spec, &compiled);
+        let _ = writeln!(out, "    \"{path}\": [");
+        for (j, d) in diagnostics.iter().enumerate() {
+            let (line, col) = line_col(source, d.span.start);
+            println!("  {path}:{line}:{col}: warning[{}]: {}", d.code, d.message);
+            let _ = writeln!(
+                out,
+                "      {{\"code\": \"{}\", \"line\": {line}, \"col\": {col}, \
+                 \"message\": \"{}\"}}{}",
+                d.code,
+                json_escape(&d.message),
+                if j + 1 < diagnostics.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "    ]{}", if i + 1 < bundled.len() { "," } else { "" });
+        total += diagnostics.len();
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"total\": {total}");
+    out.push_str("}\n");
+    println!(
+        "  {total} diagnostic(s) across {} bundled spec(s)",
+        bundled.len()
+    );
+    if let Some(path) = json {
+        std::fs::write(path, out).expect("write JSON");
+        println!("wrote {path}");
+    }
+    if deny_warnings && total > 0 {
+        eprintln!("--deny-warnings: failing on {total} diagnostic(s)");
+        std::process::exit(1);
     }
 }
 

@@ -90,6 +90,12 @@ pub struct ImplResult {
     pub executor_s: f64,
     /// Of `wall_s`: seconds in formula evaluation/progression and guards.
     pub eval_s: f64,
+    /// Atom expansions the evaluator requested across all runs.
+    pub atoms_total: u64,
+    /// Of `atoms_total`: expansions actually re-evaluated (the rest were
+    /// reused under the static atom masks — see
+    /// `CheckOptions::mask_atoms`).
+    pub atoms_reevaluated: u64,
     /// Total states observed.
     pub states: usize,
     /// Fault numbers injected into this implementation.
@@ -152,6 +158,8 @@ pub fn check_entry_mode(
         wall_s: started.elapsed().as_secs_f64(),
         executor_s: timings.executor_s,
         eval_s: timings.eval_s,
+        atoms_total: timings.atoms_total,
+        atoms_reevaluated: timings.atoms_reevaluated,
         states,
         fault_numbers: entry.faults.iter().map(|f| f.number()).collect(),
         transport: report.transport(),
@@ -209,10 +217,13 @@ pub fn sweep_registry_jobs(options: &CheckOptions, jobs: usize) -> Vec<ImplResul
 /// The schema is one object with sweep-level metadata (including the
 /// one-off `spec_compile_s` phase — the spec is compiled once and shared
 /// across entries — the transport totals `shipped_bytes` / `full_bytes` /
-/// `delta_ratio`, and the coverage totals `distinct_states` /
-/// `distinct_edges`) and an `entries` array; every entry carries `name`,
+/// `delta_ratio`, the coverage totals `distinct_states` /
+/// `distinct_edges`, and the atom-evaluation totals `atoms_total` /
+/// `atoms_reevaluated` — the work the static atom masks saved) and an
+/// `entries` array; every entry carries `name`,
 /// `passed`, `expected_to_fail`, `wall_s`, the phase attribution
-/// `executor_s`/`eval_s`, `states`, `faults`, its snapshot-transport
+/// `executor_s`/`eval_s`, the atom counters
+/// `atoms_total`/`atoms_reevaluated`, `states`, `faults`, its snapshot-transport
 /// accounting (`shipped_bytes`, `full_bytes`, `delta_states`,
 /// `changed_selectors`), and its coverage accounting (`distinct_states`,
 /// `distinct_edges`), so a regression can be blamed on a phase — or on
@@ -234,6 +245,16 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
         "  \"states_total\": {},",
         results.iter().map(|r| r.states).sum::<usize>()
     );
+    let _ = writeln!(
+        out,
+        "  \"atoms_total\": {},",
+        results.iter().map(|r| r.atoms_total).sum::<u64>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"atoms_reevaluated\": {},",
+        results.iter().map(|r| r.atoms_reevaluated).sum::<u64>()
+    );
     let mut transport = TransportStats::default();
     for r in results {
         transport.absorb(r.transport);
@@ -254,6 +275,7 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             out,
             "    {{\"name\": \"{}\", \"passed\": {}, \"expected_to_fail\": {}, \
              \"wall_s\": {:.4}, \"executor_s\": {:.4}, \"eval_s\": {:.4}, \
+             \"atoms_total\": {}, \"atoms_reevaluated\": {}, \
              \"states\": {}, \"faults\": [{}], \
              \"shipped_bytes\": {}, \"full_bytes\": {}, \"delta_states\": {}, \
              \"changed_selectors\": {}, \
@@ -264,6 +286,8 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             r.wall_s,
             r.executor_s,
             r.eval_s,
+            r.atoms_total,
+            r.atoms_reevaluated,
             r.states,
             faults.join(", "),
             r.transport.shipped_bytes,

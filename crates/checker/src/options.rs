@@ -12,6 +12,21 @@
 /// *Exploration engine*).
 pub use quickstrom_explore::SelectionStrategy;
 
+/// Which state abstraction the coverage fingerprint uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FingerprintMode {
+    /// The spec-agnostic shape hash: every selector, bucketed text sizes
+    /// (`quickstrom_protocol::fingerprint_state`).
+    #[default]
+    Shape,
+    /// The spec-aware projection hash: only the selectors and element
+    /// projections the compiled spec's static analysis says its atoms can
+    /// read, with exact text
+    /// (`quickstrom_protocol::fingerprint_state_masked` over
+    /// `CompiledSpec::analysis` masks).
+    SpecAware,
+}
+
 /// Options controlling a checking session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckOptions {
@@ -37,6 +52,15 @@ pub struct CheckOptions {
     /// run seeds derive from `(seed, run index)` alone and results merge
     /// in run-index order (see DESIGN.md, *Parallel runtime*).
     pub jobs: usize,
+    /// Skip re-evaluating atoms whose static footprint a snapshot delta
+    /// did not touch (and whose `happened` view is unchanged), reusing the
+    /// previous expansion. Sound by the analysis over-approximation;
+    /// verdicts are pinned bit-identical to unmasked evaluation by
+    /// differential tests. On by default; disable to measure or to
+    /// cross-check.
+    pub mask_atoms: bool,
+    /// Which state abstraction coverage fingerprints use.
+    pub fingerprint: FingerprintMode,
 }
 
 impl Default for CheckOptions {
@@ -49,6 +73,8 @@ impl Default for CheckOptions {
             shrink: true,
             strategy: SelectionStrategy::UniformRandom,
             jobs: 1,
+            mask_atoms: true,
+            fingerprint: FingerprintMode::Shape,
         }
     }
 }
@@ -104,6 +130,20 @@ impl CheckOptions {
         self
     }
 
+    /// Returns the options with atom masking switched on or off.
+    #[must_use]
+    pub fn with_mask_atoms(mut self, mask_atoms: bool) -> Self {
+        self.mask_atoms = mask_atoms;
+        self
+    }
+
+    /// Returns the options with the given fingerprint abstraction.
+    #[must_use]
+    pub fn with_fingerprint(mut self, fingerprint: FingerprintMode) -> Self {
+        self.fingerprint = fingerprint;
+        self
+    }
+
     /// The hard cap on actions in one run: the budget plus headroom for
     /// outstanding demands (a nested demand can require up to twice the
     /// default subscript in additional states).
@@ -122,6 +162,8 @@ mod tests {
         let o = CheckOptions::default();
         assert_eq!(o.default_demand, 100);
         assert!(o.shrink);
+        assert!(o.mask_atoms);
+        assert_eq!(o.fingerprint, FingerprintMode::Shape);
     }
 
     #[test]
@@ -133,7 +175,11 @@ mod tests {
             .with_seed(42)
             .with_shrink(false)
             .with_strategy(SelectionStrategy::LeastTried)
-            .with_jobs(4);
+            .with_jobs(4)
+            .with_mask_atoms(false)
+            .with_fingerprint(FingerprintMode::SpecAware);
+        assert!(!o.mask_atoms);
+        assert_eq!(o.fingerprint, FingerprintMode::SpecAware);
         assert_eq!(o.tests, 5);
         assert_eq!(o.max_actions, 30);
         assert_eq!(o.default_demand, 10);

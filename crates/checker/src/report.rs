@@ -107,6 +107,12 @@ pub struct PhaseTimings {
     pub executor_s: f64,
     /// Seconds in formula evaluation/progression and guard evaluation.
     pub eval_s: f64,
+    /// Atom expansions requested by the evaluator across all steps.
+    pub atoms_total: u64,
+    /// Atom expansions actually evaluated — the rest were served from the
+    /// footprint-masked cache because no selector the atom can read
+    /// changed (see `CheckOptions::mask_atoms`).
+    pub atoms_reevaluated: u64,
 }
 
 impl PhaseTimings {
@@ -114,6 +120,8 @@ impl PhaseTimings {
     pub fn absorb(&mut self, other: PhaseTimings) {
         self.executor_s += other.executor_s;
         self.eval_s += other.eval_s;
+        self.atoms_total += other.atoms_total;
+        self.atoms_reevaluated += other.atoms_reevaluated;
     }
 }
 

@@ -14,19 +14,41 @@
 //! incrementally from the snapshot pipeline's deltas (see DESIGN.md,
 //! *Exploration engine*).
 
-use crate::options::CheckOptions;
+use crate::options::{CheckOptions, FingerprintMode};
 use crate::report::{Counterexample, RunResult, TraceEntry};
 use crate::runner::CheckError;
 use quickltl::{Evaluator, Formula, StepReport, Verdict};
-use quickstrom_explore::{target_index, Candidate, RunCoverage, Strategy, StrategyCtx};
+use quickstrom_explore::{
+    target_index, Candidate, Fingerprinter, RunCoverage, Strategy, StrategyCtx,
+};
 use quickstrom_protocol::{
     ActionInstance, ActionKind, ExecutorMsg, Selector, StateFingerprint, StateSnapshot,
     StateUpdate, Symbol,
 };
 use rand::rngs::StdRng;
-use specstrom::{eval_guard, expand_thunk, ActionValue, CheckDef, CompiledSpec, EvalCtx, Thunk};
-use std::collections::BTreeMap;
+use specstrom::{
+    eval_guard, expand_thunk, footprint_of_thunk, ActionValue, AtomFootprint, CheckDef,
+    CompiledSpec, EvalCtx, Thunk,
+};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// One cached atom expansion, keyed by [`Thunk::identity`].
+///
+/// Holding the `atom` itself keeps its `Arc`s alive, so the raw pointers
+/// in the cache key can never be reused by a different thunk while the
+/// entry exists — a lookup that matches the key *and* `atom == *thunk`
+/// (pointer equality on both halves) is guaranteed to be the same atom.
+struct CachedAtom {
+    /// The atom whose expansion is cached (pins the identity pointers).
+    atom: Thunk,
+    /// Its expansion in the previous state.
+    expansion: Formula<Thunk>,
+    /// The static over-approximation of what the expansion read: the
+    /// selectors (with fields) plus whether `happened` was consulted.
+    /// Entries are evicted as soon as a delta touches any of it.
+    footprint: AtomFootprint,
+}
 
 /// Where the next action comes from: fresh randomness (optionally seeded
 /// with a corpus prefix to replay-then-extend) or a recorded script (for
@@ -147,6 +169,15 @@ pub(crate) struct Run<'a> {
     /// progression plus guard evaluation (the per-phase attribution behind
     /// [`crate::report::PhaseTimings::eval_s`]).
     pub(crate) eval_time: std::time::Duration,
+    /// Atom expansions reused across steps when a delta provably could
+    /// not have changed their value (see [`CheckOptions::mask_atoms`]).
+    /// Cleared on full snapshots; pruned per delta by footprint.
+    atom_cache: HashMap<(usize, usize), CachedAtom>,
+    /// Atom expansions requested by the evaluator over the whole run.
+    pub(crate) atoms_total: u64,
+    /// Of those, how many actually re-evaluated (cache misses). With
+    /// masking off the two counters are equal.
+    pub(crate) atoms_reevaluated: u64,
 }
 
 /// The outcome of one run, before aggregation.
@@ -193,12 +224,20 @@ impl<'a> Run<'a> {
             actions_done: 0,
             action_counts: BTreeMap::new(),
             strategy: options.strategy.build(),
-            coverage: RunCoverage::new(),
+            coverage: match options.fingerprint {
+                FingerprintMode::Shape => RunCoverage::new(),
+                FingerprintMode::SpecAware => RunCoverage::with_fingerprinter(
+                    Fingerprinter::spec_aware(Arc::clone(&spec.analysis.masks)),
+                ),
+            },
             last_choice: Choice::default(),
             last_state: None,
             last_report: None,
             pending_wait: None,
             eval_time: std::time::Duration::ZERO,
+            atom_cache: HashMap::new(),
+            atoms_total: 0,
+            atoms_reevaluated: 0,
         }
     }
 
@@ -268,6 +307,26 @@ impl<'a> Run<'a> {
             .resolve(self.last_state.as_ref())
             .map_err(|e| CheckError::new(e.to_string()))?;
         state.happened = happened.clone();
+        // Atom-mask bookkeeping (DESIGN.md, *Static analysis*): a cached
+        // expansion stays valid exactly while nothing it could have read
+        // changed. Full snapshots carry no change information, so they
+        // flush everything; a delta evicts the entries whose footprint it
+        // touches — including every `happened`-reading atom whenever the
+        // `happened` list differs. Eviction is eager (per step, before
+        // evaluation) so the cache never holds a stale entry.
+        if !self.options.mask_atoms || matches!(update, StateUpdate::Full(_)) {
+            self.atom_cache.clear();
+        } else if let StateUpdate::Delta(delta) = update {
+            let changed = delta.changed_selectors();
+            let happened_changed = self
+                .last_state
+                .as_ref()
+                .is_none_or(|prev| prev.happened != state.happened);
+            self.atom_cache.retain(|_, entry| {
+                (!entry.footprint.reads_happened || !happened_changed)
+                    && !entry.footprint.touches_any(&changed)
+            });
+        }
         let fp = self.coverage.fingerprinter().observe_update(&state, update);
         self.coverage.observe_state(fp, self.script.len());
         self.trace.push(TraceEntry {
@@ -283,10 +342,41 @@ impl<'a> Run<'a> {
             }
         }
         let ctx = EvalCtx::with_state(&state, self.options.default_demand);
+        // Split the borrows up front: the expansion closure needs the
+        // cache and counters while `observe_expanding` holds the
+        // evaluator.
+        let mask = self.options.mask_atoms;
+        let cache = &mut self.atom_cache;
+        let atoms_total = &mut self.atoms_total;
+        let atoms_reevaluated = &mut self.atoms_reevaluated;
         let eval_started = std::time::Instant::now();
         let report = self
             .evaluator
-            .observe_expanding(&mut |thunk| expand_thunk(thunk, &ctx))
+            .observe_expanding(
+                &mut |thunk| -> Result<Formula<Thunk>, specstrom::EvalError> {
+                    *atoms_total += 1;
+                    if mask {
+                        if let Some(entry) = cache.get(&thunk.identity()) {
+                            if entry.atom == *thunk {
+                                return Ok(entry.expansion.clone());
+                            }
+                        }
+                    }
+                    *atoms_reevaluated += 1;
+                    let expansion = expand_thunk(thunk, &ctx)?;
+                    if mask {
+                        cache.insert(
+                            thunk.identity(),
+                            CachedAtom {
+                                atom: thunk.clone(),
+                                expansion: expansion.clone(),
+                                footprint: footprint_of_thunk(thunk),
+                            },
+                        );
+                    }
+                    Ok(expansion)
+                },
+            )
             .map_err(CheckError::from)?;
         self.eval_time += eval_started.elapsed();
         self.last_report = Some(report);

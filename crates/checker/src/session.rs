@@ -55,6 +55,8 @@ impl<'a> Session<'a> {
         PhaseTimings {
             executor_s: self.exec_time.as_secs_f64(),
             eval_s: self.run.eval_time.as_secs_f64(),
+            atoms_total: self.run.atoms_total,
+            atoms_reevaluated: self.run.atoms_reevaluated,
         }
     }
 

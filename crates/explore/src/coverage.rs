@@ -155,6 +155,17 @@ impl RunCoverage {
         RunCoverage::default()
     }
 
+    /// Fresh coverage whose fingerprints come from the given
+    /// fingerprinter — e.g. [`Fingerprinter::spec_aware`] to count only
+    /// states the specification can distinguish.
+    #[must_use]
+    pub fn with_fingerprinter(fingerprinter: Fingerprinter) -> RunCoverage {
+        RunCoverage {
+            fingerprinter,
+            ..RunCoverage::default()
+        }
+    }
+
     /// The incremental fingerprinter (the checker feeds it one
     /// [`StateUpdate`](quickstrom_protocol::StateUpdate) per step).
     pub fn fingerprinter(&mut self) -> &mut Fingerprinter {

@@ -11,18 +11,32 @@
 //! exact, not approximate, which the explore crate's proptests pin
 //! against full recomputation.
 
-use quickstrom_protocol::{fingerprint_state, query_term, Selector, StateFingerprint};
+use quickstrom_protocol::{
+    fingerprint_state, masked_query_term, query_term, FieldMask, Selector, StateFingerprint,
+};
 use quickstrom_protocol::{StateSnapshot, StateUpdate};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Maintains the [`StateFingerprint`] of an evolving state in O(changed)
 /// per step.
+///
+/// Two abstractions are available: the default spec-agnostic *shape* hash
+/// ([`query_term`]), and a *spec-aware* projection hash
+/// ([`Fingerprinter::spec_aware`], [`masked_query_term`]) that hashes
+/// exactly the selectors and element projections a compiled spec's static
+/// analysis says its atoms can read. The incremental update discipline is
+/// identical for both — terms sum commutatively per selector.
 #[derive(Debug, Clone, Default)]
 pub struct Fingerprinter {
     /// Per-selector terms of the last observed state.
     terms: BTreeMap<Selector, u64>,
     /// The running sum of `terms`.
     current: StateFingerprint,
+    /// `Some` for spec-aware fingerprinting: the per-selector projection
+    /// masks from the spec's static analysis. Selectors absent from the
+    /// map contribute no term at all.
+    masks: Option<Arc<BTreeMap<Selector, FieldMask>>>,
 }
 
 impl Fingerprinter {
@@ -31,6 +45,29 @@ impl Fingerprinter {
     #[must_use]
     pub fn new() -> Fingerprinter {
         Fingerprinter::default()
+    }
+
+    /// A fresh *spec-aware* fingerprinter: terms cover only the selectors
+    /// in `masks`, hashing exactly the masked projections (with exact
+    /// text, not shape buckets) — see [`FieldMask`] for the trade-off.
+    #[must_use]
+    pub fn spec_aware(masks: Arc<BTreeMap<Selector, FieldMask>>) -> Fingerprinter {
+        Fingerprinter {
+            masks: Some(masks),
+            ..Fingerprinter::default()
+        }
+    }
+
+    /// The term of one selector's results under this fingerprinter's
+    /// abstraction, `None` when the selector contributes nothing (masked
+    /// out entirely).
+    fn term(&self, sel: &Selector, elems: &[quickstrom_protocol::ElementState]) -> Option<u64> {
+        match &self.masks {
+            None => Some(query_term(sel, elems)),
+            Some(masks) => masks
+                .get(sel)
+                .map(|mask| masked_query_term(sel, elems, *mask)),
+        }
     }
 
     /// The fingerprint of the last observed state.
@@ -58,10 +95,17 @@ impl Fingerprinter {
         match changed {
             None => {
                 self.terms.clear();
+                self.current = StateFingerprint::EMPTY;
                 for (sel, elems) in &state.queries {
-                    self.terms.insert(*sel, query_term(sel, elems));
+                    if let Some(term) = self.term(sel, elems) {
+                        self.terms.insert(*sel, term);
+                        self.current = self.current.add_term(term);
+                    }
                 }
-                self.current = fingerprint_state(state);
+                debug_assert!(
+                    self.masks.is_some() || self.current == fingerprint_state(state),
+                    "shape recompute must match fingerprint_state"
+                );
             }
             Some(selectors) => {
                 for sel in selectors {
@@ -69,9 +113,10 @@ impl Fingerprinter {
                         self.current = self.current.remove_term(old);
                     }
                     if let Some(elems) = state.queries.get(sel) {
-                        let term = query_term(sel, elems);
-                        self.terms.insert(*sel, term);
-                        self.current = self.current.add_term(term);
+                        if let Some(term) = self.term(sel, elems) {
+                            self.terms.insert(*sel, term);
+                            self.current = self.current.add_term(term);
+                        }
                     }
                 }
             }
@@ -132,6 +177,69 @@ mod tests {
         fp.observe(&a, None);
         let got = fp.observe_update(&b, &b.clone().into());
         assert_eq!(got, fingerprint_state(&b));
+    }
+
+    #[test]
+    fn spec_aware_distinguishes_only_masked_projections() {
+        use quickstrom_protocol::fingerprint_state_masked;
+        let masks: Arc<BTreeMap<Selector, FieldMask>> = Arc::new(
+            [(
+                Selector::new("#step"),
+                FieldMask {
+                    text: true,
+                    ..FieldMask::default()
+                },
+            )]
+            .into_iter()
+            .collect(),
+        );
+
+        // Same shape bucket ("1" vs "2" are both short texts), but the
+        // masked term reads the exact text: different states.
+        let one = snap(&[("#step", &["1"]), ("#noise", &["a"])]);
+        let two = snap(&[("#step", &["2"]), ("#noise", &["a"])]);
+        let mut fp = Fingerprinter::spec_aware(Arc::clone(&masks));
+        let a = fp.observe(&one, None);
+        let mut fp2 = Fingerprinter::spec_aware(Arc::clone(&masks));
+        let b = fp2.observe(&two, None);
+        assert_ne!(a, b);
+        assert_eq!(a, fingerprint_state_masked(&one, &masks));
+
+        // Unmasked selectors contribute nothing: noise changes are
+        // invisible.
+        let noisy = snap(&[("#step", &["1"]), ("#noise", &["zzz", "q"])]);
+        let mut fp3 = Fingerprinter::spec_aware(Arc::clone(&masks));
+        assert_eq!(fp3.observe(&noisy, None), a);
+    }
+
+    #[test]
+    fn spec_aware_incremental_matches_full_recompute() {
+        use quickstrom_protocol::fingerprint_state_masked;
+        let masks: Arc<BTreeMap<Selector, FieldMask>> = Arc::new(
+            [
+                (
+                    Selector::new("#a"),
+                    FieldMask {
+                        text: true,
+                        ..FieldMask::default()
+                    },
+                ),
+                (Selector::new(".rows"), FieldMask::default()),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let base = snap(&[("#a", &["x"]), (".rows", &["1", "2"]), ("#gone", &["g"])]);
+        let next = snap(&[("#a", &["y"]), (".rows", &["1", "2", "3"]), ("#new", &[])]);
+        let delta = SnapshotDelta::diff(&base, &next, 2);
+
+        let mut fp = Fingerprinter::spec_aware(Arc::clone(&masks));
+        assert_eq!(
+            fp.observe(&base, None),
+            fingerprint_state_masked(&base, &masks)
+        );
+        let incremental = fp.observe_update(&next, &delta.into());
+        assert_eq!(incremental, fingerprint_state_masked(&next, &masks));
     }
 
     #[test]

@@ -240,6 +240,149 @@ pub fn fingerprint_state(state: &StateSnapshot) -> StateFingerprint {
     fp
 }
 
+/// Which element projections of one selector a specification actually
+/// reads — the per-selector entry of a *spec-aware* fingerprint mask.
+///
+/// The shape abstraction above is spec-agnostic: it buckets text sizes
+/// and folds every projection in, whether or not any property looks at
+/// it. A `FieldMask` inverts a static analysis of the compiled
+/// specification (the `specstrom::analysis` atom footprints) into the
+/// opposite trade: projections the spec reads are hashed *exactly* (the
+/// spec distinguishes `#step` showing `"2"` from `"3"` by `parseInt`, so
+/// the fingerprint should too), and projections it never reads are
+/// dropped entirely (generated input strings the spec only tests for
+/// emptiness stop minting fresh "states").
+///
+/// An all-`false` mask still contributes the element *count* — matching
+/// more or fewer elements is observable through `.count`/`.present` and
+/// through action-target enumeration even when no projection is read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldMask {
+    /// `.text` is read.
+    pub text: bool,
+    /// `.value` is read.
+    pub value: bool,
+    /// `.checked` is read.
+    pub checked: bool,
+    /// `.enabled` is read.
+    pub enabled: bool,
+    /// `.visible` is read.
+    pub visible: bool,
+    /// `.focused` is read.
+    pub focused: bool,
+    /// `.classes` is read.
+    pub classes: bool,
+    /// `.attributes` is read.
+    pub attributes: bool,
+}
+
+impl FieldMask {
+    /// Every projection is (or may be) read — the conservative mask for
+    /// selectors that flow somewhere the analysis cannot follow.
+    pub const ALL: FieldMask = FieldMask {
+        text: true,
+        value: true,
+        checked: true,
+        enabled: true,
+        visible: true,
+        focused: true,
+        classes: true,
+        attributes: true,
+    };
+
+    /// `true` when at least one projection is read.
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.text
+            || self.value
+            || self.checked
+            || self.enabled
+            || self.visible
+            || self.focused
+            || self.classes
+            || self.attributes
+    }
+}
+
+/// The projection hash of one element under a [`FieldMask`]: only masked
+/// projections contribute, and text-like projections contribute their
+/// *exact* content (length-prefixed), not a [`text_bucket`] — see
+/// [`FieldMask`] for why the trade-off inverts here.
+#[must_use]
+pub fn element_projection_hash(e: &ElementState, mask: FieldMask) -> u64 {
+    let mut h = Fnv::new();
+    let bools = u8::from(mask.checked && e.checked)
+        | (u8::from(mask.enabled && e.enabled) << 1)
+        | (u8::from(mask.visible && e.visible) << 2)
+        | (u8::from(mask.focused && e.focused) << 3);
+    h.byte(bools);
+    if mask.text {
+        h.str(&e.text);
+    }
+    if mask.value {
+        h.str(&e.value);
+    }
+    if mask.classes {
+        h.u64(e.classes.len() as u64);
+        for class in &e.classes {
+            h.str(class);
+        }
+    }
+    if mask.attributes {
+        // Sorted by key text for cross-process determinism, exactly like
+        // [`element_shape_hash`] — but with exact values: the evaluator
+        // hands attribute values to `==` verbatim.
+        let mut attrs: Vec<(&str, &str)> = e
+            .attributes
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        attrs.sort_unstable_by_key(|(k, _)| *k);
+        h.u64(attrs.len() as u64);
+        for (key, value) in attrs {
+            h.str(key);
+            h.str(value);
+        }
+    }
+    h.finish()
+}
+
+/// The spec-aware counterpart of [`query_term`]: the fingerprint term of
+/// one selector's results under a [`FieldMask`]. Always covers the
+/// element count; element projections contribute only when masked in.
+/// Combine with [`StateFingerprint::add_term`] exactly like shape terms.
+#[must_use]
+pub fn masked_query_term(selector: &Selector, elements: &[ElementState], mask: FieldMask) -> u64 {
+    let mut h = Fnv::new();
+    h.str(selector.as_str());
+    h.u64(elements.len() as u64);
+    if mask.any() {
+        for e in elements {
+            h.u64(element_projection_hash(e, mask));
+        }
+    }
+    mix(h.finish()) | 1
+}
+
+/// The spec-aware fingerprint of a whole snapshot: the sum of
+/// [`masked_query_term`]s over the selectors present in `masks`.
+/// Selectors the specification never reads (absent from the mask map)
+/// contribute nothing — their changes are unobservable to the spec, so
+/// they should not mint fresh coverage states.
+#[must_use]
+pub fn fingerprint_state_masked(
+    state: &StateSnapshot,
+    masks: &std::collections::BTreeMap<Selector, FieldMask>,
+) -> StateFingerprint {
+    let mut fp = StateFingerprint::EMPTY;
+    for (sel, elems) in &state.queries {
+        if let Some(mask) = masks.get(sel) {
+            fp = fp.add_term(masked_query_term(sel, elems, *mask));
+        }
+    }
+    fp
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

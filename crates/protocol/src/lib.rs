@@ -58,7 +58,8 @@ pub use delta::{
     DeltaError, QueryDelta, SnapshotDelta, StateUpdate, TransportStats, DELTA_FORMAT_VERSION,
 };
 pub use fingerprint::{
-    element_shape_hash, fingerprint_state, query_term, text_bucket, StateFingerprint,
+    element_projection_hash, element_shape_hash, fingerprint_state, fingerprint_state_masked,
+    masked_query_term, query_term, text_bucket, FieldMask, StateFingerprint,
 };
 pub use intern::{sym, Symbol};
 pub use messages::{ActionInstance, ActionKind, CheckerMsg, ExecutorMsg, Key};

@@ -78,6 +78,11 @@ pub mod sorts;
 pub mod spec;
 pub mod value;
 
+pub use analysis::{
+    analyze_compiled, dependencies, dependencies_of, footprint_of_ir, footprint_of_thunk, line_col,
+    lint, AtomFootprint, AtomInfo, Diagnostic, DiagnosticCode, PropertyAnalysis, SelectorUse,
+    SpecAnalysis,
+};
 pub use compile::{compile_expr, initial_env, Ir};
 pub use error::{EvalError, SpecError};
 pub use eval::{element_record, eval_guard, expand_thunk, to_formula, EvalCtx};

@@ -59,6 +59,10 @@ pub struct CompiledSpec {
     /// Every selector the specification can query (§3.3 analysis) — the
     /// `Start` message's dependency list.
     pub dependencies: Vec<Selector>,
+    /// The static analysis of the compiled spec: per-property atoms and
+    /// temporal skeletons, per-selector field masks, and skeleton-level
+    /// diagnostics. See [`analysis::analyze_compiled`].
+    pub analysis: analysis::SpecAnalysis,
 }
 
 impl CompiledSpec {
@@ -257,13 +261,16 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
 
     let dependencies = analysis::dependencies(spec).into_iter().collect();
 
-    Ok(CompiledSpec {
+    let mut compiled = CompiledSpec {
         env,
         global_names: names,
         actions,
         checks,
         dependencies,
-    })
+        analysis: analysis::SpecAnalysis::default(),
+    };
+    compiled.analysis = analysis::analyze_compiled(&compiled);
+    Ok(compiled)
 }
 
 /// Parses and compiles in one step.

@@ -73,7 +73,7 @@ impl Env {
     }
 
     /// A stable pointer identity for conservative thunk equality.
-    fn ptr_id(&self) -> usize {
+    pub(crate) fn ptr_id(&self) -> usize {
         self.0.as_ref().map_or(0, |rc| Arc::as_ptr(rc) as usize)
     }
 }
@@ -105,6 +105,16 @@ impl Thunk {
     #[must_use]
     pub fn new(ir: Arc<Ir>, env: Env) -> Self {
         Thunk { ir, env }
+    }
+
+    /// The pointer pair behind this thunk's [`PartialEq`]: `(ir, env)`
+    /// addresses. Two *live* thunks are equal exactly when their
+    /// identities are equal, so the identity works as a hash-map key for
+    /// per-atom caches — provided the map also keeps the thunk itself
+    /// alive, since a freed thunk's addresses may be reused.
+    #[must_use]
+    pub fn identity(&self) -> (usize, usize) {
+        (Arc::as_ptr(&self.ir) as usize, self.env.ptr_id())
     }
 }
 

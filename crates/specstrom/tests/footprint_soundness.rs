@@ -1,0 +1,239 @@
+//! The footprint soundness property: mutations outside an atom's static
+//! footprint are invisible to evaluation.
+//!
+//! `specstrom::analysis` over-approximates, per atom, the selectors and
+//! element fields an expansion can read (plus whether it consults
+//! `happened`). The checker's atom cache and the spec-aware fingerprint
+//! both lean on that over-approximation, so this suite pins the claim
+//! directly: take a compiled spec, a randomly generated state trace, and
+//! a randomly generated *out-of-footprint* mutation of every state —
+//! noise selectors the spec never reads, plus unread fields of the
+//! selectors it does read — and assert that both the per-state atom
+//! expansions and the step-by-step verdict sequence are bit-identical
+//! between the base trace and the mutated trace.
+
+use proptest::prelude::*;
+use quickltl::{Evaluator, Formula, StepReport};
+use quickstrom_protocol::{ElementState, Selector, StateSnapshot};
+use specstrom::{expand_thunk, pretty_expr, EvalCtx, Thunk};
+
+/// The fixed specification under test. Its masks read exactly:
+/// `#title` text, `#flag` visible, `.rows` match-list only (count), and
+/// the action target `#btn` match-list only.
+const SRC: &str = "\
+    let ~title = `#title`.text;\n\
+    let ~flagOn = `#flag`.visible;\n\
+    action bump! = click!(`#btn`);\n\
+    let ~p = always[3] ((title == \"go\" && `.rows`.count > 0) ==> eventually[2] flagOn);\n\
+    check p with bump!;\n";
+
+/// One generated state of the base trace.
+#[derive(Debug, Clone)]
+struct BaseState {
+    title: String,
+    flag_visible: bool,
+    rows: usize,
+}
+
+/// One generated out-of-footprint mutation of a state.
+#[derive(Debug, Clone)]
+struct Mutation {
+    /// New `value` for the `#title` element (its mask reads only `text`).
+    title_value: String,
+    /// New `checked` for the `#title` element.
+    title_checked: bool,
+    /// New `text` for the `#flag` element (its mask reads only `visible`).
+    flag_text: String,
+    /// New texts for the `.rows` elements (match-list only: texts are
+    /// unread, but the *count* must stay fixed, so this only rewrites).
+    row_text: String,
+    /// A selector the spec never mentions: arbitrary element count.
+    noise_count: usize,
+    /// Its arbitrary text payload.
+    noise_text: String,
+    /// Whether to drop the unread `#ghost` selector entirely.
+    drop_ghost: bool,
+}
+
+fn base_snapshot(s: &BaseState) -> StateSnapshot {
+    let mut snap = StateSnapshot::new();
+    snap.insert_query(
+        Selector::new("#title"),
+        vec![ElementState::with_text(&s.title)],
+    );
+    let mut flag = ElementState::with_text("flag");
+    flag.visible = s.flag_visible;
+    snap.insert_query(Selector::new("#flag"), vec![flag]);
+    snap.insert_query(
+        Selector::new(".rows"),
+        (0..s.rows)
+            .map(|i| ElementState::with_text(i.to_string()))
+            .collect(),
+    );
+    snap.insert_query(Selector::new("#btn"), vec![ElementState::with_text("go")]);
+    // A selector the spec never reads, present in the base trace so the
+    // mutation can remove it.
+    snap.insert_query(Selector::new("#ghost"), vec![ElementState::with_text("g")]);
+    snap.happened.push("loaded?".into());
+    snap
+}
+
+/// Applies `edit` to a cloned copy of one selector's element list and
+/// re-inserts it (query results are structurally shared `Arc`s).
+fn edit_query(snap: &mut StateSnapshot, sel: &str, edit: impl FnOnce(&mut Vec<ElementState>)) {
+    let sel = Selector::new(sel);
+    let mut elems: Vec<ElementState> = snap
+        .queries
+        .get(&sel)
+        .expect("selector present")
+        .as_ref()
+        .clone();
+    edit(&mut elems);
+    snap.insert_query(sel, elems);
+}
+
+fn mutate_outside_footprint(base: &StateSnapshot, m: &Mutation) -> StateSnapshot {
+    let mut snap = base.clone();
+    edit_query(&mut snap, "#title", |title| {
+        title[0].value = m.title_value.clone();
+        title[0].checked = m.title_checked;
+        title[0].focused = !title[0].focused;
+    });
+    edit_query(&mut snap, "#flag", |flag| {
+        flag[0].text = m.flag_text.clone();
+        flag[0].value = m.flag_text.clone();
+    });
+    // Match-list-only selectors: the count is load-bearing, the element
+    // payloads are not.
+    edit_query(&mut snap, ".rows", |rows| {
+        for row in rows.iter_mut() {
+            row.text = m.row_text.clone();
+            row.checked = !row.checked;
+        }
+    });
+    edit_query(&mut snap, "#btn", |btn| {
+        btn[0].text = m.flag_text.clone();
+        btn[0].enabled = !btn[0].enabled;
+    });
+    if m.drop_ghost {
+        snap.queries.remove(&Selector::new("#ghost"));
+    }
+    snap.insert_query(
+        Selector::new("#unseen"),
+        (0..m.noise_count)
+            .map(|_| ElementState::with_text(&m.noise_text))
+            .collect(),
+    );
+    snap
+}
+
+/// The expansion of an atom with sub-atoms projected to their source
+/// text: environments allocated during expansion differ pointer-wise
+/// between two expansions, so structural comparison goes through the IR.
+fn expansion_shape(thunk: &Thunk, ctx: &EvalCtx) -> Formula<String> {
+    expand_thunk(thunk, ctx)
+        .expect("expansion succeeds")
+        .map_atoms(&mut |t: Thunk| pretty_expr(&t.ir.to_expr()))
+}
+
+fn base_state_strategy() -> impl Strategy<Value = BaseState> {
+    (
+        prop_oneof![Just("go".to_owned()), Just("stop".to_owned()), ".*"],
+        any::<bool>(),
+        0usize..3,
+    )
+        .prop_map(|(title, flag_visible, rows)| BaseState {
+            title,
+            flag_visible,
+            rows,
+        })
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    (
+        ".*",
+        any::<bool>(),
+        ".*",
+        ".*",
+        0usize..4,
+        ".*",
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                title_value,
+                title_checked,
+                flag_text,
+                row_text,
+                noise_count,
+                noise_text,
+                drop_ghost,
+            )| {
+                Mutation {
+                    title_value,
+                    title_checked,
+                    flag_text,
+                    row_text,
+                    noise_count,
+                    noise_text,
+                    drop_ghost,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-atom: expanding the property's atoms in a state and in its
+    /// out-of-footprint mutation yields structurally identical formulas,
+    /// and the full evaluator produces the identical verdict sequence
+    /// over the whole trace.
+    #[test]
+    fn out_of_footprint_mutations_are_invisible(
+        trace in prop::collection::vec(base_state_strategy(), 1..6),
+        mutations in prop::collection::vec(mutation_strategy(), 6..7),
+    ) {
+        let compiled = specstrom::load(SRC).expect("spec compiles");
+        let thunk = compiled.property_thunk("p").expect("property exists");
+
+        let mut base_eval = Evaluator::new(Formula::Atom(thunk.clone()));
+        let mut mutated_eval = Evaluator::new(Formula::Atom(thunk.clone()));
+        for (state, mutation) in trace.iter().zip(&mutations) {
+            let base = base_snapshot(state);
+            let mutated = mutate_outside_footprint(&base, mutation);
+            let base_ctx = EvalCtx::with_state(&base, 3);
+            let mutated_ctx = EvalCtx::with_state(&mutated, 3);
+
+            // Atom value: the expansion itself is unchanged.
+            prop_assert_eq!(
+                expansion_shape(&thunk, &base_ctx),
+                expansion_shape(&thunk, &mutated_ctx)
+            );
+
+            // Step verdict: the progressing evaluators stay in lockstep.
+            let base_report: StepReport = base_eval
+                .observe_expanding(&mut |t| expand_thunk(t, &base_ctx))
+                .expect("no eval error");
+            let mutated_report = mutated_eval
+                .observe_expanding(&mut |t| expand_thunk(t, &mutated_ctx))
+                .expect("no eval error");
+            prop_assert_eq!(base_report, mutated_report);
+        }
+    }
+
+    /// The analysis masks really cover the spec: every selector the base
+    /// snapshot mutation machinery treats as read is present, and the
+    /// noise selectors are absent.
+    #[test]
+    fn masks_match_the_mutation_contract(_x in 0u8..1) {
+        let compiled = specstrom::load(SRC).expect("spec compiles");
+        let masks = &compiled.analysis.masks;
+        prop_assert!(masks.get(&Selector::new("#title")).is_some_and(|m| m.text && !m.value));
+        prop_assert!(masks.get(&Selector::new("#flag")).is_some_and(|m| m.visible && !m.text));
+        prop_assert!(masks.get(&Selector::new(".rows")).is_some_and(|m| !m.any()));
+        prop_assert!(masks.get(&Selector::new("#btn")).is_some_and(|m| !m.any()));
+        prop_assert!(masks.get(&Selector::new("#ghost")).is_none());
+        prop_assert!(masks.get(&Selector::new("#unseen")).is_none());
+    }
+}
