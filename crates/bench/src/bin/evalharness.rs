@@ -2,7 +2,7 @@
 //! paper's evaluation (§4), plus the ablations from DESIGN.md.
 //!
 //! ```text
-//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried] [--no-mask-atoms]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried] [--no-mask-atoms] [--eval-mode automaton|stepper]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- table2 [--jobs 4]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- figure13 [--sessions 10] [--runs 3] [--csv fig13.csv]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- delta-compare [--tests 10] [--jobs 4] [--json BENCH_delta_compare.json]
@@ -32,6 +32,11 @@
 //! reports distinct-fingerprint coverage per strategy — under both the
 //! spec-agnostic shape fingerprint and the spec-aware projection
 //! fingerprint derived from the compiled spec's static analysis.
+//! `--eval-mode automaton|stepper` selects how formulae are progressed
+//! (the table-driven evaluation automaton — the default — or the plain
+//! stepper kept as its differential oracle; see DESIGN.md, *Evaluation
+//! automata*). Verdicts and state counts are identical in both modes;
+//! only the timing and `ltl_*` counter columns change.
 //! `lint` runs the spec static analysis over every bundled specification
 //! and prints its diagnostics (vacuous implications, tautological or
 //! unsatisfiable properties, unused bindings/actions/selectors) with
@@ -91,6 +96,16 @@ fn main() {
         },
         None => SelectionStrategy::default(),
     };
+    let eval_mode = match flag("--eval-mode") {
+        Some(name) => match EvalMode::parse(&name) {
+            Some(m) => m,
+            None => {
+                eprintln!("unknown eval mode {name:?} (expected automaton or stepper)");
+                std::process::exit(2);
+            }
+        },
+        None => EvalMode::default(),
+    };
 
     match command {
         "table1" => {
@@ -102,6 +117,7 @@ fn main() {
                 mode,
                 strategy,
                 mask_atoms,
+                eval_mode,
             );
         }
         "table2" => {
@@ -113,6 +129,7 @@ fn main() {
                 mode,
                 strategy,
                 mask_atoms,
+                eval_mode,
             );
         }
         "figure13" => figure13(sessions, runs, csv.as_deref()),
@@ -131,6 +148,7 @@ fn main() {
                 mode,
                 strategy,
                 mask_atoms,
+                eval_mode,
             );
             figure13(sessions.min(3), runs, csv.as_deref());
             delta_compare(tests.min(10), jobs, None);
@@ -152,7 +170,7 @@ fn main() {
 }
 
 /// Runs the registry sweep and prints Table 1 (and optionally Table 2).
-#[allow(clippy::fn_params_excessive_bools)]
+#[allow(clippy::fn_params_excessive_bools, clippy::too_many_arguments)]
 fn table1_and_2(
     tests: usize,
     with_table2: bool,
@@ -161,10 +179,11 @@ fn table1_and_2(
     mode: SnapshotMode,
     strategy: SelectionStrategy,
     mask_atoms: bool,
+    eval_mode: EvalMode,
 ) {
     println!("═══ Table 1: Summary of Results (TodoMVC registry sweep) ═══");
     println!(
-        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s), {} snapshots, {} strategy, atom masks {})",
+        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s), {} snapshots, {} strategy, atom masks {}, {} evaluation)",
         REGISTRY.len(),
         tests,
         jobs.max(1),
@@ -173,7 +192,8 @@ fn table1_and_2(
             SnapshotMode::Full => "full",
         },
         strategy,
-        if mask_atoms { "on" } else { "off" }
+        if mask_atoms { "on" } else { "off" },
+        eval_mode
     );
     let options = CheckOptions::default()
         .with_tests(tests)
@@ -182,7 +202,8 @@ fn table1_and_2(
         .with_seed(20220322) // the paper's arXiv date
         .with_shrink(false)
         .with_strategy(strategy)
-        .with_mask_atoms(mask_atoms);
+        .with_mask_atoms(mask_atoms)
+        .with_eval_mode(eval_mode);
     let print_line = |result: &ImplResult| {
         println!(
             "  {:>22}  {}  ({:5.2}s, {} states){}",
@@ -301,6 +322,14 @@ fn table1_and_2(
         "atom evaluation: {atoms_reevaluated} of {atoms_total} requested expansions \
          re-evaluated ({reeval_pct:.1}%; the rest reused under the static atom masks)"
     );
+    if eval_mode == EvalMode::Automaton {
+        let ltl_states = results.iter().map(|r| r.ltl_states).max().unwrap_or(0);
+        let ltl_table_hits: u64 = results.iter().map(|r| r.ltl_table_hits).sum();
+        println!(
+            "evaluation automaton: {ltl_states} residual state(s) interned, \
+             {ltl_table_hits} progression steps answered by table lookup"
+        );
+    }
 
     if let Some(path) = json {
         let doc = sweep_to_json(&results, jobs.max(1), started.elapsed().as_secs_f64());

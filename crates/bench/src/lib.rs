@@ -96,6 +96,15 @@ pub struct ImplResult {
     /// reused under the static atom masks — see
     /// `CheckOptions::mask_atoms`).
     pub atoms_reevaluated: u64,
+    /// Residual formulae interned by the property evaluation automata at
+    /// the end of the check (zero in `EvalMode::Stepper` mode). The
+    /// transition table is owned by the compiled spec and shared across
+    /// entries, so this reports the table size *as of* this entry, not a
+    /// per-entry increment.
+    pub ltl_states: u64,
+    /// Formula-progression steps answered by a transition-table lookup
+    /// instead of unroll+simplify (zero in `EvalMode::Stepper` mode).
+    pub ltl_table_hits: u64,
     /// Total states observed.
     pub states: usize,
     /// Fault numbers injected into this implementation.
@@ -160,6 +169,8 @@ pub fn check_entry_mode(
         eval_s: timings.eval_s,
         atoms_total: timings.atoms_total,
         atoms_reevaluated: timings.atoms_reevaluated,
+        ltl_states: timings.ltl_states,
+        ltl_table_hits: timings.ltl_table_hits,
         states,
         fault_numbers: entry.faults.iter().map(|f| f.number()).collect(),
         transport: report.transport(),
@@ -219,11 +230,15 @@ pub fn sweep_registry_jobs(options: &CheckOptions, jobs: usize) -> Vec<ImplResul
 /// across entries — the transport totals `shipped_bytes` / `full_bytes` /
 /// `delta_ratio`, the coverage totals `distinct_states` /
 /// `distinct_edges`, and the atom-evaluation totals `atoms_total` /
-/// `atoms_reevaluated` — the work the static atom masks saved) and an
+/// `atoms_reevaluated` — the work the static atom masks saved — and the
+/// automaton counters `ltl_states` / `ltl_table_hits`: the interned
+/// residual-state count of the shared transition table and the
+/// progression steps it answered by lookup) and an
 /// `entries` array; every entry carries `name`,
 /// `passed`, `expected_to_fail`, `wall_s`, the phase attribution
 /// `executor_s`/`eval_s`, the atom counters
-/// `atoms_total`/`atoms_reevaluated`, `states`, `faults`, its snapshot-transport
+/// `atoms_total`/`atoms_reevaluated`, the automaton counters
+/// `ltl_states`/`ltl_table_hits`, `states`, `faults`, its snapshot-transport
 /// accounting (`shipped_bytes`, `full_bytes`, `delta_states`,
 /// `changed_selectors`), and its coverage accounting (`distinct_states`,
 /// `distinct_edges`), so a regression can be blamed on a phase — or on
@@ -255,6 +270,19 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
         "  \"atoms_reevaluated\": {},",
         results.iter().map(|r| r.atoms_reevaluated).sum::<u64>()
     );
+    // The transition table is shared across entries (it hangs off the
+    // once-compiled spec), so the sweep-level state count is the maximum
+    // snapshot, not a per-entry sum; hits are genuinely additive.
+    let _ = writeln!(
+        out,
+        "  \"ltl_states\": {},",
+        results.iter().map(|r| r.ltl_states).max().unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "  \"ltl_table_hits\": {},",
+        results.iter().map(|r| r.ltl_table_hits).sum::<u64>()
+    );
     let mut transport = TransportStats::default();
     for r in results {
         transport.absorb(r.transport);
@@ -276,6 +304,7 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             "    {{\"name\": \"{}\", \"passed\": {}, \"expected_to_fail\": {}, \
              \"wall_s\": {:.4}, \"executor_s\": {:.4}, \"eval_s\": {:.4}, \
              \"atoms_total\": {}, \"atoms_reevaluated\": {}, \
+             \"ltl_states\": {}, \"ltl_table_hits\": {}, \
              \"states\": {}, \"faults\": [{}], \
              \"shipped_bytes\": {}, \"full_bytes\": {}, \"delta_states\": {}, \
              \"changed_selectors\": {}, \
@@ -288,6 +317,8 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             r.eval_s,
             r.atoms_total,
             r.atoms_reevaluated,
+            r.ltl_states,
+            r.ltl_table_hits,
             r.states,
             faults.join(", "),
             r.transport.shipped_bytes,

@@ -27,6 +27,53 @@ pub enum FingerprintMode {
     SpecAware,
 }
 
+/// How the checker progresses LTL formulae over observed states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Step a memoized evaluation automaton
+    /// ([`quickltl::TransitionTable`], shared per property across runs):
+    /// residual formulae are interned as states, transitions are keyed by
+    /// the observed atom-expansion shapes, and a table hit skips the
+    /// whole unroll/simplify/classify/step pipeline. Falls back to the
+    /// stepper mid-run when the residual space exceeds
+    /// [`CheckOptions::automaton_state_cap`]. Verdicts, traces and
+    /// shrink scripts are pinned bit-identical to [`EvalMode::Stepper`]
+    /// by the `differential_automaton` suite.
+    #[default]
+    Automaton,
+    /// The plain formula-progression stepper ([`quickltl::Evaluator`]),
+    /// re-deriving residuals per state. Kept as the differential oracle
+    /// and for formulae whose residual space defeats memoization.
+    Stepper,
+}
+
+impl EvalMode {
+    /// The mode's display name (also the `--eval-mode` flag syntax).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalMode::Automaton => "automaton",
+            EvalMode::Stepper => "stepper",
+        }
+    }
+
+    /// Parses an `--eval-mode` flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<EvalMode> {
+        match s {
+            "automaton" | "table" => Some(EvalMode::Automaton),
+            "stepper" => Some(EvalMode::Stepper),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EvalMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Options controlling a checking session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckOptions {
@@ -61,6 +108,15 @@ pub struct CheckOptions {
     pub mask_atoms: bool,
     /// Which state abstraction coverage fingerprints use.
     pub fingerprint: FingerprintMode,
+    /// How formulae are progressed: table-driven automaton (default) or
+    /// the plain stepper.
+    pub eval_mode: EvalMode,
+    /// Maximum residual states a property's evaluation automaton may
+    /// intern before runs fall back to the stepper (see
+    /// [`EvalMode::Automaton`]). The fallback is verdict-invisible; the
+    /// cap only bounds memory and is exposed mainly so tests can force
+    /// the fallback path.
+    pub automaton_state_cap: usize,
 }
 
 impl Default for CheckOptions {
@@ -75,6 +131,8 @@ impl Default for CheckOptions {
             jobs: 1,
             mask_atoms: true,
             fingerprint: FingerprintMode::Shape,
+            eval_mode: EvalMode::Automaton,
+            automaton_state_cap: 4096,
         }
     }
 }
@@ -144,6 +202,21 @@ impl CheckOptions {
         self
     }
 
+    /// Returns the options with the given formula-progression mode.
+    #[must_use]
+    pub fn with_eval_mode(mut self, eval_mode: EvalMode) -> Self {
+        self.eval_mode = eval_mode;
+        self
+    }
+
+    /// Returns the options with the given automaton state cap (clamped to
+    /// at least 1).
+    #[must_use]
+    pub fn with_automaton_state_cap(mut self, cap: usize) -> Self {
+        self.automaton_state_cap = cap.max(1);
+        self
+    }
+
     /// The hard cap on actions in one run: the budget plus headroom for
     /// outstanding demands (a nested demand can require up to twice the
     /// default subscript in additional states).
@@ -164,6 +237,8 @@ mod tests {
         assert!(o.shrink);
         assert!(o.mask_atoms);
         assert_eq!(o.fingerprint, FingerprintMode::Shape);
+        assert_eq!(o.eval_mode, EvalMode::Automaton);
+        assert_eq!(o.automaton_state_cap, 4096);
     }
 
     #[test]
@@ -177,8 +252,12 @@ mod tests {
             .with_strategy(SelectionStrategy::LeastTried)
             .with_jobs(4)
             .with_mask_atoms(false)
-            .with_fingerprint(FingerprintMode::SpecAware);
+            .with_fingerprint(FingerprintMode::SpecAware)
+            .with_eval_mode(EvalMode::Stepper)
+            .with_automaton_state_cap(0);
         assert!(!o.mask_atoms);
+        assert_eq!(o.eval_mode, EvalMode::Stepper);
+        assert_eq!(o.automaton_state_cap, 1, "cap clamps to at least 1");
         assert_eq!(o.fingerprint, FingerprintMode::SpecAware);
         assert_eq!(o.tests, 5);
         assert_eq!(o.max_actions, 30);
@@ -188,5 +267,15 @@ mod tests {
         assert_eq!(o.strategy, SelectionStrategy::LeastTried);
         assert_eq!(o.jobs, 4);
         assert_eq!(o.hard_action_cap(), 30 + 20 + 16);
+    }
+
+    #[test]
+    fn eval_mode_names_round_trip() {
+        for mode in [EvalMode::Automaton, EvalMode::Stepper] {
+            assert_eq!(EvalMode::parse(mode.name()), Some(mode));
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert_eq!(EvalMode::parse("table"), Some(EvalMode::Automaton));
+        assert_eq!(EvalMode::parse("nope"), None);
     }
 }

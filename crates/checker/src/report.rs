@@ -113,15 +113,33 @@ pub struct PhaseTimings {
     /// footprint-masked cache because no selector the atom can read
     /// changed (see `CheckOptions::mask_atoms`).
     pub atoms_reevaluated: u64,
+    /// Residual formulae interned by the property's evaluation automaton
+    /// (`quickltl::TransitionTable::state_count` at the end of the run).
+    /// The table is shared by every run of a property, so [`absorb`]
+    /// combines this field by *maximum*, not by sum — each run reports
+    /// the table size it last saw. Zero in `EvalMode::Stepper` mode.
+    ///
+    /// [`absorb`]: PhaseTimings::absorb
+    pub ltl_states: u64,
+    /// Formula-progression steps answered by a transition-table lookup
+    /// instead of the unroll/simplify/classify pipeline (summed over
+    /// runs). Zero in `EvalMode::Stepper` mode.
+    pub ltl_table_hits: u64,
 }
 
 impl PhaseTimings {
-    /// Component-wise accumulation.
+    /// Component-wise accumulation ([`ltl_states`] combines by max — the
+    /// automaton table is shared across a property's runs, so sizes are
+    /// snapshots of one table, not independent contributions).
+    ///
+    /// [`ltl_states`]: PhaseTimings::ltl_states
     pub fn absorb(&mut self, other: PhaseTimings) {
         self.executor_s += other.executor_s;
         self.eval_s += other.eval_s;
         self.atoms_total += other.atoms_total;
         self.atoms_reevaluated += other.atoms_reevaluated;
+        self.ltl_states = self.ltl_states.max(other.ltl_states);
+        self.ltl_table_hits += other.ltl_table_hits;
     }
 }
 

@@ -1,9 +1,10 @@
 //! Per-run state: trace recording, formula progression and action
 //! selection.
 //!
-//! A [`Run`] is the pure half of a test run — it owns the evaluator, the
-//! recorded trace, the coverage observations and the action-selection
-//! state, but never talks to an executor itself. The I/O half lives in
+//! A [`Run`] is the pure half of a test run — it owns the formula
+//! progression engine (a table-driven automaton or the plain stepper,
+//! see [`EvalMode`]), the recorded trace, the coverage observations and
+//! the action-selection state, but never talks to an executor itself. The I/O half lives in
 //! [`crate::session::Session`], which couples a `Run` with an executor
 //! and drives it to completion.
 //!
@@ -14,10 +15,14 @@
 //! incrementally from the snapshot pipeline's deltas (see DESIGN.md,
 //! *Exploration engine*).
 
-use crate::options::{CheckOptions, FingerprintMode};
+use crate::options::{CheckOptions, EvalMode, FingerprintMode};
 use crate::report::{Counterexample, RunResult, TraceEntry};
 use crate::runner::CheckError;
-use quickltl::{Evaluator, Formula, StepReport, Verdict};
+use quickltl::automaton::for_each_live_atom;
+use quickltl::{
+    AtomId, Evaluator, Formula, Observation, Outcome, StateId, StepReport, TableStep,
+    TransitionTable, Verdict,
+};
 use quickstrom_explore::{
     target_index, Candidate, Fingerprinter, RunCoverage, Strategy, StrategyCtx,
 };
@@ -30,8 +35,9 @@ use specstrom::{
     eval_guard, expand_thunk, footprint_of_thunk, ActionValue, AtomFootprint, CheckDef,
     CompiledSpec, EvalCtx, Thunk,
 };
-use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
 
 /// One cached atom expansion, keyed by [`Thunk::identity`].
 ///
@@ -129,12 +135,60 @@ impl Default for Choice {
     }
 }
 
+/// How this run progresses its formula (see [`EvalMode`]).
+enum Engine {
+    /// Plain formula progression: the residual lives in the evaluator.
+    Stepper(Evaluator<Thunk>),
+    /// Table-driven progression against the property's shared
+    /// [`TransitionTable`]: the run only carries its current state id and
+    /// the concrete thunks bound to that state's abstract atoms. Falls
+    /// back to [`Engine::Stepper`] mid-run (via [`Evaluator::resume`])
+    /// when the table reports its state cap exceeded.
+    Automaton {
+        /// The property's table, shared across runs (and worker threads).
+        table: Arc<Mutex<TransitionTable>>,
+        /// Where in the automaton this run is.
+        pos: AutomatonPos,
+        /// States observed so far (mirrors [`Evaluator::states_seen`], so
+        /// a fallback resumes with the right forced-verdict gating).
+        states_seen: usize,
+    },
+}
+
+/// The automaton-mode position of one run.
+enum AutomatonPos {
+    /// At `id`, with `bindings[i]` the concrete thunk behind abstract
+    /// atom `i` of the state formula.
+    Running {
+        /// Current table state.
+        id: StateId,
+        /// Concrete thunk for each abstract atom id, indexed by id.
+        bindings: Vec<Thunk>,
+    },
+    /// A definitive verdict was reached; latched like the evaluator.
+    Done(bool),
+}
+
+/// What one eval step decided before the engine is (possibly) replaced —
+/// split out so the stepper fallback can re-observe the current state
+/// *after* the borrow of the automaton fields ends.
+enum StepPlan {
+    Report(StepReport),
+    Fallback(Evaluator<Thunk>),
+}
+
 /// The per-run machinery shared by random runs and scripted replays.
 pub(crate) struct Run<'a> {
     pub(crate) spec: &'a CompiledSpec,
     pub(crate) check: &'a CheckDef,
     pub(crate) options: &'a CheckOptions,
-    pub(crate) evaluator: Evaluator<Thunk>,
+    engine: Engine,
+    /// The automaton table, kept even after a mid-run fallback so the
+    /// `ltl_states` counter can still be read at session end. `None` in
+    /// stepper mode.
+    ltl_table: Option<Arc<Mutex<TransitionTable>>>,
+    /// Steps answered by a memoized table transition (no pipeline work).
+    pub(crate) ltl_table_hits: u64,
     /// Event name lookup: selector → declared `…?` event names.
     pub(crate) events_by_selector: BTreeMap<Selector, Vec<Symbol>>,
     /// Event-declared timeouts: event name → ms.
@@ -193,9 +247,40 @@ impl<'a> Run<'a> {
     pub(crate) fn new(
         spec: &'a CompiledSpec,
         check: &'a CheckDef,
+        property_name: &str,
         property: &Thunk,
         options: &'a CheckOptions,
     ) -> Self {
+        // Pick the progression engine. The automaton table is looked up by
+        // property *name* (plus the option knobs baked into residuals):
+        // `property_thunk` builds a fresh thunk per call, so the name is
+        // the stable cross-run key, while the thunk itself becomes the
+        // binding of the start state's single abstract atom.
+        let (engine, ltl_table) = match options.eval_mode {
+            EvalMode::Stepper => (
+                Engine::Stepper(Evaluator::new(Formula::Atom(property.clone()))),
+                None,
+            ),
+            EvalMode::Automaton => {
+                let table = spec.automata.table(
+                    property_name,
+                    options.default_demand,
+                    options.automaton_state_cap,
+                );
+                let start = table.lock().expect("automaton table poisoned").start();
+                (
+                    Engine::Automaton {
+                        table: Arc::clone(&table),
+                        pos: AutomatonPos::Running {
+                            id: start,
+                            bindings: vec![property.clone()],
+                        },
+                        states_seen: 0,
+                    },
+                    Some(table),
+                )
+            }
+        };
         let mut events_by_selector: BTreeMap<Selector, Vec<Symbol>> = BTreeMap::new();
         let mut event_timeouts = BTreeMap::new();
         for name in &check.events {
@@ -213,7 +298,9 @@ impl<'a> Run<'a> {
             spec,
             check,
             options,
-            evaluator: Evaluator::new(Formula::Atom(property.clone())),
+            engine,
+            ltl_table,
+            ltl_table_hits: 0,
             events_by_selector,
             event_timeouts,
             action_syms: check.actions.iter().map(|n| Symbol::intern(n)).collect(),
@@ -343,45 +430,208 @@ impl<'a> Run<'a> {
         }
         let ctx = EvalCtx::with_state(&state, self.options.default_demand);
         // Split the borrows up front: the expansion closure needs the
-        // cache and counters while `observe_expanding` holds the
-        // evaluator.
+        // cache and counters while the engine match holds the engine
+        // (and, in automaton mode, the hit counter).
         let mask = self.options.mask_atoms;
         let cache = &mut self.atom_cache;
         let atoms_total = &mut self.atoms_total;
         let atoms_reevaluated = &mut self.atoms_reevaluated;
+        let ltl_table_hits = &mut self.ltl_table_hits;
+        let last_report = self.last_report;
+        let mut expand = |thunk: &Thunk| -> Result<Formula<Thunk>, specstrom::EvalError> {
+            *atoms_total += 1;
+            if mask {
+                if let Some(entry) = cache.get(&thunk.identity()) {
+                    if entry.atom == *thunk {
+                        return Ok(entry.expansion.clone());
+                    }
+                }
+            }
+            *atoms_reevaluated += 1;
+            let expansion = expand_thunk(thunk, &ctx)?;
+            if mask {
+                cache.insert(
+                    thunk.identity(),
+                    CachedAtom {
+                        atom: thunk.clone(),
+                        expansion: expansion.clone(),
+                        footprint: footprint_of_thunk(thunk),
+                    },
+                );
+            }
+            Ok(expansion)
+        };
         let eval_started = std::time::Instant::now();
-        let report = self
-            .evaluator
-            .observe_expanding(
-                &mut |thunk| -> Result<Formula<Thunk>, specstrom::EvalError> {
-                    *atoms_total += 1;
-                    if mask {
-                        if let Some(entry) = cache.get(&thunk.identity()) {
-                            if entry.atom == *thunk {
-                                return Ok(entry.expansion.clone());
+        let plan = match &mut self.engine {
+            Engine::Stepper(ev) => StepPlan::Report(
+                ev.observe_expanding(&mut expand)
+                    .map_err(CheckError::from)?,
+            ),
+            Engine::Automaton {
+                table,
+                pos,
+                states_seen,
+            } => match pos {
+                // Latched, like the evaluator: no atom is expanded.
+                AutomatonPos::Done(b) => StepPlan::Report(StepReport::Definitive(*b)),
+                AutomatonPos::Running { id, bindings } => {
+                    let live = table
+                        .lock()
+                        .expect("automaton table poisoned")
+                        .live_atoms(*id);
+                    // Build the observation: expand every live atom of the
+                    // state formula — plus, transitively, every live atom
+                    // of an expansion (`unroll` recurses the same way).
+                    // Abstract ids are assigned in discovery order, which
+                    // is deterministic given the table state, so equal
+                    // concrete steps produce equal observation keys.
+                    let mut ids: HashMap<(usize, usize), AtomId> =
+                        HashMap::with_capacity(bindings.len());
+                    for (i, thunk) in bindings.iter().enumerate() {
+                        ids.insert(thunk.identity(), i as AtomId);
+                    }
+                    let mut step_thunks: Vec<Thunk> = bindings.clone();
+                    let mut obs: Observation = Vec::new();
+                    let mut queue: VecDeque<AtomId> = live.iter().copied().collect();
+                    let mut seen: HashSet<AtomId> = HashSet::new();
+                    while let Some(aid) = queue.pop_front() {
+                        if !seen.insert(aid) {
+                            continue;
+                        }
+                        let thunk = step_thunks[aid as usize].clone();
+                        let expansion = expand(&thunk).map_err(CheckError::from)?;
+                        let abstracted =
+                            expansion.map_atoms(&mut |t: Thunk| match ids.entry(t.identity()) {
+                                Entry::Occupied(e) => *e.get(),
+                                Entry::Vacant(e) => {
+                                    let fresh = step_thunks.len() as AtomId;
+                                    step_thunks.push(t);
+                                    *e.insert(fresh)
+                                }
+                            });
+                        for_each_live_atom(&abstracted, &mut |&a| {
+                            if !seen.contains(&a) {
+                                queue.push_back(a);
+                            }
+                        });
+                        obs.push((aid, abstracted));
+                    }
+                    let step = table
+                        .lock()
+                        .expect("automaton table poisoned")
+                        .step(*id, &obs);
+                    match step {
+                        Ok((step, hit)) => {
+                            if hit {
+                                *ltl_table_hits += 1;
+                            }
+                            *states_seen += 1;
+                            match step {
+                                TableStep::Done(b) => {
+                                    *pos = AutomatonPos::Done(b);
+                                    StepPlan::Report(StepReport::Definitive(b))
+                                }
+                                TableStep::Goto {
+                                    state: next,
+                                    presumptive,
+                                    sources,
+                                } => {
+                                    let bindings = sources
+                                        .iter()
+                                        .map(|&s| step_thunks[s as usize].clone())
+                                        .collect();
+                                    *pos = AutomatonPos::Running { id: next, bindings };
+                                    StepPlan::Report(StepReport::Continue { presumptive })
+                                }
                             }
                         }
+                        Err(_) => {
+                            // The residual space outgrew the cap (or an
+                            // expansion fell outside the observation —
+                            // impossible by construction, handled the same
+                            // way): reconstitute the concrete residual and
+                            // resume the stepper exactly where the table
+                            // left off. Re-observing the current state
+                            // below re-expands its atoms; with masking on
+                            // the cache serves them, and the fallback is
+                            // verdict-invisible either way.
+                            let formula = table
+                                .lock()
+                                .expect("automaton table poisoned")
+                                .state_formula(*id)
+                                .clone();
+                            let residual =
+                                formula.map_atoms(&mut |a: AtomId| bindings[a as usize].clone());
+                            StepPlan::Fallback(Evaluator::resume(
+                                residual,
+                                *states_seen,
+                                last_report,
+                            ))
+                        }
                     }
-                    *atoms_reevaluated += 1;
-                    let expansion = expand_thunk(thunk, &ctx)?;
-                    if mask {
-                        cache.insert(
-                            thunk.identity(),
-                            CachedAtom {
-                                atom: thunk.clone(),
-                                expansion: expansion.clone(),
-                                footprint: footprint_of_thunk(thunk),
-                            },
-                        );
-                    }
-                    Ok(expansion)
-                },
-            )
-            .map_err(CheckError::from)?;
+                }
+            },
+        };
+        let report = match plan {
+            StepPlan::Report(report) => report,
+            StepPlan::Fallback(mut ev) => {
+                let report = ev
+                    .observe_expanding(&mut expand)
+                    .map_err(CheckError::from)?;
+                self.engine = Engine::Stepper(ev);
+                report
+            }
+        };
         self.eval_time += eval_started.elapsed();
         self.last_report = Some(report);
         self.last_state = Some(state);
         Ok(())
+    }
+
+    /// The number of residual states the property's automaton table holds
+    /// (0 in stepper mode). Read at session end for
+    /// [`crate::report::PhaseTimings::ltl_states`]; the table survives a
+    /// mid-run stepper fallback, so the counter stays meaningful.
+    pub(crate) fn ltl_states(&self) -> u64 {
+        self.ltl_table
+            .as_ref()
+            .map(|t| t.lock().expect("automaton table poisoned").state_count() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Engine-dispatched forced verdict (see [`Evaluator::forced_outcome`]):
+    /// the last report's regular outcome when it yields one; before any
+    /// observation, `MoreStatesNeeded`; otherwise the end-of-trace default
+    /// of the current residual, read presumptively. The table precomputes
+    /// that default per state — `end_of_trace_default` never looks inside
+    /// an atom, so the abstract answer is the concrete one.
+    fn forced_outcome(&self) -> Outcome {
+        match &self.engine {
+            Engine::Stepper(ev) => ev.forced_outcome(),
+            Engine::Automaton {
+                table,
+                pos,
+                states_seen,
+            } => {
+                if let Some(report) = self.last_report {
+                    if let Outcome::Verdict(v) = report.outcome() {
+                        return Outcome::Verdict(v);
+                    }
+                }
+                if *states_seen == 0 {
+                    return Outcome::MoreStatesNeeded;
+                }
+                match pos {
+                    AutomatonPos::Done(b) => Outcome::Verdict(Verdict::definitely(*b)),
+                    AutomatonPos::Running { id, .. } => Outcome::Verdict(Verdict::presumably(
+                        table
+                            .lock()
+                            .expect("automaton table poisoned")
+                            .forced_default(*id),
+                    )),
+                }
+            }
+        }
     }
 
     pub(crate) fn definitive(&self) -> Option<bool> {
@@ -612,7 +862,7 @@ impl<'a> Run<'a> {
             return RunOutcome::Result(self.to_result(Verdict::presumably(b)));
         }
         if allow_forced {
-            if let quickltl::Outcome::Verdict(v) = self.evaluator.forced_outcome() {
+            if let Outcome::Verdict(v) = self.forced_outcome() {
                 return RunOutcome::Result(self.to_result_forced(v));
             }
         }

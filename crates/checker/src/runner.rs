@@ -130,16 +130,25 @@ struct ExecutedRun {
 /// Executes the run at `index`: fresh executor, fresh RNG seeded from
 /// `(options.seed, index)`, optionally replaying a corpus `prefix` before
 /// extending with strategy-chosen actions.
+#[allow(clippy::too_many_arguments)] // internal: name + thunk + prefix push it over
 fn run_one(
     spec: &CompiledSpec,
     check: &CheckDef,
+    property_name: &str,
     property: &Thunk,
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
     index: usize,
     prefix: Option<&[ActionInstance]>,
 ) -> Result<ExecutedRun, CheckError> {
-    let mut session = Session::new(spec, check, property, options, make_executor());
+    let mut session = Session::new(
+        spec,
+        check,
+        property_name,
+        property,
+        options,
+        make_executor(),
+    );
     let mut source = ActionSource::Random {
         rng: StdRng::seed_from_u64(derive_run_seed(options.seed, index as u64)),
         prefix: prefix.unwrap_or(&[]),
@@ -169,13 +178,23 @@ fn run_one(
 fn run_tests_sequential(
     spec: &CompiledSpec,
     check: &CheckDef,
+    property_name: &str,
     property: &Thunk,
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
 ) -> Result<Vec<ExecutedRun>, CheckError> {
     let mut executed = Vec::new();
     for index in 0..options.tests {
-        let run = run_one(spec, check, property, options, make_executor, index, None)?;
+        let run = run_one(
+            spec,
+            check,
+            property_name,
+            property,
+            options,
+            make_executor,
+            index,
+            None,
+        )?;
         let failed = run.result.is_failure();
         executed.push(run);
         if failed {
@@ -192,6 +211,7 @@ fn run_tests_sequential(
 fn run_tests_parallel(
     spec: &CompiledSpec,
     check: &CheckDef,
+    property_name: &str,
     property: &Thunk,
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
@@ -202,7 +222,16 @@ fn run_tests_parallel(
             if cancel.should_skip(index) {
                 return None;
             }
-            let outcome = run_one(spec, check, property, options, make_executor, index, None);
+            let outcome = run_one(
+                spec,
+                check,
+                property_name,
+                property,
+                options,
+                make_executor,
+                index,
+                None,
+            );
             let stops = match &outcome {
                 Ok(run) => run.result.is_failure(),
                 Err(_) => true,
@@ -264,6 +293,7 @@ struct CorpusOutcome {
 fn run_tests_corpus(
     spec: &CompiledSpec,
     check: &CheckDef,
+    property_name: &str,
     property: &Thunk,
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
@@ -290,6 +320,7 @@ fn run_tests_corpus(
                 run_one(
                     spec,
                     check,
+                    property_name,
                     property,
                     options,
                     make_executor,
@@ -333,12 +364,20 @@ fn run_tests_corpus(
 fn replay(
     spec: &CompiledSpec,
     check: &CheckDef,
+    property_name: &str,
     property: &Thunk,
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
     script: &[ActionInstance],
 ) -> Result<(RunOutcome, PhaseTimings, TransportStats), CheckError> {
-    let mut session = Session::new(spec, check, property, options, make_executor());
+    let mut session = Session::new(
+        spec,
+        check,
+        property_name,
+        property,
+        options,
+        make_executor(),
+    );
     let mut source = ActionSource::Script {
         actions: script,
         pos: 0,
@@ -354,6 +393,7 @@ fn replay(
 fn shrink(
     spec: &CompiledSpec,
     check: &CheckDef,
+    property_name: &str,
     property: &Thunk,
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
@@ -371,8 +411,27 @@ fn shrink(
             let mut candidate: Vec<ActionInstance> = failing.script.clone();
             let end = (i + chunk).min(candidate.len());
             candidate.drain(i..end);
-            let (outcome, replay_timings, replay_transport) =
-                replay(spec, check, property, options, make_executor, &candidate)?;
+            let (outcome, mut replay_timings, replay_transport) = replay(
+                spec,
+                check,
+                property_name,
+                property,
+                options,
+                make_executor,
+                &candidate,
+            )?;
+            // Fold in the replay's wall-clock attribution but not its
+            // evaluation counters: each replay re-expands the atoms of
+            // its whole candidate prefix, so absorbing the counts would
+            // make the per-property atom/table columns depend on whether
+            // a counterexample happened to shrink (and on how many
+            // candidates the shrinker tried). Counters measure what the
+            // *test budget* evaluated, mirroring coverage's exclusion of
+            // shrink replays.
+            replay_timings.atoms_total = 0;
+            replay_timings.atoms_reevaluated = 0;
+            replay_timings.ltl_states = 0;
+            replay_timings.ltl_table_hits = 0;
             timings.absorb(replay_timings);
             transport.absorb(replay_transport);
             match outcome {
@@ -431,12 +490,33 @@ pub fn check_property(
         .property_thunk(property_name)
         .ok_or_else(|| CheckError::new(format!("unknown property `{property_name}`")))?;
     let outcome = if options.strategy.uses_corpus() {
-        run_tests_corpus(spec, check, &property, options, make_executor)?
+        run_tests_corpus(
+            spec,
+            check,
+            property_name,
+            &property,
+            options,
+            make_executor,
+        )?
     } else {
         let executed = if options.jobs > 1 && options.tests > 1 {
-            run_tests_parallel(spec, check, &property, options, make_executor)?
+            run_tests_parallel(
+                spec,
+                check,
+                property_name,
+                &property,
+                options,
+                make_executor,
+            )?
         } else {
-            run_tests_sequential(spec, check, &property, options, make_executor)?
+            run_tests_sequential(
+                spec,
+                check,
+                property_name,
+                &property,
+                options,
+                make_executor,
+            )?
         };
         // Merge per-run coverage in canonical index order (the union is
         // order-insensitive anyway, but the canonical order is the
@@ -475,6 +555,7 @@ pub fn check_property(
                     shrink(
                         spec,
                         check,
+                        property_name,
                         &property,
                         options,
                         make_executor,

@@ -28,15 +28,18 @@ pub(crate) struct Session<'a> {
 
 impl<'a> Session<'a> {
     /// Opens a session: a fresh `Run` against a fresh executor.
+    /// `property_name` keys the property's shared evaluation-automaton
+    /// table; `property` is the thunk the formula progression starts from.
     pub(crate) fn new(
         spec: &'a CompiledSpec,
         check: &'a CheckDef,
+        property_name: &str,
         property: &Thunk,
         options: &'a CheckOptions,
         executor: Box<dyn Executor>,
     ) -> Self {
         Session {
-            run: Run::new(spec, check, property, options),
+            run: Run::new(spec, check, property_name, property, options),
             executor,
             exec_time: std::time::Duration::ZERO,
         }
@@ -57,6 +60,8 @@ impl<'a> Session<'a> {
             eval_s: self.run.eval_time.as_secs_f64(),
             atoms_total: self.run.atoms_total,
             atoms_reevaluated: self.run.atoms_reevaluated,
+            ltl_states: self.run.ltl_states(),
+            ltl_table_hits: self.run.ltl_table_hits,
         }
     }
 

@@ -53,6 +53,9 @@
 //! * [`syntax`](mod@syntax) — [`Formula`], [`Demand`], combinators, printing.
 //! * [`progress`](mod@progress) — unroll / simplify / step, [`Evaluator`],
 //!   [`check_trace`].
+//! * [`automaton`](mod@automaton) — table-driven evaluation:
+//!   [`EagerAutomaton`] (precomputed propositional tables) and
+//!   [`TransitionTable`] (memoized tables for expanding atoms).
 //! * [`verdict`](mod@verdict) — [`Verdict`] and [`Outcome`].
 //! * [`finite`](mod@finite) — the Pnueli finite-LTL and RV-LTL baselines.
 //! * [`infinite`](mod@infinite) — reference semantics on lasso traces.
@@ -62,6 +65,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod automaton;
 pub mod finite;
 pub mod infinite;
 mod parse;
@@ -69,6 +73,10 @@ pub mod progress;
 pub mod syntax;
 pub mod verdict;
 
+pub use automaton::{
+    AtomId, EagerAutomaton, EagerCaps, EagerError, EagerRunner, EagerStep, Observation, StateId,
+    TableError, TableStep, TransitionTable,
+};
 pub use parse::{parse, ParseError};
 pub use progress::{
     check_trace, classify, simplify, simplify_with, unroll, Evaluator, Guarded, NotGuardedError,

@@ -1,0 +1,269 @@
+//! Differential semantics harness for the evaluation automata
+//! (`quickltl::automaton`), pinning them to the formula-progression
+//! stepper and to per-prefix unroll verdicts.
+//!
+//! Three families of properties:
+//!
+//! 1. **Verdict equivalence** — on random formulae and random finite
+//!    traces, the [`EagerAutomaton`] emits exactly the stepper's
+//!    [`StepReport`] at every state, the same running outcome as a fresh
+//!    per-prefix [`check_trace`] unroll, and the same forced end-of-trace
+//!    fallback. Likewise the memoized [`TransitionTable`], driven with
+//!    constant observations.
+//! 2. **Enumeration termination** — compiling any formula terminates with
+//!    either an automaton of at most `max_states` states or a clean
+//!    [`EagerError`]; it never loops or overshoots the cap.
+//! 3. **Canonical-form invariants** — every enumerated residual state is a
+//!    `simplify` fixpoint, so the state space the automaton interns is
+//!    exactly the simplifier's normal-form space.
+
+use proptest::prelude::*;
+use quickltl::automaton::{canonicalize, EagerAutomaton, EagerCaps, EagerError};
+use quickltl::{
+    check_trace, simplify, AtomId, Evaluator, Formula, Observation, Outcome, StepReport,
+    TableError, TableStep, TransitionTable,
+};
+
+type F = Formula<u8>;
+
+/// A state is a bitmask of true propositions (propositions are 0..8).
+type State = u8;
+
+fn eval(p: &u8, s: &State) -> bool {
+    s & (1 << (p % 8)) != 0
+}
+
+/// Random formulae over atoms 0..4 (same generator as `properties.rs`).
+fn formula(depth: u32, with_required: bool, max_demand: u32) -> BoxedStrategy<F> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(Formula::Atom),
+        Just(Formula::Top),
+        Just(Formula::Bottom),
+    ];
+    leaf.prop_recursive(depth, 64, 2, move |inner| {
+        let demand = 0..=max_demand;
+        let unary = prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            inner.clone().prop_map(Formula::weak_next),
+            inner.clone().prop_map(Formula::strong_next),
+            (demand.clone(), inner.clone()).prop_map(|(n, f)| Formula::always(n, f)),
+            (demand.clone(), inner.clone()).prop_map(|(n, f)| Formula::eventually(n, f)),
+        ];
+        let binary = prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (demand.clone(), inner.clone(), inner.clone())
+                .prop_map(|(n, a, b)| Formula::until(n, a, b)),
+            (demand.clone(), inner.clone(), inner.clone())
+                .prop_map(|(n, a, b)| Formula::release(n, a, b)),
+        ];
+        if with_required {
+            prop_oneof![unary, binary, inner.prop_map(Formula::next)].boxed()
+        } else {
+            prop_oneof![unary, binary].boxed()
+        }
+    })
+    .boxed()
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<State>> {
+    prop::collection::vec(any::<u8>(), 1..10)
+}
+
+/// Caps generous enough that most generated formulae compile; the
+/// equivalence properties silently skip the (terminating, error-reporting)
+/// remainder, which the termination property covers.
+const CAPS: EagerCaps = EagerCaps {
+    max_states: 4096,
+    max_live_atoms: 8,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The eager automaton replays the stepper bit for bit: the same
+    /// `StepReport` at every state of every random trace, the same
+    /// running outcome as a fresh per-prefix unroll (`check_trace`), and
+    /// the same forced end-of-trace fallback at every stop point.
+    #[test]
+    fn eager_automaton_matches_stepper_and_prefix_unrolls(
+        f in formula(3, true, 3),
+        trace in trace_strategy(),
+    ) {
+        if let Ok(auto) = EagerAutomaton::compile(f.clone(), &CAPS) {
+            let mut runner = auto.runner();
+            let mut stepper = Evaluator::new(f.clone());
+            prop_assert_eq!(runner.forced_outcome(), stepper.forced_outcome());
+            for (k, s) in trace.iter().enumerate() {
+                let a = runner
+                    .observe(&mut |p| Ok::<_, std::convert::Infallible>(eval(p, s)))
+                    .unwrap();
+                let e = stepper
+                    .observe(&mut |p| Ok::<_, std::convert::Infallible>(eval(p, s)))
+                    .unwrap();
+                prop_assert_eq!(a, e, "report diverged at state {} of {:?}", k, trace);
+                // The running outcome equals a from-scratch unroll of the
+                // prefix observed so far.
+                let oracle = check_trace(f.clone(), &trace[..=k], &mut |p, s| {
+                    Ok::<_, std::convert::Infallible>(eval(p, s))
+                })
+                .unwrap();
+                prop_assert_eq!(
+                    runner.outcome(),
+                    oracle,
+                    "outcome != prefix unroll after {} states of {:?} for {}",
+                    k + 1,
+                    trace,
+                    f
+                );
+                prop_assert_eq!(
+                    runner.forced_outcome(),
+                    stepper.forced_outcome(),
+                    "forced outcome diverged after {} states of {:?} for {}",
+                    k + 1,
+                    trace,
+                    f
+                );
+            }
+        }
+    }
+
+    /// Residual enumeration always terminates: compilation either returns
+    /// an automaton within the state cap or reports a clean cap error —
+    /// and with only four distinct atoms in play, the live-atom cap of 8
+    /// is unreachable.
+    #[test]
+    fn residual_enumeration_terminates_within_cap(f in formula(3, true, 3)) {
+        match EagerAutomaton::compile(f, &CAPS) {
+            Ok(auto) => {
+                prop_assert!(auto.state_count() >= 1);
+                prop_assert!(
+                    auto.state_count() <= CAPS.max_states,
+                    "{} states exceeds the {} cap",
+                    auto.state_count(),
+                    CAPS.max_states
+                );
+            }
+            Err(EagerError::TooManyStates { cap }) => {
+                prop_assert_eq!(cap, CAPS.max_states);
+            }
+            Err(e @ EagerError::TooManyLiveAtoms { .. }) => {
+                prop_assert!(false, "only 4 atoms exist, yet: {}", e);
+            }
+        }
+    }
+
+    /// Every enumerated residual state is a `simplify` fixpoint: the
+    /// automaton interns exactly the simplifier's normal forms, so two
+    /// runs reaching semantically re-simplifiable residuals share states.
+    #[test]
+    fn enumerated_states_are_simplify_fixpoints(f in formula(3, true, 3)) {
+        if let Ok(auto) = EagerAutomaton::compile(f, &CAPS) {
+            for state in auto.state_formulas() {
+                prop_assert_eq!(
+                    &simplify(state.clone()),
+                    state,
+                    "state is not a simplify fixpoint: {}",
+                    state
+                );
+            }
+        }
+    }
+
+    /// The memoized transition table, driven with constant observations
+    /// and explicit id ↦ atom rebinding — exactly the checker's protocol,
+    /// minus thunk expansion — replays the stepper bit for bit, and never
+    /// interns more states than its cap.
+    #[test]
+    fn transition_table_matches_stepper(
+        f in formula(3, true, 3),
+        trace in trace_strategy(),
+    ) {
+        // Abstract the u8 atoms into contiguous ids, keeping bindings.
+        let mut atoms: Vec<u8> = Vec::new();
+        f.for_each_atom(&mut |p: &u8| {
+            if !atoms.contains(p) {
+                atoms.push(*p);
+            }
+        });
+        let abstracted = f.clone().map_atoms(&mut |p| {
+            atoms.iter().position(|q| *q == p).unwrap() as AtomId
+        });
+        let (canonical, canon_sources) = canonicalize(abstracted);
+        let mut bindings: Vec<u8> = canon_sources
+            .iter()
+            .map(|&i| atoms[i as usize])
+            .collect();
+        let cap = 512;
+        let mut table = TransitionTable::new(canonical, cap);
+        let mut state = table.start();
+        let mut stepper = Evaluator::new(f.clone());
+        let mut done: Option<bool> = None;
+        let mut overflowed = false;
+        for s in &trace {
+            let e = stepper
+                .observe(&mut |p| Ok::<_, std::convert::Infallible>(eval(p, s)))
+                .unwrap();
+            if overflowed {
+                continue; // cap hit: the checker would have fallen back
+            }
+            let a = if let Some(b) = done {
+                StepReport::Definitive(b)
+            } else {
+                let obs: Observation = table
+                    .live_atoms(state)
+                    .iter()
+                    .map(|&id| (id, Formula::constant(eval(&bindings[id as usize], s))))
+                    .collect();
+                match table.step(state, &obs) {
+                    Ok((TableStep::Done(b), _)) => {
+                        done = Some(b);
+                        StepReport::Definitive(b)
+                    }
+                    Ok((TableStep::Goto { state: next, presumptive, sources }, _)) => {
+                        bindings = sources
+                            .iter()
+                            .map(|&src| bindings[src as usize])
+                            .collect();
+                        state = next;
+                        StepReport::Continue { presumptive }
+                    }
+                    Err(TableError::CapExceeded { .. }) => {
+                        overflowed = true;
+                        continue;
+                    }
+                    Err(e) => {
+                        prop_assert!(false, "constant observations under-saturated: {}", e);
+                        unreachable!()
+                    }
+                }
+            };
+            prop_assert_eq!(a, e, "table diverged from stepper on {:?} for {}", trace, f);
+            // Forced stops agree at every intermediate point too,
+            // mirroring `Evaluator::forced_outcome`: the last report's
+            // regular outcome when it yields one, otherwise the state's
+            // end-of-trace default. The table keeps residuals
+            // un-resimplified (beyond renaming), so its defaults are the
+            // stepper's exactly.
+            let forced = match a.outcome() {
+                Outcome::Verdict(v) => Outcome::Verdict(v),
+                Outcome::MoreStatesNeeded => Outcome::Verdict(quickltl::Verdict::presumably(
+                    table.forced_default(state),
+                )),
+            };
+            prop_assert_eq!(
+                forced,
+                stepper.forced_outcome(),
+                "forced outcome diverged on {:?} for {}",
+                trace,
+                f
+            );
+        }
+        prop_assert!(
+            table.state_count() <= cap,
+            "table interned {} states over the {} cap",
+            table.state_count(),
+            cap
+        );
+    }
+}

@@ -22,9 +22,10 @@ use crate::eval::{self, EvalCtx};
 use crate::parser::parse_spec;
 use crate::sorts;
 use crate::value::{ActionValue, Binding, Env, Thunk, Value};
+use quickltl::{Formula, TransitionTable};
 use quickstrom_protocol::{Selector, Symbol};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A resolved `check` command: which properties to test, with which
 /// allowable actions and events.
@@ -63,6 +64,59 @@ pub struct CompiledSpec {
     /// temporal skeletons, per-selector field masks, and skeleton-level
     /// diagnostics. See [`analysis::analyze_compiled`].
     pub analysis: analysis::SpecAnalysis,
+    /// Lazily built evaluation automata for the spec's properties,
+    /// shared across every run (and worker) that checks the same
+    /// property. See [`SpecAutomata`].
+    pub automata: SpecAutomata,
+}
+
+/// The per-spec registry of memoized LTL evaluation automata
+/// ([`quickltl::TransitionTable`]).
+///
+/// One table is kept per `(property, default demand, state cap)` triple:
+/// the demand changes the formulae `~` thunks expand to, and the cap is
+/// part of the table's fallback contract, so neither may share states
+/// with the other. Tables start from the canonical one-atom state
+/// `Atom(0)` — the whole property as a single expanding atom — and grow
+/// as runs encounter new residual shapes; because transitions are pure
+/// functions of (state, observation shapes), sharing across concurrent
+/// runs never changes a verdict, only who pays for a miss.
+#[derive(Debug, Default)]
+pub struct SpecAutomata {
+    tables: Mutex<BTreeMap<TableKey, Arc<Mutex<TransitionTable>>>>,
+}
+
+/// The registry key: `(property name, default demand, state cap)`.
+type TableKey = (String, u32, usize);
+
+impl SpecAutomata {
+    /// The shared transition table for a property at a given default
+    /// demand and state cap, creating it on first request.
+    #[must_use]
+    pub fn table(
+        &self,
+        property: &str,
+        default_demand: u32,
+        state_cap: usize,
+    ) -> Arc<Mutex<TransitionTable>> {
+        let mut tables = self.tables.lock().expect("automata registry lock");
+        Arc::clone(
+            tables
+                .entry((property.to_owned(), default_demand, state_cap))
+                .or_insert_with(|| {
+                    Arc::new(Mutex::new(TransitionTable::new(
+                        Formula::Atom(0),
+                        state_cap,
+                    )))
+                }),
+        )
+    }
+
+    /// The number of distinct tables built so far.
+    #[must_use]
+    pub fn table_count(&self) -> usize {
+        self.tables.lock().expect("automata registry lock").len()
+    }
 }
 
 impl CompiledSpec {
@@ -268,6 +322,7 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
         checks,
         dependencies,
         analysis: analysis::SpecAnalysis::default(),
+        automata: SpecAutomata::default(),
     };
     compiled.analysis = analysis::analyze_compiled(&compiled);
     Ok(compiled)

@@ -92,7 +92,8 @@ pub mod prelude {
     pub use crate::specs;
     pub use quickltl::{Formula, Outcome, Verdict};
     pub use quickstrom_checker::{
-        check_property, check_spec, CheckOptions, FingerprintMode, Report, SelectionStrategy,
+        check_property, check_spec, CheckOptions, EvalMode, FingerprintMode, Report,
+        SelectionStrategy,
     };
     pub use quickstrom_executor::{WebExecutor, WebExecutorConfig};
     pub use quickstrom_explore::{CoverageStats, StateFingerprint};
