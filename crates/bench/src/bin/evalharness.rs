@@ -2,7 +2,7 @@
 //! paper's evaluation (§4), plus the ablations from DESIGN.md.
 //!
 //! ```text
-//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried] [--no-mask-atoms] [--eval-mode automaton|stepper]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried] [--no-mask-atoms] [--eval-mode automaton|stepper] [--atom-cache value|footprint|off] [--atom-memo-capacity N]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- table2 [--jobs 4]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- figure13 [--sessions 10] [--runs 3] [--csv fig13.csv]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- delta-compare [--tests 10] [--jobs 4] [--json BENCH_delta_compare.json]
@@ -37,6 +37,14 @@
 //! stepper kept as its differential oracle; see DESIGN.md, *Evaluation
 //! automata*). Verdicts and state counts are identical in both modes;
 //! only the timing and `ltl_*` counter columns change.
+//! `--atom-cache value|footprint|off` selects how atom expansions are
+//! reused across states (the value-keyed expansion memo — the default —
+//! the older evict-on-delta footprint cache, or no reuse; see DESIGN.md,
+//! *Atom expansion memoization*). Verdicts and state counts are
+//! identical in every mode (pinned by `differential_atom_memo`); the
+//! timing and `atoms_*`/`atom_memo_*` columns change.
+//! `--atom-memo-capacity N` bounds the memo's entry count (FIFO
+//! eviction; the default 65,536 never evicts on the bundled sweep).
 //! `lint` runs the spec static analysis over every bundled specification
 //! and prints its diagnostics (vacuous implications, tautological or
 //! unsatisfiable properties, unused bindings/actions/selectors) with
@@ -106,6 +114,18 @@ fn main() {
         },
         None => EvalMode::default(),
     };
+    let atom_cache = match flag("--atom-cache") {
+        Some(name) => match AtomCacheMode::parse(&name) {
+            Some(m) => m,
+            None => {
+                eprintln!("unknown atom cache mode {name:?} (expected value, footprint or off)");
+                std::process::exit(2);
+            }
+        },
+        None => AtomCacheMode::default(),
+    };
+    let atom_memo_capacity: Option<usize> =
+        flag("--atom-memo-capacity").and_then(|v| v.parse().ok());
 
     match command {
         "table1" => {
@@ -118,6 +138,8 @@ fn main() {
                 strategy,
                 mask_atoms,
                 eval_mode,
+                atom_cache,
+                atom_memo_capacity,
             );
         }
         "table2" => {
@@ -130,6 +152,8 @@ fn main() {
                 strategy,
                 mask_atoms,
                 eval_mode,
+                atom_cache,
+                atom_memo_capacity,
             );
         }
         "figure13" => figure13(sessions, runs, csv.as_deref()),
@@ -149,6 +173,8 @@ fn main() {
                 strategy,
                 mask_atoms,
                 eval_mode,
+                atom_cache,
+                atom_memo_capacity,
             );
             figure13(sessions.min(3), runs, csv.as_deref());
             delta_compare(tests.min(10), jobs, None);
@@ -180,10 +206,12 @@ fn table1_and_2(
     strategy: SelectionStrategy,
     mask_atoms: bool,
     eval_mode: EvalMode,
+    atom_cache: AtomCacheMode,
+    atom_memo_capacity: Option<usize>,
 ) {
     println!("═══ Table 1: Summary of Results (TodoMVC registry sweep) ═══");
     println!(
-        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s), {} snapshots, {} strategy, atom masks {}, {} evaluation)",
+        "    ({} implementations, {} runs each, subscript 100 — the paper's default, {} job(s), {} snapshots, {} strategy, atom masks {}, {} evaluation, {} atom cache)",
         REGISTRY.len(),
         tests,
         jobs.max(1),
@@ -193,7 +221,8 @@ fn table1_and_2(
         },
         strategy,
         if mask_atoms { "on" } else { "off" },
-        eval_mode
+        eval_mode,
+        atom_cache
     );
     let options = CheckOptions::default()
         .with_tests(tests)
@@ -203,7 +232,12 @@ fn table1_and_2(
         .with_shrink(false)
         .with_strategy(strategy)
         .with_mask_atoms(mask_atoms)
-        .with_eval_mode(eval_mode);
+        .with_eval_mode(eval_mode)
+        .with_atom_cache(atom_cache);
+    let options = match atom_memo_capacity {
+        Some(capacity) => options.with_atom_memo_capacity(capacity),
+        None => options,
+    };
     let print_line = |result: &ImplResult| {
         println!(
             "  {:>22}  {}  ({:5.2}s, {} states){}",
@@ -320,8 +354,20 @@ fn table1_and_2(
     let reeval_pct = 100.0 * atoms_reevaluated as f64 / (atoms_total.max(1)) as f64;
     println!(
         "atom evaluation: {atoms_reevaluated} of {atoms_total} requested expansions \
-         re-evaluated ({reeval_pct:.1}%; the rest reused under the static atom masks)"
+         re-evaluated ({reeval_pct:.1}%; the rest served from the expansion cache)"
     );
+    if options.effective_atom_cache() == AtomCacheMode::Value {
+        let memo_hits: u64 = results.iter().map(|r| r.atom_memo_hits).sum();
+        let memo_misses: u64 = results.iter().map(|r| r.atom_memo_misses).sum();
+        let memo_evictions: u64 = results.iter().map(|r| r.atom_memo_evictions).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let hit_pct = 100.0 * memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64;
+        println!(
+            "expansion memo: {memo_hits} hits, {memo_misses} misses \
+             ({hit_pct:.1}% hit rate, {memo_evictions} evictions; value-keyed, \
+             shared per property)"
+        );
+    }
     if eval_mode == EvalMode::Automaton {
         let ltl_states = results.iter().map(|r| r.ltl_states).max().unwrap_or(0);
         let ltl_table_hits: u64 = results.iter().map(|r| r.ltl_table_hits).sum();

@@ -93,9 +93,16 @@ pub struct ImplResult {
     /// Atom expansions the evaluator requested across all runs.
     pub atoms_total: u64,
     /// Of `atoms_total`: expansions actually re-evaluated (the rest were
-    /// reused under the static atom masks — see
-    /// `CheckOptions::mask_atoms`).
+    /// served from the value-keyed expansion memo or the footprint cache
+    /// — see `CheckOptions::atom_cache`).
     pub atoms_reevaluated: u64,
+    /// Value-mode memo lookups served without re-evaluation (zero outside
+    /// `AtomCacheMode::Value`).
+    pub atom_memo_hits: u64,
+    /// Value-mode memo lookups that had to expand the atom.
+    pub atom_memo_misses: u64,
+    /// Memo entries evicted by the capacity bound.
+    pub atom_memo_evictions: u64,
     /// Residual formulae interned by the property evaluation automata at
     /// the end of the check (zero in `EvalMode::Stepper` mode). The
     /// transition table is owned by the compiled spec and shared across
@@ -169,6 +176,9 @@ pub fn check_entry_mode(
         eval_s: timings.eval_s,
         atoms_total: timings.atoms_total,
         atoms_reevaluated: timings.atoms_reevaluated,
+        atom_memo_hits: timings.atom_memo_hits,
+        atom_memo_misses: timings.atom_memo_misses,
+        atom_memo_evictions: timings.atom_memo_evictions,
         ltl_states: timings.ltl_states,
         ltl_table_hits: timings.ltl_table_hits,
         states,
@@ -229,15 +239,18 @@ pub fn sweep_registry_jobs(options: &CheckOptions, jobs: usize) -> Vec<ImplResul
 /// one-off `spec_compile_s` phase — the spec is compiled once and shared
 /// across entries — the transport totals `shipped_bytes` / `full_bytes` /
 /// `delta_ratio`, the coverage totals `distinct_states` /
-/// `distinct_edges`, and the atom-evaluation totals `atoms_total` /
-/// `atoms_reevaluated` — the work the static atom masks saved — and the
+/// `distinct_edges`, the atom-evaluation totals `atoms_total` /
+/// `atoms_reevaluated` plus the expansion-memo totals
+/// `atom_memo_hits` / `atom_memo_misses` / `atom_memo_evictions` — the
+/// work the value-keyed memo (or the footprint cache) saved — and the
 /// automaton counters `ltl_states` / `ltl_table_hits`: the interned
 /// residual-state count of the shared transition table and the
 /// progression steps it answered by lookup) and an
 /// `entries` array; every entry carries `name`,
 /// `passed`, `expected_to_fail`, `wall_s`, the phase attribution
 /// `executor_s`/`eval_s`, the atom counters
-/// `atoms_total`/`atoms_reevaluated`, the automaton counters
+/// `atoms_total`/`atoms_reevaluated` and the memo counters
+/// `atom_memo_hits`/`atom_memo_misses`/`atom_memo_evictions`, the automaton counters
 /// `ltl_states`/`ltl_table_hits`, `states`, `faults`, its snapshot-transport
 /// accounting (`shipped_bytes`, `full_bytes`, `delta_states`,
 /// `changed_selectors`), and its coverage accounting (`distinct_states`,
@@ -269,6 +282,21 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
         out,
         "  \"atoms_reevaluated\": {},",
         results.iter().map(|r| r.atoms_reevaluated).sum::<u64>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"atom_memo_hits\": {},",
+        results.iter().map(|r| r.atom_memo_hits).sum::<u64>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"atom_memo_misses\": {},",
+        results.iter().map(|r| r.atom_memo_misses).sum::<u64>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"atom_memo_evictions\": {},",
+        results.iter().map(|r| r.atom_memo_evictions).sum::<u64>()
     );
     // The transition table is shared across entries (it hangs off the
     // once-compiled spec), so the sweep-level state count is the maximum
@@ -304,6 +332,8 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             "    {{\"name\": \"{}\", \"passed\": {}, \"expected_to_fail\": {}, \
              \"wall_s\": {:.4}, \"executor_s\": {:.4}, \"eval_s\": {:.4}, \
              \"atoms_total\": {}, \"atoms_reevaluated\": {}, \
+             \"atom_memo_hits\": {}, \"atom_memo_misses\": {}, \
+             \"atom_memo_evictions\": {}, \
              \"ltl_states\": {}, \"ltl_table_hits\": {}, \
              \"states\": {}, \"faults\": [{}], \
              \"shipped_bytes\": {}, \"full_bytes\": {}, \"delta_states\": {}, \
@@ -317,6 +347,9 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             r.eval_s,
             r.atoms_total,
             r.atoms_reevaluated,
+            r.atom_memo_hits,
+            r.atom_memo_misses,
+            r.atom_memo_evictions,
             r.ltl_states,
             r.ltl_table_hits,
             r.states,

@@ -93,7 +93,7 @@ mod run;
 pub mod runner;
 mod session;
 
-pub use options::{CheckOptions, EvalMode, FingerprintMode, SelectionStrategy};
+pub use options::{AtomCacheMode, CheckOptions, EvalMode, FingerprintMode, SelectionStrategy};
 pub use quickstrom_explore::{CoverageStats, StateFingerprint};
 pub use report::{Counterexample, PhaseTimings, PropertyReport, Report, RunResult, TraceEntry};
 pub use runner::{check_property, check_spec, derive_run_seed, CheckError, MakeExecutor};

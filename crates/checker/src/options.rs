@@ -74,6 +74,61 @@ impl std::fmt::Display for EvalMode {
     }
 }
 
+/// How the checker reuses atom expansions across states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AtomCacheMode {
+    /// Value-keyed expansion memoization: an atom's cached expansion is
+    /// keyed by the hash of the footprint-restricted projection of the
+    /// current state, so the atom re-expands only when the slice of state
+    /// it can read takes a *value* never seen before. The memo is shared
+    /// at the property level across runs, workers, and shrink replays
+    /// (like the evaluation automaton), with deterministic first-insert
+    /// semantics and bounded FIFO eviction
+    /// ([`CheckOptions::atom_memo_capacity`]). Verdicts are pinned
+    /// bit-identical to the other modes by the `differential_atom_memo`
+    /// suite.
+    #[default]
+    Value,
+    /// The older evict-on-delta scheme: a per-run cache that drops an
+    /// atom's expansion whenever a snapshot delta touches its static
+    /// footprint (or `happened` changes). Revisiting a state after any
+    /// footprint-touching change re-evaluates the atom even though its
+    /// visible values are unchanged.
+    Footprint,
+    /// No expansion reuse: every atom re-evaluates at every state. The
+    /// differential oracle.
+    Off,
+}
+
+impl AtomCacheMode {
+    /// The mode's display name (also the `--atom-cache` flag syntax).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AtomCacheMode::Value => "value",
+            AtomCacheMode::Footprint => "footprint",
+            AtomCacheMode::Off => "off",
+        }
+    }
+
+    /// Parses an `--atom-cache` flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<AtomCacheMode> {
+        match s {
+            "value" | "memo" => Some(AtomCacheMode::Value),
+            "footprint" | "delta" => Some(AtomCacheMode::Footprint),
+            "off" | "none" => Some(AtomCacheMode::Off),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AtomCacheMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Options controlling a checking session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckOptions {
@@ -111,6 +166,15 @@ pub struct CheckOptions {
     /// How formulae are progressed: table-driven automaton (default) or
     /// the plain stepper.
     pub eval_mode: EvalMode,
+    /// How atom expansions are reused across states (see
+    /// [`AtomCacheMode`]). `mask_atoms == false` forces
+    /// [`AtomCacheMode::Off`] regardless of this field — see
+    /// [`CheckOptions::effective_atom_cache`].
+    pub atom_cache: AtomCacheMode,
+    /// Maximum `(atom, projection-hash)` entries a property's shared
+    /// expansion memo may hold before deterministic FIFO eviction (only
+    /// meaningful under [`AtomCacheMode::Value`]). Clamped to at least 1.
+    pub atom_memo_capacity: usize,
     /// Maximum residual states a property's evaluation automaton may
     /// intern before runs fall back to the stepper (see
     /// [`EvalMode::Automaton`]). The fallback is verdict-invisible; the
@@ -132,6 +196,8 @@ impl Default for CheckOptions {
             mask_atoms: true,
             fingerprint: FingerprintMode::Shape,
             eval_mode: EvalMode::Automaton,
+            atom_cache: AtomCacheMode::Value,
+            atom_memo_capacity: 65_536,
             automaton_state_cap: 4096,
         }
     }
@@ -209,6 +275,33 @@ impl CheckOptions {
         self
     }
 
+    /// Returns the options with the given atom-expansion cache mode.
+    #[must_use]
+    pub fn with_atom_cache(mut self, atom_cache: AtomCacheMode) -> Self {
+        self.atom_cache = atom_cache;
+        self
+    }
+
+    /// Returns the options with the given atom-memo capacity (clamped to
+    /// at least 1).
+    #[must_use]
+    pub fn with_atom_memo_capacity(mut self, capacity: usize) -> Self {
+        self.atom_memo_capacity = capacity.max(1);
+        self
+    }
+
+    /// The atom-cache mode actually in effect: `mask_atoms == false`
+    /// disables every reuse scheme (both caches key off the footprint
+    /// analysis), so it forces [`AtomCacheMode::Off`].
+    #[must_use]
+    pub fn effective_atom_cache(&self) -> AtomCacheMode {
+        if self.mask_atoms {
+            self.atom_cache
+        } else {
+            AtomCacheMode::Off
+        }
+    }
+
     /// Returns the options with the given automaton state cap (clamped to
     /// at least 1).
     #[must_use]
@@ -238,7 +331,10 @@ mod tests {
         assert!(o.mask_atoms);
         assert_eq!(o.fingerprint, FingerprintMode::Shape);
         assert_eq!(o.eval_mode, EvalMode::Automaton);
+        assert_eq!(o.atom_cache, AtomCacheMode::Value);
+        assert_eq!(o.atom_memo_capacity, 65_536);
         assert_eq!(o.automaton_state_cap, 4096);
+        assert_eq!(o.effective_atom_cache(), AtomCacheMode::Value);
     }
 
     #[test]
@@ -254,8 +350,20 @@ mod tests {
             .with_mask_atoms(false)
             .with_fingerprint(FingerprintMode::SpecAware)
             .with_eval_mode(EvalMode::Stepper)
+            .with_atom_cache(AtomCacheMode::Footprint)
+            .with_atom_memo_capacity(0)
             .with_automaton_state_cap(0);
         assert!(!o.mask_atoms);
+        assert_eq!(o.atom_cache, AtomCacheMode::Footprint);
+        assert_eq!(
+            o.atom_memo_capacity, 1,
+            "memo capacity clamps to at least 1"
+        );
+        assert_eq!(
+            o.effective_atom_cache(),
+            AtomCacheMode::Off,
+            "mask_atoms == false forces the cache off"
+        );
         assert_eq!(o.eval_mode, EvalMode::Stepper);
         assert_eq!(o.automaton_state_cap, 1, "cap clamps to at least 1");
         assert_eq!(o.fingerprint, FingerprintMode::SpecAware);
@@ -277,5 +385,24 @@ mod tests {
         }
         assert_eq!(EvalMode::parse("table"), Some(EvalMode::Automaton));
         assert_eq!(EvalMode::parse("nope"), None);
+    }
+
+    #[test]
+    fn atom_cache_names_round_trip() {
+        for mode in [
+            AtomCacheMode::Value,
+            AtomCacheMode::Footprint,
+            AtomCacheMode::Off,
+        ] {
+            assert_eq!(AtomCacheMode::parse(mode.name()), Some(mode));
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert_eq!(AtomCacheMode::parse("memo"), Some(AtomCacheMode::Value));
+        assert_eq!(
+            AtomCacheMode::parse("delta"),
+            Some(AtomCacheMode::Footprint)
+        );
+        assert_eq!(AtomCacheMode::parse("none"), Some(AtomCacheMode::Off));
+        assert_eq!(AtomCacheMode::parse("nope"), None);
     }
 }

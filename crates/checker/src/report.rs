@@ -110,9 +110,21 @@ pub struct PhaseTimings {
     /// Atom expansions requested by the evaluator across all steps.
     pub atoms_total: u64,
     /// Atom expansions actually evaluated — the rest were served from the
-    /// footprint-masked cache because no selector the atom can read
-    /// changed (see `CheckOptions::mask_atoms`).
+    /// value-keyed expansion memo (default) or the footprint-masked cache
+    /// because the slice of state the atom can read provably had a value
+    /// already seen (see `CheckOptions::atom_cache`).
     pub atoms_reevaluated: u64,
+    /// Value-mode memo lookups served without re-evaluation (summed over
+    /// runs; the memo is shared per property). Zero outside
+    /// `AtomCacheMode::Value`. Under `jobs = N` the hit/miss split can
+    /// differ from `jobs = 1` (which worker warms an entry first is
+    /// scheduling-dependent) even though verdicts are bit-identical.
+    pub atom_memo_hits: u64,
+    /// Value-mode memo lookups that had to expand the atom (summed).
+    pub atom_memo_misses: u64,
+    /// Memo entries evicted by the FIFO capacity bound
+    /// (`CheckOptions::atom_memo_capacity`), summed over runs.
+    pub atom_memo_evictions: u64,
     /// Residual formulae interned by the property's evaluation automaton
     /// (`quickltl::TransitionTable::state_count` at the end of the run).
     /// The table is shared by every run of a property, so [`absorb`]
@@ -138,6 +150,9 @@ impl PhaseTimings {
         self.eval_s += other.eval_s;
         self.atoms_total += other.atoms_total;
         self.atoms_reevaluated += other.atoms_reevaluated;
+        self.atom_memo_hits += other.atom_memo_hits;
+        self.atom_memo_misses += other.atom_memo_misses;
+        self.atom_memo_evictions += other.atom_memo_evictions;
         self.ltl_states = self.ltl_states.max(other.ltl_states);
         self.ltl_table_hits += other.ltl_table_hits;
     }

@@ -15,7 +15,7 @@
 //! incrementally from the snapshot pipeline's deltas (see DESIGN.md,
 //! *Exploration engine*).
 
-use crate::options::{CheckOptions, EvalMode, FingerprintMode};
+use crate::options::{AtomCacheMode, CheckOptions, EvalMode, FingerprintMode};
 use crate::report::{Counterexample, RunResult, TraceEntry};
 use crate::runner::CheckError;
 use quickltl::automaton::for_each_live_atom;
@@ -24,16 +24,16 @@ use quickltl::{
     TransitionTable, Verdict,
 };
 use quickstrom_explore::{
-    target_index, Candidate, Fingerprinter, RunCoverage, Strategy, StrategyCtx,
+    target_index, Candidate, Fingerprinter, ProjectionTermCache, RunCoverage, Strategy, StrategyCtx,
 };
 use quickstrom_protocol::{
-    ActionInstance, ActionKind, ExecutorMsg, Selector, StateFingerprint, StateSnapshot,
-    StateUpdate, Symbol,
+    masked_query_term, ActionInstance, ActionKind, ExecutorMsg, FieldMask, ProjectionHash,
+    Selector, StateFingerprint, StateSnapshot, StateUpdate, Symbol,
 };
 use rand::rngs::StdRng;
 use specstrom::{
-    eval_guard, expand_thunk, footprint_of_thunk, ActionValue, AtomFootprint, CheckDef,
-    CompiledSpec, EvalCtx, Thunk,
+    eval_guard, expand_thunk, footprint_of_thunk, ActionValue, AtomFootprint, AtomKeyer, AtomMemo,
+    CheckDef, CompiledAtom, CompiledSpec, EvalCtx, MemoEntry, Thunk,
 };
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -54,6 +54,83 @@ struct CachedAtom {
     /// selectors (with fields) plus whether `happened` was consulted.
     /// Entries are evicted as soon as a delta touches any of it.
     footprint: AtomFootprint,
+}
+
+/// Per-run semantic record for one distinct atom (keyed by
+/// [`Thunk::identity`]): its cross-run semantic key, static footprint and
+/// compiled evaluator, computed once on first sight. Holding `atom` pins
+/// the pointers both the identity key and the semantic key hashed, so
+/// neither can be reused by a different thunk while the record lives.
+struct AtomRecord {
+    /// The atom this record describes (pins its pointers).
+    #[allow(dead_code)] // held for the pinning guarantee above
+    atom: Thunk,
+    /// Cross-run semantic key: IR address plus content-hashed environment
+    /// ([`AtomKeyer`]); equal for the "same" atom across runs, workers and
+    /// shrink replays even when runtime frames differ by address.
+    key: u64,
+    /// The static over-approximation of what the atom can read, shared
+    /// through the property-level memo ([`AtomMemo::compile_info`]): one
+    /// analysis per distinct semantic atom, not per thunk identity.
+    footprint: Arc<AtomFootprint>,
+    /// The atom's specialized evaluator (or the generic-walk fallback),
+    /// shared the same way.
+    compiled: Arc<CompiledAtom>,
+}
+
+/// What the expansion closure served: a concrete formula (fresh, or from
+/// the footprint cache), or a shared memo entry whose pre-abstracted
+/// shape the automaton path consumes without re-walking any IR.
+enum Served {
+    /// A concrete expansion.
+    Formula(Formula<Thunk>),
+    /// A value-keyed memo hit.
+    Memo(Arc<MemoEntry>),
+}
+
+impl Served {
+    /// The concrete expansion, for stepper-style consumers.
+    fn into_formula(self) -> Formula<Thunk> {
+        match self {
+            Served::Formula(f) => f,
+            Served::Memo(entry) => entry.expansion.clone(),
+        }
+    }
+}
+
+/// The value key of an atom at a state: an order-sensitive hash over the
+/// masked projection of every selector in the atom's footprint, plus the
+/// `happened` names when the footprint reads them. Selector terms come
+/// from the O(changed) [`ProjectionTermCache`] whenever the spec-level
+/// merged mask covers the atom's own (the common case — the analysis
+/// masks are the union of all footprints); otherwise the term is computed
+/// directly with the atom's own mask, which is always sound: hashing at
+/// least the fields the atom can read means equal hashes imply equal
+/// visible values (modulo 64-bit collision, guarded by the debug
+/// verify-on-hit).
+fn projection_hash(
+    footprint: &AtomFootprint,
+    state: &StateSnapshot,
+    masks: &BTreeMap<Selector, FieldMask>,
+    terms: &mut ProjectionTermCache,
+) -> u64 {
+    let mut hash = ProjectionHash::new();
+    for (selector, usage) in &footprint.selectors {
+        let own = usage.field_mask();
+        let elements = state.matches(selector);
+        let term = match masks.get(selector) {
+            Some(&merged) if merged.covers(own) => terms.term(selector, elements, merged),
+            _ => masked_query_term(selector, elements, own),
+        };
+        hash.term(term);
+    }
+    if footprint.reads_happened {
+        hash.flag(true);
+        for name in &state.happened {
+            hash.text(name.as_str());
+        }
+    }
+    hash.finish()
 }
 
 /// Where the next action comes from: fresh randomness (optionally seeded
@@ -223,15 +300,36 @@ pub(crate) struct Run<'a> {
     /// progression plus guard evaluation (the per-phase attribution behind
     /// [`crate::report::PhaseTimings::eval_s`]).
     pub(crate) eval_time: std::time::Duration,
-    /// Atom expansions reused across steps when a delta provably could
-    /// not have changed their value (see [`CheckOptions::mask_atoms`]).
-    /// Cleared on full snapshots; pruned per delta by footprint.
+    /// The atom-cache mode in effect for this run
+    /// ([`CheckOptions::effective_atom_cache`], resolved once).
+    atom_cache_mode: AtomCacheMode,
+    /// [`AtomCacheMode::Footprint`] only: per-run expansions reused across
+    /// steps while no delta touches their footprint. Cleared on full
+    /// snapshots; pruned per delta.
     atom_cache: HashMap<(usize, usize), CachedAtom>,
+    /// [`AtomCacheMode::Value`] only: the property-level expansion memo,
+    /// shared across runs, workers and shrink replays.
+    atom_memo: Option<Arc<AtomMemo>>,
+    /// Per-run semantic records for distinct atoms, filled lazily on
+    /// first expansion request.
+    atom_records: HashMap<(usize, usize), AtomRecord>,
+    /// The cross-run semantic keyer (content-hashes environment chains,
+    /// memoized per frame address).
+    atom_keyer: AtomKeyer,
+    /// O(changed) cache of per-selector masked projection terms, fed by
+    /// the same deltas as the coverage fingerprinter.
+    projection_terms: ProjectionTermCache,
     /// Atom expansions requested by the evaluator over the whole run.
     pub(crate) atoms_total: u64,
-    /// Of those, how many actually re-evaluated (cache misses). With
-    /// masking off the two counters are equal.
+    /// Of those, how many actually re-evaluated (cache misses). With the
+    /// cache off the two counters are equal.
     pub(crate) atoms_reevaluated: u64,
+    /// Value-mode memo lookups served without re-evaluation.
+    pub(crate) atom_memo_hits: u64,
+    /// Value-mode memo lookups that had to expand the atom.
+    pub(crate) atom_memo_misses: u64,
+    /// Memo entries this run's insertions evicted (FIFO, capacity bound).
+    pub(crate) atom_memo_evictions: u64,
 }
 
 /// The outcome of one run, before aggregation.
@@ -281,6 +379,18 @@ impl<'a> Run<'a> {
                 )
             }
         };
+        // Value mode shares one expansion memo per property (keyed like
+        // the automata registry, by name plus the option knobs baked into
+        // expansions), so runs, workers and shrink replays all warm the
+        // same memo.
+        let atom_cache_mode = options.effective_atom_cache();
+        let atom_memo = (atom_cache_mode == AtomCacheMode::Value).then(|| {
+            spec.atom_memos.memo(
+                property_name,
+                options.default_demand,
+                options.atom_memo_capacity,
+            )
+        });
         let mut events_by_selector: BTreeMap<Selector, Vec<Symbol>> = BTreeMap::new();
         let mut event_timeouts = BTreeMap::new();
         for name in &check.events {
@@ -322,9 +432,17 @@ impl<'a> Run<'a> {
             last_report: None,
             pending_wait: None,
             eval_time: std::time::Duration::ZERO,
+            atom_cache_mode,
             atom_cache: HashMap::new(),
+            atom_memo,
+            atom_records: HashMap::new(),
+            atom_keyer: AtomKeyer::new(),
+            projection_terms: ProjectionTermCache::new(),
             atoms_total: 0,
             atoms_reevaluated: 0,
+            atom_memo_hits: 0,
+            atom_memo_misses: 0,
+            atom_memo_evictions: 0,
         }
     }
 
@@ -394,25 +512,42 @@ impl<'a> Run<'a> {
             .resolve(self.last_state.as_ref())
             .map_err(|e| CheckError::new(e.to_string()))?;
         state.happened = happened.clone();
-        // Atom-mask bookkeeping (DESIGN.md, *Static analysis*): a cached
-        // expansion stays valid exactly while nothing it could have read
-        // changed. Full snapshots carry no change information, so they
-        // flush everything; a delta evicts the entries whose footprint it
-        // touches — including every `happened`-reading atom whenever the
+        // Atom-cache bookkeeping (DESIGN.md, *Atom expansion
+        // memoization*). Footprint mode: a cached expansion stays valid
+        // exactly while nothing it could have read changed — full
+        // snapshots carry no change information, so they flush
+        // everything; a delta evicts the entries whose footprint it
+        // touches, including every `happened`-reading atom whenever the
         // `happened` list differs. Eviction is eager (per step, before
-        // evaluation) so the cache never holds a stale entry.
-        if !self.options.mask_atoms || matches!(update, StateUpdate::Full(_)) {
-            self.atom_cache.clear();
-        } else if let StateUpdate::Delta(delta) = update {
-            let changed = delta.changed_selectors();
-            let happened_changed = self
-                .last_state
-                .as_ref()
-                .is_none_or(|prev| prev.happened != state.happened);
-            self.atom_cache.retain(|_, entry| {
-                (!entry.footprint.reads_happened || !happened_changed)
-                    && !entry.footprint.touches_any(&changed)
-            });
+        // evaluation) so the cache never holds a stale entry. Value mode
+        // needs no eviction at all — entries are keyed by the projected
+        // *values* — but the per-selector projection-term cache must
+        // track state changes the same way the coverage fingerprinter
+        // does: cleared on full snapshots, invalidated per changed
+        // selector on deltas (O(changed) per step).
+        match self.atom_cache_mode {
+            AtomCacheMode::Off => self.atom_cache.clear(),
+            AtomCacheMode::Footprint => {
+                if matches!(update, StateUpdate::Full(_)) {
+                    self.atom_cache.clear();
+                } else if let StateUpdate::Delta(delta) = update {
+                    let changed = delta.changed_selectors();
+                    let happened_changed = self
+                        .last_state
+                        .as_ref()
+                        .is_none_or(|prev| prev.happened != state.happened);
+                    self.atom_cache.retain(|_, entry| {
+                        (!entry.footprint.reads_happened || !happened_changed)
+                            && !entry.footprint.touches_any(&changed)
+                    });
+                }
+            }
+            AtomCacheMode::Value => match update {
+                StateUpdate::Full(_) => self.projection_terms.clear(),
+                StateUpdate::Delta(delta) => {
+                    self.projection_terms.invalidate(&delta.changed_selectors());
+                }
+            },
         }
         let fp = self.coverage.fingerprinter().observe_update(&state, update);
         self.coverage.observe_state(fp, self.script.len());
@@ -430,41 +565,92 @@ impl<'a> Run<'a> {
         }
         let ctx = EvalCtx::with_state(&state, self.options.default_demand);
         // Split the borrows up front: the expansion closure needs the
-        // cache and counters while the engine match holds the engine
+        // caches and counters while the engine match holds the engine
         // (and, in automaton mode, the hit counter).
-        let mask = self.options.mask_atoms;
+        let mode = self.atom_cache_mode;
         let cache = &mut self.atom_cache;
+        let records = &mut self.atom_records;
+        let keyer = &mut self.atom_keyer;
+        let projection_terms = &mut self.projection_terms;
+        let memo = self.atom_memo.as_deref();
+        let masks: &BTreeMap<Selector, FieldMask> = &self.spec.analysis.masks;
         let atoms_total = &mut self.atoms_total;
         let atoms_reevaluated = &mut self.atoms_reevaluated;
+        let memo_hits = &mut self.atom_memo_hits;
+        let memo_misses = &mut self.atom_memo_misses;
+        let memo_evictions = &mut self.atom_memo_evictions;
         let ltl_table_hits = &mut self.ltl_table_hits;
         let last_report = self.last_report;
-        let mut expand = |thunk: &Thunk| -> Result<Formula<Thunk>, specstrom::EvalError> {
+        let state_ref = &state;
+        let mut expand = |thunk: &Thunk| -> Result<Served, specstrom::EvalError> {
             *atoms_total += 1;
-            if mask {
-                if let Some(entry) = cache.get(&thunk.identity()) {
-                    if entry.atom == *thunk {
-                        return Ok(entry.expansion.clone());
+            match mode {
+                AtomCacheMode::Off => {
+                    *atoms_reevaluated += 1;
+                    Ok(Served::Formula(expand_thunk(thunk, &ctx)?))
+                }
+                AtomCacheMode::Footprint => {
+                    if let Some(entry) = cache.get(&thunk.identity()) {
+                        if entry.atom == *thunk {
+                            return Ok(Served::Formula(entry.expansion.clone()));
+                        }
                     }
+                    *atoms_reevaluated += 1;
+                    let expansion = expand_thunk(thunk, &ctx)?;
+                    cache.insert(
+                        thunk.identity(),
+                        CachedAtom {
+                            atom: thunk.clone(),
+                            expansion: expansion.clone(),
+                            footprint: footprint_of_thunk(thunk),
+                        },
+                    );
+                    Ok(Served::Formula(expansion))
+                }
+                AtomCacheMode::Value => {
+                    let memo = memo.expect("value mode carries a memo");
+                    let record = records.entry(thunk.identity()).or_insert_with(|| {
+                        let key = keyer.key(thunk);
+                        let (footprint, compiled) = memo.compile_info(key, thunk);
+                        AtomRecord {
+                            atom: thunk.clone(),
+                            key,
+                            footprint,
+                            compiled,
+                        }
+                    });
+                    let projection =
+                        projection_hash(&record.footprint, state_ref, masks, projection_terms);
+                    let key = (record.key, projection);
+                    if let Some(entry) = memo.lookup(key) {
+                        *memo_hits += 1;
+                        // Collision safety: in debug builds every hit is
+                        // re-derived and compared structurally (modulo
+                        // atom addresses). A 128-bit key collision would
+                        // trip this before it could corrupt a verdict.
+                        if cfg!(debug_assertions) {
+                            let fresh = record.compiled.expand(thunk, &ctx)?;
+                            debug_assert!(
+                                entry.matches_expansion(&fresh),
+                                "atom memo collision: key {key:?} served a structurally \
+                                 different expansion"
+                            );
+                        }
+                        return Ok(Served::Memo(entry));
+                    }
+                    *memo_misses += 1;
+                    *atoms_reevaluated += 1;
+                    let expansion = record.compiled.expand(thunk, &ctx)?;
+                    *memo_evictions +=
+                        memo.insert(key, MemoEntry::build(thunk.clone(), expansion.clone()));
+                    Ok(Served::Formula(expansion))
                 }
             }
-            *atoms_reevaluated += 1;
-            let expansion = expand_thunk(thunk, &ctx)?;
-            if mask {
-                cache.insert(
-                    thunk.identity(),
-                    CachedAtom {
-                        atom: thunk.clone(),
-                        expansion: expansion.clone(),
-                        footprint: footprint_of_thunk(thunk),
-                    },
-                );
-            }
-            Ok(expansion)
         };
         let eval_started = std::time::Instant::now();
         let plan = match &mut self.engine {
             Engine::Stepper(ev) => StepPlan::Report(
-                ev.observe_expanding(&mut expand)
+                ev.observe_expanding(&mut |t: &Thunk| expand(t).map(Served::into_formula))
                     .map_err(CheckError::from)?,
             ),
             Engine::Automaton {
@@ -499,16 +685,35 @@ impl<'a> Run<'a> {
                             continue;
                         }
                         let thunk = step_thunks[aid as usize].clone();
-                        let expansion = expand(&thunk).map_err(CheckError::from)?;
-                        let abstracted =
-                            expansion.map_atoms(&mut |t: Thunk| match ids.entry(t.identity()) {
-                                Entry::Occupied(e) => *e.get(),
-                                Entry::Vacant(e) => {
-                                    let fresh = step_thunks.len() as AtomId;
-                                    step_thunks.push(t);
-                                    *e.insert(fresh)
-                                }
-                            });
+                        let served = expand(&thunk).map_err(CheckError::from)?;
+                        let mut intern = |t: Thunk| match ids.entry(t.identity()) {
+                            Entry::Occupied(e) => *e.get(),
+                            Entry::Vacant(e) => {
+                                let fresh = step_thunks.len() as AtomId;
+                                step_thunks.push(t);
+                                *e.insert(fresh)
+                            }
+                        };
+                        let abstracted = match served {
+                            Served::Formula(expansion) => expansion.map_atoms(&mut intern),
+                            // A memo hit serves the entry's pre-abstracted
+                            // shape: re-indexing its deduplicated atoms
+                            // into this step's id space is the only work —
+                            // a fully warm step does zero IR evaluation
+                            // and never re-walks a `Formula<Thunk>`. The
+                            // entry's atoms are stored in first-occurrence
+                            // order (the order `map_atoms` discovers
+                            // them), so id assignment matches the fresh
+                            // path exactly.
+                            Served::Memo(entry) => {
+                                let local: Vec<AtomId> =
+                                    entry.atoms.iter().map(|t| intern(t.clone())).collect();
+                                entry
+                                    .shape
+                                    .clone()
+                                    .map_atoms(&mut |i: u32| local[i as usize])
+                            }
+                        };
                         for_each_live_atom(&abstracted, &mut |&a| {
                             if !seen.contains(&a) {
                                 queue.push_back(a);
@@ -552,9 +757,10 @@ impl<'a> Run<'a> {
                             // way): reconstitute the concrete residual and
                             // resume the stepper exactly where the table
                             // left off. Re-observing the current state
-                            // below re-expands its atoms; with masking on
-                            // the cache serves them, and the fallback is
-                            // verdict-invisible either way.
+                            // below re-expands its atoms; with a cache
+                            // mode on the memo or footprint cache serves
+                            // them, and the fallback is verdict-invisible
+                            // either way.
                             let formula = table
                                 .lock()
                                 .expect("automaton table poisoned")
@@ -576,7 +782,7 @@ impl<'a> Run<'a> {
             StepPlan::Report(report) => report,
             StepPlan::Fallback(mut ev) => {
                 let report = ev
-                    .observe_expanding(&mut expand)
+                    .observe_expanding(&mut |t: &Thunk| expand(t).map(Served::into_formula))
                     .map_err(CheckError::from)?;
                 self.engine = Engine::Stepper(ev);
                 report

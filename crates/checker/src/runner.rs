@@ -430,6 +430,9 @@ fn shrink(
             // shrink replays.
             replay_timings.atoms_total = 0;
             replay_timings.atoms_reevaluated = 0;
+            replay_timings.atom_memo_hits = 0;
+            replay_timings.atom_memo_misses = 0;
+            replay_timings.atom_memo_evictions = 0;
             replay_timings.ltl_states = 0;
             replay_timings.ltl_table_hits = 0;
             timings.absorb(replay_timings);

@@ -60,6 +60,9 @@ impl<'a> Session<'a> {
             eval_s: self.run.eval_time.as_secs_f64(),
             atoms_total: self.run.atoms_total,
             atoms_reevaluated: self.run.atoms_reevaluated,
+            atom_memo_hits: self.run.atom_memo_hits,
+            atom_memo_misses: self.run.atom_memo_misses,
+            atom_memo_evictions: self.run.atom_memo_evictions,
             ltl_states: self.run.ltl_states(),
             ltl_table_hits: self.run.ltl_table_hits,
         }

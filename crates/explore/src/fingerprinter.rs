@@ -139,6 +139,63 @@ impl Fingerprinter {
     }
 }
 
+/// A cache of per-selector [`masked_query_term`]s maintained with the same
+/// O(changed) discipline as [`Fingerprinter`], for consumers that need the
+/// *individual* terms rather than their commutative sum — the checker's
+/// value-keyed atom-expansion memo hashes each atom's footprint as an
+/// ordered sequence of these terms, and would otherwise recompute every
+/// selector's projection hash for every atom at every step.
+///
+/// Invalidate with [`ProjectionTermCache::invalidate`] on a delta's
+/// changed selectors (or [`ProjectionTermCache::clear`] on a full
+/// snapshot), then read terms back with [`ProjectionTermCache::term`];
+/// unchanged selectors hit the cache. A cached term is reused only when
+/// the requested mask matches the one it was computed under, so callers
+/// mixing masks per selector stay correct (at the cost of recomputes).
+#[derive(Debug, Clone, Default)]
+pub struct ProjectionTermCache {
+    terms: BTreeMap<Selector, (FieldMask, u64)>,
+}
+
+impl ProjectionTermCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> ProjectionTermCache {
+        ProjectionTermCache::default()
+    }
+
+    /// Drops every cached term (a full snapshot arrived).
+    pub fn clear(&mut self) {
+        self.terms.clear();
+    }
+
+    /// Drops the cached terms of the given selectors (a delta's changed
+    /// list).
+    pub fn invalidate(&mut self, changed: &[Selector]) {
+        for sel in changed {
+            self.terms.remove(sel);
+        }
+    }
+
+    /// The masked term of one selector's current results, cached until
+    /// invalidated.
+    pub fn term(
+        &mut self,
+        sel: &Selector,
+        elems: &[quickstrom_protocol::ElementState],
+        mask: FieldMask,
+    ) -> u64 {
+        if let Some((cached_mask, term)) = self.terms.get(sel) {
+            if *cached_mask == mask {
+                return *term;
+            }
+        }
+        let term = masked_query_term(sel, elems, mask);
+        self.terms.insert(*sel, (mask, term));
+        term
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +297,36 @@ mod tests {
         );
         let incremental = fp.observe_update(&next, &delta.into());
         assert_eq!(incremental, fingerprint_state_masked(&next, &masks));
+    }
+
+    #[test]
+    fn projection_term_cache_tracks_invalidation_and_masks() {
+        let sel = Selector::new("#a");
+        let text_mask = FieldMask {
+            text: true,
+            ..FieldMask::default()
+        };
+        let base = snap(&[("#a", &["x"])]);
+        let next = snap(&[("#a", &["y"])]);
+
+        let mut cache = ProjectionTermCache::new();
+        let t1 = cache.term(&sel, base.matches(&sel), text_mask);
+        assert_eq!(t1, masked_query_term(&sel, base.matches(&sel), text_mask));
+        // Without invalidation the stale term is served (the caller owns
+        // the invalidation discipline, exactly like Fingerprinter).
+        assert_eq!(cache.term(&sel, next.matches(&sel), text_mask), t1);
+        cache.invalidate(&[sel]);
+        let t2 = cache.term(&sel, next.matches(&sel), text_mask);
+        assert_eq!(t2, masked_query_term(&sel, next.matches(&sel), text_mask));
+        assert_ne!(t1, t2);
+        // A different mask for the same selector recomputes.
+        let all = cache.term(&sel, next.matches(&sel), FieldMask::ALL);
+        assert_eq!(
+            all,
+            masked_query_term(&sel, next.matches(&sel), FieldMask::ALL)
+        );
+        cache.clear();
+        assert_eq!(cache.term(&sel, base.matches(&sel), text_mask), t1);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod strategy;
 
 pub use corpus::{CorpusEntry, TraceCorpus, DEFAULT_CORPUS_CAP};
 pub use coverage::{CoverageMap, CoverageStats, RunCoverage};
-pub use fingerprinter::Fingerprinter;
+pub use fingerprinter::{Fingerprinter, ProjectionTermCache};
 pub use quickstrom_protocol::{fingerprint_state, StateFingerprint};
 pub use strategy::{
     target_index, Candidate, LeastTried, Novelty, SelectionStrategy, Strategy, StrategyCtx, Uniform,

@@ -156,6 +156,76 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// An order-sensitive accumulator for projection hashes: the public face
+/// of the FNV-1a-64 + SplitMix64 pipeline the fingerprint terms use
+/// internally, for callers that hash *sequences* of terms and texts
+/// (an atom's footprint-restricted view of a state, a captured
+/// environment) rather than commutative per-selector sums.
+///
+/// Unlike the [`StateFingerprint`] term algebra, the accumulator is
+/// order-sensitive — `term(a); term(b)` and `term(b); term(a)` finish
+/// differently — which is what keying a memo by a *projection sequence*
+/// needs. Determinism across processes holds as long as callers feed only
+/// content (texts, counts, other deterministic hashes), never interner
+/// indices; feeding process-local pointers is allowed for keys scoped to
+/// one process (the caller owns that trade-off).
+///
+/// # Examples
+///
+/// ```
+/// use quickstrom_protocol::ProjectionHash;
+///
+/// let mut a = ProjectionHash::new();
+/// a.term(1);
+/// a.text("x");
+/// let mut b = ProjectionHash::new();
+/// b.term(1);
+/// b.text("x");
+/// assert_eq!(a.finish(), b.finish());
+///
+/// let mut c = ProjectionHash::new();
+/// c.text("x");
+/// c.term(1);
+/// assert_ne!(b.finish(), c.finish(), "order matters");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ProjectionHash(Fnv);
+
+impl ProjectionHash {
+    /// A fresh accumulator.
+    #[must_use]
+    pub fn new() -> ProjectionHash {
+        ProjectionHash(Fnv::new())
+    }
+
+    /// Feeds one 64-bit term (a count, a sub-hash, a pointer-scoped id).
+    pub fn term(&mut self, term: u64) {
+        self.0.u64(term);
+    }
+
+    /// Feeds one length-prefixed string.
+    pub fn text(&mut self, s: &str) {
+        self.0.str(s);
+    }
+
+    /// Feeds one boolean flag.
+    pub fn flag(&mut self, b: bool) {
+        self.0.byte(u8::from(b));
+    }
+
+    /// The finalized hash (SplitMix64-mixed, like every fingerprint term).
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        mix(self.0.finish())
+    }
+}
+
+impl Default for ProjectionHash {
+    fn default() -> Self {
+        ProjectionHash::new()
+    }
+}
+
 /// The coarse text-size abstraction: 0 for empty, then three length
 /// buckets. Exact text is deliberately *not* part of a fingerprint — see
 /// the [module docs](self).
@@ -289,6 +359,21 @@ impl FieldMask {
         classes: true,
         attributes: true,
     };
+
+    /// `true` when every projection read under `other` is also read under
+    /// `self` — i.e. a projection hash computed with `self` distinguishes
+    /// at least every state pair a hash computed with `other` would.
+    #[must_use]
+    pub fn covers(self, other: FieldMask) -> bool {
+        (!other.text || self.text)
+            && (!other.value || self.value)
+            && (!other.checked || self.checked)
+            && (!other.enabled || self.enabled)
+            && (!other.visible || self.visible)
+            && (!other.focused || self.focused)
+            && (!other.classes || self.classes)
+            && (!other.attributes || self.attributes)
+    }
 
     /// `true` when at least one projection is read.
     #[must_use]

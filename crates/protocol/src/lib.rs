@@ -59,7 +59,7 @@ pub use delta::{
 };
 pub use fingerprint::{
     element_projection_hash, element_shape_hash, fingerprint_state, fingerprint_state_masked,
-    masked_query_term, query_term, text_bucket, FieldMask, StateFingerprint,
+    masked_query_term, query_term, text_bucket, FieldMask, ProjectionHash, StateFingerprint,
 };
 pub use intern::{sym, Symbol};
 pub use messages::{ActionInstance, ActionKind, CheckerMsg, ExecutorMsg, Key};

@@ -78,7 +78,7 @@ impl<'a> EvalCtx<'a> {
         Ok(())
     }
 
-    fn state(&self) -> Result<&'a StateSnapshot, EvalError> {
+    pub(crate) fn state(&self) -> Result<&'a StateSnapshot, EvalError> {
         self.state.ok_or_else(|| {
             EvalError::new(
                 "state-dependent expression evaluated outside a state context \
@@ -186,28 +186,7 @@ pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalErr
             span,
         } => {
             let v = eval(inner, env, ctx)?;
-            match op {
-                UnOp::Not => match v {
-                    Value::Bool(b) => Ok(Value::Bool(!b)),
-                    Value::Formula(f) => Ok(Value::Formula(f.not())),
-                    other => Err(EvalError::at(
-                        *span,
-                        format!("cannot negate a {}", other.type_name()),
-                    )),
-                },
-                UnOp::Neg => match v {
-                    Value::Int(n) => n
-                        .checked_neg()
-                        .map(Value::Int)
-                        .ok_or_else(|| EvalError::at(*span, "integer overflow in negation")),
-                    Value::Float(x) => Ok(Value::Float(-x)),
-                    Value::Null => Ok(Value::Null),
-                    other => Err(EvalError::at(
-                        *span,
-                        format!("cannot negate a {}", other.type_name()),
-                    )),
-                },
-            }
+            unary_value(*op, v, *span)
         }
         Ir::Binary { op, lhs, rhs, span } => eval_binary(*op, lhs, rhs, env, ctx, *span),
         Ir::Member { obj, field, span } => {
@@ -304,12 +283,41 @@ pub fn eval(ir: &Arc<Ir>, env: &Env, ctx: &EvalCtx<'_>) -> Result<Value, EvalErr
 }
 
 /// Either a plain boolean or a lifted formula — the two "logical" shapes.
-enum Logical {
+pub(crate) enum Logical {
     Plain(bool),
     Lifted(Formula<Thunk>),
 }
 
-fn as_logical(v: Value, span: Span) -> Result<Logical, EvalError> {
+/// Applies a unary operator to an evaluated operand — shared by the
+/// generic interpreter and the compiled atom evaluators
+/// ([`crate::atomc`]), so both agree bit-for-bit on semantics and error
+/// messages.
+pub(crate) fn unary_value(op: UnOp, v: Value, span: Span) -> Result<Value, EvalError> {
+    match op {
+        UnOp::Not => match v {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            Value::Formula(f) => Ok(Value::Formula(f.not())),
+            other => Err(EvalError::at(
+                span,
+                format!("cannot negate a {}", other.type_name()),
+            )),
+        },
+        UnOp::Neg => match v {
+            Value::Int(n) => n
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| EvalError::at(span, "integer overflow in negation")),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            Value::Null => Ok(Value::Null),
+            other => Err(EvalError::at(
+                span,
+                format!("cannot negate a {}", other.type_name()),
+            )),
+        },
+    }
+}
+
+pub(crate) fn as_logical(v: Value, span: Span) -> Result<Logical, EvalError> {
     match v {
         Value::Bool(b) => Ok(Logical::Plain(b)),
         Value::Formula(f) => Ok(Logical::Lifted(f)),
@@ -323,7 +331,7 @@ fn as_logical(v: Value, span: Span) -> Result<Logical, EvalError> {
     }
 }
 
-fn lift(l: Logical) -> Formula<Thunk> {
+pub(crate) fn lift(l: Logical) -> Formula<Thunk> {
     match l {
         Logical::Plain(b) => Formula::constant(b),
         Logical::Lifted(f) => f,
@@ -392,33 +400,51 @@ fn eval_binary(
                 }
             }
         }
-        BinOp::Eq | BinOp::Ne => {
+        BinOp::Eq
+        | BinOp::Ne
+        | BinOp::In
+        | BinOp::Lt
+        | BinOp::Le
+        | BinOp::Gt
+        | BinOp::Ge
+        | BinOp::Add
+        | BinOp::Sub
+        | BinOp::Mul
+        | BinOp::Div
+        | BinOp::Mod => {
             let l = eval(lhs, env, ctx)?;
             let r = eval(rhs, env, ctx)?;
+            binary_values(op, l, r, span)
+        }
+    }
+}
+
+/// Applies a non-short-circuiting binary operator to evaluated operands —
+/// shared by the generic interpreter and the compiled atom evaluators
+/// ([`crate::atomc`]). The logical operators (`&&`/`||`/`==>`) are *not*
+/// handled here: they short-circuit, so each caller owns its operand
+/// evaluation order.
+pub(crate) fn binary_values(op: BinOp, l: Value, r: Value, span: Span) -> Result<Value, EvalError> {
+    match op {
+        BinOp::Eq | BinOp::Ne => {
             let eq = l.loosely_equals(&r);
             Ok(Value::Bool(if op == BinOp::Eq { eq } else { !eq }))
         }
-        BinOp::In => {
-            let l = eval(lhs, env, ctx)?;
-            let r = eval(rhs, env, ctx)?;
-            match r {
-                Value::List(items) => Ok(Value::Bool(items.iter().any(|i| i.loosely_equals(&l)))),
-                Value::Str(haystack) => match l {
-                    Value::Str(needle) => Ok(Value::Bool(haystack.contains(&*needle))),
-                    other => Err(EvalError::at(
-                        span,
-                        format!("cannot search for {} in a string", other.type_name()),
-                    )),
-                },
+        BinOp::In => match r {
+            Value::List(items) => Ok(Value::Bool(items.iter().any(|i| i.loosely_equals(&l)))),
+            Value::Str(haystack) => match l {
+                Value::Str(needle) => Ok(Value::Bool(haystack.contains(&*needle))),
                 other => Err(EvalError::at(
                     span,
-                    format!("`in` expects a list or string, got {}", other.type_name()),
+                    format!("cannot search for {} in a string", other.type_name()),
                 )),
-            }
-        }
+            },
+            other => Err(EvalError::at(
+                span,
+                format!("`in` expects a list or string, got {}", other.type_name()),
+            )),
+        },
         BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            let l = eval(lhs, env, ctx)?;
-            let r = eval(rhs, env, ctx)?;
             let ord = compare(&l, &r, span)?;
             Ok(Value::Bool(match (op, ord) {
                 // Null (or NaN) never satisfies an ordering comparison.
@@ -430,10 +456,9 @@ fn eval_binary(
                 _ => unreachable!("comparison ops only"),
             }))
         }
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-            let l = eval(lhs, env, ctx)?;
-            let r = eval(rhs, env, ctx)?;
-            arith(op, l, r, span)
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, l, r, span),
+        BinOp::And | BinOp::Or | BinOp::Implies => {
+            unreachable!("short-circuiting ops are handled by the caller")
         }
     }
 }
@@ -442,7 +467,11 @@ fn eval_binary(
 /// selector query that matched nothing propagates as an always-false
 /// comparison rather than a hard error, so specifications can state
 /// invariants about optional elements without defensive guards.
-fn compare(l: &Value, r: &Value, span: Span) -> Result<Option<std::cmp::Ordering>, EvalError> {
+pub(crate) fn compare(
+    l: &Value,
+    r: &Value,
+    span: Span,
+) -> Result<Option<std::cmp::Ordering>, EvalError> {
     match (l, r) {
         (Value::Int(a), Value::Int(b)) => Ok(Some(a.cmp(b))),
         (Value::Str(a), Value::Str(b)) => Ok(Some(a.cmp(b))),
@@ -465,7 +494,7 @@ fn compare(l: &Value, r: &Value, span: Span) -> Result<Option<std::cmp::Ordering
     }
 }
 
-fn arith(op: BinOp, l: Value, r: Value, span: Span) -> Result<Value, EvalError> {
+pub(crate) fn arith(op: BinOp, l: Value, r: Value, span: Span) -> Result<Value, EvalError> {
     match (op, &l, &r) {
         // Null propagates through arithmetic (a missing element's
         // projection), mirroring the comparison semantics above.
@@ -558,7 +587,7 @@ pub fn element_record(element: &ElementState) -> Value {
 /// Projects one field of an element without building the record — the fast
 /// path for `` `#e`.text ``-style accesses, which dominate specification
 /// bodies.
-fn element_field(element: &ElementState, field: Symbol) -> Option<Value> {
+pub(crate) fn element_field(element: &ElementState, field: Symbol) -> Option<Value> {
     Some(match field {
         f if f == sym::TEXT => Value::str(&element.text),
         f if f == sym::VALUE => Value::str(&element.value),
@@ -579,7 +608,7 @@ fn element_field(element: &ElementState, field: Symbol) -> Option<Value> {
     })
 }
 
-fn query<'s>(
+pub(crate) fn query<'s>(
     ctx: &EvalCtx<'s>,
     selector: &Selector,
     span: Span,
@@ -598,7 +627,12 @@ fn query<'s>(
     }
 }
 
-fn member(base: Value, field: Symbol, ctx: &EvalCtx<'_>, span: Span) -> Result<Value, EvalError> {
+pub(crate) fn member(
+    base: Value,
+    field: Symbol,
+    ctx: &EvalCtx<'_>,
+    span: Span,
+) -> Result<Value, EvalError> {
     match base {
         Value::Selector(selector) => {
             let elements = query(ctx, &selector, span)?;
@@ -631,7 +665,12 @@ fn member(base: Value, field: Symbol, ctx: &EvalCtx<'_>, span: Span) -> Result<V
     }
 }
 
-fn index_value(base: Value, idx: Value, ctx: &EvalCtx<'_>, span: Span) -> Result<Value, EvalError> {
+pub(crate) fn index_value(
+    base: Value,
+    idx: Value,
+    ctx: &EvalCtx<'_>,
+    span: Span,
+) -> Result<Value, EvalError> {
     match (base, idx) {
         (Value::List(items), Value::Int(i)) => {
             let i = usize::try_from(i).ok();
@@ -731,7 +770,7 @@ fn mk_action(kind: ActionKind, selector: Selector) -> Value {
     }))
 }
 
-fn apply_builtin(
+pub(crate) fn apply_builtin(
     builtin: Builtin,
     mut args: Vec<Value>,
     ctx: &EvalCtx<'_>,

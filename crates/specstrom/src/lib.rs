@@ -67,6 +67,7 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod atomc;
 pub mod compile;
 pub mod error;
 pub mod eval;
@@ -82,6 +83,9 @@ pub use analysis::{
     analyze_compiled, dependencies, dependencies_of, footprint_of_ir, footprint_of_thunk, line_col,
     lint, AtomFootprint, AtomInfo, Diagnostic, DiagnosticCode, PropertyAnalysis, SelectorUse,
     SpecAnalysis,
+};
+pub use atomc::{
+    compile_atom, AtomKeyer, AtomMemo, AtomMemos, CompiledAtom, CompiledExpr, MemoEntry,
 };
 pub use compile::{compile_expr, initial_env, Ir};
 pub use error::{EvalError, SpecError};

@@ -68,6 +68,10 @@ pub struct CompiledSpec {
     /// shared across every run (and worker) that checks the same
     /// property. See [`SpecAutomata`].
     pub automata: SpecAutomata,
+    /// Value-keyed atom expansion memos, shared across every run (and
+    /// worker, and shrink replay) that checks the same property. See
+    /// [`crate::atomc::AtomMemos`].
+    pub atom_memos: crate::atomc::AtomMemos,
 }
 
 /// The per-spec registry of memoized LTL evaluation automata
@@ -323,6 +327,7 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
         dependencies,
         analysis: analysis::SpecAnalysis::default(),
         automata: SpecAutomata::default(),
+        atom_memos: crate::atomc::AtomMemos::default(),
     };
     compiled.analysis = analysis::analyze_compiled(&compiled);
     Ok(compiled)

@@ -76,6 +76,14 @@ impl Env {
     pub(crate) fn ptr_id(&self) -> usize {
         self.0.as_ref().map_or(0, |rc| Arc::as_ptr(rc) as usize)
     }
+
+    /// The top frame's bindings and parent, for crate-internal analyses
+    /// that walk environment chains (`None` for the empty environment).
+    pub(crate) fn split_top(&self) -> Option<(&[Binding], &Env)> {
+        self.0
+            .as_ref()
+            .map(|frame| (frame.slots.as_slice(), &frame.parent))
+    }
 }
 
 /// How a name is bound.

@@ -92,7 +92,7 @@ pub mod prelude {
     pub use crate::specs;
     pub use quickltl::{Formula, Outcome, Verdict};
     pub use quickstrom_checker::{
-        check_property, check_spec, CheckOptions, EvalMode, FingerprintMode, Report,
+        check_property, check_spec, AtomCacheMode, CheckOptions, EvalMode, FingerprintMode, Report,
         SelectionStrategy,
     };
     pub use quickstrom_executor::{WebExecutor, WebExecutorConfig};

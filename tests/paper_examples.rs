@@ -120,8 +120,6 @@ fn annotated_menu_example_of_section_2_2() {
     // (The checker's forced-stop fallback is what turns this into a
     // presumably-false report in practice; see DESIGN.md.)
     let mut wedged: Vec<&str> = vec!["m"];
-    for _ in 0..110 {
-        wedged.push("");
-    }
+    wedged.extend(std::iter::repeat_n("", 110));
     assert_eq!(check(f, &wedged), Outcome::MoreStatesNeeded);
 }
