@@ -2,7 +2,7 @@
 //! paper's evaluation (§4), plus the ablations from DESIGN.md.
 //!
 //! ```text
-//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried] [--no-mask-atoms] [--eval-mode automaton|stepper] [--atom-cache value|footprint|off] [--atom-memo-capacity N]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried] [--no-mask-atoms] [--eval-mode automaton|stepper] [--atom-cache value|footprint|off] [--atom-memo-capacity N] [--pipeline on|off] [--pipeline-depth N] [--multiplex M] [--step-memo on|off]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- table2 [--jobs 4]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- figure13 [--sessions 10] [--runs 3] [--csv fig13.csv]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- delta-compare [--tests 10] [--jobs 4] [--json BENCH_delta_compare.json]
@@ -45,6 +45,21 @@
 //! timing and `atoms_*`/`atom_memo_*` columns change.
 //! `--atom-memo-capacity N` bounds the memo's entry count (FIFO
 //! eviction; the default 65,536 never evicts on the bundled sweep).
+//! `--pipeline on|off` selects the session runtime (the two-stage
+//! pipelined engine — the default — or the sequential engine kept as its
+//! differential oracle; see DESIGN.md, *Pipelined runtime*). Verdicts,
+//! state counts and atom counters are identical in both modes (pinned by
+//! `differential_pipeline`); the timing columns change — and under
+//! pipelining `executor_s`/`eval_s` overlap, so they no longer sum to
+//! `wall_s`. `--pipeline-depth N` bounds the speculation window (states
+//! the executor may run ahead of the evaluator); `--multiplex M` lets
+//! every worker interleave M in-flight sessions to hide executor latency.
+//! `--step-memo on|off` switches the state-value step memo, which answers
+//! whole automaton transitions from a per-property cache keyed by
+//! (automaton state, bindings signature, state-value signature). Replays
+//! are exact — verdicts, state counts *and* atom counters are identical
+//! in both modes (pinned by `differential_pipeline`); only the timing
+//! columns and `step_memo_hits` change.
 //! `lint` runs the spec static analysis over every bundled specification
 //! and prints its diagnostics (vacuous implications, tautological or
 //! unsatisfiable properties, unused bindings/actions/selectors) with
@@ -126,6 +141,38 @@ fn main() {
     };
     let atom_memo_capacity: Option<usize> =
         flag("--atom-memo-capacity").and_then(|v| v.parse().ok());
+    let pipeline = match flag("--pipeline") {
+        Some(name) => match PipelineMode::parse(&name) {
+            Some(m) => m,
+            None => {
+                eprintln!("unknown pipeline mode {name:?} (expected on or off)");
+                std::process::exit(2);
+            }
+        },
+        None => PipelineMode::default(),
+    };
+    let pipeline_depth: Option<usize> = flag("--pipeline-depth").and_then(|v| v.parse().ok());
+    let multiplex: Option<usize> = flag("--multiplex").and_then(|v| v.parse().ok());
+    let step_memo = match flag("--step-memo").as_deref() {
+        Some("on") => true,
+        Some("off") => false,
+        Some(name) => {
+            eprintln!("unknown step memo mode {name:?} (expected on or off)");
+            std::process::exit(2);
+        }
+        None => CheckOptions::default().step_memo,
+    };
+    let pipeline_options = move |options: CheckOptions| {
+        let options = options.with_pipeline(pipeline).with_step_memo(step_memo);
+        let options = match pipeline_depth {
+            Some(depth) => options.with_pipeline_depth(depth),
+            None => options,
+        };
+        match multiplex {
+            Some(m) => options.with_multiplex(m),
+            None => options,
+        }
+    };
 
     match command {
         "table1" => {
@@ -140,6 +187,7 @@ fn main() {
                 eval_mode,
                 atom_cache,
                 atom_memo_capacity,
+                &pipeline_options,
             );
         }
         "table2" => {
@@ -154,6 +202,7 @@ fn main() {
                 eval_mode,
                 atom_cache,
                 atom_memo_capacity,
+                &pipeline_options,
             );
         }
         "figure13" => figure13(sessions, runs, csv.as_deref()),
@@ -175,6 +224,7 @@ fn main() {
                 eval_mode,
                 atom_cache,
                 atom_memo_capacity,
+                &pipeline_options,
             );
             figure13(sessions.min(3), runs, csv.as_deref());
             delta_compare(tests.min(10), jobs, None);
@@ -196,6 +246,8 @@ fn main() {
 }
 
 /// Runs the registry sweep and prints Table 1 (and optionally Table 2).
+/// `pipeline_options` applies the `--pipeline` / `--pipeline-depth` /
+/// `--multiplex` flags on top of the base options.
 #[allow(clippy::fn_params_excessive_bools, clippy::too_many_arguments)]
 fn table1_and_2(
     tests: usize,
@@ -208,6 +260,7 @@ fn table1_and_2(
     eval_mode: EvalMode,
     atom_cache: AtomCacheMode,
     atom_memo_capacity: Option<usize>,
+    pipeline_options: &dyn Fn(CheckOptions) -> CheckOptions,
 ) {
     println!("═══ Table 1: Summary of Results (TodoMVC registry sweep) ═══");
     println!(
@@ -224,6 +277,13 @@ fn table1_and_2(
         eval_mode,
         atom_cache
     );
+    {
+        let probe = pipeline_options(CheckOptions::default());
+        println!(
+            "    (pipeline {}, depth {}, multiplex {})",
+            probe.pipeline, probe.pipeline_depth, probe.multiplex
+        );
+    }
     let options = CheckOptions::default()
         .with_tests(tests)
         .with_max_actions(120)
@@ -238,6 +298,7 @@ fn table1_and_2(
         Some(capacity) => options.with_atom_memo_capacity(capacity),
         None => options,
     };
+    let options = pipeline_options(options);
     let print_line = |result: &ImplResult| {
         println!(
             "  {:>22}  {}  ({:5.2}s, {} states){}",
@@ -371,9 +432,11 @@ fn table1_and_2(
     if eval_mode == EvalMode::Automaton {
         let ltl_states = results.iter().map(|r| r.ltl_states).max().unwrap_or(0);
         let ltl_table_hits: u64 = results.iter().map(|r| r.ltl_table_hits).sum();
+        let step_memo_hits: u64 = results.iter().map(|r| r.step_memo_hits).sum();
         println!(
             "evaluation automaton: {ltl_states} residual state(s) interned, \
-             {ltl_table_hits} progression steps answered by table lookup"
+             {ltl_table_hits} progression steps answered by table lookup, \
+             {step_memo_hits} answered wholesale by the step memo"
         );
     }
 

@@ -112,6 +112,23 @@ pub struct ImplResult {
     /// Formula-progression steps answered by a transition-table lookup
     /// instead of unroll+simplify (zero in `EvalMode::Stepper` mode).
     pub ltl_table_hits: u64,
+    /// Of those, steps answered wholesale by the state-value step memo
+    /// (no atom expansion or observation at all; zero under
+    /// `--step-memo off`).
+    pub step_memo_hits: u64,
+    /// The speculation bound of the pipelined runtime (zero under
+    /// `--pipeline off`). Note that under pipelining `executor_s` and
+    /// `eval_s` overlap in wall time and no longer sum to `wall_s`.
+    pub pipeline_depth: u64,
+    /// Seconds the pipelined driver was blocked on the evaluator (full
+    /// state channel, or parked at a budget boundary).
+    pub executor_stall_s: f64,
+    /// Seconds the pipelined evaluator starved on an empty state channel
+    /// (the executor was the bottleneck).
+    pub evaluator_stall_s: f64,
+    /// States the driver executed beyond the canonical stop point, then
+    /// discarded unprocessed when the verdict landed.
+    pub speculative_states_discarded: u64,
     /// Total states observed.
     pub states: usize,
     /// Fault numbers injected into this implementation.
@@ -181,6 +198,11 @@ pub fn check_entry_mode(
         atom_memo_evictions: timings.atom_memo_evictions,
         ltl_states: timings.ltl_states,
         ltl_table_hits: timings.ltl_table_hits,
+        step_memo_hits: timings.step_memo_hits,
+        pipeline_depth: timings.pipeline_depth,
+        executor_stall_s: timings.executor_stall_s,
+        evaluator_stall_s: timings.evaluator_stall_s,
+        speculative_states_discarded: timings.speculative_states_discarded,
         states,
         fault_numbers: entry.faults.iter().map(|f| f.number()).collect(),
         transport: report.transport(),
@@ -245,7 +267,12 @@ pub fn sweep_registry_jobs(options: &CheckOptions, jobs: usize) -> Vec<ImplResul
 /// work the value-keyed memo (or the footprint cache) saved — and the
 /// automaton counters `ltl_states` / `ltl_table_hits`: the interned
 /// residual-state count of the shared transition table and the
-/// progression steps it answered by lookup) and an
+/// progression steps it answered by lookup, and the pipeline
+/// observability `pipeline_depth` / `executor_stall_s` /
+/// `evaluator_stall_s` / `speculative_states_discarded` — which stage of
+/// the pipelined runtime bounded the sweep and how much speculative work
+/// the verdicts discarded; under pipelining `executor_s` and `eval_s`
+/// overlap in wall time and no longer sum to `wall_s`) and an
 /// `entries` array; every entry carries `name`,
 /// `passed`, `expected_to_fail`, `wall_s`, the phase attribution
 /// `executor_s`/`eval_s`, the atom counters
@@ -311,6 +338,37 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
         "  \"ltl_table_hits\": {},",
         results.iter().map(|r| r.ltl_table_hits).sum::<u64>()
     );
+    let _ = writeln!(
+        out,
+        "  \"step_memo_hits\": {},",
+        results.iter().map(|r| r.step_memo_hits).sum::<u64>()
+    );
+    // Pipeline observability: the depth is a configuration echo (max),
+    // the stalls say which stage bounded the sweep, and the discard count
+    // is the price of speculation (work done past the canonical stop).
+    let _ = writeln!(
+        out,
+        "  \"pipeline_depth\": {},",
+        results.iter().map(|r| r.pipeline_depth).max().unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "  \"executor_stall_s\": {:.4},",
+        results.iter().map(|r| r.executor_stall_s).sum::<f64>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"evaluator_stall_s\": {:.4},",
+        results.iter().map(|r| r.evaluator_stall_s).sum::<f64>()
+    );
+    let _ = writeln!(
+        out,
+        "  \"speculative_states_discarded\": {},",
+        results
+            .iter()
+            .map(|r| r.speculative_states_discarded)
+            .sum::<u64>()
+    );
     let mut transport = TransportStats::default();
     for r in results {
         transport.absorb(r.transport);
@@ -335,6 +393,10 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
              \"atom_memo_hits\": {}, \"atom_memo_misses\": {}, \
              \"atom_memo_evictions\": {}, \
              \"ltl_states\": {}, \"ltl_table_hits\": {}, \
+             \"step_memo_hits\": {}, \
+             \"pipeline_depth\": {}, \"executor_stall_s\": {:.4}, \
+             \"evaluator_stall_s\": {:.4}, \
+             \"speculative_states_discarded\": {}, \
              \"states\": {}, \"faults\": [{}], \
              \"shipped_bytes\": {}, \"full_bytes\": {}, \"delta_states\": {}, \
              \"changed_selectors\": {}, \
@@ -352,6 +414,11 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             r.atom_memo_evictions,
             r.ltl_states,
             r.ltl_table_hits,
+            r.step_memo_hits,
+            r.pipeline_depth,
+            r.executor_stall_s,
+            r.evaluator_stall_s,
+            r.speculative_states_discarded,
             r.states,
             faults.join(", "),
             r.transport.shipped_bytes,

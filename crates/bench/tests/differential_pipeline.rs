@@ -1,0 +1,447 @@
+//! The pipelined-runtime differential suite: `--pipeline on` ≡ `off`.
+//!
+//! The two-stage pipelined session runtime (`CheckOptions::pipeline`, see
+//! DESIGN.md's *Pipelined runtime*) overlaps the executor/driver stage
+//! with the formula evaluator, speculating up to `pipeline_depth` states
+//! past the evaluator's position and discarding the speculative tail when
+//! a verdict lands. Like every engine optimisation in this repository,
+//! it must be *observably invisible*: verdicts, runs, recorded traces,
+//! state/action totals, shrunk counterexamples and the atom/automaton
+//! counters are bit-identical to the sequential engine, on every
+//! workload, at every speculation depth, for every multiplex width.
+//! [`Report`]'s `PartialEq` compares everything except wall-clock,
+//! transport and coverage accounting — transport legitimately differs
+//! under pipelining (speculative messages still cross the wire), which is
+//! precisely why it is excluded.
+//!
+//! Coverage mirrors the atom-memo suite: every bundled specification
+//! against its real application, a faulty TodoMVC entry with the shrinker
+//! enabled, a speculation-truncation pin at depths 1/4/64, multiplexed
+//! scheduling at several widths, and the whole 43-entry registry crossed
+//! over jobs 1/2 × multiplex 1/3 × delta/full snapshots ×
+//! automaton/stepper evaluation × the three atom-cache modes.
+
+use quickstrom::prelude::*;
+use quickstrom::quickstrom_apps::{
+    registry, BigTable, Counter, EggTimer, MenuApp, TodoMvc, Wizard,
+};
+use quickstrom::specstrom;
+use quickstrom::webdom::App;
+use quickstrom_bench::{check_entry_mode, SnapshotMode};
+
+/// Checks `source` against `app` with the pipelined runtime and with the
+/// sequential engine, asserts the reports are bit-identical, and asserts
+/// the evaluation counters (which the pipelined evaluator stage must
+/// reproduce exactly) match too.
+fn assert_pipeline_invisible<A, F>(source: &str, make_app: F, options: &CheckOptions) -> Report
+where
+    A: App + 'static,
+    F: Fn() -> A + Send + Sync + Clone + 'static,
+{
+    let run = |pipeline: PipelineMode| {
+        // A fresh compiled spec per engine: the property-level atom memo
+        // and the automaton transition table hang off the spec and stay
+        // warm across checks, so sharing one spec would make the second
+        // engine's counters incomparably cheaper regardless of pipeline.
+        let spec = specstrom::load(source).expect("bundled spec compiles");
+        let make_app = make_app.clone();
+        let options = options.clone().with_pipeline(pipeline);
+        check_spec(&spec, &options, &move || {
+            Box::new(WebExecutor::new(make_app.clone()))
+        })
+        .expect("no protocol errors")
+    };
+    let pipelined = run(PipelineMode::On);
+    let sequential = run(PipelineMode::Off);
+    assert_eq!(
+        pipelined, sequential,
+        "pipelined vs sequential reports diverged"
+    );
+    let p = pipelined.timings();
+    let s = sequential.timings();
+    // The evaluator stage replays the sequential engine exactly, so every
+    // evaluation counter — not just the verdicts — must agree.
+    assert_eq!(p.atoms_total, s.atoms_total, "atom demand diverged");
+    assert_eq!(
+        p.atoms_reevaluated, s.atoms_reevaluated,
+        "atom re-evaluation diverged"
+    );
+    assert_eq!(p.atom_memo_hits, s.atom_memo_hits, "memo hits diverged");
+    assert_eq!(
+        p.atom_memo_misses, s.atom_memo_misses,
+        "memo misses diverged"
+    );
+    assert_eq!(p.ltl_table_hits, s.ltl_table_hits, "table hits diverged");
+    // The sequential engine reports no pipeline; the pipelined engine
+    // echoes its configured depth.
+    assert_eq!(s.pipeline_depth, 0, "sequential engine has no pipeline");
+    assert_eq!(s.speculative_states_discarded, 0);
+    assert_eq!(s.executor_stall_s, 0.0);
+    assert_eq!(s.evaluator_stall_s, 0.0);
+    assert_eq!(
+        p.pipeline_depth,
+        options.pipeline_depth.max(1) as u64,
+        "pipelined engine must echo its speculation bound"
+    );
+    pipelined
+}
+
+fn quick_options() -> CheckOptions {
+    CheckOptions::default()
+        .with_tests(8)
+        .with_max_actions(25)
+        .with_default_demand(20)
+        .with_seed(97)
+        .with_shrink(false)
+}
+
+#[test]
+fn counter_spec_verdicts_pipeline_invariant() {
+    assert_pipeline_invisible(quickstrom::specs::COUNTER, Counter::new, &quick_options());
+}
+
+#[test]
+fn menu_spec_verdicts_pipeline_invariant() {
+    assert_pipeline_invisible(
+        quickstrom::specs::MENU,
+        || MenuApp::new(500),
+        &quick_options(),
+    );
+}
+
+#[test]
+fn egg_timer_spec_verdicts_pipeline_invariant() {
+    assert_pipeline_invisible(
+        quickstrom::specs::EGG_TIMER,
+        EggTimer::new,
+        &quick_options().with_max_actions(40),
+    );
+}
+
+#[test]
+fn todomvc_spec_verdicts_pipeline_invariant() {
+    let entry = registry::by_name("vue").expect("registry entry");
+    assert_pipeline_invisible(
+        quickstrom::specs::TODOMVC,
+        || entry.build(),
+        &quick_options().with_default_demand(40).with_max_actions(50),
+    );
+}
+
+#[test]
+fn bigtable_spec_verdicts_pipeline_invariant() {
+    let report = assert_pipeline_invisible(
+        quickstrom::specs::BIGTABLE,
+        || BigTable::with_rows(120),
+        &quick_options(),
+    );
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn wizard_spec_verdicts_pipeline_invariant() {
+    let report =
+        assert_pipeline_invisible(quickstrom::specs::WIZARD, Wizard::new, &quick_options());
+    assert!(report.passed(), "{report}");
+}
+
+/// The truncation pin: the speculation window bounds how far the driver
+/// can run past the canonical stop point, so the *shape* of speculation
+/// differs wildly between depth 1 (near-lockstep), 4 and 64 (the driver
+/// can race a whole run ahead) — but every report must be identical to
+/// the sequential engine's, because the evaluator discards the
+/// speculative tail unprocessed.
+#[test]
+fn speculation_depth_never_leaks_into_reports() {
+    let spec = specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
+    let entry = registry::by_name("vue").expect("registry entry");
+    let base = quick_options().with_default_demand(40).with_max_actions(50);
+    let run = |options: CheckOptions| {
+        check_spec(&spec, &options, &move || {
+            Box::new(WebExecutor::new(move || entry.build()))
+        })
+        .expect("no protocol errors")
+    };
+    let sequential = run(base.clone().with_pipeline(PipelineMode::Off));
+    for depth in [1usize, 4, 64] {
+        let pipelined = run(base.clone().with_pipeline_depth(depth));
+        assert_eq!(
+            pipelined, sequential,
+            "pipeline depth {depth} changed the report"
+        );
+        assert_eq!(
+            pipelined.timings().pipeline_depth,
+            depth as u64,
+            "depth {depth} not echoed"
+        );
+    }
+}
+
+/// Multiplexed scheduling: several in-flight sessions per worker, with
+/// and without extra workers. Slot-ordered retirement keeps the merged
+/// report bit-identical to the sequential engine for every (jobs,
+/// multiplex) combination.
+#[test]
+fn multiplexed_sessions_match_sequential_reports() {
+    let spec = specstrom::load(quickstrom::specs::COUNTER).expect("spec compiles");
+    let run = |options: CheckOptions| {
+        check_spec(&spec, &options, &|| {
+            Box::new(WebExecutor::new(Counter::new))
+        })
+        .expect("no protocol errors")
+    };
+    let sequential = run(quick_options().with_pipeline(PipelineMode::Off));
+    for (jobs, multiplex) in [(1usize, 4usize), (2, 2), (2, 4), (4, 1)] {
+        let pipelined = run(quick_options().with_jobs(jobs).with_multiplex(multiplex));
+        assert_eq!(
+            pipelined, sequential,
+            "jobs {jobs} × multiplex {multiplex} diverged from sequential"
+        );
+    }
+}
+
+/// The faulty-entry case, shrinker on: the counterexample search runs on
+/// the pipelined runtime (shrink replays themselves always run on the
+/// sequential engine — they are scripted, with nothing to overlap), and
+/// the shrunk script, per-state trace and verdict must match the
+/// sequential engine exactly.
+#[test]
+fn faulty_entry_shrinks_identically_across_pipeline_modes() {
+    let spec = specstrom::load(quickstrom::specs::TODOMVC).expect("spec compiles");
+    let options = CheckOptions::default()
+        .with_tests(30)
+        .with_max_actions(40)
+        .with_default_demand(30)
+        .with_seed(20220322)
+        .with_shrink(true);
+    let run = |pipeline: PipelineMode| {
+        let options = options.clone().with_pipeline(pipeline);
+        check_spec(&spec, &options, &|| {
+            Box::new(WebExecutor::new(|| {
+                TodoMvc::with_faults([quickstrom::quickstrom_apps::Fault::PendingCleared])
+            }))
+        })
+        .expect("no protocol errors")
+    };
+    let pipelined = run(PipelineMode::On);
+    let sequential = run(PipelineMode::Off);
+    assert_eq!(pipelined, sequential);
+    assert!(!pipelined.passed(), "the faulty app must fail");
+    let cx_p = pipelined.properties[0].counterexample().expect("cx");
+    let cx_s = sequential.properties[0].counterexample().expect("cx");
+    assert!(cx_p.shrunk, "the shrinker ran");
+    assert_eq!(cx_p.script, cx_s.script);
+    assert_eq!(cx_p.trace, cx_s.trace);
+    assert_eq!(cx_p.verdict, cx_s.verdict);
+}
+
+/// The whole 43-entry registry, crossed over the checker's runtime knobs:
+/// entry `i` runs under combination `i % 24` of jobs 1/2 × multiplex 1/3
+/// × delta/full snapshots × automaton/stepper evaluation ×
+/// value/footprint/off atom caching, pipelined and sequential, and the
+/// two engines must agree on verdicts, state counts and atom demand for
+/// every entry.
+#[test]
+fn registry_sweep_agrees_across_pipeline_jobs_snapshots_engines_and_caches() {
+    let base = CheckOptions::default()
+        .with_tests(3)
+        .with_max_actions(25)
+        .with_default_demand(25)
+        .with_seed(11)
+        .with_shrink(false);
+    let mut speculation_discards = 0u64;
+    for (i, entry) in quickstrom::quickstrom_apps::REGISTRY.iter().enumerate() {
+        let jobs = 1 + (i % 2);
+        let multiplex = if (i / 2) % 2 == 0 { 1 } else { 3 };
+        let snapshot = if (i / 4) % 2 == 0 {
+            SnapshotMode::Delta
+        } else {
+            SnapshotMode::Full
+        };
+        let eval = if (i / 8) % 2 == 0 {
+            EvalMode::Automaton
+        } else {
+            EvalMode::Stepper
+        };
+        let cache = [
+            AtomCacheMode::Value,
+            AtomCacheMode::Footprint,
+            AtomCacheMode::Off,
+        ][(i / 16) % 3];
+        let options = base
+            .clone()
+            .with_jobs(jobs)
+            .with_multiplex(multiplex)
+            .with_eval_mode(eval)
+            .with_atom_cache(cache);
+        let pipelined = check_entry_mode(
+            entry,
+            &options.clone().with_pipeline(PipelineMode::On),
+            snapshot,
+        );
+        let sequential =
+            check_entry_mode(entry, &options.with_pipeline(PipelineMode::Off), snapshot);
+        assert_eq!(
+            (pipelined.passed, pipelined.states),
+            (sequential.passed, sequential.states),
+            "{} (jobs {jobs}, multiplex {multiplex}, {snapshot:?}, {eval:?}, \
+             {cache:?}) diverged between pipelined and sequential",
+            entry.name
+        );
+        // Atom demand is cache-warmth-invariant (the registry shares one
+        // compiled spec, so memo/table *hit* counts are not comparable
+        // between the two calls — demand is).
+        assert_eq!(
+            pipelined.atoms_total, sequential.atoms_total,
+            "{}: the pipelined evaluator requested a different atom set",
+            entry.name
+        );
+        assert_eq!(
+            sequential.pipeline_depth, 0,
+            "{}: sequential engine reported a pipeline",
+            entry.name
+        );
+        speculation_discards += pipelined.speculative_states_discarded;
+    }
+    // The sweep includes failing entries whose verdicts land mid-run, so
+    // speculation must actually have been truncated somewhere (otherwise
+    // the pin above is vacuous).
+    assert!(
+        speculation_discards > 0,
+        "no speculative states were ever discarded across the registry"
+    );
+}
+
+/// The step-memo differential: `--step-memo on` ≡ `off`.
+///
+/// The whole-transition step memo (`CheckOptions::step_memo`) answers
+/// automaton steps from a `(state, bindings signature, state signature)`
+/// cache, skipping atom expansion, observation and the table step — but
+/// replays the exact expansion-count deltas the full step would have
+/// produced. So verdicts, traces and every atom counter must match an
+/// unmemoized engine bit-for-bit. `ltl_table_hits` is the one deliberate
+/// exception — a replay counts as a hit even when the unmemoized step
+/// would have re-interned a structurally novel observation of the same
+/// transition (see `PhaseTimings::step_memo_hits`) — so it is asserted
+/// close, not equal.
+fn assert_step_memo_invisible<A, F>(
+    source: &str,
+    make_app: F,
+    options: &CheckOptions,
+) -> (Report, Report)
+where
+    A: App + 'static,
+    F: Fn() -> A + Send + Sync + Clone + 'static,
+{
+    let run = |step_memo: bool| {
+        // A fresh spec per engine, as above: the memo hangs off the spec.
+        let spec = specstrom::load(source).expect("bundled spec compiles");
+        let make_app = make_app.clone();
+        let options = options.clone().with_step_memo(step_memo);
+        check_spec(&spec, &options, &move || {
+            Box::new(WebExecutor::new(make_app.clone()))
+        })
+        .expect("no protocol errors")
+    };
+    let memoized = run(true);
+    let unmemoized = run(false);
+    assert_eq!(
+        memoized, unmemoized,
+        "step-memo vs unmemoized reports diverged"
+    );
+    let m = memoized.timings();
+    let u = unmemoized.timings();
+    assert_eq!(u.step_memo_hits, 0, "unmemoized engine reported memo hits");
+    assert_eq!(m.atoms_total, u.atoms_total, "atom demand diverged");
+    assert_eq!(
+        m.atoms_reevaluated, u.atoms_reevaluated,
+        "atom re-evaluation diverged"
+    );
+    assert_eq!(m.atom_memo_hits, u.atom_memo_hits, "memo hits diverged");
+    assert_eq!(
+        m.atom_memo_misses, u.atom_memo_misses,
+        "memo misses diverged"
+    );
+    assert_eq!(m.ltl_states, u.ltl_states, "interned state count diverged");
+    // Replays may claim a sliver more table hits than the unmemoized
+    // engine records (never fewer, and never more than the replay count).
+    assert!(
+        m.ltl_table_hits >= u.ltl_table_hits
+            && m.ltl_table_hits - u.ltl_table_hits <= m.step_memo_hits,
+        "table hits out of the documented envelope: memoized {} vs \
+         unmemoized {} with {} replays",
+        m.ltl_table_hits,
+        u.ltl_table_hits,
+        m.step_memo_hits,
+    );
+    (memoized, unmemoized)
+}
+
+#[test]
+fn todomvc_step_memo_is_invisible() {
+    let entry = registry::by_name("vue").expect("registry entry");
+    let (memoized, _) = assert_step_memo_invisible(
+        quickstrom::specs::TODOMVC,
+        || entry.build(),
+        &quick_options().with_default_demand(40).with_max_actions(50),
+    );
+    assert!(
+        memoized.timings().step_memo_hits > 0,
+        "the step memo never fired"
+    );
+}
+
+#[test]
+fn counter_step_memo_is_invisible_with_atom_cache_off() {
+    let (memoized, _) = assert_step_memo_invisible(
+        quickstrom::specs::COUNTER,
+        Counter::new,
+        &quick_options().with_atom_cache(AtomCacheMode::Off),
+    );
+    assert!(
+        memoized.timings().step_memo_hits > 0,
+        "the step memo never fired"
+    );
+}
+
+/// Shrinking on the faulty entry, step memo on vs off: replay runs warm
+/// the shared memo but their counters are excluded
+/// (`PhaseTimings::reset_for_replay`), and the shrunk script must come
+/// out identical either way.
+#[test]
+fn faulty_entry_shrinks_identically_across_step_memo_modes() {
+    let (memoized, unmemoized) = assert_step_memo_invisible(
+        quickstrom::specs::TODOMVC,
+        || TodoMvc::with_faults([quickstrom::quickstrom_apps::Fault::PendingCleared]),
+        &CheckOptions::default()
+            .with_tests(30)
+            .with_max_actions(40)
+            .with_default_demand(30)
+            .with_seed(20220322)
+            .with_shrink(true),
+    );
+    assert!(!memoized.passed(), "the faulty app must fail");
+    let cx_m = memoized.properties[0].counterexample().expect("cx");
+    let cx_u = unmemoized.properties[0].counterexample().expect("cx");
+    assert!(cx_m.shrunk, "the shrinker ran");
+    assert_eq!(cx_m.script, cx_u.script);
+    assert_eq!(cx_m.trace, cx_u.trace);
+    assert_eq!(cx_m.verdict, cx_u.verdict);
+}
+
+/// The footprint cache opts out of the step memo implicitly (its served
+/// expansions are footprint-revalidated, not value-keyed, so no state
+/// signature exists to key a transition by) — the switch must be a no-op
+/// there rather than a footgun.
+#[test]
+fn footprint_cache_never_engages_the_step_memo() {
+    let spec = specstrom::load(quickstrom::specs::COUNTER).expect("spec compiles");
+    let options = quick_options()
+        .with_atom_cache(AtomCacheMode::Footprint)
+        .with_step_memo(true);
+    let report = check_spec(&spec, &options, &|| {
+        Box::new(WebExecutor::new(Counter::new))
+    })
+    .expect("no protocol errors");
+    assert_eq!(report.timings().step_memo_hits, 0);
+}

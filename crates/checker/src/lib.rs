@@ -24,6 +24,15 @@
 //! `(master seed, run index)` ([`derive_run_seed`]), so the report is
 //! bit-identical regardless of worker count.
 //!
+//! By default each run itself executes on the two-stage *pipelined*
+//! runtime (`pipeline`): a driver stage owns the executor and the action
+//! strategy while an evaluator stage progresses the formula, lagging by up
+//! to [`CheckOptions::pipeline_depth`] states; a definitive verdict
+//! cancels the driver and discards the speculative tail, keeping reports
+//! bit-identical to the sequential engine
+//! ([`CheckOptions::pipeline`]` = `[`PipelineMode::Off`]), which remains
+//! available as the differential oracle.
+//!
 //! ## Example
 //!
 //! A complete check against a tiny hand-rolled executor (real executors
@@ -87,13 +96,16 @@
 #![forbid(unsafe_code)]
 
 pub mod options;
+mod pipeline;
 pub mod pool;
 pub mod report;
 mod run;
 pub mod runner;
 mod session;
 
-pub use options::{AtomCacheMode, CheckOptions, EvalMode, FingerprintMode, SelectionStrategy};
+pub use options::{
+    AtomCacheMode, CheckOptions, EvalMode, FingerprintMode, PipelineMode, SelectionStrategy,
+};
 pub use quickstrom_explore::{CoverageStats, StateFingerprint};
 pub use report::{Counterexample, PhaseTimings, PropertyReport, Report, RunResult, TraceEntry};
 pub use runner::{check_property, check_spec, derive_run_seed, CheckError, MakeExecutor};

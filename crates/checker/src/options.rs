@@ -74,6 +74,55 @@ impl std::fmt::Display for EvalMode {
     }
 }
 
+/// Whether each run executes as two overlapped pipeline stages or as the
+/// classic sequential loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Two-stage pipelined runtime: a *driver* stage owns the executor and
+    /// the action strategy (selection needs only the snapshot/delta and
+    /// coverage fingerprints, never the LTL verdict) and streams state
+    /// updates into a bounded per-run channel; an *evaluator* stage
+    /// consumes them — atom memo, automaton step, trace bookkeeping —
+    /// lagging by up to [`CheckOptions::pipeline_depth`] states. A
+    /// definitive verdict reached mid-pipeline cancels the driver and
+    /// truncates the speculative tail, so reports stay bit-identical to
+    /// [`PipelineMode::Off`] (pinned by the `differential_pipeline`
+    /// suite).
+    #[default]
+    On,
+    /// The sequential engine: perform → ingest → LTL-step before the next
+    /// action fires. Kept as the differential oracle (and always used for
+    /// shrink replays, whose runs are short and verdict-bound).
+    Off,
+}
+
+impl PipelineMode {
+    /// The mode's display name (also the `--pipeline` flag syntax).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineMode::On => "on",
+            PipelineMode::Off => "off",
+        }
+    }
+
+    /// Parses a `--pipeline` flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<PipelineMode> {
+        match s {
+            "on" | "pipelined" => Some(PipelineMode::On),
+            "off" | "sequential" => Some(PipelineMode::Off),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// How the checker reuses atom expansions across states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AtomCacheMode {
@@ -181,6 +230,31 @@ pub struct CheckOptions {
     /// cap only bounds memory and is exposed mainly so tests can force
     /// the fallback path.
     pub automaton_state_cap: usize,
+    /// Whether runs execute as two overlapped stages (driver + evaluator,
+    /// the default) or as the classic sequential loop (the differential
+    /// oracle). See [`PipelineMode`].
+    pub pipeline: PipelineMode,
+    /// How many states the driver stage may run ahead of the evaluator
+    /// stage under [`PipelineMode::On`] — the bound of the per-run state
+    /// channel. Larger depths hide more executor latency but speculate
+    /// further past a mid-pipeline verdict (the speculative tail is always
+    /// truncated, so the depth is report-invisible). Clamped to at least
+    /// 1.
+    pub pipeline_depth: usize,
+    /// How many in-flight pipelined sessions each worker multiplexes
+    /// (poll-driven, retired in run-index order so `jobs = N` determinism
+    /// is preserved). `1` means one session at a time per worker; larger
+    /// values help when the executor has real latency (remote executors,
+    /// browsers). Report-invisible. Clamped to at least 1.
+    pub multiplex: usize,
+    /// Whether automaton-mode runs may answer whole transitions from the
+    /// property's shared step memo (state-value transition cache). Replays
+    /// are exact — verdicts, traces and atom counters match an unmemoized
+    /// engine; only `ltl_table_hits` may run a sliver high (see
+    /// `PhaseTimings::step_memo_hits`) — so this is on by default; the
+    /// switch exists as the differential oracle (`differential_pipeline`
+    /// pins it) and because the footprint atom cache opts out implicitly.
+    pub step_memo: bool,
 }
 
 impl Default for CheckOptions {
@@ -199,6 +273,10 @@ impl Default for CheckOptions {
             atom_cache: AtomCacheMode::Value,
             atom_memo_capacity: 65_536,
             automaton_state_cap: 4096,
+            pipeline: PipelineMode::On,
+            pipeline_depth: 16,
+            multiplex: 1,
+            step_memo: true,
         }
     }
 }
@@ -310,6 +388,37 @@ impl CheckOptions {
         self
     }
 
+    /// Returns the options with the given pipeline mode.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineMode) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Returns the options with the given pipeline depth (clamped to at
+    /// least 1 — a zero-capacity channel would be a rendezvous, i.e. no
+    /// pipelining at all).
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Returns the options with the given per-worker session multiplexing
+    /// factor (clamped to at least 1).
+    #[must_use]
+    pub fn with_multiplex(mut self, multiplex: usize) -> Self {
+        self.multiplex = multiplex.max(1);
+        self
+    }
+
+    /// Returns the options with the step memo switched on or off.
+    #[must_use]
+    pub fn with_step_memo(mut self, step_memo: bool) -> Self {
+        self.step_memo = step_memo;
+        self
+    }
+
     /// The hard cap on actions in one run: the budget plus headroom for
     /// outstanding demands (a nested demand can require up to twice the
     /// default subscript in additional states).
@@ -335,6 +444,9 @@ mod tests {
         assert_eq!(o.atom_memo_capacity, 65_536);
         assert_eq!(o.automaton_state_cap, 4096);
         assert_eq!(o.effective_atom_cache(), AtomCacheMode::Value);
+        assert_eq!(o.pipeline, PipelineMode::On);
+        assert_eq!(o.pipeline_depth, 16);
+        assert_eq!(o.multiplex, 1);
     }
 
     #[test]
@@ -352,8 +464,14 @@ mod tests {
             .with_eval_mode(EvalMode::Stepper)
             .with_atom_cache(AtomCacheMode::Footprint)
             .with_atom_memo_capacity(0)
-            .with_automaton_state_cap(0);
+            .with_automaton_state_cap(0)
+            .with_pipeline(PipelineMode::Off)
+            .with_pipeline_depth(0)
+            .with_multiplex(0);
         assert!(!o.mask_atoms);
+        assert_eq!(o.pipeline, PipelineMode::Off);
+        assert_eq!(o.pipeline_depth, 1, "pipeline depth clamps to at least 1");
+        assert_eq!(o.multiplex, 1, "multiplex clamps to at least 1");
         assert_eq!(o.atom_cache, AtomCacheMode::Footprint);
         assert_eq!(
             o.atom_memo_capacity, 1,
@@ -385,6 +503,17 @@ mod tests {
         }
         assert_eq!(EvalMode::parse("table"), Some(EvalMode::Automaton));
         assert_eq!(EvalMode::parse("nope"), None);
+    }
+
+    #[test]
+    fn pipeline_mode_names_round_trip() {
+        for mode in [PipelineMode::On, PipelineMode::Off] {
+            assert_eq!(PipelineMode::parse(mode.name()), Some(mode));
+            assert_eq!(mode.to_string(), mode.name());
+        }
+        assert_eq!(PipelineMode::parse("pipelined"), Some(PipelineMode::On));
+        assert_eq!(PipelineMode::parse("sequential"), Some(PipelineMode::Off));
+        assert_eq!(PipelineMode::parse("nope"), None);
     }
 
     #[test]

@@ -137,6 +137,45 @@ pub struct PhaseTimings {
     /// instead of the unroll/simplify/classify pipeline (summed over
     /// runs). Zero in `EvalMode::Stepper` mode.
     pub ltl_table_hits: u64,
+    /// Formula-progression steps answered wholesale by the property's
+    /// step memo — no atom expansion, no observation, no table step; the
+    /// replay reproduces the counter deltas the full step would have
+    /// produced, so every other counter here stays comparable (summed
+    /// over runs; see `CheckOptions::step_memo`). A step-memo hit also
+    /// counts as an `ltl_table_hits` hit; that counter may exceed an
+    /// unmemoized engine's by a sliver, because a replayed step
+    /// occasionally stands in for a table lookup that would have
+    /// re-interned a structurally novel observation of the same
+    /// transition. Every other counter replays exactly.
+    pub step_memo_hits: u64,
+    /// The bound on how far the driver stage ran ahead of the evaluator
+    /// stage (`CheckOptions::pipeline_depth`). Zero under
+    /// `PipelineMode::Off`. A configuration constant, not an
+    /// accumulation, so [`absorb`] combines it by *maximum*.
+    ///
+    /// Note that under `PipelineMode::On`, [`executor_s`] and [`eval_s`]
+    /// are measured on concurrent stages: they overlap and no longer sum
+    /// to wall-clock time.
+    ///
+    /// [`absorb`]: PhaseTimings::absorb
+    /// [`executor_s`]: PhaseTimings::executor_s
+    /// [`eval_s`]: PhaseTimings::eval_s
+    pub pipeline_depth: u64,
+    /// Seconds the driver (executor) stage spent blocked because the
+    /// per-run state channel was full — the evaluator was the bottleneck
+    /// — plus time parked at a budget boundary waiting for the evaluator
+    /// to catch up. Zero under `PipelineMode::Off`.
+    pub executor_stall_s: f64,
+    /// Seconds the evaluator stage spent starved because the state channel
+    /// was empty — the executor was the bottleneck. Zero under
+    /// `PipelineMode::Off`.
+    pub evaluator_stall_s: f64,
+    /// States the driver stage executed past the canonical stop point
+    /// (a definitive verdict the evaluator reached while the driver sped
+    /// ahead). These speculative states are truncated from every report
+    /// artefact — trace, states counter, coverage, scripts — so they are
+    /// visible only here. Zero under `PipelineMode::Off`.
+    pub speculative_states_discarded: u64,
 }
 
 impl PhaseTimings {
@@ -155,6 +194,33 @@ impl PhaseTimings {
         self.atom_memo_evictions += other.atom_memo_evictions;
         self.ltl_states = self.ltl_states.max(other.ltl_states);
         self.ltl_table_hits += other.ltl_table_hits;
+        self.step_memo_hits += other.step_memo_hits;
+        self.pipeline_depth = self.pipeline_depth.max(other.pipeline_depth);
+        self.executor_stall_s += other.executor_stall_s;
+        self.evaluator_stall_s += other.evaluator_stall_s;
+        self.speculative_states_discarded += other.speculative_states_discarded;
+    }
+
+    /// Zeroes the counters that a shrink replay re-accumulates from
+    /// scratch — atom, memo, LTL, and pipeline-speculation counters —
+    /// while keeping the wall-clock fields, so absorbing a replay's
+    /// timings into a run's does not double-count work the replay shares
+    /// with the original run (the property-level memo and automaton table
+    /// are warm, and replays are sequential, so their counters would
+    /// mis-attribute).
+    pub fn reset_for_replay(&mut self) {
+        self.atoms_total = 0;
+        self.atoms_reevaluated = 0;
+        self.atom_memo_hits = 0;
+        self.atom_memo_misses = 0;
+        self.atom_memo_evictions = 0;
+        self.ltl_states = 0;
+        self.ltl_table_hits = 0;
+        self.step_memo_hits = 0;
+        self.pipeline_depth = 0;
+        self.executor_stall_s = 0.0;
+        self.evaluator_stall_s = 0.0;
+        self.speculative_states_discarded = 0;
     }
 }
 
@@ -419,6 +485,45 @@ mod tests {
     fn run_result_failure_flag() {
         assert!(RunResult::Failed(cx()).is_failure());
         assert!(!RunResult::Passed(Verdict::DefinitelyTrue).is_failure());
+    }
+
+    #[test]
+    fn absorb_and_replay_reset_semantics() {
+        let mut a = PhaseTimings {
+            executor_s: 1.0,
+            eval_s: 2.0,
+            atoms_total: 10,
+            ltl_states: 5,
+            pipeline_depth: 16,
+            executor_stall_s: 0.5,
+            evaluator_stall_s: 0.25,
+            speculative_states_discarded: 3,
+            ..PhaseTimings::default()
+        };
+        let b = PhaseTimings {
+            executor_s: 1.0,
+            ltl_states: 7,
+            pipeline_depth: 4,
+            executor_stall_s: 0.5,
+            speculative_states_discarded: 2,
+            ..PhaseTimings::default()
+        };
+        a.absorb(b);
+        assert_eq!(a.executor_s, 2.0);
+        assert_eq!(a.ltl_states, 7, "table size combines by max");
+        assert_eq!(a.pipeline_depth, 16, "depth combines by max");
+        assert_eq!(a.executor_stall_s, 1.0);
+        assert_eq!(a.speculative_states_discarded, 5);
+
+        a.reset_for_replay();
+        assert_eq!(a.executor_s, 2.0, "wall-clock fields survive the reset");
+        assert_eq!(a.eval_s, 2.0);
+        assert_eq!(a.atoms_total, 0);
+        assert_eq!(a.ltl_states, 0);
+        assert_eq!(a.pipeline_depth, 0);
+        assert_eq!(a.executor_stall_s, 0.0);
+        assert_eq!(a.evaluator_stall_s, 0.0);
+        assert_eq!(a.speculative_states_discarded, 0);
     }
 
     #[test]

@@ -33,8 +33,9 @@ use quickstrom_protocol::{
 use rand::rngs::StdRng;
 use specstrom::{
     eval_guard, expand_thunk, footprint_of_thunk, ActionValue, AtomFootprint, AtomKeyer, AtomMemo,
-    CheckDef, CompiledAtom, CompiledSpec, EvalCtx, MemoEntry, Thunk,
+    CheckDef, CompiledAtom, CompiledSpec, EvalCtx, MemoEntry, StepEntry, StepMemo, StepNext, Thunk,
 };
+use std::cell::Cell;
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -129,6 +130,42 @@ fn projection_hash(
         for name in &state.happened {
             hash.text(name.as_str());
         }
+    }
+    hash.finish()
+}
+
+/// The signature of an automaton state's atom bindings: an
+/// order-sensitive hash over each thunk's cross-run semantic key
+/// ([`AtomKeyer`]) *and* the vector's pointer-aliasing pattern (each
+/// position's first identity-equal occurrence). Keys are equal for thunks
+/// with the same code and content-equal environments, so equal signatures
+/// mean the bindings denote the same atoms; the aliasing pattern is
+/// hashed too because the observation builder dedups atoms by thunk
+/// identity — content-equal bindings with different sharing would
+/// abstract to *structurally* different observations (and so different
+/// transition-table keys), which the step memo's exact counter replay
+/// must distinguish. Together the two halves pin the whole abstracted
+/// observation, making replays structurally — not just semantically —
+/// exact.
+///
+/// The key cache stores the thunk alongside its key: holding the `Arc`s
+/// keeps the identity pointers alive, so a cache hit can never serve the
+/// key of a dead thunk whose addresses were reused (the same pinning
+/// discipline as the atom records).
+fn bindings_sig(
+    keyer: &mut AtomKeyer,
+    keys: &mut HashMap<(usize, usize), (Thunk, u64)>,
+    bindings: &[Thunk],
+) -> u64 {
+    let mut hash = ProjectionHash::new();
+    let mut first_seen: HashMap<(usize, usize), u64> = HashMap::with_capacity(bindings.len());
+    for (i, thunk) in bindings.iter().enumerate() {
+        let key = keys
+            .entry(thunk.identity())
+            .or_insert_with(|| (thunk.clone(), keyer.key(thunk)))
+            .1;
+        hash.term(key);
+        hash.term(*first_seen.entry(thunk.identity()).or_insert(i as u64));
     }
     hash.finish()
 }
@@ -241,6 +278,9 @@ enum AutomatonPos {
         id: StateId,
         /// Concrete thunk for each abstract atom id, indexed by id.
         bindings: Vec<Thunk>,
+        /// Content signature of `bindings` (see [`bindings_sig`]) — one
+        /// half of the step-memo key. 0 when the step memo is inactive.
+        sig: u64,
     },
     /// A definitive verdict was reached; latched like the evaluator.
     Done(bool),
@@ -255,10 +295,31 @@ enum StepPlan {
 }
 
 /// The per-run machinery shared by random runs and scripted replays.
+///
+/// A `Run` plays one of two roles. The *evaluator* role (the default,
+/// [`Run::new`]) is the full machine: formula progression, trace
+/// recording, coverage. The *observer* role ([`Run::observer`]) is the
+/// driver half of the pipelined runtime ([`crate::pipeline`]): it mirrors
+/// only what action selection needs — the resolved state, the action
+/// bookkeeping, and (when the strategy reads it) the coverage fingerprint
+/// — and never expands an atom or steps the formula, so
+/// [`Run::definitive`] stays `None` and the driver's stop signal comes
+/// from the evaluator stage instead.
 pub(crate) struct Run<'a> {
     pub(crate) spec: &'a CompiledSpec,
     pub(crate) check: &'a CheckDef,
     pub(crate) options: &'a CheckOptions,
+    /// Evaluator role: progress the formula and record the trace. The
+    /// observer role leaves both alone.
+    evaluate: bool,
+    /// Maintain coverage fingerprints? Always in the evaluator role; in
+    /// the observer role only when the strategy reads coverage
+    /// ([`SelectionStrategy::needs_coverage`](quickstrom_explore::SelectionStrategy)).
+    track_coverage: bool,
+    /// States ingested so far. Equal to `trace.len()` in the evaluator
+    /// role; the observer role records no trace, so protocol versions and
+    /// delta checks key off this counter instead.
+    pub(crate) states_count: usize,
     engine: Engine,
     /// The automaton table, kept even after a mid-run fallback so the
     /// `ltl_states` counter can still be read at session end. `None` in
@@ -330,6 +391,23 @@ pub(crate) struct Run<'a> {
     pub(crate) atom_memo_misses: u64,
     /// Memo entries this run's insertions evicted (FIFO, capacity bound).
     pub(crate) atom_memo_evictions: u64,
+    /// Whole-transition step memo, shared per property like the automaton
+    /// table (automaton mode with the footprint cache off; see
+    /// [`StepMemo`] for the soundness contract and
+    /// [`CheckOptions::step_memo`] for the switch).
+    step_memo: Option<Arc<StepMemo>>,
+    /// Steps answered entirely by the step memo (no expansion, no
+    /// observation, no table step).
+    pub(crate) step_memo_hits: u64,
+    /// Semantic keyer for bindings signatures. Separate from
+    /// `atom_keyer` so the engine match can key successor bindings while
+    /// the expansion closure holds `atom_keyer`; keys are content-based,
+    /// so the two keyers agree.
+    binding_keyer: AtomKeyer,
+    /// Identity-keyed cache of binding thunk keys (the same thunks recur
+    /// every step while a residual is stable). Each entry pins its thunk
+    /// so the identity pointers stay valid — see [`bindings_sig`].
+    binding_keys: HashMap<(usize, usize), (Thunk, u64)>,
 }
 
 /// The outcome of one run, before aggregation.
@@ -349,12 +427,80 @@ impl<'a> Run<'a> {
         property: &Thunk,
         options: &'a CheckOptions,
     ) -> Self {
+        Self::with_role(spec, check, property_name, property, options, true, true)
+    }
+
+    /// An observer-role run for the pipelined driver stage: no formula
+    /// progression, no trace, no atom machinery — just state resolution
+    /// and the action-selection bookkeeping, with coverage fingerprinting
+    /// only when the strategy actually reads it.
+    pub(crate) fn observer(
+        spec: &'a CompiledSpec,
+        check: &'a CheckDef,
+        property_name: &str,
+        property: &Thunk,
+        options: &'a CheckOptions,
+    ) -> Self {
+        Self::with_role(
+            spec,
+            check,
+            property_name,
+            property,
+            options,
+            false,
+            options.strategy.needs_coverage(),
+        )
+    }
+
+    fn with_role(
+        spec: &'a CompiledSpec,
+        check: &'a CheckDef,
+        property_name: &str,
+        property: &Thunk,
+        options: &'a CheckOptions,
+        evaluate: bool,
+        track_coverage: bool,
+    ) -> Self {
         // Pick the progression engine. The automaton table is looked up by
         // property *name* (plus the option knobs baked into residuals):
         // `property_thunk` builds a fresh thunk per call, so the name is
         // the stable cross-run key, while the thunk itself becomes the
-        // binding of the start state's single abstract atom.
-        let (engine, ltl_table) = match options.eval_mode {
+        // binding of the start state's single abstract atom. The observer
+        // role never steps an engine: it carries an inert stepper so
+        // `definitive()` stays `None` and no table or memo is touched.
+        let eval_mode = if evaluate {
+            options.eval_mode
+        } else {
+            EvalMode::Stepper
+        };
+        // Value mode shares one expansion memo per property (keyed like
+        // the automata registry, by name plus the option knobs baked into
+        // expansions), so runs, workers and shrink replays all warm the
+        // same memo. The observer role expands nothing, so it carries no
+        // cache at all.
+        let atom_cache_mode = if evaluate {
+            options.effective_atom_cache()
+        } else {
+            AtomCacheMode::Off
+        };
+        // The step memo piggybacks on the automaton engine and replays
+        // Off/Value-mode counter deltas exactly; the footprint cache's
+        // re-evaluation count depends on per-run cache warmth, which a
+        // shared memo cannot replay, so that mode opts out.
+        let step_memo = (matches!(eval_mode, EvalMode::Automaton)
+            && atom_cache_mode != AtomCacheMode::Footprint
+            && options.step_memo)
+            .then(|| {
+                spec.step_memos.memo(
+                    property_name,
+                    options.default_demand,
+                    options.automaton_state_cap,
+                    &spec.analysis,
+                )
+            });
+        let mut binding_keyer = AtomKeyer::new();
+        let mut binding_keys = HashMap::new();
+        let (engine, ltl_table) = match eval_mode {
             EvalMode::Stepper => (
                 Engine::Stepper(Evaluator::new(Formula::Atom(property.clone()))),
                 None,
@@ -366,12 +512,22 @@ impl<'a> Run<'a> {
                     options.automaton_state_cap,
                 );
                 let start = table.lock().expect("automaton table poisoned").start();
+                let sig = if step_memo.is_some() {
+                    bindings_sig(
+                        &mut binding_keyer,
+                        &mut binding_keys,
+                        std::slice::from_ref(property),
+                    )
+                } else {
+                    0
+                };
                 (
                     Engine::Automaton {
                         table: Arc::clone(&table),
                         pos: AutomatonPos::Running {
                             id: start,
                             bindings: vec![property.clone()],
+                            sig,
                         },
                         states_seen: 0,
                     },
@@ -379,11 +535,6 @@ impl<'a> Run<'a> {
                 )
             }
         };
-        // Value mode shares one expansion memo per property (keyed like
-        // the automata registry, by name plus the option knobs baked into
-        // expansions), so runs, workers and shrink replays all warm the
-        // same memo.
-        let atom_cache_mode = options.effective_atom_cache();
         let atom_memo = (atom_cache_mode == AtomCacheMode::Value).then(|| {
             spec.atom_memos.memo(
                 property_name,
@@ -408,6 +559,9 @@ impl<'a> Run<'a> {
             spec,
             check,
             options,
+            evaluate,
+            track_coverage,
+            states_count: 0,
             engine,
             ltl_table,
             ltl_table_hits: 0,
@@ -443,6 +597,10 @@ impl<'a> Run<'a> {
             atom_memo_hits: 0,
             atom_memo_misses: 0,
             atom_memo_evictions: 0,
+            step_memo,
+            step_memo_hits: 0,
+            binding_keyer,
+            binding_keys,
         }
     }
 
@@ -498,13 +656,12 @@ impl<'a> Run<'a> {
         let happened = self.happened_for(msg, action);
         let update = msg.update();
         if let StateUpdate::Delta(delta) = update {
-            let expected = self.trace.len() as u64 + 1;
+            let expected = self.states_count as u64 + 1;
             if delta.state_version != expected {
                 return Err(CheckError::new(format!(
                     "snapshot delta carries state version {} but the checker \
                      has seen {} state(s) (expected version {expected})",
-                    delta.state_version,
-                    self.trace.len(),
+                    delta.state_version, self.states_count,
                 )));
             }
         }
@@ -526,8 +683,22 @@ impl<'a> Run<'a> {
         // does: cleared on full snapshots, invalidated per changed
         // selector on deltas (O(changed) per step).
         match self.atom_cache_mode {
-            AtomCacheMode::Off => self.atom_cache.clear(),
+            AtomCacheMode::Off => {
+                self.atom_cache.clear();
+                // The step memo's state-value signature draws from the
+                // projection-term cache, so keep it fresh even without
+                // the value-keyed atom memo.
+                if self.step_memo.is_some() {
+                    match update {
+                        StateUpdate::Full(_) => self.projection_terms.clear(),
+                        StateUpdate::Delta(delta) => {
+                            self.projection_terms.invalidate(&delta.changed_selectors());
+                        }
+                    }
+                }
+            }
             AtomCacheMode::Footprint => {
+                debug_assert!(self.evaluate, "observer runs carry no atom cache");
                 if matches!(update, StateUpdate::Full(_)) {
                     self.atom_cache.clear();
                 } else if let StateUpdate::Delta(delta) = update {
@@ -549,11 +720,16 @@ impl<'a> Run<'a> {
                 }
             },
         }
-        let fp = self.coverage.fingerprinter().observe_update(&state, update);
-        self.coverage.observe_state(fp, self.script.len());
-        self.trace.push(TraceEntry {
-            state: state.clone(),
-        });
+        if self.track_coverage {
+            let fp = self.coverage.fingerprinter().observe_update(&state, update);
+            self.coverage.observe_state(fp, self.script.len());
+        }
+        if self.evaluate {
+            self.trace.push(TraceEntry {
+                state: state.clone(),
+            });
+        }
+        self.states_count += 1;
         // Event-declared timeouts (§3.4): when a timeout is associated with
         // an event and that event occurs, the checker requests a Wait.
         if matches!(msg, ExecutorMsg::Event { .. }) {
@@ -563,7 +739,44 @@ impl<'a> Run<'a> {
                 }
             }
         }
+        if !self.evaluate {
+            // Observer role: the driver only needs the resolved state (for
+            // guards and targets) and the pending-wait bookkeeping above —
+            // formula progression is the evaluator stage's job, and
+            // `last_report` stays `None` so `definitive()` never fires.
+            self.last_state = Some(state);
+            return Ok(());
+        }
         let ctx = EvalCtx::with_state(&state, self.options.default_demand);
+        // Step-memo preparation: hash the state's value signature (the
+        // property's union footprint over this state) up front, before the
+        // borrow split below — it shares the projection-term cache with
+        // atom expansion. Only worth computing when an automaton step will
+        // actually consult the memo.
+        let step_memo = self.step_memo.clone();
+        let state_sig = match (&step_memo, &self.engine) {
+            (
+                Some(sm),
+                Engine::Automaton {
+                    pos: AutomatonPos::Running { .. },
+                    ..
+                },
+            ) => Some(projection_hash(
+                &sm.footprint,
+                &state,
+                &self.spec.analysis.masks,
+                &mut self.projection_terms,
+            )),
+            _ => None,
+        };
+        // Expansion requests this step, readable while the expansion
+        // closure is live (a `Cell` borrow is shared) — the step memo
+        // records the per-transition delta from it.
+        let expansion_requests = Cell::new(0u64);
+        // A step-memo hit's replayed expansion count; the counter deltas
+        // are applied after the plan match, once the expansion closure's
+        // borrows have ended.
+        let mut step_replayed: Option<u64> = None;
         // Split the borrows up front: the expansion closure needs the
         // caches and counters while the engine match holds the engine
         // (and, in automaton mode, the hit counter).
@@ -580,10 +793,14 @@ impl<'a> Run<'a> {
         let memo_misses = &mut self.atom_memo_misses;
         let memo_evictions = &mut self.atom_memo_evictions;
         let ltl_table_hits = &mut self.ltl_table_hits;
+        let step_memo_hits = &mut self.step_memo_hits;
+        let binding_keyer = &mut self.binding_keyer;
+        let binding_keys = &mut self.binding_keys;
         let last_report = self.last_report;
         let state_ref = &state;
         let mut expand = |thunk: &Thunk| -> Result<Served, specstrom::EvalError> {
             *atoms_total += 1;
+            expansion_requests.set(expansion_requests.get() + 1);
             match mode {
                 AtomCacheMode::Off => {
                     *atoms_reevaluated += 1;
@@ -660,7 +877,58 @@ impl<'a> Run<'a> {
             } => match pos {
                 // Latched, like the evaluator: no atom is expanded.
                 AutomatonPos::Done(b) => StepPlan::Report(StepReport::Definitive(*b)),
-                AutomatonPos::Running { id, bindings } => {
+                AutomatonPos::Running { id, bindings, sig } => 'step: {
+                    // Step-memo fast path: key the transition by (state
+                    // id, bindings signature, state-value signature) and
+                    // replay its outcome wholesale — no expansion, no
+                    // observation BFS, no table step. The replayed entry
+                    // also carries the exact expansion count the original
+                    // transition issued, so the atom counters stay what an
+                    // unmemoized engine would have reported (applied after
+                    // the plan match; see `step_replayed`).
+                    let memo_key = state_sig.map(|ssig| (*id, *sig, ssig));
+                    if let (Some(sm), Some(key)) = (step_memo.as_deref(), memo_key) {
+                        if let Some(entry) = sm.lookup(key) {
+                            step_replayed = Some(entry.expansions);
+                            // A replay counts as a table hit: the entry's
+                            // transition was interned when it was recorded,
+                            // and its successor state is already interned
+                            // (`ltl_states` stays exact). The count can
+                            // exceed the unmemoized engine's by a sliver —
+                            // rarely, the observation an unmemoized step
+                            // would rebuild here differs *structurally*
+                            // (thunk-identity sharing shifts with atom-memo
+                            // warmth) while simplifying to the same
+                            // successor, so the counterfactual lookup would
+                            // re-intern instead of hit. Verdicts, traces,
+                            // and atom counters are unaffected.
+                            *ltl_table_hits += 1;
+                            *step_memo_hits += 1;
+                            *states_seen += 1;
+                            break 'step match &entry.next {
+                                StepNext::Done(b) => {
+                                    *pos = AutomatonPos::Done(*b);
+                                    StepPlan::Report(StepReport::Definitive(*b))
+                                }
+                                StepNext::Goto {
+                                    state: next,
+                                    presumptive,
+                                    bindings: next_bindings,
+                                    bindings_sig: next_sig,
+                                } => {
+                                    *pos = AutomatonPos::Running {
+                                        id: *next,
+                                        bindings: next_bindings.clone(),
+                                        sig: *next_sig,
+                                    };
+                                    StepPlan::Report(StepReport::Continue {
+                                        presumptive: *presumptive,
+                                    })
+                                }
+                            };
+                        }
+                    }
+                    let expansions_before = expansion_requests.get();
                     let live = table
                         .lock()
                         .expect("automaton table poisoned")
@@ -731,8 +999,19 @@ impl<'a> Run<'a> {
                                 *ltl_table_hits += 1;
                             }
                             *states_seen += 1;
+                            let expansions = expansion_requests.get() - expansions_before;
                             match step {
                                 TableStep::Done(b) => {
+                                    if let (Some(sm), Some(key)) = (step_memo.as_deref(), memo_key)
+                                    {
+                                        sm.insert(
+                                            key,
+                                            StepEntry {
+                                                next: StepNext::Done(b),
+                                                expansions,
+                                            },
+                                        );
+                                    }
                                     *pos = AutomatonPos::Done(b);
                                     StepPlan::Report(StepReport::Definitive(b))
                                 }
@@ -741,11 +1020,35 @@ impl<'a> Run<'a> {
                                     presumptive,
                                     sources,
                                 } => {
-                                    let bindings = sources
+                                    let bindings: Vec<Thunk> = sources
                                         .iter()
                                         .map(|&s| step_thunks[s as usize].clone())
                                         .collect();
-                                    *pos = AutomatonPos::Running { id: next, bindings };
+                                    let next_sig = if step_memo.is_some() {
+                                        bindings_sig(binding_keyer, binding_keys, &bindings)
+                                    } else {
+                                        0
+                                    };
+                                    if let (Some(sm), Some(key)) = (step_memo.as_deref(), memo_key)
+                                    {
+                                        sm.insert(
+                                            key,
+                                            StepEntry {
+                                                next: StepNext::Goto {
+                                                    state: next,
+                                                    presumptive,
+                                                    bindings: bindings.clone(),
+                                                    bindings_sig: next_sig,
+                                                },
+                                                expansions,
+                                            },
+                                        );
+                                    }
+                                    *pos = AutomatonPos::Running {
+                                        id: next,
+                                        bindings,
+                                        sig: next_sig,
+                                    };
                                     StepPlan::Report(StepReport::Continue { presumptive })
                                 }
                             }
@@ -788,6 +1091,21 @@ impl<'a> Run<'a> {
                 report
             }
         };
+        // A step-memo hit replays the original transition's expansion
+        // count into the atom counters (the closure's borrows have ended
+        // here). Off mode re-evaluates every request, Value mode would
+        // have served every one from the (necessarily warm — the original
+        // transition inserted them) atom memo.
+        if let Some(expansions) = step_replayed {
+            self.atoms_total += expansions;
+            match self.atom_cache_mode {
+                AtomCacheMode::Off => self.atoms_reevaluated += expansions,
+                AtomCacheMode::Value => self.atom_memo_hits += expansions,
+                AtomCacheMode::Footprint => {
+                    unreachable!("step memo is disabled under the footprint cache")
+                }
+            }
+        }
         self.eval_time += eval_started.elapsed();
         self.last_report = Some(report);
         self.last_state = Some(state);
@@ -855,12 +1173,32 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Formula demands more states (required-next outstanding)?
-    fn demands_more(&self) -> bool {
+    /// Formula demands more states (required-next outstanding)? Only
+    /// meaningful in the evaluator role — the pipelined driver cannot
+    /// answer this (its observer copy is always `false`), so it speculates
+    /// through the budget boundary and the evaluator stage, which can,
+    /// decides where the canonical run ends.
+    pub(crate) fn demands_more(&self) -> bool {
         matches!(
             self.last_report,
             Some(StepReport::Continue { presumptive: None })
         )
+    }
+
+    /// Has the per-run action budget been spent?
+    pub(crate) fn budget_spent(&self) -> bool {
+        self.actions_done >= self.options.max_actions
+    }
+
+    /// Has the hard action cap (budget plus demand headroom) been hit?
+    pub(crate) fn at_hard_cap(&self) -> bool {
+        self.actions_done >= self.options.hard_action_cap()
+    }
+
+    /// The protocol version of the next `Act`/`Wait`: how many states this
+    /// run has seen.
+    pub(crate) fn version(&self) -> u64 {
+        self.states_count as u64
     }
 
     /// Every enabled action instance at the current state, paired with
@@ -944,15 +1282,28 @@ impl<'a> Run<'a> {
         &mut self,
         source: &mut ActionSource<'_>,
     ) -> Result<Option<ActionInstance>, CheckError> {
+        if matches!(source, ActionSource::Random { .. }) {
+            if self.budget_spent() && !self.demands_more() {
+                return Ok(None);
+            }
+            if self.at_hard_cap() {
+                return Ok(None);
+            }
+        }
+        self.select_action(source)
+    }
+
+    /// The selection half of [`Run::next_action`], without the stop
+    /// conditions: prefix replay, guard-filtered candidate enumeration and
+    /// the strategy pick. Split out because the pipelined driver checks
+    /// only the hard cap before selecting — the budget-boundary stop needs
+    /// `demands_more`, which belongs to the evaluator stage.
+    pub(crate) fn select_action(
+        &mut self,
+        source: &mut ActionSource<'_>,
+    ) -> Result<Option<ActionInstance>, CheckError> {
         match source {
             ActionSource::Random { rng, prefix, pos } => {
-                let budget_spent = self.actions_done >= self.options.max_actions;
-                if budget_spent && !self.demands_more() {
-                    return Ok(None);
-                }
-                if self.actions_done >= self.options.hard_action_cap() {
-                    return Ok(None);
-                }
                 // Corpus replay-then-extend: walk the prefix first. An
                 // action that no longer applies (guard false, target
                 // gone) abandons the rest of the prefix — the run
@@ -1010,6 +1361,21 @@ impl<'a> Run<'a> {
         }
     }
 
+    /// Records `action` as the last choice, exactly as
+    /// [`Run::select_action`] would have: choice-time fingerprint plus
+    /// interned name and target index. The pipelined evaluator stage calls
+    /// this when replaying an accepted action it did not itself select, so
+    /// the acceptance bookkeeping ([`Run::note_accepted`]/
+    /// [`Run::note_effect`]) credits the same `(state, action)` pair the
+    /// sequential engine would.
+    pub(crate) fn note_chosen(&mut self, action: &ActionInstance) {
+        self.last_choice = Choice {
+            fp: self.coverage.current(),
+            name: Symbol::intern(&action.name),
+            target_index: target_index(action),
+        };
+    }
+
     /// Script bookkeeping for an accepted action, called *before* the
     /// resulting states are ingested so that trace positions (and the
     /// corpus prefix lengths harvested from them) include the action
@@ -1026,6 +1392,9 @@ impl<'a> Run<'a> {
     /// pair against the choice-time fingerprint, with productivity read
     /// off the now-current fingerprint ([`RunCoverage::note_action`]).
     pub(crate) fn note_effect(&mut self) {
+        if !self.track_coverage {
+            return;
+        }
         let Choice {
             fp,
             name,

@@ -25,7 +25,8 @@
 //! failure semantics exactly: the report for `jobs = N` is identical to
 //! the report for `jobs = 1`. See DESIGN.md, *Parallel runtime*.
 
-use crate::options::CheckOptions;
+use crate::options::{CheckOptions, PipelineMode};
+use crate::pipeline;
 use crate::pool::{self, Cancellation};
 use crate::report::{Counterexample, PhaseTimings, PropertyReport, Report, RunResult};
 use crate::run::{ActionSource, RunOutcome};
@@ -111,20 +112,22 @@ pub fn derive_run_seed(master_seed: u64, run_index: u64) -> u64 {
 }
 
 /// One executed run, with the observation totals the report aggregates.
-struct ExecutedRun {
-    states: usize,
-    actions: usize,
-    result: RunResult,
-    timings: PhaseTimings,
-    transport: TransportStats,
+/// Built by the sequential engine here and by the pipelined engine in
+/// [`crate::pipeline`].
+pub(crate) struct ExecutedRun {
+    pub(crate) states: usize,
+    pub(crate) actions: usize,
+    pub(crate) result: RunResult,
+    pub(crate) timings: PhaseTimings,
+    pub(crate) transport: TransportStats,
     /// The accepted action script (the corpus harvests novel prefixes
     /// from it).
-    script: Vec<ActionInstance>,
+    pub(crate) script: Vec<ActionInstance>,
     /// The run's coverage observations, merged into the property's map in
     /// canonical index order.
-    coverage: RunCoverage,
+    pub(crate) coverage: RunCoverage,
     /// Whether the run was seeded with a corpus prefix.
-    replayed: bool,
+    pub(crate) replayed: bool,
 }
 
 /// Executes the run at `index`: fresh executor, fresh RNG seeded from
@@ -141,6 +144,18 @@ fn run_one(
     index: usize,
     prefix: Option<&[ActionInstance]>,
 ) -> Result<ExecutedRun, CheckError> {
+    if options.pipeline == PipelineMode::On {
+        return pipeline::run_one_pipelined(
+            spec,
+            check,
+            property_name,
+            property,
+            options,
+            make_executor,
+            index,
+            prefix,
+        );
+    }
     let mut session = Session::new(
         spec,
         check,
@@ -217,7 +232,24 @@ fn run_tests_parallel(
     make_executor: MakeExecutor<'_>,
 ) -> Result<Vec<ExecutedRun>, CheckError> {
     let cancel = Cancellation::new();
-    let slots: Vec<Option<Result<ExecutedRun, CheckError>>> =
+    let multiplexed = options.pipeline == PipelineMode::On && options.multiplex > 1;
+    let slots: Vec<Option<Result<ExecutedRun, CheckError>>> = if multiplexed {
+        // The multiplexed scheduler interleaves several in-flight
+        // pipelined sessions per worker; it applies the same cancellation
+        // protocol internally.
+        pipeline::run_batch_pipelined(
+            spec,
+            check,
+            property_name,
+            property,
+            options,
+            make_executor,
+            0,
+            options.tests,
+            None,
+            Some(&cancel),
+        )
+    } else {
         pool::run_ordered(options.jobs, options.tests, |index| {
             if cancel.should_skip(index) {
                 return None;
@@ -240,7 +272,8 @@ fn run_tests_parallel(
                 cancel.note_stop(index);
             }
             Some(outcome)
-        });
+        })
+    };
     // Merge in canonical order, replaying the sequential decisions: take
     // runs until the first failure (inclusive) or the first error. Every
     // index up to that point was executed — skipping only ever happens
@@ -315,7 +348,26 @@ fn run_tests_corpus(
                     .map(|entry| entry.script.clone())
             })
             .collect();
-        let slots: Vec<Result<ExecutedRun, CheckError>> =
+        let multiplexed = options.pipeline == PipelineMode::On && options.multiplex > 1;
+        let slots: Vec<Result<ExecutedRun, CheckError>> = if multiplexed {
+            // No cancellation inside an epoch: every slot is executed, so
+            // every slot comes back `Some`.
+            pipeline::run_batch_pipelined(
+                spec,
+                check,
+                property_name,
+                property,
+                options,
+                make_executor,
+                start,
+                end - start,
+                Some(&prefixes),
+                None,
+            )
+            .into_iter()
+            .map(|slot| slot.expect("corpus epochs run without cancellation"))
+            .collect()
+        } else {
             pool::run_ordered(options.jobs, end - start, |k| {
                 run_one(
                     spec,
@@ -327,7 +379,8 @@ fn run_tests_corpus(
                     start + k,
                     prefixes[k].as_deref(),
                 )
-            });
+            })
+        };
         for outcome in slots {
             let run = outcome?;
             // Harvest prefixes that reached property-novel fingerprints
@@ -427,14 +480,9 @@ fn shrink(
             // a counterexample happened to shrink (and on how many
             // candidates the shrinker tried). Counters measure what the
             // *test budget* evaluated, mirroring coverage's exclusion of
-            // shrink replays.
-            replay_timings.atoms_total = 0;
-            replay_timings.atoms_reevaluated = 0;
-            replay_timings.atom_memo_hits = 0;
-            replay_timings.atom_memo_misses = 0;
-            replay_timings.atom_memo_evictions = 0;
-            replay_timings.ltl_states = 0;
-            replay_timings.ltl_table_hits = 0;
+            // shrink replays. (Replays are always sequential, so the
+            // pipeline counters this also clears are zero anyway.)
+            replay_timings.reset_for_replay();
             timings.absorb(replay_timings);
             transport.absorb(replay_transport);
             match outcome {
@@ -502,7 +550,11 @@ pub fn check_property(
             make_executor,
         )?
     } else {
-        let executed = if options.jobs > 1 && options.tests > 1 {
+        // The multiplexed pipelined scheduler is worth engaging even with
+        // one worker: it overlaps several sessions' executor latencies.
+        let fan_out =
+            options.jobs > 1 || (options.pipeline == PipelineMode::On && options.multiplex > 1);
+        let executed = if fan_out && options.tests > 1 {
             run_tests_parallel(
                 spec,
                 check,

@@ -65,6 +65,13 @@ impl<'a> Session<'a> {
             atom_memo_evictions: self.run.atom_memo_evictions,
             ltl_states: self.run.ltl_states(),
             ltl_table_hits: self.run.ltl_table_hits,
+            step_memo_hits: self.run.step_memo_hits,
+            // The sequential engine has no pipeline: no depth, no stalls,
+            // no speculation to truncate.
+            pipeline_depth: 0,
+            executor_stall_s: 0.0,
+            evaluator_stall_s: 0.0,
+            speculative_states_discarded: 0,
         }
     }
 
@@ -123,7 +130,7 @@ impl<'a> Session<'a> {
         loop {
             // Event-associated timeouts first (§3.4, Wait).
             if let Some(t) = self.run.pending_wait.take() {
-                let version = self.run.trace.len() as u64;
+                let version = self.run.version();
                 let replies = self.send(CheckerMsg::Wait {
                     time_ms: t,
                     version,
@@ -145,7 +152,7 @@ impl<'a> Session<'a> {
                 self.send(CheckerMsg::End);
                 return Ok(RunOutcome::ScriptInvalid);
             }
-            let version = self.run.trace.len() as u64;
+            let version = self.run.version();
             let replies = self.send(CheckerMsg::Act {
                 action: action.clone(),
                 version,

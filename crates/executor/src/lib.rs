@@ -495,6 +495,40 @@ impl<A: App> Executor for WebExecutor<A> {
     }
 }
 
+/// An [`Executor`] decorator that charges a fixed wall-clock delay per
+/// checker message, simulating the transport and render latency of a real
+/// browser or remote executor (the in-process [`WebExecutor`] answers in
+/// microseconds, which makes latency-hiding effects invisible).
+///
+/// With latency injected, the pipelined runtime's gains become
+/// measurable: the evaluator stage progresses formulas while the next
+/// `send` is in flight, and a worker multiplexing several sessions
+/// (`CheckOptions::multiplex`) overlaps their delays — see the `pipeline`
+/// benchmark.
+#[derive(Debug)]
+pub struct LatencyExecutor<E> {
+    inner: E,
+    delay: std::time::Duration,
+}
+
+impl<E> LatencyExecutor<E> {
+    /// Wraps `inner`, sleeping `delay` before every delivered message.
+    pub fn new(inner: E, delay: std::time::Duration) -> Self {
+        LatencyExecutor { inner, delay }
+    }
+}
+
+impl<E: Executor> Executor for LatencyExecutor<E> {
+    fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg> {
+        std::thread::sleep(self.delay);
+        self.inner.send(msg)
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        self.inner.transport_stats()
+    }
+}
+
 #[cfg(test)]
 mod send_audit {
     use super::*;

@@ -53,6 +53,7 @@ pub mod fingerprint;
 pub mod intern;
 pub mod messages;
 pub mod snapshot;
+pub mod wire;
 
 pub use delta::{
     DeltaError, QueryDelta, SnapshotDelta, StateUpdate, TransportStats, DELTA_FORMAT_VERSION,

@@ -92,5 +92,7 @@ pub use error::{EvalError, SpecError};
 pub use eval::{element_record, eval_guard, expand_thunk, to_formula, EvalCtx};
 pub use parser::{parse_expr, parse_spec};
 pub use pretty::{pretty_expr, pretty_item, pretty_spec};
-pub use spec::{compile, load, CheckDef, CompiledSpec, SpecAutomata};
+pub use spec::{
+    compile, load, CheckDef, CompiledSpec, SpecAutomata, StepEntry, StepMemo, StepMemos, StepNext,
+};
 pub use value::{ActionValue, Binding, Builtin, Env, SlotParam, Thunk, Value};

@@ -22,9 +22,9 @@ use crate::eval::{self, EvalCtx};
 use crate::parser::parse_spec;
 use crate::sorts;
 use crate::value::{ActionValue, Binding, Env, Thunk, Value};
-use quickltl::{Formula, TransitionTable};
+use quickltl::{Formula, StateId, TransitionTable};
 use quickstrom_protocol::{Selector, Symbol};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
 /// A resolved `check` command: which properties to test, with which
@@ -72,6 +72,10 @@ pub struct CompiledSpec {
     /// worker, and shrink replay) that checks the same property. See
     /// [`crate::atomc::AtomMemos`].
     pub atom_memos: crate::atomc::AtomMemos,
+    /// Whole-transition step memos keyed by (automaton state, bindings
+    /// signature, state-value signature), shared like the automata and
+    /// atom memos. See [`StepMemos`].
+    pub step_memos: StepMemos,
 }
 
 /// The per-spec registry of memoized LTL evaluation automata
@@ -120,6 +124,179 @@ impl SpecAutomata {
     #[must_use]
     pub fn table_count(&self) -> usize {
         self.tables.lock().expect("automata registry lock").len()
+    }
+}
+
+/// The per-spec registry of whole-transition step memos, one per
+/// `(property, default demand, state cap)` triple — the same key that
+/// selects the [`TransitionTable`] whose [`StateId`]s the memo entries
+/// refer to.
+///
+/// See [`StepMemo`] for the cache itself and its soundness contract.
+#[derive(Debug, Default)]
+pub struct StepMemos {
+    memos: Mutex<BTreeMap<TableKey, Arc<StepMemo>>>,
+}
+
+impl StepMemos {
+    /// The shared step memo for a property at a given default demand and
+    /// state cap, creating it on first request.
+    ///
+    /// The memo's state-value signature footprint is the union of the
+    /// property's atom footprints from `analysis`; if the property was
+    /// not analysed (no skeleton), the footprint degrades to every
+    /// spec-observable selector with all fields plus the event list —
+    /// still sound, merely a coarser signature.
+    #[must_use]
+    pub fn memo(
+        &self,
+        property: &str,
+        default_demand: u32,
+        state_cap: usize,
+        analysis: &analysis::SpecAnalysis,
+    ) -> Arc<StepMemo> {
+        let mut memos = self.memos.lock().expect("step memo registry lock");
+        Arc::clone(
+            memos
+                .entry((property.to_owned(), default_demand, state_cap))
+                .or_insert_with(|| Arc::new(StepMemo::new(property_footprint(property, analysis)))),
+        )
+    }
+}
+
+/// The union footprint of a property's atoms (what its evaluation can
+/// read from a state), falling back to "everything the spec observes"
+/// when the property has no analysis entry.
+fn property_footprint(
+    property: &str,
+    analysis: &analysis::SpecAnalysis,
+) -> analysis::AtomFootprint {
+    if let Some(prop) = analysis.properties.iter().find(|p| p.name == property) {
+        let mut footprint = analysis::AtomFootprint::default();
+        for atom in &prop.atoms {
+            footprint.merge(&atom.footprint);
+        }
+        return footprint;
+    }
+    let mut footprint = analysis::AtomFootprint {
+        reads_happened: true,
+        ..analysis::AtomFootprint::default()
+    };
+    for &sel in analysis.masks.keys() {
+        footprint.selectors.insert(
+            sel,
+            analysis::SelectorUse {
+                all_fields: true,
+                ..analysis::SelectorUse::default()
+            },
+        );
+    }
+    footprint
+}
+
+/// Where a memoized automaton step lands.
+#[derive(Debug, Clone)]
+pub enum StepNext {
+    /// The step produced a definitive verdict.
+    Done(bool),
+    /// The step moved to `state` carrying `bindings`.
+    Goto {
+        /// The successor automaton state.
+        state: StateId,
+        /// The presumptive verdict if the trace ended here.
+        presumptive: Option<bool>,
+        /// The successor state's atom bindings. These are the thunks the
+        /// original transition produced; for a later run replaying this
+        /// entry they are *semantically equal* stand-ins for the thunks
+        /// it would have built itself (atom expansion is pure, and the
+        /// signature keys are content-based), so every downstream
+        /// observation is identical.
+        bindings: Vec<Thunk>,
+        /// The bindings signature of `bindings`, so a replaying run can
+        /// chain lookups without re-keying the thunks.
+        bindings_sig: u64,
+    },
+}
+
+/// One memoized automaton transition.
+#[derive(Debug)]
+pub struct StepEntry {
+    /// Where the step lands.
+    pub next: StepNext,
+    /// How many atom expansion requests the original transition issued
+    /// (its whole observation BFS). Replaying runs add this to their
+    /// expansion counters so the counters stay exactly what an unmemoized
+    /// engine would have reported.
+    pub expansions: u64,
+}
+
+/// A whole-transition memo for one evaluation automaton: from a key
+/// `(automaton state, bindings signature, state-value signature)` straight
+/// to the transition's outcome, skipping atom expansion, observation, and
+/// the table step entirely.
+///
+/// Soundness: an automaton transition is a pure function of the state's
+/// formula residual (determined by the [`StateId`] and the concrete atom
+/// bindings) and the observed state restricted to the property's
+/// footprint. The bindings signature hashes the bindings' content-based
+/// atom keys ([`crate::atomc::AtomKeyer`]) and the state-value signature
+/// hashes exactly the footprint's masked projections, so key equality
+/// implies the transition — and every atom-expansion delta it would
+/// generate — is identical. The one observable a replay does *not*
+/// reproduce bit-for-bit is the table hit/miss split: the structural
+/// observation an unmemoized step would build here can differ (thunk
+/// sharing shifts with atom-cache warmth) while simplifying to the same
+/// interned successor, so replays may count slightly more table hits.
+#[derive(Debug)]
+pub struct StepMemo {
+    /// The property's union atom footprint: which masked selector
+    /// projections (and whether the event list) feed the state-value
+    /// signature.
+    pub footprint: analysis::AtomFootprint,
+    entries: Mutex<HashMap<(StateId, u64, u64), Arc<StepEntry>>>,
+}
+
+/// Stop memoizing new transitions past this many entries (the memo keeps
+/// serving hits). Entries are small; real traces saturate long before
+/// this — the cap only bounds adversarial state spaces.
+const STEP_MEMO_CAPACITY: usize = 1 << 20;
+
+impl StepMemo {
+    fn new(footprint: analysis::AtomFootprint) -> Self {
+        StepMemo {
+            footprint,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The memoized transition for a key, if any.
+    #[must_use]
+    pub fn lookup(&self, key: (StateId, u64, u64)) -> Option<Arc<StepEntry>> {
+        self.entries
+            .lock()
+            .expect("step memo lock")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Records a transition, unless the memo is at capacity.
+    pub fn insert(&self, key: (StateId, u64, u64), entry: StepEntry) {
+        let mut entries = self.entries.lock().expect("step memo lock");
+        if entries.len() < STEP_MEMO_CAPACITY {
+            entries.insert(key, Arc::new(entry));
+        }
+    }
+
+    /// The number of memoized transitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("step memo lock").len()
+    }
+
+    /// Whether the memo is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -328,6 +505,7 @@ pub fn compile(spec: &Spec) -> Result<CompiledSpec, SpecError> {
         analysis: analysis::SpecAnalysis::default(),
         automata: SpecAutomata::default(),
         atom_memos: crate::atomc::AtomMemos::default(),
+        step_memos: StepMemos::default(),
     };
     compiled.analysis = analysis::analyze_compiled(&compiled);
     Ok(compiled)

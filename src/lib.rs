@@ -92,10 +92,10 @@ pub mod prelude {
     pub use crate::specs;
     pub use quickltl::{Formula, Outcome, Verdict};
     pub use quickstrom_checker::{
-        check_property, check_spec, AtomCacheMode, CheckOptions, EvalMode, FingerprintMode, Report,
-        SelectionStrategy,
+        check_property, check_spec, AtomCacheMode, CheckOptions, EvalMode, FingerprintMode,
+        PipelineMode, Report, SelectionStrategy,
     };
-    pub use quickstrom_executor::{WebExecutor, WebExecutorConfig};
+    pub use quickstrom_executor::{LatencyExecutor, WebExecutor, WebExecutorConfig};
     pub use quickstrom_explore::{CoverageStats, StateFingerprint};
     pub use quickstrom_protocol::{
         Executor, Selector, SnapshotDelta, StateSnapshot, StateUpdate, TransportStats,
