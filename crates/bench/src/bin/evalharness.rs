@@ -2,8 +2,9 @@
 //! paper's evaluation (§4), plus the ablations from DESIGN.md.
 //!
 //! ```text
-//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried] [--no-mask-atoms] [--eval-mode automaton|stepper] [--atom-cache value|footprint|off] [--atom-memo-capacity N] [--pipeline on|off] [--pipeline-depth N] [--multiplex M] [--step-memo on|off]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- table1 [--jobs 4] [--json BENCH_table1.json] [--full-snapshots] [--strategy least-tried] [--no-mask-atoms] [--eval-mode automaton|stepper] [--atom-cache value|footprint|off] [--atom-memo-capacity N] [--pipeline on|off] [--pipeline-depth N] [--multiplex M] [--step-memo on|off] [--progress] [--metrics] [--metrics-out metrics.prom]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- table2 [--jobs 4]
+//! cargo run --release -p quickstrom-bench --bin evalharness -- obs-smoke [--trace-out trace.json] [--trace-timeline timeline.txt] [--metrics-out metrics.prom] [--explain-out explain.json]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- figure13 [--sessions 10] [--runs 3] [--csv fig13.csv]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- delta-compare [--tests 10] [--jobs 4] [--json BENCH_delta_compare.json]
 //! cargo run --release -p quickstrom-bench --bin evalharness -- coverage-compare [--tests 30] [--jobs 4] [--json BENCH_coverage_compare.json]
@@ -60,6 +61,20 @@
 //! are exact — verdicts, state counts *and* atom counters are identical
 //! in both modes (pinned by `differential_pipeline`); only the timing
 //! columns and `step_memo_hits` change.
+//! `--progress` keeps a single live line (done/running/ETA) on the
+//! terminal during the sweep; it is silent when stdout is not a TTY, so
+//! redirected logs stay clean. `--metrics` collects the observability
+//! histograms (step latency, executor send latency, pipeline stalls,
+//! memo probe depth) during the sweep and adds the p50/p95/p99 columns
+//! to the JSON; `--metrics-out PATH` also writes the merged registry in
+//! the Prometheus text exposition format (and implies `--metrics`).
+//! `obs-smoke` checks a known-faulty registry implementation with
+//! tracing and metrics fully enabled on the pipelined, multiplexed
+//! runtime, asserts the artifacts are structurally sound — every span
+//! track well-formed, driver/evaluator stages on separate tracks, the
+//! failure explanation naming the injected fault's atom — and writes the
+//! chrome://tracing JSON, the human-readable timeline, the Prometheus
+//! metrics and the explanation JSON (the CI observability smoke).
 //! `lint` runs the spec static analysis over every bundled specification
 //! and prints its diagnostics (vacuous implications, tautological or
 //! unsatisfiable properties, unused bindings/actions/selectors) with
@@ -69,12 +84,14 @@
 use quickstrom::prelude::*;
 use quickstrom::quickstrom_apps::registry::{Maturity, REGISTRY};
 use quickstrom::quickstrom_apps::MenuApp;
+use quickstrom::quickstrom_obs::metrics::{SEND_LATENCY, STEP_LATENCY};
 use quickstrom_bench::{
-    check_entry_mode, fault_description, figure13_point, sweep_entries_mode, sweep_to_json,
-    ImplResult, SnapshotMode,
+    check_entry_observed, fault_description, figure13_point, sweep_entries_mode,
+    sweep_entries_observed, sweep_to_json, ImplResult, SnapshotMode,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::{IsTerminal, Write as _};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -153,6 +170,12 @@ fn main() {
     };
     let pipeline_depth: Option<usize> = flag("--pipeline-depth").and_then(|v| v.parse().ok());
     let multiplex: Option<usize> = flag("--multiplex").and_then(|v| v.parse().ok());
+    let progress = args.iter().any(|a| a == "--progress");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let metrics_out = flag("--metrics-out");
+    let trace_out = flag("--trace-out");
+    let trace_timeline = flag("--trace-timeline");
+    let explain_out = flag("--explain-out");
     let step_memo = match flag("--step-memo").as_deref() {
         Some("on") => true,
         Some("off") => false,
@@ -188,6 +211,9 @@ fn main() {
                 atom_cache,
                 atom_memo_capacity,
                 &pipeline_options,
+                progress,
+                metrics,
+                metrics_out.as_deref(),
             );
         }
         "table2" => {
@@ -203,8 +229,17 @@ fn main() {
                 atom_cache,
                 atom_memo_capacity,
                 &pipeline_options,
+                progress,
+                metrics,
+                metrics_out.as_deref(),
             );
         }
+        "obs-smoke" => obs_smoke(
+            trace_out.as_deref(),
+            trace_timeline.as_deref(),
+            metrics_out.as_deref(),
+            explain_out.as_deref(),
+        ),
         "figure13" => figure13(sessions, runs, csv.as_deref()),
         "delta-compare" => delta_compare(tests, jobs, json.as_deref()),
         "coverage-compare" => coverage_compare(tests, jobs, json.as_deref()),
@@ -225,7 +260,11 @@ fn main() {
                 atom_cache,
                 atom_memo_capacity,
                 &pipeline_options,
+                progress,
+                metrics,
+                metrics_out.as_deref(),
             );
+            obs_smoke(None, None, None, None);
             figure13(sessions.min(3), runs, csv.as_deref());
             delta_compare(tests.min(10), jobs, None);
             coverage_compare(tests.min(30), jobs, None);
@@ -237,8 +276,9 @@ fn main() {
         other => {
             eprintln!("unknown command {other:?}");
             eprintln!(
-                "commands: table1 table2 figure13 delta-compare coverage-compare \
-                 lint ablation-rvltl ablation-simplify ablation-strategy all"
+                "commands: table1 table2 obs-smoke figure13 delta-compare \
+                 coverage-compare lint ablation-rvltl ablation-simplify \
+                 ablation-strategy all"
             );
             std::process::exit(2);
         }
@@ -261,6 +301,9 @@ fn table1_and_2(
     atom_cache: AtomCacheMode,
     atom_memo_capacity: Option<usize>,
     pipeline_options: &dyn Fn(CheckOptions) -> CheckOptions,
+    progress: bool,
+    metrics: bool,
+    metrics_out: Option<&str>,
 ) {
     println!("═══ Table 1: Summary of Results (TodoMVC registry sweep) ═══");
     println!(
@@ -316,24 +359,49 @@ fn table1_and_2(
     let started = std::time::Instant::now();
     let entries: Vec<&'static quickstrom::quickstrom_apps::registry::Entry> =
         REGISTRY.iter().collect();
-    let results: Vec<ImplResult> = if jobs > 1 {
-        // Entries finish out of order on the pool; collect, then print in
-        // canonical registry order.
-        let results = sweep_entries_mode(&entries, &options, jobs, mode);
-        results.iter().for_each(&print_line);
-        results
+    let obs = if metrics || metrics_out.is_some() {
+        ObsOptions {
+            tracing: None,
+            metrics: true,
+        }
     } else {
-        // Sequential: stream each entry's line as it completes, so the
-        // multi-minute default sweep shows progress.
-        REGISTRY
-            .iter()
-            .map(|entry| {
-                let result = check_entry_mode(entry, &options, mode);
-                print_line(&result);
-                result
-            })
-            .collect()
+        ObsOptions::disabled()
     };
+    // The live progress line needs a terminal: carriage-return rewrites
+    // are noise in a redirected log, so a non-TTY stdout silences it.
+    let live = progress && std::io::stdout().is_terminal();
+    let total = entries.len();
+    let finished = std::sync::atomic::AtomicUsize::new(0);
+    let on_done = |_: usize, result: &ImplResult| {
+        let done = finished.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if live {
+            let elapsed = started.elapsed().as_secs_f64();
+            #[allow(clippy::cast_precision_loss)]
+            let eta = elapsed / done as f64 * (total - done) as f64;
+            print!(
+                "\r  [{done:>2}/{total}] {:<22} done  ({elapsed:5.1}s elapsed, ~{eta:.0}s left)   ",
+                result.name
+            );
+            let _ = std::io::stdout().flush();
+        } else if jobs <= 1 {
+            // Sequential, no live line: stream each entry's line as it
+            // completes, so the multi-minute default sweep shows progress.
+            print_line(result);
+        }
+    };
+    let results: Vec<ImplResult> =
+        sweep_entries_observed(&entries, &options, jobs.max(1), mode, &obs, Some(&on_done))
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect();
+    if live {
+        print!("\r{:78}\r", "");
+    }
+    if live || jobs > 1 {
+        // Entries finished out of order (pool) or behind the progress
+        // line; print the canonical registry-order listing now.
+        results.iter().for_each(&print_line);
+    }
 
     let maturity = |name: &str| {
         REGISTRY
@@ -439,6 +507,33 @@ fn table1_and_2(
              {step_memo_hits} answered wholesale by the step memo"
         );
     }
+    if obs.metrics {
+        let mut merged = MetricsRegistry::new();
+        for r in &results {
+            merged.merge(&r.metrics);
+        }
+        let quantile_us = |histogram: &str, q: f64| -> f64 {
+            merged
+                .histograms
+                .get(histogram)
+                .and_then(|h| h.quantile(q))
+                .map_or(0.0, |v| v * 1e6)
+        };
+        println!(
+            "latency quantiles: step p50/p95/p99 {:.1}/{:.1}/{:.1} µs, \
+             send p50/p95/p99 {:.1}/{:.1}/{:.1} µs",
+            quantile_us(STEP_LATENCY, 0.50),
+            quantile_us(STEP_LATENCY, 0.95),
+            quantile_us(STEP_LATENCY, 0.99),
+            quantile_us(SEND_LATENCY, 0.50),
+            quantile_us(SEND_LATENCY, 0.95),
+            quantile_us(SEND_LATENCY, 0.99),
+        );
+        if let Some(path) = metrics_out {
+            std::fs::write(path, merged.to_prometheus("quickstrom_")).expect("write metrics");
+            println!("wrote {path}");
+        }
+    }
 
     if let Some(path) = json {
         let doc = sweep_to_json(&results, jobs.max(1), started.elapsed().as_secs_f64());
@@ -464,6 +559,120 @@ fn table1_and_2(
             "paper row counts: 1,2,1,1,1,1,4,2,1,1,1,1,2,1 (problem 4 is 2 here; see\n\
              DESIGN.md on reconciling Table 1's superscripts with Table 2's counts)"
         );
+    }
+}
+
+/// The observability smoke: checks a known-faulty registry entry (the
+/// `angular2_es2015` build, whose injected fault removes the completion
+/// checkboxes the `checkboxInv` property reads through `.toggle`) with
+/// tracing and metrics fully enabled on the pipelined, multiplexed
+/// runtime. Asserts the artifacts are structurally sound — every span
+/// track well-formed with nothing dropped, driver/evaluator stages on
+/// separate tracks, the failure explanation naming the faulty atom — then
+/// writes the requested outputs. Any violated invariant panics, so CI can
+/// run this as a hard gate.
+fn obs_smoke(
+    trace_out: Option<&str>,
+    timeline_out: Option<&str>,
+    metrics_out: Option<&str>,
+    explain_out: Option<&str>,
+) {
+    use quickstrom::quickstrom_apps::registry;
+    use quickstrom::quickstrom_obs::{chrome_trace_json, render_timeline};
+
+    println!("═══ Observability smoke: faulty TodoMVC under full tracing ═══");
+    let entry = registry::by_name("angular2_es2015").expect("registry name");
+    let options = CheckOptions::default()
+        .with_tests(20)
+        .with_max_actions(60)
+        .with_default_demand(50)
+        .with_seed(20220322)
+        .with_jobs(2)
+        .with_multiplex(3);
+    let obs = ObsOptions::all();
+    let (result, artifacts) = check_entry_observed(entry, &options, SnapshotMode::Delta, &obs);
+    assert!(!result.passed, "the injected fault must be found");
+
+    // The pipelined stages must land on separate tracks, every track must
+    // nest properly, and the ring buffers must not have overflowed.
+    let tracks = &artifacts.trace.tracks;
+    assert!(
+        tracks.iter().any(|t| t.name.contains("driver")),
+        "driver track missing"
+    );
+    assert!(
+        tracks.iter().any(|t| t.name.contains("evaluator")),
+        "evaluator track missing"
+    );
+    assert!(
+        tracks.iter().any(|t| t.name.contains("shrink")),
+        "shrink track missing"
+    );
+    for track in tracks {
+        track
+            .check_well_formed()
+            .unwrap_or_else(|e| panic!("track {:?}: {e}", track.name));
+        assert_eq!(track.dropped, 0, "track {:?} overflowed", track.name);
+    }
+    println!(
+        "  trace: {} tracks, {} events, all well-formed",
+        tracks.len(),
+        artifacts.trace.event_count()
+    );
+
+    // The explanation must blame the atom the fault actually breaks: the
+    // checkbox invariant reads the implementation through `.toggle`.
+    let explanation = artifacts
+        .explanations
+        .first()
+        .expect("a failure explanation");
+    let names_toggle =
+        explanation.steps.iter().flat_map(|s| &s.flips).any(|f| {
+            f.atom.contains(".toggle") || f.selectors.iter().any(|s| s.contains(".toggle"))
+        });
+    assert!(
+        names_toggle,
+        "explanation must name the `.toggle` atom:\n{explanation}"
+    );
+    assert!(
+        explanation.failed_at_step.is_some(),
+        "explanation must locate the step where the residual became False"
+    );
+    let step_count = artifacts
+        .metrics
+        .histograms
+        .get(STEP_LATENCY)
+        .map_or(0, |h| h.count);
+    assert!(step_count > 0, "step-latency histogram must be populated");
+    println!();
+    println!("{explanation}");
+
+    if let Some(path) = trace_out {
+        std::fs::write(path, chrome_trace_json(&artifacts.trace)).expect("write trace");
+        println!("wrote {path}");
+    }
+    if let Some(path) = timeline_out {
+        std::fs::write(path, render_timeline(&artifacts.trace)).expect("write timeline");
+        println!("wrote {path}");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, artifacts.metrics.to_prometheus("quickstrom_"))
+            .expect("write metrics");
+        println!("wrote {path}");
+    }
+    if let Some(path) = explain_out {
+        let mut doc = String::from("[\n");
+        for (i, e) in artifacts.explanations.iter().enumerate() {
+            doc.push_str(&e.to_json());
+            doc.push_str(if i + 1 < artifacts.explanations.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        doc.push_str("]\n");
+        std::fs::write(path, doc).expect("write explanations");
+        println!("wrote {path}");
     }
 }
 

@@ -18,6 +18,7 @@
 use quickstrom::prelude::*;
 use quickstrom::quickstrom_apps::registry::{Entry, REGISTRY};
 use quickstrom::quickstrom_checker::pool;
+use quickstrom::quickstrom_obs::metrics::{SEND_LATENCY, STEP_LATENCY};
 use std::fmt::Write as _;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -140,6 +141,23 @@ pub struct ImplResult {
     /// transitions, and trace-corpus usage summed over the checked
     /// properties.
     pub coverage: CoverageStats,
+    /// Observability metrics aggregated over the check's runs in run-index
+    /// order (empty unless the entry was checked through
+    /// [`check_entry_observed`] with metrics enabled).
+    pub metrics: MetricsRegistry,
+}
+
+impl ImplResult {
+    /// A latency quantile from the entry's observability metrics, in
+    /// microseconds (0 when metrics were off or the histogram is empty).
+    #[must_use]
+    pub fn latency_quantile_us(&self, histogram: &str, q: f64) -> f64 {
+        self.metrics
+            .histograms
+            .get(histogram)
+            .and_then(|h| h.quantile(q))
+            .map_or(0.0, |v| v * 1e6)
+    }
 }
 
 impl ImplResult {
@@ -175,16 +193,38 @@ pub fn check_entry_mode(
     options: &CheckOptions,
     mode: SnapshotMode,
 ) -> ImplResult {
+    check_entry_observed(entry, options, mode, &ObsOptions::disabled()).0
+}
+
+/// [`check_entry_mode`] through the observed checker entry point: returns
+/// the usual [`ImplResult`] plus the run's observability artifacts (trace
+/// tracks, metrics registry, failure explanations). With
+/// [`ObsOptions::disabled`] the artifacts are empty and the result is
+/// bit-identical to the plain path (pinned by `differential_obs`).
+///
+/// # Panics
+///
+/// See [`check_entry`].
+#[must_use]
+pub fn check_entry_observed(
+    entry: &'static Entry,
+    options: &CheckOptions,
+    mode: SnapshotMode,
+    obs: &ObsOptions,
+) -> (ImplResult, ObsArtifacts) {
     let spec = todomvc_spec();
     let started = Instant::now();
     let config = mode.config();
-    let report = check_spec(&spec, options, &move || {
-        Box::new(WebExecutor::with_config(|| entry.build(), config.clone()))
-    })
+    let (report, artifacts) = check_spec_observed(
+        &spec,
+        options,
+        &move || Box::new(WebExecutor::with_config(|| entry.build(), config.clone())),
+        obs,
+    )
     .expect("no protocol errors");
     let states = report.properties.iter().map(|p| p.states_total).sum();
     let timings = report.timings();
-    ImplResult {
+    let result = ImplResult {
         name: entry.name,
         passed: report.passed(),
         expected_to_fail: entry.expected_to_fail(),
@@ -207,7 +247,9 @@ pub fn check_entry_mode(
         fault_numbers: entry.faults.iter().map(|f| f.number()).collect(),
         transport: report.transport(),
         coverage: report.coverage(),
-    }
+        metrics: artifacts.metrics.clone(),
+    };
+    (result, artifacts)
 }
 
 /// Checks the entire registry, in order.
@@ -240,8 +282,38 @@ pub fn sweep_entries_mode(
     jobs: usize,
     mode: SnapshotMode,
 ) -> Vec<ImplResult> {
+    sweep_entries_observed(entries, options, jobs, mode, &ObsOptions::disabled(), None)
+        .into_iter()
+        .map(|(result, _)| result)
+        .collect()
+}
+
+/// The per-entry completion hook for [`sweep_entries_observed`]: called
+/// with the entry's registry index and its result.
+pub type OnEntryDone<'a> = &'a (dyn Fn(usize, &ImplResult) + Sync);
+
+/// [`sweep_entries_mode`] through the observed entry point, with an
+/// optional completion callback.
+///
+/// `on_done` fires on the worker thread as each entry finishes (in
+/// completion order, not input order) — the hook behind the harness's
+/// `--progress` line and its streaming per-entry output. Results still
+/// come back in input order.
+#[must_use]
+pub fn sweep_entries_observed(
+    entries: &[&'static Entry],
+    options: &CheckOptions,
+    jobs: usize,
+    mode: SnapshotMode,
+    obs: &ObsOptions,
+    on_done: Option<OnEntryDone<'_>>,
+) -> Vec<(ImplResult, ObsArtifacts)> {
     pool::run_ordered(jobs, entries.len(), |i| {
-        check_entry_mode(entries[i], options, mode)
+        let pair = check_entry_observed(entries[i], options, mode, obs);
+        if let Some(callback) = on_done {
+            callback(i, &pair.0);
+        }
+        pair
     })
 }
 
@@ -272,7 +344,11 @@ pub fn sweep_registry_jobs(options: &CheckOptions, jobs: usize) -> Vec<ImplResul
 /// `evaluator_stall_s` / `speculative_states_discarded` — which stage of
 /// the pipelined runtime bounded the sweep and how much speculative work
 /// the verdicts discarded; under pipelining `executor_s` and `eval_s`
-/// overlap in wall time and no longer sum to `wall_s`) and an
+/// overlap in wall time and no longer sum to `wall_s`; when the sweep ran
+/// with metrics enabled, also the latency quantile columns
+/// `step_latency_p{50,95,99}_us` / `send_latency_p{50,95,99}_us`,
+/// estimated from the merged fixed-bucket histograms — all zero on a
+/// metrics-off sweep) and an
 /// `entries` array; every entry carries `name`,
 /// `passed`, `expected_to_fail`, `wall_s`, the phase attribution
 /// `executor_s`/`eval_s`, the atom counters
@@ -369,6 +445,31 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             .map(|r| r.speculative_states_discarded)
             .sum::<u64>()
     );
+    // Latency quantiles from the merged metrics registries (all-zero when
+    // the sweep ran with metrics off — the merged histograms are empty).
+    let mut merged = MetricsRegistry::new();
+    for r in results {
+        merged.merge(&r.metrics);
+    }
+    let quantile_us = |histogram: &str, q: f64| -> f64 {
+        merged
+            .histograms
+            .get(histogram)
+            .and_then(|h| h.quantile(q))
+            .map_or(0.0, |v| v * 1e6)
+    };
+    for (column, histogram) in [
+        ("step_latency", STEP_LATENCY),
+        ("send_latency", SEND_LATENCY),
+    ] {
+        for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let _ = writeln!(
+                out,
+                "  \"{column}_{suffix}_us\": {:.3},",
+                quantile_us(histogram, q)
+            );
+        }
+    }
     let mut transport = TransportStats::default();
     for r in results {
         transport.absorb(r.transport);
@@ -400,7 +501,11 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
              \"states\": {}, \"faults\": [{}], \
              \"shipped_bytes\": {}, \"full_bytes\": {}, \"delta_states\": {}, \
              \"changed_selectors\": {}, \
-             \"distinct_states\": {}, \"distinct_edges\": {}}}",
+             \"distinct_states\": {}, \"distinct_edges\": {}, \
+             \"step_latency_p50_us\": {:.3}, \"step_latency_p95_us\": {:.3}, \
+             \"step_latency_p99_us\": {:.3}, \
+             \"send_latency_p50_us\": {:.3}, \"send_latency_p95_us\": {:.3}, \
+             \"send_latency_p99_us\": {:.3}}}",
             r.name,
             r.passed,
             r.expected_to_fail,
@@ -427,6 +532,12 @@ pub fn sweep_to_json(results: &[ImplResult], jobs: usize, total_wall_s: f64) -> 
             r.transport.changed_selectors,
             r.coverage.distinct_states,
             r.coverage.distinct_edges,
+            r.latency_quantile_us(STEP_LATENCY, 0.50),
+            r.latency_quantile_us(STEP_LATENCY, 0.95),
+            r.latency_quantile_us(STEP_LATENCY, 0.99),
+            r.latency_quantile_us(SEND_LATENCY, 0.50),
+            r.latency_quantile_us(SEND_LATENCY, 0.95),
+            r.latency_quantile_us(SEND_LATENCY, 0.99),
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }

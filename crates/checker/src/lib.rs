@@ -95,6 +95,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod explain;
 pub mod options;
 mod pipeline;
 pub mod pool;
@@ -103,9 +104,14 @@ mod run;
 pub mod runner;
 mod session;
 
+pub use explain::explain_failure;
 pub use options::{
     AtomCacheMode, CheckOptions, EvalMode, FingerprintMode, PipelineMode, SelectionStrategy,
 };
 pub use quickstrom_explore::{CoverageStats, StateFingerprint};
+pub use quickstrom_obs::{FailureExplanation, MetricsRegistry, ObsOptions, TraceLog, TraceOptions};
 pub use report::{Counterexample, PhaseTimings, PropertyReport, Report, RunResult, TraceEntry};
-pub use runner::{check_property, check_spec, derive_run_seed, CheckError, MakeExecutor};
+pub use runner::{
+    check_property, check_property_observed, check_spec, check_spec_observed, derive_run_seed,
+    CheckError, MakeExecutor, ObsArtifacts, RunObs,
+};

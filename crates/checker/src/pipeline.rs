@@ -53,7 +53,8 @@ use crate::options::CheckOptions;
 use crate::pool::Cancellation;
 use crate::report::PhaseTimings;
 use crate::run::{ActionSource, Run, RunOutcome};
-use crate::runner::{derive_run_seed, CheckError, ExecutedRun, MakeExecutor};
+use crate::runner::{derive_run_seed, CheckError, ExecutedRun, MakeExecutor, ObsCtx, RunObs};
+use quickstrom_obs::{AttrValue, MetricsRecorder, SpanKind, TraceSink};
 use quickstrom_protocol::{ActionInstance, CheckerMsg, Executor, ExecutorMsg, TransportStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -149,29 +150,51 @@ struct DriverOutcome {
     /// The executor's transport accounting (includes speculative
     /// messages — one reason transport is excluded from Report equality).
     transport: TransportStats,
+    /// The driver's trace track (disabled sink when tracing is off).
+    sink: TraceSink,
+    /// The driver's metrics recorder (send latency, executor stalls).
+    metrics: MetricsRecorder,
 }
 
 fn timed_send(
     executor: &mut dyn Executor,
     exec_time: &mut Duration,
+    sink: &mut TraceSink,
+    metrics: &mut MetricsRecorder,
     msg: CheckerMsg,
 ) -> Vec<ExecutorMsg> {
+    let span = sink.open(SpanKind::Send);
     let started = Instant::now();
     let replies = executor.send(msg);
-    *exec_time += started.elapsed();
+    let elapsed = started.elapsed();
+    *exec_time += elapsed;
+    metrics.send_latency(elapsed);
+    sink.close_with(span, |a| {
+        a.push(("replies", AttrValue::U64(replies.len() as u64)));
+    });
     replies
 }
 
 /// Forwards an event to the evaluator, timing any backpressure stall.
 /// Returns `false` when the evaluator hung up (it concluded and finished
 /// draining); the driver then winds down.
-fn forward(tx: &SyncSender<StageEvent>, stall: &mut Duration, event: StageEvent) -> bool {
+fn forward(
+    tx: &SyncSender<StageEvent>,
+    stall: &mut Duration,
+    sink: &mut TraceSink,
+    metrics: &mut MetricsRecorder,
+    event: StageEvent,
+) -> bool {
     match tx.try_send(event) {
         Ok(()) => true,
         Err(TrySendError::Full(event)) => {
+            let span = sink.open(SpanKind::Stall);
             let started = Instant::now();
             let delivered = tx.send(event).is_ok();
-            *stall += started.elapsed();
+            let elapsed = started.elapsed();
+            *stall += elapsed;
+            metrics.executor_stall(elapsed);
+            sink.close(span);
             delivered
         }
         Err(TrySendError::Disconnected(_)) => false,
@@ -195,7 +218,14 @@ fn drive_stage(
     prefix: &[ActionInstance],
     shared: &PipeShared,
     tx: SyncSender<StageEvent>,
+    obs: &ObsCtx,
 ) -> DriverOutcome {
+    // The driver's own track: executor sends and backpressure stalls.
+    // The evaluator stage's spans land on the run's sink (attached in
+    // `run_one_pipelined`/`run_batch_pipelined`), a separate track.
+    let mut sink = obs.sink(2 * index as u64, || format!("run {index} · driver"));
+    let mut metrics = obs.recorder();
+    let run_span = sink.open(SpanKind::Run);
     let mut run = Run::observer(spec, check, property_name, property, options);
     let mut source = ActionSource::Random {
         rng: StdRng::seed_from_u64(derive_run_seed(options.seed, index as u64)),
@@ -214,6 +244,8 @@ fn drive_stage(
         let replies = timed_send(
             executor.as_mut(),
             &mut exec_time,
+            &mut sink,
+            &mut metrics,
             CheckerMsg::Start {
                 dependencies: spec.dependencies.clone(),
             },
@@ -230,6 +262,8 @@ fn drive_stage(
         if !forward(
             &tx,
             &mut stall_time,
+            &mut sink,
+            &mut metrics,
             StageEvent::Started(Arc::clone(&replies)),
         ) {
             break 'session;
@@ -251,6 +285,8 @@ fn drive_stage(
                 let replies = timed_send(
                     executor.as_mut(),
                     &mut exec_time,
+                    &mut sink,
+                    &mut metrics,
                     CheckerMsg::Wait {
                         time_ms: t,
                         version,
@@ -260,6 +296,8 @@ fn drive_stage(
                 if !forward(
                     &tx,
                     &mut stall_time,
+                    &mut sink,
+                    &mut metrics,
                     StageEvent::Waited(Arc::clone(&replies)),
                 ) {
                     break;
@@ -282,13 +320,25 @@ fn drive_stage(
             // ended at the boundary, everything past it is a speculative
             // tail the evaluator discards.
             if run.at_hard_cap() {
-                let _ = forward(&tx, &mut stall_time, StageEvent::Finished);
+                let _ = forward(
+                    &tx,
+                    &mut stall_time,
+                    &mut sink,
+                    &mut metrics,
+                    StageEvent::Finished,
+                );
                 break;
             }
             let action = match run.select_action(&mut source) {
                 Ok(Some(action)) => action,
                 Ok(None) => {
-                    let _ = forward(&tx, &mut stall_time, StageEvent::Finished);
+                    let _ = forward(
+                        &tx,
+                        &mut stall_time,
+                        &mut sink,
+                        &mut metrics,
+                        StageEvent::Finished,
+                    );
                     break;
                 }
                 Err(e) => {
@@ -301,6 +351,8 @@ fn drive_stage(
             let replies = timed_send(
                 executor.as_mut(),
                 &mut exec_time,
+                &mut sink,
+                &mut metrics,
                 CheckerMsg::Act {
                     action: action.clone(),
                     version,
@@ -319,6 +371,8 @@ fn drive_stage(
             if !forward(
                 &tx,
                 &mut stall_time,
+                &mut sink,
+                &mut metrics,
                 StageEvent::Acted {
                     action: action.clone(),
                     replies: Arc::clone(&replies),
@@ -351,16 +405,28 @@ fn drive_stage(
         }
     }
     if clean {
-        let _ = timed_send(executor.as_mut(), &mut exec_time, CheckerMsg::End);
+        let _ = timed_send(
+            executor.as_mut(),
+            &mut exec_time,
+            &mut sink,
+            &mut metrics,
+            CheckerMsg::End,
+        );
     }
     // Dropping the sender unblocks the evaluator's drain.
     drop(tx);
+    let states_sent = run.states_count;
+    sink.close_with(run_span, |a| {
+        a.push(("states_sent", AttrValue::U64(states_sent as u64)));
+    });
     DriverOutcome {
         exec_time,
         stall_time,
         eval_time: run.eval_time,
-        states_sent: run.states_count,
+        states_sent,
         transport: executor.transport_stats(),
+        sink,
+        metrics,
     }
 }
 
@@ -562,7 +628,9 @@ impl<'a> EvalStage<'a> {
 
     fn note_progress(&mut self) {
         if let Some(started) = self.idle_since.take() {
-            self.stall_time += started.elapsed();
+            let elapsed = started.elapsed();
+            self.stall_time += elapsed;
+            self.run.metrics.evaluator_stall(elapsed);
         }
     }
 
@@ -585,7 +653,9 @@ impl<'a> EvalStage<'a> {
                             let started = Instant::now();
                             match self.rx.recv() {
                                 Ok(event) => {
-                                    self.stall_time += started.elapsed();
+                                    let elapsed = started.elapsed();
+                                    self.stall_time += elapsed;
+                                    self.run.metrics.evaluator_stall(elapsed);
                                     event
                                 }
                                 Err(_) => {
@@ -644,6 +714,28 @@ fn finalize_run(
         evaluator_stall_s: stage.stall_time.as_secs_f64(),
         speculative_states_discarded: driver.states_sent.saturating_sub(run.states_count) as u64,
     };
+    // Truncation marker on the evaluator track: how much speculative work
+    // the driver did past the canonical stop point.
+    let discarded = timings.speculative_states_discarded;
+    if discarded > 0 {
+        run.sink.instant(SpanKind::Truncated, |a| {
+            a.push(("speculative_states", AttrValue::U64(discarded)));
+        });
+    }
+    // Collect both stages' observability artifacts: driver track first,
+    // then the evaluator's, then both metric registries merged.
+    let mut obs = RunObs::default();
+    let driver_sink = driver.sink;
+    if let Some(track) = driver_sink.finish() {
+        obs.tracks.push(track);
+    }
+    let eval_sink = std::mem::replace(&mut run.sink, TraceSink::disabled());
+    if let Some(track) = eval_sink.finish() {
+        obs.tracks.push(track);
+    }
+    obs.metrics = driver.metrics.into_registry();
+    let eval_metrics = std::mem::replace(&mut run.metrics, MetricsRecorder::disabled());
+    obs.metrics.merge(&eval_metrics.into_registry());
     Ok(ExecutedRun {
         states: run.trace.len(),
         actions: run.actions_done,
@@ -653,6 +745,7 @@ fn finalize_run(
         script: std::mem::take(&mut run.script),
         coverage: std::mem::take(&mut run.coverage),
         replayed,
+        obs,
     })
 }
 
@@ -668,11 +761,15 @@ pub(crate) fn run_one_pipelined(
     make_executor: MakeExecutor<'_>,
     index: usize,
     prefix: Option<&[ActionInstance]>,
+    obs: &ObsCtx,
 ) -> Result<ExecutedRun, CheckError> {
     let shared = Arc::new(PipeShared::new());
     let (tx, rx) = mpsc::sync_channel(options.pipeline_depth.max(1));
     let mut stage = EvalStage::new(
-        Run::new(spec, check, property_name, property, options),
+        Run::new(spec, check, property_name, property, options).with_obs(
+            obs.sink(2 * index as u64 + 1, || format!("run {index} · evaluator")),
+            obs.recorder(),
+        ),
         rx,
         Arc::clone(&shared),
     );
@@ -691,6 +788,7 @@ pub(crate) fn run_one_pipelined(
                     prefix.unwrap_or(&[]),
                     &shared,
                     tx,
+                    obs,
                 )
             })
         };
@@ -732,6 +830,7 @@ pub(crate) fn run_batch_pipelined<'env>(
     count: usize,
     prefixes: Option<&'env [Option<Vec<ActionInstance>>]>,
     cancel: Option<&'env Cancellation>,
+    obs: &'env ObsCtx,
 ) -> Vec<Option<Result<ExecutedRun, CheckError>>> {
     if count == 0 {
         return Vec::new();
@@ -770,8 +869,14 @@ pub(crate) fn run_batch_pipelined<'env>(
                                 !prefix.is_empty() || prefixes.is_some_and(|p| p[slot].is_some());
                             let shared = Arc::new(PipeShared::new());
                             let (tx, rx) = mpsc::sync_channel(options.pipeline_depth.max(1));
+                            let run_index = base + slot;
                             let stage = EvalStage::new(
-                                Run::new(spec, check, property_name, property, options),
+                                Run::new(spec, check, property_name, property, options).with_obs(
+                                    obs.sink(2 * run_index as u64 + 1, || {
+                                        format!("run {run_index} · evaluator")
+                                    }),
+                                    obs.recorder(),
+                                ),
                                 rx,
                                 Arc::clone(&shared),
                             );
@@ -789,6 +894,7 @@ pub(crate) fn run_batch_pipelined<'env>(
                                         prefix,
                                         &shared,
                                         tx,
+                                        obs,
                                     )
                                 })
                             };

@@ -90,41 +90,128 @@ impl fmt::Display for Counterexample {
     }
 }
 
-/// Wall-clock attribution of one property check across the phases of the
-/// §3.4 loop, accumulated over every run (and shrink replay).
+/// Declares [`PhaseTimings`] together with its two accumulation
+/// operations from a single field table, so every field carries an
+/// explicit `(combine, replay)` rule:
 ///
-/// `executor_s` is time spent inside [`Executor::send`] — driving the
-/// application, firing timers, rendering snapshots.  `eval_s` is time
-/// spent in specification evaluation: formula progression through each
-/// state and action-guard evaluation.  Together with the spec-compile
-/// time measured by callers, these let a benchmark JSON attribute a
-/// regression to a phase instead of only recording wall time.
+/// - combine: `sum` (`+=` in [`PhaseTimings::absorb`]) or `max`
+///   (snapshots of shared structures, not independent contributions);
+/// - replay: `keep` (survives [`PhaseTimings::reset_for_replay`]) or
+///   `zero` (a shrink replay re-accumulates it from scratch).
 ///
-/// [`Executor::send`]: quickstrom_protocol::Executor::send
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PhaseTimings {
+/// `absorb` destructures `other` exhaustively, so adding a field here
+/// without a rule — or adding it to the struct by hand — is a compile
+/// error, not a silently-dropped counter. The `field_rules_drive_*`
+/// tests then check each field's declared semantics generically.
+macro_rules! phase_timings {
+    (
+        $(
+            $(#[$doc:meta])*
+            $name:ident : $ty:ty => ($combine:ident, $replay:ident)
+        ),* $(,)?
+    ) => {
+        /// Wall-clock attribution of one property check across the phases
+        /// of the §3.4 loop, accumulated over every run (and shrink
+        /// replay).
+        ///
+        /// `executor_s` is time spent inside [`Executor::send`] — driving
+        /// the application, firing timers, rendering snapshots.  `eval_s`
+        /// is time spent in specification evaluation: formula progression
+        /// through each state and action-guard evaluation.  Together with
+        /// the spec-compile time measured by callers, these let a
+        /// benchmark JSON attribute a regression to a phase instead of
+        /// only recording wall time.
+        ///
+        /// [`Executor::send`]: quickstrom_protocol::Executor::send
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct PhaseTimings {
+            $( $(#[$doc])* pub $name: $ty, )*
+        }
+
+        impl PhaseTimings {
+            /// Component-wise accumulation ([`ltl_states`] and
+            /// [`pipeline_depth`] combine by max — the automaton table is
+            /// shared across a property's runs and the depth is a
+            /// configuration constant, so both are snapshots, not
+            /// independent contributions).
+            ///
+            /// [`ltl_states`]: PhaseTimings::ltl_states
+            /// [`pipeline_depth`]: PhaseTimings::pipeline_depth
+            pub fn absorb(&mut self, other: PhaseTimings) {
+                // Exhaustive destructure: a field added to the table above
+                // is named here by expansion; one added outside it fails
+                // this pattern. Either way nothing can be dropped silently.
+                let PhaseTimings { $($name),* } = other;
+                $( phase_timings!(@absorb $combine, self.$name, $name); )*
+            }
+
+            /// Zeroes the counters that a shrink replay re-accumulates
+            /// from scratch — atom, memo, LTL, and pipeline-speculation
+            /// counters — while keeping the wall-clock fields, so
+            /// absorbing a replay's timings into a run's does not
+            /// double-count work the replay shares with the original run
+            /// (the property-level memo and automaton table are warm, and
+            /// replays are sequential, so their counters would
+            /// mis-attribute).
+            pub fn reset_for_replay(&mut self) {
+                $( phase_timings!(@replay $replay, self.$name); )*
+            }
+        }
+
+        #[cfg(test)]
+        impl PhaseTimings {
+            /// `(field, combine, replay)` rows, for rule-driven tests.
+            pub(crate) const FIELD_RULES: &'static [(&'static str, &'static str, &'static str)] =
+                &[ $( (stringify!($name), stringify!($combine), stringify!($replay)) ),* ];
+
+            /// Reads a field by name as `f64` (test support).
+            #[allow(trivial_numeric_casts, clippy::unnecessary_cast)]
+            pub(crate) fn test_get(&self, name: &str) -> f64 {
+                match name {
+                    $( stringify!($name) => self.$name as f64, )*
+                    _ => panic!("unknown PhaseTimings field {name}"),
+                }
+            }
+
+            /// Writes a field by name from `f64` (test support).
+            #[allow(trivial_numeric_casts, clippy::unnecessary_cast)]
+            pub(crate) fn test_set(&mut self, name: &str, value: f64) {
+                match name {
+                    $( stringify!($name) => self.$name = value as $ty, )*
+                    _ => panic!("unknown PhaseTimings field {name}"),
+                }
+            }
+        }
+    };
+    (@absorb sum, $lhs:expr, $rhs:expr) => { $lhs += $rhs; };
+    (@absorb max, $lhs:expr, $rhs:expr) => { $lhs = $lhs.max($rhs); };
+    (@replay keep, $lhs:expr) => {};
+    (@replay zero, $lhs:expr) => { $lhs = Default::default(); };
+}
+
+phase_timings! {
     /// Seconds inside `Executor::send`.
-    pub executor_s: f64,
+    executor_s: f64 => (sum, keep),
     /// Seconds in formula evaluation/progression and guard evaluation.
-    pub eval_s: f64,
+    eval_s: f64 => (sum, keep),
     /// Atom expansions requested by the evaluator across all steps.
-    pub atoms_total: u64,
+    atoms_total: u64 => (sum, zero),
     /// Atom expansions actually evaluated — the rest were served from the
     /// value-keyed expansion memo (default) or the footprint-masked cache
     /// because the slice of state the atom can read provably had a value
     /// already seen (see `CheckOptions::atom_cache`).
-    pub atoms_reevaluated: u64,
+    atoms_reevaluated: u64 => (sum, zero),
     /// Value-mode memo lookups served without re-evaluation (summed over
     /// runs; the memo is shared per property). Zero outside
     /// `AtomCacheMode::Value`. Under `jobs = N` the hit/miss split can
     /// differ from `jobs = 1` (which worker warms an entry first is
     /// scheduling-dependent) even though verdicts are bit-identical.
-    pub atom_memo_hits: u64,
+    atom_memo_hits: u64 => (sum, zero),
     /// Value-mode memo lookups that had to expand the atom (summed).
-    pub atom_memo_misses: u64,
+    atom_memo_misses: u64 => (sum, zero),
     /// Memo entries evicted by the FIFO capacity bound
     /// (`CheckOptions::atom_memo_capacity`), summed over runs.
-    pub atom_memo_evictions: u64,
+    atom_memo_evictions: u64 => (sum, zero),
     /// Residual formulae interned by the property's evaluation automaton
     /// (`quickltl::TransitionTable::state_count` at the end of the run).
     /// The table is shared by every run of a property, so [`absorb`]
@@ -132,11 +219,11 @@ pub struct PhaseTimings {
     /// the table size it last saw. Zero in `EvalMode::Stepper` mode.
     ///
     /// [`absorb`]: PhaseTimings::absorb
-    pub ltl_states: u64,
+    ltl_states: u64 => (max, zero),
     /// Formula-progression steps answered by a transition-table lookup
     /// instead of the unroll/simplify/classify pipeline (summed over
     /// runs). Zero in `EvalMode::Stepper` mode.
-    pub ltl_table_hits: u64,
+    ltl_table_hits: u64 => (sum, zero),
     /// Formula-progression steps answered wholesale by the property's
     /// step memo — no atom expansion, no observation, no table step; the
     /// replay reproduces the counter deltas the full step would have
@@ -147,7 +234,7 @@ pub struct PhaseTimings {
     /// occasionally stands in for a table lookup that would have
     /// re-interned a structurally novel observation of the same
     /// transition. Every other counter replays exactly.
-    pub step_memo_hits: u64,
+    step_memo_hits: u64 => (sum, zero),
     /// The bound on how far the driver stage ran ahead of the evaluator
     /// stage (`CheckOptions::pipeline_depth`). Zero under
     /// `PipelineMode::Off`. A configuration constant, not an
@@ -160,68 +247,22 @@ pub struct PhaseTimings {
     /// [`absorb`]: PhaseTimings::absorb
     /// [`executor_s`]: PhaseTimings::executor_s
     /// [`eval_s`]: PhaseTimings::eval_s
-    pub pipeline_depth: u64,
+    pipeline_depth: u64 => (max, zero),
     /// Seconds the driver (executor) stage spent blocked because the
     /// per-run state channel was full — the evaluator was the bottleneck
     /// — plus time parked at a budget boundary waiting for the evaluator
     /// to catch up. Zero under `PipelineMode::Off`.
-    pub executor_stall_s: f64,
+    executor_stall_s: f64 => (sum, zero),
     /// Seconds the evaluator stage spent starved because the state channel
     /// was empty — the executor was the bottleneck. Zero under
     /// `PipelineMode::Off`.
-    pub evaluator_stall_s: f64,
+    evaluator_stall_s: f64 => (sum, zero),
     /// States the driver stage executed past the canonical stop point
     /// (a definitive verdict the evaluator reached while the driver sped
     /// ahead). These speculative states are truncated from every report
     /// artefact — trace, states counter, coverage, scripts — so they are
     /// visible only here. Zero under `PipelineMode::Off`.
-    pub speculative_states_discarded: u64,
-}
-
-impl PhaseTimings {
-    /// Component-wise accumulation ([`ltl_states`] combines by max — the
-    /// automaton table is shared across a property's runs, so sizes are
-    /// snapshots of one table, not independent contributions).
-    ///
-    /// [`ltl_states`]: PhaseTimings::ltl_states
-    pub fn absorb(&mut self, other: PhaseTimings) {
-        self.executor_s += other.executor_s;
-        self.eval_s += other.eval_s;
-        self.atoms_total += other.atoms_total;
-        self.atoms_reevaluated += other.atoms_reevaluated;
-        self.atom_memo_hits += other.atom_memo_hits;
-        self.atom_memo_misses += other.atom_memo_misses;
-        self.atom_memo_evictions += other.atom_memo_evictions;
-        self.ltl_states = self.ltl_states.max(other.ltl_states);
-        self.ltl_table_hits += other.ltl_table_hits;
-        self.step_memo_hits += other.step_memo_hits;
-        self.pipeline_depth = self.pipeline_depth.max(other.pipeline_depth);
-        self.executor_stall_s += other.executor_stall_s;
-        self.evaluator_stall_s += other.evaluator_stall_s;
-        self.speculative_states_discarded += other.speculative_states_discarded;
-    }
-
-    /// Zeroes the counters that a shrink replay re-accumulates from
-    /// scratch — atom, memo, LTL, and pipeline-speculation counters —
-    /// while keeping the wall-clock fields, so absorbing a replay's
-    /// timings into a run's does not double-count work the replay shares
-    /// with the original run (the property-level memo and automaton table
-    /// are warm, and replays are sequential, so their counters would
-    /// mis-attribute).
-    pub fn reset_for_replay(&mut self) {
-        self.atoms_total = 0;
-        self.atoms_reevaluated = 0;
-        self.atom_memo_hits = 0;
-        self.atom_memo_misses = 0;
-        self.atom_memo_evictions = 0;
-        self.ltl_states = 0;
-        self.ltl_table_hits = 0;
-        self.step_memo_hits = 0;
-        self.pipeline_depth = 0;
-        self.executor_stall_s = 0.0;
-        self.evaluator_stall_s = 0.0;
-        self.speculative_states_discarded = 0;
-    }
+    speculative_states_discarded: u64 => (sum, zero),
 }
 
 /// The aggregate result of checking one property.
@@ -524,6 +565,70 @@ mod tests {
         assert_eq!(a.executor_stall_s, 0.0);
         assert_eq!(a.evaluator_stall_s, 0.0);
         assert_eq!(a.speculative_states_discarded, 0);
+    }
+
+    #[test]
+    fn field_rules_drive_absorb() {
+        for &(field, combine, _) in PhaseTimings::FIELD_RULES {
+            let mut a = PhaseTimings::default();
+            let mut b = PhaseTimings::default();
+            a.test_set(field, 3.0);
+            b.test_set(field, 5.0);
+            a.absorb(b);
+            let expected = match combine {
+                "sum" => 8.0,
+                "max" => 5.0,
+                other => panic!("unknown combine rule {other} for {field}"),
+            };
+            assert_eq!(a.test_get(field), expected, "absorb({combine}) of {field}");
+            // max must also hold when the larger value is already in place.
+            let mut c = PhaseTimings::default();
+            c.test_set(field, 5.0);
+            c.absorb({
+                let mut d = PhaseTimings::default();
+                d.test_set(field, 3.0);
+                d
+            });
+            let expected = match combine {
+                "sum" => 8.0,
+                _ => 5.0,
+            };
+            assert_eq!(a.test_get(field), expected, "absorb({combine}) of {field}");
+            assert_eq!(c.test_get(field), expected, "absorb({combine}) of {field}");
+        }
+    }
+
+    #[test]
+    fn field_rules_drive_replay_reset() {
+        for &(field, _, replay) in PhaseTimings::FIELD_RULES {
+            let mut t = PhaseTimings::default();
+            t.test_set(field, 7.0);
+            t.reset_for_replay();
+            let expected = match replay {
+                "keep" => 7.0,
+                "zero" => 0.0,
+                other => panic!("unknown replay rule {other} for {field}"),
+            };
+            assert_eq!(
+                t.test_get(field),
+                expected,
+                "reset_for_replay({replay}) of {field}"
+            );
+        }
+    }
+
+    #[test]
+    fn field_rules_cover_every_field() {
+        // The destructure in `absorb` already makes a missing rule a
+        // compile error; this pins the expected shape so a refactor that
+        // bypasses the macro shows up as a failing count.
+        assert_eq!(PhaseTimings::FIELD_RULES.len(), 14);
+        let wall_clock: Vec<&str> = PhaseTimings::FIELD_RULES
+            .iter()
+            .filter(|(_, _, replay)| *replay == "keep")
+            .map(|(name, _, _)| *name)
+            .collect();
+        assert_eq!(wall_clock, ["executor_s", "eval_s"]);
     }
 
     #[test]

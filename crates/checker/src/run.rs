@@ -26,6 +26,7 @@ use quickltl::{
 use quickstrom_explore::{
     target_index, Candidate, Fingerprinter, ProjectionTermCache, RunCoverage, Strategy, StrategyCtx,
 };
+use quickstrom_obs::{AttrValue, MetricsRecorder, SpanKind, TraceSink};
 use quickstrom_protocol::{
     masked_query_term, ActionInstance, ActionKind, ExecutorMsg, FieldMask, ProjectionHash,
     Selector, StateFingerprint, StateSnapshot, StateUpdate, Symbol,
@@ -408,6 +409,12 @@ pub(crate) struct Run<'a> {
     /// every step while a residual is stable). Each entry pins its thunk
     /// so the identity pointers stay valid — see [`bindings_sig`].
     binding_keys: HashMap<(usize, usize), (Thunk, u64)>,
+    /// Structured-tracing sink for this run's spans (disabled by default;
+    /// never influences control flow — see DESIGN.md, *Observability*).
+    pub(crate) sink: TraceSink,
+    /// Metrics recorder for this run's latency/depth histograms (disabled
+    /// by default, same contract as the sink).
+    pub(crate) metrics: MetricsRecorder,
 }
 
 /// The outcome of one run, before aggregation.
@@ -601,7 +608,19 @@ impl<'a> Run<'a> {
             step_memo_hits: 0,
             binding_keyer,
             binding_keys,
+            sink: TraceSink::disabled(),
+            metrics: MetricsRecorder::disabled(),
         }
+    }
+
+    /// Attaches an observability sink and metrics recorder (both disabled
+    /// by default). Instrumentation only *observes* — spans and histogram
+    /// samples never branch the run's control flow, so reports are
+    /// bit-identical with tracing on or off.
+    pub(crate) fn with_obs(mut self, sink: TraceSink, metrics: MetricsRecorder) -> Self {
+        self.sink = sink;
+        self.metrics = metrics;
+        self
     }
 
     /// The `happened` names for an executor message (§3.2: "all events or
@@ -796,6 +815,7 @@ impl<'a> Run<'a> {
         let step_memo_hits = &mut self.step_memo_hits;
         let binding_keyer = &mut self.binding_keyer;
         let binding_keys = &mut self.binding_keys;
+        let sink = &mut self.sink;
         let last_report = self.last_report;
         let state_ref = &state;
         let mut expand = |thunk: &Thunk| -> Result<Served, specstrom::EvalError> {
@@ -864,12 +884,19 @@ impl<'a> Run<'a> {
                 }
             }
         };
+        let step_span = sink.open(SpanKind::Step);
         let eval_started = std::time::Instant::now();
         let plan = match &mut self.engine {
-            Engine::Stepper(ev) => StepPlan::Report(
-                ev.observe_expanding(&mut |t: &Thunk| expand(t).map(Served::into_formula))
-                    .map_err(CheckError::from)?,
-            ),
+            Engine::Stepper(ev) => {
+                let atoms_span = sink.open(SpanKind::Atoms);
+                let report = ev
+                    .observe_expanding(&mut |t: &Thunk| expand(t).map(Served::into_formula))
+                    .map_err(CheckError::from)?;
+                sink.close_with(atoms_span, |a| {
+                    a.push(("expansions", AttrValue::U64(expansion_requests.get())))
+                });
+                StepPlan::Report(report)
+            }
             Engine::Automaton {
                 table,
                 pos,
@@ -929,6 +956,7 @@ impl<'a> Run<'a> {
                         }
                     }
                     let expansions_before = expansion_requests.get();
+                    let atoms_span = sink.open(SpanKind::Atoms);
                     let live = table
                         .lock()
                         .expect("automaton table poisoned")
@@ -989,10 +1017,23 @@ impl<'a> Run<'a> {
                         });
                         obs.push((aid, abstracted));
                     }
+                    sink.close_with(atoms_span, |a| {
+                        a.push(("atoms", AttrValue::U64(obs.len() as u64)));
+                        a.push((
+                            "expansions",
+                            AttrValue::U64(expansion_requests.get() - expansions_before),
+                        ));
+                    });
+                    let table_span = sink.open(SpanKind::AutomatonStep);
                     let step = table
                         .lock()
                         .expect("automaton table poisoned")
                         .step(*id, &obs);
+                    sink.close_with(table_span, |a| {
+                        if let Ok((_, hit)) = &step {
+                            a.push(("table_hit", AttrValue::Bool(*hit)));
+                        }
+                    });
                     match step {
                         Ok((step, hit)) => {
                             if hit {
@@ -1084,9 +1125,13 @@ impl<'a> Run<'a> {
         let report = match plan {
             StepPlan::Report(report) => report,
             StepPlan::Fallback(mut ev) => {
+                let atoms_span = sink.open(SpanKind::Atoms);
                 let report = ev
                     .observe_expanding(&mut |t: &Thunk| expand(t).map(Served::into_formula))
                     .map_err(CheckError::from)?;
+                sink.close_with(atoms_span, |a| {
+                    a.push(("fallback", AttrValue::Bool(true)));
+                });
                 self.engine = Engine::Stepper(ev);
                 report
             }
@@ -1106,7 +1151,21 @@ impl<'a> Run<'a> {
                 }
             }
         }
-        self.eval_time += eval_started.elapsed();
+        let elapsed = eval_started.elapsed();
+        self.eval_time += elapsed;
+        let step_expansions = expansion_requests.get() + step_replayed.unwrap_or(0);
+        let step_memoized = step_replayed.is_some();
+        self.sink.close_with(step_span, |a| {
+            a.push(("expansions", AttrValue::U64(step_expansions)));
+            a.push(("step_memo_hit", AttrValue::Bool(step_memoized)));
+        });
+        if let StepReport::Definitive(b) = report {
+            self.sink.instant(SpanKind::Verdict, |a| {
+                a.push(("value", AttrValue::Bool(b)));
+            });
+        }
+        self.metrics.step_latency(elapsed);
+        self.metrics.probe_depth(step_expansions);
         self.last_report = Some(report);
         self.last_state = Some(state);
         Ok(())

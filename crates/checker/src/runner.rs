@@ -32,12 +32,17 @@ use crate::report::{Counterexample, PhaseTimings, PropertyReport, Report, RunRes
 use crate::run::{ActionSource, RunOutcome};
 use crate::session::Session;
 use quickstrom_explore::{CoverageMap, CoverageStats, RunCoverage, TraceCorpus};
+use quickstrom_obs::{
+    AttrValue, FailureExplanation, MetricsRecorder, MetricsRegistry, ObsOptions, SpanKind,
+    TraceLog, TraceSink, TrackLog,
+};
 use quickstrom_protocol::TransportStats;
 use quickstrom_protocol::{ActionInstance, Executor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use specstrom::{CheckDef, CompiledSpec, Thunk};
 use std::fmt;
+use std::time::Instant;
 
 /// A shareable executor factory: called once per run (and per shrink
 /// replay) to open a fresh session against the system under test. The
@@ -111,6 +116,63 @@ pub fn derive_run_seed(master_seed: u64, run_index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The per-property observability context: shared options, a common time
+/// origin (so every track's timestamps are comparable), and the
+/// chrome-trace process id the property's tracks are grouped under.
+///
+/// Everything is read-only and `Sync`, so worker threads share one context
+/// by reference. When observability is off, every sink/recorder it hands
+/// out is disabled — a single branch per span, no allocation.
+pub(crate) struct ObsCtx {
+    pub(crate) opts: ObsOptions,
+    pub(crate) origin: Instant,
+    pub(crate) pid: u32,
+}
+
+impl ObsCtx {
+    pub(crate) fn disabled() -> Self {
+        ObsCtx {
+            opts: ObsOptions::disabled(),
+            origin: Instant::now(),
+            pid: 0,
+        }
+    }
+
+    /// A sink for one track. The `name` closure only runs when tracing is
+    /// enabled, so disabled runs never allocate a label.
+    pub(crate) fn sink(&self, tid: u64, name: impl FnOnce() -> String) -> TraceSink {
+        match &self.opts.tracing {
+            Some(t) => TraceSink::enabled(self.origin, self.pid, tid, name(), t.track_capacity),
+            None => TraceSink::disabled(),
+        }
+    }
+
+    pub(crate) fn recorder(&self) -> MetricsRecorder {
+        if self.opts.metrics {
+            MetricsRecorder::enabled()
+        } else {
+            MetricsRecorder::disabled()
+        }
+    }
+}
+
+/// The observability artifacts of one run (or one property, once
+/// aggregated): the trace tracks and the merged metrics registry.
+#[derive(Debug, Default)]
+pub struct RunObs {
+    /// Trace tracks (driver/evaluator per run; empty when tracing is off).
+    pub tracks: Vec<TrackLog>,
+    /// Merged metrics (empty when metrics are off).
+    pub metrics: MetricsRegistry,
+}
+
+impl RunObs {
+    pub(crate) fn absorb(&mut self, other: RunObs) {
+        self.tracks.extend(other.tracks);
+        self.metrics.merge(&other.metrics);
+    }
+}
+
 /// One executed run, with the observation totals the report aggregates.
 /// Built by the sequential engine here and by the pipelined engine in
 /// [`crate::pipeline`].
@@ -128,6 +190,8 @@ pub(crate) struct ExecutedRun {
     pub(crate) coverage: RunCoverage,
     /// Whether the run was seeded with a corpus prefix.
     pub(crate) replayed: bool,
+    /// The run's observability artifacts (empty when obs is off).
+    pub(crate) obs: RunObs,
 }
 
 /// Executes the run at `index`: fresh executor, fresh RNG seeded from
@@ -143,6 +207,7 @@ fn run_one(
     make_executor: MakeExecutor<'_>,
     index: usize,
     prefix: Option<&[ActionInstance]>,
+    obs: &ObsCtx,
 ) -> Result<ExecutedRun, CheckError> {
     if options.pipeline == PipelineMode::On {
         return pipeline::run_one_pipelined(
@@ -154,6 +219,7 @@ fn run_one(
             make_executor,
             index,
             prefix,
+            obs,
         );
     }
     let mut session = Session::new(
@@ -163,6 +229,10 @@ fn run_one(
         property,
         options,
         make_executor(),
+    )
+    .with_obs(
+        obs.sink(2 * index as u64, || format!("run {index}")),
+        obs.recorder(),
     );
     let mut source = ActionSource::Random {
         rng: StdRng::seed_from_u64(derive_run_seed(options.seed, index as u64)),
@@ -176,6 +246,7 @@ fn run_one(
             unreachable!("random runs never report script invalidity")
         }
     };
+    let (track, metrics) = session.take_obs();
     Ok(ExecutedRun {
         states: session.states(),
         actions: session.actions(),
@@ -185,11 +256,16 @@ fn run_one(
         script: session.take_script(),
         coverage: session.take_coverage(),
         replayed: prefix.is_some(),
+        obs: RunObs {
+            tracks: track.into_iter().collect(),
+            metrics,
+        },
     })
 }
 
 /// The sequential loop: run in index order, stop at the first failure (or
 /// error), exactly like the original tool.
+#[allow(clippy::too_many_arguments)] // internal: the obs context pushes it over
 fn run_tests_sequential(
     spec: &CompiledSpec,
     check: &CheckDef,
@@ -197,6 +273,7 @@ fn run_tests_sequential(
     property: &Thunk,
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
+    obs: &ObsCtx,
 ) -> Result<Vec<ExecutedRun>, CheckError> {
     let mut executed = Vec::new();
     for index in 0..options.tests {
@@ -209,6 +286,7 @@ fn run_tests_sequential(
             make_executor,
             index,
             None,
+            obs,
         )?;
         let failed = run.result.is_failure();
         executed.push(run);
@@ -223,6 +301,7 @@ fn run_tests_sequential(
 /// once some run stops the sequence (failure or error), *later* indices
 /// may be skipped, and the results are merged in canonical index order so
 /// the outcome matches [`run_tests_sequential`] bit for bit.
+#[allow(clippy::too_many_arguments)] // internal: the obs context pushes it over
 fn run_tests_parallel(
     spec: &CompiledSpec,
     check: &CheckDef,
@@ -230,6 +309,7 @@ fn run_tests_parallel(
     property: &Thunk,
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
+    obs: &ObsCtx,
 ) -> Result<Vec<ExecutedRun>, CheckError> {
     let cancel = Cancellation::new();
     let multiplexed = options.pipeline == PipelineMode::On && options.multiplex > 1;
@@ -248,6 +328,7 @@ fn run_tests_parallel(
             options.tests,
             None,
             Some(&cancel),
+            obs,
         )
     } else {
         pool::run_ordered(options.jobs, options.tests, |index| {
@@ -263,6 +344,7 @@ fn run_tests_parallel(
                 make_executor,
                 index,
                 None,
+                obs,
             );
             let stops = match &outcome {
                 Ok(run) => run.result.is_failure(),
@@ -323,6 +405,7 @@ struct CorpusOutcome {
 /// Stop-at-first-failure matches the sequential semantics: the merge
 /// stops at the first failing index (inclusive); later runs of that
 /// epoch are discarded identically for every `jobs` value.
+#[allow(clippy::too_many_arguments)] // internal: the obs context pushes it over
 fn run_tests_corpus(
     spec: &CompiledSpec,
     check: &CheckDef,
@@ -330,6 +413,7 @@ fn run_tests_corpus(
     property: &Thunk,
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
+    obs: &ObsCtx,
 ) -> Result<CorpusOutcome, CheckError> {
     let mut corpus = TraceCorpus::default();
     let mut coverage = CoverageMap::new();
@@ -363,6 +447,7 @@ fn run_tests_corpus(
                 end - start,
                 Some(&prefixes),
                 None,
+                obs,
             )
             .into_iter()
             .map(|slot| slot.expect("corpus epochs run without cancellation"))
@@ -378,6 +463,7 @@ fn run_tests_corpus(
                     make_executor,
                     start + k,
                     prefixes[k].as_deref(),
+                    obs,
                 )
             })
         };
@@ -442,6 +528,10 @@ fn replay(
 /// Minimises a failing script by removing chunks and replaying (a light
 /// delta-debugging pass). Not described in the paper — the real tool
 /// shrinks too — and documented as an extension in DESIGN.md.
+/// The chrome-trace thread id of the shrink search's own track — far above
+/// any `2 * run_index (+ 1)` tid a run's driver/evaluator tracks use.
+const SHRINK_TID: u64 = 1 << 32;
+
 #[allow(clippy::too_many_arguments)] // internal: the two &mut accumulators push it over
 fn shrink(
     spec: &CompiledSpec,
@@ -453,7 +543,16 @@ fn shrink(
     mut failing: Counterexample,
     timings: &mut PhaseTimings,
     transport: &mut TransportStats,
+    obs: &ObsCtx,
+    run_obs: &mut RunObs,
 ) -> Result<Counterexample, CheckError> {
+    // The shrink search gets its own track: one `shrink` span around the
+    // whole search, one `shrink-replay` span per candidate. The replay
+    // sessions themselves run with observability off, mirroring
+    // `reset_for_replay`'s exclusion of replay counters from the report.
+    let mut sink = obs.sink(SHRINK_TID, || format!("{property_name} · shrink"));
+    let shrink_span = sink.open(SpanKind::Shrink);
+    let original_len = failing.script.len();
     let mut budget = 200usize;
     let mut chunk = (failing.script.len() / 2).max(1);
     loop {
@@ -464,6 +563,8 @@ fn shrink(
             let mut candidate: Vec<ActionInstance> = failing.script.clone();
             let end = (i + chunk).min(candidate.len());
             candidate.drain(i..end);
+            let candidate_len = candidate.len() as u64;
+            let replay_span = sink.open(SpanKind::ShrinkReplay);
             let (outcome, mut replay_timings, replay_transport) = replay(
                 spec,
                 check,
@@ -473,6 +574,11 @@ fn shrink(
                 make_executor,
                 &candidate,
             )?;
+            let still_failing = matches!(&outcome, RunOutcome::Result(RunResult::Failed(_)));
+            sink.close_with(replay_span, |a| {
+                a.push(("candidate_len", AttrValue::U64(candidate_len)));
+                a.push(("still_failing", AttrValue::Bool(still_failing)));
+            });
             // Fold in the replay's wall-clock attribution but not its
             // evaluation counters: each replay re-expands the atoms of
             // its whole candidate prefix, so absorbing the counts would
@@ -513,6 +619,14 @@ fn shrink(
             chunk = (failing.script.len() / 2).max(1);
         }
     }
+    let final_len = failing.script.len() as u64;
+    sink.close_with(shrink_span, |a| {
+        a.push(("original_len", AttrValue::U64(original_len as u64)));
+        a.push(("final_len", AttrValue::U64(final_len)));
+    });
+    if let Some(track) = sink.finish() {
+        run_obs.tracks.push(track);
+    }
     Ok(failing)
 }
 
@@ -537,6 +651,45 @@ pub fn check_property(
     options: &CheckOptions,
     make_executor: MakeExecutor<'_>,
 ) -> Result<PropertyReport, CheckError> {
+    let obs = ObsCtx::disabled();
+    check_property_inner(spec, check, property_name, options, make_executor, &obs)
+        .map(|(report, _)| report)
+}
+
+/// [`check_property`] with observability: structured tracing and/or a
+/// metrics registry per [`ObsOptions`]. The returned [`RunObs`] carries
+/// every recorded trace track (in canonical run-index order, driver before
+/// evaluator within a run) plus the merged metrics. The report itself is
+/// bit-identical to [`check_property`]'s — instrumentation never branches
+/// control flow.
+///
+/// # Errors
+///
+/// See [`check_property`].
+pub fn check_property_observed(
+    spec: &CompiledSpec,
+    check: &CheckDef,
+    property_name: &str,
+    options: &CheckOptions,
+    make_executor: MakeExecutor<'_>,
+    obs: &ObsOptions,
+) -> Result<(PropertyReport, RunObs), CheckError> {
+    let ctx = ObsCtx {
+        opts: obs.clone(),
+        origin: Instant::now(),
+        pid: 1,
+    };
+    check_property_inner(spec, check, property_name, options, make_executor, &ctx)
+}
+
+fn check_property_inner(
+    spec: &CompiledSpec,
+    check: &CheckDef,
+    property_name: &str,
+    options: &CheckOptions,
+    make_executor: MakeExecutor<'_>,
+    obs: &ObsCtx,
+) -> Result<(PropertyReport, RunObs), CheckError> {
     let property = spec
         .property_thunk(property_name)
         .ok_or_else(|| CheckError::new(format!("unknown property `{property_name}`")))?;
@@ -548,6 +701,7 @@ pub fn check_property(
             &property,
             options,
             make_executor,
+            obs,
         )?
     } else {
         // The multiplexed pipelined scheduler is worth engaging even with
@@ -562,6 +716,7 @@ pub fn check_property(
                 &property,
                 options,
                 make_executor,
+                obs,
             )?
         } else {
             run_tests_sequential(
@@ -571,6 +726,7 @@ pub fn check_property(
                 &property,
                 options,
                 make_executor,
+                obs,
             )?
         };
         // Merge per-run coverage in canonical index order (the union is
@@ -599,11 +755,13 @@ pub fn check_property(
     let mut actions_total = 0;
     let mut timings = PhaseTimings::default();
     let mut transport = TransportStats::default();
+    let mut run_obs = RunObs::default();
     for run in executed {
         states_total += run.states;
         actions_total += run.actions;
         timings.absorb(run.timings);
         transport.absorb(run.transport);
+        run_obs.absorb(run.obs);
         match run.result {
             RunResult::Failed(cx) => {
                 let cx = if options.shrink && cx.script.len() > 1 && !cx.forced {
@@ -617,6 +775,8 @@ pub fn check_property(
                         cx,
                         &mut timings,
                         &mut transport,
+                        obs,
+                        &mut run_obs,
                     )?
                 } else {
                     cx
@@ -626,15 +786,25 @@ pub fn check_property(
             other => runs.push(other),
         }
     }
-    Ok(PropertyReport {
-        property: property_name.to_owned(),
-        runs,
-        states_total,
-        actions_total,
-        timings,
-        transport,
-        coverage: coverage_stats,
-    })
+    if obs.opts.metrics {
+        run_obs.metrics.counter("runs_total", runs.len() as u64);
+        run_obs.metrics.counter("states_total", states_total as u64);
+        run_obs
+            .metrics
+            .counter("actions_total", actions_total as u64);
+    }
+    Ok((
+        PropertyReport {
+            property: property_name.to_owned(),
+            runs,
+            states_total,
+            actions_total,
+            timings,
+            transport,
+            coverage: coverage_stats,
+        },
+        run_obs,
+    ))
 }
 
 /// Checks every property of every `check` command in the specification.
@@ -663,6 +833,65 @@ pub fn check_spec(
         }
     }
     Ok(report)
+}
+
+/// The observability artifacts of one observed spec check: every trace
+/// track (properties grouped as chrome-trace processes, in declaration
+/// order), the merged metrics registry, and one [`FailureExplanation`]
+/// per failing property, built from the final (shrunk) counterexample.
+#[derive(Debug, Default)]
+pub struct ObsArtifacts {
+    /// All trace tracks, ready for
+    /// [`chrome_trace_json`](quickstrom_obs::chrome_trace_json) or
+    /// [`render_timeline`](quickstrom_obs::render_timeline).
+    pub trace: TraceLog,
+    /// The merged metrics registry across all properties and workers.
+    pub metrics: MetricsRegistry,
+    /// One explanation per failing property, in declaration order.
+    pub explanations: Vec<FailureExplanation>,
+}
+
+/// [`check_spec`] with observability: structured tracing, a metrics
+/// registry, and explainable failure reports, per [`ObsOptions`]. The
+/// returned [`Report`] is bit-identical to [`check_spec`]'s — the
+/// instrumentation never branches control flow — and failure explanations
+/// are built even when tracing and metrics are both off (they replay the
+/// recorded counterexample trace, which is deterministic and cheap).
+///
+/// # Errors
+///
+/// See [`check_property`].
+pub fn check_spec_observed(
+    spec: &CompiledSpec,
+    options: &CheckOptions,
+    make_executor: MakeExecutor<'_>,
+    obs: &ObsOptions,
+) -> Result<(Report, ObsArtifacts), CheckError> {
+    let origin = Instant::now();
+    let mut report = Report::default();
+    let mut artifacts = ObsArtifacts::default();
+    let mut pid = 1u32;
+    for check in &spec.checks {
+        for property in &check.properties {
+            let ctx = ObsCtx {
+                opts: obs.clone(),
+                origin,
+                pid,
+            };
+            let (prop, run_obs) =
+                check_property_inner(spec, check, property, options, make_executor, &ctx)?;
+            artifacts.trace.tracks.extend(run_obs.tracks);
+            artifacts.metrics.merge(&run_obs.metrics);
+            if let Some(cx) = prop.counterexample() {
+                artifacts.explanations.push(crate::explain::explain_failure(
+                    spec, property, cx, options,
+                )?);
+            }
+            report.properties.push(prop);
+            pid += 1;
+        }
+    }
+    Ok((report, artifacts))
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use crate::report::PhaseTimings;
 use crate::run::{ActionSource, Run, RunOutcome};
 use crate::runner::CheckError;
 use quickstrom_explore::RunCoverage;
+use quickstrom_obs::{AttrValue, MetricsRecorder, SpanKind, TraceSink, TrackLog};
 use quickstrom_protocol::{ActionInstance, CheckerMsg, Executor, ExecutorMsg, TransportStats};
 use specstrom::{CheckDef, CompiledSpec, Thunk};
 
@@ -45,11 +46,33 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Attaches an observability sink and metrics recorder to the session's
+    /// run (both disabled by default; spans and samples never branch
+    /// control flow).
+    pub(crate) fn with_obs(mut self, sink: TraceSink, metrics: MetricsRecorder) -> Self {
+        self.run = self.run.with_obs(sink, metrics);
+        self
+    }
+
+    /// Takes the session's trace track (if tracing was enabled) and
+    /// metrics registry; only called once the run has concluded.
+    pub(crate) fn take_obs(&mut self) -> (Option<TrackLog>, quickstrom_obs::MetricsRegistry) {
+        let sink = std::mem::replace(&mut self.run.sink, TraceSink::disabled());
+        let metrics = std::mem::replace(&mut self.run.metrics, MetricsRecorder::disabled());
+        (sink.finish(), metrics.into_registry())
+    }
+
     /// Sends one message, attributing the wall time to the executor phase.
     fn send(&mut self, msg: CheckerMsg) -> Vec<ExecutorMsg> {
+        let span = self.run.sink.open(SpanKind::Send);
         let started = std::time::Instant::now();
         let replies = self.executor.send(msg);
-        self.exec_time += started.elapsed();
+        let elapsed = started.elapsed();
+        self.exec_time += elapsed;
+        self.run.metrics.send_latency(elapsed);
+        self.run.sink.close_with(span, |a| {
+            a.push(("replies", AttrValue::U64(replies.len() as u64)));
+        });
         replies
     }
 
@@ -104,11 +127,24 @@ impl<'a> Session<'a> {
         std::mem::take(&mut self.run.coverage)
     }
 
-    /// Executes the run to completion against the owned executor.
+    /// Executes the run to completion against the owned executor,
+    /// wrapping the whole session in a `run` span when tracing is on.
     pub(crate) fn drive(
         &mut self,
         source: &mut ActionSource<'_>,
     ) -> Result<RunOutcome, CheckError> {
+        let span = self.run.sink.open(SpanKind::Run);
+        let result = self.drive_inner(source);
+        let states = self.run.trace.len() as u64;
+        let actions = self.run.actions_done as u64;
+        self.run.sink.close_with(span, |a| {
+            a.push(("states", AttrValue::U64(states)));
+            a.push(("actions", AttrValue::U64(actions)));
+        });
+        result
+    }
+
+    fn drive_inner(&mut self, source: &mut ActionSource<'_>) -> Result<RunOutcome, CheckError> {
         let start = CheckerMsg::Start {
             dependencies: self.run.spec.dependencies.clone(),
         };

@@ -65,6 +65,7 @@ pub use quickstrom_apps;
 pub use quickstrom_checker;
 pub use quickstrom_executor;
 pub use quickstrom_explore;
+pub use quickstrom_obs;
 pub use quickstrom_protocol;
 pub use specstrom;
 pub use webdom;
@@ -92,11 +93,12 @@ pub mod prelude {
     pub use crate::specs;
     pub use quickltl::{Formula, Outcome, Verdict};
     pub use quickstrom_checker::{
-        check_property, check_spec, AtomCacheMode, CheckOptions, EvalMode, FingerprintMode,
-        PipelineMode, Report, SelectionStrategy,
+        check_property, check_spec, check_spec_observed, AtomCacheMode, CheckOptions, EvalMode,
+        FingerprintMode, ObsArtifacts, PipelineMode, Report, SelectionStrategy,
     };
     pub use quickstrom_executor::{LatencyExecutor, WebExecutor, WebExecutorConfig};
     pub use quickstrom_explore::{CoverageStats, StateFingerprint};
+    pub use quickstrom_obs::{FailureExplanation, MetricsRegistry, ObsOptions, TraceOptions};
     pub use quickstrom_protocol::{
         Executor, Selector, SnapshotDelta, StateSnapshot, StateUpdate, TransportStats,
     };
